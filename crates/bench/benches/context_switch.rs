@@ -1,0 +1,43 @@
+//! Host-side scheduler throughput: full yield round-trips per second on
+//! the baseline platform (save stub → kernel → dispatch → restore).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtos::{layout, Runner, RunnerConfig, StaticTask};
+
+fn yielding_runner() -> Runner {
+    let mut runner = Runner::new(RunnerConfig::default()).expect("boots");
+    for name in ["a", "b"] {
+        runner
+            .add_task(StaticTask {
+                name: name.into(),
+                priority: 1,
+                source: format!(
+                    "main:\nloop:\n movi r1, 0\n int {vec:#x}\n jmp loop\n",
+                    vec = layout::SYSCALL_VECTOR
+                ),
+                stack_len: 256,
+            })
+            .expect("adds");
+    }
+    runner.start().expect("starts");
+    runner
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_switch");
+    const SWITCHES: u64 = 1_000;
+    group.throughput(Throughput::Elements(SWITCHES));
+    group.bench_function("yield_round_trip", |b| {
+        let mut runner = yielding_runner();
+        b.iter(|| {
+            let start = runner.machine().stats().interrupts;
+            while runner.machine().stats().interrupts - start < SWITCHES {
+                runner.run_for(100_000).expect("runs");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

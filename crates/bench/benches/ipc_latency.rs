@@ -1,0 +1,14 @@
+//! Criterion wrapper for the secure IPC latency experiment (§6 text).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tytan_bench::experiments::measure_ipc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipc");
+    group.sample_size(10);
+    group.bench_function("sync_send", |b| b.iter(measure_ipc));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Host-side throughput of the simulator itself: how many guest
+//! instructions per second the interpreter retires, with and without
+//! EA-MPU checking. Not a paper table — a health metric for the
+//! reproduction substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sp32::asm::assemble;
+use sp_emu::{Machine, MachineConfig};
+
+fn busy_machine(mpu_enabled: bool) -> Machine {
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.set_mpu_enabled(mpu_enabled);
+    let program = assemble(
+        "main:\n movi r1, 0x9000\n movi r2, 0\n\
+         loop:\n ldw r3, [r1]\n add r3, r2\n stw [r1], r3\n addi r2, 1\n jmp loop\n",
+        0x1000,
+    )
+    .unwrap();
+    machine.load_image(0x1000, &program.bytes).unwrap();
+    machine.set_eip(0x1000);
+    machine
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    const INSTRUCTIONS: u64 = 10_000;
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    for (label, mpu) in [("mpu_on", true), ("mpu_off", false)] {
+        group.bench_function(label, |b| {
+            let mut machine = busy_machine(mpu);
+            b.iter(|| {
+                let start = machine.stats().instructions;
+                while machine.stats().instructions - start < INSTRUCTIONS {
+                    machine.run(50_000);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

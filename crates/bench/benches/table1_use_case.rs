@@ -1,0 +1,23 @@
+//! Criterion wrapper for the Table 1 use-case experiment: one full
+//! before/while/after measurement of the cruise-control scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tytan::platform::{Platform, PlatformConfig};
+use tytan::usecase::CruiseControl;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("use_case_window", |b| {
+        b.iter(|| {
+            let mut platform: Platform =
+                Platform::boot(PlatformConfig::default()).expect("boots");
+            let mut scenario = CruiseControl::install(&mut platform).expect("installs");
+            scenario.measure_window(&mut platform, 200_000).expect("window")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

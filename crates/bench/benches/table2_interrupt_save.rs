@@ -1,0 +1,15 @@
+//! Criterion wrapper for Table 2: the secure context-save measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tytan_bench::experiments::{measure_baseline_save, measure_secure_save};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("secure_save", |b| b.iter(measure_secure_save));
+    group.bench_function("baseline_save", |b| b.iter(measure_baseline_save));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion wrapper for Table 3: the secure context-restore measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tytan_bench::experiments::{measure_baseline_restore, measure_secure_restore};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("secure_restore", |b| b.iter(measure_secure_restore));
+    group.bench_function("baseline_restore", |b| b.iter(measure_baseline_restore));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion wrapper for Table 4: dynamic task creation, secure vs normal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tytan_bench::experiments::measure_task_create;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("create_secure_task", |b| b.iter(|| measure_task_create(true)));
+    group.bench_function("create_normal_task", |b| b.iter(|| measure_task_create(false)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

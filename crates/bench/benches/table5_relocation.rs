@@ -1,0 +1,17 @@
+//! Criterion wrapper for Table 5: relocation cost vs. site count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tytan_bench::experiments::measure_relocation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    for n in [0u32, 1, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("relocate", n), &n, |b, &n| {
+            b.iter(|| measure_relocation(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion wrapper for Table 6: EA-MPU dynamic configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tytan_bench::experiments::measure_eampu_config;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6");
+    for position in [1usize, 2, 18] {
+        group.bench_with_input(
+            BenchmarkId::new("configure_slot", position),
+            &position,
+            |b, &position| b.iter(|| measure_eampu_config(position)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

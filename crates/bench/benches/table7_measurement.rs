@@ -1,0 +1,22 @@
+//! Criterion wrapper for Table 7: RTM measurement cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tytan_bench::experiments::measure_measurement;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7");
+    for blocks in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("measure_blocks", blocks), &blocks, |b, &n| {
+            b.iter(|| measure_measurement(n, 0))
+        });
+    }
+    for sites in [0u32, 1, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("measure_reverts", sites), &sites, |b, &n| {
+            b.iter(|| measure_measurement(4, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

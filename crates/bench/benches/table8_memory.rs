@@ -1,0 +1,12 @@
+//! Criterion wrapper for Table 8: the footprint model (trivially fast;
+//! kept so every table has a bench target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tytan::footprint;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table8/footprint", |b| b.iter(footprint::footprint));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Prints every reproduced table/figure of the paper's evaluation.
+//!
+//! Run with: `cargo run -p tytan-bench --bin tables --release`
+
+use tytan_bench::{experiments, render};
+
+fn main() {
+    println!("TyTAN (DAC 2015) — reproduced evaluation");
+    println!("paper values vs. cycle counts measured on the simulated platform");
+    println!();
+    for table in experiments::all() {
+        println!("{}", render(&table));
+    }
+}

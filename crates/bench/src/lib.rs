@@ -1,0 +1,161 @@
+//! The TyTAN evaluation harness.
+//!
+//! One experiment per table/figure of the paper's evaluation (§6). Every
+//! experiment runs the corresponding code path on the simulated platform,
+//! measures **simulated clock cycles** (the unit the paper reports), and
+//! returns a [`Table`] pairing each measured value with the paper's
+//! number. `cargo run -p tytan-bench --bin tables` prints them all; the
+//! Criterion benches in `benches/` wrap the same experiments for
+//! host-side performance tracking.
+//!
+//! Absolute cycle counts come from the documented cost model (DESIGN.md)
+//! — the reproduced claims are the *shapes*: which phases dominate, what
+//! scales linearly in what, and where real-time behaviour holds.
+
+pub mod experiments;
+
+use std::fmt::Write as _;
+
+/// One measured row of an experiment.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (workload/parameter).
+    pub label: String,
+    /// The paper's reported value, if it reports one for this row.
+    pub paper: Option<f64>,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit of both values.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Builds a row with a paper reference value.
+    pub fn with_paper(
+        label: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        unit: &'static str,
+    ) -> Self {
+        Row { label: label.into(), paper: Some(paper), measured, unit }
+    }
+
+    /// Builds a measurement-only row (no paper counterpart).
+    pub fn measured_only(label: impl Into<String>, measured: f64, unit: &'static str) -> Self {
+        Row { label: label.into(), paper: None, measured, unit }
+    }
+
+    /// measured / paper, when the paper value exists and is nonzero.
+    pub fn ratio(&self) -> Option<f64> {
+        match self.paper {
+            Some(p) if p != 0.0 => Some(self.measured / p),
+            _ => None,
+        }
+    }
+}
+
+/// One reproduced table or figure.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id ("table1", …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Notes on methodology / interpretation.
+    pub note: &'static str,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+/// Renders a table as aligned text.
+pub fn render(table: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} — {} ==", table.id, table.title);
+    let width = table.rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+    let _ = writeln!(
+        out,
+        "{:width$}  {:>14}  {:>14}  {:>8}  unit",
+        "row", "paper", "measured", "ratio",
+    );
+    for row in &table.rows {
+        let paper = match row.paper {
+            Some(p) => format_num(p),
+            None => "—".to_string(),
+        };
+        let ratio = match row.ratio() {
+            Some(r) => format!("{r:.2}x"),
+            None => "—".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>14}  {:>14}  {:>8}  {}",
+            row.label,
+            paper,
+            format_num(row.measured),
+            ratio,
+            row.unit,
+        );
+    }
+    if !table.note.is_empty() {
+        let _ = writeln!(out, "note: {}", table.note);
+    }
+    out
+}
+
+fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        let n = v as i64;
+        let raw = n.abs().to_string();
+        let mut grouped = String::new();
+        for (i, c) in raw.chars().enumerate() {
+            if i > 0 && (raw.len() - i).is_multiple_of(3) {
+                grouped.push(',');
+            }
+            grouped.push(c);
+        }
+        if n < 0 {
+            format!("-{grouped}")
+        } else {
+            grouped
+        }
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_ratio() {
+        let row = Row::with_paper("x", 100.0, 150.0, "cycles");
+        assert_eq!(row.ratio(), Some(1.5));
+        assert_eq!(Row::measured_only("y", 1.0, "kHz").ratio(), None);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let table = Table {
+            id: "tableX",
+            title: "demo",
+            note: "n",
+            rows: vec![
+                Row::with_paper("alpha", 1000.0, 1100.0, "cycles"),
+                Row::measured_only("beta", 2.5, "kHz"),
+            ],
+        };
+        let text = render(&table);
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("1,000"));
+        assert!(text.contains("1.10x"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(642241.0), "642,241");
+        assert_eq!(format_num(95.0), "95");
+        assert_eq!(format_num(15.92), "15.92");
+    }
+}

@@ -1,0 +1,268 @@
+//! First-fit allocator for dynamic task memory.
+//!
+//! Loading a task at runtime first requires "allocation of memory for the
+//! new task" (§4). FreeRTOS operates on physical memory, so the allocator
+//! hands out physical regions from the task heap; freed regions coalesce
+//! with their neighbours to limit fragmentation across load/unload cycles.
+
+use eampu::Region;
+use std::fmt;
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free block is large enough.
+    OutOfMemory {
+        /// The request that failed.
+        requested: u32,
+        /// The largest currently available block.
+        largest_free: u32,
+    },
+    /// A zero-sized allocation was requested.
+    ZeroSize,
+    /// The freed region was not allocated by this allocator.
+    NotAllocated {
+        /// The bogus base address.
+        base: u32,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested, largest_free } => {
+                write!(f, "out of memory: need {requested} bytes, largest free {largest_free}")
+            }
+            AllocError::ZeroSize => write!(f, "zero-size allocation"),
+            AllocError::NotAllocated { base } => {
+                write!(f, "free of unallocated region at {base:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// First-fit physical-memory allocator with coalescing free.
+///
+/// # Examples
+///
+/// ```
+/// use tytan::allocator::Allocator;
+///
+/// # fn main() -> Result<(), tytan::allocator::AllocError> {
+/// let mut heap = Allocator::new(0x4000, 0x1000);
+/// let a = heap.alloc(0x100)?;
+/// let b = heap.alloc(0x200)?;
+/// heap.free(a.start())?;
+/// // The freed first-fit hole is reused.
+/// let c = heap.alloc(0x80)?;
+/// assert_eq!(c.start(), a.start());
+/// # let _ = b;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    heap: Region,
+    /// Sorted, non-adjacent free blocks.
+    free: Vec<Region>,
+    /// Live allocations.
+    allocated: Vec<Region>,
+}
+
+impl Allocator {
+    /// Creates an allocator over `[base, base + len)`.
+    pub fn new(base: u32, len: u32) -> Self {
+        let heap = Region::new(base, len);
+        Allocator { heap, free: vec![heap], allocated: Vec::new() }
+    }
+
+    /// The heap region being managed.
+    pub fn heap(&self) -> Region {
+        self.heap
+    }
+
+    /// Total free bytes (may be fragmented).
+    pub fn free_bytes(&self) -> u32 {
+        self.free.iter().map(|r| r.len()).sum()
+    }
+
+    /// The largest single allocatable block.
+    pub fn largest_free(&self) -> u32 {
+        self.free.iter().map(|r| r.len()).max().unwrap_or(0)
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Allocates `size` bytes (rounded up to 4-byte alignment), first-fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::ZeroSize`] or [`AllocError::OutOfMemory`].
+    pub fn alloc(&mut self, size: u32) -> Result<Region, AllocError> {
+        if size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let size = (size + 3) & !3;
+        let position = self.free.iter().position(|r| r.len() >= size).ok_or(
+            AllocError::OutOfMemory { requested: size, largest_free: self.largest_free() },
+        )?;
+        let block = self.free[position];
+        let region = Region::new(block.start(), size);
+        if block.len() == size {
+            self.free.remove(position);
+        } else {
+            self.free[position] = Region::new(block.start() + size, block.len() - size);
+        }
+        self.allocated.push(region);
+        Ok(region)
+    }
+
+    /// Frees the allocation starting at `base`, coalescing neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] if `base` is not the start of a
+    /// live allocation.
+    pub fn free(&mut self, base: u32) -> Result<(), AllocError> {
+        let position = self
+            .allocated
+            .iter()
+            .position(|r| r.start() == base)
+            .ok_or(AllocError::NotAllocated { base })?;
+        let region = self.allocated.swap_remove(position);
+        let at = self.free.partition_point(|r| r.start() < region.start());
+        self.free.insert(at, region);
+        self.coalesce();
+        Ok(())
+    }
+
+    fn coalesce(&mut self) {
+        let mut merged: Vec<Region> = Vec::with_capacity(self.free.len());
+        for &block in &self.free {
+            match merged.last_mut() {
+                Some(last) if last.end() == block.start() => {
+                    *last = Region::from_bounds(last.start(), block.end());
+                }
+                _ => merged.push(block),
+            }
+        }
+        self.free = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sequential_allocations_do_not_overlap() {
+        let mut a = Allocator::new(0x4000, 0x1000);
+        let x = a.alloc(0x100).unwrap();
+        let y = a.alloc(0x100).unwrap();
+        assert!(!x.overlaps(y));
+        assert_eq!(a.free_bytes(), 0x1000 - 0x200);
+    }
+
+    #[test]
+    fn alignment_rounds_up() {
+        let mut a = Allocator::new(0, 64);
+        let r = a.alloc(5).unwrap();
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut a = Allocator::new(0, 64);
+        assert_eq!(a.alloc(0), Err(AllocError::ZeroSize));
+    }
+
+    #[test]
+    fn out_of_memory_reports_largest_block() {
+        let mut a = Allocator::new(0, 0x100);
+        a.alloc(0x80).unwrap();
+        let err = a.alloc(0x100).unwrap_err();
+        assert_eq!(err, AllocError::OutOfMemory { requested: 0x100, largest_free: 0x80 });
+    }
+
+    #[test]
+    fn free_coalesces_with_both_neighbours() {
+        let mut a = Allocator::new(0, 0x300);
+        let x = a.alloc(0x100).unwrap();
+        let y = a.alloc(0x100).unwrap();
+        let z = a.alloc(0x100).unwrap();
+        a.free(x.start()).unwrap();
+        a.free(z.start()).unwrap();
+        assert_eq!(a.free_bytes(), 0x200);
+        assert_eq!(a.largest_free(), 0x100, "fragmented around y");
+        a.free(y.start()).unwrap();
+        assert_eq!(a.largest_free(), 0x300, "fully coalesced");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = Allocator::new(0, 0x100);
+        let x = a.alloc(0x10).unwrap();
+        a.free(x.start()).unwrap();
+        assert_eq!(a.free(x.start()), Err(AllocError::NotAllocated { base: x.start() }));
+    }
+
+    #[test]
+    fn free_of_interior_address_rejected() {
+        let mut a = Allocator::new(0, 0x100);
+        let x = a.alloc(0x10).unwrap();
+        assert!(matches!(a.free(x.start() + 4), Err(AllocError::NotAllocated { .. })));
+    }
+
+    #[test]
+    fn load_unload_cycles_do_not_leak() {
+        let mut a = Allocator::new(0x4000, 0x1000);
+        for _ in 0..100 {
+            let x = a.alloc(0x400).unwrap();
+            let y = a.alloc(0x400).unwrap();
+            a.free(x.start()).unwrap();
+            a.free(y.start()).unwrap();
+        }
+        assert_eq!(a.free_bytes(), 0x1000);
+        assert_eq!(a.largest_free(), 0x1000);
+        assert_eq!(a.allocation_count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_allocations_disjoint_and_inside_heap(sizes in proptest::collection::vec(1u32..128, 1..20)) {
+            let mut a = Allocator::new(0x1000, 0x2000);
+            let mut live = Vec::new();
+            for size in sizes {
+                if let Ok(r) = a.alloc(size) {
+                    for other in &live {
+                        prop_assert!(!r.overlaps(*other));
+                    }
+                    prop_assert!(a.heap().contains_region(r));
+                    live.push(r);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_free_restores_all_bytes(sizes in proptest::collection::vec(1u32..256, 1..16)) {
+            let mut a = Allocator::new(0, 0x4000);
+            let mut live = Vec::new();
+            for size in sizes {
+                if let Ok(r) = a.alloc(size) {
+                    live.push(r);
+                }
+            }
+            for r in live {
+                a.free(r.start()).unwrap();
+            }
+            prop_assert_eq!(a.free_bytes(), 0x4000);
+            prop_assert_eq!(a.largest_free(), 0x4000);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Local and remote attestation.
+//!
+//! Local attestation on TyTAN uses the task identity `id_t` directly: the
+//! EA-MPU guarantees only the RTM can write the measurement list, so a
+//! local component reading `id_t` from the list needs no further
+//! authentication (§3). Remote attestation authenticates the measurement
+//! with a MAC under the attestation key `K_a`, which is derived from the
+//! platform key and accessible only to the Remote Attest task (§3).
+
+use crate::rtm::MeasurementRecord;
+use tytan_crypto::{HmacKey, SymmetricKey, TaskId};
+
+/// The key-derivation purpose label for `K_a`.
+pub const ATTEST_PURPOSE: &[u8] = b"tytan-remote-attestation-v1";
+
+/// A remote-attestation report: `(id_t, digest, nonce)` authenticated by
+/// `MAC(K_a, ·)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// The attested task identity.
+    pub id: TaskId,
+    /// The full measurement digest of the task.
+    pub digest: Vec<u8>,
+    /// The verifier's challenge nonce (freshness).
+    pub nonce: Vec<u8>,
+    /// `HMAC(K_a, id ‖ digest ‖ nonce)` with length framing.
+    pub mac: Vec<u8>,
+}
+
+impl AttestationReport {
+    /// Serializes the report for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.id.to_bytes());
+        out.extend_from_slice(&(self.digest.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.digest);
+        out.extend_from_slice(&(self.nonce.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&(self.mac.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses a report serialized with [`AttestationReport::to_bytes`].
+    ///
+    /// Returns `None` on truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if bytes.len() < n {
+                return None;
+            }
+            let (head, tail) = bytes.split_at(n);
+            *bytes = tail;
+            Some(head)
+        }
+        fn take_vec(bytes: &mut &[u8]) -> Option<Vec<u8>> {
+            let len = u32::from_le_bytes(take(bytes, 4)?.try_into().ok()?) as usize;
+            if len > 1 << 16 {
+                return None;
+            }
+            Some(take(bytes, len)?.to_vec())
+        }
+        let mut rest = bytes;
+        let id = TaskId::from_u64(u64::from_be_bytes(take(&mut rest, 8)?.try_into().ok()?));
+        let digest = take_vec(&mut rest)?;
+        let nonce = take_vec(&mut rest)?;
+        let mac = take_vec(&mut rest)?;
+        Some(AttestationReport { id, digest, nonce, mac })
+    }
+}
+
+fn mac_input(id: TaskId, digest: &[u8], nonce: &[u8]) -> Vec<u8> {
+    let mut input = Vec::with_capacity(8 + 8 + digest.len() + nonce.len());
+    input.extend_from_slice(&id.to_bytes());
+    input.extend_from_slice(&(digest.len() as u32).to_le_bytes());
+    input.extend_from_slice(digest);
+    input.extend_from_slice(&(nonce.len() as u32).to_le_bytes());
+    input.extend_from_slice(nonce);
+    input
+}
+
+/// The Remote Attest task: holds `K_a` and produces reports.
+#[derive(Debug)]
+pub struct RemoteAttestor {
+    key: HmacKey,
+}
+
+impl RemoteAttestor {
+    /// Creates the attestor from the derived attestation key `K_a`.
+    pub fn new(ka: SymmetricKey) -> Self {
+        RemoteAttestor { key: ka.to_hmac_key() }
+    }
+
+    /// Produces a report over an RTM record for the verifier's `nonce`.
+    pub fn attest(&self, record: &MeasurementRecord, nonce: &[u8]) -> AttestationReport {
+        let mac = self.key.sign(&mac_input(record.id, &record.digest, nonce));
+        AttestationReport {
+            id: record.id,
+            digest: record.digest.clone(),
+            nonce: nonce.to_vec(),
+            mac,
+        }
+    }
+}
+
+/// A device-level report: the MAC-authenticated list of every loaded
+/// task's identity and digest ("prove the integrity of its software
+/// state to another device", §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceReport {
+    /// `(id, digest)` for every measured task, sorted by id.
+    pub tasks: Vec<(TaskId, Vec<u8>)>,
+    /// The verifier's challenge nonce.
+    pub nonce: Vec<u8>,
+    /// `HMAC(K_a, task list ‖ nonce)`.
+    pub mac: Vec<u8>,
+}
+
+fn device_mac_input(tasks: &[(TaskId, Vec<u8>)], nonce: &[u8]) -> Vec<u8> {
+    let mut input = Vec::new();
+    input.extend_from_slice(&(tasks.len() as u32).to_le_bytes());
+    for (id, digest) in tasks {
+        input.extend_from_slice(&id.to_bytes());
+        input.extend_from_slice(&(digest.len() as u32).to_le_bytes());
+        input.extend_from_slice(digest);
+    }
+    input.extend_from_slice(&(nonce.len() as u32).to_le_bytes());
+    input.extend_from_slice(nonce);
+    input
+}
+
+impl RemoteAttestor {
+    /// Produces a device-level report over every record in the RTM list.
+    pub fn attest_device<'a>(
+        &self,
+        records: impl Iterator<Item = &'a crate::rtm::MeasurementRecord>,
+        nonce: &[u8],
+    ) -> DeviceReport {
+        let mut tasks: Vec<(TaskId, Vec<u8>)> =
+            records.map(|r| (r.id, r.digest.clone())).collect();
+        tasks.sort_by_key(|(id, _)| *id);
+        let mac = self.key.sign(&device_mac_input(&tasks, nonce));
+        DeviceReport { tasks, nonce: nonce.to_vec(), mac }
+    }
+}
+
+impl RemoteVerifier {
+    /// Verifies a device-level report and checks that the reported task
+    /// set is exactly `expected` (sorted or not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::BadMac`], [`VerifyError::NonceMismatch`],
+    /// or [`VerifyError::DigestMismatch`] if the task sets differ.
+    pub fn verify_device(
+        &self,
+        report: &DeviceReport,
+        nonce: &[u8],
+        expected: &[(TaskId, Vec<u8>)],
+    ) -> Result<(), VerifyError> {
+        if !self.key.verify(&device_mac_input(&report.tasks, &report.nonce), &report.mac) {
+            return Err(VerifyError::BadMac);
+        }
+        if report.nonce != nonce {
+            return Err(VerifyError::NonceMismatch);
+        }
+        let mut expected = expected.to_vec();
+        expected.sort_by_key(|(id, _)| *id);
+        if report.tasks != expected {
+            return Err(VerifyError::DigestMismatch {
+                expected: expected.iter().flat_map(|(_, d)| d.clone()).collect(),
+                reported: report.tasks.iter().flat_map(|(_, d)| d.clone()).collect(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The MAC does not verify under `K_a`: forged or corrupted report.
+    BadMac,
+    /// The nonce does not match the verifier's challenge (replay).
+    NonceMismatch,
+    /// The digest differs from the verifier's reference value for this
+    /// software: the device runs unexpected code.
+    DigestMismatch {
+        /// The digest the verifier expected.
+        expected: Vec<u8>,
+        /// The digest the device reported.
+        reported: Vec<u8>,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BadMac => write!(f, "report MAC verification failed"),
+            VerifyError::NonceMismatch => write!(f, "nonce mismatch (possible replay)"),
+            VerifyError::DigestMismatch { .. } => {
+                write!(f, "measurement digest differs from reference")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The remote verifier: shares `K_a` (symmetric setting, as in the paper)
+/// and knows the reference digest of the software it expects.
+#[derive(Debug)]
+pub struct RemoteVerifier {
+    key: HmacKey,
+}
+
+impl RemoteVerifier {
+    /// Creates a verifier holding the shared attestation key.
+    pub fn new(ka: SymmetricKey) -> Self {
+        RemoteVerifier { key: ka.to_hmac_key() }
+    }
+
+    /// Verifies a report against the challenge `nonce` and the reference
+    /// digest of the expected task binary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::BadMac`], [`VerifyError::NonceMismatch`], or
+    /// [`VerifyError::DigestMismatch`] (checked in that order, so a forged
+    /// report never reaches the digest comparison).
+    pub fn verify(
+        &self,
+        report: &AttestationReport,
+        nonce: &[u8],
+        expected_digest: &[u8],
+    ) -> Result<(), VerifyError> {
+        let input = mac_input(report.id, &report.digest, &report.nonce);
+        if !self.key.verify(&input, &report.mac) {
+            return Err(VerifyError::BadMac);
+        }
+        if report.nonce != nonce {
+            return Err(VerifyError::NonceMismatch);
+        }
+        if report.digest != expected_digest {
+            return Err(VerifyError::DigestMismatch {
+                expected: expected_digest.to_vec(),
+                reported: report.digest.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eampu::Region;
+    use rtos::TaskHandle;
+    use tytan_crypto::PlatformKey;
+
+    fn record(digest: Vec<u8>) -> MeasurementRecord {
+        MeasurementRecord {
+            id: TaskId::from_digest(&digest),
+            digest,
+            handle: TaskHandle::from_index(0),
+            base: 0x4000,
+            mailbox: 0x4100,
+            code: Region::new(0x4000, 0x100),
+            data: Region::new(0x4100, 0x100),
+            name: "t".into(),
+        }
+    }
+
+    fn keypair() -> (RemoteAttestor, RemoteVerifier) {
+        let kp = PlatformKey::from_bytes([3u8; 20]);
+        let ka = kp.derive(ATTEST_PURPOSE);
+        (RemoteAttestor::new(ka.clone()), RemoteVerifier::new(ka))
+    }
+
+    #[test]
+    fn honest_report_verifies() {
+        let (attestor, verifier) = keypair();
+        let digest = vec![7u8; 20];
+        let report = attestor.attest(&record(digest.clone()), b"nonce-1");
+        assert_eq!(verifier.verify(&report, b"nonce-1", &digest), Ok(()));
+    }
+
+    #[test]
+    fn forged_mac_rejected() {
+        let (attestor, verifier) = keypair();
+        let digest = vec![7u8; 20];
+        let mut report = attestor.attest(&record(digest.clone()), b"n");
+        report.mac[0] ^= 1;
+        assert_eq!(verifier.verify(&report, b"n", &digest), Err(VerifyError::BadMac));
+    }
+
+    #[test]
+    fn tampered_digest_breaks_mac() {
+        let (attestor, verifier) = keypair();
+        let digest = vec![7u8; 20];
+        let mut report = attestor.attest(&record(digest.clone()), b"n");
+        report.digest[0] ^= 1;
+        assert_eq!(verifier.verify(&report, b"n", &digest), Err(VerifyError::BadMac));
+    }
+
+    #[test]
+    fn replayed_nonce_rejected() {
+        let (attestor, verifier) = keypair();
+        let digest = vec![7u8; 20];
+        let report = attestor.attest(&record(digest.clone()), b"old-nonce");
+        assert_eq!(
+            verifier.verify(&report, b"fresh-nonce", &digest),
+            Err(VerifyError::NonceMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_software_detected() {
+        let (attestor, verifier) = keypair();
+        let report = attestor.attest(&record(vec![7u8; 20]), b"n");
+        let expected = vec![8u8; 20];
+        assert!(matches!(
+            verifier.verify(&report, b"n", &expected),
+            Err(VerifyError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_platform_key_rejected() {
+        let (attestor, _) = keypair();
+        let other_kp = PlatformKey::from_bytes([4u8; 20]);
+        let other_verifier = RemoteVerifier::new(other_kp.derive(ATTEST_PURPOSE));
+        let digest = vec![7u8; 20];
+        let report = attestor.attest(&record(digest.clone()), b"n");
+        assert_eq!(other_verifier.verify(&report, b"n", &digest), Err(VerifyError::BadMac));
+    }
+
+    #[test]
+    fn device_report_verifies_and_detects_set_changes() {
+        let (attestor, verifier) = keypair();
+        let a = record(vec![1u8; 20]);
+        let b = {
+            let mut r = record(vec![2u8; 20]);
+            r.handle = TaskHandle::from_index(1);
+            r
+        };
+        let records = [a.clone(), b.clone()];
+        let report = attestor.attest_device(records.iter(), b"dev-nonce");
+        let expected =
+            vec![(a.id, a.digest.clone()), (b.id, b.digest.clone())];
+        assert_eq!(verifier.verify_device(&report, b"dev-nonce", &expected), Ok(()));
+
+        // Missing task detected.
+        let short = vec![(a.id, a.digest.clone())];
+        assert!(matches!(
+            verifier.verify_device(&report, b"dev-nonce", &short),
+            Err(VerifyError::DigestMismatch { .. })
+        ));
+        // Forged MAC detected.
+        let mut forged = report.clone();
+        forged.mac[0] ^= 1;
+        assert_eq!(
+            verifier.verify_device(&forged, b"dev-nonce", &expected),
+            Err(VerifyError::BadMac)
+        );
+        // Replay detected.
+        assert_eq!(
+            verifier.verify_device(&report, b"other", &expected),
+            Err(VerifyError::NonceMismatch)
+        );
+    }
+
+    #[test]
+    fn device_report_order_independent_expectations() {
+        let (attestor, verifier) = keypair();
+        let a = record(vec![1u8; 20]);
+        let b = {
+            let mut r = record(vec![2u8; 20]);
+            r.handle = TaskHandle::from_index(1);
+            r
+        };
+        let report = attestor.attest_device([a.clone(), b.clone()].iter(), b"n");
+        // Expected list given in reverse order still verifies.
+        let expected = vec![(b.id, b.digest.clone()), (a.id, a.digest.clone())];
+        assert_eq!(verifier.verify_device(&report, b"n", &expected), Ok(()));
+    }
+
+    #[test]
+    fn report_serialization_roundtrip() {
+        let (attestor, _) = keypair();
+        let report = attestor.attest(&record(vec![9u8; 20]), b"serialize-me");
+        let parsed = AttestationReport::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn truncated_report_rejected() {
+        let (attestor, _) = keypair();
+        let bytes = attestor.attest(&record(vec![9u8; 20]), b"n").to_bytes();
+        for len in 0..bytes.len() {
+            assert!(AttestationReport::from_bytes(&bytes[..len]).is_none(), "len {len}");
+        }
+    }
+}

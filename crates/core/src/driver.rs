@@ -1,0 +1,285 @@
+//! The EA-MPU driver.
+//!
+//! "The dynamic handling of tasks requires the EA-MPU to be dynamically
+//! configurable. This is performed by the EA-MPU driver, which sets the
+//! memory access control rules in the EA-MPU when loading or unloading a
+//! secure task" (§3). The driver is a trusted component; the rules for the
+//! static components (including the driver itself) are set during secure
+//! boot via [`EaMpu::set_rule`].
+//!
+//! Rule budget per task (see DESIGN.md):
+//!
+//! - the task's own rule (code → data, RW) — installed with the full
+//!   policy-checked [`EaMpu::configure`] path (Table 6 costs);
+//! - a trusted alias (trusted region → task data, RW) so the Int Mux can
+//!   save contexts to the task's stack and the IPC proxy can write its
+//!   mailbox;
+//! - for secure tasks, a trusted read alias (trusted region → task code,
+//!   R) so the RTM can measure the binary; for normal tasks instead an OS
+//!   alias (kernel region → task data, RW) so the OS can prepare and
+//!   restore their stacks — normal tasks are "accessible to the OS" (§3).
+//!
+//! Trusted aliases intentionally alias protected regions, which the
+//! general policy forbids; the driver installs them with its set-rule
+//! privilege and charges the find-slot and write phases only.
+
+use eampu::{ConfigureError, EaMpu, Perms, Region, Rule};
+use rtos::TaskKind;
+use sp_emu::Machine;
+
+/// Actor addresses (an instruction address inside each component's code
+/// region) used for EA-MPU-checked firmware accesses.
+#[derive(Debug, Clone, Copy)]
+pub struct TrustedActors {
+    /// The trusted-components region (Int Mux, IPC proxy, RTM, entry
+    /// stubs).
+    pub trusted: Region,
+    /// The untrusted OS kernel region.
+    pub kernel: Region,
+    /// The dedicated entry point into the OS region (the kernel trap the
+    /// interrupt stubs branch to).
+    pub kernel_entry: u32,
+}
+
+impl TrustedActors {
+    /// An EIP inside the trusted region.
+    pub fn trusted_actor(&self) -> u32 {
+        self.trusted.start()
+    }
+
+    /// An EIP inside the OS region.
+    pub fn kernel_actor(&self) -> u32 {
+        self.kernel.start()
+    }
+}
+
+/// The slots and cycle cost of one task's rule installation.
+#[derive(Debug, Clone, Default)]
+pub struct TaskRules {
+    /// EA-MPU slots holding this task's rules.
+    pub slots: Vec<usize>,
+    /// Total configuration cycles charged.
+    pub cycles: u64,
+    /// Cycles of the policy-checked primary rule alone (the quantity
+    /// Table 4's "EA-MPU" column decomposes).
+    pub primary_rule_cycles: u64,
+}
+
+/// Installs the rules for a newly loaded task and charges the machine
+/// clock per the Table 6 cost model.
+///
+/// # Errors
+///
+/// Returns the policy error for the task's primary rule, or
+/// [`ConfigureError::NoFreeSlot`] if the table cannot hold all rules; any
+/// partially installed rules are rolled back.
+pub fn install_task_rules(
+    machine: &mut Machine,
+    actors: TrustedActors,
+    code: Region,
+    entry: u32,
+    data: Region,
+    kind: TaskKind,
+) -> Result<TaskRules, ConfigureError> {
+    let mut rules = TaskRules::default();
+    let result = (|| {
+        // 1. The task's own rule, full policy-checked path.
+        let outcome = machine
+            .mpu_mut()
+            .configure(Rule::new(code, entry, data, Perms::RW))?;
+        rules.slots.push(outcome.slot);
+        rules.primary_rule_cycles = outcome.cost.total();
+        rules.cycles += outcome.cost.total();
+
+        // 2. Trusted alias on the task's data (context save, mailbox).
+        rules.cycles += install_alias(
+            machine,
+            &mut rules.slots,
+            Rule::new(actors.trusted, actors.trusted.start(), data, Perms::RW),
+        )?;
+
+        // 3. Kind-specific alias.
+        let third = match kind {
+            TaskKind::Secure => {
+                // RTM measurement reads of the task's code.
+                Rule::new(actors.trusted, actors.trusted.start(), code, Perms::R)
+            }
+            TaskKind::Normal => {
+                // The OS may access normal task memory. The rule's entry
+                // point is the kernel trap so interrupt stubs can still
+                // branch into the (now protected) OS region.
+                Rule::new(actors.kernel, actors.kernel_entry, data, Perms::RW)
+            }
+        };
+        rules.cycles += install_alias(machine, &mut rules.slots, third)?;
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => {
+            machine.tick(rules.cycles);
+            Ok(rules)
+        }
+        Err(e) => {
+            for slot in rules.slots.drain(..) {
+                machine.mpu_mut().clear_slot(slot);
+            }
+            Err(e)
+        }
+    }
+}
+
+fn install_alias(
+    machine: &mut Machine,
+    slots: &mut Vec<usize>,
+    rule: Rule,
+) -> Result<u64, ConfigureError> {
+    let (slot, find_cost) = machine.mpu().find_free_slot();
+    let slot = slot.ok_or(ConfigureError::NoFreeSlot)?;
+    machine.mpu_mut().set_rule(slot, rule);
+    slots.push(slot);
+    Ok(find_cost + machine.mpu().costs().write_rule)
+}
+
+/// Removes every rule referencing the task's regions (unload path).
+///
+/// Returns the number of cleared slots.
+pub fn remove_task_rules(mpu: &mut EaMpu, code: Region, data: Region) -> usize {
+    let slots: Vec<usize> = mpu
+        .rules()
+        .filter(|(_, r)| r.code == code || r.data == data || r.data == code)
+        .map(|(slot, _)| slot)
+        .collect();
+    for slot in &slots {
+        mpu.clear_slot(*slot);
+    }
+    slots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eampu::AccessKind;
+    use sp_emu::MachineConfig;
+
+    fn actors() -> TrustedActors {
+        TrustedActors {
+            trusted: Region::new(0x1000, 0x1000),
+            kernel: Region::new(0x400, 0x400),
+            kernel_entry: 0x7fc,
+        }
+    }
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn secure_task_rules_grant_expected_access() {
+        let mut m = machine();
+        let code = Region::new(0x4000, 0x200);
+        let data = Region::new(0x4200, 0x400);
+        let rules =
+            install_task_rules(&mut m, actors(), code, 0x4000, data, TaskKind::Secure).unwrap();
+        assert_eq!(rules.slots.len(), 3);
+
+        // Task accesses its own data.
+        assert!(m.mpu().check_access(0x4004, 0x4300, AccessKind::Write).is_allowed());
+        // Trusted components access the data and read the code.
+        assert!(m.mpu().check_access(0x1010, 0x4300, AccessKind::Write).is_allowed());
+        assert!(m.mpu().check_access(0x1010, 0x4004, AccessKind::Read).is_allowed());
+        // The OS does not.
+        assert!(!m.mpu().check_access(0x410, 0x4300, AccessKind::Read).is_allowed());
+        assert!(!m.mpu().check_access(0x410, 0x4004, AccessKind::Read).is_allowed());
+    }
+
+    #[test]
+    fn normal_task_rules_admit_the_os() {
+        let mut m = machine();
+        let code = Region::new(0x5000, 0x200);
+        let data = Region::new(0x5200, 0x400);
+        let rules =
+            install_task_rules(&mut m, actors(), code, 0x5000, data, TaskKind::Normal).unwrap();
+        assert_eq!(rules.slots.len(), 3);
+        // OS reads and writes normal task data.
+        assert!(m.mpu().check_access(0x410, 0x5300, AccessKind::Write).is_allowed());
+        // Another task does not.
+        assert!(!m.mpu().check_access(0x9000, 0x5300, AccessKind::Read).is_allowed());
+    }
+
+    #[test]
+    fn cycles_are_charged_and_decomposed() {
+        let mut m = machine();
+        let before = m.cycles();
+        let rules = install_task_rules(
+            &mut m,
+            actors(),
+            Region::new(0x4000, 0x200),
+            0x4000,
+            Region::new(0x4200, 0x400),
+            TaskKind::Secure,
+        )
+        .unwrap();
+        assert_eq!(m.cycles() - before, rules.cycles);
+        // Primary rule (slot 1): Table 6 overall for an empty table.
+        assert_eq!(rules.primary_rule_cycles, 1125);
+        assert!(rules.cycles > rules.primary_rule_cycles);
+    }
+
+    #[test]
+    fn overlapping_task_rejected_and_rolled_back() {
+        let mut m = machine();
+        let a = install_task_rules(
+            &mut m,
+            actors(),
+            Region::new(0x4000, 0x200),
+            0x4000,
+            Region::new(0x4200, 0x400),
+            TaskKind::Secure,
+        )
+        .unwrap();
+        let used_before = m.mpu().used_slots();
+        // Partially overlapping data region.
+        let err = install_task_rules(
+            &mut m,
+            actors(),
+            Region::new(0x6000, 0x200),
+            0x6000,
+            Region::new(0x4300, 0x400),
+            TaskKind::Secure,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigureError::DataOverlap { .. }));
+        assert_eq!(m.mpu().used_slots(), used_before, "rollback complete");
+        let _ = a;
+    }
+
+    #[test]
+    fn unload_clears_all_task_slots() {
+        let mut m = machine();
+        let code = Region::new(0x4000, 0x200);
+        let data = Region::new(0x4200, 0x400);
+        install_task_rules(&mut m, actors(), code, 0x4000, data, TaskKind::Secure).unwrap();
+        assert_eq!(m.mpu().used_slots(), 3);
+        assert_eq!(remove_task_rules(m.mpu_mut(), code, data), 3);
+        assert_eq!(m.mpu().used_slots(), 0);
+        // Memory is open again.
+        assert!(m.mpu().check_access(0x410, 0x4300, AccessKind::Read).is_allowed());
+    }
+
+    #[test]
+    fn slot_exhaustion_rolls_back() {
+        let mut m = Machine::new(MachineConfig { mpu_slots: 2, ..MachineConfig::default() });
+        let err = install_task_rules(
+            &mut m,
+            actors(),
+            Region::new(0x4000, 0x200),
+            0x4000,
+            Region::new(0x4200, 0x400),
+            TaskKind::Secure,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigureError::NoFreeSlot);
+        assert_eq!(m.mpu().used_slots(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! TyTAN: a tiny trust anchor for tiny devices — full-system reproduction.
+//!
+//! This crate implements the security architecture of *TyTAN: Tiny Trust
+//! Anchor for Tiny Devices* (Brasser et al., DAC 2015) on the simulated
+//! Siskiyou-Peak-like platform of the companion crates. TyTAN provides,
+//! for low-end embedded systems:
+//!
+//! 1. a **hardware-assisted dynamic root of trust** with secure task
+//!    loading at runtime ([`loader`], [`rtm`]),
+//! 2. **secure inter-process communication** with sender and receiver
+//!    authentication ([`platform`]'s IPC proxy, [`toolchain::mailbox`]),
+//! 3. **local and remote attestation** ([`attest`]), and
+//! 4. **real-time guarantees**: every trusted component is interruptible
+//!    or bounded (the interruptible [`loader::LoadJob`] and
+//!    [`rtm::MeasureJob`], the bounded [`eampu`] driver in [`driver`]).
+//!
+//! The entry point is [`platform::Platform`]: boot it, build tasks with
+//! [`toolchain::SecureTaskBuilder`], load them dynamically, and run.
+//!
+//! # Examples
+//!
+//! ```
+//! use tytan::platform::{Platform, PlatformConfig};
+//! use tytan::toolchain::SecureTaskBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut platform: Platform = Platform::boot(PlatformConfig::default())?;
+//! let task = SecureTaskBuilder::new(
+//!     "counter",
+//!     "main:\n movi r1, counter\n\
+//!      loop:\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n jmp loop\n",
+//! )
+//! .data("counter:\n .word 0\n")
+//! .build()?;
+//! let token = platform.begin_load(&task, 2);
+//! let (handle, id) = platform.wait_load(token, 50_000_000)?;
+//! platform.run_for(500_000)?;
+//!
+//! // The task ran in isolation and its identity is attested.
+//! assert!(platform.local_attest(id).is_some());
+//! # let _ = handle;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod allocator;
+pub mod attest;
+pub mod driver;
+pub mod footprint;
+pub mod loader;
+pub mod platform;
+pub mod rtm;
+pub mod storage;
+pub mod toolchain;
+pub mod usecase;
+
+pub use attest::{AttestationReport, RemoteAttestor, RemoteVerifier, VerifyError};
+pub use loader::{LoadError, LoadPhase, LoadReport};
+pub use platform::{LoadStatus, LoadToken, Platform, PlatformConfig, PlatformError};
+pub use rtm::{MeasurementRecord, Rtm};
+pub use storage::{SecureStorage, StorageError};
+pub use toolchain::{SecureTaskBuilder, TaskSource};

@@ -1,0 +1,414 @@
+//! The Root of Trust for Measurement (RTM) task.
+//!
+//! The RTM computes the hash digest of each created task — the task's
+//! identity `id_t` (§3) — and maintains the list of loaded tasks, their
+//! identities, and their memory locations (the list the IPC proxy consults
+//! to find a receiver, §4).
+//!
+//! Two properties drive the design:
+//!
+//! - **Interruptibility** (real time): measurement state is a resumable
+//!   [`MeasureJob`]; each [`MeasureJob::step`] hashes a bounded number of
+//!   64-byte blocks, so the RTM can be preempted between slices (Table 7's
+//!   per-block cost model).
+//! - **Position independence**: the loader relocates tasks, so the RTM
+//!   *reverts* the relocation of every site while hashing (§4), making
+//!   `id_t` independent of the load address.
+
+use eampu::Region;
+use rtos::TaskHandle;
+use sp_emu::{Fault, Machine};
+use std::collections::BTreeMap;
+use tytan_crypto::{Digest, TaskId};
+use tytan_image::TaskImage;
+
+/// One entry in the RTM's list of loaded tasks.
+#[derive(Debug, Clone)]
+pub struct MeasurementRecord {
+    /// The measured identity (truncated digest).
+    pub id: TaskId,
+    /// The full measurement digest.
+    pub digest: Vec<u8>,
+    /// The scheduler handle of the task.
+    pub handle: TaskHandle,
+    /// The task's load base.
+    pub base: u32,
+    /// Absolute address of the task's mailbox.
+    pub mailbox: u32,
+    /// The task's code region.
+    pub code: Region,
+    /// The task's data region.
+    pub data: Region,
+    /// Human-readable name (not part of the identity).
+    pub name: String,
+}
+
+/// The RTM's task list: identity → record.
+///
+/// The EA-MPU ensures only the RTM task can modify this list (§3); in the
+/// model that is enforced by ownership — only the platform's loader path
+/// holds a mutable borrow.
+#[derive(Debug, Default)]
+pub struct Rtm {
+    records: BTreeMap<TaskId, MeasurementRecord>,
+}
+
+impl Rtm {
+    /// Creates an empty task list.
+    pub fn new() -> Self {
+        Rtm::default()
+    }
+
+    /// Registers a measured task, replacing any record with the same id.
+    pub fn register(&mut self, record: MeasurementRecord) {
+        self.records.insert(record.id, record);
+    }
+
+    /// Looks a task up by identity (receiver lookup for the IPC proxy).
+    pub fn lookup(&self, id: TaskId) -> Option<&MeasurementRecord> {
+        self.records.get(&id)
+    }
+
+    /// Looks a task up by scheduler handle (sender identification).
+    pub fn lookup_by_handle(&self, handle: TaskHandle) -> Option<&MeasurementRecord> {
+        self.records.values().find(|r| r.handle == handle)
+    }
+
+    /// Removes a task's record on unload.
+    pub fn remove_by_handle(&mut self, handle: TaskHandle) -> Option<MeasurementRecord> {
+        let id = self.records.values().find(|r| r.handle == handle).map(|r| r.id)?;
+        self.records.remove(&id)
+    }
+
+    /// Iterates over all records.
+    pub fn records(&self) -> impl Iterator<Item = &MeasurementRecord> {
+        self.records.values()
+    }
+
+    /// Number of loaded, measured tasks.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no task is registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Progress of an interruptible measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureProgress {
+    /// More blocks remain; call [`MeasureJob::step`] again.
+    InProgress {
+        /// Bytes hashed so far.
+        hashed: u32,
+        /// Total bytes to hash.
+        total: u32,
+    },
+    /// Hashing finished; call [`MeasureJob::finish`].
+    Done,
+}
+
+/// A resumable measurement of a loaded task image.
+///
+/// The job hashes the canonical measurement input — the structural header
+/// followed by the loaded text+data read back from task memory with every
+/// relocation site reverted — block by block, charging the firmware cost
+/// model per block and per reverted site.
+#[derive(Debug, Clone)]
+pub struct MeasureJob<D: Digest> {
+    hasher: D,
+    base: u32,
+    load_base_for_revert: u32,
+    header: Vec<u8>,
+    header_fed: bool,
+    relocs: Vec<u32>,
+    loadable_len: u32,
+    offset: u32,
+    started: bool,
+    /// Number of times the job was resumed after yielding (diagnostics for
+    /// the Table 7 interruption discussion).
+    pub slices: u32,
+}
+
+impl<D: Digest> MeasureJob<D> {
+    /// Prepares a measurement of `image` loaded (and relocated) at `base`.
+    pub fn new(image: &TaskImage, base: u32) -> Self {
+        let mut relocs = image.relocs().to_vec();
+        relocs.sort_unstable();
+        MeasureJob {
+            hasher: D::new(),
+            base,
+            load_base_for_revert: base,
+            header: measurement_header(image),
+            header_fed: false,
+            relocs,
+            loadable_len: image.loadable_len(),
+            offset: 0,
+            started: false,
+            slices: 0,
+        }
+    }
+
+    /// Total bytes the job will hash.
+    pub fn total_len(&self) -> u32 {
+        self.header.len() as u32 + self.loadable_len
+    }
+
+    /// Hashes up to `max_blocks` 64-byte blocks, reading task memory as
+    /// `actor` (the RTM's code address) and charging the machine clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault if the RTM's EA-MPU rules do not grant it read
+    /// access to the task's memory.
+    pub fn step(
+        &mut self,
+        machine: &mut Machine,
+        actor: u32,
+        max_blocks: u32,
+    ) -> Result<MeasureProgress, Fault> {
+        let costs = machine.firmware_costs();
+        if !self.started {
+            self.started = true;
+            machine.tick(costs.measure_base);
+            // Table 7's constant revert-loop setup cost (~100 cycles) is
+            // paid even when no site needs reverting.
+            machine.tick(costs.measure_revert_base);
+        }
+        if !self.header_fed {
+            // Hashing the 24-byte structural header is part of the fixed
+            // measure_base cost (Table 7's 4,300-cycle constant).
+            self.hasher.update(&self.header.clone());
+            self.header_fed = true;
+        }
+        self.slices += 1;
+
+        for _ in 0..max_blocks {
+            if self.offset >= self.loadable_len {
+                return Ok(MeasureProgress::Done);
+            }
+            let len = 64.min(self.loadable_len - self.offset);
+            let mut block = Vec::with_capacity(len as usize);
+            let mut addr = self.base + self.offset;
+            let end = addr + len;
+            while addr < end {
+                let word = machine.checked_read_word(actor, addr)?;
+                let take = (end - addr).min(4);
+                block.extend_from_slice(&word.to_le_bytes()[..take as usize]);
+                addr += take;
+            }
+            // Revert relocation sites intersecting this block so the
+            // measurement is position independent (§4).
+            let block_start = self.offset;
+            for &site in &self.relocs {
+                if site + 4 > block_start && site < block_start + len {
+                    revert_site_in_block(
+                        &mut block,
+                        block_start,
+                        site,
+                        self.load_base_for_revert,
+                        machine,
+                        actor,
+                        self.base,
+                    )?;
+                    machine.tick(costs.measure_per_revert);
+                }
+            }
+            self.hasher.update(&block);
+            self.offset += len;
+            machine.tick(costs.measure_per_block);
+        }
+        if self.offset >= self.loadable_len {
+            Ok(MeasureProgress::Done)
+        } else {
+            Ok(MeasureProgress::InProgress {
+                hashed: self.header.len() as u32 + self.offset,
+                total: self.total_len(),
+            })
+        }
+    }
+
+    /// Finalizes the digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if hashing has not reached [`MeasureProgress::Done`].
+    pub fn finish(self) -> Vec<u8> {
+        assert!(
+            self.offset >= self.loadable_len && self.header_fed,
+            "measurement not complete"
+        );
+        self.hasher.finalize()
+    }
+}
+
+/// The structural header the RTM prepends (matches
+/// [`TaskImage::measurement_bytes`]).
+fn measurement_header(image: &TaskImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    out.extend_from_slice(&(image.is_secure() as u32).to_le_bytes());
+    out.extend_from_slice(&image.entry_offset().to_le_bytes());
+    out.extend_from_slice(&(image.text().len() as u32).to_le_bytes());
+    out.extend_from_slice(&(image.data().len() as u32).to_le_bytes());
+    out.extend_from_slice(&image.bss_len().to_le_bytes());
+    out.extend_from_slice(&image.stack_len().to_le_bytes());
+    out
+}
+
+/// Reverts one relocation site within an in-flight block buffer. The site
+/// may straddle the block boundary, in which case the full word is
+/// re-read from memory, reverted, and the in-block bytes patched.
+#[allow(clippy::too_many_arguments)]
+fn revert_site_in_block(
+    block: &mut [u8],
+    block_start: u32,
+    site: u32,
+    load_base: u32,
+    machine: &mut Machine,
+    actor: u32,
+    task_base: u32,
+) -> Result<(), Fault> {
+    let relocated = machine.checked_read_word(actor, task_base + site)?;
+    let reverted = relocated.wrapping_sub(load_base).to_le_bytes();
+    for (i, byte) in reverted.iter().enumerate() {
+        let abs = site + i as u32;
+        if abs >= block_start && abs < block_start + block.len() as u32 {
+            block[(abs - block_start) as usize] = *byte;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toolchain::SecureTaskBuilder;
+    use eampu::Region;
+    use sp_emu::MachineConfig;
+    use tytan_crypto::{Sha1, Sha256};
+    use tytan_image::apply_relocations;
+
+    fn loaded_machine(image: &TaskImage, base: u32) -> Machine {
+        let mut machine = Machine::new(MachineConfig::default());
+        let mut bytes = image.loadable_bytes();
+        apply_relocations(&mut bytes, image.relocs(), base);
+        machine.load_image(base, &bytes).unwrap();
+        machine
+    }
+
+    fn sample_image() -> TaskImage {
+        SecureTaskBuilder::new(
+            "t",
+            "main:\n movi r1, __mailbox\n movi r2, main\nspin:\n jmp spin\n",
+        )
+        .build()
+        .unwrap()
+        .image
+    }
+
+    fn measure_all<D: Digest>(image: &TaskImage, base: u32, per_slice: u32) -> (Vec<u8>, u32) {
+        let mut machine = loaded_machine(image, base);
+        let mut job = MeasureJob::<D>::new(image, base);
+        loop {
+            match job.step(&mut machine, 0, per_slice).unwrap() {
+                MeasureProgress::Done => break,
+                MeasureProgress::InProgress { .. } => {}
+            }
+        }
+        let slices = job.slices;
+        (job.finish(), slices)
+    }
+
+    #[test]
+    fn measurement_matches_canonical_image_bytes() {
+        let image = sample_image();
+        let (digest, _) = measure_all::<Sha1>(&image, 0x4000, 64);
+        assert_eq!(digest, Sha1::digest(&image.measurement_bytes()));
+    }
+
+    #[test]
+    fn measurement_is_position_independent() {
+        let image = sample_image();
+        let (at_a, _) = measure_all::<Sha1>(&image, 0x4000, 64);
+        let (at_b, _) = measure_all::<Sha1>(&image, 0x9a00, 64);
+        assert_eq!(at_a, at_b);
+    }
+
+    #[test]
+    fn sliced_measurement_equals_monolithic() {
+        let image = sample_image();
+        let (mono, mono_slices) = measure_all::<Sha1>(&image, 0x4000, 1024);
+        let (sliced, slices) = measure_all::<Sha1>(&image, 0x4000, 1);
+        assert_eq!(mono, sliced);
+        assert!(slices > mono_slices, "one-block slices resume many times");
+    }
+
+    #[test]
+    fn tampered_code_changes_identity() {
+        let image = sample_image();
+        let base = 0x4000;
+        let mut machine = loaded_machine(&image, base);
+        // Flip one instruction byte after loading.
+        let original = machine.read_word(base + 8).unwrap();
+        machine.write_word(base + 8, original ^ 1).unwrap();
+        let mut job = MeasureJob::<Sha1>::new(&image, base);
+        while job.step(&mut machine, 0, 64).unwrap() != MeasureProgress::Done {}
+        assert_ne!(job.finish(), Sha1::digest(&image.measurement_bytes()));
+    }
+
+    #[test]
+    fn digest_is_pluggable_per_paper_footnote() {
+        let image = sample_image();
+        let (sha1, _) = measure_all::<Sha1>(&image, 0x4000, 64);
+        let (sha256, _) = measure_all::<Sha256>(&image, 0x4000, 64);
+        assert_eq!(sha1.len(), 20);
+        assert_eq!(sha256.len(), 32);
+        assert_eq!(sha256, Sha256::digest(&image.measurement_bytes()));
+    }
+
+    #[test]
+    fn measurement_charges_per_block_costs() {
+        let image = sample_image();
+        let base = 0x4000;
+        let mut machine = loaded_machine(&image, base);
+        let start = machine.cycles();
+        let mut job = MeasureJob::<Sha1>::new(&image, base);
+        while job.step(&mut machine, 0, 64).unwrap() != MeasureProgress::Done {}
+        let elapsed = machine.cycles() - start;
+        let costs = machine.firmware_costs();
+        // Per-block charges cover the loadable bytes; the 24-byte header
+        // is inside the fixed base cost.
+        let blocks = u64::from(image.loadable_len().div_ceil(64));
+        let reverts = image.reloc_count() as u64;
+        let expected_min = costs.measure_base + blocks * costs.measure_per_block
+            + reverts * costs.measure_per_revert;
+        assert!(elapsed >= expected_min, "elapsed {elapsed} >= {expected_min}");
+    }
+
+    #[test]
+    fn rtm_list_operations() {
+        let mut rtm = Rtm::new();
+        assert!(rtm.is_empty());
+        let record = MeasurementRecord {
+            id: TaskId::from_u64(7),
+            digest: vec![0; 20],
+            handle: TaskHandle::from_index(3),
+            base: 0x4000,
+            mailbox: 0x4100,
+            code: Region::new(0x4000, 0x100),
+            data: Region::new(0x4100, 0x100),
+            name: "t".into(),
+        };
+        rtm.register(record.clone());
+        assert_eq!(rtm.len(), 1);
+        assert_eq!(rtm.lookup(TaskId::from_u64(7)).unwrap().base, 0x4000);
+        assert_eq!(rtm.lookup_by_handle(TaskHandle::from_index(3)).unwrap().name, "t");
+        assert!(rtm.lookup(TaskId::from_u64(8)).is_none());
+        let removed = rtm.remove_by_handle(TaskHandle::from_index(3)).unwrap();
+        assert_eq!(removed.id, TaskId::from_u64(7));
+        assert!(rtm.is_empty());
+        assert!(rtm.remove_by_handle(TaskHandle::from_index(3)).is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! The secure-storage task.
+//!
+//! "Secure storage is realized as a secure task. For each task a task key
+//! `K_t = HMAC(id_t | K_p)` is generated which is bound to the task
+//! identity and the platform. … a task that tries to access data stored
+//! before will only succeed if it has the same `id_t` as the task that
+//! stored the data" (§3).
+//!
+//! Access control is therefore *cryptographic*, not list-based: blobs are
+//! stored by name in an open directory, sealed under the depositor's
+//! `K_t`; a caller with a different identity can fetch the blob but cannot
+//! unseal it. Because `id_t` is the measurement digest, an updated or
+//! tampered task binary is automatically a different principal.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tytan_crypto::{PlatformKey, SealedBlob, SealingCipher, TaskId, UnsealError};
+
+/// Errors from secure-storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No blob is stored under that name.
+    NotFound,
+    /// The blob exists but the caller's task key cannot unseal it: the
+    /// caller's identity differs from the depositor's.
+    AccessDenied,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound => write!(f, "no blob stored under this name"),
+            StorageError::AccessDenied => {
+                write!(f, "caller identity cannot unseal this blob")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// The secure-storage service state.
+///
+/// # Examples
+///
+/// ```
+/// use tytan::storage::SecureStorage;
+/// use tytan_crypto::{PlatformKey, TaskId};
+///
+/// # fn main() -> Result<(), tytan::storage::StorageError> {
+/// let mut storage = SecureStorage::new(PlatformKey::from_bytes([1; 20]));
+/// let me = TaskId::from_u64(0xaaaa);
+/// let other = TaskId::from_u64(0xbbbb);
+///
+/// storage.store(me, "config", b"v=1");
+/// assert_eq!(storage.retrieve(me, "config")?, b"v=1");
+/// assert!(storage.retrieve(other, "config").is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SecureStorage {
+    platform_key: PlatformKey,
+    blobs: BTreeMap<String, SealedBlob>,
+    seal_counter: u64,
+}
+
+impl SecureStorage {
+    /// Creates the storage service bound to the platform key.
+    pub fn new(platform_key: PlatformKey) -> Self {
+        SecureStorage { platform_key, blobs: BTreeMap::new(), seal_counter: 0 }
+    }
+
+    fn cipher_for(&self, caller: TaskId) -> SealingCipher {
+        SealingCipher::new(self.platform_key.derive_task_key(&caller.to_bytes()))
+    }
+
+    /// Seals `data` under the caller's task key and stores it as `name`,
+    /// replacing any previous blob with that name.
+    pub fn store(&mut self, caller: TaskId, name: &str, data: &[u8]) {
+        self.seal_counter += 1;
+        let blob = self.cipher_for(caller).seal(data, self.seal_counter);
+        self.blobs.insert(name.to_string(), blob);
+    }
+
+    /// Retrieves and unseals the blob stored as `name` with the caller's
+    /// task key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] if no blob exists, or
+    /// [`StorageError::AccessDenied`] if the caller's identity cannot
+    /// unseal it.
+    pub fn retrieve(&self, caller: TaskId, name: &str) -> Result<Vec<u8>, StorageError> {
+        let blob = self.blobs.get(name).ok_or(StorageError::NotFound)?;
+        self.cipher_for(caller)
+            .unseal(blob)
+            .map_err(|UnsealError::TagMismatch| StorageError::AccessDenied)
+    }
+
+    /// Deletes the blob stored as `name` if the caller can unseal it
+    /// (only the owning identity may delete).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] or [`StorageError::AccessDenied`].
+    pub fn delete(&mut self, caller: TaskId, name: &str) -> Result<(), StorageError> {
+        self.retrieve(caller, name)?;
+        self.blobs.remove(name);
+        Ok(())
+    }
+
+    /// Re-seals the blob stored as `name` from one identity to another —
+    /// the storage-migration half of a task *update*: the storage task
+    /// (which holds `K_p`) unseals with the old task key and seals with
+    /// the new one, so the updated binary inherits its predecessor's
+    /// state. The caller (the platform's update path) is responsible for
+    /// authorising the migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] or, if `from` is not the
+    /// current owner, [`StorageError::AccessDenied`].
+    pub fn reseal(&mut self, name: &str, from: TaskId, to: TaskId) -> Result<(), StorageError> {
+        let plaintext = self.retrieve(from, name)?;
+        self.store(to, name, &plaintext);
+        Ok(())
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// The stored blob names (the directory is public; contents are not).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.blobs.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storage() -> SecureStorage {
+        SecureStorage::new(PlatformKey::from_bytes([5u8; 20]))
+    }
+
+    const ME: TaskId = TaskId::from_u64(0x1111_2222_3333_4444);
+    const OTHER: TaskId = TaskId::from_u64(0x5555_6666_7777_8888);
+
+    #[test]
+    fn store_retrieve_roundtrip() {
+        let mut s = storage();
+        s.store(ME, "state", b"hello");
+        assert_eq!(s.retrieve(ME, "state").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn different_identity_denied() {
+        let mut s = storage();
+        s.store(ME, "state", b"secret");
+        assert_eq!(s.retrieve(OTHER, "state"), Err(StorageError::AccessDenied));
+    }
+
+    #[test]
+    fn same_identity_across_reload_succeeds() {
+        // Two storage interactions with the same id (same binary reloaded)
+        // share the task key.
+        let mut s = storage();
+        s.store(ME, "cal", b"table");
+        let same_binary_reloaded = TaskId::from_u64(ME.as_u64());
+        assert_eq!(s.retrieve(same_binary_reloaded, "cal").unwrap(), b"table");
+    }
+
+    #[test]
+    fn missing_name_not_found() {
+        let s = storage();
+        assert_eq!(s.retrieve(ME, "nope"), Err(StorageError::NotFound));
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let mut s = storage();
+        s.store(ME, "k", b"v1");
+        s.store(ME, "k", b"v2");
+        assert_eq!(s.retrieve(ME, "k").unwrap(), b"v2");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_by_other_identity_locks_out_original() {
+        // The directory is open: another task may overwrite a name — but
+        // it cannot *read* the original, and after overwriting the
+        // original owner is locked out (availability, not secrecy, is the
+        // limit of the scheme; matches the paper's model).
+        let mut s = storage();
+        s.store(ME, "k", b"mine");
+        s.store(OTHER, "k", b"theirs");
+        assert_eq!(s.retrieve(ME, "k"), Err(StorageError::AccessDenied));
+        assert_eq!(s.retrieve(OTHER, "k").unwrap(), b"theirs");
+    }
+
+    #[test]
+    fn delete_requires_ownership() {
+        let mut s = storage();
+        s.store(ME, "k", b"v");
+        assert_eq!(s.delete(OTHER, "k"), Err(StorageError::AccessDenied));
+        assert_eq!(s.delete(ME, "k"), Ok(()));
+        assert!(s.is_empty());
+        assert_eq!(s.delete(ME, "k"), Err(StorageError::NotFound));
+    }
+
+    #[test]
+    fn different_platforms_isolate_blobs() {
+        let mut a = SecureStorage::new(PlatformKey::from_bytes([1u8; 20]));
+        let b = SecureStorage::new(PlatformKey::from_bytes([2u8; 20]));
+        a.store(ME, "k", b"v");
+        // Simulate moving the sealed blob to another device: same id,
+        // different platform key.
+        let blob = a.blobs.get("k").unwrap().clone();
+        let mut b = b;
+        b.blobs.insert("k".into(), blob);
+        assert_eq!(b.retrieve(ME, "k"), Err(StorageError::AccessDenied));
+    }
+
+    #[test]
+    fn names_are_public() {
+        let mut s = storage();
+        s.store(ME, "a", b"1");
+        s.store(OTHER, "b", b"2");
+        let names: Vec<&str> = s.names().collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,393 @@
+//! The TyTAN tool chain: builds task images with the standard entry routine.
+//!
+//! Secure tasks "can be invoked only with a dedicated entry routine. …
+//! Since the entry routine is similar for all secure tasks, it is
+//! automatically included by the TyTAN tool chain and does not need to be
+//! implemented by the task programmer" (§4). [`SecureTaskBuilder`] is that
+//! tool chain: it wraps the task developer's SP32 body with
+//!
+//! - the entry routine, which checks the invocation reason delivered in
+//!   `r0` ([`rtos::kernel::entry_reason`]) and either starts `main`,
+//!   restores the interrupted context from the task's own stack, or
+//!   branches to the developer's `on_message` handler; and
+//! - the task **mailbox**: a 64-byte slot in the task's data section where
+//!   the IPC proxy deposits incoming messages and the authenticated sender
+//!   identity (§4's "writes m and idS to the memory of R").
+//!
+//! The body may reference the `__mailbox` label and the `SYS_*`/vector
+//! constants the template provides.
+//!
+//! # Examples
+//!
+//! ```
+//! use tytan::toolchain::SecureTaskBuilder;
+//!
+//! # fn main() -> Result<(), tytan::toolchain::BuildError> {
+//! let source = SecureTaskBuilder::new(
+//!     "sensor",
+//!     "main:\n movi r1, 0\nloop:\n addi r1, 1\n jmp loop\n",
+//! )
+//! .stack_len(256)
+//! .build()?;
+//! assert!(source.image.is_secure());
+//! assert_eq!(source.image.entry_offset(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use rtos::layout;
+use sp32::asm::{assemble, AssembleError, Program};
+use std::fmt;
+use tytan_image::{ImageError, TaskImage};
+
+/// Byte size of a task mailbox.
+pub const MAILBOX_LEN: u32 = 64;
+
+/// Word offsets inside a task mailbox.
+pub mod mailbox {
+    /// 0 = empty, 1 = a message is pending.
+    pub const FLAG: u32 = 0;
+    /// High word of the authenticated sender identity `id_S`.
+    pub const SENDER_HI: u32 = 4;
+    /// Low word of the authenticated sender identity `id_S`.
+    pub const SENDER_LO: u32 = 8;
+    /// Payload length in bytes (≤ 12 for register transport).
+    pub const LEN: u32 = 12;
+    /// First payload word (three words follow).
+    pub const PAYLOAD: u32 = 16;
+}
+
+/// Errors from the task tool chain.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The body failed to assemble (line numbers refer to the *combined*
+    /// template + body source).
+    Assemble(AssembleError),
+    /// The body defines no `main` label.
+    NoMain,
+    /// `handles_messages` was requested but the body defines no
+    /// `on_message` label.
+    NoOnMessage,
+    /// The assembled image failed validation.
+    Image(ImageError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Assemble(e) => write!(f, "assembly failed: {e}"),
+            BuildError::NoMain => write!(f, "task body defines no `main` label"),
+            BuildError::NoOnMessage => {
+                write!(f, "handles_messages set but body defines no `on_message` label")
+            }
+            BuildError::Image(e) => write!(f, "image validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<AssembleError> for BuildError {
+    fn from(e: AssembleError) -> Self {
+        BuildError::Assemble(e)
+    }
+}
+
+impl From<ImageError> for BuildError {
+    fn from(e: ImageError) -> Self {
+        BuildError::Image(e)
+    }
+}
+
+/// A built task: the loadable image plus tool-chain metadata.
+#[derive(Debug, Clone)]
+pub struct TaskSource {
+    /// The relocatable image the loader consumes.
+    pub image: TaskImage,
+    /// Offset of the mailbox from the task's load base.
+    pub mailbox_offset: u32,
+    /// The assembled program (symbols are offsets from the load base).
+    pub program: Program,
+}
+
+impl TaskSource {
+    /// Offset of a label from the task's load base.
+    pub fn symbol_offset(&self, label: &str) -> Option<u32> {
+        self.program.symbol(label)
+    }
+}
+
+/// Builder for secure tasks (entry routine + mailbox included).
+#[derive(Debug, Clone)]
+pub struct SecureTaskBuilder {
+    name: String,
+    body: String,
+    data: String,
+    stack_len: u32,
+    handles_messages: bool,
+}
+
+impl SecureTaskBuilder {
+    /// Starts a build for a task named `name` with the given SP32 body.
+    ///
+    /// The body must define `main:`; it may define `on_message:` (see
+    /// [`SecureTaskBuilder::handles_messages`]).
+    pub fn new(name: impl Into<String>, body: impl Into<String>) -> Self {
+        SecureTaskBuilder {
+            name: name.into(),
+            body: body.into(),
+            data: String::new(),
+            stack_len: 512,
+            handles_messages: false,
+        }
+    }
+
+    /// Appends assembly directives (labels, `.word`, `.space`) to the
+    /// task's *writable data section*. Code may reference these labels;
+    /// mutable task state must live here — the text section is immutable
+    /// under the EA-MPU (code integrity).
+    pub fn data(mut self, data: impl Into<String>) -> Self {
+        self.data = data.into();
+        self
+    }
+
+    /// Sets the stack size in bytes (default 512).
+    pub fn stack_len(mut self, len: u32) -> Self {
+        self.stack_len = len;
+        self
+    }
+
+    /// Declares that the body defines `on_message:`, making the entry
+    /// routine branch there on IPC delivery. Without this, message
+    /// invocations restart `main`.
+    pub fn handles_messages(mut self, yes: bool) -> Self {
+        self.handles_messages = yes;
+        self
+    }
+
+    /// Assembles the template + body into a secure [`TaskSource`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NoMain`], [`BuildError::NoOnMessage`],
+    /// assembly errors, or image validation errors.
+    pub fn build(self) -> Result<TaskSource, BuildError> {
+        if !self.handles_messages && self.body.contains("on_message:") {
+            // Allowed, just unused; no error.
+        }
+        let msg_target = if self.handles_messages { "on_message" } else { "main" };
+        let source = format!(
+            ".equ SYS_VECTOR, {sys:#x}\n\
+             .equ IPC_VECTOR, {ipc:#x}\n\
+             .equ SYS_YIELD, 0\n\
+             .equ SYS_DELAY, 1\n\
+             .equ SYS_SUSPEND, 2\n\
+             __entry:\n\
+             \x20cmpi r0, 1\n\
+             \x20jz __restore\n\
+             \x20cmpi r0, 2\n\
+             \x20jz __msg\n\
+             \x20sti\n\
+             \x20jmp main\n\
+             __restore:\n\
+             \x20pop r6\n\
+             \x20pop r5\n\
+             \x20pop r4\n\
+             \x20pop r3\n\
+             \x20pop r2\n\
+             \x20pop r1\n\
+             \x20pop r0\n\
+             \x20iret\n\
+             __msg:\n\
+             \x20sti\n\
+             \x20jmp {msg_target}\n\
+             {body}\n\
+             .align 4\n\
+             __mailbox:\n\
+             \x20.space {mailbox_len}\n\
+             {data}\n",
+            sys = layout::SYSCALL_VECTOR,
+            ipc = layout::IPC_VECTOR,
+            body = self.body,
+            mailbox_len = MAILBOX_LEN,
+            data = self.data,
+        );
+        let program = match assemble(&source, 0) {
+            Ok(program) => program,
+            // The template references `main` (and possibly `on_message`);
+            // report their absence as the dedicated error.
+            Err(e) if e.message.contains("undefined symbol `main`") => {
+                return Err(BuildError::NoMain)
+            }
+            Err(e) if e.message.contains("undefined symbol `on_message`") => {
+                return Err(BuildError::NoOnMessage)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mailbox_offset =
+            program.symbol("__mailbox").expect("template defines __mailbox");
+
+        // Split: everything before the mailbox is immutable text; the
+        // mailbox and the user data section are writable data.
+        let text = program.bytes[..mailbox_offset as usize].to_vec();
+        let mut data = program.bytes[mailbox_offset as usize..].to_vec();
+        while data.len() % 4 != 0 {
+            data.push(0);
+        }
+        let image = TaskImage::new(
+            self.name,
+            true,
+            0,
+            text,
+            data,
+            0,
+            self.stack_len,
+            program.reloc_sites.clone(),
+        )?;
+        Ok(TaskSource { image, mailbox_offset, program })
+    }
+}
+
+/// Builds a *normal* task (no entry routine or mailbox; the OS prepares
+/// and restores its context directly).
+///
+/// The body must define `main:`, which becomes the image entry point.
+///
+/// # Errors
+///
+/// Returns [`BuildError::NoMain`], assembly or image validation errors.
+pub fn build_normal_task(
+    name: impl Into<String>,
+    body: &str,
+    data: &str,
+    stack_len: u32,
+) -> Result<TaskSource, BuildError> {
+    let source = format!(
+        ".equ SYS_VECTOR, {sys:#x}\n\
+         .equ SYS_YIELD, 0\n\
+         .equ SYS_DELAY, 1\n\
+         .equ SYS_SUSPEND, 2\n\
+         {body}\n\
+         .align 4\n\
+         __data:\n\
+         {data}\n",
+        sys = layout::SYSCALL_VECTOR,
+    );
+    let program = assemble(&source, 0)?;
+    let entry = program.symbol("main").ok_or(BuildError::NoMain)?;
+    let split = program.symbol("__data").expect("template defines __data");
+    let text = program.bytes[..split as usize].to_vec();
+    let mut data_bytes = program.bytes[split as usize..].to_vec();
+    while data_bytes.len() % 4 != 0 {
+        data_bytes.push(0);
+    }
+    let image = TaskImage::new(
+        name,
+        false,
+        entry,
+        text,
+        data_bytes,
+        0,
+        stack_len,
+        program.reloc_sites.clone(),
+    )?;
+    Ok(TaskSource { image, mailbox_offset: 0, program })
+}
+
+/// Renders a peer's [`tytan_crypto::TaskId`] as `.equ` constants
+/// (`<prefix>_HI` / `<prefix>_LO`) for embedding in a sender's body —
+/// "provisioning S with idR is left to the task developer" (§3 fn. 3).
+pub fn task_id_equs(prefix: &str, id: tytan_crypto::TaskId) -> String {
+    let (hi, lo) = id.to_register_words();
+    format!(".equ {prefix}_HI, {hi:#010x}\n.equ {prefix}_LO, {lo:#010x}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytan_crypto::TaskId;
+
+    const BODY: &str = "main:\n movi r1, 1\nspin:\n jmp spin\n";
+
+    #[test]
+    fn builds_secure_task_with_entry_at_zero() {
+        let source = SecureTaskBuilder::new("t", BODY).build().unwrap();
+        assert!(source.image.is_secure());
+        assert_eq!(source.image.entry_offset(), 0);
+        // main lies after the entry routine.
+        assert!(source.symbol_offset("main").unwrap() > 0);
+    }
+
+    #[test]
+    fn mailbox_sits_at_start_of_data_section() {
+        let source = SecureTaskBuilder::new("t", BODY).build().unwrap();
+        assert_eq!(source.mailbox_offset, source.image.text().len() as u32);
+        assert_eq!(source.image.data().len() as u32, MAILBOX_LEN);
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let err = SecureTaskBuilder::new("t", "start:\n hlt\n").build().unwrap_err();
+        assert!(matches!(err, BuildError::NoMain));
+    }
+
+    #[test]
+    fn handles_messages_requires_on_message() {
+        let err = SecureTaskBuilder::new("t", BODY)
+            .handles_messages(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::NoOnMessage));
+
+        let body = format!("{BODY}on_message:\n jmp main\n");
+        let source = SecureTaskBuilder::new("t", body)
+            .handles_messages(true)
+            .build()
+            .unwrap();
+        assert!(source.symbol_offset("on_message").is_some());
+    }
+
+    #[test]
+    fn body_can_reference_mailbox_label() {
+        let body = "main:\n movi r1, __mailbox\n ldw r2, [r1]\n jmp main\n";
+        let source = SecureTaskBuilder::new("t", body).build().unwrap();
+        // The mailbox reference is a relocation site.
+        assert!(source.image.reloc_count() >= 1);
+    }
+
+    #[test]
+    fn identical_bodies_produce_identical_measurements() {
+        let a = SecureTaskBuilder::new("a", BODY).build().unwrap();
+        let b = SecureTaskBuilder::new("b", BODY).build().unwrap();
+        // Names differ but measurements match (name excluded).
+        assert_eq!(a.image.measurement_bytes(), b.image.measurement_bytes());
+    }
+
+    #[test]
+    fn different_stack_sizes_change_identity() {
+        let a = SecureTaskBuilder::new("t", BODY).stack_len(256).build().unwrap();
+        let b = SecureTaskBuilder::new("t", BODY).stack_len(512).build().unwrap();
+        assert_ne!(a.image.measurement_bytes(), b.image.measurement_bytes());
+    }
+
+    #[test]
+    fn normal_task_entry_is_main() {
+        let source = build_normal_task("n", BODY, "", 128).unwrap();
+        assert!(!source.image.is_secure());
+        assert_eq!(source.image.entry_offset(), source.symbol_offset("main").unwrap());
+    }
+
+    #[test]
+    fn task_id_equs_render() {
+        let id = TaskId::from_u64(0xdead_beef_0000_0042);
+        let equs = task_id_equs("PEER", id);
+        assert!(equs.contains(".equ PEER_HI, 0xdeadbeef"));
+        assert!(equs.contains(".equ PEER_LO, 0x00000042"));
+    }
+
+    #[test]
+    fn syscall_constants_usable_in_body() {
+        let body = "main:\n movi r1, SYS_DELAY\n movi r2, 5\n int SYS_VECTOR\n jmp main\n";
+        assert!(SecureTaskBuilder::new("t", body).build().is_ok());
+    }
+}

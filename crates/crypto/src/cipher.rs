@@ -1,0 +1,259 @@
+//! Authenticated sealing cipher for the secure-storage task.
+//!
+//! The paper's secure storage encrypts all data a task deposits under the
+//! task key `K_t` (§3). The concrete cipher is unspecified; we use an
+//! HMAC-SHA1-based CTR keystream with an encrypt-then-MAC tag, built only
+//! from the primitives this crate already provides (no block cipher needed
+//! on the tiny platform).
+
+use crate::ct::ct_eq;
+use crate::hmac::hmac_sha1;
+use crate::kdf::SymmetricKey;
+use std::fmt;
+
+/// Length of the authentication tag in bytes.
+const TAG_LEN: usize = 20;
+/// Length of the nonce in bytes.
+const NONCE_LEN: usize = 8;
+
+/// A sealed (encrypted + authenticated) blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// Per-seal nonce (unique per key).
+    pub nonce: [u8; NONCE_LEN],
+    /// The ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// Encrypt-then-MAC tag over nonce and ciphertext.
+    pub tag: [u8; TAG_LEN],
+}
+
+impl SealedBlob {
+    /// Serializes the blob to bytes (`nonce || tag || ciphertext`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(NONCE_LEN + TAG_LEN + self.ciphertext.len());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.tag);
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses a blob serialized by [`SealedBlob::to_bytes`].
+    ///
+    /// Returns `None` if `bytes` is too short to contain nonce and tag.
+    pub fn from_bytes(bytes: &[u8]) -> Option<SealedBlob> {
+        if bytes.len() < NONCE_LEN + TAG_LEN {
+            return None;
+        }
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&bytes[..NONCE_LEN]);
+        let mut tag = [0u8; TAG_LEN];
+        tag.copy_from_slice(&bytes[NONCE_LEN..NONCE_LEN + TAG_LEN]);
+        Some(SealedBlob { nonce, ciphertext: bytes[NONCE_LEN + TAG_LEN..].to_vec(), tag })
+    }
+}
+
+/// Why unsealing failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsealError {
+    /// The authentication tag did not verify: wrong key (wrong task
+    /// identity) or tampered ciphertext.
+    TagMismatch,
+}
+
+impl fmt::Display for UnsealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsealError::TagMismatch => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for UnsealError {}
+
+/// HMAC-CTR sealing cipher bound to one task key.
+///
+/// # Examples
+///
+/// ```
+/// use tytan_crypto::{PlatformKey, SealingCipher};
+///
+/// # fn main() -> Result<(), tytan_crypto::UnsealError> {
+/// let kp = PlatformKey::from_bytes([9u8; 20]);
+/// let kt = kp.derive_task_key(&[0xaa; 8]);
+/// let cipher = SealingCipher::new(kt);
+///
+/// let sealed = cipher.seal(b"calibration table", 1);
+/// assert_eq!(cipher.unseal(&sealed)?, b"calibration table");
+///
+/// // A different task key (different id_t) cannot unseal.
+/// let other = SealingCipher::new(kp.derive_task_key(&[0xbb; 8]));
+/// assert!(other.unseal(&sealed).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SealingCipher {
+    key: SymmetricKey,
+}
+
+impl SealingCipher {
+    /// Creates a cipher bound to `key` (typically a task key `K_t`).
+    pub fn new(key: SymmetricKey) -> Self {
+        SealingCipher { key }
+    }
+
+    fn keystream_block(&self, nonce: &[u8; NONCE_LEN], counter: u64) -> Vec<u8> {
+        let mut input = [0u8; NONCE_LEN + 8];
+        input[..NONCE_LEN].copy_from_slice(nonce);
+        input[NONCE_LEN..].copy_from_slice(&counter.to_be_bytes());
+        hmac_sha1(self.key.as_bytes(), &input)
+    }
+
+    fn apply_keystream(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+        for (block_idx, chunk) in data.chunks_mut(TAG_LEN).enumerate() {
+            let ks = self.keystream_block(nonce, block_idx as u64);
+            for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+                *byte ^= k;
+            }
+        }
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut material = Vec::with_capacity(1 + NONCE_LEN + ciphertext.len());
+        material.push(b'T'); // domain separation from keystream input
+        material.extend_from_slice(nonce);
+        material.extend_from_slice(ciphertext);
+        let out = hmac_sha1(self.key.as_bytes(), &material);
+        let mut tag = [0u8; TAG_LEN];
+        tag.copy_from_slice(&out);
+        tag
+    }
+
+    /// Seals `plaintext` with a caller-supplied `seal_counter` as nonce.
+    ///
+    /// The secure-storage task maintains a monotonically increasing seal
+    /// counter per task so nonces never repeat under one key.
+    pub fn seal(&self, plaintext: &[u8], seal_counter: u64) -> SealedBlob {
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&seal_counter.to_be_bytes());
+        let mut ciphertext = plaintext.to_vec();
+        self.apply_keystream(&nonce, &mut ciphertext);
+        let tag = self.tag(&nonce, &ciphertext);
+        SealedBlob { nonce, ciphertext, tag }
+    }
+
+    /// Unseals a blob, verifying the tag before decrypting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsealError::TagMismatch`] if the tag does not verify —
+    /// wrong key or modified blob; nothing is decrypted in that case.
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, UnsealError> {
+        let expected = self.tag(&blob.nonce, &blob.ciphertext);
+        if !ct_eq(&expected, &blob.tag) {
+            return Err(UnsealError::TagMismatch);
+        }
+        let mut plaintext = blob.ciphertext.clone();
+        self.apply_keystream(&blob.nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdf::PlatformKey;
+    use proptest::prelude::*;
+
+    fn cipher(task_id: u8) -> SealingCipher {
+        let kp = PlatformKey::from_bytes([5u8; 20]);
+        SealingCipher::new(kp.derive_task_key(&[task_id; 8]))
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let c = cipher(1);
+        let sealed = c.seal(b"secret state", 42);
+        assert_eq!(c.unseal(&sealed).unwrap(), b"secret state");
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let c = cipher(1);
+        let sealed = c.seal(b"", 0);
+        assert_eq!(c.unseal(&sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sealed = cipher(1).seal(b"secret", 1);
+        assert_eq!(cipher(2).unseal(&sealed), Err(UnsealError::TagMismatch));
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let c = cipher(1);
+        let mut sealed = c.seal(b"secret", 1);
+        sealed.ciphertext[0] ^= 1;
+        assert_eq!(c.unseal(&sealed), Err(UnsealError::TagMismatch));
+    }
+
+    #[test]
+    fn tampered_nonce_rejected() {
+        let c = cipher(1);
+        let mut sealed = c.seal(b"secret", 1);
+        sealed.nonce[7] ^= 1;
+        assert_eq!(c.unseal(&sealed), Err(UnsealError::TagMismatch));
+    }
+
+    #[test]
+    fn different_counters_give_different_ciphertexts() {
+        let c = cipher(1);
+        let a = c.seal(b"same plaintext", 1);
+        let b = c.seal(b"same plaintext", 2);
+        assert_ne!(a.ciphertext, b.ciphertext);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let c = cipher(1);
+        let sealed = c.seal(b"persisted", 7);
+        let bytes = sealed.to_bytes();
+        let parsed = SealedBlob::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, sealed);
+        assert_eq!(c.unseal(&parsed).unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn short_serialization_rejected() {
+        assert_eq!(SealedBlob::from_bytes(&[0u8; 10]), None);
+        // Exactly nonce+tag is valid: empty ciphertext.
+        assert!(SealedBlob::from_bytes(&[0u8; 28]).is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256),
+                          counter in any::<u64>()) {
+            let c = cipher(3);
+            let sealed = c.seal(&data, counter);
+            prop_assert_eq!(c.unseal(&sealed).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_any_single_bitflip_detected(
+            data in proptest::collection::vec(any::<u8>(), 1..64),
+            counter in any::<u64>(),
+            flip_byte in any::<usize>(),
+            flip_bit in 0u8..8,
+        ) {
+            let c = cipher(3);
+            let sealed = c.seal(&data, counter);
+            let mut bytes = sealed.to_bytes();
+            let idx = flip_byte % bytes.len();
+            bytes[idx] ^= 1 << flip_bit;
+            let tampered = SealedBlob::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(c.unseal(&tampered), Err(UnsealError::TagMismatch));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Constant-time comparison.
+
+/// Compares two byte slices in constant time (for equal lengths).
+///
+/// Returns `false` immediately for mismatched lengths — the length of a MAC
+/// tag is public. For equal lengths the running time is independent of the
+/// position of the first differing byte, which prevents the byte-by-byte
+/// MAC-forgery oracle.
+///
+/// # Examples
+///
+/// ```
+/// use tytan_crypto::ct_eq;
+///
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tagg"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse without branching on the value.
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_slice_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                 b in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert_eq!(ct_eq(&a, &b), a == b);
+        }
+
+        #[test]
+        fn prop_reflexive(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert!(ct_eq(&a, &a));
+        }
+    }
+}

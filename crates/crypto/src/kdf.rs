@@ -1,0 +1,157 @@
+//! Key derivation from the hardware platform key.
+//!
+//! TyTAN's platform comes with a platform key `K_p` whose access is
+//! controlled by the EA-MPU; only trusted software components may read it,
+//! and all other keys are derived from it (§3): the remote-attestation key
+//! `K_a`, and per-task sealing keys `K_t = HMAC(id_t | K_p)`.
+
+use crate::hmac::{hmac_sha1, HmacKey};
+use std::fmt;
+
+/// Length in bytes of derived symmetric keys (HMAC-SHA1 output).
+pub const KEY_LEN: usize = 20;
+
+/// A derived symmetric key.
+///
+/// The inner bytes are deliberately private and excluded from `Debug`
+/// output; convert to an [`HmacKey`] for MAC operations.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SymmetricKey([u8; KEY_LEN]);
+
+impl SymmetricKey {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        SymmetricKey(bytes)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+
+    /// Converts into an [`HmacKey`] for signing.
+    pub fn to_hmac_key(&self) -> HmacKey {
+        HmacKey::new(self.0.to_vec())
+    }
+}
+
+impl fmt::Debug for SymmetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymmetricKey(redacted)")
+    }
+}
+
+/// The hardware platform key `K_p`.
+///
+/// On the real platform this lives in a fuse/ROM region readable only by
+/// trusted components through the EA-MPU; here it is a value the platform
+/// builder installs at boot. Every other key is derived from it with
+/// [`derive_key`] / [`PlatformKey::derive`].
+///
+/// # Examples
+///
+/// ```
+/// use tytan_crypto::PlatformKey;
+///
+/// let kp = PlatformKey::from_bytes([7u8; 20]);
+/// let ka = kp.derive(b"remote-attestation");
+/// let ka_again = kp.derive(b"remote-attestation");
+/// assert_eq!(ka, ka_again);
+/// assert_ne!(ka, kp.derive(b"secure-storage"));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct PlatformKey([u8; KEY_LEN]);
+
+impl PlatformKey {
+    /// Installs a platform key from raw bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        PlatformKey(bytes)
+    }
+
+    /// The raw key bytes (trusted components only; guarded by the EA-MPU in
+    /// the platform model).
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+
+    /// Derives a purpose-bound key: `HMAC(K_p, purpose)`.
+    pub fn derive(&self, purpose: &[u8]) -> SymmetricKey {
+        derive_key(self, purpose)
+    }
+
+    /// Derives the per-task sealing key `K_t = HMAC(id_t | K_p)` exactly as
+    /// §3 of the paper writes it: the task identity concatenated with the
+    /// platform key, hashed under HMAC keyed by `K_p`.
+    pub fn derive_task_key(&self, task_id: &[u8]) -> SymmetricKey {
+        let mut material = Vec::with_capacity(task_id.len() + KEY_LEN);
+        material.extend_from_slice(task_id);
+        material.extend_from_slice(&self.0);
+        let out = hmac_sha1(&self.0, &material);
+        let mut key = [0u8; KEY_LEN];
+        key.copy_from_slice(&out);
+        SymmetricKey(key)
+    }
+}
+
+impl fmt::Debug for PlatformKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PlatformKey(redacted)")
+    }
+}
+
+/// Derives a purpose-bound key from the platform key: `HMAC(K_p, purpose)`.
+pub fn derive_key(platform_key: &PlatformKey, purpose: &[u8]) -> SymmetricKey {
+    let out = hmac_sha1(platform_key.as_bytes(), purpose);
+    let mut key = [0u8; KEY_LEN];
+    key.copy_from_slice(&out);
+    SymmetricKey(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_purpose_separated() {
+        let kp = PlatformKey::from_bytes([1u8; 20]);
+        assert_eq!(kp.derive(b"a"), kp.derive(b"a"));
+        assert_ne!(kp.derive(b"a"), kp.derive(b"b"));
+    }
+
+    #[test]
+    fn different_platform_keys_derive_different_keys() {
+        let kp1 = PlatformKey::from_bytes([1u8; 20]);
+        let kp2 = PlatformKey::from_bytes([2u8; 20]);
+        assert_ne!(kp1.derive(b"a"), kp2.derive(b"a"));
+    }
+
+    #[test]
+    fn task_key_binds_identity_and_platform() {
+        let kp1 = PlatformKey::from_bytes([1u8; 20]);
+        let kp2 = PlatformKey::from_bytes([2u8; 20]);
+        let id_a = [0xaau8; 8];
+        let id_b = [0xbbu8; 8];
+        // Same task, same platform: stable.
+        assert_eq!(kp1.derive_task_key(&id_a), kp1.derive_task_key(&id_a));
+        // Different task identity: different key.
+        assert_ne!(kp1.derive_task_key(&id_a), kp1.derive_task_key(&id_b));
+        // Same task, different platform: different key.
+        assert_ne!(kp1.derive_task_key(&id_a), kp2.derive_task_key(&id_a));
+    }
+
+    #[test]
+    fn debug_never_leaks_key_bytes() {
+        let kp = PlatformKey::from_bytes([0x42u8; 20]);
+        let key = kp.derive(b"x");
+        assert!(!format!("{kp:?}").contains("42"));
+        assert!(format!("{key:?}").contains("redacted"));
+    }
+
+    #[test]
+    fn symmetric_key_to_hmac_key_roundtrip() {
+        let kp = PlatformKey::from_bytes([3u8; 20]);
+        let key = kp.derive(b"attest");
+        let hmac_key = key.to_hmac_key();
+        assert_eq!(hmac_key.as_bytes(), key.as_bytes());
+    }
+}

@@ -1,0 +1,111 @@
+//! Task identities derived from measurement digests.
+
+use std::fmt;
+
+/// A task identity `id_t`: the truncated measurement digest of the task.
+///
+/// The paper uses the hash digest of a task's binary as its identity (§3)
+/// and, for performance, truncates it to the first 64 bits when passing it
+/// through CPU registers for IPC (§6, footnote 9). `TaskId` is that 64-bit
+/// value; the full digest stays available from the RTM's measurement list.
+///
+/// # Examples
+///
+/// ```
+/// use tytan_crypto::{Digest, Sha1, TaskId};
+///
+/// let digest = Sha1::digest(b"task binary");
+/// let id = TaskId::from_digest(&digest);
+/// assert_eq!(TaskId::from_digest(&digest), id);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(u64);
+
+impl TaskId {
+    /// Builds an identity from the first 8 bytes of a measurement digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digest` is shorter than 8 bytes.
+    pub fn from_digest(digest: &[u8]) -> Self {
+        assert!(digest.len() >= 8, "digest too short for a 64-bit task id");
+        TaskId(u64::from_be_bytes(digest[..8].try_into().expect("8 bytes")))
+    }
+
+    /// Wraps a raw 64-bit identity (e.g. read back from CPU registers).
+    pub const fn from_u64(raw: u64) -> Self {
+        TaskId(raw)
+    }
+
+    /// The raw 64-bit value, as passed in CPU registers during IPC.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The identity split into the two 32-bit register words `(hi, lo)`.
+    pub fn to_register_words(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+
+    /// Reassembles an identity from two 32-bit register words.
+    pub fn from_register_words(hi: u32, lo: u32) -> Self {
+        TaskId(((hi as u64) << 32) | lo as u64)
+    }
+
+    /// The identity as big-endian bytes (for key derivation input).
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Digest, Sha1};
+
+    #[test]
+    fn truncation_takes_first_eight_bytes() {
+        let digest: Vec<u8> = (1..=20u8).collect();
+        let id = TaskId::from_digest(&digest);
+        assert_eq!(id.as_u64(), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn register_word_roundtrip() {
+        let id = TaskId::from_u64(0xdead_beef_cafe_f00d);
+        let (hi, lo) = id.to_register_words();
+        assert_eq!(hi, 0xdead_beef);
+        assert_eq!(lo, 0xcafe_f00d);
+        assert_eq!(TaskId::from_register_words(hi, lo), id);
+    }
+
+    #[test]
+    fn distinct_binaries_distinct_ids() {
+        let a = TaskId::from_digest(&Sha1::digest(b"task a"));
+        let b = TaskId::from_digest(&Sha1::digest(b"task b"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_digest_panics() {
+        let _ = TaskId::from_digest(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn display_is_16_hex_digits() {
+        assert_eq!(TaskId::from_u64(0xab).to_string(), "00000000000000ab");
+    }
+}

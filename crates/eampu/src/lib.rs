@@ -1,0 +1,588 @@
+//! Execution-aware memory protection unit (EA-MPU) model.
+//!
+//! The EA-MPU is the hardware trust anchor of TrustLite (EuroSys'14) and
+//! TyTAN (DAC 2015). Unlike a conventional MPU, its access-control rules are
+//! keyed on *which code* performs an access: a rule grants the code executing
+//! inside a code [`Region`] a set of [`Perms`] on a data [`Region`]. The unit
+//! additionally enforces that protected code regions are only entered at
+//! their dedicated entry point, which is the hardware half of TyTAN's
+//! defence against code-reuse attacks.
+//!
+//! TyTAN extends TrustLite's boot-time-static EA-MPU with *dynamic*
+//! configuration; [`EaMpu::configure`] reproduces the three phases the paper
+//! decomposes in Table 6 (find a free slot, policy-check the new rule
+//! against existing ones, write the rule) and reports the cycle cost of
+//! each phase so the EA-MPU driver can charge the platform clock.
+//!
+//! Access checks themselves are combinational logic in hardware and cost no
+//! cycles; [`EaMpu::check_access`] and [`EaMpu::check_transfer`] model only
+//! the decision.
+//!
+//! # Examples
+//!
+//! ```
+//! use eampu::{AccessKind, EaMpu, Perms, Region, Rule};
+//!
+//! # fn main() -> Result<(), eampu::ConfigureError> {
+//! let mut mpu = EaMpu::new(18);
+//! let task_code = Region::new(0x1000, 0x100);
+//! let task_data = Region::new(0x8000, 0x200);
+//! let rule = Rule::new(task_code, 0x1000, task_data, Perms::RW);
+//! let outcome = mpu.configure(rule)?;
+//! assert_eq!(outcome.slot, 0);
+//!
+//! // The task may access its own data...
+//! assert!(mpu.check_access(0x1010, 0x8004, AccessKind::Write).is_allowed());
+//! // ...but code outside the task's region may not.
+//! assert!(!mpu.check_access(0x4000, 0x8004, AccessKind::Read).is_allowed());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+mod perms;
+mod region;
+mod rule;
+
+pub use perms::{AccessKind, Perms};
+pub use region::Region;
+pub use rule::Rule;
+
+/// Cycle-cost constants for dynamic EA-MPU configuration.
+///
+/// Defaults are calibrated against Table 6 of the paper: finding the first
+/// free slot costs a constant plus a per-slot scan increment (76 cycles for
+/// slot 1, 95 for slot 2, 399 for slot 18 — i.e. `57 + 19·position`), the
+/// policy check against all existing rules costs a constant 824 cycles, and
+/// writing the rule costs 225 cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpuCosts {
+    /// Fixed part of the free-slot scan.
+    pub find_base: u64,
+    /// Per-examined-slot increment of the free-slot scan.
+    pub find_per_slot: u64,
+    /// Cost of checking the candidate rule against every configured rule.
+    pub policy_check: u64,
+    /// Cost of writing the rule into the slot registers.
+    pub write_rule: u64,
+}
+
+impl Default for MpuCosts {
+    fn default() -> Self {
+        MpuCosts { find_base: 57, find_per_slot: 19, policy_check: 824, write_rule: 225 }
+    }
+}
+
+/// The result of an access check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// The address is not inside any protected region; flat memory is open.
+    AllowedUnprotected,
+    /// A rule for the executing code region grants the access.
+    AllowedByRule {
+        /// Slot index of the granting rule.
+        slot: usize,
+    },
+    /// The address is protected and no rule grants the executing code access.
+    Denied,
+}
+
+impl AccessDecision {
+    /// Whether the access may proceed.
+    pub fn is_allowed(self) -> bool {
+        !matches!(self, AccessDecision::Denied)
+    }
+}
+
+/// The result of a control-transfer check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDecision {
+    /// Target is not in a protected code region, or stays within one.
+    Allowed,
+    /// Target enters a protected code region at its dedicated entry point.
+    AllowedAtEntry {
+        /// Slot index of the rule describing the entered region.
+        slot: usize,
+    },
+    /// Target enters a protected code region somewhere other than its entry.
+    DeniedMidRegion {
+        /// The region's dedicated entry point that should have been used.
+        expected_entry: u32,
+    },
+}
+
+impl TransferDecision {
+    /// Whether the transfer may proceed.
+    pub fn is_allowed(self) -> bool {
+        !matches!(self, TransferDecision::DeniedMidRegion { .. })
+    }
+}
+
+/// Why [`EaMpu::configure`] rejected a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigureError {
+    /// Every slot is occupied.
+    NoFreeSlot,
+    /// The new rule's data region partially overlaps the data region in
+    /// `conflicting_slot`. Exact aliases (identical regions, as used for IPC
+    /// shared memory) are permitted; partial overlaps never are.
+    DataOverlap {
+        /// The slot holding the conflicting rule.
+        conflicting_slot: usize,
+    },
+    /// The new rule's data region overlaps a protected code region: data
+    /// rules may never alias executable trusted code.
+    CodeOverlap {
+        /// The slot holding the conflicting rule.
+        conflicting_slot: usize,
+    },
+    /// The rule is malformed (empty code or data region).
+    EmptyRegion,
+}
+
+impl fmt::Display for ConfigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigureError::NoFreeSlot => write!(f, "no free EA-MPU slot"),
+            ConfigureError::DataOverlap { conflicting_slot } => {
+                write!(f, "data region partially overlaps rule in slot {conflicting_slot}")
+            }
+            ConfigureError::CodeOverlap { conflicting_slot } => {
+                write!(f, "data region overlaps protected code of rule in slot {conflicting_slot}")
+            }
+            ConfigureError::EmptyRegion => write!(f, "rule contains an empty region"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigureError {}
+
+/// Per-phase cycle cost of one dynamic configuration, per Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfigureCost {
+    /// Cycles spent scanning for a free slot.
+    pub find_slot: u64,
+    /// Cycles spent policy-checking the rule.
+    pub policy_check: u64,
+    /// Cycles spent writing the rule registers.
+    pub write_rule: u64,
+}
+
+impl ConfigureCost {
+    /// Total configuration cost in cycles.
+    pub fn total(self) -> u64 {
+        self.find_slot + self.policy_check + self.write_rule
+    }
+}
+
+/// Result of a successful [`EaMpu::configure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigureOutcome {
+    /// The slot the rule was written to.
+    pub slot: usize,
+    /// The cycle cost, decomposed per phase.
+    pub cost: ConfigureCost,
+}
+
+/// The execution-aware MPU: a fixed-size table of [`Rule`] slots.
+///
+/// The paper's platform instantiates 18 slots (Table 6); [`EaMpu::new`]
+/// takes the count so experiments can vary it.
+#[derive(Debug, Clone)]
+pub struct EaMpu {
+    slots: Vec<Option<Rule>>,
+    costs: MpuCosts,
+}
+
+impl EaMpu {
+    /// Creates an EA-MPU with `slots` empty rule slots and default costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        Self::with_costs(slots, MpuCosts::default())
+    }
+
+    /// Creates an EA-MPU with an explicit cycle-cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_costs(slots: usize, costs: MpuCosts) -> Self {
+        assert!(slots > 0, "EA-MPU needs at least one slot");
+        EaMpu { slots: vec![None; slots], costs }
+    }
+
+    /// Total number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn used_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The rule in `slot`, if configured.
+    pub fn rule(&self, slot: usize) -> Option<&Rule> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Iterates over `(slot, rule)` pairs of configured rules.
+    pub fn rules(&self) -> impl Iterator<Item = (usize, &Rule)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i, r)))
+    }
+
+    /// The cost model in effect.
+    pub fn costs(&self) -> MpuCosts {
+        self.costs
+    }
+
+    /// Scans for the first free slot, returning its index and the scan cost.
+    ///
+    /// This is phase 1 of Table 6; cost grows linearly with the position of
+    /// the first free slot.
+    pub fn find_free_slot(&self) -> (Option<usize>, u64) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.is_none() {
+                let cost = self.costs.find_base + self.costs.find_per_slot * (i as u64 + 1);
+                return (Some(i), cost);
+            }
+        }
+        let cost = self.costs.find_base + self.costs.find_per_slot * self.slots.len() as u64;
+        (None, cost)
+    }
+
+    /// Policy-checks `rule` against every configured rule.
+    ///
+    /// The policy (phase 2 of Table 6): the new data region must not
+    /// *partially* overlap any existing protected data region — an exact
+    /// alias is permitted, because the IPC proxy deliberately aliases a
+    /// shared-memory region into both communicating tasks — and must not
+    /// touch any protected code region at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigureError::EmptyRegion`], [`ConfigureError::DataOverlap`]
+    /// or [`ConfigureError::CodeOverlap`] naming the conflicting slot.
+    pub fn policy_check(&self, rule: &Rule) -> Result<(), ConfigureError> {
+        if rule.code.is_empty() || rule.data.is_empty() {
+            return Err(ConfigureError::EmptyRegion);
+        }
+        for (slot, existing) in self.rules() {
+            if rule.data.overlaps(existing.data) && rule.data != existing.data {
+                return Err(ConfigureError::DataOverlap { conflicting_slot: slot });
+            }
+            if rule.data.overlaps(existing.code) {
+                return Err(ConfigureError::CodeOverlap { conflicting_slot: slot });
+            }
+        }
+        Ok(())
+    }
+
+    /// Dynamically configures a new rule: find slot, policy check, write.
+    ///
+    /// Reproduces the paper's Table 6 decomposition and returns the
+    /// per-phase cycle cost alongside the chosen slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigureError::NoFreeSlot`] when the table is full, or the
+    /// policy-check errors of [`EaMpu::policy_check`]. On error no slot is
+    /// modified.
+    pub fn configure(&mut self, rule: Rule) -> Result<ConfigureOutcome, ConfigureError> {
+        let (slot, find_cost) = self.find_free_slot();
+        let slot = slot.ok_or(ConfigureError::NoFreeSlot)?;
+        self.policy_check(&rule)?;
+        self.slots[slot] = Some(rule);
+        Ok(ConfigureOutcome {
+            slot,
+            cost: ConfigureCost {
+                find_slot: find_cost,
+                policy_check: self.costs.policy_check,
+                write_rule: self.costs.write_rule,
+            },
+        })
+    }
+
+    /// Writes `rule` into `slot` without a policy check.
+    ///
+    /// Used by secure boot to install the static rules protecting the
+    /// trusted software components before the dynamic driver takes over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn set_rule(&mut self, slot: usize, rule: Rule) {
+        self.slots[slot] = Some(rule);
+    }
+
+    /// Clears `slot`, returning the rule it held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn clear_slot(&mut self, slot: usize) -> Option<Rule> {
+        self.slots[slot].take()
+    }
+
+    /// Removes every rule whose code region equals `code`, returning how
+    /// many were removed. Used when unloading a task.
+    pub fn remove_rules_for_code(&mut self, code: Region) -> usize {
+        let mut removed = 0;
+        for slot in &mut self.slots {
+            if matches!(slot, Some(rule) if rule.code == code) {
+                *slot = None;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Checks a data access: may the instruction at `eip` access `addr`?
+    ///
+    /// An address inside any configured rule's data region is *protected*
+    /// and requires a rule whose code region contains `eip` and whose
+    /// permissions include `kind`. Reading a protected *code* region from
+    /// outside it is likewise denied (code secrecy). Unprotected addresses
+    /// are open, matching the flat physical memory model.
+    pub fn check_access(&self, eip: u32, addr: u32, kind: AccessKind) -> AccessDecision {
+        let mut protected = false;
+        for (slot, rule) in self.rules() {
+            if rule.data.contains(addr) {
+                protected = true;
+                if rule.code.contains(eip) && rule.perms.allows(kind) {
+                    return AccessDecision::AllowedByRule { slot };
+                }
+            }
+            // Protected code regions are only accessible as data from within.
+            if rule.code.contains(addr) {
+                protected = true;
+                if rule.code.contains(eip) && kind == AccessKind::Read {
+                    return AccessDecision::AllowedByRule { slot };
+                }
+            }
+        }
+        if protected {
+            AccessDecision::Denied
+        } else {
+            AccessDecision::AllowedUnprotected
+        }
+    }
+
+    /// Checks a control transfer from `from_eip` to `to_addr`.
+    ///
+    /// Entering a protected code region from outside is only allowed at the
+    /// region's dedicated entry point; transfers within a region, or to
+    /// unprotected addresses, are unrestricted. This is the EA-MPU property
+    /// TyTAN relies on to prevent code-reuse attacks on secure tasks.
+    pub fn check_transfer(&self, from_eip: u32, to_addr: u32) -> TransferDecision {
+        for (slot, rule) in self.rules() {
+            if rule.code.contains(to_addr) && !rule.code.contains(from_eip) {
+                return if to_addr == rule.entry {
+                    TransferDecision::AllowedAtEntry { slot }
+                } else {
+                    TransferDecision::DeniedMidRegion { expected_entry: rule.entry }
+                };
+            }
+        }
+        TransferDecision::Allowed
+    }
+
+    /// Whether `addr` lies inside any protected (data or code) region.
+    pub fn is_protected(&self, addr: u32) -> bool {
+        self.rules()
+            .any(|(_, r)| r.data.contains(addr) || r.code.contains(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(code_start: u32, data_start: u32) -> Rule {
+        Rule::new(
+            Region::new(code_start, 0x100),
+            code_start,
+            Region::new(data_start, 0x100),
+            Perms::RW,
+        )
+    }
+
+    #[test]
+    fn table6_find_slot_costs_match_paper() {
+        // Paper, Table 6: slot 1 -> 76, slot 2 -> 95, slot 18 -> 399.
+        let mut mpu = EaMpu::new(18);
+        let (slot, cost) = mpu.find_free_slot();
+        assert_eq!((slot, cost), (Some(0), 76));
+
+        mpu.set_rule(0, rule(0x1000, 0x8000));
+        let (slot, cost) = mpu.find_free_slot();
+        assert_eq!((slot, cost), (Some(1), 95));
+
+        for i in 1..17 {
+            mpu.set_rule(i, rule(0x1000 + i as u32 * 0x200, 0x8000 + i as u32 * 0x200));
+        }
+        let (slot, cost) = mpu.find_free_slot();
+        assert_eq!((slot, cost), (Some(17), 399));
+    }
+
+    #[test]
+    fn configure_cost_decomposition() {
+        let mut mpu = EaMpu::new(18);
+        let outcome = mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        assert_eq!(outcome.slot, 0);
+        assert_eq!(outcome.cost.find_slot, 76);
+        assert_eq!(outcome.cost.policy_check, 824);
+        assert_eq!(outcome.cost.write_rule, 225);
+        assert_eq!(outcome.cost.total(), 1125); // Table 6, slot 1 overall.
+    }
+
+    #[test]
+    fn full_table_rejects_configuration() {
+        let mut mpu = EaMpu::new(2);
+        mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        mpu.configure(rule(0x2000, 0x9000)).unwrap();
+        assert_eq!(
+            mpu.configure(rule(0x3000, 0xa000)).unwrap_err(),
+            ConfigureError::NoFreeSlot
+        );
+    }
+
+    #[test]
+    fn partial_data_overlap_rejected_exact_alias_allowed() {
+        let mut mpu = EaMpu::new(4);
+        mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        // Partial overlap with [0x8000, 0x8100).
+        let overlapping = Rule::new(
+            Region::new(0x2000, 0x100),
+            0x2000,
+            Region::new(0x8080, 0x100),
+            Perms::RW,
+        );
+        assert_eq!(
+            mpu.configure(overlapping).unwrap_err(),
+            ConfigureError::DataOverlap { conflicting_slot: 0 }
+        );
+        // Exact alias (IPC shared memory) is fine.
+        let alias = Rule::new(
+            Region::new(0x2000, 0x100),
+            0x2000,
+            Region::new(0x8000, 0x100),
+            Perms::RW,
+        );
+        assert!(mpu.configure(alias).is_ok());
+    }
+
+    #[test]
+    fn data_rule_may_not_cover_trusted_code() {
+        let mut mpu = EaMpu::new(4);
+        mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        let snooping = Rule::new(
+            Region::new(0x3000, 0x100),
+            0x3000,
+            Region::new(0x1000, 0x40),
+            Perms::R,
+        );
+        assert_eq!(
+            mpu.configure(snooping).unwrap_err(),
+            ConfigureError::CodeOverlap { conflicting_slot: 0 }
+        );
+    }
+
+    #[test]
+    fn empty_region_rejected() {
+        let mut mpu = EaMpu::new(4);
+        let bad = Rule::new(Region::new(0x1000, 0), 0x1000, Region::new(0x8000, 4), Perms::R);
+        assert_eq!(mpu.configure(bad).unwrap_err(), ConfigureError::EmptyRegion);
+    }
+
+    #[test]
+    fn execution_aware_access_control() {
+        let mut mpu = EaMpu::new(4);
+        mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        // Owner code can read and write its data.
+        assert!(mpu.check_access(0x1004, 0x8000, AccessKind::Read).is_allowed());
+        assert!(mpu.check_access(0x10ff, 0x80ff, AccessKind::Write).is_allowed());
+        // Foreign code (the OS, another task) cannot.
+        assert_eq!(mpu.check_access(0x5000, 0x8000, AccessKind::Read), AccessDecision::Denied);
+        assert_eq!(mpu.check_access(0x5000, 0x8000, AccessKind::Write), AccessDecision::Denied);
+        // Unprotected memory stays open to everyone.
+        assert_eq!(
+            mpu.check_access(0x5000, 0xf000, AccessKind::Write),
+            AccessDecision::AllowedUnprotected
+        );
+    }
+
+    #[test]
+    fn read_only_rule_denies_writes() {
+        let mut mpu = EaMpu::new(4);
+        let ro =
+            Rule::new(Region::new(0x1000, 0x100), 0x1000, Region::new(0x8000, 0x100), Perms::R);
+        mpu.configure(ro).unwrap();
+        assert!(mpu.check_access(0x1000, 0x8000, AccessKind::Read).is_allowed());
+        assert!(!mpu.check_access(0x1000, 0x8000, AccessKind::Write).is_allowed());
+    }
+
+    #[test]
+    fn code_secrecy() {
+        let mut mpu = EaMpu::new(4);
+        mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        // The task may read its own code (e.g. constants in .text)...
+        assert!(mpu.check_access(0x1004, 0x1008, AccessKind::Read).is_allowed());
+        // ...but others may not read it, and nobody may write it.
+        assert!(!mpu.check_access(0x5000, 0x1008, AccessKind::Read).is_allowed());
+        assert!(!mpu.check_access(0x1004, 0x1008, AccessKind::Write).is_allowed());
+    }
+
+    #[test]
+    fn entry_point_enforcement() {
+        let mut mpu = EaMpu::new(4);
+        let r =
+            Rule::new(Region::new(0x1000, 0x100), 0x1010, Region::new(0x8000, 0x100), Perms::RW);
+        mpu.configure(r).unwrap();
+        // Entering at the entry point is allowed.
+        assert_eq!(
+            mpu.check_transfer(0x5000, 0x1010),
+            TransferDecision::AllowedAtEntry { slot: 0 }
+        );
+        // Jumping into the middle from outside is denied.
+        assert_eq!(
+            mpu.check_transfer(0x5000, 0x1050),
+            TransferDecision::DeniedMidRegion { expected_entry: 0x1010 }
+        );
+        // Branches within the region are unrestricted.
+        assert_eq!(mpu.check_transfer(0x1004, 0x1050), TransferDecision::Allowed);
+        // Transfers in open memory are unrestricted.
+        assert_eq!(mpu.check_transfer(0x5000, 0x6000), TransferDecision::Allowed);
+    }
+
+    #[test]
+    fn remove_rules_for_code_unloads_task() {
+        let mut mpu = EaMpu::new(4);
+        let code = Region::new(0x1000, 0x100);
+        mpu.configure(Rule::new(code, 0x1000, Region::new(0x8000, 0x100), Perms::RW)).unwrap();
+        mpu.configure(Rule::new(code, 0x1000, Region::new(0x9000, 0x100), Perms::RW)).unwrap();
+        mpu.configure(rule(0x2000, 0xa000)).unwrap();
+        assert_eq!(mpu.remove_rules_for_code(code), 2);
+        assert_eq!(mpu.used_slots(), 1);
+        // Freed slots are reused first.
+        let (slot, _) = mpu.find_free_slot();
+        assert_eq!(slot, Some(0));
+    }
+
+    #[test]
+    fn is_protected_covers_code_and_data() {
+        let mut mpu = EaMpu::new(4);
+        mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        assert!(mpu.is_protected(0x1000));
+        assert!(mpu.is_protected(0x80ff));
+        assert!(!mpu.is_protected(0x8100));
+        assert!(!mpu.is_protected(0x0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Access permissions and access kinds.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// The kind of data access being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// A small permission set for EA-MPU rules (read / write flags).
+///
+/// Behaves like a bitflag type: combine with `|`, test with
+/// [`Perms::allows`] or [`Perms::contains`].
+///
+/// # Examples
+///
+/// ```
+/// use eampu::{AccessKind, Perms};
+///
+/// let rw = Perms::R | Perms::W;
+/// assert_eq!(rw, Perms::RW);
+/// assert!(rw.allows(AccessKind::Write));
+/// assert!(!Perms::R.allows(AccessKind::Write));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+    /// Read-only.
+    pub const R: Perms = Perms(0b01);
+    /// Write-only.
+    pub const W: Perms = Perms(0b10);
+    /// Read and write.
+    pub const RW: Perms = Perms(0b11);
+
+    /// Whether the set permits the given access kind.
+    pub fn allows(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.0 & Perms::R.0 != 0,
+            AccessKind::Write => self.0 & Perms::W.0 != 0,
+        }
+    }
+
+    /// Whether every permission in `other` is present in `self`.
+    pub fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The raw bit representation (bit 0 = read, bit 1 = write).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = if self.contains(Perms::R) { 'r' } else { '-' };
+        let w = if self.contains(Perms::W) { 'w' } else { '-' };
+        write!(f, "{r}{w}")
+    }
+}
+
+impl fmt::Binary for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_and_tests() {
+        assert_eq!(Perms::R | Perms::W, Perms::RW);
+        assert_eq!(Perms::RW & Perms::R, Perms::R);
+        assert!(Perms::RW.contains(Perms::R));
+        assert!(Perms::RW.contains(Perms::W));
+        assert!(!Perms::R.contains(Perms::W));
+        assert!(Perms::NONE.contains(Perms::NONE));
+    }
+
+    #[test]
+    fn allows_matches_kinds() {
+        assert!(Perms::R.allows(AccessKind::Read));
+        assert!(!Perms::R.allows(AccessKind::Write));
+        assert!(Perms::W.allows(AccessKind::Write));
+        assert!(!Perms::W.allows(AccessKind::Read));
+        assert!(!Perms::NONE.allows(AccessKind::Read));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Perms::RW.to_string(), "rw");
+        assert_eq!(Perms::R.to_string(), "r-");
+        assert_eq!(Perms::NONE.to_string(), "--");
+        assert_eq!(format!("{:b}", Perms::RW), "11");
+        assert_eq!(format!("{:x}", Perms::W), "2");
+    }
+}

@@ -1,0 +1,234 @@
+//! Half-open address regions.
+
+use std::fmt;
+
+/// A half-open physical address region `[start, start + len)`.
+///
+/// Regions are the unit of EA-MPU protection: rules pair a code region with
+/// a data region. The empty region (`len == 0`) contains no address and
+/// overlaps nothing.
+///
+/// # Examples
+///
+/// ```
+/// use eampu::Region;
+///
+/// let r = Region::new(0x1000, 0x100);
+/// assert!(r.contains(0x1000));
+/// assert!(r.contains(0x10ff));
+/// assert!(!r.contains(0x1100));
+/// assert!(r.overlaps(Region::new(0x10f0, 0x40)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Region {
+    start: u32,
+    len: u32,
+}
+
+impl Region {
+    /// Creates a region covering `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region would wrap past the end of the address space.
+    pub fn new(start: u32, len: u32) -> Self {
+        assert!(
+            len == 0 || start.checked_add(len - 1).is_some(),
+            "region [{start:#x}, +{len:#x}) wraps the address space"
+        );
+        Region { start, len }
+    }
+
+    /// Creates a region from an inclusive-exclusive address pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn from_bounds(start: u32, end: u32) -> Self {
+        assert!(end >= start, "region end {end:#x} precedes start {start:#x}");
+        Region { start, len: end - start }
+    }
+
+    /// First address in the region.
+    pub fn start(self) -> u32 {
+        self.start
+    }
+
+    /// Length of the region in bytes.
+    pub fn len(self) -> u32 {
+        self.len
+    }
+
+    /// Whether the region contains no addresses.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the last address (saturating at the top of memory).
+    pub fn end(self) -> u32 {
+        self.start.saturating_add(self.len)
+    }
+
+    /// The last address in the region.
+    ///
+    /// Returns `None` for an empty region.
+    pub fn last(self) -> Option<u32> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.start + (self.len - 1))
+        }
+    }
+
+    /// Whether `addr` lies inside the region.
+    pub fn contains(self, addr: u32) -> bool {
+        self.len != 0 && addr >= self.start && addr - self.start < self.len
+    }
+
+    /// Whether an access of `size` bytes starting at `addr` fits entirely
+    /// inside the region.
+    pub fn contains_range(self, addr: u32, size: u32) -> bool {
+        if size == 0 {
+            return self.contains(addr);
+        }
+        match addr.checked_add(size - 1) {
+            Some(last) => self.contains(addr) && self.contains(last),
+            None => false,
+        }
+    }
+
+    /// Whether the two regions share at least one address.
+    pub fn overlaps(self, other: Region) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Whether `other` lies entirely inside this region.
+    pub fn contains_region(self, other: Region) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.contains(other.start) && other.last().is_some_and(|l| self.contains(l))
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}, {:#010x})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_boundaries() {
+        let r = Region::new(10, 5);
+        assert!(!r.contains(9));
+        assert!(r.contains(10));
+        assert!(r.contains(14));
+        assert!(!r.contains(15));
+    }
+
+    #[test]
+    fn empty_region_contains_nothing() {
+        let r = Region::new(10, 0);
+        assert!(r.is_empty());
+        assert!(!r.contains(10));
+        assert!(!r.overlaps(Region::new(0, 100)));
+        assert_eq!(r.last(), None);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Region::new(0x100, 0x100);
+        assert!(a.overlaps(Region::new(0x1ff, 1)));
+        assert!(a.overlaps(Region::new(0x0, 0x101)));
+        assert!(!a.overlaps(Region::new(0x200, 0x10)));
+        assert!(!a.overlaps(Region::new(0x0, 0x100)));
+        assert!(a.overlaps(a));
+    }
+
+    #[test]
+    fn contains_range_checks_both_ends() {
+        let r = Region::new(0x100, 0x10);
+        assert!(r.contains_range(0x100, 16));
+        assert!(r.contains_range(0x10c, 4));
+        assert!(!r.contains_range(0x10d, 4));
+        assert!(!r.contains_range(0xfc, 8));
+    }
+
+    #[test]
+    fn region_at_top_of_memory() {
+        let r = Region::new(0xffff_fff0, 0x10);
+        assert!(r.contains(0xffff_ffff));
+        assert_eq!(r.end(), 0xffff_ffff); // saturates
+        assert_eq!(r.last(), Some(0xffff_ffff));
+        assert!(r.contains_range(0xffff_fffc, 4));
+        assert!(!r.contains_range(0xffff_ffff, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps")]
+    fn wrapping_region_rejected() {
+        let _ = Region::new(0xffff_fff0, 0x20);
+    }
+
+    #[test]
+    fn from_bounds() {
+        let r = Region::from_bounds(0x100, 0x180);
+        assert_eq!(r.start(), 0x100);
+        assert_eq!(r.len(), 0x80);
+    }
+
+    #[test]
+    fn contains_region_cases() {
+        let outer = Region::new(0x100, 0x100);
+        assert!(outer.contains_region(Region::new(0x100, 0x100)));
+        assert!(outer.contains_region(Region::new(0x140, 0x10)));
+        assert!(outer.contains_region(Region::new(0x150, 0)));
+        assert!(!outer.contains_region(Region::new(0x1f0, 0x20)));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Region::new(0x1000, 0x100).to_string(), "[0x00001000, 0x00001100)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_overlap_is_symmetric(
+            a_start in 0u32..0x1_0000, a_len in 0u32..0x1000,
+            b_start in 0u32..0x1_0000, b_len in 0u32..0x1000,
+        ) {
+            let a = Region::new(a_start, a_len);
+            let b = Region::new(b_start, b_len);
+            prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        }
+
+        #[test]
+        fn prop_overlap_iff_shared_address(
+            a_start in 0u32..256, a_len in 0u32..64,
+            b_start in 0u32..256, b_len in 0u32..64,
+        ) {
+            let a = Region::new(a_start, a_len);
+            let b = Region::new(b_start, b_len);
+            let shared = (0..=320u32).any(|addr| a.contains(addr) && b.contains(addr));
+            prop_assert_eq!(a.overlaps(b), shared);
+        }
+
+        #[test]
+        fn prop_contains_range_equals_pointwise(
+            start in 0u32..512, len in 0u32..64,
+            addr in 0u32..512, size in 1u32..16,
+        ) {
+            let r = Region::new(start, len);
+            let pointwise = (addr..addr.saturating_add(size)).all(|a| r.contains(a));
+            prop_assert_eq!(r.contains_range(addr, size), pointwise);
+        }
+    }
+}

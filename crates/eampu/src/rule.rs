@@ -1,0 +1,89 @@
+//! EA-MPU access-control rules.
+
+use crate::perms::Perms;
+use crate::region::Region;
+use std::fmt;
+
+/// One EA-MPU rule: code executing inside `code` may access `data` with
+/// `perms`, and `code` may only be entered from outside at `entry`.
+///
+/// A task needing access to several protected regions (its own data, its
+/// stack, an IPC shared-memory window) holds several rules sharing the same
+/// code region.
+///
+/// # Examples
+///
+/// ```
+/// use eampu::{Perms, Region, Rule};
+///
+/// let rule = Rule::new(Region::new(0x1000, 0x200), 0x1000, Region::new(0x8000, 0x100), Perms::RW);
+/// assert_eq!(rule.entry, 0x1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// The code region the rule applies to.
+    pub code: Region,
+    /// The dedicated entry point into `code` (must lie inside it).
+    pub entry: u32,
+    /// The protected data region.
+    pub data: Region,
+    /// Permissions granted on `data`.
+    pub perms: Perms,
+}
+
+impl Rule {
+    /// Creates a rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not inside a non-empty `code` region.
+    pub fn new(code: Region, entry: u32, data: Region, perms: Perms) -> Self {
+        assert!(
+            code.is_empty() || code.contains(entry),
+            "entry point {entry:#x} lies outside code region {code}"
+        );
+        Rule { code, entry, data, perms }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "code {} (entry {:#010x}) -> data {} [{}]",
+            self.code, self.entry, self.data, self.perms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_must_be_in_code_region() {
+        let code = Region::new(0x1000, 0x100);
+        let data = Region::new(0x8000, 0x100);
+        let rule = Rule::new(code, 0x1080, data, Perms::RW);
+        assert!(rule.code.contains(rule.entry));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside code region")]
+    fn entry_outside_code_region_panics() {
+        let _ = Rule::new(Region::new(0x1000, 0x100), 0x2000, Region::new(0x8000, 4), Perms::R);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let rule = Rule::new(
+            Region::new(0x1000, 0x100),
+            0x1000,
+            Region::new(0x8000, 0x100),
+            Perms::RW,
+        );
+        let text = rule.to_string();
+        assert!(text.contains("0x00001000"));
+        assert!(text.contains("rw"));
+    }
+}

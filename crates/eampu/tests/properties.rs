@@ -1,0 +1,101 @@
+//! EA-MPU property tests: the isolation invariants hold for arbitrary
+//! rule sets and access patterns.
+
+use eampu::{AccessKind, EaMpu, Perms, Region, Rule};
+use proptest::prelude::*;
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    (0u32..16, 0u32..16, 1u32..8, 1u32..8).prop_map(|(code_page, data_page, code_len, data_len)| {
+        let code = Region::new(0x1_0000 + code_page * 0x1000, code_len * 0x100);
+        let data = Region::new(0x8_0000 + data_page * 0x1000, data_len * 0x100);
+        Rule::new(code, code.start(), data, Perms::RW)
+    })
+}
+
+proptest! {
+    /// No configured rule set ever grants a *foreign* actor access to a
+    /// protected data region: access implies some rule's code region
+    /// contains the actor.
+    #[test]
+    fn access_granted_only_via_some_rule(
+        rules in proptest::collection::vec(arb_rule(), 1..10),
+        eip in 0u32..0x10_0000,
+        addr in 0x8_0000u32..0x9_0000,
+    ) {
+        let mut mpu = EaMpu::new(18);
+        for rule in &rules {
+            let _ = mpu.configure(*rule);
+        }
+        let allowed = mpu.check_access(eip, addr, AccessKind::Read).is_allowed();
+        let protected = mpu.rules().any(|(_, r)| r.data.contains(addr) || r.code.contains(addr));
+        let justified = mpu
+            .rules()
+            .any(|(_, r)| (r.data.contains(addr) || r.code.contains(addr)) && r.code.contains(eip));
+        if protected {
+            prop_assert_eq!(allowed, justified, "protected access must be rule-justified");
+        } else {
+            prop_assert!(allowed, "unprotected memory is open");
+        }
+    }
+
+    /// After configure + clear, the MPU returns to its prior decision for
+    /// every probe (no residue).
+    #[test]
+    fn configure_then_clear_is_identity(
+        base_rules in proptest::collection::vec(arb_rule(), 0..6),
+        probe_rule in arb_rule(),
+        eip in 0u32..0x10_0000,
+        addr in 0u32..0x10_0000,
+    ) {
+        let mut mpu = EaMpu::new(18);
+        for rule in &base_rules {
+            let _ = mpu.configure(*rule);
+        }
+        let before = mpu.check_access(eip, addr, AccessKind::Write);
+        if let Ok(outcome) = mpu.configure(probe_rule) {
+            mpu.clear_slot(outcome.slot);
+        }
+        let after = mpu.check_access(eip, addr, AccessKind::Write);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Entry enforcement: a transfer into a protected code region from
+    /// outside is allowed iff it targets the region's entry point.
+    #[test]
+    fn entry_enforcement_is_exact(
+        rule in arb_rule(),
+        from in 0u32..0x8_0000,
+        offset in 0u32..0x100,
+    ) {
+        let mut mpu = EaMpu::new(4);
+        mpu.configure(rule).unwrap();
+        prop_assume!(!rule.code.contains(from));
+        let target = rule.code.start() + (offset % rule.code.len());
+        let decision = mpu.check_transfer(from, target);
+        prop_assert_eq!(decision.is_allowed(), target == rule.entry);
+    }
+
+    /// The policy check is order-independent for disjoint rules: any
+    /// permutation of disjoint configurations succeeds.
+    #[test]
+    fn disjoint_rules_configure_in_any_order(mut indices in Just((0..5usize).collect::<Vec<_>>()), seed in any::<u64>()) {
+        // Deterministic shuffle from the seed.
+        let mut s = seed;
+        for i in (1..indices.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            indices.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut mpu = EaMpu::new(18);
+        for &i in &indices {
+            let base = 0x1_0000 + i as u32 * 0x2000;
+            let rule = Rule::new(
+                Region::new(base, 0x100),
+                base,
+                Region::new(base + 0x1000, 0x100),
+                Perms::RW,
+            );
+            prop_assert!(mpu.configure(rule).is_ok());
+        }
+        prop_assert_eq!(mpu.used_slots(), 5);
+    }
+}

@@ -1,0 +1,288 @@
+//! A platform debugger: breakpoints, value watchpoints, single-stepping.
+//!
+//! Breakpoints reuse the machine's firmware-trap mechanism (execution
+//! pauses *before* the instruction at the address runs); watchpoints are
+//! value-change watches evaluated while single-stepping. The debugger is
+//! a development tool with debug-port powers — it reads memory physically
+//! and is not subject to the EA-MPU, like a JTAG probe on the real
+//! platform.
+//!
+//! # Examples
+//!
+//! ```
+//! use sp32::asm::assemble;
+//! use sp_emu::debug::{Debugger, DebugStop};
+//! use sp_emu::{Machine, MachineConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let program = assemble("movi r0, 1\nmovi r0, 2\nhlt\n", 0x100)?;
+//! machine.load_image(0x100, &program.bytes)?;
+//! machine.set_eip(0x100);
+//!
+//! let mut debugger = Debugger::new();
+//! debugger.add_breakpoint(&mut machine, 0x108);
+//! let stop = debugger.run(&mut machine, 1_000)?;
+//! assert_eq!(stop, DebugStop::Breakpoint { addr: 0x108 });
+//! assert_eq!(machine.reg(sp32::Reg::R0), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::machine::{Event, Fault, Machine};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why the debugger returned control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DebugStop {
+    /// Execution reached a breakpoint (the instruction has not run yet).
+    Breakpoint {
+        /// The breakpoint address.
+        addr: u32,
+    },
+    /// A watched word changed value.
+    WatchChanged {
+        /// The watched address.
+        addr: u32,
+        /// Value before the change.
+        old: u32,
+        /// Value after the change.
+        new: u32,
+    },
+    /// The machine faulted.
+    Fault(Fault),
+    /// The cycle budget ran out.
+    Budget,
+    /// Execution reached a firmware trap that is not a debugger
+    /// breakpoint (e.g. the platform's kernel trap).
+    ForeignTrap {
+        /// The trap address.
+        addr: u32,
+    },
+}
+
+/// The debugger state attached to a machine.
+#[derive(Debug, Default)]
+pub struct Debugger {
+    breakpoints: BTreeSet<u32>,
+    watches: BTreeMap<u32, u32>,
+    /// The breakpoint reported by the previous stop, so the next `run`
+    /// steps over it instead of re-reporting it forever.
+    reported: Option<u32>,
+}
+
+impl Debugger {
+    /// Creates a debugger with no breakpoints or watches.
+    pub fn new() -> Self {
+        Debugger::default()
+    }
+
+    /// Sets a breakpoint at `addr`.
+    pub fn add_breakpoint(&mut self, machine: &mut Machine, addr: u32) {
+        self.breakpoints.insert(addr);
+        machine.add_firmware_trap(addr);
+    }
+
+    /// Removes the breakpoint at `addr`.
+    pub fn remove_breakpoint(&mut self, machine: &mut Machine, addr: u32) {
+        if self.breakpoints.remove(&addr) {
+            machine.remove_firmware_trap(addr);
+        }
+    }
+
+    /// The currently set breakpoints.
+    pub fn breakpoints(&self) -> impl Iterator<Item = u32> + '_ {
+        self.breakpoints.iter().copied()
+    }
+
+    /// Watches the 32-bit word at `addr` for value changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bus fault if `addr` is unmapped.
+    pub fn watch_word(&mut self, machine: &mut Machine, addr: u32) -> Result<(), Fault> {
+        let value = machine.read_word(addr)?;
+        self.watches.insert(addr, value);
+        Ok(())
+    }
+
+    /// Stops watching `addr`.
+    pub fn unwatch_word(&mut self, addr: u32) {
+        self.watches.remove(&addr);
+    }
+
+    fn check_watches(&mut self, machine: &mut Machine) -> Result<Option<DebugStop>, Fault> {
+        for (&addr, last) in self.watches.iter_mut() {
+            let now = machine.read_word(addr)?;
+            if now != *last {
+                let old = *last;
+                *last = now;
+                return Ok(Some(DebugStop::WatchChanged { addr, old, new: now }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Executes exactly one instruction (stepping over a breakpoint at
+    /// the current address) and reports any watch change.
+    ///
+    /// # Errors
+    ///
+    /// Returns the machine fault that stopped the instruction.
+    pub fn step(&mut self, machine: &mut Machine) -> Result<Option<DebugStop>, Fault> {
+        machine.step()?;
+        self.check_watches(machine)
+    }
+
+    /// Runs until a stop condition, for at most `max_cycles`.
+    ///
+    /// With watches set, execution single-steps (slow but exact); without,
+    /// it runs at full speed between breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bus fault only from reading a watched address; machine
+    /// execution faults are reported as [`DebugStop::Fault`].
+    pub fn run(&mut self, machine: &mut Machine, max_cycles: u64) -> Result<DebugStop, Fault> {
+        let deadline = machine.cycles().saturating_add(max_cycles);
+
+        // Step over the breakpoint the previous stop reported.
+        if self.reported.take() == Some(machine.eip()) && !machine.is_halted() {
+            match self.step(machine) {
+                Ok(Some(stop)) => return Ok(stop),
+                Ok(None) => {}
+                Err(fault) => return Ok(DebugStop::Fault(fault)),
+            }
+        }
+
+        if self.watches.is_empty() {
+            return Ok(match machine.run(deadline.saturating_sub(machine.cycles())) {
+                Event::FirmwareTrap { addr } if self.breakpoints.contains(&addr) => {
+                    self.reported = Some(addr);
+                    DebugStop::Breakpoint { addr }
+                }
+                Event::FirmwareTrap { addr } => DebugStop::ForeignTrap { addr },
+                Event::Fault(fault) => DebugStop::Fault(fault),
+                Event::BudgetExhausted | Event::IdleBudgetExhausted => DebugStop::Budget,
+            });
+        }
+
+        while machine.cycles() < deadline {
+            if self.breakpoints.contains(&machine.eip()) {
+                self.reported = Some(machine.eip());
+                return Ok(DebugStop::Breakpoint { addr: machine.eip() });
+            }
+            if machine.is_halted() {
+                // Let interrupts wake the core.
+                match machine.run(64) {
+                    Event::Fault(fault) => return Ok(DebugStop::Fault(fault)),
+                    Event::FirmwareTrap { addr } if !self.breakpoints.contains(&addr) => {
+                        return Ok(DebugStop::ForeignTrap { addr });
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            match machine.step() {
+                Ok(()) => {}
+                Err(fault) => return Ok(DebugStop::Fault(fault)),
+            }
+            if let Some(stop) = self.check_watches(machine)? {
+                return Ok(stop);
+            }
+        }
+        Ok(DebugStop::Budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use sp32::asm::assemble;
+    use sp32::Reg;
+
+    fn machine_with(src: &str, origin: u32) -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        let p = assemble(src, origin).expect("assemble");
+        m.load_image(origin, &p.bytes).expect("load");
+        m.set_eip(origin);
+        m
+    }
+
+    #[test]
+    fn breakpoint_pauses_before_execution() {
+        let mut m = machine_with("movi r0, 1\nmovi r0, 2\nmovi r0, 3\nhlt\n", 0x100);
+        let mut dbg = Debugger::new();
+        dbg.add_breakpoint(&mut m, 0x110);
+        let stop = dbg.run(&mut m, 10_000).unwrap();
+        assert_eq!(stop, DebugStop::Breakpoint { addr: 0x110 });
+        assert_eq!(m.reg(Reg::R0), 2, "third movi not executed yet");
+    }
+
+    #[test]
+    fn resume_steps_over_the_breakpoint() {
+        let mut m = machine_with("loop:\n movi r0, 1\n jmp loop\n", 0x100);
+        let mut dbg = Debugger::new();
+        dbg.add_breakpoint(&mut m, 0x100);
+        let first = dbg.run(&mut m, 10_000).unwrap();
+        assert_eq!(first, DebugStop::Breakpoint { addr: 0x100 });
+        // Each subsequent run loops once and hits the breakpoint again.
+        let again = dbg.run(&mut m, 10_000).unwrap();
+        assert_eq!(again, DebugStop::Breakpoint { addr: 0x100 });
+    }
+
+    #[test]
+    fn watchpoint_reports_value_transition() {
+        let src = "movi r1, 0x9000\nmovi r2, 7\nnop\nnop\nstw [r1], r2\nhlt\n";
+        let mut m = machine_with(src, 0x100);
+        let mut dbg = Debugger::new();
+        dbg.watch_word(&mut m, 0x9000).unwrap();
+        let stop = dbg.run(&mut m, 10_000).unwrap();
+        assert_eq!(stop, DebugStop::WatchChanged { addr: 0x9000, old: 0, new: 7 });
+    }
+
+    #[test]
+    fn watch_and_breakpoint_compose() {
+        let src = "movi r1, 0x9000\nmovi r2, 1\nstw [r1], r2\ntarget:\n movi r2, 2\n\
+                   stw [r1], r2\nhlt\n";
+        let mut m = machine_with(src, 0x100);
+        let mut dbg = Debugger::new();
+        dbg.watch_word(&mut m, 0x9000).unwrap();
+        dbg.add_breakpoint(&mut m, 0x114); // `target`
+        let first = dbg.run(&mut m, 10_000).unwrap();
+        assert_eq!(first, DebugStop::WatchChanged { addr: 0x9000, old: 0, new: 1 });
+        let second = dbg.run(&mut m, 10_000).unwrap();
+        assert_eq!(second, DebugStop::Breakpoint { addr: 0x114 });
+        let third = dbg.run(&mut m, 10_000).unwrap();
+        assert_eq!(third, DebugStop::WatchChanged { addr: 0x9000, old: 1, new: 2 });
+    }
+
+    #[test]
+    fn fault_reported_as_stop() {
+        let mut m = machine_with("movi r0, 0x7fffff00\nldw r1, [r0]\nhlt\n", 0x100);
+        let mut dbg = Debugger::new();
+        let stop = dbg.run(&mut m, 10_000).unwrap();
+        assert!(matches!(stop, DebugStop::Fault(Fault::Bus { .. })));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut m = machine_with("loop:\n jmp loop\n", 0x100);
+        let mut dbg = Debugger::new();
+        dbg.watch_word(&mut m, 0x9000).unwrap(); // never changes
+        let stop = dbg.run(&mut m, 1_000).unwrap();
+        assert_eq!(stop, DebugStop::Budget);
+    }
+
+    #[test]
+    fn remove_breakpoint_releases_the_trap() {
+        let mut m = machine_with("movi r0, 1\nmovi r0, 2\nhlt\n", 0x100);
+        let mut dbg = Debugger::new();
+        dbg.add_breakpoint(&mut m, 0x108);
+        dbg.remove_breakpoint(&mut m, 0x108);
+        let stop = dbg.run(&mut m, 10_000).unwrap();
+        assert_eq!(stop, DebugStop::Budget);
+        assert_eq!(m.reg(Reg::R0), 2);
+    }
+}

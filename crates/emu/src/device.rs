@@ -1,0 +1,36 @@
+//! The memory-mapped device interface.
+
+use eampu::Region;
+use std::any::Any;
+
+/// A memory-mapped peripheral.
+///
+/// Devices occupy a [`Region`] of the physical address space; the machine
+/// routes word-sized loads and stores in that region to [`Device::read`] /
+/// [`Device::write`] with the offset from the region start, and polls
+/// [`Device::poll_irq`] between instructions so devices can raise
+/// interrupts. Because device registers live in the flat address space,
+/// EA-MPU rules protect them exactly like memory — TyTAN uses this to give
+/// a sensor-monitoring task exclusive access to its sensor.
+pub trait Device: Any {
+    /// The MMIO region the device occupies.
+    fn range(&self) -> Region;
+
+    /// Reads the 32-bit register at `offset` (bytes from region start).
+    fn read(&mut self, offset: u32, now: u64) -> u32;
+
+    /// Writes the 32-bit register at `offset`.
+    fn write(&mut self, offset: u32, value: u32, now: u64);
+
+    /// Polls for a pending interrupt; returning `Some(vector)` latches the
+    /// vector in the interrupt controller.
+    fn poll_irq(&mut self, _now: u64) -> Option<u8> {
+        None
+    }
+
+    /// Upcast for downcasting to the concrete device type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting to the concrete device type.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -1,0 +1,430 @@
+//! Standard peripherals: timer, UART, sensors, and an actuator.
+//!
+//! The sensor and actuator devices stand in for the automotive peripherals
+//! of the paper's use case (Figure 2): an accelerator-pedal position
+//! sensor, a radar range sensor, and the engine control actuator. Each is a
+//! plain MMIO device, so EA-MPU rules can grant a single secure task
+//! exclusive access to "its" sensor.
+
+use crate::device::Device;
+use eampu::Region;
+use std::any::Any;
+
+/// Register offsets of the [`Timer`].
+pub mod timer_reg {
+    /// Control register: bit 0 enables the timer.
+    pub const CTRL: u32 = 0x0;
+    /// Firing interval in cycles.
+    pub const INTERVAL: u32 = 0x4;
+    /// Cycles elapsed since the last firing (read-only).
+    pub const COUNT: u32 = 0x8;
+}
+
+/// A periodic interval timer that raises an IRQ every `interval` cycles.
+///
+/// This is the tick source of the RTOS: the kernel programs the interval at
+/// boot and the timer interrupt drives preemptive scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use sp_emu::devices::Timer;
+///
+/// let mut timer = Timer::new(0xf000_0000, 32);
+/// timer.configure(48_000, true); // 1 kHz tick at 48 MHz
+/// assert_eq!(timer.vector(), 32);
+/// ```
+#[derive(Debug)]
+pub struct Timer {
+    base: u32,
+    vector: u8,
+    enabled: bool,
+    interval: u64,
+    next_fire: u64,
+}
+
+impl Timer {
+    /// Creates a disabled timer mapped at `base` raising IRQ `vector`.
+    pub fn new(base: u32, vector: u8) -> Self {
+        Timer { base, vector, enabled: false, interval: 0, next_fire: u64::MAX }
+    }
+
+    /// Programs the interval (cycles) and enables/disables firing.
+    pub fn configure(&mut self, interval: u64, enabled: bool) {
+        self.interval = interval.max(1);
+        self.enabled = enabled && interval > 0;
+        // Arm relative to "now = unknown": first poll arms the timer.
+        self.next_fire = u64::MAX;
+    }
+
+    /// The IRQ vector this timer raises.
+    pub fn vector(&self) -> u8 {
+        self.vector
+    }
+
+    /// The programmed interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+}
+
+impl Device for Timer {
+    fn range(&self) -> Region {
+        Region::new(self.base, 0x10)
+    }
+
+    fn read(&mut self, offset: u32, now: u64) -> u32 {
+        match offset {
+            timer_reg::CTRL => self.enabled as u32,
+            timer_reg::INTERVAL => self.interval as u32,
+            timer_reg::COUNT => {
+                if self.next_fire == u64::MAX {
+                    0
+                } else {
+                    (self.interval.saturating_sub(self.next_fire.saturating_sub(now))) as u32
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32, now: u64) {
+        match offset {
+            timer_reg::CTRL => {
+                self.enabled = value & 1 != 0;
+                if self.enabled && self.interval > 0 {
+                    self.next_fire = now + self.interval;
+                }
+            }
+            timer_reg::INTERVAL => {
+                self.interval = u64::from(value).max(1);
+            }
+            _ => {}
+        }
+    }
+
+    fn poll_irq(&mut self, now: u64) -> Option<u8> {
+        if !self.enabled || self.interval == 0 {
+            return None;
+        }
+        if self.next_fire == u64::MAX {
+            self.next_fire = now + self.interval;
+            return None;
+        }
+        if now >= self.next_fire {
+            // Catch up without queueing a burst of stale ticks.
+            while self.next_fire <= now {
+                self.next_fire += self.interval;
+            }
+            return Some(self.vector);
+        }
+        None
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A write-only character output device.
+///
+/// Guest code stores a byte to offset 0; the host reads the accumulated
+/// output with [`Uart::output`].
+#[derive(Debug, Default)]
+pub struct Uart {
+    base: u32,
+    buffer: Vec<u8>,
+}
+
+impl Uart {
+    /// Creates a UART mapped at `base`.
+    pub fn new(base: u32) -> Self {
+        Uart { base, buffer: Vec::new() }
+    }
+
+    /// Everything written so far.
+    pub fn output(&self) -> &[u8] {
+        &self.buffer
+    }
+
+    /// The output interpreted as UTF-8 (lossy).
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.buffer).into_owned()
+    }
+}
+
+impl Device for Uart {
+    fn range(&self) -> Region {
+        Region::new(self.base, 0x4)
+    }
+
+    fn read(&mut self, _offset: u32, _now: u64) -> u32 {
+        0
+    }
+
+    fn write(&mut self, offset: u32, value: u32, _now: u64) {
+        if offset == 0 {
+            self.buffer.push(value as u8);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A read-only sensor whose value follows a scripted trace.
+///
+/// The trace is a list of `(cycle, value)` points; a read returns the value
+/// of the latest point at or before the current cycle. This reproduces the
+/// pedal-position and radar-range inputs of the paper's adaptive
+/// cruise-control use case with synthetic data.
+///
+/// # Examples
+///
+/// ```
+/// use sp_emu::devices::Sensor;
+///
+/// let mut sensor = Sensor::new(0xf000_0100, 40);
+/// sensor.set_trace(vec![(0, 40), (1_000, 55)]);
+/// ```
+#[derive(Debug)]
+pub struct Sensor {
+    base: u32,
+    initial: u32,
+    trace: Vec<(u64, u32)>,
+    reads: u64,
+    threshold: Option<(u32, u8)>,
+    threshold_armed: bool,
+}
+
+impl Sensor {
+    /// Creates a sensor at `base` with a constant `initial` value.
+    pub fn new(base: u32, initial: u32) -> Self {
+        Sensor {
+            base,
+            initial,
+            trace: Vec::new(),
+            reads: 0,
+            threshold: None,
+            threshold_armed: true,
+        }
+    }
+
+    /// Raises IRQ `vector` on the rising edge of the value crossing
+    /// `threshold` (re-armed when the value falls below again) — the
+    /// proximity-alert style interrupt a radar front-end generates.
+    pub fn set_threshold_irq(&mut self, threshold: u32, vector: u8) {
+        self.threshold = Some((threshold, vector));
+        self.threshold_armed = true;
+    }
+
+    /// Installs a `(cycle, value)` trace (must be sorted by cycle).
+    pub fn set_trace(&mut self, trace: Vec<(u64, u32)>) {
+        debug_assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0), "trace must be sorted");
+        self.trace = trace;
+    }
+
+    /// The value the sensor reports at `now`.
+    pub fn value_at(&self, now: u64) -> u32 {
+        match self.trace.partition_point(|&(t, _)| t <= now) {
+            0 => self.initial,
+            n => self.trace[n - 1].1,
+        }
+    }
+
+    /// How many times guest code has sampled the sensor.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+impl Device for Sensor {
+    fn range(&self) -> Region {
+        Region::new(self.base, 0x4)
+    }
+
+    fn read(&mut self, offset: u32, now: u64) -> u32 {
+        if offset == 0 {
+            self.reads += 1;
+            self.value_at(now)
+        } else {
+            0
+        }
+    }
+
+    fn write(&mut self, _offset: u32, _value: u32, _now: u64) {}
+
+    fn poll_irq(&mut self, now: u64) -> Option<u8> {
+        let (threshold, vector) = self.threshold?;
+        let value = self.value_at(now);
+        if self.threshold_armed && value >= threshold {
+            self.threshold_armed = false;
+            return Some(vector);
+        }
+        if !self.threshold_armed && value < threshold {
+            self.threshold_armed = true;
+        }
+        None
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A write-only actuator that records every command with its timestamp.
+///
+/// Stands in for the engine control output of the use case; the recorded
+/// `(cycle, value)` log is what the Table 1 experiment analyses to verify
+/// the control task kept its deadlines.
+#[derive(Debug, Default)]
+pub struct Actuator {
+    base: u32,
+    log: Vec<(u64, u32)>,
+}
+
+impl Actuator {
+    /// Creates an actuator mapped at `base`.
+    pub fn new(base: u32) -> Self {
+        Actuator { base, log: Vec::new() }
+    }
+
+    /// The `(cycle, value)` command log.
+    pub fn log(&self) -> &[(u64, u32)] {
+        &self.log
+    }
+}
+
+impl Device for Actuator {
+    fn range(&self) -> Region {
+        Region::new(self.base, 0x4)
+    }
+
+    fn read(&mut self, _offset: u32, _now: u64) -> u32 {
+        self.log.last().map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    fn write(&mut self, offset: u32, value: u32, now: u64) {
+        if offset == 0 {
+            self.log.push((now, value));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_fires_periodically() {
+        let mut t = Timer::new(0xf000_0000, 32);
+        t.configure(100, true);
+        assert_eq!(t.poll_irq(0), None); // arming poll
+        assert_eq!(t.poll_irq(50), None);
+        assert_eq!(t.poll_irq(100), Some(32));
+        assert_eq!(t.poll_irq(150), None);
+        assert_eq!(t.poll_irq(200), Some(32));
+    }
+
+    #[test]
+    fn timer_catches_up_without_bursts() {
+        let mut t = Timer::new(0xf000_0000, 32);
+        t.configure(100, true);
+        t.poll_irq(0);
+        // A long gap produces a single IRQ, not a backlog.
+        assert_eq!(t.poll_irq(1_000), Some(32));
+        assert_eq!(t.poll_irq(1_001), None);
+        assert_eq!(t.poll_irq(1_100), Some(32));
+    }
+
+    #[test]
+    fn timer_disabled_never_fires() {
+        let mut t = Timer::new(0xf000_0000, 32);
+        t.configure(100, false);
+        assert_eq!(t.poll_irq(1_000_000), None);
+    }
+
+    #[test]
+    fn timer_mmio_programming() {
+        let mut t = Timer::new(0xf000_0000, 32);
+        t.write(timer_reg::INTERVAL, 500, 0);
+        t.write(timer_reg::CTRL, 1, 0);
+        assert_eq!(t.read(timer_reg::CTRL, 0), 1);
+        assert_eq!(t.read(timer_reg::INTERVAL, 0), 500);
+        assert_eq!(t.poll_irq(499), None);
+        assert_eq!(t.poll_irq(500), Some(32));
+    }
+
+    #[test]
+    fn uart_collects_output() {
+        let mut u = Uart::new(0xf000_0200);
+        for b in b"hi" {
+            u.write(0, *b as u32, 0);
+        }
+        assert_eq!(u.output(), b"hi");
+        assert_eq!(u.output_string(), "hi");
+    }
+
+    #[test]
+    fn sensor_follows_trace() {
+        let mut s = Sensor::new(0xf000_0100, 10);
+        s.set_trace(vec![(100, 20), (200, 30)]);
+        assert_eq!(s.value_at(0), 10);
+        assert_eq!(s.value_at(99), 10);
+        assert_eq!(s.value_at(100), 20);
+        assert_eq!(s.value_at(150), 20);
+        assert_eq!(s.value_at(200), 30);
+        assert_eq!(s.value_at(10_000), 30);
+    }
+
+    #[test]
+    fn sensor_counts_reads() {
+        let mut s = Sensor::new(0xf000_0100, 10);
+        assert_eq!(s.read(0, 0), 10);
+        assert_eq!(s.read(0, 1), 10);
+        assert_eq!(s.read_count(), 2);
+    }
+
+    #[test]
+    fn sensor_threshold_irq_fires_on_rising_edge_only() {
+        let mut s = Sensor::new(0xf000_0100, 0);
+        s.set_trace(vec![(100, 50), (200, 10), (300, 80)]);
+        s.set_threshold_irq(40, 44);
+        assert_eq!(s.poll_irq(0), None);
+        assert_eq!(s.poll_irq(100), Some(44), "first crossing fires");
+        assert_eq!(s.poll_irq(150), None, "no retrigger while high");
+        assert_eq!(s.poll_irq(200), None, "falling below re-arms");
+        assert_eq!(s.poll_irq(300), Some(44), "second rising edge fires");
+        assert_eq!(s.poll_irq(350), None);
+    }
+
+    #[test]
+    fn actuator_logs_commands() {
+        let mut a = Actuator::new(0xf000_0300);
+        a.write(0, 42, 100);
+        a.write(0, 43, 200);
+        assert_eq!(a.log(), &[(100, 42), (200, 43)]);
+        assert_eq!(a.read(0, 300), 43);
+    }
+}

@@ -1,0 +1,1234 @@
+//! The simulated core: registers, memory, exception engine, execution loop.
+
+use crate::cycles::{CycleModel, FirmwareCosts};
+use crate::device::Device;
+use eampu::{AccessKind, EaMpu, TransferDecision};
+use sp32::{decode, Instr, Reg, EFLAGS_CF, EFLAGS_IF, EFLAGS_SF, EFLAGS_ZF};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Construction parameters for a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Size of flat RAM starting at address 0.
+    pub ram_size: u32,
+    /// Number of EA-MPU rule slots (the paper's platform has 18).
+    pub mpu_slots: usize,
+    /// Per-instruction cycle costs.
+    pub cycle_model: CycleModel,
+    /// Cycle costs of functionally-modelled firmware services.
+    pub firmware_costs: FirmwareCosts,
+    /// Hardware-assisted context save: the exception engine itself pushes
+    /// and wipes the scratch registers at dispatch (the latency/hardware
+    /// trade-off §4 of the paper mentions), at `hw_save_cost` cycles.
+    pub hw_context_save: bool,
+    /// Cycles the hardware context save costs when enabled.
+    pub hw_save_cost: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            ram_size: 1 << 20,
+            mpu_slots: 18,
+            cycle_model: CycleModel::default(),
+            firmware_costs: FirmwareCosts::default(),
+            hw_context_save: false,
+            hw_save_cost: 8,
+        }
+    }
+}
+
+/// A hardware fault raised during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The EA-MPU denied a data access.
+    MpuAccess {
+        /// Instruction pointer of the offending access.
+        eip: u32,
+        /// The address that was accessed.
+        addr: u32,
+        /// Whether it was a read or a write.
+        kind: AccessKind,
+    },
+    /// The EA-MPU denied a control transfer into a protected region.
+    MpuTransfer {
+        /// Where control came from.
+        from: u32,
+        /// The denied target.
+        to: u32,
+        /// The region's dedicated entry point.
+        expected_entry: u32,
+    },
+    /// The word at `eip` does not decode to an instruction.
+    Decode {
+        /// The faulting instruction pointer.
+        eip: u32,
+    },
+    /// An access touched an address outside RAM and all devices.
+    Bus {
+        /// The faulting address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::MpuAccess { eip, addr, kind } => {
+                write!(f, "EA-MPU denied {kind:?} of {addr:#010x} by code at {eip:#010x}")
+            }
+            Fault::MpuTransfer { from, to, expected_entry } => write!(
+                f,
+                "EA-MPU denied transfer {from:#010x} -> {to:#010x} (entry is {expected_entry:#010x})"
+            ),
+            Fault::Decode { eip } => write!(f, "undecodable instruction at {eip:#010x}"),
+            Fault::Bus { addr } => write!(f, "bus error at {addr:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The instruction pointer reached a registered firmware trap address;
+    /// the platform services the trap and resumes.
+    FirmwareTrap {
+        /// The trap address (== current `EIP`).
+        addr: u32,
+    },
+    /// The core is halted (`HLT` with no deliverable interrupt) and the
+    /// cycle budget ran out while waiting.
+    IdleBudgetExhausted,
+    /// The cycle budget ran out mid-execution.
+    BudgetExhausted,
+    /// A hardware fault stopped execution; `EIP` still points at the
+    /// faulting instruction.
+    Fault(Fault),
+}
+
+/// Execution statistics, cumulative since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Guest instructions retired.
+    pub instructions: u64,
+    /// Interrupts delivered (hardware and software).
+    pub interrupts: u64,
+    /// Faults raised.
+    pub faults: u64,
+}
+
+/// The simulated Siskiyou-Peak-like core.
+///
+/// A `Machine` owns flat RAM, the MMIO device list, the EA-MPU, the IDT
+/// base register, and the cycle counter. Guest code executes through
+/// [`Machine::run`]; trusted firmware (the RTOS kernel and TyTAN's trusted
+/// components) runs as host code between [`Event::FirmwareTrap`]s, touching
+/// machine state through the accessor API and charging cycles with
+/// [`Machine::tick`].
+///
+/// # Examples
+///
+/// ```
+/// use sp32::asm::assemble;
+/// use sp_emu::{Event, Machine, MachineConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut machine = Machine::new(MachineConfig::default());
+/// let program = assemble("movi r0, 6\nmovi r1, 7\nmul r0, r1\nhlt\n", 0x1000)?;
+/// machine.load_image(0x1000, &program.bytes)?;
+/// machine.set_eip(0x1000);
+/// let event = machine.run(1_000);
+/// assert_eq!(event, Event::IdleBudgetExhausted);
+/// assert_eq!(machine.reg(sp32::Reg::R0), 42);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Machine {
+    regs: [u32; 8],
+    eip: u32,
+    eflags: u32,
+    halted: bool,
+    ram: Vec<u8>,
+    devices: Vec<Box<dyn Device>>,
+    mpu: EaMpu,
+    mpu_enabled: bool,
+    idt_base: u32,
+    pending_irqs: BTreeSet<u8>,
+    firmware_traps: BTreeSet<u32>,
+    int_origin: Option<u32>,
+    resume_latches: BTreeSet<u32>,
+    hw_context_save: bool,
+    hw_save_cost: u64,
+    clock: u64,
+    cycle_model: CycleModel,
+    firmware_costs: FirmwareCosts,
+    stats: MachineStats,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("eip", &format_args!("{:#010x}", self.eip))
+            .field("regs", &self.regs)
+            .field("cycles", &self.clock)
+            .field("halted", &self.halted)
+            .field("devices", &self.devices.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from `config` with zeroed RAM and registers.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine {
+            regs: [0; 8],
+            eip: 0,
+            eflags: 0,
+            halted: false,
+            ram: vec![0; config.ram_size as usize],
+            devices: Vec::new(),
+            mpu: EaMpu::new(config.mpu_slots),
+            mpu_enabled: true,
+            idt_base: 0,
+            pending_irqs: BTreeSet::new(),
+            firmware_traps: BTreeSet::new(),
+            int_origin: None,
+            resume_latches: BTreeSet::new(),
+            hw_context_save: config.hw_context_save,
+            hw_save_cost: config.hw_save_cost,
+            clock: 0,
+            cycle_model: config.cycle_model,
+            firmware_costs: config.firmware_costs,
+            stats: MachineStats::default(),
+        }
+    }
+
+    // ----- clock -----
+
+    /// The cycle counter.
+    pub fn cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the clock by `cycles`; used by firmware services to charge
+    /// their modelled cost.
+    pub fn tick(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    /// The firmware cost model configured for this machine.
+    pub fn firmware_costs(&self) -> FirmwareCosts {
+        self.firmware_costs
+    }
+
+    /// The per-instruction cycle model.
+    pub fn cycle_model(&self) -> CycleModel {
+        self.cycle_model
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    // ----- registers -----
+
+    /// Reads a general-purpose register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a general-purpose register.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Snapshot of all general-purpose registers.
+    pub fn regs(&self) -> [u32; 8] {
+        self.regs
+    }
+
+    /// Replaces all general-purpose registers.
+    pub fn set_regs(&mut self, regs: [u32; 8]) {
+        self.regs = regs;
+    }
+
+    /// The instruction pointer.
+    pub fn eip(&self) -> u32 {
+        self.eip
+    }
+
+    /// Sets the instruction pointer (used by firmware when redirecting
+    /// control, e.g. an Int Mux branching to a handler). Clears the halted
+    /// state.
+    pub fn set_eip(&mut self, eip: u32) {
+        self.eip = eip;
+        self.halted = false;
+    }
+
+    /// The flags register.
+    pub fn eflags(&self) -> u32 {
+        self.eflags
+    }
+
+    /// Replaces the flags register.
+    pub fn set_eflags(&mut self, eflags: u32) {
+        self.eflags = eflags;
+    }
+
+    /// Whether interrupts are enabled (`IF` set).
+    pub fn interrupts_enabled(&self) -> bool {
+        self.eflags & EFLAGS_IF != 0
+    }
+
+    /// Whether the core is halted waiting for an interrupt.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether the hardware-assisted context save is enabled.
+    pub fn hw_context_save(&self) -> bool {
+        self.hw_context_save
+    }
+
+    // ----- physical memory and MMIO (hardware-level, no MPU) -----
+
+    fn device_index_at(&self, addr: u32) -> Option<usize> {
+        self.devices.iter().position(|d| d.range().contains(addr))
+    }
+
+    /// Reads a 32-bit little-endian word, bypassing the EA-MPU (hardware
+    /// path, loaders, debuggers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] outside RAM and devices.
+    pub fn read_word(&mut self, addr: u32) -> Result<u32, Fault> {
+        if (addr as usize) + 4 <= self.ram.len() {
+            let i = addr as usize;
+            return Ok(u32::from_le_bytes(self.ram[i..i + 4].try_into().expect("4 bytes")));
+        }
+        if let Some(dev) = self.device_index_at(addr) {
+            let base = self.devices[dev].range().start();
+            let now = self.clock;
+            return Ok(self.devices[dev].read(addr - base, now));
+        }
+        Err(Fault::Bus { addr })
+    }
+
+    /// Writes a 32-bit little-endian word, bypassing the EA-MPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] outside RAM and devices.
+    pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), Fault> {
+        if (addr as usize) + 4 <= self.ram.len() {
+            let i = addr as usize;
+            self.ram[i..i + 4].copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
+        if let Some(dev) = self.device_index_at(addr) {
+            let base = self.devices[dev].range().start();
+            let now = self.clock;
+            self.devices[dev].write(addr - base, value, now);
+            return Ok(());
+        }
+        Err(Fault::Bus { addr })
+    }
+
+    /// Reads one byte, bypassing the EA-MPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] outside RAM (byte access to MMIO is not
+    /// supported by the bus).
+    pub fn read_byte(&mut self, addr: u32) -> Result<u8, Fault> {
+        self.ram
+            .get(addr as usize)
+            .copied()
+            .ok_or(Fault::Bus { addr })
+    }
+
+    /// Writes one byte, bypassing the EA-MPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] outside RAM.
+    pub fn write_byte(&mut self, addr: u32, value: u8) -> Result<(), Fault> {
+        match self.ram.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(Fault::Bus { addr }),
+        }
+    }
+
+    /// Copies `len` bytes out of RAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] if the range leaves RAM.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, Fault> {
+        let start = addr as usize;
+        let end = start.checked_add(len as usize).ok_or(Fault::Bus { addr })?;
+        self.ram
+            .get(start..end)
+            .map(|s| s.to_vec())
+            .ok_or(Fault::Bus { addr })
+    }
+
+    /// Copies bytes into RAM (loader path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] if the range leaves RAM.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        let start = addr as usize;
+        let end = start.checked_add(bytes.len()).ok_or(Fault::Bus { addr })?;
+        match self.ram.get_mut(start..end) {
+            Some(slice) => {
+                slice.copy_from_slice(bytes);
+                Ok(())
+            }
+            None => Err(Fault::Bus { addr }),
+        }
+    }
+
+    /// Alias of [`Machine::write_bytes`] conveying loader intent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] if the range leaves RAM.
+    pub fn load_image(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        self.write_bytes(addr, bytes)
+    }
+
+    /// RAM size in bytes.
+    pub fn ram_size(&self) -> u32 {
+        self.ram.len() as u32
+    }
+
+    // ----- MPU-checked access on behalf of a software component -----
+
+    fn check(&self, actor_eip: u32, addr: u32, kind: AccessKind) -> Result<(), Fault> {
+        if self.mpu_enabled && !self.mpu.check_access(actor_eip, addr, kind).is_allowed() {
+            return Err(Fault::MpuAccess { eip: actor_eip, addr, kind });
+        }
+        Ok(())
+    }
+
+    /// Reads a word as if executed by code at `actor_eip`, enforcing the
+    /// EA-MPU. Firmware components use this so their accesses obey the same
+    /// rules as guest code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::MpuAccess`] on denial or [`Fault::Bus`] off-bus.
+    pub fn checked_read_word(&mut self, actor_eip: u32, addr: u32) -> Result<u32, Fault> {
+        self.check(actor_eip, addr, AccessKind::Read)?;
+        self.read_word(addr)
+    }
+
+    /// Writes a word as if executed by code at `actor_eip`, enforcing the
+    /// EA-MPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::MpuAccess`] on denial or [`Fault::Bus`] off-bus.
+    pub fn checked_write_word(&mut self, actor_eip: u32, addr: u32, value: u32) -> Result<(), Fault> {
+        self.check(actor_eip, addr, AccessKind::Write)?;
+        self.write_word(addr, value)
+    }
+
+    // ----- EA-MPU -----
+
+    /// The EA-MPU.
+    pub fn mpu(&self) -> &EaMpu {
+        &self.mpu
+    }
+
+    /// Mutable access to the EA-MPU (the EA-MPU driver's privilege).
+    pub fn mpu_mut(&mut self) -> &mut EaMpu {
+        &mut self.mpu
+    }
+
+    /// Enables or disables EA-MPU enforcement (disabled models the baseline
+    /// unmodified-FreeRTOS platform of the paper's comparison rows).
+    pub fn set_mpu_enabled(&mut self, enabled: bool) {
+        self.mpu_enabled = enabled;
+    }
+
+    /// Whether EA-MPU enforcement is active.
+    pub fn mpu_enabled(&self) -> bool {
+        self.mpu_enabled
+    }
+
+    // ----- interrupts -----
+
+    /// Sets the IDT base register. The register is write-once in hardware
+    /// (§4: "the register pointing to the IDT is static"); subsequent calls
+    /// are ignored once a nonzero base is set.
+    pub fn set_idt_base(&mut self, base: u32) {
+        if self.idt_base == 0 {
+            self.idt_base = base;
+        }
+    }
+
+    /// The IDT base register.
+    pub fn idt_base(&self) -> u32 {
+        self.idt_base
+    }
+
+    /// Writes IDT entry `vector` (a handler address) into memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] if the IDT slot is off-bus.
+    pub fn set_idt_entry(&mut self, vector: u8, handler: u32) -> Result<(), Fault> {
+        let addr = self.idt_base + 4 * vector as u32;
+        self.write_word(addr, handler)
+    }
+
+    /// Reads IDT entry `vector`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] if the IDT slot is off-bus.
+    pub fn idt_entry(&mut self, vector: u8) -> Result<u32, Fault> {
+        let addr = self.idt_base + 4 * vector as u32;
+        self.read_word(addr)
+    }
+
+    /// Latches an external interrupt request.
+    pub fn raise_irq(&mut self, vector: u8) {
+        self.pending_irqs.insert(vector);
+    }
+
+    /// Whether any interrupt is latched.
+    pub fn irq_pending(&self) -> bool {
+        !self.pending_irqs.is_empty()
+    }
+
+    /// The `EIP` captured by the exception engine at the last dispatch: for
+    /// `INT` the address of the `INT` instruction itself (the "origin of
+    /// the interrupt" the IPC proxy reads, §4), for hardware interrupts the
+    /// preempted instruction pointer.
+    pub fn int_origin(&self) -> Option<u32> {
+        self.int_origin
+    }
+
+    /// Arms a resume latch for `addr`, authorising one IRET to that
+    /// address as if the exception engine had interrupted there (used by
+    /// trusted firmware that synthesises an interrupt frame, e.g. the
+    /// suspend path).
+    pub fn arm_resume_latch(&mut self, addr: u32) {
+        self.resume_latches.insert(addr);
+    }
+
+    /// Drops any armed resume latches whose target lies in `region`
+    /// (called when a task is unloaded so stale latches cannot authorise
+    /// returns into reused memory).
+    pub fn clear_resume_latches_in(&mut self, region: eampu::Region) {
+        self.resume_latches.retain(|&addr| !region.contains(addr));
+    }
+
+    /// Registers `addr` as a firmware trap: when `EIP` reaches it,
+    /// [`Machine::run`] returns [`Event::FirmwareTrap`].
+    pub fn add_firmware_trap(&mut self, addr: u32) {
+        self.firmware_traps.insert(addr);
+    }
+
+    /// Unregisters a firmware trap address.
+    pub fn remove_firmware_trap(&mut self, addr: u32) {
+        self.firmware_traps.remove(&addr);
+    }
+
+    /// Pushes a word on the current stack (hardware exception-engine path,
+    /// not MPU-checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] on stack underflow past the bus.
+    pub fn push_word(&mut self, value: u32) -> Result<(), Fault> {
+        let sp = self.regs[Reg::SP.index()].wrapping_sub(4);
+        self.write_word(sp, value)?;
+        self.regs[Reg::SP.index()] = sp;
+        Ok(())
+    }
+
+    /// Pops a word from the current stack (hardware path, not MPU-checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] if the stack slot is off-bus.
+    pub fn pop_word(&mut self) -> Result<u32, Fault> {
+        let sp = self.regs[Reg::SP.index()];
+        let value = self.read_word(sp)?;
+        self.regs[Reg::SP.index()] = sp.wrapping_add(4);
+        Ok(value)
+    }
+
+    /// Dispatches an interrupt through the IDT: the exception engine pushes
+    /// `EFLAGS` and `EIP` onto the interrupted task's stack, clears `IF`,
+    /// and vectors to the handler (§4). `origin` is recorded as the
+    /// interrupt origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Bus`] if the stack or IDT access fails.
+    pub fn dispatch_interrupt(&mut self, vector: u8, origin: u32) -> Result<(), Fault> {
+        let handler = self.idt_entry(vector)?;
+        self.push_word(self.eflags)?;
+        self.push_word(self.eip)?;
+        self.resume_latches.insert(self.eip);
+        if self.hw_context_save {
+            // Hardware-assisted save (§4's alternative): the exception
+            // engine stores and wipes the scratch registers in parallel,
+            // producing the same frame layout as the Int Mux stub.
+            for i in 0..=6usize {
+                let value = self.regs[i];
+                self.push_word(value)?;
+                if i > 0 {
+                    self.regs[i] = 0;
+                }
+            }
+            self.clock += self.hw_save_cost;
+        }
+        self.eflags &= !EFLAGS_IF;
+        self.eip = handler;
+        self.int_origin = Some(origin);
+        self.halted = false;
+        self.clock += self.cycle_model.int_dispatch;
+        self.stats.interrupts += 1;
+        Ok(())
+    }
+
+    // ----- devices -----
+
+    /// Attaches a device, returning its handle (index).
+    pub fn add_device(&mut self, device: Box<dyn Device>) -> usize {
+        self.devices.push(device);
+        self.devices.len() - 1
+    }
+
+    /// Borrows an attached device downcast to its concrete type.
+    pub fn device<T: Device + 'static>(&self, handle: usize) -> Option<&T> {
+        self.devices.get(handle)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrows an attached device downcast to its concrete type.
+    pub fn device_mut<T: Device + 'static>(&mut self, handle: usize) -> Option<&mut T> {
+        self.devices.get_mut(handle)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    fn poll_devices(&mut self) {
+        let now = self.clock;
+        for dev in &mut self.devices {
+            if let Some(vector) = dev.poll_irq(now) {
+                self.pending_irqs.insert(vector);
+            }
+        }
+    }
+
+    // ----- execution -----
+
+    fn set_zs_flags(&mut self, value: u32) {
+        self.eflags &= !(EFLAGS_ZF | EFLAGS_SF);
+        if value == 0 {
+            self.eflags |= EFLAGS_ZF;
+        }
+        if (value as i32) < 0 {
+            self.eflags |= EFLAGS_SF;
+        }
+    }
+
+    fn set_arith_flags(&mut self, result: u32, carry: bool) {
+        self.set_zs_flags(result);
+        self.eflags &= !EFLAGS_CF;
+        if carry {
+            self.eflags |= EFLAGS_CF;
+        }
+    }
+
+    fn guest_read(&mut self, addr: u32, width: u8) -> Result<u32, Fault> {
+        self.check(self.eip, addr, AccessKind::Read)?;
+        match width {
+            1 => self.read_byte(addr).map(u32::from),
+            _ => self.read_word(addr),
+        }
+    }
+
+    fn guest_write(&mut self, addr: u32, value: u32, width: u8) -> Result<(), Fault> {
+        self.check(self.eip, addr, AccessKind::Write)?;
+        match width {
+            1 => self.write_byte(addr, value as u8),
+            _ => self.write_word(addr, value),
+        }
+    }
+
+    fn check_transfer(&self, from: u32, to: u32) -> Result<(), Fault> {
+        if !self.mpu_enabled {
+            return Ok(());
+        }
+        match self.mpu.check_transfer(from, to) {
+            TransferDecision::DeniedMidRegion { expected_entry } => {
+                Err(Fault::MpuTransfer { from, to, expected_entry })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Executes exactly one instruction.
+    ///
+    /// Returns `Ok(())` on normal retirement (including `HLT`, which sets
+    /// the halted state).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] that stopped the instruction; `EIP` is left at
+    /// the faulting instruction.
+    pub fn step(&mut self) -> Result<(), Fault> {
+        let eip = self.eip;
+        let first = self.read_word(eip).map_err(|_| Fault::Decode { eip })?;
+        let needs_ext = sp32::encoded_len_words(first) == 2;
+        let ext = if needs_ext {
+            Some(self.read_word(eip + 4).map_err(|_| Fault::Decode { eip })?)
+        } else {
+            None
+        };
+        let instr = decode(first, ext).map_err(|_| Fault::Decode { eip })?;
+        let fallthrough = eip + instr.size_bytes();
+        let mut next = fallthrough;
+        let mut taken = false;
+        let mut transfer_checked = false;
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Hlt => {
+                self.halted = true;
+            }
+            Instr::MovReg { rd, rs } => self.regs[rd.index()] = self.regs[rs.index()],
+            Instr::MovImm { rd, imm } => self.regs[rd.index()] = imm,
+            Instr::Add { rd, rs } => {
+                let (v, c) = self.regs[rd.index()].overflowing_add(self.regs[rs.index()]);
+                self.regs[rd.index()] = v;
+                self.set_arith_flags(v, c);
+            }
+            Instr::AddImm { rd, imm } => {
+                let (v, c) = self.regs[rd.index()].overflowing_add(imm as i32 as u32);
+                self.regs[rd.index()] = v;
+                self.set_arith_flags(v, c);
+            }
+            Instr::Sub { rd, rs } => {
+                let (v, borrow) = self.regs[rd.index()].overflowing_sub(self.regs[rs.index()]);
+                self.regs[rd.index()] = v;
+                self.set_arith_flags(v, borrow);
+            }
+            Instr::Mul { rd, rs } => {
+                let v = self.regs[rd.index()].wrapping_mul(self.regs[rs.index()]);
+                self.regs[rd.index()] = v;
+                self.set_zs_flags(v);
+            }
+            Instr::And { rd, rs } => {
+                let v = self.regs[rd.index()] & self.regs[rs.index()];
+                self.regs[rd.index()] = v;
+                self.set_zs_flags(v);
+            }
+            Instr::Or { rd, rs } => {
+                let v = self.regs[rd.index()] | self.regs[rs.index()];
+                self.regs[rd.index()] = v;
+                self.set_zs_flags(v);
+            }
+            Instr::Xor { rd, rs } => {
+                let v = self.regs[rd.index()] ^ self.regs[rs.index()];
+                self.regs[rd.index()] = v;
+                self.set_zs_flags(v);
+            }
+            Instr::Not { rd } => {
+                let v = !self.regs[rd.index()];
+                self.regs[rd.index()] = v;
+                self.set_zs_flags(v);
+            }
+            Instr::Shl { rd, rs } => {
+                let v = self.regs[rd.index()] << (self.regs[rs.index()] & 31);
+                self.regs[rd.index()] = v;
+                self.set_zs_flags(v);
+            }
+            Instr::Shr { rd, rs } => {
+                let v = self.regs[rd.index()] >> (self.regs[rs.index()] & 31);
+                self.regs[rd.index()] = v;
+                self.set_zs_flags(v);
+            }
+            Instr::Cmp { rd, rs } => {
+                let (v, borrow) = self.regs[rd.index()].overflowing_sub(self.regs[rs.index()]);
+                self.set_arith_flags(v, borrow);
+            }
+            Instr::CmpImm { rd, imm } => {
+                let (v, borrow) = self.regs[rd.index()].overflowing_sub(imm as i32 as u32);
+                self.set_arith_flags(v, borrow);
+            }
+            Instr::Ldw { rd, rs, disp } => {
+                let addr = self.regs[rs.index()].wrapping_add(disp as i32 as u32);
+                self.regs[rd.index()] = self.guest_read(addr, 4)?;
+            }
+            Instr::Ldb { rd, rs, disp } => {
+                let addr = self.regs[rs.index()].wrapping_add(disp as i32 as u32);
+                self.regs[rd.index()] = self.guest_read(addr, 1)?;
+            }
+            Instr::Stw { rd, rs, disp } => {
+                let addr = self.regs[rd.index()].wrapping_add(disp as i32 as u32);
+                self.guest_write(addr, self.regs[rs.index()], 4)?;
+            }
+            Instr::Stb { rd, rs, disp } => {
+                let addr = self.regs[rd.index()].wrapping_add(disp as i32 as u32);
+                self.guest_write(addr, self.regs[rs.index()], 1)?;
+            }
+            Instr::Jmp { target } => {
+                next = target;
+                taken = true;
+            }
+            Instr::Jcc { cond, target } => {
+                if cond.holds(self.eflags) {
+                    next = target;
+                    taken = true;
+                }
+            }
+            Instr::JmpReg { rs } => {
+                next = self.regs[rs.index()];
+                taken = true;
+            }
+            Instr::Call { target } => {
+                self.check(self.eip, self.regs[Reg::SP.index()].wrapping_sub(4), AccessKind::Write)?;
+                self.push_word(fallthrough)?;
+                next = target;
+                taken = true;
+            }
+            Instr::Ret => {
+                self.check(self.eip, self.regs[Reg::SP.index()], AccessKind::Read)?;
+                next = self.pop_word()?;
+                taken = true;
+            }
+            Instr::Push { rs } => {
+                self.check(self.eip, self.regs[Reg::SP.index()].wrapping_sub(4), AccessKind::Write)?;
+                let value = self.regs[rs.index()];
+                self.push_word(value)?;
+            }
+            Instr::Pop { rd } => {
+                self.check(self.eip, self.regs[Reg::SP.index()], AccessKind::Read)?;
+                let value = self.pop_word()?;
+                self.regs[rd.index()] = value;
+            }
+            Instr::Int { vector } => {
+                // The exception engine pushes the *return* address; origin
+                // records the INT site for the IPC proxy.
+                self.clock += self.cycle_model.cost(&instr, false);
+                self.stats.instructions += 1;
+                self.eip = fallthrough;
+                self.dispatch_interrupt(vector, eip)?;
+                return Ok(());
+            }
+            Instr::Iret => {
+                let new_eip = self.pop_word()?;
+                let new_eflags = self.pop_word()?;
+                // A resume latch (armed by the exception engine at dispatch)
+                // authorises returning into the middle of a protected
+                // region: this is the hardware half of TyTAN's secure,
+                // interruptible tasks. Without a latch the normal transfer
+                // rules apply.
+                if !self.resume_latches.remove(&new_eip) {
+                    self.check_transfer(eip, new_eip).inspect_err(|_| {
+                        // Roll back the pops so the fault is observable.
+                        self.regs[Reg::SP.index()] = self.regs[Reg::SP.index()].wrapping_sub(8);
+                    })?;
+                }
+                transfer_checked = true;
+                self.eflags = new_eflags;
+                next = new_eip;
+                taken = true;
+            }
+            Instr::Sti => self.eflags |= EFLAGS_IF,
+            Instr::Cli => self.eflags &= !EFLAGS_IF,
+        }
+
+        if !transfer_checked {
+            self.check_transfer(eip, next)?;
+        }
+        self.clock += self.cycle_model.cost(&instr, taken);
+        self.stats.instructions += 1;
+        self.eip = next;
+        Ok(())
+    }
+
+    /// Runs guest code until an [`Event`] occurs or `max_cycles` elapse.
+    ///
+    /// Pending interrupts are delivered between instructions when `IF` is
+    /// set. A registered firmware trap address takes priority: reaching one
+    /// pauses execution *before* the (virtual) instruction there runs.
+    pub fn run(&mut self, max_cycles: u64) -> Event {
+        let deadline = self.clock.saturating_add(max_cycles);
+        loop {
+            self.poll_devices();
+
+            // Deliver an interrupt if possible (also wakes a halted core).
+            if self.interrupts_enabled() {
+                if let Some(&vector) = self.pending_irqs.iter().next() {
+                    self.pending_irqs.remove(&vector);
+                    let origin = self.eip;
+                    if let Err(fault) = self.dispatch_interrupt(vector, origin) {
+                        self.stats.faults += 1;
+                        return Event::Fault(fault);
+                    }
+                }
+            }
+
+            if self.firmware_traps.contains(&self.eip) && !self.halted {
+                return Event::FirmwareTrap { addr: self.eip };
+            }
+
+            if self.halted {
+                // Idle: advance time so timer devices keep firing.
+                self.clock += 8;
+                if self.clock >= deadline {
+                    return Event::IdleBudgetExhausted;
+                }
+                continue;
+            }
+
+            if self.clock >= deadline {
+                return Event::BudgetExhausted;
+            }
+
+            if let Err(fault) = self.step() {
+                self.stats.faults += 1;
+                return Event::Fault(fault);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp32::asm::assemble;
+
+    fn machine_with(src: &str, origin: u32) -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        let p = assemble(src, origin).expect("assemble");
+        m.load_image(origin, &p.bytes).expect("load");
+        m.set_eip(origin);
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let mut m = machine_with(
+            "movi r0, 5\nmovi r1, 5\nsub r0, r1\nhlt\n",
+            0x100,
+        );
+        m.run(1_000);
+        assert_eq!(m.reg(Reg::R0), 0);
+        assert!(m.eflags() & EFLAGS_ZF != 0);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn memory_roundtrip_through_guest() {
+        let mut m = machine_with(
+            "movi r0, 0x9000\nmovi r1, 0xabcd1234\nstw [r0], r1\nldw r2, [r0]\nhlt\n",
+            0x100,
+        );
+        m.run(1_000);
+        assert_eq!(m.reg(Reg::R2), 0xabcd_1234);
+        assert_eq!(m.read_word(0x9000).unwrap(), 0xabcd_1234);
+    }
+
+    #[test]
+    fn byte_access() {
+        let mut m = machine_with(
+            "movi r0, 0x9000\nmovi r1, 0x1ff\nstb [r0], r1\nldb r2, [r0]\nhlt\n",
+            0x100,
+        );
+        m.run(1_000);
+        assert_eq!(m.reg(Reg::R2), 0xff);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let src = "movi sp, 0x10000\ncall f\nmovi r1, 2\nhlt\nf:\nmovi r0, 1\nret\n";
+        let mut m = machine_with(src, 0x100);
+        m.run(1_000);
+        assert_eq!(m.reg(Reg::R0), 1);
+        assert_eq!(m.reg(Reg::R1), 2);
+        assert_eq!(m.reg(Reg::SP), 0x10000);
+    }
+
+    #[test]
+    fn loop_counts() {
+        let src = "movi r0, 0\nmovi r1, 10\nloop:\naddi r0, 1\ncmp r0, r1\njnz loop\nhlt\n";
+        let mut m = machine_with(src, 0x100);
+        m.run(10_000);
+        assert_eq!(m.reg(Reg::R0), 10);
+    }
+
+    #[test]
+    fn software_interrupt_and_iret() {
+        // Handler at 0x500 writes a marker then IRETs back.
+        let main = "movi sp, 0x10000\nsti\nint 0x21\nmovi r2, 7\nhlt\n";
+        let handler = "movi r1, 0x55\niret\n";
+        let mut m = Machine::new(MachineConfig::default());
+        let pm = assemble(main, 0x100).unwrap();
+        let ph = assemble(handler, 0x500).unwrap();
+        m.load_image(0x100, &pm.bytes).unwrap();
+        m.load_image(0x500, &ph.bytes).unwrap();
+        m.set_idt_base(0x40);
+        m.set_idt_entry(0x21, 0x500).unwrap();
+        m.set_eip(0x100);
+        m.run(10_000);
+        assert_eq!(m.reg(Reg::R1), 0x55);
+        assert_eq!(m.reg(Reg::R2), 7);
+        assert!(m.is_halted());
+        // int origin points at the INT instruction.
+        assert_eq!(m.int_origin(), Some(0x100 + 8 + 4));
+    }
+
+    #[test]
+    fn interrupt_clears_if_and_iret_restores() {
+        let main = "movi sp, 0x10000\nsti\nint 0x21\nhlt\n";
+        let handler = "iret\n";
+        let mut m = Machine::new(MachineConfig::default());
+        let pm = assemble(main, 0x100).unwrap();
+        let ph = assemble(handler, 0x500).unwrap();
+        m.load_image(0x100, &pm.bytes).unwrap();
+        m.load_image(0x500, &ph.bytes).unwrap();
+        m.set_idt_base(0x40);
+        m.set_idt_entry(0x21, 0x500).unwrap();
+        m.set_eip(0x100);
+        // Stop exactly inside the handler via firmware trap.
+        m.add_firmware_trap(0x500);
+        let ev = m.run(10_000);
+        assert_eq!(ev, Event::FirmwareTrap { addr: 0x500 });
+        assert!(!m.interrupts_enabled(), "IF cleared during handler");
+        m.remove_firmware_trap(0x500);
+        m.run(10_000);
+        assert!(m.interrupts_enabled(), "IRET restored IF");
+    }
+
+    #[test]
+    fn firmware_trap_pauses_before_execution() {
+        let mut m = machine_with("movi r0, 1\nmovi r0, 2\nhlt\n", 0x100);
+        m.add_firmware_trap(0x108);
+        let ev = m.run(1_000);
+        assert_eq!(ev, Event::FirmwareTrap { addr: 0x108 });
+        assert_eq!(m.reg(Reg::R0), 1, "second movi not yet executed");
+    }
+
+    #[test]
+    fn mpu_blocks_foreign_data_access() {
+        use eampu::{Perms, Region, Rule};
+        let src = "movi r0, 0x8000\nldw r1, [r0]\nhlt\n";
+        let mut m = machine_with(src, 0x100);
+        m.mpu_mut()
+            .configure(Rule::new(
+                Region::new(0x4000, 0x100),
+                0x4000,
+                Region::new(0x8000, 0x100),
+                Perms::RW,
+            ))
+            .unwrap();
+        let ev = m.run(1_000);
+        assert_eq!(
+            ev,
+            Event::Fault(Fault::MpuAccess { eip: 0x108, addr: 0x8000, kind: AccessKind::Read })
+        );
+        assert_eq!(m.stats().faults, 1);
+    }
+
+    #[test]
+    fn mpu_entry_point_enforced_on_jump() {
+        use eampu::{Perms, Region, Rule};
+        // Protected region at 0x4000 with entry 0x4000; jumping to 0x4008
+        // from outside faults.
+        let src = "jmp 0x4008\n";
+        let mut m = machine_with(src, 0x100);
+        m.mpu_mut()
+            .configure(Rule::new(
+                Region::new(0x4000, 0x100),
+                0x4000,
+                Region::new(0x8000, 0x100),
+                Perms::RW,
+            ))
+            .unwrap();
+        let ev = m.run(1_000);
+        assert_eq!(
+            ev,
+            Event::Fault(Fault::MpuTransfer { from: 0x100, to: 0x4008, expected_entry: 0x4000 })
+        );
+    }
+
+    #[test]
+    fn mpu_disabled_is_baseline_platform() {
+        use eampu::{Perms, Region, Rule};
+        let src = "movi r0, 0x8000\nldw r1, [r0]\nhlt\n";
+        let mut m = machine_with(src, 0x100);
+        m.mpu_mut()
+            .configure(Rule::new(
+                Region::new(0x4000, 0x100),
+                0x4000,
+                Region::new(0x8000, 0x100),
+                Perms::RW,
+            ))
+            .unwrap();
+        m.set_mpu_enabled(false);
+        let ev = m.run(1_000);
+        assert_eq!(ev, Event::IdleBudgetExhausted);
+    }
+
+    #[test]
+    fn idt_base_register_is_write_once() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_idt_base(0x40);
+        m.set_idt_base(0x8000); // ignored: a malicious IDT cannot be installed
+        assert_eq!(m.idt_base(), 0x40);
+    }
+
+    #[test]
+    fn cycles_advance_and_tick_charges() {
+        let mut m = machine_with("nop\nhlt\n", 0x100);
+        let start = m.cycles();
+        m.run(100);
+        assert!(m.cycles() > start);
+        let before = m.cycles();
+        m.tick(1_000);
+        assert_eq!(m.cycles(), before + 1_000);
+    }
+
+    #[test]
+    fn bus_fault_on_out_of_range() {
+        let mut m = machine_with("movi r0, 0x7fffff00\nldw r1, [r0]\nhlt\n", 0x100);
+        let ev = m.run(1_000);
+        assert!(matches!(ev, Event::Fault(Fault::Bus { .. })));
+    }
+
+    #[test]
+    fn decode_fault_on_garbage() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.write_word(0x100, 0xff00_0000).unwrap();
+        m.set_eip(0x100);
+        let ev = m.run(1_000);
+        assert_eq!(ev, Event::Fault(Fault::Decode { eip: 0x100 }));
+    }
+
+    #[test]
+    fn stats_count_instructions() {
+        let mut m = machine_with("nop\nnop\nnop\nhlt\n", 0x100);
+        m.run(1_000);
+        assert_eq!(m.stats().instructions, 4);
+    }
+
+    #[test]
+    fn resume_latch_authorises_one_return_into_protected_region() {
+        use eampu::{Perms, Region, Rule};
+        // A protected region interrupted mid-execution can be resumed via
+        // IRET exactly once; a forged second IRET to the same address is
+        // denied.
+        let task = "main:\n movi r1, 1\nloop:\n addi r1, 1\n jmp loop\n";
+        let handler = "iret\n";
+        let mut m = Machine::new(MachineConfig::default());
+        let pt = assemble(task, 0x4000).unwrap();
+        let ph = assemble(handler, 0x500).unwrap();
+        m.load_image(0x4000, &pt.bytes).unwrap();
+        m.load_image(0x500, &ph.bytes).unwrap();
+        m.set_idt_base(0x40);
+        m.set_idt_entry(33, 0x500).unwrap();
+        m.mpu_mut()
+            .configure(Rule::new(
+                Region::new(0x4000, 0x100),
+                0x4000,
+                Region::new(0x9000, 0x100),
+                Perms::RW,
+            ))
+            .unwrap();
+        m.set_reg(Reg::SP, 0x8000);
+        m.set_eflags(EFLAGS_IF);
+        m.set_eip(0x4000);
+        m.run(100);
+        let interrupted_at = m.eip();
+        assert!(interrupted_at > 0x4000, "task is mid-region");
+        m.raise_irq(33);
+        m.run(100); // deliver + handler IRET resumes mid-region: allowed
+        assert!(m.eip() >= 0x4000 && m.eip() < 0x4100, "resumed in region");
+
+        // Forge a frame for the same address from unprotected code: the
+        // latch was consumed, so the IRET faults.
+        let forge = format!(
+            "main:\n movi sp, 0x8000\n movi r1, 0\n push r1\n movi r1, {interrupted_at:#x}\n push r1\n iret\n"
+        );
+        let pf = assemble(&forge, 0x600).unwrap();
+        m.load_image(0x600, &pf.bytes).unwrap();
+        m.set_eflags(0);
+        m.set_eip(0x600 + pf.symbol("main").unwrap() - 0x600);
+        let ev = m.run(1_000);
+        assert!(
+            matches!(ev, Event::Fault(Fault::MpuTransfer { .. })),
+            "forged IRET denied: {ev:?}"
+        );
+    }
+
+    #[test]
+    fn hw_context_save_builds_the_same_frame_as_the_stub() {
+        let config = MachineConfig { hw_context_save: true, ..MachineConfig::default() };
+        let mut m = Machine::new(config);
+        let main = "movi sp, 0x8000\nmovi r1, 0x11\nmovi r2, 0x22\nsti\nint 0x21\nhlt\n";
+        // The handler restores the hardware-built frame like the platform's
+        // restore stub: pop r6..r0, then IRET.
+        let handler = "pop r6\npop r5\npop r4\npop r3\npop r2\npop r1\npop r0\niret\n";
+        let pm = assemble(main, 0x100).unwrap();
+        let ph = assemble(handler, 0x500).unwrap();
+        m.load_image(0x100, &pm.bytes).unwrap();
+        m.load_image(0x500, &ph.bytes).unwrap();
+        m.set_idt_base(0x40);
+        m.set_idt_entry(0x21, 0x500).unwrap();
+        m.set_eip(0x100);
+        m.add_firmware_trap(0x500);
+        let ev = m.run(10_000);
+        assert_eq!(ev, Event::FirmwareTrap { addr: 0x500 });
+        // Frame: [r6..r0][eip][eflags] from the stack pointer, exactly the
+        // software stub's layout; registers r1..r6 wiped.
+        let sp = m.reg(Reg::SP);
+        assert_eq!(m.read_word(sp + 4 * 5).unwrap(), 0x11, "saved r1");
+        assert_eq!(m.read_word(sp + 4 * 4).unwrap(), 0x22, "saved r2");
+        assert_eq!(m.reg(Reg::R1), 0, "live r1 wiped");
+        assert_eq!(m.reg(Reg::R2), 0, "live r2 wiped");
+        // Resume restores everything.
+        m.remove_firmware_trap(0x500);
+        m.run(10_000);
+        assert_eq!(m.reg(Reg::R1), 0x11);
+        assert_eq!(m.reg(Reg::R2), 0x22);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn halted_machine_wakes_on_timer_interrupt() {
+        use crate::devices::Timer;
+        let main = "movi sp, 0x10000\nsti\nhlt\nmovi r3, 9\nhlt\n";
+        let handler = "movi r1, 1\niret\n";
+        let mut m = Machine::new(MachineConfig::default());
+        let pm = assemble(main, 0x100).unwrap();
+        let ph = assemble(handler, 0x500).unwrap();
+        m.load_image(0x100, &pm.bytes).unwrap();
+        m.load_image(0x500, &ph.bytes).unwrap();
+        m.set_idt_base(0x40);
+        m.set_idt_entry(32, 0x500).unwrap();
+        let timer = Timer::new(0xf000_0000, 32);
+        let h = m.add_device(Box::new(timer));
+        m.device_mut::<Timer>(h).unwrap().configure(500, true);
+        m.set_eip(0x100);
+        m.run(5_000);
+        assert_eq!(m.reg(Reg::R1), 1, "handler ran");
+        assert_eq!(m.reg(Reg::R3), 9, "execution resumed after hlt");
+    }
+}

@@ -1,0 +1,72 @@
+//! Robustness: the simulator must never panic, whatever bytes it executes.
+//!
+//! Random byte soup and random valid instruction streams are both run for
+//! a bounded budget; every outcome (fault, halt, budget exhaustion) is
+//! acceptable — panics and hangs are not.
+
+use proptest::prelude::*;
+use sp32::{encode, Instr, Reg};
+use sp_emu::{Machine, MachineConfig};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u32..8).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Hlt),
+        Just(Instr::Ret),
+        Just(Instr::Iret),
+        Just(Instr::Sti),
+        Just(Instr::Cli),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::MovReg { rd, rs }),
+        (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Add { rd, rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Mul { rd, rs }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Ldw { rd, rs, disp }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Stw { rd, rs, disp }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Ldb { rd, rs, disp }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Stb { rd, rs, disp }),
+        (0u32..0x2_0000).prop_map(|target| Instr::Jmp { target: target & !1 }),
+        any::<u8>().prop_map(|vector| Instr::Int { vector }),
+        arb_reg().prop_map(|rs| Instr::Push { rs }),
+        arb_reg().prop_map(|rd| Instr::Pop { rd }),
+        arb_reg().prop_map(|rs| Instr::JmpReg { rs }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_instruction_streams_never_panic(
+        instrs in proptest::collection::vec(arb_instr(), 1..64),
+        sp in 0x1000u32..0x10000,
+    ) {
+        let mut machine = Machine::new(MachineConfig::default());
+        let mut words = Vec::new();
+        for instr in &instrs {
+            encode(instr, &mut words);
+        }
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        machine.load_image(0x2000, &bytes).unwrap();
+        machine.set_eip(0x2000);
+        machine.set_reg(Reg::SP, sp & !3);
+        machine.set_idt_base(0x40);
+        // Whatever happens — fault, halt, runaway — it must return.
+        let _ = machine.run(50_000);
+    }
+
+    #[test]
+    fn random_byte_soup_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 16..256),
+        entry_offset in 0u32..64,
+    ) {
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.load_image(0x3000, &bytes).unwrap();
+        machine.set_eip(0x3000 + (entry_offset & !3));
+        machine.set_reg(Reg::SP, 0x8000);
+        let _ = machine.run(50_000);
+    }
+}

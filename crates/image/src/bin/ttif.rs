@@ -1,0 +1,90 @@
+//! The TTIF command-line tool: build, inspect, and relocate task images.
+//!
+//! ```text
+//! ttif build <source.s> -o <image.ttif> [--name n] [--stack bytes] [--secure]
+//! ttif info  <image.ttif>                       print the image header
+//! ttif measure <image.ttif>                     print the canonical
+//!                                               measurement bytes length
+//!                                               and 64-byte block count
+//! ```
+
+use sp32::asm::assemble;
+use std::process::ExitCode;
+use tytan_image::TaskImage;
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command (build | info | measure)")?;
+    let input = args.next().ok_or("missing input file")?;
+    let mut output = None;
+    let mut name = "task".to_string();
+    let mut stack = 512u32;
+    let mut secure = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" | "--output" => output = Some(args.next().ok_or("-o needs a path")?),
+            "--name" => name = args.next().ok_or("--name needs a value")?,
+            "--stack" => {
+                stack = args
+                    .next()
+                    .ok_or("--stack needs a value")?
+                    .parse()
+                    .map_err(|_| "invalid stack size")?;
+            }
+            "--secure" => secure = true,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    match command.as_str() {
+        "build" => {
+            let source = std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?;
+            let program = assemble(&source, 0).map_err(|e| e.to_string())?;
+            let image = TaskImage::from_program(name, &program, stack, secure)
+                .map_err(|e| e.to_string())?;
+            let path = output.ok_or("build requires -o <image.ttif>")?;
+            std::fs::write(&path, image.to_bytes()).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "wrote {path}: {} loadable bytes, {} relocations, {} total memory",
+                image.loadable_len(),
+                image.reloc_count(),
+                image.total_memory_size(),
+            );
+        }
+        "info" => {
+            let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
+            let image = TaskImage::parse(&bytes).map_err(|e| e.to_string())?;
+            println!("name:          {}", image.name());
+            println!("secure:        {}", image.is_secure());
+            println!("entry offset:  {:#x}", image.entry_offset());
+            println!("text:          {} bytes", image.text().len());
+            println!("data:          {} bytes", image.data().len());
+            println!("bss:           {} bytes", image.bss_len());
+            println!("stack:         {} bytes", image.stack_len());
+            println!("total memory:  {} bytes", image.total_memory_size());
+            println!("relocations:   {} sites {:?}", image.reloc_count(), image.relocs());
+        }
+        "measure" => {
+            let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
+            let image = TaskImage::parse(&bytes).map_err(|e| e.to_string())?;
+            let measurement = image.measurement_bytes();
+            println!(
+                "measurement input: {} bytes = {} hash block(s)",
+                measurement.len(),
+                image.measurement_blocks(),
+            );
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ttif: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! TTIF: the TyTAN Task Image Format.
+//!
+//! The paper extends FreeRTOS with an ELF loader because "ELF supports
+//! relocatable binaries and encodes all information required for relocation
+//! in ELF file headers" (§4). TTIF is the reproduction's equivalent: a
+//! compact relocatable container carrying exactly the information the
+//! TyTAN loader and RTM need —
+//!
+//! - the task's text and static data, linked at base address 0,
+//! - sizes for the zero-initialised `.bss` and the task stack,
+//! - the entry-point offset, the secure-task flag, and
+//! - a table of **relocation sites**: offsets of 32-bit words holding
+//!   absolute addresses that must be rebased when the image is loaded at
+//!   its runtime address.
+//!
+//! Relocation is [`apply_relocations`]; its inverse, [`revert_relocations`],
+//! is what the RTM task uses to compute *position-independent*
+//! measurements (§4: "the RTM task temporarily reverts the changes made
+//! during relocation before computing the hash digest").
+//!
+//! # Examples
+//!
+//! Build an image straight from assembled SP32 source:
+//!
+//! ```
+//! use sp32::asm::assemble;
+//! use tytan_image::TaskImage;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble("start:\n movi r0, start\n hlt\n", 0)?;
+//! let image = TaskImage::from_program("demo", &program, 256, true)?;
+//! assert_eq!(image.reloc_count(), 1);
+//! let parsed = TaskImage::parse(&image.to_bytes())?;
+//! assert_eq!(parsed, image);
+//! # Ok(())
+//! # }
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+/// Magic bytes identifying a TTIF image.
+pub const MAGIC: [u8; 4] = *b"TTIF";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from [`TaskImage::parse`] and [`TaskImage::from_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The magic bytes are wrong — not a TTIF image.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The byte stream ended before the declared contents.
+    Truncated,
+    /// The entry point offset lies outside the text section.
+    EntryOutOfRange {
+        /// The offending entry offset.
+        entry: u32,
+    },
+    /// A relocation site is unaligned or outside the loadable bytes.
+    BadRelocSite {
+        /// The offending site offset.
+        site: u32,
+    },
+    /// A section length is implausible (e.g. unaligned text).
+    BadSectionLen,
+    /// [`TaskImage::from_program`] was given a program not linked at 0.
+    ProgramNotAtBaseZero {
+        /// The program's actual origin.
+        origin: u32,
+    },
+    /// The name is longer than 255 bytes.
+    NameTooLong,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BadMagic => write!(f, "not a TTIF image (bad magic)"),
+            ImageError::BadVersion(v) => write!(f, "unsupported TTIF version {v}"),
+            ImageError::Truncated => write!(f, "truncated TTIF image"),
+            ImageError::EntryOutOfRange { entry } => {
+                write!(f, "entry offset {entry:#x} outside text section")
+            }
+            ImageError::BadRelocSite { site } => {
+                write!(f, "relocation site {site:#x} unaligned or out of range")
+            }
+            ImageError::BadSectionLen => write!(f, "implausible section length"),
+            ImageError::ProgramNotAtBaseZero { origin } => {
+                write!(f, "program must be assembled at origin 0, found {origin:#x}")
+            }
+            ImageError::NameTooLong => write!(f, "task name exceeds 255 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// A relocatable task image.
+///
+/// The runtime memory layout after loading at `base` is contiguous:
+///
+/// ```text
+/// base .. base+text_len                 text (code + embedded constants)
+///      .. +data_len                     static data
+///      .. +bss_len                      zero-initialised data
+///      .. +stack_len                    task stack (grows downwards)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskImage {
+    name: String,
+    secure: bool,
+    entry_offset: u32,
+    text: Vec<u8>,
+    data: Vec<u8>,
+    bss_len: u32,
+    stack_len: u32,
+    relocs: Vec<u32>,
+}
+
+impl TaskImage {
+    /// Assembles an image from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::EntryOutOfRange`], [`ImageError::BadRelocSite`]
+    /// (sites must be 4-byte aligned inside `text`+`data`),
+    /// [`ImageError::BadSectionLen`] (text must be word-aligned), or
+    /// [`ImageError::NameTooLong`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        secure: bool,
+        entry_offset: u32,
+        text: Vec<u8>,
+        data: Vec<u8>,
+        bss_len: u32,
+        stack_len: u32,
+        relocs: Vec<u32>,
+    ) -> Result<Self, ImageError> {
+        let name = name.into();
+        if name.len() > 255 {
+            return Err(ImageError::NameTooLong);
+        }
+        if !text.len().is_multiple_of(4) {
+            return Err(ImageError::BadSectionLen);
+        }
+        if entry_offset as usize >= text.len().max(4) {
+            return Err(ImageError::EntryOutOfRange { entry: entry_offset });
+        }
+        let loadable = (text.len() + data.len()) as u32;
+        for &site in &relocs {
+            if !site.is_multiple_of(4) || site + 4 > loadable {
+                return Err(ImageError::BadRelocSite { site });
+            }
+        }
+        Ok(TaskImage { name, secure, entry_offset, text, data, bss_len, stack_len, relocs })
+    }
+
+    /// Builds an image from a program assembled at origin 0.
+    ///
+    /// The whole program becomes the text section; the assembler's recorded
+    /// relocation sites become the TTIF relocation table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::ProgramNotAtBaseZero`] if the program was
+    /// assembled at a nonzero origin, or the validation errors of
+    /// [`TaskImage::new`].
+    pub fn from_program(
+        name: impl Into<String>,
+        program: &sp32::asm::Program,
+        stack_len: u32,
+        secure: bool,
+    ) -> Result<Self, ImageError> {
+        if program.origin != 0 {
+            return Err(ImageError::ProgramNotAtBaseZero { origin: program.origin });
+        }
+        let mut text = program.bytes.clone();
+        while !text.len().is_multiple_of(4) {
+            text.push(0);
+        }
+        TaskImage::new(name, secure, 0, text, Vec::new(), 0, stack_len, program.reloc_sites.clone())
+    }
+
+    /// The task's human-readable name (not part of the measurement).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the image requests loading as a secure (EA-MPU isolated) task.
+    pub fn is_secure(&self) -> bool {
+        self.secure
+    }
+
+    /// Entry point offset from the load base.
+    pub fn entry_offset(&self) -> u32 {
+        self.entry_offset
+    }
+
+    /// The text section.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The static-data section.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Length of the zero-initialised section.
+    pub fn bss_len(&self) -> u32 {
+        self.bss_len
+    }
+
+    /// Length of the task stack.
+    pub fn stack_len(&self) -> u32 {
+        self.stack_len
+    }
+
+    /// The relocation-site table (offsets into text+data).
+    pub fn relocs(&self) -> &[u32] {
+        &self.relocs
+    }
+
+    /// Number of relocation sites (the paper's `n`, Table 5).
+    pub fn reloc_count(&self) -> u32 {
+        self.relocs.len() as u32
+    }
+
+    /// Bytes that get copied into memory at load time (text + data).
+    pub fn loadable_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.text.len() + self.data.len());
+        out.extend_from_slice(&self.text);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Length of the loadable part in bytes.
+    pub fn loadable_len(&self) -> u32 {
+        (self.text.len() + self.data.len()) as u32
+    }
+
+    /// Total memory footprint once loaded: text + data + bss + stack.
+    pub fn total_memory_size(&self) -> u32 {
+        self.loadable_len() + self.bss_len + self.stack_len
+    }
+
+    /// Number of 64-byte hash blocks the measurement covers (the paper's
+    /// `b`, Table 7).
+    pub fn measurement_blocks(&self) -> u32 {
+        self.measurement_bytes().len().div_ceil(64) as u32
+    }
+
+    /// The canonical byte string the RTM hashes: the structural header
+    /// (entry, section sizes — the "initial stack layout" of §4) followed
+    /// by text and data *as linked at base 0*. The name is deliberately
+    /// excluded so renaming a task does not change its identity.
+    pub fn measurement_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.text.len() + self.data.len());
+        out.extend_from_slice(&(self.secure as u32).to_le_bytes());
+        out.extend_from_slice(&self.entry_offset.to_le_bytes());
+        out.extend_from_slice(&(self.text.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.bss_len.to_le_bytes());
+        out.extend_from_slice(&self.stack_len.to_le_bytes());
+        out.extend_from_slice(&self.text);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Serializes the image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(
+            40 + self.name.len() + self.text.len() + self.data.len() + 4 * self.relocs.len(),
+        );
+        buf.put_slice(&MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.secure as u32);
+        buf.put_u32_le(self.entry_offset);
+        buf.put_u32_le(self.text.len() as u32);
+        buf.put_u32_le(self.data.len() as u32);
+        buf.put_u32_le(self.bss_len);
+        buf.put_u32_le(self.stack_len);
+        buf.put_u32_le(self.relocs.len() as u32);
+        buf.put_u32_le(self.name.len() as u32);
+        buf.put_slice(self.name.as_bytes());
+        buf.put_slice(&self.text);
+        buf.put_slice(&self.data);
+        for &site in &self.relocs {
+            buf.put_u32_le(site);
+        }
+        buf.to_vec()
+    }
+
+    /// Parses an image serialized by [`TaskImage::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::BadMagic`], [`ImageError::BadVersion`],
+    /// [`ImageError::Truncated`], or the structural validation errors of
+    /// [`TaskImage::new`].
+    pub fn parse(bytes: &[u8]) -> Result<Self, ImageError> {
+        let mut buf = bytes;
+        if buf.remaining() < 40 {
+            return Err(if buf.remaining() >= 4 && buf[..4] != MAGIC {
+                ImageError::BadMagic
+            } else {
+                ImageError::Truncated
+            });
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let secure = buf.get_u32_le() != 0;
+        let entry_offset = buf.get_u32_le();
+        let text_len = buf.get_u32_le() as usize;
+        let data_len = buf.get_u32_le() as usize;
+        let bss_len = buf.get_u32_le();
+        let stack_len = buf.get_u32_le();
+        let reloc_count = buf.get_u32_le() as usize;
+        let name_len = buf.get_u32_le() as usize;
+        let need = name_len
+            .checked_add(text_len)
+            .and_then(|n| n.checked_add(data_len))
+            .and_then(|n| n.checked_add(reloc_count.checked_mul(4)?))
+            .ok_or(ImageError::Truncated)?;
+        if buf.remaining() < need {
+            return Err(ImageError::Truncated);
+        }
+        let name = String::from_utf8_lossy(&buf[..name_len]).into_owned();
+        buf.advance(name_len);
+        let text = buf[..text_len].to_vec();
+        buf.advance(text_len);
+        let data = buf[..data_len].to_vec();
+        buf.advance(data_len);
+        let mut relocs = Vec::with_capacity(reloc_count);
+        for _ in 0..reloc_count {
+            relocs.push(buf.get_u32_le());
+        }
+        TaskImage::new(name, secure, entry_offset, text, data, bss_len, stack_len, relocs)
+    }
+}
+
+/// Rebases every relocation-site word in `loadable` by adding `load_base`.
+///
+/// `loadable` is the in-memory text+data of a task image linked at 0;
+/// afterwards all absolute addresses point into `[load_base, ...)`.
+///
+/// # Panics
+///
+/// Panics if a site is out of range — images validate sites at
+/// construction, so this only fires on corrupted inputs.
+pub fn apply_relocations(loadable: &mut [u8], relocs: &[u32], load_base: u32) {
+    patch(loadable, relocs, |w| w.wrapping_add(load_base));
+}
+
+/// Reverts [`apply_relocations`]: subtracts `load_base` from every site.
+///
+/// This is the RTM's position-independent-measurement primitive: reverting
+/// a loaded task's relocations reproduces the bytes as linked at base 0, so
+/// the measurement is independent of where the task was loaded.
+///
+/// # Panics
+///
+/// Panics if a site is out of range.
+pub fn revert_relocations(loadable: &mut [u8], relocs: &[u32], load_base: u32) {
+    patch(loadable, relocs, |w| w.wrapping_sub(load_base));
+}
+
+fn patch(loadable: &mut [u8], relocs: &[u32], f: impl Fn(u32) -> u32) {
+    for &site in relocs {
+        let i = site as usize;
+        let word =
+            u32::from_le_bytes(loadable[i..i + 4].try_into().expect("validated relocation site"));
+        loadable[i..i + 4].copy_from_slice(&f(word).to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sp32::asm::assemble;
+
+    fn sample_image() -> TaskImage {
+        let program = assemble(
+            "start:\n movi r0, start\n movi r1, tail\n jmp start\ntail:\n hlt\n",
+            0,
+        )
+        .unwrap();
+        TaskImage::from_program("sample", &program, 128, true).unwrap()
+    }
+
+    #[test]
+    fn from_program_counts_relocs() {
+        let image = sample_image();
+        assert_eq!(image.reloc_count(), 3);
+        assert!(image.is_secure());
+        assert_eq!(image.entry_offset(), 0);
+        assert_eq!(image.stack_len(), 128);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let image = sample_image();
+        let parsed = TaskImage::parse(&image.to_bytes()).unwrap();
+        assert_eq!(parsed, image);
+    }
+
+    #[test]
+    fn parse_rejects_bad_magic() {
+        let mut bytes = sample_image().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(TaskImage::parse(&bytes), Err(ImageError::BadMagic));
+    }
+
+    #[test]
+    fn parse_rejects_bad_version() {
+        let mut bytes = sample_image().to_bytes();
+        bytes[4] = 99;
+        assert_eq!(TaskImage::parse(&bytes), Err(ImageError::BadVersion(99)));
+    }
+
+    #[test]
+    fn parse_rejects_truncation_at_every_length() {
+        let bytes = sample_image().to_bytes();
+        for len in 0..bytes.len() {
+            let result = TaskImage::parse(&bytes[..len]);
+            assert!(result.is_err(), "prefix of {len} bytes parsed");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_reloc() {
+        let image = sample_image();
+        let mut bytes = image.to_bytes();
+        // Last 4 bytes are the final reloc site; point it past the end.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&0xffff_fff0u32.to_le_bytes());
+        assert!(matches!(TaskImage::parse(&bytes), Err(ImageError::BadRelocSite { .. })));
+    }
+
+    #[test]
+    fn new_rejects_bad_entry() {
+        let err = TaskImage::new("t", false, 100, vec![0; 8], vec![], 0, 64, vec![]).unwrap_err();
+        assert_eq!(err, ImageError::EntryOutOfRange { entry: 100 });
+    }
+
+    #[test]
+    fn new_rejects_unaligned_reloc() {
+        let err = TaskImage::new("t", false, 0, vec![0; 8], vec![], 0, 64, vec![2]).unwrap_err();
+        assert_eq!(err, ImageError::BadRelocSite { site: 2 });
+    }
+
+    #[test]
+    fn new_rejects_unaligned_text() {
+        let err = TaskImage::new("t", false, 0, vec![0; 7], vec![], 0, 64, vec![]).unwrap_err();
+        assert_eq!(err, ImageError::BadSectionLen);
+    }
+
+    #[test]
+    fn from_program_rejects_nonzero_origin() {
+        let program = assemble("hlt\n", 0x100).unwrap();
+        assert_eq!(
+            TaskImage::from_program("t", &program, 64, false).unwrap_err(),
+            ImageError::ProgramNotAtBaseZero { origin: 0x100 }
+        );
+    }
+
+    #[test]
+    fn relocation_roundtrip_restores_linked_bytes() {
+        let image = sample_image();
+        let linked = image.loadable_bytes();
+        let mut memory = linked.clone();
+        apply_relocations(&mut memory, image.relocs(), 0x4000);
+        assert_ne!(memory, linked, "relocation changed the reloc sites");
+        revert_relocations(&mut memory, image.relocs(), 0x4000);
+        assert_eq!(memory, linked);
+    }
+
+    #[test]
+    fn relocation_only_touches_sites() {
+        let image = sample_image();
+        let linked = image.loadable_bytes();
+        let mut memory = linked.clone();
+        apply_relocations(&mut memory, image.relocs(), 0x4000);
+        let sites: Vec<usize> = image.relocs().iter().map(|&s| s as usize).collect();
+        for (i, (a, b)) in memory.iter().zip(linked.iter()).enumerate() {
+            let in_site = sites.iter().any(|&s| i >= s && i < s + 4);
+            if !in_site {
+                assert_eq!(a, b, "byte {i} changed outside relocation sites");
+            }
+        }
+    }
+
+    #[test]
+    fn relocated_addresses_point_into_load_region() {
+        let image = sample_image();
+        let base = 0x0001_2000;
+        let mut memory = image.loadable_bytes();
+        apply_relocations(&mut memory, image.relocs(), base);
+        for &site in image.relocs() {
+            let i = site as usize;
+            let word = u32::from_le_bytes(memory[i..i + 4].try_into().unwrap());
+            assert!(word >= base && word < base + image.loadable_len());
+        }
+    }
+
+    #[test]
+    fn measurement_is_position_independent_by_construction() {
+        // Two copies relocated to different bases revert to identical
+        // measurement input.
+        let image = sample_image();
+        let mut at_a = image.loadable_bytes();
+        let mut at_b = image.loadable_bytes();
+        apply_relocations(&mut at_a, image.relocs(), 0x4000);
+        apply_relocations(&mut at_b, image.relocs(), 0x9000);
+        revert_relocations(&mut at_a, image.relocs(), 0x4000);
+        revert_relocations(&mut at_b, image.relocs(), 0x9000);
+        assert_eq!(at_a, at_b);
+    }
+
+    #[test]
+    fn measurement_bytes_exclude_name() {
+        let program = assemble("start:\n hlt\n", 0).unwrap();
+        let a = TaskImage::from_program("name-a", &program, 64, true).unwrap();
+        let b = TaskImage::from_program("name-b", &program, 64, true).unwrap();
+        assert_eq!(a.measurement_bytes(), b.measurement_bytes());
+    }
+
+    #[test]
+    fn measurement_bytes_cover_structure() {
+        let program = assemble("start:\n hlt\n", 0).unwrap();
+        let a = TaskImage::from_program("t", &program, 64, true).unwrap();
+        let b = TaskImage::from_program("t", &program, 128, true).unwrap();
+        // Different stack layout => different measurement (§4).
+        assert_ne!(a.measurement_bytes(), b.measurement_bytes());
+        let c = TaskImage::from_program("t", &program, 64, false).unwrap();
+        assert_ne!(a.measurement_bytes(), c.measurement_bytes());
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let image =
+            TaskImage::new("t", false, 0, vec![0; 64], vec![1; 32], 16, 128, vec![0, 4]).unwrap();
+        assert_eq!(image.loadable_len(), 96);
+        assert_eq!(image.total_memory_size(), 240);
+        assert_eq!(image.measurement_blocks(), 2); // 24 header + 96 bytes = 120 -> 2 blocks
+    }
+
+    fn arb_image() -> impl Strategy<Value = TaskImage> {
+        (
+            proptest::collection::vec(any::<u8>(), 1..16),
+            proptest::collection::vec(any::<u8>(), 0..64),
+            0u32..64,
+            4u32..256,
+        )
+            .prop_map(|(mut name_bytes, data, bss, stack)| {
+                name_bytes.truncate(8);
+                let name: String = name_bytes.iter().map(|b| (b'a' + b % 26) as char).collect();
+                let text = vec![0u8; 32];
+                let relocs = vec![0, 8, 28];
+                TaskImage::new(name, true, 0, text, data, bss, stack, relocs).unwrap()
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_serialization_roundtrip(image in arb_image()) {
+            let parsed = TaskImage::parse(&image.to_bytes()).unwrap();
+            prop_assert_eq!(parsed, image);
+        }
+
+        #[test]
+        fn prop_relocation_roundtrip(image in arb_image(), base in 0u32..0x1000_0000) {
+            let base = base & !3;
+            let linked = image.loadable_bytes();
+            let mut memory = linked.clone();
+            apply_relocations(&mut memory, image.relocs(), base);
+            revert_relocations(&mut memory, image.relocs(), base);
+            prop_assert_eq!(memory, linked);
+        }
+
+        #[test]
+        fn prop_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = TaskImage::parse(&bytes);
+        }
+    }
+}

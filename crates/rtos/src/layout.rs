@@ -1,0 +1,127 @@
+//! The physical memory map of the simulated platform.
+//!
+//! Siskiyou Peak uses a flat physical addressing model with memory-mapped
+//! I/O (§4); every component below lives at a fixed, documented address so
+//! the boot code, the EA-MPU rules, and the tests all agree.
+
+/// Base of the interrupt descriptor table (64 vectors × 4 bytes).
+pub const IDT_BASE: u32 = 0x0000_0040;
+/// Number of IDT vectors.
+pub const IDT_VECTORS: u32 = 64;
+
+/// Base of the kernel's guest-code region: interrupt save stubs, the
+/// context-restore stub, and the idle loop live here.
+pub const KERNEL_BASE: u32 = 0x0000_0400;
+/// Size of the kernel guest-code region.
+pub const KERNEL_CODE_LEN: u32 = 0x0000_0400;
+/// The kernel firmware trap address: all interrupt stubs branch here and
+/// the host-side kernel takes over.
+pub const KERNEL_TRAP: u32 = KERNEL_BASE + KERNEL_CODE_LEN - 4;
+
+/// Top of the kernel/idle stack (used while no task context is live).
+pub const KERNEL_STACK_TOP: u32 = 0x0000_1000;
+
+/// Base of the trusted-components guest-code region (TyTAN platform only:
+/// Int Mux, entry thunks); sized generously.
+pub const TRUSTED_BASE: u32 = 0x0000_1000;
+/// Size of the trusted-components region.
+pub const TRUSTED_CODE_LEN: u32 = 0x0000_1000;
+
+/// Base of the trusted-components *data* area: the Int Mux busy flag and
+/// the interrupt dispatch table live here, protected by a static EA-MPU
+/// rule (writable by trusted code only).
+pub const TRUSTED_DATA_BASE: u32 = 0x0000_3d00;
+/// Length of the trusted data area.
+pub const TRUSTED_DATA_LEN: u32 = 0x200;
+/// The Int Mux re-entrancy/busy flag.
+pub const INTMUX_BUSY_FLAG: u32 = TRUSTED_DATA_BASE;
+/// The Int Mux handler dispatch table (one word per IDT vector).
+pub const INT_DISPATCH_TABLE: u32 = TRUSTED_DATA_BASE + 0x100;
+
+/// Start of the dynamic task heap: the loader allocates task memory here.
+pub const HEAP_BASE: u32 = 0x0000_4000;
+/// End of the dynamic task heap (exclusive); RAM above is free for tests.
+pub const HEAP_END: u32 = 0x000e_0000;
+
+/// Timer MMIO base.
+pub const TIMER_BASE: u32 = 0xf000_0000;
+/// Pedal-position sensor MMIO base (use-case Figure 2).
+pub const PEDAL_BASE: u32 = 0xf000_0100;
+/// Radar range sensor MMIO base (use-case Figure 2).
+pub const RADAR_BASE: u32 = 0xf000_0110;
+/// UART MMIO base.
+pub const UART_BASE: u32 = 0xf000_0200;
+/// Engine actuator MMIO base (use-case Figure 2).
+pub const ACTUATOR_BASE: u32 = 0xf000_0300;
+
+/// IRQ vector of the RTOS tick timer.
+pub const TICK_VECTOR: u8 = 32;
+/// Software-interrupt vector for kernel syscalls (yield/delay/suspend,
+/// queue operations).
+pub const SYSCALL_VECTOR: u8 = 0x21;
+/// Software-interrupt vector invoking TyTAN's secure IPC proxy (§4).
+pub const IPC_VECTOR: u8 = 0x30;
+
+/// Number of saved words in an interrupt frame: `r0..r6` pushed by the
+/// save stub plus `EIP` and `EFLAGS` pushed by the exception engine.
+pub const FRAME_WORDS: u32 = 9;
+
+/// Byte offset, from the post-save stack pointer, of saved register `r<i>`
+/// (`i` in `0..=6`) within an interrupt frame.
+///
+/// The stub pushes `r0` first and `r6` last, so `r6` sits at the top.
+pub fn frame_reg_offset(index: u32) -> u32 {
+    assert!(index <= 6, "only r0..r6 are in the frame");
+    (6 - index) * 4
+}
+
+/// Byte offset of the saved `EIP` within an interrupt frame.
+pub const FRAME_EIP_OFFSET: u32 = 7 * 4;
+/// Byte offset of the saved `EFLAGS` within an interrupt frame.
+pub const FRAME_EFLAGS_OFFSET: u32 = 8 * 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // Evaluated via runtime values so the checks stay meaningful if
+        // the constants become configurable.
+        let bounds = [
+            (IDT_BASE, IDT_BASE + IDT_VECTORS * 4),
+            (KERNEL_BASE, KERNEL_BASE + KERNEL_CODE_LEN),
+            (TRUSTED_BASE, TRUSTED_BASE + TRUSTED_CODE_LEN),
+            (TRUSTED_DATA_BASE, TRUSTED_DATA_BASE + TRUSTED_DATA_LEN),
+            (HEAP_BASE, HEAP_END),
+        ];
+        for pair in bounds.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "{pair:?} overlap");
+        }
+        for (start, end) in bounds {
+            assert!(start < end, "empty region {start:#x}..{end:#x}");
+        }
+    }
+
+    #[test]
+    fn trap_address_is_inside_kernel_region() {
+        let region = (KERNEL_BASE, KERNEL_BASE + KERNEL_CODE_LEN);
+        let addr = KERNEL_TRAP;
+        assert!(addr >= region.0 && addr < region.1, "{addr:#x} outside kernel region");
+    }
+
+    #[test]
+    fn frame_offsets() {
+        assert_eq!(frame_reg_offset(6), 0);
+        assert_eq!(frame_reg_offset(0), 24);
+        assert_eq!(FRAME_EIP_OFFSET, 28);
+        assert_eq!(FRAME_EFLAGS_OFFSET, 32);
+        assert_eq!(FRAME_WORDS * 4, 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "r0..r6")]
+    fn frame_offset_rejects_sp() {
+        let _ = frame_reg_offset(7);
+    }
+}

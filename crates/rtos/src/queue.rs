@@ -1,0 +1,191 @@
+//! Real-time message queues.
+//!
+//! FreeRTOS's central IPC primitive for *normal* tasks (secure tasks use
+//! TyTAN's authenticated IPC proxy instead). Queues are fixed-capacity and
+//! every operation is O(1), preserving the bounded-execution-time property
+//! the paper requires of all primitives (§4).
+
+use crate::tcb::TaskHandle;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a kernel message queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId(pub(crate) usize);
+
+impl QueueId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors from queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The queue id does not name a queue.
+    NoSuchQueue,
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::NoSuchQueue => write!(f, "no such queue"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// Outcome of a non-blocking queue operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// The operation completed with the given value (0 for sends).
+    Done(u32),
+    /// The caller must block; it was appended to the wait list.
+    Block,
+}
+
+/// A fixed-capacity FIFO of 32-bit messages with blocking semantics.
+#[derive(Debug, Clone)]
+pub struct MessageQueue {
+    capacity: usize,
+    items: VecDeque<u32>,
+    waiting_recv: VecDeque<TaskHandle>,
+    waiting_send: VecDeque<(TaskHandle, u32)>,
+}
+
+impl MessageQueue {
+    /// Creates a queue holding up to `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        MessageQueue {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+            waiting_recv: VecDeque::new(),
+            waiting_send: VecDeque::new(),
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Attempts to send `value` on behalf of `sender`.
+    ///
+    /// If a receiver is waiting the value is handed over directly and the
+    /// woken receiver is returned; if the queue is full the sender is
+    /// queued to block.
+    pub fn send(&mut self, sender: TaskHandle, value: u32) -> (QueueOp, Option<(TaskHandle, u32)>) {
+        if let Some(receiver) = self.waiting_recv.pop_front() {
+            return (QueueOp::Done(0), Some((receiver, value)));
+        }
+        if self.items.len() < self.capacity {
+            self.items.push_back(value);
+            (QueueOp::Done(0), None)
+        } else {
+            self.waiting_send.push_back((sender, value));
+            (QueueOp::Block, None)
+        }
+    }
+
+    /// Attempts to receive on behalf of `receiver`.
+    ///
+    /// Returns the dequeued value, or queues the receiver to block. If a
+    /// blocked sender can now make progress, it is returned for waking.
+    pub fn recv(&mut self, receiver: TaskHandle) -> (QueueOp, Option<TaskHandle>) {
+        match self.items.pop_front() {
+            Some(value) => {
+                // Admit one blocked sender into the freed slot.
+                let woken = self.waiting_send.pop_front().map(|(sender, v)| {
+                    self.items.push_back(v);
+                    sender
+                });
+                (QueueOp::Done(value), woken)
+            }
+            None => {
+                self.waiting_recv.push_back(receiver);
+                (QueueOp::Block, None)
+            }
+        }
+    }
+
+    /// Removes `task` from the wait lists (task deletion).
+    pub fn forget_task(&mut self, task: TaskHandle) {
+        self.waiting_recv.retain(|&h| h != task);
+        self.waiting_send.retain(|&(h, _)| h != task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: TaskHandle = TaskHandle(0);
+    const B: TaskHandle = TaskHandle(1);
+
+    #[test]
+    fn fifo_order() {
+        let mut q = MessageQueue::new(4);
+        q.send(A, 1);
+        q.send(A, 2);
+        q.send(A, 3);
+        assert_eq!(q.recv(B).0, QueueOp::Done(1));
+        assert_eq!(q.recv(B).0, QueueOp::Done(2));
+        assert_eq!(q.recv(B).0, QueueOp::Done(3));
+    }
+
+    #[test]
+    fn recv_on_empty_blocks() {
+        let mut q = MessageQueue::new(1);
+        assert_eq!(q.recv(B).0, QueueOp::Block);
+        // A later send hands the value to the blocked receiver directly.
+        let (op, handoff) = q.send(A, 42);
+        assert_eq!(op, QueueOp::Done(0));
+        assert_eq!(handoff, Some((B, 42)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn send_on_full_blocks_and_recv_wakes() {
+        let mut q = MessageQueue::new(1);
+        assert_eq!(q.send(A, 1).0, QueueOp::Done(0));
+        assert_eq!(q.send(A, 2).0, QueueOp::Block);
+        let (op, woken) = q.recv(B);
+        assert_eq!(op, QueueOp::Done(1));
+        assert_eq!(woken, Some(A));
+        // The blocked sender's value was admitted.
+        assert_eq!(q.recv(B).0, QueueOp::Done(2));
+    }
+
+    #[test]
+    fn forget_task_purges_waiters() {
+        let mut q = MessageQueue::new(1);
+        q.recv(B); // B blocks
+        q.forget_task(B);
+        let (_, handoff) = q.send(A, 7);
+        assert_eq!(handoff, None, "forgotten task not woken");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = MessageQueue::new(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Counting semaphores.
+//!
+//! FreeRTOS's binary/counting semaphores are the idiom for signalling
+//! between interrupt handlers and tasks; like every kernel primitive here
+//! they are bounded-time (§4 requirement 3).
+
+use crate::tcb::TaskHandle;
+use std::collections::VecDeque;
+
+/// Identifier of a kernel semaphore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SemaphoreId(pub(crate) usize);
+
+impl SemaphoreId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Outcome of a semaphore operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemOp {
+    /// The operation completed.
+    Done,
+    /// The caller must block.
+    Block,
+}
+
+/// A counting semaphore with a capacity ceiling.
+#[derive(Debug, Clone)]
+pub struct Semaphore {
+    count: u32,
+    max: u32,
+    waiters: VecDeque<TaskHandle>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `initial` permits, capped at `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero or `initial > max`.
+    pub fn new(initial: u32, max: u32) -> Self {
+        assert!(max > 0, "semaphore capacity must be positive");
+        assert!(initial <= max, "initial count exceeds capacity");
+        Semaphore { count: initial, max, waiters: VecDeque::new() }
+    }
+
+    /// Current permit count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Attempts to take a permit for `task`; blocks when none available.
+    pub fn take(&mut self, task: TaskHandle) -> SemOp {
+        if self.count > 0 {
+            self.count -= 1;
+            SemOp::Done
+        } else {
+            self.waiters.push_back(task);
+            SemOp::Block
+        }
+    }
+
+    /// Releases a permit; a blocked waiter is handed it directly and
+    /// returned for waking. Gives beyond `max` are ignored (FreeRTOS
+    /// semantics for counting semaphores).
+    pub fn give(&mut self) -> Option<TaskHandle> {
+        if let Some(waiter) = self.waiters.pop_front() {
+            return Some(waiter);
+        }
+        if self.count < self.max {
+            self.count += 1;
+        }
+        None
+    }
+
+    /// Removes `task` from the wait list (task deletion).
+    pub fn forget_task(&mut self, task: TaskHandle) {
+        self.waiters.retain(|&h| h != task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: TaskHandle = TaskHandle(0);
+    const B: TaskHandle = TaskHandle(1);
+
+    #[test]
+    fn take_give_cycle() {
+        let mut s = Semaphore::new(1, 1);
+        assert_eq!(s.take(A), SemOp::Done);
+        assert_eq!(s.take(B), SemOp::Block);
+        assert_eq!(s.give(), Some(B), "waiter handed the permit directly");
+        assert_eq!(s.count(), 0, "direct handoff leaves the count at zero");
+    }
+
+    #[test]
+    fn counting_semantics() {
+        let mut s = Semaphore::new(2, 3);
+        assert_eq!(s.take(A), SemOp::Done);
+        assert_eq!(s.take(A), SemOp::Done);
+        assert_eq!(s.take(A), SemOp::Block);
+        assert_eq!(s.give(), Some(A));
+        assert_eq!(s.give(), None);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn gives_saturate_at_max() {
+        let mut s = Semaphore::new(1, 1);
+        assert_eq!(s.give(), None);
+        assert_eq!(s.count(), 1, "give beyond max ignored");
+    }
+
+    #[test]
+    fn forget_task_purges_waiter() {
+        let mut s = Semaphore::new(0, 1);
+        assert_eq!(s.take(B), SemOp::Block);
+        s.forget_task(B);
+        assert_eq!(s.give(), None, "forgotten waiter not woken");
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Semaphore::new(0, 0);
+    }
+}

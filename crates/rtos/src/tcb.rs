@@ -1,0 +1,158 @@
+//! Task control blocks.
+
+use eampu::Region;
+use std::fmt;
+
+/// A handle to a task slot in the kernel's task table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskHandle(pub(crate) usize);
+
+impl TaskHandle {
+    /// The raw slot index (stable for the task's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a handle from a raw index (test harnesses and tools;
+    /// the kernel only honours handles of live tasks).
+    pub fn from_index(index: usize) -> Self {
+        TaskHandle(index)
+    }
+}
+
+impl fmt::Display for TaskHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// Whether a task is a normal task (OS-accessible) or a secure task
+/// (EA-MPU isolated from all other software including the OS, §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Isolated from other tasks but accessible to the OS.
+    Normal,
+    /// Isolated from everything including the OS.
+    Secure,
+}
+
+/// Scheduling state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Eligible to run.
+    Ready,
+    /// Currently executing on the core.
+    Running,
+    /// Sleeping until the given tick.
+    Delayed {
+        /// Absolute tick at which the task becomes ready again.
+        until_tick: u64,
+    },
+    /// Waiting on a queue operation.
+    BlockedOnQueue,
+    /// Loaded but deliberately not executing (§4 "task suspending").
+    Suspended,
+}
+
+/// Parameters for creating a task.
+#[derive(Debug, Clone)]
+pub struct TcbParams {
+    /// Human-readable name.
+    pub name: String,
+    /// Scheduling priority; higher value runs first.
+    pub priority: u8,
+    /// Absolute address of the task's entry point.
+    pub entry: u32,
+    /// Top of the task's stack (stacks grow down).
+    pub stack_top: u32,
+    /// The task's code region (for EA-MPU rules and sender identification).
+    pub code: Region,
+    /// The task's data region (data + bss + stack).
+    pub data: Region,
+    /// Normal or secure.
+    pub kind: TaskKind,
+}
+
+/// A task control block.
+#[derive(Debug, Clone)]
+pub struct Tcb {
+    /// Creation parameters.
+    pub params: TcbParams,
+    /// Current scheduling state.
+    pub state: TaskState,
+    /// Saved stack pointer (points at the interrupt frame once started).
+    pub saved_sp: u32,
+    /// Whether the task has run at least once (controls the start vs
+    /// resume path on dispatch).
+    pub started: bool,
+    /// Number of times the task has been given the CPU.
+    pub dispatches: u64,
+    /// Pending syscall return value to patch into the saved frame's `r0`
+    /// when the task next resumes (normal tasks only).
+    pub pending_result: Option<u32>,
+}
+
+impl Tcb {
+    /// Creates a ready, never-started TCB.
+    pub fn new(params: TcbParams) -> Self {
+        let saved_sp = params.stack_top;
+        Tcb {
+            params,
+            state: TaskState::Ready,
+            saved_sp,
+            started: false,
+            dispatches: 0,
+            pending_result: None,
+        }
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.params.name
+    }
+
+    /// Whether the task is a secure task.
+    pub fn is_secure(&self) -> bool {
+        self.params.kind == TaskKind::Secure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TcbParams {
+        TcbParams {
+            name: "t".into(),
+            priority: 1,
+            entry: 0x4000,
+            stack_top: 0x5000,
+            code: Region::new(0x4000, 0x100),
+            data: Region::new(0x4100, 0xf00),
+            kind: TaskKind::Normal,
+        }
+    }
+
+    #[test]
+    fn new_tcb_is_ready_and_unstarted() {
+        let tcb = Tcb::new(params());
+        assert_eq!(tcb.state, TaskState::Ready);
+        assert!(!tcb.started);
+        assert_eq!(tcb.saved_sp, 0x5000);
+        assert_eq!(tcb.dispatches, 0);
+    }
+
+    #[test]
+    fn secure_flag() {
+        let mut p = params();
+        p.kind = TaskKind::Secure;
+        assert!(Tcb::new(p).is_secure());
+        assert!(!Tcb::new(params()).is_secure());
+    }
+
+    #[test]
+    fn handle_display() {
+        assert_eq!(TaskHandle(3).to_string(), "task#3");
+        assert_eq!(TaskHandle(3).index(), 3);
+    }
+}

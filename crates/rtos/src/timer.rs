@@ -1,0 +1,122 @@
+//! Software timers: alarms and time-outs.
+//!
+//! Property (5) of the paper's real-time OS requirements (§4). Timers fire
+//! at tick granularity and execute a bounded [`TimerAction`], keeping the
+//! tick handler's execution time bounded.
+
+use crate::queue::QueueId;
+use crate::tcb::TaskHandle;
+
+/// Identifier of a software timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) usize);
+
+impl TimerId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The bounded action a timer performs when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerAction {
+    /// Resume a suspended task.
+    ResumeTask(TaskHandle),
+    /// Send a value to a queue (dropped if the queue is full).
+    QueueSend {
+        /// Destination queue.
+        queue: QueueId,
+        /// The value to send.
+        value: u32,
+    },
+    /// Record only (the trace carries the firing).
+    Noop,
+}
+
+/// A one-shot or periodic software timer.
+#[derive(Debug, Clone)]
+pub struct SoftTimer {
+    /// Ticks between firings.
+    pub period_ticks: u64,
+    /// Absolute tick of the next firing.
+    pub next_fire_tick: u64,
+    /// Whether the timer re-arms after firing.
+    pub periodic: bool,
+    /// What to do on fire.
+    pub action: TimerAction,
+    /// Whether the timer is armed.
+    pub active: bool,
+    /// How many times the timer has fired.
+    pub fired: u64,
+}
+
+impl SoftTimer {
+    /// Creates an armed timer first firing at `now + period_ticks`.
+    pub fn new(now_tick: u64, period_ticks: u64, periodic: bool, action: TimerAction) -> Self {
+        SoftTimer {
+            period_ticks: period_ticks.max(1),
+            next_fire_tick: now_tick + period_ticks.max(1),
+            periodic,
+            action,
+            active: true,
+            fired: 0,
+        }
+    }
+
+    /// Advances the timer to `tick`; returns the action if it fired.
+    pub fn advance(&mut self, tick: u64) -> Option<TimerAction> {
+        if !self.active || tick < self.next_fire_tick {
+            return None;
+        }
+        self.fired += 1;
+        if self.periodic {
+            while self.next_fire_tick <= tick {
+                self.next_fire_tick += self.period_ticks;
+            }
+        } else {
+            self.active = false;
+        }
+        Some(self.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_once() {
+        let mut t = SoftTimer::new(0, 5, false, TimerAction::Noop);
+        assert_eq!(t.advance(4), None);
+        assert_eq!(t.advance(5), Some(TimerAction::Noop));
+        assert_eq!(t.advance(100), None);
+        assert_eq!(t.fired, 1);
+        assert!(!t.active);
+    }
+
+    #[test]
+    fn periodic_rearms() {
+        let mut t = SoftTimer::new(0, 10, true, TimerAction::Noop);
+        assert_eq!(t.advance(10), Some(TimerAction::Noop));
+        assert_eq!(t.advance(15), None);
+        assert_eq!(t.advance(20), Some(TimerAction::Noop));
+        assert_eq!(t.fired, 2);
+        assert!(t.active);
+    }
+
+    #[test]
+    fn periodic_catches_up_without_burst() {
+        let mut t = SoftTimer::new(0, 10, true, TimerAction::Noop);
+        assert_eq!(t.advance(55), Some(TimerAction::Noop));
+        // Skipped firings collapse into one; next is beyond 55.
+        assert_eq!(t.next_fire_tick, 60);
+    }
+
+    #[test]
+    fn zero_period_clamped() {
+        let t = SoftTimer::new(3, 0, true, TimerAction::Noop);
+        assert_eq!(t.period_ticks, 1);
+        assert_eq!(t.next_fire_tick, 4);
+    }
+}

@@ -1,0 +1,190 @@
+//! Guest-level kernel-queue tests on the baseline platform: real SP32
+//! tasks exchanging values through a kernel message queue with blocking
+//! semantics and frame-patched syscall results.
+
+use rtos::kernel::syscall;
+use rtos::{layout, Runner, RunnerConfig, StaticTask};
+
+fn producer(count: u32) -> StaticTask {
+    StaticTask {
+        name: "producer".into(),
+        priority: 1,
+        source: format!(
+            "main:\n movi r4, 1\n\
+             loop:\n movi r1, {send}\n movi r2, 0\n mov r3, r4\n int {vec:#x}\n\
+             addi r4, 1\n cmpi r4, {end}\n jnz loop\n\
+             done:\n movi r1, {delay}\n movi r2, 1000\n int {vec:#x}\n jmp done\n",
+            send = syscall::QUEUE_SEND,
+            delay = syscall::DELAY,
+            vec = layout::SYSCALL_VECTOR,
+            end = count + 1,
+        ),
+        stack_len: 256,
+    }
+}
+
+fn consumer() -> StaticTask {
+    StaticTask {
+        name: "consumer".into(),
+        priority: 1,
+        source: format!(
+            "main:\n movi r3, out\n\
+             loop:\n movi r1, {recv}\n movi r2, 0\n int {vec:#x}\n\
+             stw [r3], r0\n addi r3, 4\n jmp loop\n\
+             out:\n .space 128\n",
+            recv = syscall::QUEUE_RECV,
+            vec = layout::SYSCALL_VECTOR,
+        ),
+        stack_len: 256,
+    }
+}
+
+#[test]
+fn producer_consumer_through_kernel_queue() {
+    let mut runner = Runner::new(RunnerConfig::default()).unwrap();
+    let queue = runner.kernel_mut().create_queue(4);
+    assert_eq!(queue.index(), 0, "tasks hardcode queue id 0");
+    let _p = runner.add_task(producer(20)).unwrap();
+    let c = runner.add_task(consumer()).unwrap();
+    runner.start().unwrap();
+    runner.run_for(3_000_000).unwrap();
+
+    let out = runner.task_symbol(c, "out").unwrap();
+    let mut received = Vec::new();
+    for i in 0..20 {
+        let v = runner.machine_mut().read_word(out + 4 * i).unwrap();
+        if v != 0 {
+            received.push(v);
+        }
+    }
+    assert_eq!(received, (1..=20).collect::<Vec<u32>>(), "in-order delivery");
+}
+
+#[test]
+fn consumer_blocks_until_producer_sends() {
+    let mut runner = Runner::new(RunnerConfig::default()).unwrap();
+    runner.kernel_mut().create_queue(2);
+    let c = runner.add_task(consumer()).unwrap();
+    runner.start().unwrap();
+    runner.run_for(500_000).unwrap();
+    // No producer: the consumer must be blocked with nothing received.
+    let out = runner.task_symbol(c, "out").unwrap();
+    assert_eq!(runner.machine_mut().read_word(out).unwrap(), 0);
+    assert_eq!(
+        runner.kernel().task(c).unwrap().state,
+        rtos::TaskState::BlockedOnQueue
+    );
+}
+
+#[test]
+fn bounded_queue_backpressure() {
+    // A fast producer against a tiny queue and a slow consumer: the
+    // producer must block rather than drop values; everything arrives.
+    let mut runner = Runner::new(RunnerConfig::default()).unwrap();
+    runner.kernel_mut().create_queue(1);
+    let _p = runner.add_task(producer(10)).unwrap();
+    let slow_consumer = StaticTask {
+        name: "slow".into(),
+        priority: 1,
+        source: format!(
+            "main:\n movi r3, out\n\
+             loop:\n movi r1, {recv}\n movi r2, 0\n int {vec:#x}\n\
+             stw [r3], r0\n addi r3, 4\n\
+             movi r1, {delay}\n movi r2, 1\n int {vec:#x}\n\
+             jmp loop\n\
+             out:\n .space 64\n",
+            recv = syscall::QUEUE_RECV,
+            delay = syscall::DELAY,
+            vec = layout::SYSCALL_VECTOR,
+        ),
+        stack_len: 256,
+    };
+    let c = runner.add_task(slow_consumer).unwrap();
+    runner.start().unwrap();
+    runner.run_for(30_000_000).unwrap();
+
+    let out = runner.task_symbol(c, "out").unwrap();
+    let received: Vec<u32> =
+        (0..10).map(|i| runner.machine_mut().read_word(out + 4 * i).unwrap()).collect();
+    assert_eq!(received, (1..=10).collect::<Vec<u32>>(), "no drops under backpressure");
+}
+
+#[test]
+fn guest_semaphore_signalling() {
+    use rtos::kernel::syscall;
+    // A waiter blocks on semaphore 0; a signaller gives it every few
+    // iterations. The waiter's counter tracks the number of permits.
+    let waiter = StaticTask {
+        name: "waiter".into(),
+        priority: 2,
+        source: format!(
+            "main:\n movi r4, counter\n\
+             loop:\n movi r1, {take}\n movi r2, 0\n int {vec:#x}\n\
+             ldw r5, [r4]\n addi r5, 1\n stw [r4], r5\n jmp loop\n\
+             counter:\n .word 0\n",
+            take = syscall::SEM_TAKE,
+            vec = layout::SYSCALL_VECTOR,
+        ),
+        stack_len: 256,
+    };
+    let signaller = StaticTask {
+        name: "signaller".into(),
+        priority: 1,
+        source: format!(
+            "main:\n movi r4, 0\n\
+             loop:\n movi r1, {give}\n movi r2, 0\n int {vec:#x}\n\
+             addi r4, 1\n cmpi r4, 7\n jnz loop\n\
+             done:\n movi r1, {delay}\n movi r2, 1000\n int {vec:#x}\n jmp done\n",
+            give = syscall::SEM_GIVE,
+            delay = syscall::DELAY,
+            vec = layout::SYSCALL_VECTOR,
+        ),
+        stack_len: 256,
+    };
+    let mut runner = Runner::new(RunnerConfig::default()).unwrap();
+    let sem = runner.kernel_mut().create_semaphore(0, 8);
+    assert_eq!(sem.index(), 0);
+    let w = runner.add_task(waiter).unwrap();
+    runner.add_task(signaller).unwrap();
+    runner.start().unwrap();
+    runner.run_for(5_000_000).unwrap();
+
+    let counter = runner.task_symbol(w, "counter").unwrap();
+    let taken = runner.machine_mut().read_word(counter).unwrap();
+    assert_eq!(taken, 7, "exactly the given permits were consumed");
+    assert_eq!(
+        runner.kernel().task(w).unwrap().state,
+        rtos::TaskState::BlockedOnQueue,
+        "waiter blocked again after draining the semaphore"
+    );
+}
+
+#[test]
+fn host_semaphore_give_wakes_guest_waiter() {
+    use rtos::kernel::syscall;
+    let waiter = StaticTask {
+        name: "waiter".into(),
+        priority: 1,
+        source: format!(
+            "main:\n movi r1, {take}\n movi r2, 0\n int {vec:#x}\n\
+             movi r4, woke\n movi r5, 1\n stw [r4], r5\n\
+             spin:\n jmp spin\n\
+             woke:\n .word 0\n",
+            take = syscall::SEM_TAKE,
+            vec = layout::SYSCALL_VECTOR,
+        ),
+        stack_len: 256,
+    };
+    let mut runner = Runner::new(RunnerConfig::default()).unwrap();
+    let sem = runner.kernel_mut().create_semaphore(0, 1);
+    let w = runner.add_task(waiter).unwrap();
+    runner.start().unwrap();
+    runner.run_for(200_000).unwrap();
+    let woke = runner.task_symbol(w, "woke").unwrap();
+    assert_eq!(runner.machine_mut().read_word(woke).unwrap(), 0, "still blocked");
+
+    // A "device driver" gives the semaphore from host context.
+    runner.kernel_mut().semaphore_give(sem).unwrap();
+    runner.run_for(200_000).unwrap();
+    assert_eq!(runner.machine_mut().read_word(woke).unwrap(), 1, "woken by give");
+}

@@ -1,0 +1,155 @@
+//! Scheduler invariants under random operation sequences.
+//!
+//! Whatever interleaving of create / suspend / resume / delete / tick /
+//! syscall / dispatch the platform produces, the kernel must preserve:
+//! the running task is the one the machine executes, ready bookkeeping is
+//! consistent, and the highest-priority ready task always wins.
+
+use eampu::Region;
+use proptest::prelude::*;
+use rtos::kernel::syscall;
+use rtos::{Kernel, KernelConfig, TaskHandle, TaskKind, TaskState, TcbParams};
+use sp32::Reg;
+use sp_emu::{Machine, MachineConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { priority: u8 },
+    SuspendIdx(usize),
+    ResumeIdx(usize),
+    DeleteIdx(usize),
+    Tick,
+    Dispatch,
+    SaveCurrent,
+    YieldCurrent,
+    DelayCurrent { ticks: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(|priority| Op::Create { priority }),
+        any::<usize>().prop_map(Op::SuspendIdx),
+        any::<usize>().prop_map(Op::ResumeIdx),
+        any::<usize>().prop_map(Op::DeleteIdx),
+        Just(Op::Tick),
+        Just(Op::Dispatch),
+        Just(Op::SaveCurrent),
+        Just(Op::YieldCurrent),
+        (1u8..5).prop_map(|ticks| Op::DelayCurrent { ticks }),
+    ]
+}
+
+fn params(index: usize, priority: u8) -> TcbParams {
+    let base = 0x1_0000 + index as u32 * 0x2000;
+    TcbParams {
+        name: format!("t{index}"),
+        priority,
+        entry: base,
+        stack_top: base + 0x1000,
+        code: Region::new(base, 0x400),
+        data: Region::new(base + 0x400, 0xc00),
+        kind: TaskKind::Normal,
+    }
+}
+
+/// Checks the kernel's structural invariants.
+fn check_invariants(kernel: &Kernel) {
+    // The current task, if any, is live and Running.
+    if let Some(current) = kernel.current() {
+        let tcb = kernel.task(current).expect("current task is live");
+        assert_eq!(tcb.state, TaskState::Running, "current task is Running");
+    }
+    // Every live task has a consistent state; only ever one Running.
+    let running = kernel
+        .handles()
+        .into_iter()
+        .filter(|&h| kernel.task(h).unwrap().state == TaskState::Running)
+        .count();
+    assert!(running <= 1, "at most one Running task");
+    if running == 1 {
+        assert!(kernel.current().is_some());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scheduler_invariants_hold_under_random_ops(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.set_mpu_enabled(false);
+        let mut kernel = Kernel::new(KernelConfig::default());
+        let mut created: Vec<TaskHandle> = Vec::new();
+        let mut next_index = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Create { priority } => {
+                    if created.len() < 12 {
+                        let handle = kernel
+                            .create_task(&mut machine, params(next_index, priority))
+                            .expect("create succeeds");
+                        created.push(handle);
+                        next_index += 1;
+                    }
+                }
+                Op::SuspendIdx(i) if !created.is_empty() => {
+                    let handle = created[i % created.len()];
+                    let _ = kernel.suspend_task(handle, machine.cycles());
+                }
+                Op::ResumeIdx(i) if !created.is_empty() => {
+                    let handle = created[i % created.len()];
+                    let _ = kernel.resume_task(handle, machine.cycles());
+                }
+                Op::DeleteIdx(i) if !created.is_empty() => {
+                    let handle = created.remove(i % created.len());
+                    let _ = kernel.delete_task(handle, machine.cycles());
+                }
+                Op::Tick => kernel.on_tick(machine.cycles()),
+                Op::Dispatch => {
+                    if kernel.current().is_none() {
+                        kernel.dispatch(&mut machine).expect("dispatch succeeds");
+                    }
+                }
+                Op::SaveCurrent => kernel.save_current(&machine),
+                Op::YieldCurrent => {
+                    if let Some(current) = kernel.current() {
+                        kernel.save_current(&machine);
+                        machine.set_reg(Reg::R1, syscall::YIELD);
+                        let _ = kernel.handle_syscall(&mut machine, current);
+                    }
+                }
+                Op::DelayCurrent { ticks } => {
+                    if let Some(current) = kernel.current() {
+                        kernel.save_current(&machine);
+                        machine.set_reg(Reg::R1, syscall::DELAY);
+                        machine.set_reg(Reg::R2, u32::from(ticks));
+                        let _ = kernel.handle_syscall(&mut machine, current);
+                    }
+                }
+                _ => {}
+            }
+            check_invariants(&kernel);
+        }
+
+        // Drain: after enough ticks every delayed task is ready again and
+        // dispatch picks the highest priority among the ready set.
+        for _ in 0..10 {
+            kernel.on_tick(machine.cycles());
+        }
+        kernel.save_current(&machine);
+        kernel.dispatch(&mut machine).expect("final dispatch");
+        if let Some(current) = kernel.current() {
+            let current_priority = kernel.task(current).unwrap().params.priority;
+            for handle in kernel.handles() {
+                let tcb = kernel.task(handle).unwrap();
+                if tcb.state == TaskState::Ready {
+                    prop_assert!(
+                        tcb.params.priority <= current_priority,
+                        "no ready task outranks the dispatched one"
+                    );
+                }
+            }
+        }
+    }
+}

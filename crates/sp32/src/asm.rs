@@ -1,0 +1,849 @@
+//! A two-pass assembler for SP32.
+//!
+//! The assembler is the "tool chain" of the reproduction: guest tasks for
+//! the TyTAN platform are authored in SP32 assembly, and the byte offsets of
+//! label-derived absolute immediates are reported so the task-image builder
+//! can emit relocation entries (the paper loads relocatable ELF binaries;
+//! see `tytan-image`).
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment (also #)
+//! .equ UART, 0xf0000000     ; named constant
+//! start:                    ; label
+//!     movi r0, UART         ; 32-bit immediate (register, constant, label)
+//!     movi r1, msg          ; label use => recorded as a relocation site
+//!     ldb  r2, [r1+0]       ; base + signed displacement
+//!     stw  [r0], r2         ; displacement defaults to 0
+//!     addi r1, 1
+//!     cmpi r2, 0
+//!     jnz  start
+//!     hlt
+//! msg:
+//!     .byte 0x68, 0x69, 0    ; data directives: .byte .word .space .align
+//! ```
+//!
+//! Conditional jumps: `jz jnz jlt jge jb jae`. `r7` may be written `sp`.
+
+use crate::encode::encode;
+use crate::isa::{Cond, Instr, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembled program: raw bytes plus the metadata the loader needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The address the program was assembled for (pass-1 base).
+    pub origin: u32,
+    /// The raw little-endian image.
+    pub bytes: Vec<u8>,
+    /// Label name to absolute address.
+    pub symbols: BTreeMap<String, u32>,
+    /// Byte offsets (relative to `origin`) of 32-bit words holding
+    /// label-derived absolute addresses. These are the program's
+    /// relocation sites.
+    pub reloc_sites: Vec<u32>,
+}
+
+impl Program {
+    /// The absolute address of a label.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sp32::asm::assemble;
+    ///
+    /// # fn main() -> Result<(), sp32::asm::AssembleError> {
+    /// let p = assemble("nop\nend: hlt\n", 0x400)?;
+    /// assert_eq!(p.symbol("end"), Some(0x404));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+/// An error produced by [`assemble`], with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+fn err(line: usize, message: impl Into<String>) -> AssembleError {
+    AssembleError { line, message: message.into() }
+}
+
+/// One source statement after lexing.
+#[derive(Debug)]
+enum Stmt {
+    Label(String),
+    Equ(String, String),
+    Instr { mnemonic: String, operands: Vec<String> },
+    Byte(Vec<String>),
+    Word(Vec<String>),
+    Space(String),
+    Align(String),
+    Ascii { bytes: Vec<u8>, nul: bool },
+}
+
+fn split_statements(source: &str) -> Result<Vec<(usize, Stmt)>, AssembleError> {
+    let mut stmts = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find([';', '#']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // One or more leading labels on the line.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !is_ident(label) {
+                return Err(err(line_no, format!("invalid label `{label}`")));
+            }
+            stmts.push((line_no, Stmt::Label(label.to_string())));
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (head, tail) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        let head_lc = head.to_ascii_lowercase();
+        let stmt = match head_lc.as_str() {
+            ".equ" => {
+                let (name, value) = tail
+                    .split_once(',')
+                    .ok_or_else(|| err(line_no, ".equ requires `name, value`"))?;
+                let name = name.trim();
+                if !is_ident(name) {
+                    return Err(err(line_no, format!("invalid .equ name `{name}`")));
+                }
+                Stmt::Equ(name.to_string(), value.trim().to_string())
+            }
+            ".ascii" | ".asciz" => {
+                let text = tail.trim();
+                let inner = text
+                    .strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .ok_or_else(|| err(line_no, ".ascii requires a double-quoted string"))?;
+                let mut bytes = Vec::with_capacity(inner.len());
+                let mut chars = inner.chars();
+                while let Some(c) = chars.next() {
+                    let byte = if c == '\\' {
+                        match chars.next() {
+                            Some('n') => b'\n',
+                            Some('t') => b'\t',
+                            Some('0') => 0,
+                            Some('\\') => b'\\',
+                            Some('"') => b'"',
+                            other => {
+                                return Err(err(
+                                    line_no,
+                                    format!("unknown escape `\\{}`", other.unwrap_or(' ')),
+                                ))
+                            }
+                        }
+                    } else if c.is_ascii() {
+                        c as u8
+                    } else {
+                        return Err(err(line_no, format!("non-ASCII character `{c}`")));
+                    };
+                    bytes.push(byte);
+                }
+                Stmt::Ascii { bytes, nul: head_lc == ".asciz" }
+            }
+            ".byte" => Stmt::Byte(split_operands(tail)),
+            ".word" => Stmt::Word(split_operands(tail)),
+            ".space" => Stmt::Space(tail.to_string()),
+            ".align" => Stmt::Align(tail.to_string()),
+            other if other.starts_with('.') => {
+                return Err(err(line_no, format!("unknown directive `{other}`")));
+            }
+            _ => Stmt::Instr { mnemonic: head_lc, operands: split_operands(tail) },
+        };
+        stmts.push((line_no, stmt));
+    }
+    Ok(stmts)
+}
+
+fn split_operands(text: &str) -> Vec<String> {
+    if text.trim().is_empty() {
+        return Vec::new();
+    }
+    text.split(',').map(|s| s.trim().to_string()).collect()
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// The size contribution of an instruction statement, by mnemonic.
+fn instr_size(mnemonic: &str) -> u32 {
+    match mnemonic {
+        "movi" | "jmp" | "jz" | "jnz" | "jlt" | "jge" | "jb" | "jae" | "call" => 8,
+        _ => 4,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Value {
+    val: u32,
+    /// Whether the value was derived from a label (position-dependent).
+    relocatable: bool,
+}
+
+struct Symbols {
+    labels: BTreeMap<String, u32>,
+    equs: BTreeMap<String, u32>,
+}
+
+impl Symbols {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        if let Some(&val) = self.labels.get(name) {
+            return Some(Value { val, relocatable: true });
+        }
+        self.equs.get(name).map(|&val| Value { val, relocatable: false })
+    }
+}
+
+fn parse_number(text: &str) -> Option<u32> {
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u32::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u32::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else {
+        body.replace('_', "").parse::<u32>().ok()?
+    };
+    Some(if neg { magnitude.wrapping_neg() } else { magnitude })
+}
+
+/// Evaluates `term (("+"|"-") term)*` where a term is a number, label, or
+/// equ constant. Only label+const keeps the relocatable flag.
+fn eval_expr(text: &str, symbols: &Symbols, line: usize) -> Result<Value, AssembleError> {
+    let mut total: u32 = 0;
+    let mut relocatable = false;
+    let mut rest = text.trim();
+    let mut sign = 1i64;
+    if rest.is_empty() {
+        return Err(err(line, "empty expression"));
+    }
+    loop {
+        // A leading '-' is consumed as part of the number literal below.
+        let term_end = rest[1..]
+            .find(['+', '-'])
+            .map(|p| p + 1)
+            .unwrap_or(rest.len());
+        let term = rest[..term_end].trim();
+        let value = if let Some(num) = parse_number(term) {
+            Value { val: num, relocatable: false }
+        } else if let Some(v) = symbols.lookup(term) {
+            v
+        } else {
+            return Err(err(line, format!("undefined symbol `{term}`")));
+        };
+        if sign >= 0 {
+            total = total.wrapping_add(value.val);
+            relocatable |= value.relocatable;
+        } else {
+            total = total.wrapping_sub(value.val);
+            // label - label is position-independent; treat any subtraction
+            // of a relocatable term as cancelling relocatability.
+            if value.relocatable {
+                relocatable = false;
+            }
+        }
+        rest = rest[term_end..].trim();
+        if rest.is_empty() {
+            break;
+        }
+        sign = if rest.starts_with('-') { -1 } else { 1 };
+        rest = rest[1..].trim();
+        if rest.is_empty() {
+            return Err(err(line, "dangling operator in expression"));
+        }
+    }
+    Ok(Value { val: total, relocatable })
+}
+
+fn parse_reg(text: &str, line: usize) -> Result<Reg, AssembleError> {
+    let t = text.to_ascii_lowercase();
+    if t == "sp" {
+        return Ok(Reg::SP);
+    }
+    if let Some(n) = t.strip_prefix('r') {
+        if let Ok(i) = n.parse::<u32>() {
+            if let Some(reg) = Reg::from_index(i) {
+                return Ok(reg);
+            }
+        }
+    }
+    Err(err(line, format!("expected register, found `{text}`")))
+}
+
+/// Parses `[reg]`, `[reg+expr]`, or `[reg-expr]`.
+fn parse_mem(
+    text: &str,
+    symbols: &Symbols,
+    line: usize,
+) -> Result<(Reg, i16), AssembleError> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory operand `[reg+disp]`, found `{text}`")))?
+        .trim();
+    let (reg_text, disp_text) = match inner.find(['+', '-']) {
+        Some(pos) => (&inner[..pos], &inner[pos..]),
+        None => (inner, ""),
+    };
+    let reg = parse_reg(reg_text.trim(), line)?;
+    let disp = if disp_text.is_empty() {
+        0
+    } else {
+        let body = disp_text[1..].trim();
+        let value = eval_expr(body, symbols, line)?;
+        if value.relocatable {
+            return Err(err(line, "displacement must be position-independent"));
+        }
+        let signed = value.val as i32;
+        if !(-32768..=32767).contains(&signed) {
+            return Err(err(line, format!("displacement {signed} out of i16 range")));
+        }
+        let magnitude = signed as i16;
+        if disp_text.starts_with('-') {
+            magnitude.checked_neg().ok_or_else(|| err(line, "displacement overflow"))?
+        } else {
+            magnitude
+        }
+    };
+    Ok((reg, disp))
+}
+
+fn imm16_value(value: Value, line: usize) -> Result<i16, AssembleError> {
+    if value.relocatable {
+        return Err(err(line, "16-bit immediate must be position-independent"));
+    }
+    let signed = value.val as i32;
+    if !(-32768..=32767).contains(&signed) && value.val > 0xffff {
+        return Err(err(line, format!("immediate {signed} out of 16-bit range")));
+    }
+    Ok(value.val as u16 as i16)
+}
+
+fn expect_operands(
+    operands: &[String],
+    n: usize,
+    mnemonic: &str,
+    line: usize,
+) -> Result<(), AssembleError> {
+    if operands.len() != n {
+        return Err(err(
+            line,
+            format!("`{mnemonic}` expects {n} operand(s), found {}", operands.len()),
+        ));
+    }
+    Ok(())
+}
+
+struct Emitter<'a> {
+    bytes: Vec<u8>,
+    origin: u32,
+    reloc_sites: Vec<u32>,
+    symbols: &'a Symbols,
+}
+
+impl Emitter<'_> {
+    fn pc(&self) -> u32 {
+        self.origin + self.bytes.len() as u32
+    }
+
+    fn emit_instr(&mut self, instr: &Instr, ext_is_reloc: bool) {
+        let mut words = Vec::with_capacity(2);
+        encode(instr, &mut words);
+        if words.len() == 2 && ext_is_reloc {
+            self.reloc_sites.push(self.bytes.len() as u32 + 4);
+        }
+        for w in words {
+            self.bytes.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn imm32(&mut self, text: &str, line: usize) -> Result<(u32, bool), AssembleError> {
+        // Register operands are not valid 32-bit immediates; report clearly.
+        if parse_reg(text, line).is_ok() {
+            return Err(err(line, format!("expected immediate, found register `{text}`")));
+        }
+        let value = eval_expr(text, self.symbols, line)?;
+        Ok((value.val, value.relocatable))
+    }
+}
+
+fn assemble_instr(
+    emitter: &mut Emitter<'_>,
+    mnemonic: &str,
+    operands: &[String],
+    line: usize,
+) -> Result<(), AssembleError> {
+    let symbols = emitter.symbols;
+    let reg = |i: usize| parse_reg(&operands[i], line);
+    match mnemonic {
+        "nop" => {
+            expect_operands(operands, 0, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Nop, false);
+        }
+        "hlt" => {
+            expect_operands(operands, 0, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Hlt, false);
+        }
+        "mov" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            emitter.emit_instr(&Instr::MovReg { rd: reg(0)?, rs: reg(1)? }, false);
+        }
+        "movi" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            let rd = reg(0)?;
+            let (imm, reloc) = emitter.imm32(&operands[1], line)?;
+            emitter.emit_instr(&Instr::MovImm { rd, imm }, reloc);
+        }
+        "add" | "sub" | "mul" | "and" | "or" | "xor" | "shl" | "shr" | "cmp" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            let rd = reg(0)?;
+            let rs = reg(1)?;
+            let instr = match mnemonic {
+                "add" => Instr::Add { rd, rs },
+                "sub" => Instr::Sub { rd, rs },
+                "mul" => Instr::Mul { rd, rs },
+                "and" => Instr::And { rd, rs },
+                "or" => Instr::Or { rd, rs },
+                "xor" => Instr::Xor { rd, rs },
+                "shl" => Instr::Shl { rd, rs },
+                "shr" => Instr::Shr { rd, rs },
+                _ => Instr::Cmp { rd, rs },
+            };
+            emitter.emit_instr(&instr, false);
+        }
+        "not" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Not { rd: reg(0)? }, false);
+        }
+        "addi" | "cmpi" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            let rd = reg(0)?;
+            let imm = imm16_value(eval_expr(&operands[1], symbols, line)?, line)?;
+            let instr = if mnemonic == "addi" {
+                Instr::AddImm { rd, imm }
+            } else {
+                Instr::CmpImm { rd, imm }
+            };
+            emitter.emit_instr(&instr, false);
+        }
+        "ldw" | "ldb" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            let rd = reg(0)?;
+            let (rs, disp) = parse_mem(&operands[1], symbols, line)?;
+            let instr = if mnemonic == "ldw" {
+                Instr::Ldw { rd, rs, disp }
+            } else {
+                Instr::Ldb { rd, rs, disp }
+            };
+            emitter.emit_instr(&instr, false);
+        }
+        "stw" | "stb" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            let (rd, disp) = parse_mem(&operands[0], symbols, line)?;
+            let rs = reg(1)?;
+            let instr = if mnemonic == "stw" {
+                Instr::Stw { rd, rs, disp }
+            } else {
+                Instr::Stb { rd, rs, disp }
+            };
+            emitter.emit_instr(&instr, false);
+        }
+        "jmp" | "call" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            let (target, reloc) = emitter.imm32(&operands[0], line)?;
+            let instr = if mnemonic == "jmp" {
+                Instr::Jmp { target }
+            } else {
+                Instr::Call { target }
+            };
+            emitter.emit_instr(&instr, reloc);
+        }
+        "jz" | "jnz" | "jlt" | "jge" | "jb" | "jae" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            let cond = match mnemonic {
+                "jz" => Cond::Z,
+                "jnz" => Cond::Nz,
+                "jlt" => Cond::Lt,
+                "jge" => Cond::Ge,
+                "jb" => Cond::B,
+                _ => Cond::Ae,
+            };
+            let (target, reloc) = emitter.imm32(&operands[0], line)?;
+            emitter.emit_instr(&Instr::Jcc { cond, target }, reloc);
+        }
+        "jmpr" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            emitter.emit_instr(&Instr::JmpReg { rs: reg(0)? }, false);
+        }
+        "ret" => {
+            expect_operands(operands, 0, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Ret, false);
+        }
+        "push" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Push { rs: reg(0)? }, false);
+        }
+        "pop" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Pop { rd: reg(0)? }, false);
+        }
+        "int" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            let value = eval_expr(&operands[0], symbols, line)?;
+            if value.relocatable || value.val > 0xff {
+                return Err(err(line, "interrupt vector must be a constant in 0..=255"));
+            }
+            emitter.emit_instr(&Instr::Int { vector: value.val as u8 }, false);
+        }
+        "iret" => {
+            expect_operands(operands, 0, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Iret, false);
+        }
+        "sti" => {
+            expect_operands(operands, 0, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Sti, false);
+        }
+        "cli" => {
+            expect_operands(operands, 0, mnemonic, line)?;
+            emitter.emit_instr(&Instr::Cli, false);
+        }
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+/// Directive sizing shared between the two passes.
+fn directive_size(
+    stmt: &Stmt,
+    pc: u32,
+    symbols: &Symbols,
+    line: usize,
+) -> Result<u32, AssembleError> {
+    Ok(match stmt {
+        Stmt::Ascii { bytes, nul } => bytes.len() as u32 + u32::from(*nul),
+        Stmt::Byte(items) => items.len() as u32,
+        Stmt::Word(items) => 4 * items.len() as u32,
+        Stmt::Space(expr) => eval_expr(expr, symbols, line)?.val,
+        Stmt::Align(expr) => {
+            let align = eval_expr(expr, symbols, line)?.val;
+            if align == 0 || !align.is_power_of_two() {
+                return Err(err(line, "alignment must be a power of two"));
+            }
+            (align - (pc % align)) % align
+        }
+        _ => 0,
+    })
+}
+
+/// Assembles SP32 source text at the given origin address.
+///
+/// # Errors
+///
+/// Returns an [`AssembleError`] with the offending line for syntax errors,
+/// unknown mnemonics or directives, out-of-range immediates, undefined or
+/// duplicate symbols.
+///
+/// # Examples
+///
+/// ```
+/// use sp32::asm::assemble;
+///
+/// # fn main() -> Result<(), sp32::asm::AssembleError> {
+/// let p = assemble(
+///     ".equ MMIO, 0xf0000000\n\
+///      loop: movi r0, MMIO\n\
+///      movi r1, loop\n\
+///      hlt\n",
+///     0x2000,
+/// )?;
+/// // `movi r1, loop` references a label: one relocation site at its
+/// // extension word (offset 12: after the first two-word movi).
+/// assert_eq!(p.reloc_sites, vec![12]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str, origin: u32) -> Result<Program, AssembleError> {
+    let stmts = split_statements(source)?;
+
+    // Pass 1: collect .equ values and label addresses.
+    let mut symbols = Symbols { labels: BTreeMap::new(), equs: BTreeMap::new() };
+    let mut pc = origin;
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Label(name) => {
+                if symbols.labels.insert(name.clone(), pc).is_some() {
+                    return Err(err(*line, format!("duplicate label `{name}`")));
+                }
+            }
+            Stmt::Equ(name, value) => {
+                // .equ may reference earlier equs but not labels (one pass).
+                let v = eval_expr(value, &symbols, *line)?;
+                if symbols.equs.insert(name.clone(), v.val).is_some() {
+                    return Err(err(*line, format!("duplicate .equ `{name}`")));
+                }
+            }
+            Stmt::Instr { mnemonic, .. } => pc += instr_size(mnemonic),
+            other => pc += directive_size(other, pc, &symbols, *line)?,
+        }
+    }
+
+    // Pass 2: emit.
+    let mut emitter = Emitter {
+        bytes: Vec::new(),
+        origin,
+        reloc_sites: Vec::new(),
+        symbols: &symbols,
+    };
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Label(_) | Stmt::Equ(..) => {}
+            Stmt::Instr { mnemonic, operands } => {
+                assemble_instr(&mut emitter, mnemonic, operands, *line)?;
+            }
+            Stmt::Ascii { bytes, nul } => {
+                emitter.bytes.extend_from_slice(bytes);
+                if *nul {
+                    emitter.bytes.push(0);
+                }
+            }
+            Stmt::Byte(items) => {
+                for item in items {
+                    let v = eval_expr(item, &symbols, *line)?;
+                    if v.relocatable {
+                        return Err(err(*line, ".byte values must be position-independent"));
+                    }
+                    if v.val > 0xff && (v.val as i32) < -128 {
+                        return Err(err(*line, format!("byte value {} out of range", v.val)));
+                    }
+                    emitter.bytes.push(v.val as u8);
+                }
+            }
+            Stmt::Word(items) => {
+                for item in items {
+                    let v = eval_expr(item, &symbols, *line)?;
+                    if v.relocatable {
+                        emitter.reloc_sites.push(emitter.bytes.len() as u32);
+                    }
+                    emitter.bytes.extend_from_slice(&v.val.to_le_bytes());
+                }
+            }
+            other => {
+                let size = directive_size(other, emitter.pc(), &symbols, *line)?;
+                emitter.bytes.extend(std::iter::repeat_n(0u8, size as usize));
+            }
+        }
+    }
+
+    let Emitter { bytes, reloc_sites, .. } = emitter;
+    Ok(Program { origin, bytes, symbols: symbols.labels, reloc_sites })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+
+    fn words_of(p: &Program) -> Vec<u32> {
+        p.bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn assembles_minimal_program() {
+        let p = assemble("movi r0, 42\nhlt\n", 0).unwrap();
+        assert_eq!(p.bytes.len(), 12);
+        let words = words_of(&p);
+        assert_eq!(
+            decode(words[0], Some(words[1])).unwrap(),
+            Instr::MovImm { rd: Reg::R0, imm: 42 }
+        );
+        assert_eq!(decode(words[2], None).unwrap(), Instr::Hlt);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let src = "top:\n jmp bottom\n nop\nbottom:\n jmp top\n";
+        let p = assemble(src, 0x100).unwrap();
+        assert_eq!(p.symbol("top"), Some(0x100));
+        assert_eq!(p.symbol("bottom"), Some(0x10c));
+        let words = words_of(&p);
+        assert_eq!(decode(words[0], Some(words[1])).unwrap(), Instr::Jmp { target: 0x10c });
+        assert_eq!(decode(words[3], Some(words[4])).unwrap(), Instr::Jmp { target: 0x100 });
+    }
+
+    #[test]
+    fn reloc_sites_track_label_immediates_only() {
+        let src = ".equ K, 0x1234\nstart:\n movi r0, K\n movi r1, start\n jmp start\n hlt\n";
+        let p = assemble(src, 0).unwrap();
+        // movi r0, K: constant, no reloc. movi r1, start: ext word at 12.
+        // jmp start: ext word at 20.
+        assert_eq!(p.reloc_sites, vec![12, 20]);
+    }
+
+    #[test]
+    fn word_directive_with_label_is_reloc_site() {
+        let src = "entry:\n hlt\ntable:\n .word entry, 7\n";
+        let p = assemble(src, 0x40).unwrap();
+        assert_eq!(p.reloc_sites, vec![4]);
+        let words = words_of(&p);
+        assert_eq!(words[1], 0x40);
+        assert_eq!(words[2], 7);
+    }
+
+    #[test]
+    fn label_difference_is_position_independent() {
+        let src = "a:\n nop\n nop\nb:\n movi r0, b-a\n hlt\n";
+        let p = assemble(src, 0x1000).unwrap();
+        assert!(p.reloc_sites.is_empty());
+        let words = words_of(&p);
+        assert_eq!(words[3], 8);
+    }
+
+    #[test]
+    fn memory_operands_parse_displacements() {
+        let p = assemble("ldw r0, [r1+8]\nstw [sp-4], r2\nldb r3, [r4]\n", 0).unwrap();
+        let words = words_of(&p);
+        assert_eq!(
+            decode(words[0], None).unwrap(),
+            Instr::Ldw { rd: Reg::R0, rs: Reg::R1, disp: 8 }
+        );
+        assert_eq!(
+            decode(words[1], None).unwrap(),
+            Instr::Stw { rd: Reg::R7, rs: Reg::R2, disp: -4 }
+        );
+        assert_eq!(
+            decode(words[2], None).unwrap(),
+            Instr::Ldb { rd: Reg::R3, rs: Reg::R4, disp: 0 }
+        );
+    }
+
+    #[test]
+    fn align_and_space_directives() {
+        let p = assemble(".byte 1\n.align 4\n.space 8\nend: hlt\n", 0).unwrap();
+        assert_eq!(p.symbol("end"), Some(12));
+        assert_eq!(&p.bytes[..12], &[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ascii_directives_emit_strings() {
+        let p = assemble(".ascii \"hi\"\n.asciz \"ok\"\nend: hlt\n", 0).unwrap();
+        assert_eq!(&p.bytes[..5], b"hiok\0");
+        assert_eq!(p.symbol("end"), Some(5));
+    }
+
+    #[test]
+    fn ascii_escapes_and_errors() {
+        let p = assemble(".ascii \"a\\n\\0b\"\nhlt\n", 0).unwrap();
+        assert_eq!(&p.bytes[..4], b"a\n\0b");
+        assert!(assemble(".ascii no-quotes\n", 0).is_err());
+        assert!(assemble(".ascii \"caf\u{e9}\"\n", 0).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; top comment\n\n nop # trailing\n", 0).unwrap();
+        assert_eq!(p.bytes.len(), 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r0\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\nnop\na:\n", 0).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let e = assemble("jmp nowhere\n", 0).unwrap_err();
+        assert!(e.message.contains("undefined"));
+    }
+
+    #[test]
+    fn displacement_out_of_range_rejected() {
+        let e = assemble("ldw r0, [r1+70000]\n", 0).unwrap_err();
+        assert!(e.message.contains("range"));
+    }
+
+    #[test]
+    fn interrupt_vector_must_be_small_constant() {
+        assert!(assemble("int 0x30\n", 0).is_ok());
+        assert!(assemble("int 300\n", 0).is_err());
+    }
+
+    #[test]
+    fn origin_shifts_all_symbols_and_targets() {
+        let src = "start:\n movi r0, start\n hlt\n";
+        let p0 = assemble(src, 0).unwrap();
+        let p1 = assemble(src, 0x8000).unwrap();
+        assert_eq!(p0.bytes.len(), p1.bytes.len());
+        assert_eq!(words_of(&p0)[1], 0);
+        assert_eq!(words_of(&p1)[1], 0x8000);
+        // Identical reloc sites regardless of origin.
+        assert_eq!(p0.reloc_sites, p1.reloc_sites);
+    }
+
+    #[test]
+    fn sti_cli_iret_ret_roundtrip() {
+        let p = assemble("sti\ncli\niret\nret\n", 0).unwrap();
+        let words = words_of(&p);
+        assert_eq!(decode(words[0], None).unwrap(), Instr::Sti);
+        assert_eq!(decode(words[1], None).unwrap(), Instr::Cli);
+        assert_eq!(decode(words[2], None).unwrap(), Instr::Iret);
+        assert_eq!(decode(words[3], None).unwrap(), Instr::Ret);
+    }
+
+    #[test]
+    fn conditional_jumps_assemble() {
+        let src = "t:\n jz t\n jnz t\n jlt t\n jge t\n jb t\n jae t\n";
+        let p = assemble(src, 0).unwrap();
+        let words = words_of(&p);
+        let conds = [Cond::Z, Cond::Nz, Cond::Lt, Cond::Ge, Cond::B, Cond::Ae];
+        for (i, cond) in conds.iter().enumerate() {
+            assert_eq!(
+                decode(words[2 * i], Some(words[2 * i + 1])).unwrap(),
+                Instr::Jcc { cond: *cond, target: 0 }
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The SP32 command-line tool chain: assembler and disassembler.
+//!
+//! ```text
+//! sp32 asm    <source.s>  [--base <addr>] [-o <out.bin>]   assemble
+//! sp32 disasm <image.bin> [--base <addr>]                  disassemble
+//! sp32 symbols <source.s> [--base <addr>]                  dump label addresses
+//! ```
+//!
+//! Addresses accept decimal or `0x` hex. Without `-o`, `asm` prints a hex
+//! dump plus the relocation sites.
+
+use sp32::asm::assemble;
+use sp32::disasm::{disassemble, listing};
+use std::process::ExitCode;
+
+fn parse_addr(text: &str) -> Result<u32, String> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| format!("invalid address `{text}`"))
+}
+
+struct Options {
+    command: String,
+    input: String,
+    base: u32,
+    output: Option<String>,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let command = args.next().ok_or("missing command (asm | disasm | symbols)")?;
+    let mut input = None;
+    let mut base = 0u32;
+    let mut output = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--base" => {
+                let value = args.next().ok_or("--base needs a value")?;
+                base = parse_addr(&value)?;
+            }
+            "-o" | "--output" => {
+                output = Some(args.next().ok_or("-o needs a path")?);
+            }
+            "-h" | "--help" => return Err("usage: sp32 <asm|disasm|symbols> <file> [--base addr] [-o out]".into()),
+            other if input.is_none() => input = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Options {
+        command,
+        input: input.ok_or("missing input file")?,
+        base,
+        output,
+    })
+}
+
+fn hexdump(bytes: &[u8], base: u32) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        let _ = write!(out, "{:08x}: ", base as usize + i * 16);
+        for b in chunk {
+            let _ = write!(out, "{b:02x} ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_args(std::env::args().skip(1))?;
+    match options.command.as_str() {
+        "asm" => {
+            let source = std::fs::read_to_string(&options.input)
+                .map_err(|e| format!("read {}: {e}", options.input))?;
+            let program = assemble(&source, options.base).map_err(|e| e.to_string())?;
+            match &options.output {
+                Some(path) => {
+                    std::fs::write(path, &program.bytes)
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                    eprintln!(
+                        "wrote {} bytes at base {:#x} ({} relocation sites)",
+                        program.bytes.len(),
+                        program.origin,
+                        program.reloc_sites.len(),
+                    );
+                }
+                None => {
+                    print!("{}", hexdump(&program.bytes, program.origin));
+                    if !program.reloc_sites.is_empty() {
+                        println!("relocation sites (byte offsets): {:?}", program.reloc_sites);
+                    }
+                }
+            }
+        }
+        "disasm" => {
+            let bytes = std::fs::read(&options.input)
+                .map_err(|e| format!("read {}: {e}", options.input))?;
+            match disassemble(&bytes, options.base) {
+                Ok(lines) => print!("{}", listing(&lines)),
+                Err((prefix, error, addr)) => {
+                    print!("{}", listing(&prefix));
+                    return Err(format!("decode error at {addr:#010x}: {error}"));
+                }
+            }
+        }
+        "symbols" => {
+            let source = std::fs::read_to_string(&options.input)
+                .map_err(|e| format!("read {}: {e}", options.input))?;
+            let program = assemble(&source, options.base).map_err(|e| e.to_string())?;
+            for (name, addr) in &program.symbols {
+                println!("{addr:08x} {name}");
+            }
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sp32: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Disassembler for SP32 machine code.
+
+use crate::encode::{decode, encoded_len_words, DecodeError};
+use crate::isa::Instr;
+
+/// One disassembled instruction with its address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line {
+    /// Address of the first byte of the instruction.
+    pub addr: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+}
+
+/// Disassembles a little-endian byte image starting at `base`.
+///
+/// Decoding stops at the first malformed instruction; the successfully
+/// decoded prefix is returned alongside the error (the caller may want to
+/// render partial output, [C-INTERMEDIATE]).
+///
+/// # Errors
+///
+/// Returns the lines decoded so far plus the [`DecodeError`] and the address
+/// where it occurred.
+///
+/// # Examples
+///
+/// ```
+/// use sp32::asm::assemble;
+/// use sp32::disasm::disassemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("movi r0, 7\nhlt\n", 0x100)?;
+/// let lines = disassemble(&p.bytes, 0x100).map_err(|(_, e, _)| e)?;
+/// assert_eq!(lines.len(), 2);
+/// assert_eq!(lines[1].addr, 0x108);
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::type_complexity)]
+pub fn disassemble(bytes: &[u8], base: u32) -> Result<Vec<Line>, (Vec<Line>, DecodeError, u32)> {
+    let mut lines = Vec::new();
+    let words: Vec<u32> = bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect();
+    let mut i = 0;
+    while i < words.len() {
+        let addr = base + (i as u32) * 4;
+        let first = words[i];
+        let len = encoded_len_words(first);
+        let ext = if len == 2 { words.get(i + 1).copied() } else { None };
+        match decode(first, ext) {
+            Ok(instr) => {
+                lines.push(Line { addr, instr });
+                i += len;
+            }
+            Err(e) => return Err((lines, e, addr)),
+        }
+    }
+    Ok(lines)
+}
+
+/// Renders a disassembly listing as text, one instruction per line.
+///
+/// # Examples
+///
+/// ```
+/// use sp32::asm::assemble;
+/// use sp32::disasm::{disassemble, listing};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("nop\nhlt\n", 0)?;
+/// let lines = disassemble(&p.bytes, 0).map_err(|(_, e, _)| e)?;
+/// assert_eq!(listing(&lines), "00000000: nop\n00000004: hlt\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn listing(lines: &[Line]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for line in lines {
+        let _ = writeln!(out, "{:08x}: {}", line.addr, line.instr);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn disassembles_assembled_program() {
+        let src = "start:\n movi r0, 0xf0000000\n ldw r1, [r0+4]\n cmpi r1, 0\n jz start\n hlt\n";
+        let p = assemble(src, 0x1000).unwrap();
+        let lines = disassemble(&p.bytes, 0x1000).unwrap();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0].addr, 0x1000);
+        assert_eq!(lines.last().unwrap().instr, Instr::Hlt);
+    }
+
+    #[test]
+    fn reports_error_with_partial_prefix() {
+        let mut bytes = Vec::new();
+        let p = assemble("nop\n", 0).unwrap();
+        bytes.extend_from_slice(&p.bytes);
+        bytes.extend_from_slice(&0xff00_0000u32.to_le_bytes());
+        let (prefix, err, addr) = disassemble(&bytes, 0).unwrap_err();
+        assert_eq!(prefix.len(), 1);
+        assert_eq!(addr, 4);
+        assert!(matches!(err, DecodeError::UnknownOpcode(0xff)));
+    }
+
+    #[test]
+    fn listing_format() {
+        let p = assemble("nop\n", 0x20).unwrap();
+        let lines = disassemble(&p.bytes, 0x20).unwrap();
+        assert_eq!(listing(&lines), "00000020: nop\n");
+    }
+}

@@ -1,0 +1,357 @@
+//! Binary instruction encoding.
+//!
+//! Layout of the primary word:
+//!
+//! ```text
+//! [31:24] opcode
+//! [23:21] rd
+//! [20:18] rs
+//! [17:16] reserved (condition code for Jcc lives in [23:21])
+//! [15:0]  imm16 / displacement / vector
+//! ```
+//!
+//! Instructions with a 32-bit immediate ([`Instr::MovImm`], [`Instr::Jmp`],
+//! [`Instr::Jcc`], [`Instr::Call`]) are followed by one extension word
+//! holding the immediate verbatim.
+
+use crate::isa::{Cond, Instr, Reg};
+use std::fmt;
+
+mod op {
+    pub const NOP: u32 = 0x00;
+    pub const HLT: u32 = 0x01;
+    pub const MOVR: u32 = 0x02;
+    pub const MOVI: u32 = 0x03;
+    pub const ADD: u32 = 0x10;
+    pub const SUB: u32 = 0x11;
+    pub const AND: u32 = 0x12;
+    pub const OR: u32 = 0x13;
+    pub const XOR: u32 = 0x14;
+    pub const SHL: u32 = 0x15;
+    pub const SHR: u32 = 0x16;
+    pub const ADDI: u32 = 0x17;
+    pub const MUL: u32 = 0x18;
+    pub const NOT: u32 = 0x19;
+    pub const CMP: u32 = 0x1a;
+    pub const CMPI: u32 = 0x1b;
+    pub const LDW: u32 = 0x20;
+    pub const STW: u32 = 0x21;
+    pub const LDB: u32 = 0x22;
+    pub const STB: u32 = 0x23;
+    pub const JMP: u32 = 0x30;
+    pub const JCC: u32 = 0x31;
+    pub const JMPR: u32 = 0x32;
+    pub const CALL: u32 = 0x33;
+    pub const RET: u32 = 0x34;
+    pub const PUSH: u32 = 0x40;
+    pub const POP: u32 = 0x41;
+    pub const INT: u32 = 0x50;
+    pub const IRET: u32 = 0x51;
+    pub const STI: u32 = 0x52;
+    pub const CLI: u32 = 0x53;
+}
+
+fn word(opcode: u32, rd: u32, rs: u32, imm16: u32) -> u32 {
+    (opcode << 24) | (rd << 21) | (rs << 18) | (imm16 & 0xffff)
+}
+
+/// Encodes an instruction into one or two 32-bit words, appended to `out`.
+///
+/// # Examples
+///
+/// ```
+/// use sp32::{encode, Instr, Reg};
+///
+/// let mut words = Vec::new();
+/// encode(&Instr::MovImm { rd: Reg::R0, imm: 0x1234_5678 }, &mut words);
+/// assert_eq!(words.len(), 2);
+/// assert_eq!(words[1], 0x1234_5678);
+/// ```
+pub fn encode(instr: &Instr, out: &mut Vec<u32>) {
+    use op::*;
+    match *instr {
+        Instr::Nop => out.push(word(NOP, 0, 0, 0)),
+        Instr::Hlt => out.push(word(HLT, 0, 0, 0)),
+        Instr::MovReg { rd, rs } => out.push(word(MOVR, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::MovImm { rd, imm } => {
+            out.push(word(MOVI, rd.index() as u32, 0, 0));
+            out.push(imm);
+        }
+        Instr::Add { rd, rs } => out.push(word(ADD, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::AddImm { rd, imm } => out.push(word(ADDI, rd.index() as u32, 0, imm as u16 as u32)),
+        Instr::Sub { rd, rs } => out.push(word(SUB, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::Mul { rd, rs } => out.push(word(MUL, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::And { rd, rs } => out.push(word(AND, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::Or { rd, rs } => out.push(word(OR, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::Xor { rd, rs } => out.push(word(XOR, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::Not { rd } => out.push(word(NOT, rd.index() as u32, 0, 0)),
+        Instr::Shl { rd, rs } => out.push(word(SHL, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::Shr { rd, rs } => out.push(word(SHR, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::Cmp { rd, rs } => out.push(word(CMP, rd.index() as u32, rs.index() as u32, 0)),
+        Instr::CmpImm { rd, imm } => out.push(word(CMPI, rd.index() as u32, 0, imm as u16 as u32)),
+        Instr::Ldw { rd, rs, disp } => {
+            out.push(word(LDW, rd.index() as u32, rs.index() as u32, disp as u16 as u32))
+        }
+        Instr::Stw { rd, rs, disp } => {
+            out.push(word(STW, rd.index() as u32, rs.index() as u32, disp as u16 as u32))
+        }
+        Instr::Ldb { rd, rs, disp } => {
+            out.push(word(LDB, rd.index() as u32, rs.index() as u32, disp as u16 as u32))
+        }
+        Instr::Stb { rd, rs, disp } => {
+            out.push(word(STB, rd.index() as u32, rs.index() as u32, disp as u16 as u32))
+        }
+        Instr::Jmp { target } => {
+            out.push(word(JMP, 0, 0, 0));
+            out.push(target);
+        }
+        Instr::Jcc { cond, target } => {
+            out.push(word(JCC, cond.code(), 0, 0));
+            out.push(target);
+        }
+        Instr::JmpReg { rs } => out.push(word(JMPR, 0, rs.index() as u32, 0)),
+        Instr::Call { target } => {
+            out.push(word(CALL, 0, 0, 0));
+            out.push(target);
+        }
+        Instr::Ret => out.push(word(RET, 0, 0, 0)),
+        Instr::Push { rs } => out.push(word(PUSH, 0, rs.index() as u32, 0)),
+        Instr::Pop { rd } => out.push(word(POP, rd.index() as u32, 0, 0)),
+        Instr::Int { vector } => out.push(word(INT, 0, 0, vector as u32)),
+        Instr::Iret => out.push(word(IRET, 0, 0, 0)),
+        Instr::Sti => out.push(word(STI, 0, 0, 0)),
+        Instr::Cli => out.push(word(CLI, 0, 0, 0)),
+    }
+}
+
+/// How many 32-bit words the instruction starting with `first_word` occupies.
+///
+/// This never fails: unknown opcodes are reported as single-word so that a
+/// decoder can step over them and report a precise [`DecodeError`].
+pub fn encoded_len_words(first_word: u32) -> usize {
+    match first_word >> 24 {
+        op::MOVI | op::JMP | op::JCC | op::CALL => 2,
+        _ => 1,
+    }
+}
+
+/// An error produced when decoding a malformed instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name any SP32 instruction.
+    UnknownOpcode(u8),
+    /// The instruction needs an extension word but none was supplied.
+    MissingExtWord,
+    /// A conditional jump used a reserved condition code.
+    BadCondition(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::MissingExtWord => write!(f, "missing immediate extension word"),
+            DecodeError::BadCondition(code) => write!(f, "reserved condition code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd_of(w: u32) -> Reg {
+    Reg::from_index((w >> 21) & 0x7).expect("3-bit field is always a valid register")
+}
+
+fn rs_of(w: u32) -> Reg {
+    Reg::from_index((w >> 18) & 0x7).expect("3-bit field is always a valid register")
+}
+
+fn imm16_of(w: u32) -> i16 {
+    (w & 0xffff) as u16 as i16
+}
+
+/// Decodes one instruction from its primary word and optional extension word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnknownOpcode`] for an unassigned opcode byte,
+/// [`DecodeError::MissingExtWord`] if a two-word instruction is decoded
+/// without its extension word, and [`DecodeError::BadCondition`] for a
+/// reserved `Jcc` condition code.
+///
+/// # Examples
+///
+/// ```
+/// use sp32::{decode, encode, Instr, Reg};
+///
+/// # fn main() -> Result<(), sp32::DecodeError> {
+/// let mut words = Vec::new();
+/// encode(&Instr::Add { rd: Reg::R1, rs: Reg::R2 }, &mut words);
+/// let decoded = decode(words[0], None)?;
+/// assert_eq!(decoded, Instr::Add { rd: Reg::R1, rs: Reg::R2 });
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(first: u32, ext: Option<u32>) -> Result<Instr, DecodeError> {
+    use op::*;
+    let opcode = first >> 24;
+    let ext_or = |_: ()| ext.ok_or(DecodeError::MissingExtWord);
+    Ok(match opcode {
+        NOP => Instr::Nop,
+        HLT => Instr::Hlt,
+        MOVR => Instr::MovReg { rd: rd_of(first), rs: rs_of(first) },
+        MOVI => Instr::MovImm { rd: rd_of(first), imm: ext_or(())? },
+        ADD => Instr::Add { rd: rd_of(first), rs: rs_of(first) },
+        ADDI => Instr::AddImm { rd: rd_of(first), imm: imm16_of(first) },
+        SUB => Instr::Sub { rd: rd_of(first), rs: rs_of(first) },
+        MUL => Instr::Mul { rd: rd_of(first), rs: rs_of(first) },
+        AND => Instr::And { rd: rd_of(first), rs: rs_of(first) },
+        OR => Instr::Or { rd: rd_of(first), rs: rs_of(first) },
+        XOR => Instr::Xor { rd: rd_of(first), rs: rs_of(first) },
+        NOT => Instr::Not { rd: rd_of(first) },
+        SHL => Instr::Shl { rd: rd_of(first), rs: rs_of(first) },
+        SHR => Instr::Shr { rd: rd_of(first), rs: rs_of(first) },
+        CMP => Instr::Cmp { rd: rd_of(first), rs: rs_of(first) },
+        CMPI => Instr::CmpImm { rd: rd_of(first), imm: imm16_of(first) },
+        LDW => Instr::Ldw { rd: rd_of(first), rs: rs_of(first), disp: imm16_of(first) },
+        STW => Instr::Stw { rd: rd_of(first), rs: rs_of(first), disp: imm16_of(first) },
+        LDB => Instr::Ldb { rd: rd_of(first), rs: rs_of(first), disp: imm16_of(first) },
+        STB => Instr::Stb { rd: rd_of(first), rs: rs_of(first), disp: imm16_of(first) },
+        JMP => Instr::Jmp { target: ext_or(())? },
+        JCC => {
+            let code = (first >> 21) & 0x7;
+            let cond = Cond::from_code(code).ok_or(DecodeError::BadCondition(code))?;
+            Instr::Jcc { cond, target: ext_or(())? }
+        }
+        JMPR => Instr::JmpReg { rs: rs_of(first) },
+        CALL => Instr::Call { target: ext_or(())? },
+        RET => Instr::Ret,
+        PUSH => Instr::Push { rs: rs_of(first) },
+        POP => Instr::Pop { rd: rd_of(first) },
+        INT => Instr::Int { vector: (first & 0xff) as u8 },
+        IRET => Instr::Iret,
+        STI => Instr::Sti,
+        CLI => Instr::Cli,
+        other => return Err(DecodeError::UnknownOpcode(other as u8)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(instr: Instr) {
+        let mut words = Vec::new();
+        encode(&instr, &mut words);
+        assert_eq!(words.len() * 4, instr.size_bytes() as usize);
+        assert_eq!(encoded_len_words(words[0]), words.len());
+        let decoded = decode(words[0], words.get(1).copied()).expect("decode");
+        assert_eq!(decoded, instr);
+    }
+
+    #[test]
+    fn roundtrip_all_forms() {
+        use crate::isa::{Cond, Reg};
+        let samples = [
+            Instr::Nop,
+            Instr::Hlt,
+            Instr::MovReg { rd: Reg::R3, rs: Reg::R5 },
+            Instr::MovImm { rd: Reg::R7, imm: 0xffff_ffff },
+            Instr::Add { rd: Reg::R0, rs: Reg::R1 },
+            Instr::AddImm { rd: Reg::R2, imm: -4 },
+            Instr::Sub { rd: Reg::R4, rs: Reg::R4 },
+            Instr::Mul { rd: Reg::R1, rs: Reg::R6 },
+            Instr::And { rd: Reg::R5, rs: Reg::R2 },
+            Instr::Or { rd: Reg::R5, rs: Reg::R2 },
+            Instr::Xor { rd: Reg::R5, rs: Reg::R2 },
+            Instr::Not { rd: Reg::R6 },
+            Instr::Shl { rd: Reg::R1, rs: Reg::R0 },
+            Instr::Shr { rd: Reg::R1, rs: Reg::R0 },
+            Instr::Cmp { rd: Reg::R3, rs: Reg::R2 },
+            Instr::CmpImm { rd: Reg::R3, imm: 32767 },
+            Instr::Ldw { rd: Reg::R0, rs: Reg::R7, disp: -32768 },
+            Instr::Stw { rd: Reg::R7, rs: Reg::R0, disp: 32767 },
+            Instr::Ldb { rd: Reg::R2, rs: Reg::R3, disp: 1 },
+            Instr::Stb { rd: Reg::R3, rs: Reg::R2, disp: -1 },
+            Instr::Jmp { target: 0xdead_beec },
+            Instr::Jcc { cond: Cond::Nz, target: 0x1000 },
+            Instr::JmpReg { rs: Reg::R4 },
+            Instr::Call { target: 0x2000 },
+            Instr::Ret,
+            Instr::Push { rs: Reg::R6 },
+            Instr::Pop { rd: Reg::R6 },
+            Instr::Int { vector: 0x30 },
+            Instr::Iret,
+            Instr::Sti,
+            Instr::Cli,
+        ];
+        for instr in samples {
+            roundtrip(instr);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode(0xff << 24, None), Err(DecodeError::UnknownOpcode(0xff)));
+    }
+
+    #[test]
+    fn missing_ext_word_rejected() {
+        let mut words = Vec::new();
+        encode(&Instr::Jmp { target: 4 }, &mut words);
+        assert_eq!(decode(words[0], None), Err(DecodeError::MissingExtWord));
+    }
+
+    #[test]
+    fn bad_condition_rejected() {
+        // JCC with condition code 7 (reserved).
+        let first = (super::op::JCC << 24) | (7 << 21);
+        assert_eq!(decode(first, Some(0)), Err(DecodeError::BadCondition(7)));
+    }
+
+    fn arb_reg() -> impl Strategy<Value = crate::Reg> {
+        (0u32..8).prop_map(|i| crate::Reg::from_index(i).unwrap())
+    }
+
+    fn arb_cond() -> impl Strategy<Value = crate::Cond> {
+        (0u32..6).prop_map(|i| crate::Cond::from_code(i).unwrap())
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            Just(Instr::Nop),
+            Just(Instr::Hlt),
+            (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::MovReg { rd, rs }),
+            (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
+            (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Add { rd, rs }),
+            (arb_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::AddImm { rd, imm }),
+            (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Sub { rd, rs }),
+            (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Xor { rd, rs }),
+            (arb_reg(), arb_reg(), any::<i16>())
+                .prop_map(|(rd, rs, disp)| Instr::Ldw { rd, rs, disp }),
+            (arb_reg(), arb_reg(), any::<i16>())
+                .prop_map(|(rd, rs, disp)| Instr::Stw { rd, rs, disp }),
+            any::<u32>().prop_map(|target| Instr::Jmp { target }),
+            (arb_cond(), any::<u32>()).prop_map(|(cond, target)| Instr::Jcc { cond, target }),
+            any::<u32>().prop_map(|target| Instr::Call { target }),
+            any::<u8>().prop_map(|vector| Instr::Int { vector }),
+            Just(Instr::Iret),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_roundtrip(instr in arb_instr()) {
+            let mut words = Vec::new();
+            encode(&instr, &mut words);
+            let decoded = decode(words[0], words.get(1).copied()).unwrap();
+            prop_assert_eq!(decoded, instr);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(first in any::<u32>(), ext in any::<u32>()) {
+            let _ = decode(first, Some(ext));
+        }
+    }
+}

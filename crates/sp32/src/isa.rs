@@ -1,0 +1,330 @@
+//! Architectural definitions: registers, condition codes, instructions.
+
+use std::fmt;
+
+/// Zero flag bit in `EFLAGS`.
+pub const EFLAGS_ZF: u32 = 1 << 0;
+/// Sign flag bit in `EFLAGS`.
+pub const EFLAGS_SF: u32 = 1 << 1;
+/// Carry flag bit in `EFLAGS`.
+pub const EFLAGS_CF: u32 = 1 << 2;
+/// Interrupt-enable flag bit in `EFLAGS` (cleared on interrupt entry,
+/// restored by `IRET`, toggled by `STI`/`CLI`).
+pub const EFLAGS_IF: u32 = 1 << 9;
+
+/// One of the eight SP32 general-purpose registers.
+///
+/// `R7` doubles as the stack pointer: `PUSH`, `POP`, `CALL`, `RET`, the
+/// hardware exception engine, and `IRET` all operate on `R7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// General-purpose register 0 (return values, IPC message word 0).
+    R0,
+    /// General-purpose register 1.
+    R1,
+    /// General-purpose register 2.
+    R2,
+    /// General-purpose register 3.
+    R3,
+    /// General-purpose register 4.
+    R4,
+    /// General-purpose register 5.
+    R5,
+    /// General-purpose register 6.
+    R6,
+    /// General-purpose register 7, the stack pointer.
+    R7,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 8] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ];
+
+    /// The register's 3-bit encoding index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Decodes a register from its 3-bit index.
+    ///
+    /// Returns `None` if `index > 7`.
+    pub fn from_index(index: u32) -> Option<Reg> {
+        Reg::ALL.get(index as usize).copied()
+    }
+
+    /// The stack pointer alias for [`Reg::R7`].
+    pub const SP: Reg = Reg::R7;
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Branch condition for conditional jumps, evaluated against `EFLAGS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Jump if zero (`ZF` set).
+    Z,
+    /// Jump if not zero (`ZF` clear).
+    Nz,
+    /// Jump if signed less-than (`SF` set).
+    Lt,
+    /// Jump if signed greater-or-equal (`SF` clear).
+    Ge,
+    /// Jump if unsigned below (`CF` set).
+    B,
+    /// Jump if unsigned above-or-equal (`CF` clear).
+    Ae,
+}
+
+impl Cond {
+    pub(crate) fn code(self) -> u32 {
+        match self {
+            Cond::Z => 0,
+            Cond::Nz => 1,
+            Cond::Lt => 2,
+            Cond::Ge => 3,
+            Cond::B => 4,
+            Cond::Ae => 5,
+        }
+    }
+
+    pub(crate) fn from_code(code: u32) -> Option<Cond> {
+        Some(match code {
+            0 => Cond::Z,
+            1 => Cond::Nz,
+            2 => Cond::Lt,
+            3 => Cond::Ge,
+            4 => Cond::B,
+            5 => Cond::Ae,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the condition against an `EFLAGS` value.
+    pub fn holds(self, eflags: u32) -> bool {
+        match self {
+            Cond::Z => eflags & EFLAGS_ZF != 0,
+            Cond::Nz => eflags & EFLAGS_ZF == 0,
+            Cond::Lt => eflags & EFLAGS_SF != 0,
+            Cond::Ge => eflags & EFLAGS_SF == 0,
+            Cond::B => eflags & EFLAGS_CF != 0,
+            Cond::Ae => eflags & EFLAGS_CF == 0,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Z => "z",
+            Cond::Nz => "nz",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded SP32 instruction.
+///
+/// Memory operands use base + signed 16-bit displacement addressing.
+/// Absolute 32-bit targets (`Jmp`, `Jcc`, `Call`, `MovImm`) occupy an
+/// extension word; everything else encodes in a single 32-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Halt the core until the next interrupt.
+    Hlt,
+    /// `rd = rs`.
+    MovReg { rd: Reg, rs: Reg },
+    /// `rd = imm` (32-bit immediate, extension word).
+    MovImm { rd: Reg, imm: u32 },
+    /// `rd = rd + rs` (sets ZF/SF/CF).
+    Add { rd: Reg, rs: Reg },
+    /// `rd = rd + sext(imm16)` (sets ZF/SF/CF).
+    AddImm { rd: Reg, imm: i16 },
+    /// `rd = rd - rs` (sets ZF/SF/CF).
+    Sub { rd: Reg, rs: Reg },
+    /// `rd = rd * rs` (low 32 bits; sets ZF/SF).
+    Mul { rd: Reg, rs: Reg },
+    /// `rd = rd & rs` (sets ZF/SF).
+    And { rd: Reg, rs: Reg },
+    /// `rd = rd | rs` (sets ZF/SF).
+    Or { rd: Reg, rs: Reg },
+    /// `rd = rd ^ rs` (sets ZF/SF).
+    Xor { rd: Reg, rs: Reg },
+    /// `rd = !rd` (sets ZF/SF).
+    Not { rd: Reg },
+    /// `rd = rd << (rs & 31)` (sets ZF/SF).
+    Shl { rd: Reg, rs: Reg },
+    /// `rd = rd >> (rs & 31)`, logical (sets ZF/SF).
+    Shr { rd: Reg, rs: Reg },
+    /// Compare `rd - rs`, set flags only.
+    Cmp { rd: Reg, rs: Reg },
+    /// Compare `rd - sext(imm16)`, set flags only.
+    CmpImm { rd: Reg, imm: i16 },
+    /// Load word: `rd = mem32[rs + sext(disp)]`.
+    Ldw { rd: Reg, rs: Reg, disp: i16 },
+    /// Store word: `mem32[rd + sext(disp)] = rs`.
+    Stw { rd: Reg, rs: Reg, disp: i16 },
+    /// Load byte (zero-extended): `rd = mem8[rs + sext(disp)]`.
+    Ldb { rd: Reg, rs: Reg, disp: i16 },
+    /// Store byte: `mem8[rd + sext(disp)] = rs & 0xff`.
+    Stb { rd: Reg, rs: Reg, disp: i16 },
+    /// Unconditional absolute jump (extension word).
+    Jmp { target: u32 },
+    /// Conditional absolute jump (extension word).
+    Jcc { cond: Cond, target: u32 },
+    /// Jump to the address in `rs`.
+    JmpReg { rs: Reg },
+    /// Push return address, jump to absolute target (extension word).
+    Call { target: u32 },
+    /// Pop return address and jump to it.
+    Ret,
+    /// Push `rs` (decrements `R7` by 4 first).
+    Push { rs: Reg },
+    /// Pop into `rd` (increments `R7` by 4 after).
+    Pop { rd: Reg },
+    /// Software interrupt through IDT vector `vector`.
+    Int { vector: u8 },
+    /// Return from interrupt: pop `EIP`, then `EFLAGS`.
+    Iret,
+    /// Set the interrupt-enable flag.
+    Sti,
+    /// Clear the interrupt-enable flag.
+    Cli,
+}
+
+impl Instr {
+    /// Whether this instruction carries a 32-bit extension word.
+    pub fn has_ext_word(&self) -> bool {
+        matches!(
+            self,
+            Instr::MovImm { .. } | Instr::Jmp { .. } | Instr::Jcc { .. } | Instr::Call { .. }
+        )
+    }
+
+    /// The encoded size of this instruction in bytes (4 or 8).
+    pub fn size_bytes(&self) -> u32 {
+        if self.has_ext_word() {
+            8
+        } else {
+            4
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Hlt => write!(f, "hlt"),
+            Instr::MovReg { rd, rs } => write!(f, "mov {rd}, {rs}"),
+            Instr::MovImm { rd, imm } => write!(f, "movi {rd}, {imm:#x}"),
+            Instr::Add { rd, rs } => write!(f, "add {rd}, {rs}"),
+            Instr::AddImm { rd, imm } => write!(f, "addi {rd}, {imm}"),
+            Instr::Sub { rd, rs } => write!(f, "sub {rd}, {rs}"),
+            Instr::Mul { rd, rs } => write!(f, "mul {rd}, {rs}"),
+            Instr::And { rd, rs } => write!(f, "and {rd}, {rs}"),
+            Instr::Or { rd, rs } => write!(f, "or {rd}, {rs}"),
+            Instr::Xor { rd, rs } => write!(f, "xor {rd}, {rs}"),
+            Instr::Not { rd } => write!(f, "not {rd}"),
+            Instr::Shl { rd, rs } => write!(f, "shl {rd}, {rs}"),
+            Instr::Shr { rd, rs } => write!(f, "shr {rd}, {rs}"),
+            Instr::Cmp { rd, rs } => write!(f, "cmp {rd}, {rs}"),
+            Instr::CmpImm { rd, imm } => write!(f, "cmpi {rd}, {imm}"),
+            Instr::Ldw { rd, rs, disp } => write!(f, "ldw {rd}, [{rs}{disp:+}]"),
+            Instr::Stw { rd, rs, disp } => write!(f, "stw [{rd}{disp:+}], {rs}"),
+            Instr::Ldb { rd, rs, disp } => write!(f, "ldb {rd}, [{rs}{disp:+}]"),
+            Instr::Stb { rd, rs, disp } => write!(f, "stb [{rd}{disp:+}], {rs}"),
+            Instr::Jmp { target } => write!(f, "jmp {target:#x}"),
+            Instr::Jcc { cond, target } => write!(f, "j{cond} {target:#x}"),
+            Instr::JmpReg { rs } => write!(f, "jmpr {rs}"),
+            Instr::Call { target } => write!(f, "call {target:#x}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Push { rs } => write!(f, "push {rs}"),
+            Instr::Pop { rd } => write!(f, "pop {rd}"),
+            Instr::Int { vector } => write!(f, "int {vector:#x}"),
+            Instr::Iret => write!(f, "iret"),
+            Instr::Sti => write!(f, "sti"),
+            Instr::Cli => write!(f, "cli"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_roundtrip() {
+        for reg in Reg::ALL {
+            assert_eq!(Reg::from_index(reg.index() as u32), Some(reg));
+        }
+        assert_eq!(Reg::from_index(8), None);
+    }
+
+    #[test]
+    fn sp_is_r7() {
+        assert_eq!(Reg::SP, Reg::R7);
+        assert_eq!(Reg::SP.index(), 7);
+    }
+
+    #[test]
+    fn cond_code_roundtrip() {
+        for cond in [Cond::Z, Cond::Nz, Cond::Lt, Cond::Ge, Cond::B, Cond::Ae] {
+            assert_eq!(Cond::from_code(cond.code()), Some(cond));
+        }
+        assert_eq!(Cond::from_code(6), None);
+    }
+
+    #[test]
+    fn cond_evaluation() {
+        assert!(Cond::Z.holds(EFLAGS_ZF));
+        assert!(!Cond::Z.holds(0));
+        assert!(Cond::Nz.holds(0));
+        assert!(Cond::Lt.holds(EFLAGS_SF));
+        assert!(Cond::Ge.holds(0));
+        assert!(Cond::B.holds(EFLAGS_CF));
+        assert!(Cond::Ae.holds(EFLAGS_ZF | EFLAGS_SF));
+    }
+
+    #[test]
+    fn instruction_sizes() {
+        assert_eq!(Instr::Nop.size_bytes(), 4);
+        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 0 }.size_bytes(), 8);
+        assert_eq!(Instr::Jmp { target: 0 }.size_bytes(), 8);
+        assert_eq!(Instr::Jcc { cond: Cond::Z, target: 0 }.size_bytes(), 8);
+        assert_eq!(Instr::Call { target: 0 }.size_bytes(), 8);
+        assert_eq!(Instr::Ret.size_bytes(), 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let samples = [
+            Instr::Nop,
+            Instr::MovImm { rd: Reg::R3, imm: 0xdead_beef },
+            Instr::Ldw { rd: Reg::R1, rs: Reg::R2, disp: -8 },
+            Instr::Jcc { cond: Cond::Nz, target: 0x100 },
+            Instr::Int { vector: 0x30 },
+        ];
+        for instr in samples {
+            assert!(!instr.to_string().is_empty());
+        }
+    }
+}

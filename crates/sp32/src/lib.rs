@@ -1,0 +1,39 @@
+//! SP32: the instruction set of the TyTAN platform simulator.
+//!
+//! SP32 is a small 32-bit ISA standing in for the Intel Siskiyou Peak core
+//! the TyTAN paper (DAC 2015) targets: a flat, physical addressing model,
+//! eight general-purpose registers, an `EIP`/`EFLAGS` pair saved by the
+//! hardware exception engine, software interrupts (`INT n`) used to invoke
+//! the secure IPC proxy, and memory-mapped I/O for peripherals.
+//!
+//! The crate provides the instruction definitions ([`Instr`]), a binary
+//! [`encode`]/[`decode`] pair with fixed 32-bit instruction words (plus one
+//! extension word for 32-bit immediates), a two-pass [`asm`] assembler used
+//! to author guest tasks, and a [`disasm`] disassembler for debugging.
+//!
+//! # Examples
+//!
+//! ```
+//! use sp32::asm::assemble;
+//!
+//! # fn main() -> Result<(), sp32::asm::AssembleError> {
+//! let program = assemble(
+//!     "start:\n\
+//!      movi r0, 41\n\
+//!      addi r0, 1\n\
+//!      hlt\n",
+//!     0x1000,
+//! )?;
+//! assert_eq!(program.origin, 0x1000);
+//! assert!(!program.bytes.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod disasm;
+mod encode;
+mod isa;
+
+pub use encode::{decode, encode, encoded_len_words, DecodeError};
+pub use isa::{Cond, Instr, Reg, EFLAGS_CF, EFLAGS_IF, EFLAGS_SF, EFLAGS_ZF};

@@ -1,0 +1,59 @@
+//! Assembler ↔ disassembler integration: listings re-assemble to
+//! identical bytes (the tool chain's fixed point).
+
+use proptest::prelude::*;
+use sp32::asm::assemble;
+use sp32::disasm::disassemble;
+
+/// A generator for random but valid assembly programs.
+fn arb_source() -> impl Strategy<Value = String> {
+    let line = prop_oneof![
+        Just("nop".to_string()),
+        (0u32..8, 0u32..8).prop_map(|(a, b)| format!("mov r{a}, r{b}")),
+        (0u32..8, any::<u16>()).prop_map(|(r, v)| format!("movi r{r}, {v}")),
+        (0u32..8, 0u32..8).prop_map(|(a, b)| format!("add r{a}, r{b}")),
+        (0u32..8, 0u32..8).prop_map(|(a, b)| format!("xor r{a}, r{b}")),
+        (0u32..8, -64i32..64).prop_map(|(r, d)| format!("ldw r{r}, [r0{d:+}]")),
+        (0u32..8, -64i32..64).prop_map(|(r, d)| format!("stw [r0{d:+}], r{r}")),
+        (0u32..8).prop_map(|r| format!("push r{r}")),
+        (0u32..8).prop_map(|r| format!("pop r{r}")),
+        Just("cmpi r1, 5".to_string()),
+        Just("sti".to_string()),
+    ];
+    proptest::collection::vec(line, 1..32).prop_map(|lines| {
+        let mut src = String::from("main:\n");
+        for l in lines {
+            src.push(' ');
+            src.push_str(&l);
+            src.push('\n');
+        }
+        src.push_str(" hlt\n");
+        src
+    })
+}
+
+proptest! {
+    #[test]
+    fn disassembly_reassembles_to_identical_bytes(source in arb_source(), base in 0u32..0x1000) {
+        let base = base & !3;
+        let program = assemble(&source, base).unwrap();
+        let lines = disassemble(&program.bytes, base).unwrap();
+        // Re-render each decoded instruction as assembly and re-assemble.
+        let mut rendered = String::new();
+        for line in &lines {
+            rendered.push_str(&line.instr.to_string());
+            rendered.push('\n');
+        }
+        let reassembled = assemble(&rendered, base).unwrap();
+        prop_assert_eq!(reassembled.bytes, program.bytes);
+    }
+
+    #[test]
+    fn assembled_length_matches_symbol_arithmetic(source in arb_source()) {
+        let p = assemble(&source, 0x100).unwrap();
+        // `main` is the first label; total size is consistent with the
+        // byte vector.
+        prop_assert_eq!(p.symbol("main"), Some(0x100));
+        prop_assert!(p.bytes.len().is_multiple_of(4));
+    }
+}

@@ -1,0 +1,81 @@
+//! Platform inspector: dumps the security state of a running TyTAN
+//! device — EA-MPU rule table, RTM measurement list, scheduler state,
+//! and a disassembly of a loaded task — the view a platform debugger
+//! (with debug-port access) would give a developer.
+//!
+//! Run with: `cargo run -p tytan-examples --bin inspect`
+
+use sp32::disasm::{disassemble, listing};
+use tytan::platform::{Platform, PlatformConfig};
+use tytan::usecase::CruiseControl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform: Platform = Platform::boot(PlatformConfig::default())?;
+    let mut scenario = CruiseControl::install(&mut platform)?;
+    let (token, source) = scenario.activate_cruise_control(&mut platform);
+    let (t2, _) = platform.wait_load(token, 400_000_000)?;
+    scenario.finish_activation(&platform, t2, &source);
+    platform.run_for(1_000_000)?;
+
+    println!("================ TyTAN platform state ================");
+    println!("cycles: {}", platform.machine().cycles());
+    println!(
+        "instructions retired: {}, interrupts: {}, faults: {}",
+        platform.machine().stats().instructions,
+        platform.machine().stats().interrupts,
+        platform.machine().stats().faults,
+    );
+    println!();
+
+    println!("--- EA-MPU rule table ({} of {} slots used) ---",
+        platform.machine().mpu().used_slots(),
+        platform.machine().mpu().slot_count(),
+    );
+    for (slot, rule) in platform.machine().mpu().rules() {
+        println!("  slot {slot:2}: {rule}");
+    }
+    println!();
+
+    println!("--- RTM measurement list ({} tasks) ---", platform.rtm().len());
+    for record in platform.rtm().records() {
+        println!(
+            "  id {} base {:#010x} mailbox {:#010x}  {}",
+            record.id, record.base, record.mailbox, record.name,
+        );
+        println!("    digest {}", hex(&record.digest));
+    }
+    println!();
+
+    println!("--- scheduler ---");
+    println!("  tick: {}", platform.kernel().tick_count());
+    for handle in platform.kernel().handles() {
+        let tcb = platform.kernel().task(handle).expect("live");
+        println!(
+            "  {handle}: {:<18} prio {} state {:?} dispatches {}",
+            tcb.name(),
+            tcb.params.priority,
+            tcb.state,
+            tcb.dispatches,
+        );
+    }
+    println!();
+
+    // Disassemble the first instructions of t2's entry routine straight
+    // from task memory (debug port).
+    let base = platform.task_base(t2).expect("t2 loaded");
+    let bytes = platform.machine().read_bytes(base, 64)?;
+    let lines = disassemble(&bytes, base).map_err(|(_, e, addr)| {
+        std::io::Error::other(format!("disassembly failed at {addr:#x}: {e}"))
+    })?;
+    println!("--- t2 entry routine (first 64 bytes at {base:#010x}) ---");
+    print!("{}", listing(&lines));
+    println!();
+
+    println!("--- secure-boot measurement ---");
+    println!("  trusted components: {}", hex(platform.boot_measurement()));
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

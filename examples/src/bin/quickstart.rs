@@ -1,0 +1,65 @@
+//! Quickstart: boot TyTAN, load a secure task, attest it, message it.
+//!
+//! Run with: `cargo run -p tytan-examples --bin quickstart`
+
+use tytan::attest::RemoteVerifier;
+use tytan::platform::{Platform, PlatformConfig};
+use tytan::toolchain::SecureTaskBuilder;
+use tytan_crypto::TaskId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Secure boot: trusted components are measured and protected.
+    let mut platform: Platform = Platform::boot(PlatformConfig::default())?;
+    println!(
+        "booted; trusted-component measurement: {}",
+        hex(platform.boot_measurement())
+    );
+
+    // 2. Build a secure task with the TyTAN tool chain. The entry routine
+    //    and mailbox are added automatically.
+    let task = SecureTaskBuilder::new(
+        "worker",
+        "main:\n movi r1, counter\n\
+         loop:\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n jmp loop\n",
+    )
+    .data("counter:\n .word 0\n")
+    .stack_len(256)
+    .build()?;
+
+    // 3. Dynamic loading: relocation, EA-MPU configuration, interruptible
+    //    RTM measurement — all while the platform keeps running.
+    let token = platform.begin_load(&task, 2);
+    let (handle, id) = platform.wait_load(token, 100_000_000)?;
+    println!("loaded `worker` as {handle} with identity id_t = {id}");
+
+    // 4. Let it run in isolation.
+    platform.run_for(500_000)?;
+    let base = platform.task_base(handle).expect("loaded");
+    let counter = platform.debug_read_word(base + task.symbol_offset("counter").unwrap())?;
+    println!("worker made {counter} iterations under EA-MPU isolation");
+
+    // 5. Local attestation: read the RTM's measurement list.
+    let digest = platform.local_attest(id).expect("measured");
+    println!("local attestation digest: {}", hex(&digest));
+
+    // 6. Remote attestation: challenge-response with a MAC under K_a.
+    let verifier = RemoteVerifier::new(platform.attestation_key());
+    let nonce = b"quickstart-nonce";
+    let report = platform.remote_attest(id, nonce)?;
+    verifier.verify(&report, nonce, &digest)?;
+    println!("remote attestation verified for id_t = {}", report.id);
+
+    // 7. Secure IPC: inject a message as the proxy would; the worker's
+    //    mailbox now carries payload + authenticated sender identity.
+    platform.inject_message(id, TaskId::from_u64(0x0e0e_0e0e_0e0e_0e0e), [1, 2, 3])?;
+    let mailbox = platform.rtm().lookup(id).unwrap().mailbox;
+    let word0 = platform.debug_read_word(mailbox + 16)?;
+    println!("mailbox payload word 0 after IPC: {word0}");
+
+    println!("quickstart complete");
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

@@ -1,0 +1,121 @@
+//! Multi-stakeholder remote attestation.
+//!
+//! Two mutually distrusting task providers deploy tasks on one device; a
+//! remote verifier (e.g. the car manufacturer's backend) challenges the
+//! device and verifies, per task, that exactly the expected binary runs.
+//! A tampered task is detected both by its changed identity and by the
+//! digest mismatch at the verifier.
+//!
+//! Run with: `cargo run -p tytan-examples --bin remote_attestation`
+
+use tytan::attest::{AttestationReport, RemoteVerifier, VerifyError};
+use tytan::platform::{Platform, PlatformConfig};
+use tytan::toolchain::SecureTaskBuilder;
+use tytan_crypto::{Digest, Sha1};
+
+fn supplier_task() -> tytan::toolchain::TaskSource {
+    SecureTaskBuilder::new(
+        "supplier-abs-controller",
+        "main:\n movi r1, state\n\
+         loop:\n ldw r2, [r1]\n addi r2, 3\n stw [r1], r2\n jmp loop\n",
+    )
+    .data("state:\n .word 0\n")
+    .build()
+    .expect("assembles")
+}
+
+fn oem_task() -> tytan::toolchain::TaskSource {
+    SecureTaskBuilder::new(
+        "oem-telemetry",
+        "main:\n movi r1, frames\n\
+         loop:\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n\
+         movi r1, SYS_DELAY\n movi r2, 2\n int SYS_VECTOR\n\
+         movi r1, frames\n jmp loop\n",
+    )
+    .data("frames:\n .word 0\n")
+    .build()
+    .expect("assembles")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform: Platform = Platform::boot(PlatformConfig::default())?;
+
+    // Each provider pre-computes the reference digest of its own binary.
+    let supplier = supplier_task();
+    let oem = oem_task();
+    let supplier_ref = Sha1::digest(&supplier.image.measurement_bytes());
+    let oem_ref = Sha1::digest(&oem.image.measurement_bytes());
+
+    let st = platform.begin_load(&supplier, 2);
+    let (_, supplier_id) = platform.wait_load(st, 100_000_000)?;
+    let ot = platform.begin_load(&oem, 2);
+    let (_, oem_id) = platform.wait_load(ot, 100_000_000)?;
+    platform.run_for(500_000)?;
+    println!("deployed supplier task {supplier_id} and OEM task {oem_id}");
+
+    // The verifier holds K_a (provisioned by the manufacturer) and the
+    // per-provider reference digests.
+    let verifier = RemoteVerifier::new(platform.attestation_key());
+
+    for (name, id, reference) in [
+        ("supplier-abs-controller", supplier_id, &supplier_ref),
+        ("oem-telemetry", oem_id, &oem_ref),
+    ] {
+        let nonce = format!("challenge-for-{name}");
+        let report = platform.remote_attest(id, nonce.as_bytes())?;
+        match verifier.verify(&report, nonce.as_bytes(), reference) {
+            Ok(()) => println!("  {name}: attestation OK (id {id})"),
+            Err(e) => println!("  {name}: attestation FAILED: {e}"),
+        }
+    }
+
+    // Negative case 1: a tampered binary. One changed instruction gives a
+    // different measured identity, so it cannot impersonate the original.
+    let tampered_body = "main:\n movi r1, state\n\
+         loop:\n ldw r2, [r1]\n addi r2, 4\n stw [r1], r2\n jmp loop\n";
+    let tampered = SecureTaskBuilder::new("supplier-abs-controller", tampered_body)
+        .data("state:\n .word 0\n")
+        .build()?;
+    let tt = platform.begin_load(&tampered, 2);
+    let (_, tampered_id) = platform.wait_load(tt, 100_000_000)?;
+    println!("tampered task loaded with identity {tampered_id} (≠ {supplier_id})");
+    let report = platform.remote_attest(tampered_id, b"fresh-nonce")?;
+    match verifier.verify(&report, b"fresh-nonce", &supplier_ref) {
+        Err(VerifyError::DigestMismatch { .. }) => {
+            println!("  verifier rejected the tampered binary: digest mismatch");
+        }
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    // Negative case 2: a replayed report fails the nonce check.
+    let stale = platform.remote_attest(supplier_id, b"old-nonce")?;
+    match verifier.verify(&stale, b"new-nonce", &supplier_ref) {
+        Err(VerifyError::NonceMismatch) => println!("  replayed report rejected: stale nonce"),
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    // Negative case 3: a forged MAC (wrong key) fails outright.
+    let forged = AttestationReport { mac: vec![0u8; 20], ..stale };
+    match verifier.verify(&forged, b"old-nonce", &supplier_ref) {
+        Err(VerifyError::BadMac) => println!("  forged report rejected: bad MAC"),
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    // Device-level attestation: one report covering the whole task set.
+    let expected: Vec<_> = platform
+        .rtm()
+        .records()
+        .map(|r| (r.id, r.digest.clone()))
+        .collect();
+    let device_report = platform.remote_attest_device(b"device-challenge");
+    match verifier.verify_device(&device_report, b"device-challenge", &expected) {
+        Ok(()) => println!(
+            "device-level attestation OK: {} tasks covered by one MAC",
+            device_report.tasks.len()
+        ),
+        Err(e) => println!("device-level attestation FAILED: {e}"),
+    }
+
+    println!("remote attestation demo complete");
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Secure storage: sealing data to a task's measured identity.
+//!
+//! A calibration task seals its state; a different task cannot unseal it;
+//! after unload and reload of the *same binary*, the new instance — with
+//! the same measured identity — unseals it again. An "updated" binary is
+//! a different principal and is locked out (the property that makes
+//! secure storage survive task restarts but not tampering).
+//!
+//! Run with: `cargo run -p tytan-examples --bin secure_storage`
+
+use tytan::platform::{Platform, PlatformConfig, PlatformError};
+use tytan::storage::StorageError;
+use tytan::toolchain::SecureTaskBuilder;
+
+fn calibration_task() -> tytan::toolchain::TaskSource {
+    SecureTaskBuilder::new(
+        "calibration",
+        "main:\n movi r1, samples\n\
+         loop:\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n jmp loop\n",
+    )
+    .data("samples:\n .word 0\n")
+    .build()
+    .expect("assembles")
+}
+
+fn snooper_task() -> tytan::toolchain::TaskSource {
+    SecureTaskBuilder::new(
+        "snooper",
+        "main:\nspin:\n jmp spin\n",
+    )
+    .build()
+    .expect("assembles")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform: Platform = Platform::boot(PlatformConfig::default())?;
+
+    // Deploy the calibration task and seal its table.
+    let cal = calibration_task();
+    let token = platform.begin_load(&cal, 2);
+    let (cal_handle, cal_id) = platform.wait_load(token, 100_000_000)?;
+    platform.run_for(200_000)?;
+    platform.storage_store(cal_handle, "engine-map", b"rpm:900,idle:650,afr:14.7")?;
+    println!("calibration task {cal_id} sealed its engine map");
+
+    // Another secure task cannot unseal it: its task key K_t differs.
+    let snooper = snooper_task();
+    let token = platform.begin_load(&snooper, 2);
+    let (snooper_handle, snooper_id) = platform.wait_load(token, 100_000_000)?;
+    match platform.storage_retrieve(snooper_handle, "engine-map") {
+        Err(PlatformError::Storage(StorageError::AccessDenied)) => {
+            println!("snooper {snooper_id} was cryptographically denied");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // Unload the calibration task entirely, then reload the same binary:
+    // the measured identity matches, so the new instance unseals the map.
+    platform.unload_task(cal_handle)?;
+    println!("calibration task unloaded (memory reclaimed, rules cleared)");
+    let token = platform.begin_load(&cal, 2);
+    let (cal2_handle, cal2_id) = platform.wait_load(token, 100_000_000)?;
+    assert_eq!(cal2_id, cal_id, "same binary, same identity");
+    let map = platform.storage_retrieve(cal2_handle, "engine-map")?;
+    println!(
+        "reloaded instance {cal2_id} unsealed: {}",
+        String::from_utf8_lossy(&map)
+    );
+
+    // An "updated" binary is a different principal.
+    let updated = SecureTaskBuilder::new(
+        "calibration",
+        "main:\n movi r1, samples\n\
+         loop:\n ldw r2, [r1]\n addi r2, 2\n stw [r1], r2\n jmp loop\n",
+    )
+    .data("samples:\n .word 0\n")
+    .build()?;
+    let token = platform.begin_load(&updated, 2);
+    let (upd_handle, upd_id) = platform.wait_load(token, 100_000_000)?;
+    match platform.storage_retrieve(upd_handle, "engine-map") {
+        Err(PlatformError::Storage(StorageError::AccessDenied)) => {
+            println!("updated binary {upd_id} is a different principal: access denied");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    println!("secure storage demo complete");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use rtos::TaskHandle;
+use tytan::platform::{Platform, PlatformConfig};
+use tytan::toolchain::{SecureTaskBuilder, TaskSource};
+use tytan_crypto::TaskId;
+
+/// Boots a default platform, panicking on failure (test context).
+pub fn boot() -> Platform {
+    Platform::boot(PlatformConfig::default()).expect("platform boots")
+}
+
+/// A secure task that increments `counter` forever.
+pub fn counter_task(name: &str) -> TaskSource {
+    SecureTaskBuilder::new(
+        name,
+        "main:\n movi r1, counter\n\
+         loop:\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n jmp loop\n",
+    )
+    .data("counter:\n .word 0\n")
+    .stack_len(256)
+    .build()
+    .expect("counter task assembles")
+}
+
+/// Loads a task and waits for completion.
+pub fn load(
+    platform: &mut Platform,
+    source: &TaskSource,
+    priority: u8,
+) -> (TaskHandle, TaskId) {
+    let token = platform.begin_load(source, priority);
+    platform.wait_load(token, 200_000_000).expect("load completes")
+}
+
+/// Reads the `counter` word of a loaded counter task.
+pub fn read_counter(platform: &mut Platform, handle: TaskHandle, source: &TaskSource) -> u32 {
+    let base = platform.task_base(handle).expect("task loaded");
+    let addr = base + source.symbol_offset("counter").expect("counter symbol");
+    platform.debug_read_word(addr).expect("readable")
+}

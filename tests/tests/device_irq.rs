@@ -1,0 +1,86 @@
+//! Device-IRQ-to-task routing: a secure driver task receives its
+//! device's interrupts through the Int Mux as authenticated mailbox
+//! messages, without the OS observing the payload path.
+
+use sp_emu::devices::Sensor;
+use tytan::platform::{Platform, PlatformConfig};
+use tytan::toolchain::SecureTaskBuilder;
+use tytan::TaskSource;
+
+const VECTOR: u8 = 41;
+const TAG: u32 = 0x1e;
+
+fn driver_task() -> TaskSource {
+    SecureTaskBuilder::new(
+        "driver",
+        format!(
+            "main:\n\
+             wait:\n movi r1, SYS_SUSPEND\n int SYS_VECTOR\n\
+             movi r1, __mailbox\n ldw r2, [r1]\n cmpi r2, 0\n jz wait\n\
+             ldw r3, [r1+16]\n cmpi r3, {TAG}\n jnz clear\n\
+             movi r4, events\n ldw r5, [r4]\n addi r5, 1\n stw [r4], r5\n\
+             clear:\n xor r2, r2\n stw [r1], r2\n jmp wait\n"
+        ),
+    )
+    .data("events:\n .word 0\n")
+    .build()
+    .expect("assembles")
+}
+
+fn boot_with_irq() -> Platform {
+    let config = PlatformConfig { device_irq_vectors: vec![VECTOR], ..Default::default() };
+    Platform::boot(config).expect("boots")
+}
+
+#[test]
+fn bound_irq_wakes_the_driver_task() {
+    let mut platform = boot_with_irq();
+    platform
+        .device_mut::<Sensor>("radar")
+        .unwrap()
+        .set_trace(vec![(0, 0), (400_000, 90), (800_000, 0), (1_200_000, 95)]);
+    platform.device_mut::<Sensor>("radar").unwrap().set_threshold_irq(50, VECTOR);
+
+    let driver = driver_task();
+    let token = platform.begin_load(&driver, 5);
+    let (handle, id) = platform.wait_load(token, 400_000_000).unwrap();
+    platform.bind_irq(VECTOR, id, TAG);
+    platform.run_for(2_000_000).unwrap();
+
+    let base = platform.task_base(handle).unwrap();
+    let events =
+        platform.debug_read_word(base + driver.symbol_offset("events").unwrap()).unwrap();
+    assert_eq!(events, 2, "both rising edges delivered");
+    // The mailbox sender is the reserved hardware identity.
+    let mailbox = platform.rtm().lookup(id).unwrap().mailbox;
+    let hi = platform.debug_read_word(mailbox + 4).unwrap();
+    let lo = platform.debug_read_word(mailbox + 8).unwrap();
+    assert_eq!(
+        tytan_crypto::TaskId::from_register_words(hi, lo),
+        tytan::platform::HARDWARE_ID
+    );
+}
+
+#[test]
+fn unbound_irq_is_ignored_harmlessly() {
+    let mut platform = boot_with_irq();
+    platform.device_mut::<Sensor>("radar").unwrap().set_trace(vec![(0, 99)]);
+    platform.device_mut::<Sensor>("radar").unwrap().set_threshold_irq(50, VECTOR);
+    // No binding, no tasks: the platform keeps running.
+    platform.run_for(1_000_000).unwrap();
+    assert!(platform.faults().is_empty());
+}
+
+#[test]
+fn irq_to_dead_task_is_dropped() {
+    let mut platform = boot_with_irq();
+    platform.device_mut::<Sensor>("radar").unwrap().set_trace(vec![(0, 0), (500_000, 99)]);
+    platform.device_mut::<Sensor>("radar").unwrap().set_threshold_irq(50, VECTOR);
+    let driver = driver_task();
+    let token = platform.begin_load(&driver, 5);
+    let (handle, id) = platform.wait_load(token, 400_000_000).unwrap();
+    platform.bind_irq(VECTOR, id, TAG);
+    platform.unload_task(handle).unwrap();
+    platform.run_for(1_000_000).unwrap();
+    assert!(platform.faults().is_empty(), "stale binding dropped safely");
+}

@@ -1,0 +1,237 @@
+//! End-to-end integration: every subsystem exercised through the public
+//! API of the full stack (sp32 → sp-emu → eampu → rtos → tytan).
+
+use tytan::attest::RemoteVerifier;
+use tytan::platform::{LoadStatus, PlatformConfig, PlatformError};
+use tytan::storage::StorageError;
+use tytan::toolchain::SecureTaskBuilder;
+use tytan::Platform;
+use tytan_crypto::{Digest, Sha1, TaskId};
+use tytan_integration::{boot, counter_task, load, read_counter};
+
+#[test]
+fn boot_load_run_attest_unload() {
+    let mut platform = boot();
+    let source = counter_task("lifecycle");
+    let (handle, id) = load(&mut platform, &source, 2);
+
+    platform.run_for(500_000).unwrap();
+    assert!(read_counter(&mut platform, handle, &source) > 100);
+
+    // Local attestation matches the host-side canonical measurement.
+    let digest = platform.local_attest(id).unwrap();
+    assert_eq!(digest, Sha1::digest(&source.image.measurement_bytes()));
+
+    // Remote attestation verifies end to end.
+    let verifier = RemoteVerifier::new(platform.attestation_key());
+    let report = platform.remote_attest(id, b"integration").unwrap();
+    assert_eq!(verifier.verify(&report, b"integration", &digest), Ok(()));
+
+    // Unload and verify the identity is gone.
+    platform.unload_task(handle).unwrap();
+    assert!(platform.local_attest(id).is_none());
+    assert!(matches!(
+        platform.remote_attest(id, b"x"),
+        Err(PlatformError::NoSuchTask)
+    ));
+}
+
+#[test]
+fn many_load_unload_cycles_stay_stable() {
+    let mut platform = boot();
+    let source = counter_task("churner");
+    let free0 = platform.machine().mpu().used_slots();
+    for round in 0..8 {
+        let (handle, _) = load(&mut platform, &source, 2);
+        platform.run_for(100_000).unwrap();
+        assert!(read_counter(&mut platform, handle, &source) > 0, "round {round}");
+        platform.unload_task(handle).unwrap();
+        assert_eq!(platform.machine().mpu().used_slots(), free0, "round {round}");
+    }
+}
+
+#[test]
+fn three_mutually_distrusting_tasks_coexist() {
+    let mut platform = boot();
+    let a = counter_task("provider-a");
+    let b = counter_task("provider-b");
+    let c = SecureTaskBuilder::new(
+        "provider-c",
+        "main:\n movi r1, counter\n\
+         loop:\n ldw r2, [r1]\n addi r2, 2\n stw [r1], r2\n jmp loop\n",
+    )
+    .data("counter:\n .word 0\n")
+    .build()
+    .unwrap();
+    let (ha, ida) = load(&mut platform, &a, 2);
+    let (hb, idb) = load(&mut platform, &b, 2);
+    let (hc, idc) = load(&mut platform, &c, 2);
+
+    // a and b are the same binary => same identity; c differs.
+    assert_eq!(ida, idb);
+    assert_ne!(ida, idc);
+
+    platform.run_for(3_000_000).unwrap();
+    assert!(read_counter(&mut platform, ha, &a) > 0);
+    assert!(read_counter(&mut platform, hb, &b) > 0);
+    assert!(read_counter(&mut platform, hc, &c) > 0);
+    assert!(platform.faults().is_empty());
+}
+
+#[test]
+fn os_cannot_read_secure_task_memory() {
+    use eampu::AccessKind;
+    let mut platform = boot();
+    let source = counter_task("private");
+    let (handle, _) = load(&mut platform, &source, 2);
+    let data = platform.kernel().task(handle).unwrap().params.data;
+    let kernel_actor = platform.kernel().config().kernel_actor;
+    let decision =
+        platform
+            .machine()
+            .mpu()
+            .check_access(kernel_actor, data.start(), AccessKind::Read);
+    assert!(!decision.is_allowed(), "OS read of secure data denied");
+}
+
+#[test]
+fn secure_storage_full_cycle_through_platform() {
+    let mut platform = boot();
+    let source = counter_task("owner");
+    let (owner, owner_id) = load(&mut platform, &source, 2);
+    platform.storage_store(owner, "state", b"v1").unwrap();
+
+    // Reload same binary: unseals.
+    platform.unload_task(owner).unwrap();
+    let (owner2, owner2_id) = load(&mut platform, &source, 2);
+    assert_eq!(owner_id, owner2_id);
+    assert_eq!(platform.storage_retrieve(owner2, "state").unwrap(), b"v1");
+
+    // A different binary cannot.
+    let other = SecureTaskBuilder::new("other", "main:\nspin:\n jmp spin\n")
+        .build()
+        .unwrap();
+    let (thief, _) = load(&mut platform, &other, 2);
+    assert!(matches!(
+        platform.storage_retrieve(thief, "state"),
+        Err(PlatformError::Storage(StorageError::AccessDenied))
+    ));
+}
+
+#[test]
+fn guest_ipc_async_delivery_and_polling_receiver() {
+    let mut platform = boot();
+    // Receiver polls its mailbox flag in its main loop (asynchronous IPC:
+    // "R processes m the next time it is scheduled", §4).
+    let receiver = SecureTaskBuilder::new(
+        "poller",
+        "main:\n\
+         poll:\n movi r1, __mailbox\n ldw r2, [r1]\n cmpi r2, 0\n jz poll\n\
+         ldw r3, [r1+16]\n movi r4, got\n stw [r4], r3\n\
+         done:\n jmp done\n",
+    )
+    .data("got:\n .word 0\n")
+    .build()
+    .unwrap();
+    let receiver_id = TaskId::from_digest(&Sha1::digest(&receiver.image.measurement_bytes()));
+
+    let (hi, lo) = receiver_id.to_register_words();
+    let sender = SecureTaskBuilder::new(
+        "pusher",
+        format!(
+            "main:\n movi r1, {hi:#010x}\n movi r2, {lo:#010x}\n\
+             movi r3, 0x5eed\n movi r4, 0\n movi r5, 0\n movi r6, 0\n\
+             int IPC_VECTOR\n\
+             spin:\n jmp spin\n"
+        ),
+    )
+    .build()
+    .unwrap();
+
+    let (rh, _) = load(&mut platform, &receiver, 2);
+    let (_, _) = load(&mut platform, &sender, 2);
+    platform.run_for(3_000_000).unwrap();
+
+    let base = platform.task_base(rh).unwrap();
+    let got = platform
+        .debug_read_word(base + receiver.symbol_offset("got").unwrap())
+        .unwrap();
+    assert_eq!(got, 0x5eed, "async message arrived via polling");
+}
+
+#[test]
+fn load_reports_match_paper_shape() {
+    // The Table 4 shape: secure >> normal, RTM dominating.
+    let mut platform = boot();
+    let secure = counter_task("secure-one");
+    let token = platform.begin_load(&secure, 2);
+    platform.wait_load(token, 200_000_000).unwrap();
+    let LoadStatus::Done { report: secure_report, .. } = platform.load_status(token).unwrap()
+    else {
+        panic!("secure load done");
+    };
+
+    let normal =
+        tytan::toolchain::build_normal_task("normal-one", "main:\nspin:\n jmp spin\n", "", 256)
+            .unwrap();
+    let token = platform.begin_load(&normal, 2);
+    platform.wait_load(token, 200_000_000).unwrap();
+    let LoadStatus::Done { report: normal_report, .. } = platform.load_status(token).unwrap()
+    else {
+        panic!("normal load done");
+    };
+
+    assert!(secure_report.rtm_cycles > 0);
+    assert_eq!(normal_report.rtm_cycles, 0);
+    assert!(
+        secure_report.total_cycles() > normal_report.total_cycles(),
+        "secure {} > normal {}",
+        secure_report.total_cycles(),
+        normal_report.total_cycles()
+    );
+    assert!(
+        secure_report.rtm_cycles > secure_report.reloc_cycles + secure_report.mpu_cycles,
+        "RTM dominates"
+    );
+}
+
+#[test]
+fn platform_survives_misbehaving_task_storm() {
+    let mut platform = boot();
+    let victim = counter_task("victim");
+    let (vh, _) = load(&mut platform, &victim, 2);
+    platform.run_for(100_000).unwrap();
+    let victim_data = platform.kernel().task(vh).unwrap().params.data.start();
+
+    // Load three attackers, each trying a different violation.
+    let attacks = [
+        format!("main:\n movi r1, {victim_data:#x}\n ldw r2, [r1]\nspin:\n jmp spin\n"),
+        format!("main:\n movi r1, {victim_data:#x}\n movi r2, 7\n stw [r1], r2\nspin:\n jmp spin\n"),
+        format!("main:\n jmp {:#x}\n", victim_data.wrapping_sub(0x100) + 8),
+    ];
+    for (i, body) in attacks.iter().enumerate() {
+        let attacker = SecureTaskBuilder::new(format!("attacker-{i}"), body.clone())
+            .build()
+            .unwrap();
+        let _ = load(&mut platform, &attacker, 3);
+    }
+    platform.run_for(2_000_000).unwrap();
+
+    assert!(platform.faults().len() >= 2, "violations recorded: {}", platform.faults().len());
+    assert!(platform.kernel().task(vh).is_some(), "victim survived");
+    let count = read_counter(&mut platform, vh, &victim);
+    assert!(count > 0, "victim kept running");
+}
+
+#[test]
+fn sha256_platform_variant_works_end_to_end() {
+    use tytan_crypto::Sha256;
+    let mut platform: Platform<Sha256> =
+        Platform::boot(PlatformConfig::default()).expect("boots with SHA-256");
+    let source = counter_task("sha256-task");
+    let token = platform.begin_load(&source, 2);
+    let (_, id) = platform.wait_load(token, 200_000_000).unwrap();
+    let digest = platform.local_attest(id).unwrap();
+    assert_eq!(digest.len(), 32);
+    assert_eq!(digest, Sha256::digest(&source.image.measurement_bytes()));
+}

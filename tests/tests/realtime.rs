@@ -1,0 +1,176 @@
+//! Real-time-property integration tests: the paper's central claim is
+//! that every TyTAN component is interruptible or bounded, so concurrent
+//! tasks keep their deadlines no matter what the trust anchor is doing.
+
+use tytan::platform::{LoadStatus, PlatformConfig};
+use tytan::usecase::CruiseControl;
+use tytan::Platform;
+use tytan_integration::{boot, counter_task, load, read_counter};
+
+/// Measures a task's progress over a window, in iterations.
+fn progress_over(
+    platform: &mut Platform,
+    handle: rtos::TaskHandle,
+    source: &tytan::TaskSource,
+    cycles: u64,
+) -> u32 {
+    let before = read_counter(platform, handle, source);
+    platform.run_for(cycles).unwrap();
+    read_counter(platform, handle, source) - before
+}
+
+#[test]
+fn task_progress_unaffected_by_concurrent_load() {
+    let mut platform = boot();
+    let worker = counter_task("worker");
+    let (wh, _) = load(&mut platform, &worker, 3);
+    platform.run_for(200_000).unwrap();
+
+    let baseline = progress_over(&mut platform, wh, &worker, 1_000_000);
+
+    // Start a load of a large task and measure again while it runs.
+    let big = tytan::usecase::radar_monitor_source(tytan_crypto::TaskId::from_u64(1));
+    let token = platform.begin_load(&big, 2);
+    let during = progress_over(&mut platform, wh, &worker, 1_000_000);
+
+    assert!(
+        during as f64 >= baseline as f64 * 0.85,
+        "worker kept ≥85% of its rate during the load: {baseline} vs {during}"
+    );
+    platform.wait_load(token, 400_000_000).unwrap();
+}
+
+#[test]
+fn rtm_slice_size_bounds_preemption_latency() {
+    // With 1-block RTM slices the loader yields often; scheduling trace
+    // gaps for the high-priority task stay bounded near one tick.
+    let config = PlatformConfig { rtm_blocks_per_slice: 1, ..Default::default() };
+    let mut platform: Platform = Platform::boot(config).unwrap();
+    let worker = counter_task("hi-prio");
+    let token = platform.begin_load(&worker, 7);
+    let (wh, _) = platform.wait_load(token, 400_000_000).unwrap();
+    platform.run_for(200_000).unwrap();
+
+    let big = tytan::usecase::radar_monitor_source(tytan_crypto::TaskId::from_u64(1));
+    let load_token = platform.begin_load(&big, 2);
+    platform.kernel_mut().trace_mut().clear();
+    platform.run_for(2_000_000).unwrap();
+    let _ = platform.load_status(load_token).unwrap();
+
+    // Max gap between consecutive dispatches of the high-priority task.
+    let dispatch_cycles: Vec<u64> = platform
+        .kernel()
+        .trace()
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            rtos::SchedEventKind::Dispatched(h) if h == wh => Some(e.cycle),
+            _ => None,
+        })
+        .collect();
+    assert!(dispatch_cycles.len() > 10, "task dispatched repeatedly");
+    let max_gap = dispatch_cycles.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+    // One tick is 32,000 cycles; allow 2.5 ticks of slack for load slices.
+    assert!(max_gap < 80_000, "max dispatch gap {max_gap} bounded");
+}
+
+#[test]
+fn loads_complete_even_under_full_cpu_contention() {
+    // Spinning tasks never yield; the loader only gets the idle...
+    // With busy tasks at every tick, idle time exists between a task's
+    // delay and the next tick. Use delaying tasks so idle time exists,
+    // and check the load still completes in bounded time.
+    let mut platform = boot();
+    let mut scenario = CruiseControl::install(&mut platform).unwrap();
+    platform.run_for(100_000).unwrap();
+    let (token, _) = scenario.activate_cruise_control(&mut platform);
+    let start = platform.machine().cycles();
+    let (_t2, _) = platform.wait_load(token, 400_000_000).unwrap();
+    let elapsed = platform.machine().cycles() - start;
+    // The paper's t2 load takes 27.8 ms = 1.33 M cycles at 48 MHz; ours
+    // should land within the same order of magnitude.
+    assert!(
+        (50_000..=10_000_000).contains(&elapsed),
+        "load latency {elapsed} cycles within the paper's magnitude"
+    );
+}
+
+#[test]
+fn tick_rate_is_stable_under_churn() {
+    let mut platform = boot();
+    let worker = counter_task("steady");
+    load(&mut platform, &worker, 3);
+    let t0 = platform.kernel().tick_count();
+    let c0 = platform.machine().cycles();
+    // Churn: load/unload repeatedly while time passes.
+    for _ in 0..3 {
+        let extra = counter_task("churn");
+        let (h, _) = load(&mut platform, &extra, 2);
+        platform.run_for(200_000).unwrap();
+        platform.unload_task(h).unwrap();
+    }
+    platform.run_for(200_000).unwrap();
+    let ticks = platform.kernel().tick_count() - t0;
+    let cycles = platform.machine().cycles() - c0;
+    let expected = cycles / 32_000;
+    assert!(
+        (ticks as i64 - expected as i64).abs() <= 2,
+        "tick count {ticks} tracks wall time (expected ≈{expected})"
+    );
+}
+
+#[test]
+fn suspended_task_resumes_exactly_where_it_stopped() {
+    // Context integrity across suspend/resume: the counter continues
+    // from its previous value, never resets (entry-routine RESUME path).
+    let mut platform = boot();
+    let worker = counter_task("suspendee");
+    let (wh, _) = load(&mut platform, &worker, 2);
+    platform.run_for(300_000).unwrap();
+    let mid = read_counter(&mut platform, wh, &worker);
+    assert!(mid > 10);
+    platform.suspend_task(wh).unwrap();
+    platform.run_for(300_000).unwrap();
+    platform.resume_task(wh).unwrap();
+    platform.run_for(300_000).unwrap();
+    let end = read_counter(&mut platform, wh, &worker);
+    assert!(end > mid, "resumed from saved context: {mid} -> {end}");
+}
+
+#[test]
+fn blocking_load_double_latency_tradeoff() {
+    // The blocking loader finishes the load in *fewer* wall cycles (no
+    // preemption) but starves tasks; the interruptible loader pays
+    // slightly more elapsed time. Both effects should be visible.
+    let measure = |interruptible: bool| {
+        let config = PlatformConfig { interruptible_load: interruptible, ..Default::default() };
+        let mut platform: Platform = Platform::boot(config).unwrap();
+        let worker = counter_task("w");
+        let token = platform.begin_load(&worker, 3);
+        let (wh, _) = platform.wait_load(token, 400_000_000).unwrap();
+        platform.run_for(100_000).unwrap();
+        let before = read_counter(&mut platform, wh, &worker);
+        let big = tytan::usecase::radar_monitor_source(tytan_crypto::TaskId::from_u64(1));
+        let token = platform.begin_load(&big, 2);
+        let start = platform.machine().cycles();
+        platform.wait_load(token, 400_000_000).unwrap();
+        let elapsed = platform.machine().cycles() - start;
+        let LoadStatus::Done { report, .. } = platform.load_status(token).unwrap() else {
+            panic!("done");
+        };
+        let after = read_counter(&mut platform, wh, &worker);
+        (elapsed, report.slices, after - before)
+    };
+    let (elapsed_int, _, progress_int) = measure(true);
+    let (elapsed_blk, _, progress_blk) = measure(false);
+    assert!(
+        elapsed_int > elapsed_blk,
+        "the interruptible load takes longer wall-clock because it is \
+         preempted ({elapsed_int} vs {elapsed_blk} cycles)"
+    );
+    assert!(
+        progress_int > progress_blk,
+        "concurrent task progressed more under the interruptible loader \
+         ({progress_int} vs {progress_blk})"
+    );
+}

@@ -1,0 +1,108 @@
+//! Stress and failure-injection tests: resource exhaustion must degrade
+//! gracefully and recover fully.
+
+use tytan::platform::{LoadStatus, PlatformError};
+use tytan::toolchain::SecureTaskBuilder;
+use tytan::LoadError;
+use tytan_integration::{boot, counter_task, load, read_counter};
+
+#[test]
+fn heap_exhaustion_fails_cleanly_and_recovers() {
+    let mut platform = boot();
+    // Fill the heap with large tasks until allocation fails.
+    let big = SecureTaskBuilder::new("big", "main:\nspin:\n jmp spin\n")
+        .stack_len(0x4_0000)
+        .build()
+        .unwrap();
+    let mut loaded = Vec::new();
+    let mut failed = None;
+    for _ in 0..16 {
+        let token = platform.begin_load(&big, 2);
+        match platform.wait_load(token, 400_000_000) {
+            Ok((handle, _)) => loaded.push(handle),
+            Err(e) => {
+                failed = Some((token, e));
+                break;
+            }
+        }
+    }
+    let (token, error) = failed.expect("heap eventually exhausts");
+    assert!(
+        matches!(error, PlatformError::Load(LoadError::Alloc(_))),
+        "allocation failure surfaced: {error}"
+    );
+    assert!(matches!(
+        platform.load_status(token).unwrap(),
+        LoadStatus::Failed(LoadError::Alloc(_))
+    ));
+    assert!(loaded.len() >= 2, "several tasks fit first");
+
+    // Existing tasks are unaffected and the platform keeps running.
+    platform.run_for(200_000).unwrap();
+    assert!(platform.faults().is_empty());
+
+    // Unloading one frees enough room for the load to succeed again.
+    platform.unload_task(loaded.pop().unwrap()).unwrap();
+    let token = platform.begin_load(&big, 2);
+    platform.wait_load(token, 400_000_000).expect("load succeeds after unload");
+}
+
+#[test]
+fn mpu_slot_exhaustion_fails_cleanly() {
+    let mut platform = boot();
+    // 3 static boot rules + 3 rules per task on an 18-slot table: the
+    // sixth task cannot get its rules.
+    let source = counter_task("slot-eater");
+    let mut results = Vec::new();
+    for _ in 0..6 {
+        let token = platform.begin_load(&source, 2);
+        results.push(platform.wait_load(token, 400_000_000));
+    }
+    let successes = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(successes, 5, "five tasks fit the rule table");
+    assert!(matches!(
+        results.last().unwrap(),
+        Err(PlatformError::Load(LoadError::Mpu(_)))
+    ));
+    // The five loaded tasks all still run.
+    platform.run_for(2_000_000).unwrap();
+    assert!(platform.faults().is_empty());
+}
+
+#[test]
+fn many_concurrent_loads_complete() {
+    let mut platform = boot();
+    let sources: Vec<_> = (0..4).map(|i| counter_task(&format!("w{i}"))).collect();
+    let tokens: Vec<_> = sources.iter().map(|s| platform.begin_load(s, 2)).collect();
+    // All four queued loads complete while the platform runs.
+    platform.run_for(60_000_000).unwrap();
+    for token in tokens {
+        assert!(matches!(
+            platform.load_status(token).unwrap(),
+            LoadStatus::Done { .. }
+        ));
+    }
+    // And every loaded instance makes progress.
+    for handle in platform.kernel().handles() {
+        let base = platform.task_base(handle).unwrap();
+        let offset = sources[0].symbol_offset("counter").unwrap();
+        let counter = platform.debug_read_word(base + offset).unwrap();
+        assert!(counter > 0, "{handle} progressed");
+    }
+}
+
+#[test]
+fn rapid_suspend_resume_churn_is_stable() {
+    let mut platform = boot();
+    let source = counter_task("churn");
+    let (handle, _) = load(&mut platform, &source, 2);
+    for _ in 0..50 {
+        platform.run_for(10_000).unwrap();
+        platform.suspend_task(handle).unwrap();
+        platform.run_for(10_000).unwrap();
+        platform.resume_task(handle).unwrap();
+    }
+    platform.run_for(100_000).unwrap();
+    assert!(platform.faults().is_empty());
+    assert!(read_counter(&mut platform, handle, &source) > 0);
+}
