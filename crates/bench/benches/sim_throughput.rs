@@ -1,23 +1,93 @@
 //! Host-side throughput of the simulator itself: how many guest
-//! instructions per second the interpreter retires, with and without
-//! EA-MPU checking. Not a paper table — a health metric for the
-//! reproduction substrate.
+//! instructions per second the interpreter retires. Not a paper table —
+//! a health metric for the reproduction substrate, and the before/after
+//! yardstick for the fast path (predecode cache, EA-MPU decision cache,
+//! event-driven run loop).
+//!
+//! Workloads:
+//! - `mpu_on` / `mpu_off` — the plain compute loop, with and without
+//!   EA-MPU checking (fast path on, the default).
+//! - `mpu_on_fast_off` — the same loop on the legacy per-instruction
+//!   reference loop; `mpu_on` vs. this is the fast-path speedup.
+//! - `mmio_heavy` — every iteration reads a sensor register and writes a
+//!   UART register, so device routing dominates.
+//! - `irq_heavy` — a ~200-cycle timer interrupt storm through the IDT.
+//! - `smc_thrash` — self-modifying code: every iteration stores into its
+//!   own code line, invalidating the predecode cache (worst case).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sp32::asm::assemble;
+use sp_emu::devices::{Sensor, Timer, Uart};
 use sp_emu::{Machine, MachineConfig};
 
-fn busy_machine(mpu_enabled: bool) -> Machine {
-    let mut machine = Machine::new(MachineConfig::default());
+fn machine_with(fast_path: bool, mpu_enabled: bool) -> Machine {
+    let mut machine = Machine::new(MachineConfig {
+        fast_path,
+        ..MachineConfig::default()
+    });
     machine.set_mpu_enabled(mpu_enabled);
-    let program = assemble(
+    machine
+}
+
+fn load(machine: &mut Machine, source: &str) {
+    let program = assemble(source, 0x1000).unwrap();
+    machine.load_image(0x1000, &program.bytes).unwrap();
+    machine.set_eip(0x1000);
+}
+
+fn busy_machine(fast_path: bool, mpu_enabled: bool) -> Machine {
+    let mut machine = machine_with(fast_path, mpu_enabled);
+    load(
+        &mut machine,
         "main:\n movi r1, 0x9000\n movi r2, 0\n\
          loop:\n ldw r3, [r1]\n add r3, r2\n stw [r1], r3\n addi r2, 1\n jmp loop\n",
+    );
+    machine
+}
+
+fn mmio_machine() -> Machine {
+    let mut machine = machine_with(true, true);
+    machine.add_device(Box::new(Sensor::new(0xf000_0110, 7)));
+    machine.add_device(Box::new(Uart::new(0xf000_0200)));
+    load(
+        &mut machine,
+        "main:\n movi r1, 0xf0000110\n movi r2, 0xf0000200\n\
+         loop:\n ldw r3, [r1]\n stw [r2], r3\n jmp loop\n",
+    );
+    machine
+}
+
+fn irq_machine() -> Machine {
+    let mut machine = machine_with(true, true);
+    let program = assemble(
+        "main:\n sti\nloop:\n addi r2, 1\n jmp loop\n\
+         handler:\n addi r3, 1\n iret\n",
         0x1000,
     )
     .unwrap();
+    let handler = program.symbol("handler").unwrap();
     machine.load_image(0x1000, &program.bytes).unwrap();
     machine.set_eip(0x1000);
+    machine.set_reg(sp32::Reg::R7, 0x8000);
+    machine.set_idt_base(0x40);
+    machine.set_idt_entry(32, handler).unwrap();
+    let timer = machine.add_device(Box::new(Timer::new(0xf000_0000, 32)));
+    machine
+        .device_mut::<Timer>(timer)
+        .unwrap()
+        .configure(200, true);
+    machine
+}
+
+fn smc_machine() -> Machine {
+    let mut machine = machine_with(true, true);
+    // The store rewrites `target` with its own current encoding: semantics
+    // never change, but the predecode line is invalidated every iteration.
+    load(
+        &mut machine,
+        "main:\n movi r1, target\n ldw r2, [r1]\n\
+         loop:\ntarget:\n addi r4, 1\n stw [r1], r2\n jmp loop\n",
+    );
     machine
 }
 
@@ -25,9 +95,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
     const INSTRUCTIONS: u64 = 10_000;
     group.throughput(Throughput::Elements(INSTRUCTIONS));
-    for (label, mpu) in [("mpu_on", true), ("mpu_off", false)] {
+    type Case = (&'static str, fn() -> Machine);
+    let cases: Vec<Case> = vec![
+        ("mpu_on", || busy_machine(true, true)),
+        ("mpu_off", || busy_machine(true, false)),
+        ("mpu_on_fast_off", || busy_machine(false, true)),
+        ("mmio_heavy", mmio_machine),
+        ("irq_heavy", irq_machine),
+        ("smc_thrash", smc_machine),
+    ];
+    for (label, build) in cases {
         group.bench_function(label, |b| {
-            let mut machine = busy_machine(mpu);
+            let mut machine = build();
             b.iter(|| {
                 let start = machine.stats().instructions;
                 while machine.stats().instructions - start < INSTRUCTIONS {

@@ -10,10 +10,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("use_case_window", |b| {
         b.iter(|| {
-            let mut platform: Platform =
-                Platform::boot(PlatformConfig::default()).expect("boots");
+            let mut platform: Platform = Platform::boot(PlatformConfig::default()).expect("boots");
             let mut scenario = CruiseControl::install(&mut platform).expect("installs");
-            scenario.measure_window(&mut platform, 200_000).expect("window")
+            scenario
+                .measure_window(&mut platform, 200_000)
+                .expect("window")
         })
     });
     group.finish();

@@ -6,8 +6,12 @@ use tytan_bench::experiments::measure_task_create;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4");
     group.sample_size(10);
-    group.bench_function("create_secure_task", |b| b.iter(|| measure_task_create(true)));
-    group.bench_function("create_normal_task", |b| b.iter(|| measure_task_create(false)));
+    group.bench_function("create_secure_task", |b| {
+        b.iter(|| measure_task_create(true))
+    });
+    group.bench_function("create_normal_task", |b| {
+        b.iter(|| measure_task_create(false))
+    });
     group.finish();
 }
 

@@ -6,14 +6,18 @@ use tytan_bench::experiments::measure_measurement;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table7");
     for blocks in [1u32, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("measure_blocks", blocks), &blocks, |b, &n| {
-            b.iter(|| measure_measurement(n, 0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("measure_blocks", blocks),
+            &blocks,
+            |b, &n| b.iter(|| measure_measurement(n, 0)),
+        );
     }
     for sites in [0u32, 1, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("measure_reverts", sites), &sites, |b, &n| {
-            b.iter(|| measure_measurement(4, n))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("measure_reverts", sites),
+            &sites,
+            |b, &n| b.iter(|| measure_measurement(4, n)),
+        );
     }
     group.finish();
 }

@@ -1,14 +1,29 @@
 //! Prints every reproduced table/figure of the paper's evaluation.
 //!
 //! Run with: `cargo run -p tytan-bench --bin tables --release`
+//!
+//! With `--json`, additionally emits the same data as JSON — paper value,
+//! measured value, and unit per row, plus the host-side simulation rate
+//! (`host_guest_ips`) — and writes it to `BENCH_tables.json` in the
+//! current directory.
 
-use tytan_bench::{experiments, render};
+use tytan_bench::{experiments, render, render_json};
 
 fn main() {
+    let json_mode = std::env::args().any(|arg| arg == "--json");
+    let tables = experiments::all();
+    if json_mode {
+        let json = render_json(&tables, experiments::host_guest_ips());
+        if let Err(err) = std::fs::write("BENCH_tables.json", &json) {
+            eprintln!("warning: could not write BENCH_tables.json: {err}");
+        }
+        print!("{json}");
+        return;
+    }
     println!("TyTAN (DAC 2015) — reproduced evaluation");
     println!("paper values vs. cycle counts measured on the simulated platform");
     println!();
-    for table in experiments::all() {
+    for table in tables {
         println!("{}", render(&table));
     }
 }

@@ -15,14 +15,25 @@ use tytan_crypto::{Sha1, TaskId};
 use tytan_image::TaskImage;
 
 fn boot() -> Platform {
-    Platform::boot(PlatformConfig::default()).expect("platform boots")
+    boot_with(MachineConfig::default())
+}
+
+fn boot_with(machine: MachineConfig) -> Platform {
+    Platform::boot(PlatformConfig {
+        machine,
+        ..Default::default()
+    })
+    .expect("platform boots")
 }
 
 /// Runs `platform` until the given firmware trap fires, returning the
 /// cycle count at arrival. Kernel traps along the way are serviced.
 fn run_until_trap(platform: &mut Platform, target: u32) -> u64 {
     loop {
-        match platform.run_one_event(10_000_000).expect("platform healthy") {
+        match platform
+            .run_one_event(10_000_000)
+            .expect("platform healthy")
+        {
             Event::FirmwareTrap { addr } if addr == target => {
                 return platform.machine().cycles();
             }
@@ -69,17 +80,26 @@ pub fn table1_use_case() -> Table {
     let window = 960_000; // 20 ms at 48 MHz
 
     let measure = |interruptible: bool| {
-        let config = PlatformConfig { interruptible_load: interruptible, ..Default::default() };
+        let config = PlatformConfig {
+            interruptible_load: interruptible,
+            ..Default::default()
+        };
         let mut platform: Platform = Platform::boot(config).expect("boots");
         let mut scenario = CruiseControl::install(&mut platform).expect("installs");
         platform.run_for(200_000).expect("warmup");
-        let before = scenario.measure_window(&mut platform, window).expect("before");
+        let before = scenario
+            .measure_window(&mut platform, window)
+            .expect("before");
         let (token, source) = scenario.activate_cruise_control(&mut platform);
-        let during = scenario.measure_window(&mut platform, window).expect("during");
+        let during = scenario
+            .measure_window(&mut platform, window)
+            .expect("during");
         let (t2, _) = platform.wait_load(token, 400_000_000).expect("t2 loads");
         scenario.finish_activation(&platform, t2, &source);
         platform.run_for(200_000).expect("settle");
-        let after = scenario.measure_window(&mut platform, window).expect("after");
+        let after = scenario
+            .measure_window(&mut platform, window)
+            .expect("after");
         (before, during, after)
     };
 
@@ -99,8 +119,16 @@ pub fn table1_use_case() -> Table {
             Row::with_paper("after:  t1", 1.5, after.t1_rate_khz_at_48mhz(), "kHz"),
             Row::with_paper("after:  t2", 1.5, after.t2_rate_khz_at_48mhz(), "kHz"),
             Row::with_paper("after:  t0", 1.5, after.t0_rate_khz_at_48mhz(), "kHz"),
-            Row::measured_only("ablation while: t1", abl_during.t1_rate_khz_at_48mhz(), "kHz"),
-            Row::measured_only("ablation while: t0", abl_during.t0_rate_khz_at_48mhz(), "kHz"),
+            Row::measured_only(
+                "ablation while: t1",
+                abl_during.t1_rate_khz_at_48mhz(),
+                "kHz",
+            ),
+            Row::measured_only(
+                "ablation while: t0",
+                abl_during.t0_rate_khz_at_48mhz(),
+                "kHz",
+            ),
         ],
     }
 }
@@ -133,7 +161,10 @@ pub fn measure_secure_save() -> SavePhases {
 /// Like [`measure_secure_save`], optionally with the hardware-assisted
 /// context save (§4's latency/hardware trade-off) instead of the stub.
 pub fn measure_secure_save_with(hardware_save: bool) -> SavePhases {
-    let config = PlatformConfig { hardware_context_save: hardware_save, ..Default::default() };
+    let config = PlatformConfig {
+        hardware_context_save: hardware_save,
+        ..Default::default()
+    };
     let mut platform: Platform = Platform::boot(config).expect("boots");
     let source = spin_task("interruptee");
     let token = platform.begin_load(&source, 2);
@@ -179,7 +210,11 @@ pub fn measure_secure_save_with(hardware_save: bool) -> SavePhases {
     let t_end = run_until_kernel_trap_arrival(&mut platform);
     platform.run_one_event(0).expect("service trap");
 
-    SavePhases { store: t_wipe - t_save, wipe: t_branch - t_wipe, branch: t_end - t_branch }
+    SavePhases {
+        store: t_wipe - t_save,
+        wipe: t_branch - t_wipe,
+        branch: t_end - t_branch,
+    }
 }
 
 /// Ablation (§4): software Int Mux save vs. hardware-assisted save.
@@ -193,8 +228,16 @@ pub fn ablation_hw_save() -> Table {
                latency at the cost of additional hardware\"; the hardware path folds \
                store+wipe into the exception engine",
         rows: vec![
-            Row::measured_only("software: store+wipe+branch", software.overall() as f64, "cycles"),
-            Row::measured_only("hardware: store+wipe+branch", hardware.overall() as f64, "cycles"),
+            Row::measured_only(
+                "software: store+wipe+branch",
+                software.overall() as f64,
+                "cycles",
+            ),
+            Row::measured_only(
+                "hardware: store+wipe+branch",
+                hardware.overall() as f64,
+                "cycles",
+            ),
             Row::measured_only(
                 "latency saved",
                 software.overall().saturating_sub(hardware.overall()) as f64,
@@ -214,7 +257,7 @@ pub fn measure_baseline_save() -> u64 {
             source: "main:\n movi r1, counter\n\
                      loop:\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n jmp loop\n\
                      counter:\n .word 0\n"
-                .into(),  // baseline platform: no EA-MPU, inline data is fine
+                .into(), // baseline platform: no EA-MPU, inline data is fine
             stack_len: 256,
         })
         .expect("task added");
@@ -298,7 +341,9 @@ fn yield_body() -> &'static str {
 /// context and IRETs (restore phase).
 pub fn measure_secure_restore() -> RestorePhases {
     let mut platform = boot();
-    let source = SecureTaskBuilder::new("yielder", yield_body()).build().expect("assembles");
+    let source = SecureTaskBuilder::new("yielder", yield_body())
+        .build()
+        .expect("assembles");
     let after_int_off = source.symbol_offset("after_int").expect("label");
     let token = platform.begin_load(&source, 2);
     let (handle, _) = platform.wait_load(token, 400_000_000).expect("loads");
@@ -309,13 +354,20 @@ pub fn measure_secure_restore() -> RestorePhases {
     platform.run_for(20_000).expect("warm");
 
     let t_arrive = run_until_kernel_trap_arrival(&mut platform);
-    platform.machine_mut().add_firmware_trap(base + after_int_off);
+    platform
+        .machine_mut()
+        .add_firmware_trap(base + after_int_off);
     platform.run_one_event(0).expect("service trap");
     let t_dispatched = platform.machine().cycles();
     let t_done = run_until_trap(&mut platform, base + after_int_off);
-    platform.machine_mut().remove_firmware_trap(base + after_int_off);
+    platform
+        .machine_mut()
+        .remove_firmware_trap(base + after_int_off);
 
-    RestorePhases { branch: t_dispatched - t_arrive, restore: t_done - t_dispatched }
+    RestorePhases {
+        branch: t_dispatched - t_arrive,
+        restore: t_done - t_dispatched,
+    }
 }
 
 /// Measures the baseline restore: the OS pops the context itself.
@@ -357,7 +409,10 @@ pub fn measure_baseline_restore() -> RestorePhases {
         }
     };
     runner.machine_mut().remove_firmware_trap(after_int);
-    RestorePhases { branch: t_dispatched - t_arrive, restore: t_done - t_dispatched }
+    RestorePhases {
+        branch: t_dispatched - t_arrive,
+        restore: t_done - t_dispatched,
+    }
 }
 
 /// Table 3: cost of restoring the context of a secure task.
@@ -379,7 +434,11 @@ pub fn table3_interrupt_restore() -> Table {
                 secure.overall().saturating_sub(baseline.overall()) as f64,
                 "cycles",
             ),
-            Row::measured_only("baseline (FreeRTOS) overall", baseline.overall() as f64, "cycles"),
+            Row::measured_only(
+                "baseline (FreeRTOS) overall",
+                baseline.overall() as f64,
+                "cycles",
+            ),
         ],
     }
 }
@@ -389,7 +448,13 @@ pub fn table3_interrupt_restore() -> Table {
 /// Loads the paper's reference task (≈3,962 bytes, 9 relocations) as a
 /// secure or normal task on a fresh platform and returns the load report.
 pub fn measure_task_create(secure: bool) -> LoadReport {
-    let mut platform = boot();
+    measure_task_create_with(secure, MachineConfig::default())
+}
+
+/// Like [`measure_task_create`], on a machine built from `machine` (the
+/// cycle-identity tests thread `fast_path: false` through here).
+pub fn measure_task_create_with(secure: bool, machine: MachineConfig) -> LoadReport {
+    let mut platform = boot_with(machine);
     let source = if secure {
         radar_monitor_source(TaskId::from_u64(1))
     } else {
@@ -424,16 +489,56 @@ pub fn table4_task_create() -> Table {
         note: "EA-MPU row is the policy-checked task rule (the paper charges only the \
                rule write, 225); overhead = relocation + EA-MPU + RTM vs static creation",
         rows: vec![
-            Row::with_paper("secure: relocation", 3_692.0, secure.reloc_cycles as f64, "cycles"),
-            Row::with_paper("secure: EA-MPU", 225.0, secure.mpu_primary_cycles as f64, "cycles"),
+            Row::with_paper(
+                "secure: relocation",
+                3_692.0,
+                secure.reloc_cycles as f64,
+                "cycles",
+            ),
+            Row::with_paper(
+                "secure: EA-MPU",
+                225.0,
+                secure.mpu_primary_cycles as f64,
+                "cycles",
+            ),
             Row::with_paper("secure: RTM", 433_433.0, secure.rtm_cycles as f64, "cycles"),
-            Row::with_paper("secure: overall", 642_241.0, secure.total_cycles() as f64, "cycles"),
-            Row::with_paper("secure: overhead", 437_380.0, secure_overhead as f64, "cycles"),
-            Row::with_paper("normal: relocation", 3_692.0, normal.reloc_cycles as f64, "cycles"),
-            Row::with_paper("normal: EA-MPU", 225.0, normal.mpu_primary_cycles as f64, "cycles"),
+            Row::with_paper(
+                "secure: overall",
+                642_241.0,
+                secure.total_cycles() as f64,
+                "cycles",
+            ),
+            Row::with_paper(
+                "secure: overhead",
+                437_380.0,
+                secure_overhead as f64,
+                "cycles",
+            ),
+            Row::with_paper(
+                "normal: relocation",
+                3_692.0,
+                normal.reloc_cycles as f64,
+                "cycles",
+            ),
+            Row::with_paper(
+                "normal: EA-MPU",
+                225.0,
+                normal.mpu_primary_cycles as f64,
+                "cycles",
+            ),
             Row::with_paper("normal: RTM", 0.0, normal.rtm_cycles as f64, "cycles"),
-            Row::with_paper("normal: overall", 208_808.0, normal.total_cycles() as f64, "cycles"),
-            Row::with_paper("normal: overhead", 3_917.0, normal_overhead as f64, "cycles"),
+            Row::with_paper(
+                "normal: overall",
+                208_808.0,
+                normal.total_cycles() as f64,
+                "cycles",
+            ),
+            Row::with_paper(
+                "normal: overhead",
+                3_917.0,
+                normal_overhead as f64,
+                "cycles",
+            ),
         ],
     }
 }
@@ -442,7 +547,12 @@ pub fn table4_task_create() -> Table {
 
 /// Measures the loader's relocation cost for an image with `n` sites.
 pub fn measure_relocation(n: u32) -> u64 {
-    let mut machine = Machine::new(MachineConfig::default());
+    measure_relocation_with(n, MachineConfig::default())
+}
+
+/// Like [`measure_relocation`], on a machine built from `config`.
+pub fn measure_relocation_with(n: u32, config: MachineConfig) -> u64 {
+    let mut machine = Machine::new(config);
     let mut kernel = rtos::Kernel::new(rtos::KernelConfig::default());
     let mut rtm = Rtm::new();
     let mut allocator = Allocator::new(layout::HEAP_BASE, 0x4_0000);
@@ -452,12 +562,28 @@ pub fn measure_relocation(n: u32) -> u64 {
         kernel_entry: layout::KERNEL_TRAP,
     };
     let sites: Vec<u32> = (0..n).map(|i| i * 4).collect();
-    let image = TaskImage::new("reloc-probe", false, 0, vec![0u8; 256], vec![], 0, 128, sites)
-        .expect("valid image");
+    let image = TaskImage::new(
+        "reloc-probe",
+        false,
+        0,
+        vec![0u8; 256],
+        vec![],
+        0,
+        128,
+        sites,
+    )
+    .expect("valid image");
     let mut job: LoadJob<Sha1> = LoadJob::new(image, 0, 1);
     loop {
         match job
-            .step(&mut machine, &mut kernel, &mut rtm, &mut allocator, actors, 4)
+            .step(
+                &mut machine,
+                &mut kernel,
+                &mut rtm,
+                &mut allocator,
+                actors,
+                4,
+            )
             .expect("load steps")
         {
             LoadProgress::Done { .. } => break,
@@ -498,7 +624,12 @@ pub fn measure_eampu_config(position: usize) -> eampu::ConfigureCost {
         let base = 0x1_0000 + i as u32 * 0x400;
         mpu.set_rule(
             i,
-            Rule::new(Region::new(base, 0x100), base, Region::new(base + 0x200, 0x100), Perms::RW),
+            Rule::new(
+                Region::new(base, 0x100),
+                base,
+                Region::new(base + 0x200, 0x100),
+                Perms::RW,
+            ),
         );
     }
     let new_base = 0x8_0000;
@@ -517,9 +648,11 @@ pub fn measure_eampu_config(position: usize) -> eampu::ConfigureCost {
 /// Table 6: EA-MPU configuration cost vs. position of the first free slot.
 pub fn table6_eampu_config() -> Table {
     let mut rows = Vec::new();
-    for (position, paper_find, paper_overall) in
-        [(1usize, 76.0, 1_125.0), (2, 95.0, 1_144.0), (18, 399.0, 1_448.0)]
-    {
+    for (position, paper_find, paper_overall) in [
+        (1usize, 76.0, 1_125.0),
+        (2, 95.0, 1_144.0),
+        (18, 399.0, 1_448.0),
+    ] {
         let cost = measure_eampu_config(position);
         rows.push(Row::with_paper(
             format!("slot {position}: find free slot"),
@@ -559,12 +692,25 @@ pub fn table6_eampu_config() -> Table {
 /// Measures a full RTM measurement of a `blocks`-block image with
 /// `reloc_sites` relocated addresses.
 pub fn measure_measurement(blocks: u32, reloc_sites: u32) -> u64 {
+    measure_measurement_with(blocks, reloc_sites, MachineConfig::default())
+}
+
+/// Like [`measure_measurement`], on a machine built from `config`.
+pub fn measure_measurement_with(blocks: u32, reloc_sites: u32, config: MachineConfig) -> u64 {
     let text_len = blocks * 64 - 24; // header is 24 bytes
     let sites: Vec<u32> = (0..reloc_sites).map(|i| i * 4).collect();
-    let image =
-        TaskImage::new("measure-probe", true, 0, vec![0u8; text_len as usize], vec![], 0, 64, sites)
-            .expect("valid image");
-    let mut machine = Machine::new(MachineConfig::default());
+    let image = TaskImage::new(
+        "measure-probe",
+        true,
+        0,
+        vec![0u8; text_len as usize],
+        vec![],
+        0,
+        64,
+        sites,
+    )
+    .expect("valid image");
+    let mut machine = Machine::new(config);
     machine
         .load_image(0x8000, &image.loadable_bytes())
         .expect("fits in RAM");
@@ -625,7 +771,11 @@ pub fn table8_memory() -> Table {
         Row::with_paper("overhead", 15.92, fp.overhead_percent(), "%"),
     ];
     for c in footprint::components().iter().filter(|c| c.tytan_only) {
-        rows.push(Row::measured_only(format!("  + {}", c.name), c.total() as f64, "bytes"));
+        rows.push(Row::measured_only(
+            format!("  + {}", c.name),
+            c.total() as f64,
+            "bytes",
+        ));
     }
     Table {
         id: "table8",
@@ -649,7 +799,12 @@ pub struct IpcPhases {
 
 /// Measures one synchronous guest-to-guest IPC send.
 pub fn measure_ipc() -> IpcPhases {
-    let mut platform = boot();
+    measure_ipc_with(MachineConfig::default())
+}
+
+/// Like [`measure_ipc`], on a machine built from `machine`.
+pub fn measure_ipc_with(machine: MachineConfig) -> IpcPhases {
+    let mut platform = boot_with(machine);
     let receiver = SecureTaskBuilder::new(
         "receiver",
         "main:\nwait:\n jmp wait\n\
@@ -681,10 +836,14 @@ pub fn measure_ipc() -> IpcPhases {
     .expect("assembles");
 
     let token = platform.begin_load(&receiver, 2);
-    let (rh, _) = platform.wait_load(token, 400_000_000).expect("receiver loads");
+    let (rh, _) = platform
+        .wait_load(token, 400_000_000)
+        .expect("receiver loads");
     let rbase = platform.task_base(rh).expect("loaded");
     let token = platform.begin_load(&sender, 3);
-    platform.wait_load(token, 400_000_000).expect("sender loads");
+    platform
+        .wait_load(token, 400_000_000)
+        .expect("sender loads");
 
     // Run until the IPC trap arrives (the sender's INT 0x30 goes through
     // the Int Mux stub to the kernel trap with r0 = IPC vector).
@@ -696,15 +855,26 @@ pub fn measure_ipc() -> IpcPhases {
         platform.run_one_event(0).expect("service non-IPC trap");
     };
     platform.machine_mut().add_firmware_trap(rbase); // receiver entry
-    platform.machine_mut().add_firmware_trap(rbase + handled_off);
+    platform
+        .machine_mut()
+        .add_firmware_trap(rbase + handled_off);
     platform.run_one_event(0).expect("service IPC trap");
     let t_at_entry = platform.machine().cycles();
-    assert_eq!(platform.machine().eip(), rbase, "sync dispatch branched to entry");
+    assert_eq!(
+        platform.machine().eip(),
+        rbase,
+        "sync dispatch branched to entry"
+    );
     platform.machine_mut().remove_firmware_trap(rbase);
     let t_handled = run_until_trap(&mut platform, rbase + handled_off);
-    platform.machine_mut().remove_firmware_trap(rbase + handled_off);
+    platform
+        .machine_mut()
+        .remove_firmware_trap(rbase + handled_off);
 
-    IpcPhases { proxy: t_at_entry - t_arrive, entry: t_handled - t_at_entry }
+    IpcPhases {
+        proxy: t_at_entry - t_arrive,
+        entry: t_handled - t_at_entry,
+    }
 }
 
 /// §6 "Secure IPC": proxy + receiver entry routine.
@@ -717,10 +887,54 @@ pub fn ipc_latency() -> Table {
                entry = receiver entry routine up to payload consumption",
         rows: vec![
             Row::with_paper("IPC proxy", 1_208.0, phases.proxy as f64, "cycles"),
-            Row::with_paper("receiver entry routine", 116.0, phases.entry as f64, "cycles"),
-            Row::with_paper("overall", 1_324.0, (phases.proxy + phases.entry) as f64, "cycles"),
+            Row::with_paper(
+                "receiver entry routine",
+                116.0,
+                phases.entry as f64,
+                "cycles",
+            ),
+            Row::with_paper(
+                "overall",
+                1_324.0,
+                (phases.proxy + phases.entry) as f64,
+                "cycles",
+            ),
         ],
     }
+}
+
+// --------------------------------------------------------- host throughput
+
+/// Measures the host-side simulation rate: guest instructions retired per
+/// host wall-clock second on the standard busy loop (MPU enforcement on,
+/// fast path at its default). This is the substrate health metric the
+/// `sim_throughput` bench tracks, exported into `BENCH_tables.json`.
+pub fn host_guest_ips() -> f64 {
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.set_mpu_enabled(true);
+    let program = sp32::asm::assemble(
+        "main:\n movi r1, 0x9000\n movi r2, 0\n\
+         loop:\n ldw r3, [r1]\n add r3, r2\n stw [r1], r3\n addi r2, 1\n jmp loop\n",
+        0x1000,
+    )
+    .expect("assembles");
+    machine
+        .load_image(0x1000, &program.bytes)
+        .expect("fits in RAM");
+    machine.set_eip(0x1000);
+
+    let warmed = 100_000;
+    while machine.stats().instructions < warmed {
+        machine.run(50_000);
+    }
+    const INSTRUCTIONS: u64 = 2_000_000;
+    let start_instr = machine.stats().instructions;
+    let start = std::time::Instant::now();
+    while machine.stats().instructions - start_instr < INSTRUCTIONS {
+        machine.run(50_000);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (machine.stats().instructions - start_instr) as f64 / elapsed.max(1e-9)
 }
 
 /// All experiments in paper order.

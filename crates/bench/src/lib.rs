@@ -37,12 +37,22 @@ impl Row {
         measured: f64,
         unit: &'static str,
     ) -> Self {
-        Row { label: label.into(), paper: Some(paper), measured, unit }
+        Row {
+            label: label.into(),
+            paper: Some(paper),
+            measured,
+            unit,
+        }
     }
 
     /// Builds a measurement-only row (no paper counterpart).
     pub fn measured_only(label: impl Into<String>, measured: f64, unit: &'static str) -> Self {
-        Row { label: label.into(), paper: None, measured, unit }
+        Row {
+            label: label.into(),
+            paper: None,
+            measured,
+            unit,
+        }
     }
 
     /// measured / paper, when the paper value exists and is nonzero.
@@ -71,7 +81,13 @@ pub struct Table {
 pub fn render(table: &Table) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {} — {} ==", table.id, table.title);
-    let width = table.rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+    let width = table
+        .rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
     let _ = writeln!(
         out,
         "{:width$}  {:>14}  {:>14}  {:>8}  unit",
@@ -100,6 +116,75 @@ pub fn render(table: &Table) -> String {
         let _ = writeln!(out, "note: {}", table.note);
     }
     out
+}
+
+/// Renders all tables as a JSON document for machine consumption
+/// (`tables --json` writes this to `BENCH_tables.json`).
+///
+/// `host_guest_ips` is the host-side simulation rate (guest instructions
+/// per host second) measured on the standard busy loop — the fast-path
+/// health metric tracked alongside the paper numbers.
+pub fn render_json(tables: &[Table], host_guest_ips: f64) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"host_guest_ips\": {host_guest_ips:.0},\n  \"tables\": ["
+    );
+    for (t, table) in tables.iter().enumerate() {
+        if t > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\n      \"id\": {},\n      \"title\": {},\n      \"rows\": [",
+            json_string(table.id),
+            json_string(table.title),
+        );
+        for (r, row) in table.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n        {{\"label\": {}, \"paper\": {}, \"measured\": {}, \"unit\": {}}}",
+                json_string(&row.label),
+                row.paper.map_or("null".to_string(), json_number),
+                json_number(row.measured),
+                json_string(row.unit),
+            );
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 fn format_num(v: f64) -> String {
@@ -157,5 +242,31 @@ mod tests {
         assert_eq!(format_num(642241.0), "642,241");
         assert_eq!(format_num(95.0), "95");
         assert_eq!(format_num(15.92), "15.92");
+    }
+
+    #[test]
+    fn json_rendering() {
+        let table = Table {
+            id: "tableX",
+            title: "demo \"quoted\"",
+            note: "n",
+            rows: vec![
+                Row::with_paper("alpha", 1000.0, 1100.5, "cycles"),
+                Row::measured_only("beta", 2.5, "kHz"),
+            ],
+        };
+        let json = render_json(&[table], 12_345_678.9);
+        assert!(json.contains("\"host_guest_ips\": 12345679"));
+        assert!(json.contains("\"id\": \"tableX\""));
+        assert!(json.contains("\"title\": \"demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"paper\": 1000, \"measured\": 1100.5"));
+        assert!(json.contains("\"paper\": null, \"measured\": 2.5"));
+        // Balanced braces/brackets — the cheapest well-formedness check
+        // available without a JSON parser in the tree.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
     }
 }

@@ -1,0 +1,118 @@
+//! Cycle-identity: the acceptance harness for the host fast path.
+//!
+//! Each test runs a representative paper workload twice — once with
+//! `MachineConfig::fast_path` on (predecode cache, EA-MPU decision cache,
+//! event-driven run loop) and once with the legacy per-instruction
+//! reference loop — and asserts the *modelled* results are bit-identical:
+//! final clock values, instruction/interrupt counts, and every measured
+//! value that feeds a paper-table row. The fast path is a host-side
+//! optimisation only; if any of these diverge, it changed the model.
+
+use sp_emu::MachineConfig;
+use tytan::platform::{Platform, PlatformConfig};
+use tytan::usecase::CruiseControl;
+use tytan_bench::experiments;
+
+fn fast() -> MachineConfig {
+    MachineConfig {
+        fast_path: true,
+        ..MachineConfig::default()
+    }
+}
+
+fn legacy() -> MachineConfig {
+    MachineConfig {
+        fast_path: false,
+        ..MachineConfig::default()
+    }
+}
+
+#[test]
+fn table4_secure_load_is_cycle_identical() {
+    let report = |config| {
+        let r = experiments::measure_task_create_with(true, config);
+        (
+            r.alloc_cycles,
+            r.copy_cycles,
+            r.reloc_cycles,
+            r.mpu_cycles,
+            r.mpu_primary_cycles,
+            r.rtm_cycles,
+            r.register_cycles,
+            r.slices,
+            r.started_at,
+            r.finished_at,
+            r.total_cycles(),
+        )
+    };
+    assert_eq!(
+        report(fast()),
+        report(legacy()),
+        "table 4 secure-load rows diverged"
+    );
+}
+
+#[test]
+fn table5_relocation_is_cycle_identical() {
+    for n in [0u32, 1, 2, 4] {
+        assert_eq!(
+            experiments::measure_relocation_with(n, fast()),
+            experiments::measure_relocation_with(n, legacy()),
+            "table 5 row ({n} addresses) diverged"
+        );
+    }
+}
+
+#[test]
+fn table7_measurement_is_cycle_identical() {
+    for (blocks, sites) in [(1u32, 0u32), (4, 0), (4, 2), (8, 0)] {
+        assert_eq!(
+            experiments::measure_measurement_with(blocks, sites, fast()),
+            experiments::measure_measurement_with(blocks, sites, legacy()),
+            "table 7 row ({blocks} blocks, {sites} sites) diverged"
+        );
+    }
+}
+
+#[test]
+fn ipc_round_trip_is_cycle_identical() {
+    let phases = |config| {
+        let p = experiments::measure_ipc_with(config);
+        (p.proxy, p.entry)
+    };
+    assert_eq!(
+        phases(fast()),
+        phases(legacy()),
+        "IPC proxy/entry phases diverged"
+    );
+}
+
+#[test]
+fn cruise_control_slice_is_cycle_identical() {
+    // A slice of the Table 1 use case: boot, install t0/t1, measure a
+    // window, then measure a second window while t2 loads interruptibly —
+    // ticks, sensor IRQs, the loader, and the RTM all active at once.
+    let run = |machine: MachineConfig| {
+        let config = PlatformConfig {
+            machine,
+            ..Default::default()
+        };
+        let mut platform: Platform = Platform::boot(config).expect("boots");
+        let mut scenario = CruiseControl::install(&mut platform).expect("installs");
+        platform.run_for(200_000).expect("warmup");
+        let before = scenario
+            .measure_window(&mut platform, 240_000)
+            .expect("before");
+        let _ = scenario.activate_cruise_control(&mut platform);
+        let during = scenario
+            .measure_window(&mut platform, 240_000)
+            .expect("during");
+        (
+            before,
+            during,
+            platform.machine().cycles(),
+            platform.machine().stats(),
+        )
+    };
+    assert_eq!(run(fast()), run(legacy()), "cruise-control slice diverged");
+}

@@ -30,8 +30,14 @@ pub enum AllocError {
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AllocError::OutOfMemory { requested, largest_free } => {
-                write!(f, "out of memory: need {requested} bytes, largest free {largest_free}")
+            AllocError::OutOfMemory {
+                requested,
+                largest_free,
+            } => {
+                write!(
+                    f,
+                    "out of memory: need {requested} bytes, largest free {largest_free}"
+                )
             }
             AllocError::ZeroSize => write!(f, "zero-size allocation"),
             AllocError::NotAllocated { base } => {
@@ -75,7 +81,11 @@ impl Allocator {
     /// Creates an allocator over `[base, base + len)`.
     pub fn new(base: u32, len: u32) -> Self {
         let heap = Region::new(base, len);
-        Allocator { heap, free: vec![heap], allocated: Vec::new() }
+        Allocator {
+            heap,
+            free: vec![heap],
+            allocated: Vec::new(),
+        }
     }
 
     /// The heap region being managed.
@@ -108,9 +118,14 @@ impl Allocator {
             return Err(AllocError::ZeroSize);
         }
         let size = (size + 3) & !3;
-        let position = self.free.iter().position(|r| r.len() >= size).ok_or(
-            AllocError::OutOfMemory { requested: size, largest_free: self.largest_free() },
-        )?;
+        let position =
+            self.free
+                .iter()
+                .position(|r| r.len() >= size)
+                .ok_or(AllocError::OutOfMemory {
+                    requested: size,
+                    largest_free: self.largest_free(),
+                })?;
         let block = self.free[position];
         let region = Region::new(block.start(), size);
         if block.len() == size {
@@ -187,7 +202,13 @@ mod tests {
         let mut a = Allocator::new(0, 0x100);
         a.alloc(0x80).unwrap();
         let err = a.alloc(0x100).unwrap_err();
-        assert_eq!(err, AllocError::OutOfMemory { requested: 0x100, largest_free: 0x80 });
+        assert_eq!(
+            err,
+            AllocError::OutOfMemory {
+                requested: 0x100,
+                largest_free: 0x80
+            }
+        );
     }
 
     #[test]
@@ -209,14 +230,20 @@ mod tests {
         let mut a = Allocator::new(0, 0x100);
         let x = a.alloc(0x10).unwrap();
         a.free(x.start()).unwrap();
-        assert_eq!(a.free(x.start()), Err(AllocError::NotAllocated { base: x.start() }));
+        assert_eq!(
+            a.free(x.start()),
+            Err(AllocError::NotAllocated { base: x.start() })
+        );
     }
 
     #[test]
     fn free_of_interior_address_rejected() {
         let mut a = Allocator::new(0, 0x100);
         let x = a.alloc(0x10).unwrap();
-        assert!(matches!(a.free(x.start() + 4), Err(AllocError::NotAllocated { .. })));
+        assert!(matches!(
+            a.free(x.start() + 4),
+            Err(AllocError::NotAllocated { .. })
+        ));
     }
 
     #[test]

@@ -65,7 +65,12 @@ impl AttestationReport {
         let digest = take_vec(&mut rest)?;
         let nonce = take_vec(&mut rest)?;
         let mac = take_vec(&mut rest)?;
-        Some(AttestationReport { id, digest, nonce, mac })
+        Some(AttestationReport {
+            id,
+            digest,
+            nonce,
+            mac,
+        })
     }
 }
 
@@ -88,7 +93,9 @@ pub struct RemoteAttestor {
 impl RemoteAttestor {
     /// Creates the attestor from the derived attestation key `K_a`.
     pub fn new(ka: SymmetricKey) -> Self {
-        RemoteAttestor { key: ka.to_hmac_key() }
+        RemoteAttestor {
+            key: ka.to_hmac_key(),
+        }
     }
 
     /// Produces a report over an RTM record for the verifier's `nonce`.
@@ -136,11 +143,14 @@ impl RemoteAttestor {
         records: impl Iterator<Item = &'a crate::rtm::MeasurementRecord>,
         nonce: &[u8],
     ) -> DeviceReport {
-        let mut tasks: Vec<(TaskId, Vec<u8>)> =
-            records.map(|r| (r.id, r.digest.clone())).collect();
+        let mut tasks: Vec<(TaskId, Vec<u8>)> = records.map(|r| (r.id, r.digest.clone())).collect();
         tasks.sort_by_key(|(id, _)| *id);
         let mac = self.key.sign(&device_mac_input(&tasks, nonce));
-        DeviceReport { tasks, nonce: nonce.to_vec(), mac }
+        DeviceReport {
+            tasks,
+            nonce: nonce.to_vec(),
+            mac,
+        }
     }
 }
 
@@ -158,7 +168,10 @@ impl RemoteVerifier {
         nonce: &[u8],
         expected: &[(TaskId, Vec<u8>)],
     ) -> Result<(), VerifyError> {
-        if !self.key.verify(&device_mac_input(&report.tasks, &report.nonce), &report.mac) {
+        if !self
+            .key
+            .verify(&device_mac_input(&report.tasks, &report.nonce), &report.mac)
+        {
             return Err(VerifyError::BadMac);
         }
         if report.nonce != nonce {
@@ -217,7 +230,9 @@ pub struct RemoteVerifier {
 impl RemoteVerifier {
     /// Creates a verifier holding the shared attestation key.
     pub fn new(ka: SymmetricKey) -> Self {
-        RemoteVerifier { key: ka.to_hmac_key() }
+        RemoteVerifier {
+            key: ka.to_hmac_key(),
+        }
     }
 
     /// Verifies a report against the challenge `nonce` and the reference
@@ -291,7 +306,10 @@ mod tests {
         let digest = vec![7u8; 20];
         let mut report = attestor.attest(&record(digest.clone()), b"n");
         report.mac[0] ^= 1;
-        assert_eq!(verifier.verify(&report, b"n", &digest), Err(VerifyError::BadMac));
+        assert_eq!(
+            verifier.verify(&report, b"n", &digest),
+            Err(VerifyError::BadMac)
+        );
     }
 
     #[test]
@@ -300,7 +318,10 @@ mod tests {
         let digest = vec![7u8; 20];
         let mut report = attestor.attest(&record(digest.clone()), b"n");
         report.digest[0] ^= 1;
-        assert_eq!(verifier.verify(&report, b"n", &digest), Err(VerifyError::BadMac));
+        assert_eq!(
+            verifier.verify(&report, b"n", &digest),
+            Err(VerifyError::BadMac)
+        );
     }
 
     #[test]
@@ -332,7 +353,10 @@ mod tests {
         let other_verifier = RemoteVerifier::new(other_kp.derive(ATTEST_PURPOSE));
         let digest = vec![7u8; 20];
         let report = attestor.attest(&record(digest.clone()), b"n");
-        assert_eq!(other_verifier.verify(&report, b"n", &digest), Err(VerifyError::BadMac));
+        assert_eq!(
+            other_verifier.verify(&report, b"n", &digest),
+            Err(VerifyError::BadMac)
+        );
     }
 
     #[test]
@@ -346,9 +370,11 @@ mod tests {
         };
         let records = [a.clone(), b.clone()];
         let report = attestor.attest_device(records.iter(), b"dev-nonce");
-        let expected =
-            vec![(a.id, a.digest.clone()), (b.id, b.digest.clone())];
-        assert_eq!(verifier.verify_device(&report, b"dev-nonce", &expected), Ok(()));
+        let expected = vec![(a.id, a.digest.clone()), (b.id, b.digest.clone())];
+        assert_eq!(
+            verifier.verify_device(&report, b"dev-nonce", &expected),
+            Ok(())
+        );
 
         // Missing task detected.
         let short = vec![(a.id, a.digest.clone())];
@@ -398,7 +424,10 @@ mod tests {
         let (attestor, _) = keypair();
         let bytes = attestor.attest(&record(vec![9u8; 20]), b"n").to_bytes();
         for len in 0..bytes.len() {
-            assert!(AttestationReport::from_bytes(&bytes[..len]).is_none(), "len {len}");
+            assert!(
+                AttestationReport::from_bytes(&bytes[..len]).is_none(),
+                "len {len}"
+            );
         }
     }
 }

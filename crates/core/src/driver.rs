@@ -184,13 +184,28 @@ mod tests {
         assert_eq!(rules.slots.len(), 3);
 
         // Task accesses its own data.
-        assert!(m.mpu().check_access(0x4004, 0x4300, AccessKind::Write).is_allowed());
+        assert!(m
+            .mpu()
+            .check_access(0x4004, 0x4300, AccessKind::Write)
+            .is_allowed());
         // Trusted components access the data and read the code.
-        assert!(m.mpu().check_access(0x1010, 0x4300, AccessKind::Write).is_allowed());
-        assert!(m.mpu().check_access(0x1010, 0x4004, AccessKind::Read).is_allowed());
+        assert!(m
+            .mpu()
+            .check_access(0x1010, 0x4300, AccessKind::Write)
+            .is_allowed());
+        assert!(m
+            .mpu()
+            .check_access(0x1010, 0x4004, AccessKind::Read)
+            .is_allowed());
         // The OS does not.
-        assert!(!m.mpu().check_access(0x410, 0x4300, AccessKind::Read).is_allowed());
-        assert!(!m.mpu().check_access(0x410, 0x4004, AccessKind::Read).is_allowed());
+        assert!(!m
+            .mpu()
+            .check_access(0x410, 0x4300, AccessKind::Read)
+            .is_allowed());
+        assert!(!m
+            .mpu()
+            .check_access(0x410, 0x4004, AccessKind::Read)
+            .is_allowed());
     }
 
     #[test]
@@ -202,9 +217,15 @@ mod tests {
             install_task_rules(&mut m, actors(), code, 0x5000, data, TaskKind::Normal).unwrap();
         assert_eq!(rules.slots.len(), 3);
         // OS reads and writes normal task data.
-        assert!(m.mpu().check_access(0x410, 0x5300, AccessKind::Write).is_allowed());
+        assert!(m
+            .mpu()
+            .check_access(0x410, 0x5300, AccessKind::Write)
+            .is_allowed());
         // Another task does not.
-        assert!(!m.mpu().check_access(0x9000, 0x5300, AccessKind::Read).is_allowed());
+        assert!(!m
+            .mpu()
+            .check_access(0x9000, 0x5300, AccessKind::Read)
+            .is_allowed());
     }
 
     #[test]
@@ -264,12 +285,18 @@ mod tests {
         assert_eq!(remove_task_rules(m.mpu_mut(), code, data), 3);
         assert_eq!(m.mpu().used_slots(), 0);
         // Memory is open again.
-        assert!(m.mpu().check_access(0x410, 0x4300, AccessKind::Read).is_allowed());
+        assert!(m
+            .mpu()
+            .check_access(0x410, 0x4300, AccessKind::Read)
+            .is_allowed());
     }
 
     #[test]
     fn slot_exhaustion_rolls_back() {
-        let mut m = Machine::new(MachineConfig { mpu_slots: 2, ..MachineConfig::default() });
+        let mut m = Machine::new(MachineConfig {
+            mpu_slots: 2,
+            ..MachineConfig::default()
+        });
         let err = install_task_rules(
             &mut m,
             actors(),

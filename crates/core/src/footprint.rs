@@ -38,17 +38,67 @@ impl ComponentSize {
 pub fn components() -> Vec<ComponentSize> {
     vec![
         // Baseline FreeRTOS image (kernel, libc fragments, drivers).
-        ComponentSize { name: "freertos-kernel", text: 118_400, data: 24_217, tytan_only: false },
-        ComponentSize { name: "platform-drivers", text: 38_200, data: 9_800, tytan_only: false },
-        ComponentSize { name: "runtime-support", text: 19_600, data: 5_400, tytan_only: false },
+        ComponentSize {
+            name: "freertos-kernel",
+            text: 118_400,
+            data: 24_217,
+            tytan_only: false,
+        },
+        ComponentSize {
+            name: "platform-drivers",
+            text: 38_200,
+            data: 9_800,
+            tytan_only: false,
+        },
+        ComponentSize {
+            name: "runtime-support",
+            text: 19_600,
+            data: 5_400,
+            tytan_only: false,
+        },
         // TyTAN additions (§3's trusted components + loader).
-        ComponentSize { name: "elf-loader", text: 10_900, data: 1_500, tytan_only: true },
-        ComponentSize { name: "rtm-task", text: 7_200, data: 1_174, tytan_only: true },
-        ComponentSize { name: "ipc-proxy", text: 3_600, data: 420, tytan_only: true },
-        ComponentSize { name: "int-mux", text: 1_480, data: 96, tytan_only: true },
-        ComponentSize { name: "ea-mpu-driver", text: 2_760, data: 312, tytan_only: true },
-        ComponentSize { name: "remote-attest", text: 2_420, data: 380, tytan_only: true },
-        ComponentSize { name: "secure-storage", text: 1_840, data: 244, tytan_only: true },
+        ComponentSize {
+            name: "elf-loader",
+            text: 10_900,
+            data: 1_500,
+            tytan_only: true,
+        },
+        ComponentSize {
+            name: "rtm-task",
+            text: 7_200,
+            data: 1_174,
+            tytan_only: true,
+        },
+        ComponentSize {
+            name: "ipc-proxy",
+            text: 3_600,
+            data: 420,
+            tytan_only: true,
+        },
+        ComponentSize {
+            name: "int-mux",
+            text: 1_480,
+            data: 96,
+            tytan_only: true,
+        },
+        ComponentSize {
+            name: "ea-mpu-driver",
+            text: 2_760,
+            data: 312,
+            tytan_only: true,
+        },
+        ComponentSize {
+            name: "remote-attest",
+            text: 2_420,
+            data: 380,
+            tytan_only: true,
+        },
+        ComponentSize {
+            name: "secure-storage",
+            text: 1_840,
+            data: 244,
+            tytan_only: true,
+        },
     ]
 }
 
@@ -107,9 +157,15 @@ mod tests {
             .map(|c| c.name)
             .collect();
         // §3's trusted software components plus the loader extension.
-        for expected in
-            ["elf-loader", "rtm-task", "ipc-proxy", "int-mux", "ea-mpu-driver", "remote-attest", "secure-storage"]
-        {
+        for expected in [
+            "elf-loader",
+            "rtm-task",
+            "ipc-proxy",
+            "int-mux",
+            "ea-mpu-driver",
+            "remote-attest",
+            "secure-storage",
+        ] {
             assert!(tytan_names.contains(&expected), "{expected} missing");
         }
     }

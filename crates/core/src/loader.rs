@@ -281,8 +281,7 @@ impl<D: Digest> LoadJob<D> {
                 let (code, data) = self.regions();
                 let kind = self.task_kind();
                 let entry = self.base + self.image.entry_offset();
-                let rules =
-                    driver::install_task_rules(machine, actors, code, entry, data, kind)?;
+                let rules = driver::install_task_rules(machine, actors, code, entry, data, kind)?;
                 self.report.mpu_primary_cycles = rules.primary_rule_cycles;
                 self.report.mpu_cycles += machine.cycles() - before;
                 self.phase = if self.image.is_secure() {
@@ -355,8 +354,10 @@ impl<D: Digest> LoadJob<D> {
     pub fn regions(&self) -> (Region, Region) {
         let text_len = self.image.text().len() as u32;
         let code = Region::new(self.base, text_len);
-        let data =
-            Region::new(self.base + text_len, self.image.total_memory_size() - text_len);
+        let data = Region::new(
+            self.base + text_len,
+            self.image.total_memory_size() - text_len,
+        );
         (code, data)
     }
 

@@ -212,7 +212,11 @@ pub enum LoadStatus {
 
 enum JobSlot<D: Digest> {
     Running(Box<LoadJob<D>>),
-    Done { handle: TaskHandle, id: TaskId, report: LoadReport },
+    Done {
+        handle: TaskHandle,
+        id: TaskId,
+        report: LoadReport,
+    },
     Failed(LoadError),
 }
 
@@ -280,11 +284,18 @@ impl<D: Digest> Platform<D> {
         timer.configure(config.tick_interval, true);
         let mut device_handles = BTreeMap::new();
         device_handles.insert("timer", machine.add_device(Box::new(timer)));
-        device_handles.insert("uart", machine.add_device(Box::new(Uart::new(layout::UART_BASE))));
-        device_handles
-            .insert("pedal", machine.add_device(Box::new(Sensor::new(layout::PEDAL_BASE, 0))));
-        device_handles
-            .insert("radar", machine.add_device(Box::new(Sensor::new(layout::RADAR_BASE, 0))));
+        device_handles.insert(
+            "uart",
+            machine.add_device(Box::new(Uart::new(layout::UART_BASE))),
+        );
+        device_handles.insert(
+            "pedal",
+            machine.add_device(Box::new(Sensor::new(layout::PEDAL_BASE, 0))),
+        );
+        device_handles.insert(
+            "radar",
+            machine.add_device(Box::new(Sensor::new(layout::RADAR_BASE, 0))),
+        );
         device_handles.insert(
             "actuator",
             machine.add_device(Box::new(Actuator::new(layout::ACTUATOR_BASE))),
@@ -301,12 +312,24 @@ impl<D: Digest> Platform<D> {
             (StubKind::IntMux, StubKind::Syscall)
         };
         let mut specs = vec![
-            StubSpec { vector: layout::TICK_VECTOR, kind: tick_kind },
-            StubSpec { vector: layout::SYSCALL_VECTOR, kind: syscall_kind },
-            StubSpec { vector: layout::IPC_VECTOR, kind: tick_kind },
+            StubSpec {
+                vector: layout::TICK_VECTOR,
+                kind: tick_kind,
+            },
+            StubSpec {
+                vector: layout::SYSCALL_VECTOR,
+                kind: syscall_kind,
+            },
+            StubSpec {
+                vector: layout::IPC_VECTOR,
+                kind: tick_kind,
+            },
         ];
         for &vector in &config.device_irq_vectors {
-            specs.push(StubSpec { vector, kind: tick_kind });
+            specs.push(StubSpec {
+                vector,
+                kind: tick_kind,
+            });
         }
         let stubs = build_stub_block_with_table(
             layout::TRUSTED_BASE,
@@ -320,7 +343,11 @@ impl<D: Digest> Platform<D> {
         // Initialise the Int Mux dispatch table: every serviced vector
         // routes to the OS kernel trap; unassigned vectors stay 0 and the
         // stub's validity check falls back to the trap directly.
-        let mut routed = vec![layout::TICK_VECTOR, layout::SYSCALL_VECTOR, layout::IPC_VECTOR];
+        let mut routed = vec![
+            layout::TICK_VECTOR,
+            layout::SYSCALL_VECTOR,
+            layout::IPC_VECTOR,
+        ];
         routed.extend_from_slice(&config.device_irq_vectors);
         for vector in routed {
             machine.write_word(
@@ -352,8 +379,10 @@ impl<D: Digest> Platform<D> {
         // The IDT: static base register, entries to the trusted stubs.
         machine.set_idt_base(layout::IDT_BASE);
         machine.set_idt_entry(layout::TICK_VECTOR, stubs.save_stubs[&layout::TICK_VECTOR])?;
-        machine
-            .set_idt_entry(layout::SYSCALL_VECTOR, stubs.save_stubs[&layout::SYSCALL_VECTOR])?;
+        machine.set_idt_entry(
+            layout::SYSCALL_VECTOR,
+            stubs.save_stubs[&layout::SYSCALL_VECTOR],
+        )?;
         machine.set_idt_entry(layout::IPC_VECTOR, stubs.save_stubs[&layout::IPC_VECTOR])?;
         for &vector in &config.device_irq_vectors {
             machine.set_idt_entry(vector, stubs.save_stubs[&vector])?;
@@ -375,17 +404,19 @@ impl<D: Digest> Platform<D> {
         let trusted_entry = stubs.save_stubs[&layout::TICK_VECTOR];
         let idt_region = Region::new(layout::IDT_BASE, layout::IDT_VECTORS * 4);
         let key_region = Region::new(PLATFORM_KEY_BASE, 20);
-        let trusted_data =
-            Region::new(layout::TRUSTED_DATA_BASE, layout::TRUSTED_DATA_LEN);
-        machine
-            .mpu_mut()
-            .set_rule(0, Rule::new(trusted_region, trusted_entry, idt_region, Perms::R));
-        machine
-            .mpu_mut()
-            .set_rule(1, Rule::new(trusted_region, trusted_entry, key_region, Perms::R));
-        machine
-            .mpu_mut()
-            .set_rule(2, Rule::new(trusted_region, trusted_entry, trusted_data, Perms::RW));
+        let trusted_data = Region::new(layout::TRUSTED_DATA_BASE, layout::TRUSTED_DATA_LEN);
+        machine.mpu_mut().set_rule(
+            0,
+            Rule::new(trusted_region, trusted_entry, idt_region, Perms::R),
+        );
+        machine.mpu_mut().set_rule(
+            1,
+            Rule::new(trusted_region, trusted_entry, key_region, Perms::R),
+        );
+        machine.mpu_mut().set_rule(
+            2,
+            Rule::new(trusted_region, trusted_entry, trusted_data, Perms::RW),
+        );
 
         let actors = TrustedActors {
             trusted: trusted_region,
@@ -498,7 +529,8 @@ impl<D: Digest> Platform<D> {
 
     /// Mutable device access by name.
     pub fn device_mut<T: sp_emu::Device + 'static>(&mut self, name: &str) -> Option<&mut T> {
-        self.machine.device_mut::<T>(*self.device_handles.get(name)?)
+        self.machine
+            .device_mut::<T>(*self.device_handles.get(name)?)
     }
 
     /// Everything written to the UART so far.
@@ -543,9 +575,11 @@ impl<D: Digest> Platform<D> {
     pub fn load_status(&self, token: LoadToken) -> Result<LoadStatus, PlatformError> {
         match self.jobs.get(token.0) {
             Some(JobSlot::Running(job)) => Ok(LoadStatus::InProgress(job.phase())),
-            Some(JobSlot::Done { handle, id, report }) => {
-                Ok(LoadStatus::Done { handle: *handle, id: *id, report: *report })
-            }
+            Some(JobSlot::Done { handle, id, report }) => Ok(LoadStatus::Done {
+                handle: *handle,
+                id: *id,
+                report: *report,
+            }),
             Some(JobSlot::Failed(e)) => Ok(LoadStatus::Failed(e.clone())),
             None => Err(PlatformError::BadToken),
         }
@@ -615,8 +649,7 @@ impl<D: Digest> Platform<D> {
             self.machine.push_word(self.machine.eip())?;
             self.machine.arm_resume_latch(self.machine.eip());
             for i in 0..=6u32 {
-                let value =
-                    self.machine.reg(sp32::Reg::from_index(i).expect("r0..r6"));
+                let value = self.machine.reg(sp32::Reg::from_index(i).expect("r0..r6"));
                 self.machine.push_word(value)?;
             }
             self.kernel.save_current(&self.machine);
@@ -638,7 +671,9 @@ impl<D: Digest> Platform<D> {
     /// Returns [`PlatformError::NoSuchTask`] for a dead handle.
     pub fn resume_task(&mut self, handle: TaskHandle) -> Result<(), PlatformError> {
         let now = self.machine.cycles();
-        self.kernel.resume_task(handle, now).map_err(|_| PlatformError::NoSuchTask)
+        self.kernel
+            .resume_task(handle, now)
+            .map_err(|_| PlatformError::NoSuchTask)
     }
 
     /// Updates a task at runtime (the paper's §8 future work): loads the
@@ -710,13 +745,11 @@ impl<D: Digest> Platform<D> {
 
     /// Device-level remote attestation: a MAC-authenticated report over
     /// the *entire* RTM task list for the verifier's `nonce`.
-    pub fn remote_attest_device(
-        &mut self,
-        nonce: &[u8],
-    ) -> crate::attest::DeviceReport {
+    pub fn remote_attest_device(&mut self, nonce: &[u8]) -> crate::attest::DeviceReport {
         let report = self.attestor.attest_device(self.rtm.records(), nonce);
         let per_block = self.machine.firmware_costs().measure_per_block;
-        self.machine.tick((2 + 2 * report.tasks.len() as u64) * per_block);
+        self.machine
+            .tick((2 + 2 * report.tasks.len() as u64) * per_block);
         report
     }
 
@@ -755,7 +788,8 @@ impl<D: Digest> Platform<D> {
     ) -> Result<Vec<u8>, PlatformError> {
         let id = self.task_id(handle).ok_or(PlatformError::NotSecure)?;
         let costs = self.machine.firmware_costs();
-        self.machine.tick(costs.ipc_proxy + 2 * costs.measure_per_block);
+        self.machine
+            .tick(costs.ipc_proxy + 2 * costs.measure_per_block);
         Ok(self.storage.retrieve(id, name)?)
     }
 
@@ -800,11 +834,12 @@ impl<D: Digest> Platform<D> {
                 .mpu_mut()
                 .configure(Rule::new(code_a, entry_a, region, Perms::RW))
                 .map_err(LoadError::Mpu)?;
-            let second = match self
-                .machine
-                .mpu_mut()
-                .configure(Rule::new(code_b, entry_b, region, Perms::RW))
-            {
+            let second = match self.machine.mpu_mut().configure(Rule::new(
+                code_b,
+                entry_b,
+                region,
+                Perms::RW,
+            )) {
                 Ok(outcome) => outcome,
                 Err(e) => {
                     self.machine.mpu_mut().clear_slot(first.slot);
@@ -844,7 +879,12 @@ impl<D: Digest> Platform<D> {
         let outcome = self
             .machine
             .mpu_mut()
-            .configure(Rule::new(code, entry, Region::new(mmio_base, len), Perms::RW))
+            .configure(Rule::new(
+                code,
+                entry,
+                Region::new(mmio_base, len),
+                Perms::RW,
+            ))
             .map_err(|e| PlatformError::Load(LoadError::Mpu(e)))?;
         self.machine.tick(outcome.cost.total());
         Ok(())
@@ -918,7 +958,11 @@ impl<D: Digest> Platform<D> {
         sender: TaskId,
         payload: [u32; 3],
     ) -> Result<(), PlatformError> {
-        let mailbox = self.rtm.lookup(to).ok_or(PlatformError::NoSuchTask)?.mailbox;
+        let mailbox = self
+            .rtm
+            .lookup(to)
+            .ok_or(PlatformError::NoSuchTask)?
+            .mailbox;
         self.write_mailbox(mailbox, sender, payload)?;
         Ok(())
     }
@@ -931,9 +975,12 @@ impl<D: Digest> Platform<D> {
     ) -> Result<(), Fault> {
         let actor = self.actors.trusted_actor();
         let (hi, lo) = sender.to_register_words();
-        self.machine.checked_write_word(actor, mailbox_addr + mailbox::SENDER_HI, hi)?;
-        self.machine.checked_write_word(actor, mailbox_addr + mailbox::SENDER_LO, lo)?;
-        self.machine.checked_write_word(actor, mailbox_addr + mailbox::LEN, 12)?;
+        self.machine
+            .checked_write_word(actor, mailbox_addr + mailbox::SENDER_HI, hi)?;
+        self.machine
+            .checked_write_word(actor, mailbox_addr + mailbox::SENDER_LO, lo)?;
+        self.machine
+            .checked_write_word(actor, mailbox_addr + mailbox::LEN, 12)?;
         for (i, word) in payload.iter().enumerate() {
             self.machine.checked_write_word(
                 actor,
@@ -941,7 +988,8 @@ impl<D: Digest> Platform<D> {
                 *word,
             )?;
         }
-        self.machine.checked_write_word(actor, mailbox_addr + mailbox::FLAG, 1)?;
+        self.machine
+            .checked_write_word(actor, mailbox_addr + mailbox::FLAG, 1)?;
         Ok(())
     }
 
@@ -988,17 +1036,20 @@ impl<D: Digest> Platform<D> {
 
         let receiver_id = TaskId::from_register_words(r1, r2);
         let Some(receiver) = self.rtm.lookup(receiver_id) else {
-            self.machine.checked_write_word(actor, status_addr, ipc_status::NO_RECEIVER)?;
+            self.machine
+                .checked_write_word(actor, status_addr, ipc_status::NO_RECEIVER)?;
             return Ok(());
         };
         let (receiver_handle, receiver_mailbox) = (receiver.handle, receiver.mailbox);
 
         self.write_mailbox(receiver_mailbox, sender_id, [r3, r4, r5])?;
-        self.machine.checked_write_word(actor, status_addr, ipc_status::OK)?;
+        self.machine
+            .checked_write_word(actor, status_addr, ipc_status::OK)?;
 
         if r6 == 1 {
             // Synchronous: branch to the receiver's entry routine now.
-            self.kernel.dispatch_message(&mut self.machine, receiver_handle)?;
+            self.kernel
+                .dispatch_message(&mut self.machine, receiver_handle)?;
         }
         Ok(())
     }
@@ -1007,8 +1058,7 @@ impl<D: Digest> Platform<D> {
 
     fn machine_is_idling(&self) -> bool {
         let idle = self.kernel.config().idle_addr;
-        self.machine.is_halted()
-            || (self.machine.eip() >= idle && self.machine.eip() < idle + 12)
+        self.machine.is_halted() || (self.machine.eip() >= idle && self.machine.eip() < idle + 12)
     }
 
     fn has_pending_job(&self) -> bool {
@@ -1062,9 +1112,7 @@ impl<D: Digest> Platform<D> {
         }
         let deadline = self.machine.cycles().saturating_add(cycles);
         while self.machine.cycles() < deadline {
-            if self.has_pending_job()
-                && self.kernel.current().is_none()
-                && self.machine_is_idling()
+            if self.has_pending_job() && self.kernel.current().is_none() && self.machine_is_idling()
             {
                 if self.interruptible_load {
                     self.load_slice()?;
@@ -1125,7 +1173,11 @@ impl<D: Digest> Platform<D> {
 
     fn handle_fault(&mut self, fault: Fault) -> Result<(), PlatformError> {
         let task = self.kernel.current();
-        self.faults.push(FaultRecord { cycle: self.machine.cycles(), task, fault });
+        self.faults.push(FaultRecord {
+            cycle: self.machine.cycles(),
+            task,
+            fault,
+        });
         match task {
             Some(handle) if self.kill_on_fault => {
                 // The EA-MPU caught a violation: terminate the offending
@@ -1222,7 +1274,10 @@ mod tests {
 
     #[test]
     fn tampered_trusted_components_fail_secure_boot() {
-        let config = PlatformConfig { corrupt_trusted_byte: Some(17), ..Default::default() };
+        let config = PlatformConfig {
+            corrupt_trusted_byte: Some(17),
+            ..Default::default()
+        };
         match Platform::<Sha1>::boot(config) {
             Err(PlatformError::SecureBootMeasurementMismatch) => {}
             other => panic!("expected secure-boot failure, got {other:?}"),
@@ -1261,7 +1316,9 @@ mod tests {
             "main:\n movi r1, {victim_counter:#x}\n ldw r2, [r1]\n\
              spin:\n jmp spin\n"
         );
-        let source = SecureTaskBuilder::new("attacker", attacker_body).build().unwrap();
+        let source = SecureTaskBuilder::new("attacker", attacker_body)
+            .build()
+            .unwrap();
         let token = platform.begin_load(&source, 3);
         let (attacker, _) = platform.wait_load(token, 50_000_000).unwrap();
         platform.run_for(500_000).unwrap();
@@ -1355,8 +1412,7 @@ mod tests {
             .handles_messages(true)
             .build()
             .unwrap();
-        let receiver_id =
-            TaskId::from_digest(&Sha1::digest(&receiver.image.measurement_bytes()));
+        let receiver_id = TaskId::from_digest(&Sha1::digest(&receiver.image.measurement_bytes()));
 
         // Sender: r1/r2 = receiver id, r3 payload, r6=1 (sync).
         let (hi, lo) = receiver_id.to_register_words();
@@ -1366,7 +1422,9 @@ mod tests {
              int IPC_VECTOR\n\
              spin:\n jmp spin\n"
         );
-        let sender = SecureTaskBuilder::new("sender", sender_body).build().unwrap();
+        let sender = SecureTaskBuilder::new("sender", sender_body)
+            .build()
+            .unwrap();
 
         let rt = platform.begin_load(&receiver, 2);
         let (rh, rid) = platform.wait_load(rt, 50_000_000).unwrap();
@@ -1382,8 +1440,12 @@ mod tests {
 
         // The mailbox carries the authenticated sender identity.
         let mailbox = platform.rtm().lookup(rid).unwrap().mailbox;
-        let hi = platform.debug_read_word(mailbox + mailbox::SENDER_HI).unwrap();
-        let lo = platform.debug_read_word(mailbox + mailbox::SENDER_LO).unwrap();
+        let hi = platform
+            .debug_read_word(mailbox + mailbox::SENDER_HI)
+            .unwrap();
+        let lo = platform
+            .debug_read_word(mailbox + mailbox::SENDER_LO)
+            .unwrap();
         assert_eq!(TaskId::from_register_words(hi, lo), sid);
         let _ = sh;
     }
@@ -1425,9 +1487,15 @@ mod tests {
         let code_b = platform.kernel().task(b).unwrap().params.code;
         let code_c = platform.kernel().task(c).unwrap().params.code;
         let mpu = platform.machine().mpu();
-        assert!(mpu.check_access(code_a.start(), region.start(), AccessKind::Write).is_allowed());
-        assert!(mpu.check_access(code_b.start(), region.start(), AccessKind::Read).is_allowed());
-        assert!(!mpu.check_access(code_c.start(), region.start(), AccessKind::Read).is_allowed());
+        assert!(mpu
+            .check_access(code_a.start(), region.start(), AccessKind::Write)
+            .is_allowed());
+        assert!(mpu
+            .check_access(code_b.start(), region.start(), AccessKind::Read)
+            .is_allowed());
+        assert!(!mpu
+            .check_access(code_c.start(), region.start(), AccessKind::Read)
+            .is_allowed());
     }
 
     #[test]
@@ -1484,11 +1552,17 @@ mod tests {
         let owner_code = platform.kernel().task(owner).unwrap().params.code.start();
         let other_code = platform.kernel().task(other).unwrap().params.code.start();
         let mpu = platform.machine().mpu();
-        assert!(mpu.check_access(owner_code, layout::PEDAL_BASE, AccessKind::Read).is_allowed());
-        assert!(!mpu.check_access(other_code, layout::PEDAL_BASE, AccessKind::Read).is_allowed());
+        assert!(mpu
+            .check_access(owner_code, layout::PEDAL_BASE, AccessKind::Read)
+            .is_allowed());
+        assert!(!mpu
+            .check_access(other_code, layout::PEDAL_BASE, AccessKind::Read)
+            .is_allowed());
         // Even the OS loses access to the claimed device.
         let kernel_actor = platform.kernel().config().kernel_actor;
-        assert!(!mpu.check_access(kernel_actor, layout::PEDAL_BASE, AccessKind::Read).is_allowed());
+        assert!(!mpu
+            .check_access(kernel_actor, layout::PEDAL_BASE, AccessKind::Read)
+            .is_allowed());
     }
 
     #[test]
@@ -1508,7 +1582,10 @@ mod tests {
             (id2, platform.local_attest(id2).unwrap()),
         ];
         let report = platform.remote_attest_device(b"device-nonce");
-        assert_eq!(verifier.verify_device(&report, b"device-nonce", &expected), Ok(()));
+        assert_eq!(
+            verifier.verify_device(&report, b"device-nonce", &expected),
+            Ok(())
+        );
 
         // Unloading a task changes the device state: the old expectation
         // no longer verifies against a fresh report.
@@ -1522,7 +1599,10 @@ mod tests {
 
     #[test]
     fn hardware_context_save_platform_runs_end_to_end() {
-        let config = PlatformConfig { hardware_context_save: true, ..Default::default() };
+        let config = PlatformConfig {
+            hardware_context_save: true,
+            ..Default::default()
+        };
         let mut platform: Platform = Platform::boot(config).unwrap();
         let source = SecureTaskBuilder::new("hw-task", counter_body())
             .data("counter:\n .word 0\n")
@@ -1535,7 +1615,10 @@ mod tests {
         let counter = platform
             .debug_read_word(base + source.symbol_offset("counter").unwrap())
             .unwrap();
-        assert!(counter > 100, "task progresses under hardware save: {counter}");
+        assert!(
+            counter > 100,
+            "task progresses under hardware save: {counter}"
+        );
         assert!(platform.faults().is_empty());
     }
 

@@ -76,7 +76,11 @@ impl Rtm {
 
     /// Removes a task's record on unload.
     pub fn remove_by_handle(&mut self, handle: TaskHandle) -> Option<MeasurementRecord> {
-        let id = self.records.values().find(|r| r.handle == handle).map(|r| r.id)?;
+        let id = self
+            .records
+            .values()
+            .find(|r| r.handle == handle)
+            .map(|r| r.id)?;
         self.records.remove(&id)
     }
 
@@ -382,9 +386,13 @@ mod tests {
         // is inside the fixed base cost.
         let blocks = u64::from(image.loadable_len().div_ceil(64));
         let reverts = image.reloc_count() as u64;
-        let expected_min = costs.measure_base + blocks * costs.measure_per_block
+        let expected_min = costs.measure_base
+            + blocks * costs.measure_per_block
             + reverts * costs.measure_per_revert;
-        assert!(elapsed >= expected_min, "elapsed {elapsed} >= {expected_min}");
+        assert!(
+            elapsed >= expected_min,
+            "elapsed {elapsed} >= {expected_min}"
+        );
     }
 
     #[test]
@@ -404,7 +412,12 @@ mod tests {
         rtm.register(record.clone());
         assert_eq!(rtm.len(), 1);
         assert_eq!(rtm.lookup(TaskId::from_u64(7)).unwrap().base, 0x4000);
-        assert_eq!(rtm.lookup_by_handle(TaskHandle::from_index(3)).unwrap().name, "t");
+        assert_eq!(
+            rtm.lookup_by_handle(TaskHandle::from_index(3))
+                .unwrap()
+                .name,
+            "t"
+        );
         assert!(rtm.lookup(TaskId::from_u64(8)).is_none());
         let removed = rtm.remove_by_handle(TaskHandle::from_index(3)).unwrap();
         assert_eq!(removed.id, TaskId::from_u64(7));

@@ -68,7 +68,11 @@ pub struct SecureStorage {
 impl SecureStorage {
     /// Creates the storage service bound to the platform key.
     pub fn new(platform_key: PlatformKey) -> Self {
-        SecureStorage { platform_key, blobs: BTreeMap::new(), seal_counter: 0 }
+        SecureStorage {
+            platform_key,
+            blobs: BTreeMap::new(),
+            seal_counter: 0,
+        }
     }
 
     fn cipher_for(&self, caller: TaskId) -> SealingCipher {

@@ -78,7 +78,10 @@ impl fmt::Display for BuildError {
             BuildError::Assemble(e) => write!(f, "assembly failed: {e}"),
             BuildError::NoMain => write!(f, "task body defines no `main` label"),
             BuildError::NoOnMessage => {
-                write!(f, "handles_messages set but body defines no `on_message` label")
+                write!(
+                    f,
+                    "handles_messages set but body defines no `on_message` label"
+                )
             }
             BuildError::Image(e) => write!(f, "image validation failed: {e}"),
         }
@@ -175,7 +178,11 @@ impl SecureTaskBuilder {
         if !self.handles_messages && self.body.contains("on_message:") {
             // Allowed, just unused; no error.
         }
-        let msg_target = if self.handles_messages { "on_message" } else { "main" };
+        let msg_target = if self.handles_messages {
+            "on_message"
+        } else {
+            "main"
+        };
         let source = format!(
             ".equ SYS_VECTOR, {sys:#x}\n\
              .equ IPC_VECTOR, {ipc:#x}\n\
@@ -224,8 +231,9 @@ impl SecureTaskBuilder {
             }
             Err(e) => return Err(e.into()),
         };
-        let mailbox_offset =
-            program.symbol("__mailbox").expect("template defines __mailbox");
+        let mailbox_offset = program
+            .symbol("__mailbox")
+            .expect("template defines __mailbox");
 
         // Split: everything before the mailbox is immutable text; the
         // mailbox and the user data section are writable data.
@@ -244,7 +252,11 @@ impl SecureTaskBuilder {
             self.stack_len,
             program.reloc_sites.clone(),
         )?;
-        Ok(TaskSource { image, mailbox_offset, program })
+        Ok(TaskSource {
+            image,
+            mailbox_offset,
+            program,
+        })
     }
 }
 
@@ -291,7 +303,11 @@ pub fn build_normal_task(
         stack_len,
         program.reloc_sites.clone(),
     )?;
-    Ok(TaskSource { image, mailbox_offset: 0, program })
+    Ok(TaskSource {
+        image,
+        mailbox_offset: 0,
+        program,
+    })
 }
 
 /// Renders a peer's [`tytan_crypto::TaskId`] as `.equ` constants
@@ -327,7 +343,9 @@ mod tests {
 
     #[test]
     fn missing_main_rejected() {
-        let err = SecureTaskBuilder::new("t", "start:\n hlt\n").build().unwrap_err();
+        let err = SecureTaskBuilder::new("t", "start:\n hlt\n")
+            .build()
+            .unwrap_err();
         assert!(matches!(err, BuildError::NoMain));
     }
 
@@ -365,8 +383,14 @@ mod tests {
 
     #[test]
     fn different_stack_sizes_change_identity() {
-        let a = SecureTaskBuilder::new("t", BODY).stack_len(256).build().unwrap();
-        let b = SecureTaskBuilder::new("t", BODY).stack_len(512).build().unwrap();
+        let a = SecureTaskBuilder::new("t", BODY)
+            .stack_len(256)
+            .build()
+            .unwrap();
+        let b = SecureTaskBuilder::new("t", BODY)
+            .stack_len(512)
+            .build()
+            .unwrap();
         assert_ne!(a.image.measurement_bytes(), b.image.measurement_bytes());
     }
 
@@ -374,7 +398,10 @@ mod tests {
     fn normal_task_entry_is_main() {
         let source = build_normal_task("n", BODY, "", 128).unwrap();
         assert!(!source.image.is_secure());
-        assert_eq!(source.image.entry_offset(), source.symbol_offset("main").unwrap());
+        assert_eq!(
+            source.image.entry_offset(),
+            source.symbol_offset("main").unwrap()
+        );
     }
 
     #[test]

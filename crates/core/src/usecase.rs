@@ -212,8 +212,7 @@ impl CruiseControl {
     /// Propagates load failures.
     pub fn install<D: Digest>(platform: &mut Platform<D>) -> Result<Self, PlatformError> {
         let t0_source = engine_control_source();
-        let controller_id =
-            TaskId::from_digest(&D::digest(&t0_source.image.measurement_bytes()));
+        let controller_id = TaskId::from_digest(&D::digest(&t0_source.image.measurement_bytes()));
         let t1_source = pedal_monitor_source(controller_id);
 
         let t0_token = platform.begin_load(&t0_source, 3);
@@ -349,7 +348,10 @@ mod tests {
 
     #[test]
     fn blocking_load_ablation_misses_deadlines() {
-        let config = PlatformConfig { interruptible_load: false, ..Default::default() };
+        let config = PlatformConfig {
+            interruptible_load: false,
+            ..Default::default()
+        };
         let mut platform: Platform = Platform::boot(config).unwrap();
         let mut scenario = CruiseControl::install(&mut platform).unwrap();
         platform.run_for(200_000).unwrap();

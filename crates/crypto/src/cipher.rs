@@ -48,7 +48,11 @@ impl SealedBlob {
         nonce.copy_from_slice(&bytes[..NONCE_LEN]);
         let mut tag = [0u8; TAG_LEN];
         tag.copy_from_slice(&bytes[NONCE_LEN..NONCE_LEN + TAG_LEN]);
-        Some(SealedBlob { nonce, ciphertext: bytes[NONCE_LEN + TAG_LEN..].to_vec(), tag })
+        Some(SealedBlob {
+            nonce,
+            ciphertext: bytes[NONCE_LEN + TAG_LEN..].to_vec(),
+            tag,
+        })
     }
 }
 
@@ -139,7 +143,11 @@ impl SealingCipher {
         let mut ciphertext = plaintext.to_vec();
         self.apply_keystream(&nonce, &mut ciphertext);
         let tag = self.tag(&nonce, &ciphertext);
-        SealedBlob { nonce, ciphertext, tag }
+        SealedBlob {
+            nonce,
+            ciphertext,
+            tag,
+        }
     }
 
     /// Unseals a blob, verifying the tag before decrypting.

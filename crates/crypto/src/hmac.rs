@@ -131,7 +131,10 @@ mod tests {
     fn rfc2202_long_key() {
         let key = [0xaau8; 80];
         assert_eq!(
-            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha1(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "aa4ae5e15272d00e95705637ce8a3b55ed402112"
         );
     }

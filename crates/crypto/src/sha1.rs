@@ -6,7 +6,13 @@
 
 use crate::Digest;
 
-const H0: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xefcd_ab89,
+    0x98ba_dcfe,
+    0x1032_5476,
+    0xc3d2_e1f0,
+];
 
 /// SHA-1 hash state.
 ///
@@ -35,7 +41,12 @@ pub struct Sha1 {
 impl Sha1 {
     /// Creates a fresh SHA-1 state.
     pub fn new() -> Self {
-        Sha1 { h: H0, buffer: [0; 64], buffer_len: 0, total_len: 0 }
+        Sha1 {
+            h: H0,
+            buffer: [0; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Number of compression-function invocations so far (full blocks).
@@ -150,18 +161,26 @@ mod tests {
     // FIPS 180-4 / RFC 3174 test vectors.
     #[test]
     fn empty_string() {
-        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn abc() {
-        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }
@@ -169,7 +188,10 @@ mod tests {
     #[test]
     fn million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&Sha1::digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&Sha1::digest(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

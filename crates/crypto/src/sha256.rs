@@ -41,7 +41,12 @@ pub struct Sha256 {
 impl Sha256 {
     /// Creates a fresh SHA-256 state.
     pub fn new() -> Self {
-        Sha256 { h: H0, buffer: [0; 64], buffer_len: 0, total_len: 0 }
+        Sha256 {
+            h: H0,
+            buffer: [0; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
@@ -168,7 +173,9 @@ mod tests {
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&Sha256::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+use std::cell::{Cell, RefCell};
 use std::fmt;
 
 mod perms;
@@ -70,7 +71,12 @@ pub struct MpuCosts {
 
 impl Default for MpuCosts {
     fn default() -> Self {
-        MpuCosts { find_base: 57, find_per_slot: 19, policy_check: 824, write_rule: 225 }
+        MpuCosts {
+            find_base: 57,
+            find_per_slot: 19,
+            policy_check: 824,
+            write_rule: 225,
+        }
     }
 }
 
@@ -146,10 +152,16 @@ impl fmt::Display for ConfigureError {
         match self {
             ConfigureError::NoFreeSlot => write!(f, "no free EA-MPU slot"),
             ConfigureError::DataOverlap { conflicting_slot } => {
-                write!(f, "data region partially overlaps rule in slot {conflicting_slot}")
+                write!(
+                    f,
+                    "data region partially overlaps rule in slot {conflicting_slot}"
+                )
             }
             ConfigureError::CodeOverlap { conflicting_slot } => {
-                write!(f, "data region overlaps protected code of rule in slot {conflicting_slot}")
+                write!(
+                    f,
+                    "data region overlaps protected code of rule in slot {conflicting_slot}"
+                )
             }
             ConfigureError::EmptyRegion => write!(f, "rule contains an empty region"),
         }
@@ -193,6 +205,137 @@ pub struct ConfigureOutcome {
 pub struct EaMpu {
     slots: Vec<Option<Rule>>,
     costs: MpuCosts,
+    cache: RefCell<DecisionCache>,
+    cache_enabled: bool,
+    /// L0 in front of the MRU cache: the most recent access entry per
+    /// [`AccessKind`] (indexed `Read = 0`, `Write = 1`) and the most recent
+    /// transfer entry, checked without touching the `RefCell`. The run loop
+    /// performs a transfer check on *every* instruction, so this path must
+    /// be a handful of compares. Latches hold the same provably-constant
+    /// rectangles as the cache and are cleared with it.
+    access_latch: [Cell<AccessCacheEntry>; 2],
+    transfer_latch: Cell<TransferCacheEntry>,
+}
+
+/// An empty (never-matching) access latch: `lo > hi` ranges match nothing.
+const EMPTY_ACCESS_LATCH: AccessCacheEntry = AccessCacheEntry {
+    eip_lo: 1,
+    eip_hi: 0,
+    addr_lo: 1,
+    addr_hi: 0,
+    kind: AccessKind::Read,
+    decision: AccessDecision::Denied,
+};
+
+/// An empty (never-matching) transfer latch.
+const EMPTY_TRANSFER_LATCH: TransferCacheEntry = TransferCacheEntry {
+    from_lo: 1,
+    from_hi: 0,
+    to_lo: 1,
+    to_hi: 0,
+    decision: TransferDecision::Allowed,
+};
+
+fn latch_index(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    }
+}
+
+/// MRU cache of recent check decisions, modelling the hardware match latch.
+///
+/// Each entry stores the decision together with the rectangle of
+/// `(actor, target)` address pairs over which the rule scan provably
+/// produces that same decision: while scanning on a miss, both query
+/// coordinates are narrowed against every examined region so that all
+/// membership predicates are constant across the rectangle. Hits are
+/// therefore bit-identical to a fresh scan. The cache holds derived state
+/// only — any slot mutation clears it — so interior mutability behind the
+/// unchanged `&self` check methods is sound.
+#[derive(Debug, Clone, Default)]
+struct DecisionCache {
+    access: Vec<AccessCacheEntry>,
+    transfer: Vec<TransferCacheEntry>,
+}
+
+/// Keep the MRU vectors small enough that a scan is a few compares.
+const DECISION_CACHE_WAYS: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct AccessCacheEntry {
+    eip_lo: u32,
+    eip_hi: u32,
+    addr_lo: u32,
+    addr_hi: u32,
+    kind: AccessKind,
+    decision: AccessDecision,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TransferCacheEntry {
+    from_lo: u32,
+    from_hi: u32,
+    to_lo: u32,
+    to_hi: u32,
+    decision: TransferDecision,
+}
+
+impl DecisionCache {
+    fn lookup_access(&mut self, eip: u32, addr: u32, kind: AccessKind) -> Option<AccessCacheEntry> {
+        let pos = self.access.iter().position(|e| {
+            e.kind == kind
+                && (e.eip_lo..=e.eip_hi).contains(&eip)
+                && (e.addr_lo..=e.addr_hi).contains(&addr)
+        })?;
+        let entry = self.access[pos];
+        // MRU promotion; a position-0 hit must stay free of data movement.
+        if pos != 0 {
+            self.access[..=pos].rotate_right(1);
+        }
+        Some(entry)
+    }
+
+    fn lookup_transfer(&mut self, from: u32, to: u32) -> Option<TransferCacheEntry> {
+        let pos = self.transfer.iter().position(|e| {
+            (e.from_lo..=e.from_hi).contains(&from) && (e.to_lo..=e.to_hi).contains(&to)
+        })?;
+        let entry = self.transfer[pos];
+        if pos != 0 {
+            self.transfer[..=pos].rotate_right(1);
+        }
+        Some(entry)
+    }
+
+    fn insert_access(&mut self, entry: AccessCacheEntry) {
+        self.access.truncate(DECISION_CACHE_WAYS - 1);
+        self.access.insert(0, entry);
+    }
+
+    fn insert_transfer(&mut self, entry: TransferCacheEntry) {
+        self.transfer.truncate(DECISION_CACHE_WAYS - 1);
+        self.transfer.insert(0, entry);
+    }
+
+    fn clear(&mut self) {
+        self.access.clear();
+        self.transfer.clear();
+    }
+}
+
+/// Shrinks `[lo, hi]` so that `region.contains(x)` is constant (and equal
+/// to `region.contains(point)`) for every `x` in the interval. `point`
+/// must lie inside `[lo, hi]`.
+fn narrow_to_membership(lo: &mut u32, hi: &mut u32, region: Region, point: u32) {
+    let Some(last) = region.last() else { return };
+    if region.contains(point) {
+        *lo = (*lo).max(region.start());
+        *hi = (*hi).min(last);
+    } else if point < region.start() {
+        *hi = (*hi).min(region.start() - 1);
+    } else {
+        *lo = (*lo).max(last + 1);
+    }
 }
 
 impl EaMpu {
@@ -212,7 +355,32 @@ impl EaMpu {
     /// Panics if `slots` is zero.
     pub fn with_costs(slots: usize, costs: MpuCosts) -> Self {
         assert!(slots > 0, "EA-MPU needs at least one slot");
-        EaMpu { slots: vec![None; slots], costs }
+        EaMpu {
+            slots: vec![None; slots],
+            costs,
+            cache: RefCell::new(DecisionCache::default()),
+            cache_enabled: true,
+            access_latch: [Cell::new(EMPTY_ACCESS_LATCH), Cell::new(EMPTY_ACCESS_LATCH)],
+            transfer_latch: Cell::new(EMPTY_TRANSFER_LATCH),
+        }
+    }
+
+    /// Enables or disables the decision cache (enabled by default). The
+    /// cache never changes decisions; disabling it exists so differential
+    /// tests can compare against the pure scan path.
+    pub fn set_decision_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        self.invalidate_decision_cache();
+    }
+
+    /// Drops every cached decision. Called automatically on any rule-table
+    /// mutation; exposed so owners can also invalidate on external state
+    /// changes (the machine does this when MPU enforcement is toggled).
+    pub fn invalidate_decision_cache(&self) {
+        self.cache.borrow_mut().clear();
+        self.access_latch[0].set(EMPTY_ACCESS_LATCH);
+        self.access_latch[1].set(EMPTY_ACCESS_LATCH);
+        self.transfer_latch.set(EMPTY_TRANSFER_LATCH);
     }
 
     /// Total number of slots.
@@ -276,10 +444,14 @@ impl EaMpu {
         }
         for (slot, existing) in self.rules() {
             if rule.data.overlaps(existing.data) && rule.data != existing.data {
-                return Err(ConfigureError::DataOverlap { conflicting_slot: slot });
+                return Err(ConfigureError::DataOverlap {
+                    conflicting_slot: slot,
+                });
             }
             if rule.data.overlaps(existing.code) {
-                return Err(ConfigureError::CodeOverlap { conflicting_slot: slot });
+                return Err(ConfigureError::CodeOverlap {
+                    conflicting_slot: slot,
+                });
             }
         }
         Ok(())
@@ -299,6 +471,7 @@ impl EaMpu {
         let (slot, find_cost) = self.find_free_slot();
         let slot = slot.ok_or(ConfigureError::NoFreeSlot)?;
         self.policy_check(&rule)?;
+        self.invalidate_decision_cache();
         self.slots[slot] = Some(rule);
         Ok(ConfigureOutcome {
             slot,
@@ -319,6 +492,7 @@ impl EaMpu {
     ///
     /// Panics if `slot` is out of range.
     pub fn set_rule(&mut self, slot: usize, rule: Rule) {
+        self.invalidate_decision_cache();
         self.slots[slot] = Some(rule);
     }
 
@@ -328,12 +502,14 @@ impl EaMpu {
     ///
     /// Panics if `slot` is out of range.
     pub fn clear_slot(&mut self, slot: usize) -> Option<Rule> {
+        self.invalidate_decision_cache();
         self.slots[slot].take()
     }
 
     /// Removes every rule whose code region equals `code`, returning how
     /// many were removed. Used when unloading a task.
     pub fn remove_rules_for_code(&mut self, code: Region) -> usize {
+        self.invalidate_decision_cache();
         let mut removed = 0;
         for slot in &mut self.slots {
             if matches!(slot, Some(rule) if rule.code == code) {
@@ -351,28 +527,72 @@ impl EaMpu {
     /// permissions include `kind`. Reading a protected *code* region from
     /// outside it is likewise denied (code secrecy). Unprotected addresses
     /// are open, matching the flat physical memory model.
+    #[inline]
     pub fn check_access(&self, eip: u32, addr: u32, kind: AccessKind) -> AccessDecision {
+        // The latch hit is the per-instruction hot path: keep it small
+        // enough to inline into the emulator's step loop.
+        if self.cache_enabled {
+            let l = self.access_latch[latch_index(kind)].get();
+            if l.eip_lo <= eip && eip <= l.eip_hi && l.addr_lo <= addr && addr <= l.addr_hi {
+                return l.decision;
+            }
+        }
+        self.check_access_unlatched(eip, addr, kind)
+    }
+
+    fn check_access_unlatched(&self, eip: u32, addr: u32, kind: AccessKind) -> AccessDecision {
+        if self.cache_enabled {
+            if let Some(entry) = self.cache.borrow_mut().lookup_access(eip, addr, kind) {
+                self.access_latch[latch_index(kind)].set(entry);
+                return entry.decision;
+            }
+        }
+        // While scanning, narrow the (eip, addr) rectangle over which every
+        // membership test below stays constant; the scan — including its
+        // early return — then provably yields this same decision for every
+        // pair in the rectangle, which is what makes caching it sound.
+        let (mut eip_lo, mut eip_hi) = (0u32, u32::MAX);
+        let (mut addr_lo, mut addr_hi) = (0u32, u32::MAX);
         let mut protected = false;
+        let mut hit = None;
         for (slot, rule) in self.rules() {
+            narrow_to_membership(&mut eip_lo, &mut eip_hi, rule.code, eip);
+            narrow_to_membership(&mut addr_lo, &mut addr_hi, rule.data, addr);
+            narrow_to_membership(&mut addr_lo, &mut addr_hi, rule.code, addr);
             if rule.data.contains(addr) {
                 protected = true;
                 if rule.code.contains(eip) && rule.perms.allows(kind) {
-                    return AccessDecision::AllowedByRule { slot };
+                    hit = Some(AccessDecision::AllowedByRule { slot });
+                    break;
                 }
             }
             // Protected code regions are only accessible as data from within.
             if rule.code.contains(addr) {
                 protected = true;
                 if rule.code.contains(eip) && kind == AccessKind::Read {
-                    return AccessDecision::AllowedByRule { slot };
+                    hit = Some(AccessDecision::AllowedByRule { slot });
+                    break;
                 }
             }
         }
-        if protected {
+        let decision = hit.unwrap_or(if protected {
             AccessDecision::Denied
         } else {
             AccessDecision::AllowedUnprotected
+        });
+        if self.cache_enabled {
+            let entry = AccessCacheEntry {
+                eip_lo,
+                eip_hi,
+                addr_lo,
+                addr_hi,
+                kind,
+                decision,
+            };
+            self.cache.borrow_mut().insert_access(entry);
+            self.access_latch[latch_index(kind)].set(entry);
         }
+        decision
     }
 
     /// Checks a control transfer from `from_eip` to `to_addr`.
@@ -381,17 +601,70 @@ impl EaMpu {
     /// region's dedicated entry point; transfers within a region, or to
     /// unprotected addresses, are unrestricted. This is the EA-MPU property
     /// TyTAN relies on to prevent code-reuse attacks on secure tasks.
+    #[inline]
     pub fn check_transfer(&self, from_eip: u32, to_addr: u32) -> TransferDecision {
-        for (slot, rule) in self.rules() {
-            if rule.code.contains(to_addr) && !rule.code.contains(from_eip) {
-                return if to_addr == rule.entry {
-                    TransferDecision::AllowedAtEntry { slot }
-                } else {
-                    TransferDecision::DeniedMidRegion { expected_entry: rule.entry }
-                };
+        // Checked on every instruction (fallthrough included): the latch
+        // hit must inline into the emulator's step loop.
+        if self.cache_enabled {
+            let l = self.transfer_latch.get();
+            if l.from_lo <= from_eip
+                && from_eip <= l.from_hi
+                && l.to_lo <= to_addr
+                && to_addr <= l.to_hi
+            {
+                return l.decision;
             }
         }
-        TransferDecision::Allowed
+        self.check_transfer_unlatched(from_eip, to_addr)
+    }
+
+    fn check_transfer_unlatched(&self, from_eip: u32, to_addr: u32) -> TransferDecision {
+        if self.cache_enabled {
+            if let Some(entry) = self.cache.borrow_mut().lookup_transfer(from_eip, to_addr) {
+                self.transfer_latch.set(entry);
+                return entry.decision;
+            }
+        }
+        let (mut from_lo, mut from_hi) = (0u32, u32::MAX);
+        let (mut to_lo, mut to_hi) = (0u32, u32::MAX);
+        let mut hit = None;
+        for (slot, rule) in self.rules() {
+            narrow_to_membership(&mut from_lo, &mut from_hi, rule.code, from_eip);
+            narrow_to_membership(&mut to_lo, &mut to_hi, rule.code, to_addr);
+            if rule.code.contains(to_addr) && !rule.code.contains(from_eip) {
+                // The decision also depends on `to_addr == entry`, so pin
+                // the target interval to the side of the entry point the
+                // query fell on (or to the entry point itself).
+                if to_addr == rule.entry {
+                    to_lo = rule.entry;
+                    to_hi = rule.entry;
+                    hit = Some(TransferDecision::AllowedAtEntry { slot });
+                } else {
+                    if to_addr < rule.entry {
+                        to_hi = to_hi.min(rule.entry - 1);
+                    } else {
+                        to_lo = to_lo.max(rule.entry + 1);
+                    }
+                    hit = Some(TransferDecision::DeniedMidRegion {
+                        expected_entry: rule.entry,
+                    });
+                }
+                break;
+            }
+        }
+        let decision = hit.unwrap_or(TransferDecision::Allowed);
+        if self.cache_enabled {
+            let entry = TransferCacheEntry {
+                from_lo,
+                from_hi,
+                to_lo,
+                to_hi,
+                decision,
+            };
+            self.cache.borrow_mut().insert_transfer(entry);
+            self.transfer_latch.set(entry);
+        }
+        decision
     }
 
     /// Whether `addr` lies inside any protected (data or code) region.
@@ -426,7 +699,10 @@ mod tests {
         assert_eq!((slot, cost), (Some(1), 95));
 
         for i in 1..17 {
-            mpu.set_rule(i, rule(0x1000 + i as u32 * 0x200, 0x8000 + i as u32 * 0x200));
+            mpu.set_rule(
+                i,
+                rule(0x1000 + i as u32 * 0x200, 0x8000 + i as u32 * 0x200),
+            );
         }
         let (slot, cost) = mpu.find_free_slot();
         assert_eq!((slot, cost), (Some(17), 399));
@@ -467,7 +743,9 @@ mod tests {
         );
         assert_eq!(
             mpu.configure(overlapping).unwrap_err(),
-            ConfigureError::DataOverlap { conflicting_slot: 0 }
+            ConfigureError::DataOverlap {
+                conflicting_slot: 0
+            }
         );
         // Exact alias (IPC shared memory) is fine.
         let alias = Rule::new(
@@ -491,14 +769,21 @@ mod tests {
         );
         assert_eq!(
             mpu.configure(snooping).unwrap_err(),
-            ConfigureError::CodeOverlap { conflicting_slot: 0 }
+            ConfigureError::CodeOverlap {
+                conflicting_slot: 0
+            }
         );
     }
 
     #[test]
     fn empty_region_rejected() {
         let mut mpu = EaMpu::new(4);
-        let bad = Rule::new(Region::new(0x1000, 0), 0x1000, Region::new(0x8000, 4), Perms::R);
+        let bad = Rule::new(
+            Region::new(0x1000, 0),
+            0x1000,
+            Region::new(0x8000, 4),
+            Perms::R,
+        );
         assert_eq!(mpu.configure(bad).unwrap_err(), ConfigureError::EmptyRegion);
     }
 
@@ -507,11 +792,21 @@ mod tests {
         let mut mpu = EaMpu::new(4);
         mpu.configure(rule(0x1000, 0x8000)).unwrap();
         // Owner code can read and write its data.
-        assert!(mpu.check_access(0x1004, 0x8000, AccessKind::Read).is_allowed());
-        assert!(mpu.check_access(0x10ff, 0x80ff, AccessKind::Write).is_allowed());
+        assert!(mpu
+            .check_access(0x1004, 0x8000, AccessKind::Read)
+            .is_allowed());
+        assert!(mpu
+            .check_access(0x10ff, 0x80ff, AccessKind::Write)
+            .is_allowed());
         // Foreign code (the OS, another task) cannot.
-        assert_eq!(mpu.check_access(0x5000, 0x8000, AccessKind::Read), AccessDecision::Denied);
-        assert_eq!(mpu.check_access(0x5000, 0x8000, AccessKind::Write), AccessDecision::Denied);
+        assert_eq!(
+            mpu.check_access(0x5000, 0x8000, AccessKind::Read),
+            AccessDecision::Denied
+        );
+        assert_eq!(
+            mpu.check_access(0x5000, 0x8000, AccessKind::Write),
+            AccessDecision::Denied
+        );
         // Unprotected memory stays open to everyone.
         assert_eq!(
             mpu.check_access(0x5000, 0xf000, AccessKind::Write),
@@ -522,11 +817,19 @@ mod tests {
     #[test]
     fn read_only_rule_denies_writes() {
         let mut mpu = EaMpu::new(4);
-        let ro =
-            Rule::new(Region::new(0x1000, 0x100), 0x1000, Region::new(0x8000, 0x100), Perms::R);
+        let ro = Rule::new(
+            Region::new(0x1000, 0x100),
+            0x1000,
+            Region::new(0x8000, 0x100),
+            Perms::R,
+        );
         mpu.configure(ro).unwrap();
-        assert!(mpu.check_access(0x1000, 0x8000, AccessKind::Read).is_allowed());
-        assert!(!mpu.check_access(0x1000, 0x8000, AccessKind::Write).is_allowed());
+        assert!(mpu
+            .check_access(0x1000, 0x8000, AccessKind::Read)
+            .is_allowed());
+        assert!(!mpu
+            .check_access(0x1000, 0x8000, AccessKind::Write)
+            .is_allowed());
     }
 
     #[test]
@@ -534,17 +837,27 @@ mod tests {
         let mut mpu = EaMpu::new(4);
         mpu.configure(rule(0x1000, 0x8000)).unwrap();
         // The task may read its own code (e.g. constants in .text)...
-        assert!(mpu.check_access(0x1004, 0x1008, AccessKind::Read).is_allowed());
+        assert!(mpu
+            .check_access(0x1004, 0x1008, AccessKind::Read)
+            .is_allowed());
         // ...but others may not read it, and nobody may write it.
-        assert!(!mpu.check_access(0x5000, 0x1008, AccessKind::Read).is_allowed());
-        assert!(!mpu.check_access(0x1004, 0x1008, AccessKind::Write).is_allowed());
+        assert!(!mpu
+            .check_access(0x5000, 0x1008, AccessKind::Read)
+            .is_allowed());
+        assert!(!mpu
+            .check_access(0x1004, 0x1008, AccessKind::Write)
+            .is_allowed());
     }
 
     #[test]
     fn entry_point_enforcement() {
         let mut mpu = EaMpu::new(4);
-        let r =
-            Rule::new(Region::new(0x1000, 0x100), 0x1010, Region::new(0x8000, 0x100), Perms::RW);
+        let r = Rule::new(
+            Region::new(0x1000, 0x100),
+            0x1010,
+            Region::new(0x8000, 0x100),
+            Perms::RW,
+        );
         mpu.configure(r).unwrap();
         // Entering at the entry point is allowed.
         assert_eq!(
@@ -554,20 +867,40 @@ mod tests {
         // Jumping into the middle from outside is denied.
         assert_eq!(
             mpu.check_transfer(0x5000, 0x1050),
-            TransferDecision::DeniedMidRegion { expected_entry: 0x1010 }
+            TransferDecision::DeniedMidRegion {
+                expected_entry: 0x1010
+            }
         );
         // Branches within the region are unrestricted.
-        assert_eq!(mpu.check_transfer(0x1004, 0x1050), TransferDecision::Allowed);
+        assert_eq!(
+            mpu.check_transfer(0x1004, 0x1050),
+            TransferDecision::Allowed
+        );
         // Transfers in open memory are unrestricted.
-        assert_eq!(mpu.check_transfer(0x5000, 0x6000), TransferDecision::Allowed);
+        assert_eq!(
+            mpu.check_transfer(0x5000, 0x6000),
+            TransferDecision::Allowed
+        );
     }
 
     #[test]
     fn remove_rules_for_code_unloads_task() {
         let mut mpu = EaMpu::new(4);
         let code = Region::new(0x1000, 0x100);
-        mpu.configure(Rule::new(code, 0x1000, Region::new(0x8000, 0x100), Perms::RW)).unwrap();
-        mpu.configure(Rule::new(code, 0x1000, Region::new(0x9000, 0x100), Perms::RW)).unwrap();
+        mpu.configure(Rule::new(
+            code,
+            0x1000,
+            Region::new(0x8000, 0x100),
+            Perms::RW,
+        ))
+        .unwrap();
+        mpu.configure(Rule::new(
+            code,
+            0x1000,
+            Region::new(0x9000, 0x100),
+            Perms::RW,
+        ))
+        .unwrap();
         mpu.configure(rule(0x2000, 0xa000)).unwrap();
         assert_eq!(mpu.remove_rules_for_code(code), 2);
         assert_eq!(mpu.used_slots(), 1);

@@ -45,8 +45,14 @@ impl Region {
     ///
     /// Panics if `end < start`.
     pub fn from_bounds(start: u32, end: u32) -> Self {
-        assert!(end >= start, "region end {end:#x} precedes start {start:#x}");
-        Region { start, len: end - start }
+        assert!(
+            end >= start,
+            "region end {end:#x} precedes start {start:#x}"
+        );
+        Region {
+            start,
+            len: end - start,
+        }
     }
 
     /// First address in the region.
@@ -196,7 +202,10 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(Region::new(0x1000, 0x100).to_string(), "[0x00001000, 0x00001100)");
+        assert_eq!(
+            Region::new(0x1000, 0x100).to_string(),
+            "[0x00001000, 0x00001100)"
+        );
     }
 
     proptest! {

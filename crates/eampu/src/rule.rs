@@ -42,7 +42,12 @@ impl Rule {
             code.is_empty() || code.contains(entry),
             "entry point {entry:#x} lies outside code region {code}"
         );
-        Rule { code, entry, data, perms }
+        Rule {
+            code,
+            entry,
+            data,
+            perms,
+        }
     }
 }
 
@@ -71,7 +76,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside code region")]
     fn entry_outside_code_region_panics() {
-        let _ = Rule::new(Region::new(0x1000, 0x100), 0x2000, Region::new(0x8000, 4), Perms::R);
+        let _ = Rule::new(
+            Region::new(0x1000, 0x100),
+            0x2000,
+            Region::new(0x8000, 4),
+            Perms::R,
+        );
     }
 
     #[test]

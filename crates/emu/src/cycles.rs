@@ -162,7 +162,11 @@ mod tests {
         // Int Mux context save: 8 register stores land near the paper's
         // 38-cycle "store context" phase.
         let model = CycleModel::default();
-        let store = Instr::Stw { rd: Reg::R7, rs: Reg::R0, disp: 0 };
+        let store = Instr::Stw {
+            rd: Reg::R7,
+            rs: Reg::R0,
+            disp: 0,
+        };
         let total: u64 = (0..8).map(|_| model.cost(&store, false)).sum();
         assert!((32..=48).contains(&total), "8 stores cost {total}");
     }
@@ -171,7 +175,10 @@ mod tests {
     fn register_wipe_matches_table2_magnitude() {
         // Wiping 8 registers with xor reg,reg lands near 16 cycles.
         let model = CycleModel::default();
-        let xor = Instr::Xor { rd: Reg::R0, rs: Reg::R0 };
+        let xor = Instr::Xor {
+            rd: Reg::R0,
+            rs: Reg::R0,
+        };
         let total: u64 = (0..8).map(|_| model.cost(&xor, false)).sum();
         assert_eq!(total, 16);
     }
@@ -179,7 +186,10 @@ mod tests {
     #[test]
     fn taken_branches_cost_more() {
         let model = CycleModel::default();
-        let jcc = Instr::Jcc { cond: Cond::Z, target: 0 };
+        let jcc = Instr::Jcc {
+            cond: Cond::Z,
+            target: 0,
+        };
         assert!(model.cost(&jcc, true) > model.cost(&jcc, false));
     }
 

@@ -117,7 +117,11 @@ impl Debugger {
             if now != *last {
                 let old = *last;
                 *last = now;
-                return Ok(Some(DebugStop::WatchChanged { addr, old, new: now }));
+                return Ok(Some(DebugStop::WatchChanged {
+                    addr,
+                    old,
+                    new: now,
+                }));
             }
         }
         Ok(None)
@@ -156,21 +160,25 @@ impl Debugger {
         }
 
         if self.watches.is_empty() {
-            return Ok(match machine.run(deadline.saturating_sub(machine.cycles())) {
-                Event::FirmwareTrap { addr } if self.breakpoints.contains(&addr) => {
-                    self.reported = Some(addr);
-                    DebugStop::Breakpoint { addr }
-                }
-                Event::FirmwareTrap { addr } => DebugStop::ForeignTrap { addr },
-                Event::Fault(fault) => DebugStop::Fault(fault),
-                Event::BudgetExhausted | Event::IdleBudgetExhausted => DebugStop::Budget,
-            });
+            return Ok(
+                match machine.run(deadline.saturating_sub(machine.cycles())) {
+                    Event::FirmwareTrap { addr } if self.breakpoints.contains(&addr) => {
+                        self.reported = Some(addr);
+                        DebugStop::Breakpoint { addr }
+                    }
+                    Event::FirmwareTrap { addr } => DebugStop::ForeignTrap { addr },
+                    Event::Fault(fault) => DebugStop::Fault(fault),
+                    Event::BudgetExhausted | Event::IdleBudgetExhausted => DebugStop::Budget,
+                },
+            );
         }
 
         while machine.cycles() < deadline {
             if self.breakpoints.contains(&machine.eip()) {
                 self.reported = Some(machine.eip());
-                return Ok(DebugStop::Breakpoint { addr: machine.eip() });
+                return Ok(DebugStop::Breakpoint {
+                    addr: machine.eip(),
+                });
             }
             if machine.is_halted() {
                 // Let interrupts wake the core.
@@ -239,7 +247,14 @@ mod tests {
         let mut dbg = Debugger::new();
         dbg.watch_word(&mut m, 0x9000).unwrap();
         let stop = dbg.run(&mut m, 10_000).unwrap();
-        assert_eq!(stop, DebugStop::WatchChanged { addr: 0x9000, old: 0, new: 7 });
+        assert_eq!(
+            stop,
+            DebugStop::WatchChanged {
+                addr: 0x9000,
+                old: 0,
+                new: 7
+            }
+        );
     }
 
     #[test]
@@ -251,11 +266,25 @@ mod tests {
         dbg.watch_word(&mut m, 0x9000).unwrap();
         dbg.add_breakpoint(&mut m, 0x114); // `target`
         let first = dbg.run(&mut m, 10_000).unwrap();
-        assert_eq!(first, DebugStop::WatchChanged { addr: 0x9000, old: 0, new: 1 });
+        assert_eq!(
+            first,
+            DebugStop::WatchChanged {
+                addr: 0x9000,
+                old: 0,
+                new: 1
+            }
+        );
         let second = dbg.run(&mut m, 10_000).unwrap();
         assert_eq!(second, DebugStop::Breakpoint { addr: 0x114 });
         let third = dbg.run(&mut m, 10_000).unwrap();
-        assert_eq!(third, DebugStop::WatchChanged { addr: 0x9000, old: 1, new: 2 });
+        assert_eq!(
+            third,
+            DebugStop::WatchChanged {
+                addr: 0x9000,
+                old: 1,
+                new: 2
+            }
+        );
     }
 
     #[test]

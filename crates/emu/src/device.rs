@@ -28,6 +28,22 @@ pub trait Device: Any {
         None
     }
 
+    /// The earliest cycle at or after `now` at which polling this device
+    /// could have an effect (raise an IRQ or change internal poll state),
+    /// or `None` if no poll will ever matter until the device is next
+    /// accessed or reconfigured.
+    ///
+    /// The machine's fast run loop uses this to skip per-instruction
+    /// polling: it guarantees [`Device::poll_irq`] is called at the first
+    /// instruction boundary whose cycle count reaches the returned value,
+    /// which is exactly when a per-instruction polling loop would first
+    /// observe the event. The conservative default, `Some(now)`, requests a
+    /// poll at every boundary and so preserves legacy behaviour for device
+    /// implementations that do not override this.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
     /// Upcast for downcasting to the concrete device type.
     fn as_any(&self) -> &dyn Any;
 

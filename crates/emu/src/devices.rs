@@ -46,7 +46,13 @@ pub struct Timer {
 impl Timer {
     /// Creates a disabled timer mapped at `base` raising IRQ `vector`.
     pub fn new(base: u32, vector: u8) -> Self {
-        Timer { base, vector, enabled: false, interval: 0, next_fire: u64::MAX }
+        Timer {
+            base,
+            vector,
+            enabled: false,
+            interval: 0,
+            next_fire: u64::MAX,
+        }
     }
 
     /// Programs the interval (cycles) and enables/disables firing.
@@ -81,7 +87,10 @@ impl Device for Timer {
                 if self.next_fire == u64::MAX {
                     0
                 } else {
-                    (self.interval.saturating_sub(self.next_fire.saturating_sub(now))) as u32
+                    (self
+                        .interval
+                        .saturating_sub(self.next_fire.saturating_sub(now)))
+                        as u32
                 }
             }
             _ => 0,
@@ -121,6 +130,18 @@ impl Device for Timer {
         None
     }
 
+    fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.enabled || self.interval == 0 {
+            return None;
+        }
+        if self.next_fire == u64::MAX {
+            // Not yet armed: the next poll arms it, so it must happen at
+            // the next boundary (as a per-instruction loop would).
+            return Some(now);
+        }
+        Some(self.next_fire)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -143,7 +164,10 @@ pub struct Uart {
 impl Uart {
     /// Creates a UART mapped at `base`.
     pub fn new(base: u32) -> Self {
-        Uart { base, buffer: Vec::new() }
+        Uart {
+            base,
+            buffer: Vec::new(),
+        }
     }
 
     /// Everything written so far.
@@ -170,6 +194,10 @@ impl Device for Uart {
         if offset == 0 {
             self.buffer.push(value as u8);
         }
+    }
+
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        None // Never raises interrupts; polling is a no-op.
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -229,7 +257,10 @@ impl Sensor {
 
     /// Installs a `(cycle, value)` trace (must be sorted by cycle).
     pub fn set_trace(&mut self, trace: Vec<(u64, u32)>) {
-        debug_assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0), "trace must be sorted");
+        debug_assert!(
+            trace.windows(2).all(|w| w[0].0 <= w[1].0),
+            "trace must be sorted"
+        );
         self.trace = trace;
     }
 
@@ -276,6 +307,21 @@ impl Device for Sensor {
         None
     }
 
+    fn next_event(&self, now: u64) -> Option<u64> {
+        let (threshold, _) = self.threshold?;
+        let value = self.value_at(now);
+        // A poll right now would fire or re-arm: that transition must
+        // happen at the next boundary, like per-instruction polling would.
+        let pending = (self.threshold_armed && value >= threshold)
+            || (!self.threshold_armed && value < threshold);
+        if pending {
+            return Some(now);
+        }
+        // Otherwise the reported value — and with it the poll state
+        // machine — can only change at the next trace point.
+        self.trace.iter().map(|&(t, _)| t).find(|&t| t > now)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -299,7 +345,10 @@ pub struct Actuator {
 impl Actuator {
     /// Creates an actuator mapped at `base`.
     pub fn new(base: u32) -> Self {
-        Actuator { base, log: Vec::new() }
+        Actuator {
+            base,
+            log: Vec::new(),
+        }
     }
 
     /// The `(cycle, value)` command log.
@@ -321,6 +370,10 @@ impl Device for Actuator {
         if offset == 0 {
             self.log.push((now, value));
         }
+    }
+
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        None // Never raises interrupts; polling is a no-op.
     }
 
     fn as_any(&self) -> &dyn Any {

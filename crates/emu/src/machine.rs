@@ -24,6 +24,12 @@ pub struct MachineConfig {
     pub hw_context_save: bool,
     /// Cycles the hardware context save costs when enabled.
     pub hw_save_cost: u64,
+    /// Host-side fast path: predecode cache, EA-MPU decision cache, and the
+    /// event-driven run loop. Model-invariant — every charged cycle and
+    /// every observable machine state is bit-identical with it on or off
+    /// (the cycle-identity differential tests assert this); disabling it
+    /// exists for those tests and for debugging.
+    pub fast_path: bool,
 }
 
 impl Default for MachineConfig {
@@ -35,6 +41,7 @@ impl Default for MachineConfig {
             firmware_costs: FirmwareCosts::default(),
             hw_context_save: false,
             hw_save_cost: 8,
+            fast_path: true,
         }
     }
 }
@@ -157,7 +164,10 @@ pub struct Machine {
     mpu_enabled: bool,
     idt_base: u32,
     pending_irqs: BTreeSet<u8>,
-    firmware_traps: BTreeSet<u32>,
+    /// Sorted firmware-trap addresses; `trap_filter` is a 64-bit Bloom-style
+    /// guard over `(addr >> 2) & 63` so the hot no-trap case is one AND.
+    firmware_traps: Vec<u32>,
+    trap_filter: u64,
     int_origin: Option<u32>,
     resume_latches: BTreeSet<u32>,
     hw_context_save: bool,
@@ -166,7 +176,38 @@ pub struct Machine {
     cycle_model: CycleModel,
     firmware_costs: FirmwareCosts,
     stats: MachineStats,
+    fast_path: bool,
+    /// Direct-mapped predecode cache indexed by `(eip >> 2) % size`; an
+    /// entry is valid when its `tag` equals the word-aligned EIP it was
+    /// filled for. RAM writes invalidate overlapping entries.
+    predecode: Vec<Predecoded>,
+    /// Earliest cycle at which any device needs polling (`u64::MAX` =
+    /// never); recomputed when `device_deadline_dirty` is set.
+    device_deadline: u64,
+    device_deadline_dirty: bool,
 }
+
+/// One predecode-cache entry (see [`Machine::predecode`]).
+///
+/// Besides the decoded instruction, the entry memoises both possible cycle
+/// costs (branch taken / not taken) so a cache hit skips the cost-model
+/// match as well as the decode — the values are exactly what
+/// [`CycleModel::cost`] returns for this instruction.
+#[derive(Clone, Copy)]
+struct Predecoded {
+    tag: u32,
+    instr: Instr,
+    cost_not_taken: u64,
+    cost_taken: u64,
+}
+
+/// Entries in the predecode cache; covers 16 KiB of code, power of two.
+const PREDECODE_ENTRIES: usize = 4096;
+
+/// Tag meaning "empty". Unreachable for real entries: only instructions
+/// whose word-aligned EIP plus size fits in RAM are cached, so a valid tag
+/// is always below the RAM size.
+const PREDECODE_EMPTY: u32 = u32::MAX;
 
 impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -183,6 +224,10 @@ impl fmt::Debug for Machine {
 impl Machine {
     /// Builds a machine from `config` with zeroed RAM and registers.
     pub fn new(config: MachineConfig) -> Self {
+        let mut mpu = EaMpu::new(config.mpu_slots);
+        // With the fast path off the MPU must take its pure scan path too,
+        // so differential tests compare against the fully-legacy pipeline.
+        mpu.set_decision_cache_enabled(config.fast_path);
         Machine {
             regs: [0; 8],
             eip: 0,
@@ -190,11 +235,12 @@ impl Machine {
             halted: false,
             ram: vec![0; config.ram_size as usize],
             devices: Vec::new(),
-            mpu: EaMpu::new(config.mpu_slots),
+            mpu,
             mpu_enabled: true,
             idt_base: 0,
             pending_irqs: BTreeSet::new(),
-            firmware_traps: BTreeSet::new(),
+            firmware_traps: Vec::new(),
+            trap_filter: 0,
             int_origin: None,
             resume_latches: BTreeSet::new(),
             hw_context_save: config.hw_context_save,
@@ -203,6 +249,22 @@ impl Machine {
             cycle_model: config.cycle_model,
             firmware_costs: config.firmware_costs,
             stats: MachineStats::default(),
+            fast_path: config.fast_path,
+            predecode: vec![
+                Predecoded {
+                    tag: PREDECODE_EMPTY,
+                    instr: Instr::Nop,
+                    cost_not_taken: 0,
+                    cost_taken: 0,
+                };
+                if config.fast_path {
+                    PREDECODE_ENTRIES
+                } else {
+                    0
+                }
+            ],
+            device_deadline: 0,
+            device_deadline_dirty: true,
         }
     }
 
@@ -300,6 +362,36 @@ impl Machine {
         self.devices.iter().position(|d| d.range().contains(addr))
     }
 
+    /// Drops predecode-cache entries for any instruction overlapping the
+    /// written range `[addr, addr + len)`. An instruction starting at
+    /// word-aligned `W` spans `[W, W + 8)` at most, so candidate start
+    /// words run from one word below the range to its last contained word.
+    fn invalidate_predecode(&mut self, addr: u32, len: usize) {
+        if !self.fast_path || len == 0 {
+            return;
+        }
+        if len >= PREDECODE_ENTRIES * 4 {
+            // The write blankets the whole cache's index space.
+            for entry in &mut self.predecode {
+                entry.tag = PREDECODE_EMPTY;
+            }
+            return;
+        }
+        let first = (addr & !3).saturating_sub(4);
+        let last = addr.saturating_add(len as u32 - 1) & !3;
+        let mut word = first;
+        loop {
+            let idx = (word >> 2) as usize & (PREDECODE_ENTRIES - 1);
+            if self.predecode[idx].tag == word {
+                self.predecode[idx].tag = PREDECODE_EMPTY;
+            }
+            if word >= last {
+                break;
+            }
+            word += 4;
+        }
+    }
+
     /// Reads a 32-bit little-endian word, bypassing the EA-MPU (hardware
     /// path, loaders, debuggers).
     ///
@@ -309,11 +401,15 @@ impl Machine {
     pub fn read_word(&mut self, addr: u32) -> Result<u32, Fault> {
         if (addr as usize) + 4 <= self.ram.len() {
             let i = addr as usize;
-            return Ok(u32::from_le_bytes(self.ram[i..i + 4].try_into().expect("4 bytes")));
+            return Ok(u32::from_le_bytes(
+                self.ram[i..i + 4].try_into().expect("4 bytes"),
+            ));
         }
         if let Some(dev) = self.device_index_at(addr) {
             let base = self.devices[dev].range().start();
             let now = self.clock;
+            // Any device access may change its poll schedule.
+            self.device_deadline_dirty = true;
             return Ok(self.devices[dev].read(addr - base, now));
         }
         Err(Fault::Bus { addr })
@@ -328,11 +424,13 @@ impl Machine {
         if (addr as usize) + 4 <= self.ram.len() {
             let i = addr as usize;
             self.ram[i..i + 4].copy_from_slice(&value.to_le_bytes());
+            self.invalidate_predecode(addr, 4);
             return Ok(());
         }
         if let Some(dev) = self.device_index_at(addr) {
             let base = self.devices[dev].range().start();
             let now = self.clock;
+            self.device_deadline_dirty = true;
             self.devices[dev].write(addr - base, value, now);
             return Ok(());
         }
@@ -361,6 +459,7 @@ impl Machine {
         match self.ram.get_mut(addr as usize) {
             Some(slot) => {
                 *slot = value;
+                self.invalidate_predecode(addr, 1);
                 Ok(())
             }
             None => Err(Fault::Bus { addr }),
@@ -392,6 +491,7 @@ impl Machine {
         match self.ram.get_mut(start..end) {
             Some(slice) => {
                 slice.copy_from_slice(bytes);
+                self.invalidate_predecode(addr, bytes.len());
                 Ok(())
             }
             None => Err(Fault::Bus { addr }),
@@ -416,7 +516,11 @@ impl Machine {
 
     fn check(&self, actor_eip: u32, addr: u32, kind: AccessKind) -> Result<(), Fault> {
         if self.mpu_enabled && !self.mpu.check_access(actor_eip, addr, kind).is_allowed() {
-            return Err(Fault::MpuAccess { eip: actor_eip, addr, kind });
+            return Err(Fault::MpuAccess {
+                eip: actor_eip,
+                addr,
+                kind,
+            });
         }
         Ok(())
     }
@@ -439,7 +543,12 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`Fault::MpuAccess`] on denial or [`Fault::Bus`] off-bus.
-    pub fn checked_write_word(&mut self, actor_eip: u32, addr: u32, value: u32) -> Result<(), Fault> {
+    pub fn checked_write_word(
+        &mut self,
+        actor_eip: u32,
+        addr: u32,
+        value: u32,
+    ) -> Result<(), Fault> {
         self.check(actor_eip, addr, AccessKind::Write)?;
         self.write_word(addr, value)
     }
@@ -460,6 +569,7 @@ impl Machine {
     /// unmodified-FreeRTOS platform of the paper's comparison rows).
     pub fn set_mpu_enabled(&mut self, enabled: bool) {
         self.mpu_enabled = enabled;
+        self.mpu.invalidate_decision_cache();
     }
 
     /// Whether EA-MPU enforcement is active.
@@ -489,7 +599,7 @@ impl Machine {
     ///
     /// Returns [`Fault::Bus`] if the IDT slot is off-bus.
     pub fn set_idt_entry(&mut self, vector: u8, handler: u32) -> Result<(), Fault> {
-        let addr = self.idt_base + 4 * vector as u32;
+        let addr = self.idt_slot_addr(vector)?;
         self.write_word(addr, handler)
     }
 
@@ -499,8 +609,19 @@ impl Machine {
     ///
     /// Returns [`Fault::Bus`] if the IDT slot is off-bus.
     pub fn idt_entry(&mut self, vector: u8) -> Result<u32, Fault> {
-        let addr = self.idt_base + 4 * vector as u32;
+        let addr = self.idt_slot_addr(vector)?;
         self.read_word(addr)
+    }
+
+    /// The address of IDT slot `vector`; [`Fault::Bus`] if the sum wraps
+    /// the address space (an IDT base near the top would otherwise alias
+    /// low memory).
+    fn idt_slot_addr(&self, vector: u8) -> Result<u32, Fault> {
+        self.idt_base
+            .checked_add(4 * vector as u32)
+            .ok_or(Fault::Bus {
+                addr: self.idt_base,
+            })
     }
 
     /// Latches an external interrupt request.
@@ -539,12 +660,33 @@ impl Machine {
     /// Registers `addr` as a firmware trap: when `EIP` reaches it,
     /// [`Machine::run`] returns [`Event::FirmwareTrap`].
     pub fn add_firmware_trap(&mut self, addr: u32) {
-        self.firmware_traps.insert(addr);
+        if let Err(pos) = self.firmware_traps.binary_search(&addr) {
+            self.firmware_traps.insert(pos, addr);
+        }
+        self.trap_filter |= Self::trap_filter_bit(addr);
     }
 
     /// Unregisters a firmware trap address.
     pub fn remove_firmware_trap(&mut self, addr: u32) {
-        self.firmware_traps.remove(&addr);
+        if let Ok(pos) = self.firmware_traps.binary_search(&addr) {
+            self.firmware_traps.remove(pos);
+            // Rebuild the filter; removals are rare (debugger, unload).
+            self.trap_filter = self
+                .firmware_traps
+                .iter()
+                .fold(0, |acc, &a| acc | Self::trap_filter_bit(a));
+        }
+    }
+
+    fn trap_filter_bit(addr: u32) -> u64 {
+        1u64 << ((addr >> 2) & 63)
+    }
+
+    /// Exact membership test for the trap set, guarded so the common
+    /// no-trap case costs one AND plus a branch.
+    fn trap_hit(&self, addr: u32) -> bool {
+        self.trap_filter & Self::trap_filter_bit(addr) != 0
+            && self.firmware_traps.binary_search(&addr).is_ok()
     }
 
     /// Pushes a word on the current stack (hardware exception-engine path,
@@ -611,6 +753,7 @@ impl Machine {
 
     /// Attaches a device, returning its handle (index).
     pub fn add_device(&mut self, device: Box<dyn Device>) -> usize {
+        self.device_deadline_dirty = true;
         self.devices.push(device);
         self.devices.len() - 1
     }
@@ -622,7 +765,12 @@ impl Machine {
 
     /// Mutably borrows an attached device downcast to its concrete type.
     pub fn device_mut<T: Device + 'static>(&mut self, handle: usize) -> Option<&mut T> {
-        self.devices.get_mut(handle)?.as_any_mut().downcast_mut::<T>()
+        // The caller may reconfigure the device (e.g. re-program a timer).
+        self.device_deadline_dirty = true;
+        self.devices
+            .get_mut(handle)?
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     fn poll_devices(&mut self) {
@@ -632,6 +780,23 @@ impl Machine {
                 self.pending_irqs.insert(vector);
             }
         }
+        // Polling consumes events (a fired timer re-arms itself), so the
+        // cached deadline must be derived anew.
+        self.device_deadline_dirty = true;
+    }
+
+    /// Refreshes the cached earliest cycle at which any device could need
+    /// polling. Events already due are clamped to `now`.
+    fn recompute_device_deadline(&mut self) {
+        let now = self.clock;
+        let mut deadline = u64::MAX;
+        for dev in &self.devices {
+            if let Some(at) = dev.next_event(now) {
+                deadline = deadline.min(at.max(now));
+            }
+        }
+        self.device_deadline = deadline;
+        self.device_deadline_dirty = false;
     }
 
     // ----- execution -----
@@ -675,9 +840,11 @@ impl Machine {
             return Ok(());
         }
         match self.mpu.check_transfer(from, to) {
-            TransferDecision::DeniedMidRegion { expected_entry } => {
-                Err(Fault::MpuTransfer { from, to, expected_entry })
-            }
+            TransferDecision::DeniedMidRegion { expected_entry } => Err(Fault::MpuTransfer {
+                from,
+                to,
+                expected_entry,
+            }),
             _ => Ok(()),
         }
     }
@@ -693,14 +860,45 @@ impl Machine {
     /// the faulting instruction.
     pub fn step(&mut self) -> Result<(), Fault> {
         let eip = self.eip;
-        let first = self.read_word(eip).map_err(|_| Fault::Decode { eip })?;
-        let needs_ext = sp32::encoded_len_words(first) == 2;
-        let ext = if needs_ext {
-            Some(self.read_word(eip + 4).map_err(|_| Fault::Decode { eip })?)
+        let predecode_idx = (eip >> 2) as usize & (PREDECODE_ENTRIES - 1);
+        // Memoised (not-taken, taken) cycle costs when decode was skipped.
+        let mut precost = None;
+        let instr = if self.fast_path && self.predecode[predecode_idx].tag == eip {
+            let entry = self.predecode[predecode_idx];
+            precost = Some((entry.cost_not_taken, entry.cost_taken));
+            entry.instr
         } else {
-            None
+            let first = self.read_word(eip).map_err(|_| Fault::Decode { eip })?;
+            let needs_ext = sp32::encoded_len_words(first) == 2;
+            let ext = if needs_ext {
+                Some(self.read_word(eip + 4).map_err(|_| Fault::Decode { eip })?)
+            } else {
+                None
+            };
+            let instr = decode(first, ext).map_err(|_| Fault::Decode { eip })?;
+            // Cache only word-aligned instructions fetched entirely from
+            // RAM: RAM fetches are side-effect free (unlike MMIO reads,
+            // which must keep re-executing), RAM writes invalidate the
+            // entry, and a RAM-resident tag can never equal the empty
+            // sentinel.
+            if self.fast_path
+                && eip & 3 == 0
+                && eip as usize + instr.size_bytes() as usize <= self.ram.len()
+            {
+                let costs = (
+                    self.cycle_model.cost(&instr, false),
+                    self.cycle_model.cost(&instr, true),
+                );
+                self.predecode[predecode_idx] = Predecoded {
+                    tag: eip,
+                    instr,
+                    cost_not_taken: costs.0,
+                    cost_taken: costs.1,
+                };
+                precost = Some(costs);
+            }
+            instr
         };
-        let instr = decode(first, ext).map_err(|_| Fault::Decode { eip })?;
         let fallthrough = eip + instr.size_bytes();
         let mut next = fallthrough;
         let mut taken = false;
@@ -802,7 +1000,11 @@ impl Machine {
                 taken = true;
             }
             Instr::Call { target } => {
-                self.check(self.eip, self.regs[Reg::SP.index()].wrapping_sub(4), AccessKind::Write)?;
+                self.check(
+                    self.eip,
+                    self.regs[Reg::SP.index()].wrapping_sub(4),
+                    AccessKind::Write,
+                )?;
                 self.push_word(fallthrough)?;
                 next = target;
                 taken = true;
@@ -813,7 +1015,11 @@ impl Machine {
                 taken = true;
             }
             Instr::Push { rs } => {
-                self.check(self.eip, self.regs[Reg::SP.index()].wrapping_sub(4), AccessKind::Write)?;
+                self.check(
+                    self.eip,
+                    self.regs[Reg::SP.index()].wrapping_sub(4),
+                    AccessKind::Write,
+                )?;
                 let value = self.regs[rs.index()];
                 self.push_word(value)?;
             }
@@ -857,7 +1063,16 @@ impl Machine {
         if !transfer_checked {
             self.check_transfer(eip, next)?;
         }
-        self.clock += self.cycle_model.cost(&instr, taken);
+        self.clock += match precost {
+            Some((not_taken, taken_cost)) => {
+                if taken {
+                    taken_cost
+                } else {
+                    not_taken
+                }
+            }
+            None => self.cycle_model.cost(&instr, taken),
+        };
         self.stats.instructions += 1;
         self.eip = next;
         Ok(())
@@ -869,6 +1084,18 @@ impl Machine {
     /// set. A registered firmware trap address takes priority: reaching one
     /// pauses execution *before* the (virtual) instruction there runs.
     pub fn run(&mut self, max_cycles: u64) -> Event {
+        if self.fast_path {
+            self.run_fast(max_cycles)
+        } else {
+            self.run_legacy(max_cycles)
+        }
+    }
+
+    /// The original per-instruction loop: poll every device and re-check
+    /// every boundary condition between each instruction. Kept verbatim as
+    /// the reference the cycle-identity tests compare [`Machine::run_fast`]
+    /// against.
+    fn run_legacy(&mut self, max_cycles: u64) -> Event {
         let deadline = self.clock.saturating_add(max_cycles);
         loop {
             self.poll_devices();
@@ -885,7 +1112,7 @@ impl Machine {
                 }
             }
 
-            if self.firmware_traps.contains(&self.eip) && !self.halted {
+            if self.trap_hit(self.eip) && !self.halted {
                 return Event::FirmwareTrap { addr: self.eip };
             }
 
@@ -908,6 +1135,78 @@ impl Machine {
             }
         }
     }
+
+    /// Event-driven loop, equivalent to [`Machine::run_legacy`] boundary by
+    /// boundary. The outer iteration performs the same poll → deliver →
+    /// trap → halt → budget sequence; the inner loop batches [`Machine::step`]
+    /// calls for as long as none of those boundary actions could do
+    /// anything. Per-instruction polling is replaced by the cached
+    /// `device_deadline`, which [`Device::next_event`] guarantees is the
+    /// first boundary where a poll could matter, so devices observe the
+    /// exact same poll timeline the legacy loop gives them.
+    fn run_fast(&mut self, max_cycles: u64) -> Event {
+        let deadline = self.clock.saturating_add(max_cycles);
+        loop {
+            if self.device_deadline_dirty {
+                self.recompute_device_deadline();
+            }
+            if self.clock >= self.device_deadline {
+                self.poll_devices();
+                self.recompute_device_deadline();
+            }
+
+            if self.interrupts_enabled() {
+                if let Some(&vector) = self.pending_irqs.iter().next() {
+                    self.pending_irqs.remove(&vector);
+                    let origin = self.eip;
+                    if let Err(fault) = self.dispatch_interrupt(vector, origin) {
+                        self.stats.faults += 1;
+                        return Event::Fault(fault);
+                    }
+                }
+            }
+
+            if self.trap_hit(self.eip) && !self.halted {
+                return Event::FirmwareTrap { addr: self.eip };
+            }
+
+            if self.halted {
+                self.clock += 8;
+                if self.clock >= deadline {
+                    return Event::IdleBudgetExhausted;
+                }
+                continue;
+            }
+
+            if self.clock >= deadline {
+                return Event::BudgetExhausted;
+            }
+
+            // Batched stepping: between boundaries where nothing external
+            // can intervene — no device due, no deliverable IRQ, no trap,
+            // budget remaining — the legacy loop's checks are all no-ops,
+            // so skipping them is unobservable. The pending-IRQ set only
+            // changes at poll boundaries (never inside `step`), and the
+            // device deadline only moves under the dirty flag (which breaks
+            // the batch), so both bounds are loop-invariant here.
+            let step_limit = deadline.min(self.device_deadline);
+            let has_pending = !self.pending_irqs.is_empty();
+            loop {
+                if let Err(fault) = self.step() {
+                    self.stats.faults += 1;
+                    return Event::Fault(fault);
+                }
+                if self.halted
+                    || self.device_deadline_dirty
+                    || self.clock >= step_limit
+                    || (has_pending && self.interrupts_enabled())
+                    || self.trap_hit(self.eip)
+                {
+                    break;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -925,10 +1224,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_flags() {
-        let mut m = machine_with(
-            "movi r0, 5\nmovi r1, 5\nsub r0, r1\nhlt\n",
-            0x100,
-        );
+        let mut m = machine_with("movi r0, 5\nmovi r1, 5\nsub r0, r1\nhlt\n", 0x100);
         m.run(1_000);
         assert_eq!(m.reg(Reg::R0), 0);
         assert!(m.eflags() & EFLAGS_ZF != 0);
@@ -1042,7 +1338,11 @@ mod tests {
         let ev = m.run(1_000);
         assert_eq!(
             ev,
-            Event::Fault(Fault::MpuAccess { eip: 0x108, addr: 0x8000, kind: AccessKind::Read })
+            Event::Fault(Fault::MpuAccess {
+                eip: 0x108,
+                addr: 0x8000,
+                kind: AccessKind::Read
+            })
         );
         assert_eq!(m.stats().faults, 1);
     }
@@ -1065,7 +1365,11 @@ mod tests {
         let ev = m.run(1_000);
         assert_eq!(
             ev,
-            Event::Fault(Fault::MpuTransfer { from: 0x100, to: 0x4008, expected_entry: 0x4000 })
+            Event::Fault(Fault::MpuTransfer {
+                from: 0x100,
+                to: 0x4008,
+                expected_entry: 0x4000
+            })
         );
     }
 
@@ -1180,7 +1484,10 @@ mod tests {
 
     #[test]
     fn hw_context_save_builds_the_same_frame_as_the_stub() {
-        let config = MachineConfig { hw_context_save: true, ..MachineConfig::default() };
+        let config = MachineConfig {
+            hw_context_save: true,
+            ..MachineConfig::default()
+        };
         let mut m = Machine::new(config);
         let main = "movi sp, 0x8000\nmovi r1, 0x11\nmovi r2, 0x22\nsti\nint 0x21\nhlt\n";
         // The handler restores the hardware-built frame like the platform's

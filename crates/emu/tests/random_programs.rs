@@ -28,7 +28,9 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Stw { rd, rs, disp }),
         (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Ldb { rd, rs, disp }),
         (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Stb { rd, rs, disp }),
-        (0u32..0x2_0000).prop_map(|target| Instr::Jmp { target: target & !1 }),
+        (0u32..0x2_0000).prop_map(|target| Instr::Jmp {
+            target: target & !1
+        }),
         any::<u8>().prop_map(|vector| Instr::Int { vector }),
         arb_reg().prop_map(|rs| Instr::Push { rs }),
         arb_reg().prop_map(|rd| Instr::Pop { rd }),

@@ -14,7 +14,9 @@ use tytan_image::TaskImage;
 
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
-    let command = args.next().ok_or("missing command (build | info | measure)")?;
+    let command = args
+        .next()
+        .ok_or("missing command (build | info | measure)")?;
     let input = args.next().ok_or("missing input file")?;
     let mut output = None;
     let mut name = "task".to_string();
@@ -38,7 +40,8 @@ fn run() -> Result<(), String> {
 
     match command.as_str() {
         "build" => {
-            let source = std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?;
+            let source =
+                std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?;
             let program = assemble(&source, 0).map_err(|e| e.to_string())?;
             let image = TaskImage::from_program(name, &program, stack, secure)
                 .map_err(|e| e.to_string())?;
@@ -62,7 +65,11 @@ fn run() -> Result<(), String> {
             println!("bss:           {} bytes", image.bss_len());
             println!("stack:         {} bytes", image.stack_len());
             println!("total memory:  {} bytes", image.total_memory_size());
-            println!("relocations:   {} sites {:?}", image.reloc_count(), image.relocs());
+            println!(
+                "relocations:   {} sites {:?}",
+                image.reloc_count(),
+                image.relocs()
+            );
         }
         "measure" => {
             let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;

@@ -88,7 +88,10 @@ impl fmt::Display for ImageError {
             }
             ImageError::BadSectionLen => write!(f, "implausible section length"),
             ImageError::ProgramNotAtBaseZero { origin } => {
-                write!(f, "program must be assembled at origin 0, found {origin:#x}")
+                write!(
+                    f,
+                    "program must be assembled at origin 0, found {origin:#x}"
+                )
             }
             ImageError::NameTooLong => write!(f, "task name exceeds 255 bytes"),
         }
@@ -147,7 +150,9 @@ impl TaskImage {
             return Err(ImageError::BadSectionLen);
         }
         if entry_offset as usize >= text.len().max(4) {
-            return Err(ImageError::EntryOutOfRange { entry: entry_offset });
+            return Err(ImageError::EntryOutOfRange {
+                entry: entry_offset,
+            });
         }
         let loadable = (text.len() + data.len()) as u32;
         for &site in &relocs {
@@ -155,7 +160,16 @@ impl TaskImage {
                 return Err(ImageError::BadRelocSite { site });
             }
         }
-        Ok(TaskImage { name, secure, entry_offset, text, data, bss_len, stack_len, relocs })
+        Ok(TaskImage {
+            name,
+            secure,
+            entry_offset,
+            text,
+            data,
+            bss_len,
+            stack_len,
+            relocs,
+        })
     }
 
     /// Builds an image from a program assembled at origin 0.
@@ -175,13 +189,24 @@ impl TaskImage {
         secure: bool,
     ) -> Result<Self, ImageError> {
         if program.origin != 0 {
-            return Err(ImageError::ProgramNotAtBaseZero { origin: program.origin });
+            return Err(ImageError::ProgramNotAtBaseZero {
+                origin: program.origin,
+            });
         }
         let mut text = program.bytes.clone();
         while !text.len().is_multiple_of(4) {
             text.push(0);
         }
-        TaskImage::new(name, secure, 0, text, Vec::new(), 0, stack_len, program.reloc_sites.clone())
+        TaskImage::new(
+            name,
+            secure,
+            0,
+            text,
+            Vec::new(),
+            0,
+            stack_len,
+            program.reloc_sites.clone(),
+        )
     }
 
     /// The task's human-readable name (not part of the measurement).
@@ -345,7 +370,16 @@ impl TaskImage {
         for _ in 0..reloc_count {
             relocs.push(buf.get_u32_le());
         }
-        TaskImage::new(name, secure, entry_offset, text, data, bss_len, stack_len, relocs)
+        TaskImage::new(
+            name,
+            secure,
+            entry_offset,
+            text,
+            data,
+            bss_len,
+            stack_len,
+            relocs,
+        )
     }
 }
 
@@ -378,8 +412,11 @@ pub fn revert_relocations(loadable: &mut [u8], relocs: &[u32], load_base: u32) {
 fn patch(loadable: &mut [u8], relocs: &[u32], f: impl Fn(u32) -> u32) {
     for &site in relocs {
         let i = site as usize;
-        let word =
-            u32::from_le_bytes(loadable[i..i + 4].try_into().expect("validated relocation site"));
+        let word = u32::from_le_bytes(
+            loadable[i..i + 4]
+                .try_into()
+                .expect("validated relocation site"),
+        );
         loadable[i..i + 4].copy_from_slice(&f(word).to_le_bytes());
     }
 }
@@ -445,7 +482,10 @@ mod tests {
         // Last 4 bytes are the final reloc site; point it past the end.
         let n = bytes.len();
         bytes[n - 4..].copy_from_slice(&0xffff_fff0u32.to_le_bytes());
-        assert!(matches!(TaskImage::parse(&bytes), Err(ImageError::BadRelocSite { .. })));
+        assert!(matches!(
+            TaskImage::parse(&bytes),
+            Err(ImageError::BadRelocSite { .. })
+        ));
     }
 
     #[test]

@@ -146,8 +146,13 @@ impl Kernel {
     ///
     /// Panics if `config.num_priorities` is zero.
     pub fn new(config: KernelConfig) -> Self {
-        assert!(config.num_priorities > 0, "need at least one priority level");
-        let ready = (0..config.num_priorities).map(|_| VecDeque::new()).collect();
+        assert!(
+            config.num_priorities > 0,
+            "need at least one priority level"
+        );
+        let ready = (0..config.num_priorities)
+            .map(|_| VecDeque::new())
+            .collect();
         Kernel {
             config,
             tasks: Vec::new(),
@@ -258,7 +263,8 @@ impl Kernel {
             }
         };
         self.make_ready(handle)?;
-        self.trace.record(machine.cycles(), SchedEventKind::Created(handle));
+        self.trace
+            .record(machine.cycles(), SchedEventKind::Created(handle));
         Ok(handle)
     }
 
@@ -403,9 +409,7 @@ impl Kernel {
             .enumerate()
             .filter_map(|(i, t)| match t {
                 Some(tcb) => match tcb.state {
-                    TaskState::Delayed { until_tick } if until_tick <= tick => {
-                        Some(TaskHandle(i))
-                    }
+                    TaskState::Delayed { until_tick } if until_tick <= tick => Some(TaskHandle(i)),
                     _ => None,
                 },
                 None => None,
@@ -463,11 +467,7 @@ impl Kernel {
     /// when the task next resumes; secure tasks cannot receive kernel
     /// results (their frames are unreadable to the OS) and should use the
     /// secure IPC facilities instead.
-    pub fn handle_syscall(
-        &mut self,
-        machine: &mut Machine,
-        caller: TaskHandle,
-    ) -> SyscallOutcome {
+    pub fn handle_syscall(&mut self, machine: &mut Machine, caller: TaskHandle) -> SyscallOutcome {
         // Arguments normally arrive in the live registers the syscall stub
         // deliberately preserved. Under the hardware-context-save ablation
         // the exception engine wiped them, so the kernel reads the saved
@@ -607,7 +607,8 @@ impl Kernel {
             )
         };
         self.current = Some(handle);
-        self.trace.record(machine.cycles(), SchedEventKind::Dispatched(handle));
+        self.trace
+            .record(machine.cycles(), SchedEventKind::Dispatched(handle));
         match kind {
             TaskKind::Normal => {
                 if let Some(value) = pending {
@@ -653,7 +654,12 @@ impl Kernel {
     ) -> Result<(), KernelError> {
         let (entry, started, saved_sp, stack_top) = {
             let tcb = self.task(handle).ok_or(KernelError::NoSuchTask)?;
-            (tcb.params.entry, tcb.started, tcb.saved_sp, tcb.params.stack_top)
+            (
+                tcb.params.entry,
+                tcb.started,
+                tcb.saved_sp,
+                tcb.params.stack_top,
+            )
         };
         self.remove_from_ready(handle);
         {
@@ -663,7 +669,8 @@ impl Kernel {
             tcb.started = true;
         }
         self.current = Some(handle);
-        self.trace.record(machine.cycles(), SchedEventKind::Dispatched(handle));
+        self.trace
+            .record(machine.cycles(), SchedEventKind::Dispatched(handle));
         machine.set_regs([0; 8]);
         machine.set_reg(Reg::R0, entry_reason::MESSAGE);
         machine.set_reg(Reg::SP, if started { saved_sp } else { stack_top });
@@ -703,7 +710,10 @@ impl Kernel {
     /// Gives a permit from host context (e.g. a device driver signalling
     /// a waiting task), waking one blocked waiter.
     pub fn semaphore_give(&mut self, id: SemaphoreId) -> Result<(), KernelError> {
-        let semaphore = self.semaphores.get_mut(id.0).ok_or(KernelError::NoSuchTask)?;
+        let semaphore = self
+            .semaphores
+            .get_mut(id.0)
+            .ok_or(KernelError::NoSuchTask)?;
         if let Some(woken) = semaphore.give() {
             let _ = self.make_ready(woken);
         }
@@ -717,7 +727,8 @@ impl Kernel {
         periodic: bool,
         action: TimerAction,
     ) -> TimerId {
-        self.timers.push(SoftTimer::new(self.tick, period_ticks, periodic, action));
+        self.timers
+            .push(SoftTimer::new(self.tick, period_ticks, periodic, action));
         TimerId(self.timers.len() - 1)
     }
 
@@ -753,20 +764,27 @@ mod tests {
     fn create_normal_task_prepares_frame() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         let tcb = k.task(h).unwrap();
         assert!(tcb.started);
         let sp = tcb.saved_sp;
         assert_eq!(sp, 0x6000 - 36);
         assert_eq!(m.read_word(sp + layout::FRAME_EIP_OFFSET).unwrap(), 0x4000);
-        assert_eq!(m.read_word(sp + layout::FRAME_EFLAGS_OFFSET).unwrap(), EFLAGS_IF);
+        assert_eq!(
+            m.read_word(sp + layout::FRAME_EFLAGS_OFFSET).unwrap(),
+            EFLAGS_IF
+        );
     }
 
     #[test]
     fn create_secure_task_touches_no_memory() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("s", 1, TaskKind::Secure)).unwrap();
+        let h = k
+            .create_task(&mut m, params("s", 1, TaskKind::Secure))
+            .unwrap();
         let tcb = k.task(h).unwrap();
         assert!(!tcb.started);
         // Stack memory stays zero.
@@ -777,7 +795,9 @@ mod tests {
     fn bad_priority_rejected() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let err = k.create_task(&mut m, params("a", 99, TaskKind::Normal)).unwrap_err();
+        let err = k
+            .create_task(&mut m, params("a", 99, TaskKind::Normal))
+            .unwrap_err();
         assert_eq!(err, KernelError::BadPriority(99));
     }
 
@@ -785,7 +805,9 @@ mod tests {
     fn dispatch_prefers_higher_priority() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let low = k.create_task(&mut m, params("low", 1, TaskKind::Normal)).unwrap();
+        let low = k
+            .create_task(&mut m, params("low", 1, TaskKind::Normal))
+            .unwrap();
         let mut hi_params = params("hi", 5, TaskKind::Normal);
         hi_params.stack_top = 0x7000;
         let hi = k.create_task(&mut m, hi_params).unwrap();
@@ -798,7 +820,9 @@ mod tests {
     fn round_robin_within_priority() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let a = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let a = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         let mut b_params = params("b", 1, TaskKind::Normal);
         b_params.stack_top = 0x7000;
         let b = k.create_task(&mut m, b_params).unwrap();
@@ -829,7 +853,9 @@ mod tests {
         let mut m = machine();
         m.set_reg(Reg::R3, 0xdead_beef);
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("s", 1, TaskKind::Secure)).unwrap();
+        let h = k
+            .create_task(&mut m, params("s", 1, TaskKind::Secure))
+            .unwrap();
         k.dispatch(&mut m).unwrap();
         assert_eq!(m.reg(Reg::R0), entry_reason::START);
         assert_eq!(m.reg(Reg::R3), 0, "kernel registers wiped");
@@ -849,13 +875,18 @@ mod tests {
     fn delay_syscall_blocks_until_tick() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         k.dispatch(&mut m).unwrap();
         k.save_current(&m);
         m.set_reg(Reg::R1, syscall::DELAY);
         m.set_reg(Reg::R2, 3);
         assert_eq!(k.handle_syscall(&mut m, h), SyscallOutcome::Blocked);
-        assert_eq!(k.task(h).unwrap().state, TaskState::Delayed { until_tick: 3 });
+        assert_eq!(
+            k.task(h).unwrap().state,
+            TaskState::Delayed { until_tick: 3 }
+        );
 
         k.dispatch(&mut m).unwrap();
         assert_eq!(k.current(), None, "nothing ready while delayed");
@@ -872,7 +903,9 @@ mod tests {
     fn suspend_resume_cycle() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         k.suspend_task(h, 0).unwrap();
         assert_eq!(k.task(h).unwrap().state, TaskState::Suspended);
         k.dispatch(&mut m).unwrap();
@@ -886,7 +919,9 @@ mod tests {
     fn queue_send_recv_between_tasks() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let a = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let a = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         let mut b_params = params("b", 1, TaskKind::Normal);
         b_params.stack_top = 0x7000;
         let b = k.create_task(&mut m, b_params).unwrap();
@@ -910,7 +945,9 @@ mod tests {
     fn pending_result_patched_into_frame_on_dispatch() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         k.task_mut(h).unwrap().pending_result = Some(0xabcd);
         k.dispatch(&mut m).unwrap();
         let sp = m.reg(Reg::SP);
@@ -922,7 +959,9 @@ mod tests {
     fn ticks_syscall_reports_tick_count() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         k.on_tick(0);
         k.on_tick(0);
         m.set_reg(Reg::R1, syscall::TICKS);
@@ -934,7 +973,9 @@ mod tests {
     fn unknown_syscall_reported() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         m.set_reg(Reg::R1, 999);
         assert_eq!(k.handle_syscall(&mut m, h), SyscallOutcome::Unknown(999));
     }
@@ -943,7 +984,9 @@ mod tests {
     fn delete_task_purges_everywhere() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         let q = k.create_queue(1);
         m.set_reg(Reg::R1, syscall::QUEUE_RECV);
         m.set_reg(Reg::R2, q.index() as u32);
@@ -954,7 +997,9 @@ mod tests {
         k.dispatch(&mut m).unwrap();
         assert_eq!(k.current(), None);
         // Slot is reused by the next creation.
-        let h2 = k.create_task(&mut m, params("b", 1, TaskKind::Normal)).unwrap();
+        let h2 = k
+            .create_task(&mut m, params("b", 1, TaskKind::Normal))
+            .unwrap();
         assert_eq!(h2.index(), h.index());
     }
 
@@ -962,7 +1007,9 @@ mod tests {
     fn software_timer_resumes_task() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         k.suspend_task(h, 0).unwrap();
         k.create_timer(2, false, TimerAction::ResumeTask(h));
         k.on_tick(0);
@@ -975,7 +1022,9 @@ mod tests {
     fn set_priority_requeues_and_validates() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let low = k.create_task(&mut m, params("low", 1, TaskKind::Normal)).unwrap();
+        let low = k
+            .create_task(&mut m, params("low", 1, TaskKind::Normal))
+            .unwrap();
         let mut other = params("other", 3, TaskKind::Normal);
         other.stack_top = 0x7000;
         let hi = k.create_task(&mut m, other).unwrap();
@@ -983,7 +1032,10 @@ mod tests {
         k.set_priority(low, 5).unwrap();
         k.dispatch(&mut m).unwrap();
         assert_eq!(k.current(), Some(low));
-        assert_eq!(k.set_priority(hi, 99).unwrap_err(), KernelError::BadPriority(99));
+        assert_eq!(
+            k.set_priority(hi, 99).unwrap_err(),
+            KernelError::BadPriority(99)
+        );
         assert_eq!(
             k.set_priority(TaskHandle::from_index(42), 1).unwrap_err(),
             KernelError::NoSuchTask
@@ -994,7 +1046,9 @@ mod tests {
     fn find_by_code_addr_identifies_tasks() {
         let mut m = machine();
         let mut k = Kernel::new(KernelConfig::default());
-        let h = k.create_task(&mut m, params("a", 1, TaskKind::Normal)).unwrap();
+        let h = k
+            .create_task(&mut m, params("a", 1, TaskKind::Normal))
+            .unwrap();
         assert_eq!(k.find_by_code_addr(0x4080), Some(h));
         assert_eq!(k.find_by_code_addr(0x9000), None);
     }

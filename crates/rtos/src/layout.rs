@@ -107,7 +107,10 @@ mod tests {
     fn trap_address_is_inside_kernel_region() {
         let region = (KERNEL_BASE, KERNEL_BASE + KERNEL_CODE_LEN);
         let addr = KERNEL_TRAP;
-        assert!(addr >= region.0 && addr < region.1, "{addr:#x} outside kernel region");
+        assert!(
+            addr >= region.0 && addr < region.1,
+            "{addr:#x} outside kernel region"
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod tcb;
 pub use kernel::{Kernel, KernelConfig, KernelError, SyscallOutcome};
 pub use queue::{MessageQueue, QueueError, QueueId};
 pub use runner::{Runner, RunnerConfig, RunnerError, StaticTask};
-pub use tcb::{TaskHandle, TaskKind, TaskState, Tcb, TcbParams};
 pub use sync::{SemOp, Semaphore, SemaphoreId};
+pub use tcb::{TaskHandle, TaskKind, TaskState, Tcb, TcbParams};
 pub use timer::{SoftTimer, TimerAction, TimerId};
 pub use trace::{SchedEvent, SchedEventKind, SchedTrace};

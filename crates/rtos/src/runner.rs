@@ -30,7 +30,10 @@ pub struct RunnerConfig {
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        RunnerConfig { machine: MachineConfig::default(), tick_interval: 32_000 }
+        RunnerConfig {
+            machine: MachineConfig::default(),
+            tick_interval: 32_000,
+        }
     }
 }
 
@@ -129,8 +132,14 @@ impl Runner {
         machine.set_mpu_enabled(false);
 
         let specs = [
-            StubSpec { vector: layout::TICK_VECTOR, kind: StubKind::Baseline },
-            StubSpec { vector: layout::SYSCALL_VECTOR, kind: StubKind::Baseline },
+            StubSpec {
+                vector: layout::TICK_VECTOR,
+                kind: StubKind::Baseline,
+            },
+            StubSpec {
+                vector: layout::SYSCALL_VECTOR,
+                kind: StubKind::Baseline,
+            },
         ];
         let stubs = build_stub_block(layout::KERNEL_BASE, layout::KERNEL_TRAP, &specs)
             .expect("stub generation is infallible for valid specs");
@@ -139,8 +148,10 @@ impl Runner {
 
         machine.set_idt_base(layout::IDT_BASE);
         machine.set_idt_entry(layout::TICK_VECTOR, stubs.save_stubs[&layout::TICK_VECTOR])?;
-        machine
-            .set_idt_entry(layout::SYSCALL_VECTOR, stubs.save_stubs[&layout::SYSCALL_VECTOR])?;
+        machine.set_idt_entry(
+            layout::SYSCALL_VECTOR,
+            stubs.save_stubs[&layout::SYSCALL_VECTOR],
+        )?;
 
         let mut timer = Timer::new(layout::TIMER_BASE, layout::TICK_VECTOR);
         timer.configure(config.tick_interval, true);
@@ -355,7 +366,10 @@ mod tests {
         let cb = r.machine_mut().read_word(cb_addr).unwrap();
         assert!(ca > 0 && cb > 0, "both progressed: {ca} {cb}");
         let ratio = ca as f64 / cb as f64;
-        assert!((0.5..=2.0).contains(&ratio), "roughly fair split: {ca} vs {cb}");
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "roughly fair split: {ca} vs {cb}"
+        );
     }
 
     #[test]

@@ -184,9 +184,18 @@ mod tests {
 
     fn specs() -> Vec<StubSpec> {
         vec![
-            StubSpec { vector: layout::TICK_VECTOR, kind: StubKind::IntMux },
-            StubSpec { vector: layout::SYSCALL_VECTOR, kind: StubKind::Syscall },
-            StubSpec { vector: layout::IPC_VECTOR, kind: StubKind::IntMux },
+            StubSpec {
+                vector: layout::TICK_VECTOR,
+                kind: StubKind::IntMux,
+            },
+            StubSpec {
+                vector: layout::SYSCALL_VECTOR,
+                kind: StubKind::Syscall,
+            },
+            StubSpec {
+                vector: layout::IPC_VECTOR,
+                kind: StubKind::IntMux,
+            },
         ]
     }
 
@@ -206,7 +215,10 @@ mod tests {
         let block = build_stub_block(
             0x400,
             0x7fc,
-            &[StubSpec { vector: 32, kind: StubKind::Baseline }],
+            &[StubSpec {
+                vector: 32,
+                kind: StubKind::Baseline,
+            }],
         )
         .unwrap();
         assert!(block.wipe_starts.is_empty());
@@ -219,7 +231,10 @@ mod tests {
         let block = build_stub_block(
             0x400,
             0x7fc,
-            &[StubSpec { vector: 32, kind: StubKind::IntMux }],
+            &[StubSpec {
+                vector: 32,
+                kind: StubKind::IntMux,
+            }],
         )
         .unwrap();
         let wipe_len = block.branch_starts[&32] - block.wipe_starts[&32];
@@ -231,7 +246,10 @@ mod tests {
         let block = build_stub_block(
             0x400,
             0x7fc,
-            &[StubSpec { vector: 0x21, kind: StubKind::Syscall }],
+            &[StubSpec {
+                vector: 0x21,
+                kind: StubKind::Syscall,
+            }],
         )
         .unwrap();
         // Only r4..r6 wiped: 3 xors.

@@ -44,7 +44,11 @@ impl Semaphore {
     pub fn new(initial: u32, max: u32) -> Self {
         assert!(max > 0, "semaphore capacity must be positive");
         assert!(initial <= max, "initial count exceeds capacity");
-        Semaphore { count: initial, max, waiters: VecDeque::new() }
+        Semaphore {
+            count: initial,
+            max,
+            waiters: VecDeque::new(),
+        }
     }
 
     /// Current permit count.

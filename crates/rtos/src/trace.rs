@@ -57,7 +57,10 @@ pub struct SchedTrace {
 impl SchedTrace {
     /// Creates an enabled, empty trace.
     pub fn new() -> Self {
-        SchedTrace { events: Vec::new(), enabled: true }
+        SchedTrace {
+            events: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// Enables or disables recording (disabled traces cost nothing).

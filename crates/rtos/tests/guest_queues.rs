@@ -57,7 +57,11 @@ fn producer_consumer_through_kernel_queue() {
             received.push(v);
         }
     }
-    assert_eq!(received, (1..=20).collect::<Vec<u32>>(), "in-order delivery");
+    assert_eq!(
+        received,
+        (1..=20).collect::<Vec<u32>>(),
+        "in-order delivery"
+    );
 }
 
 #[test]
@@ -104,9 +108,14 @@ fn bounded_queue_backpressure() {
     runner.run_for(30_000_000).unwrap();
 
     let out = runner.task_symbol(c, "out").unwrap();
-    let received: Vec<u32> =
-        (0..10).map(|i| runner.machine_mut().read_word(out + 4 * i).unwrap()).collect();
-    assert_eq!(received, (1..=10).collect::<Vec<u32>>(), "no drops under backpressure");
+    let received: Vec<u32> = (0..10)
+        .map(|i| runner.machine_mut().read_word(out + 4 * i).unwrap())
+        .collect();
+    assert_eq!(
+        received,
+        (1..=10).collect::<Vec<u32>>(),
+        "no drops under backpressure"
+    );
 }
 
 #[test]
@@ -181,10 +190,18 @@ fn host_semaphore_give_wakes_guest_waiter() {
     runner.start().unwrap();
     runner.run_for(200_000).unwrap();
     let woke = runner.task_symbol(w, "woke").unwrap();
-    assert_eq!(runner.machine_mut().read_word(woke).unwrap(), 0, "still blocked");
+    assert_eq!(
+        runner.machine_mut().read_word(woke).unwrap(),
+        0,
+        "still blocked"
+    );
 
     // A "device driver" gives the semaphore from host context.
     runner.kernel_mut().semaphore_give(sem).unwrap();
     runner.run_for(200_000).unwrap();
-    assert_eq!(runner.machine_mut().read_word(woke).unwrap(), 1, "woken by give");
+    assert_eq!(
+        runner.machine_mut().read_word(woke).unwrap(),
+        1,
+        "woken by give"
+    );
 }

@@ -84,14 +84,12 @@ proptest! {
 
         for op in ops {
             match op {
-                Op::Create { priority } => {
-                    if created.len() < 12 {
-                        let handle = kernel
-                            .create_task(&mut machine, params(next_index, priority))
-                            .expect("create succeeds");
-                        created.push(handle);
-                        next_index += 1;
-                    }
+                Op::Create { priority } if created.len() < 12 => {
+                    let handle = kernel
+                        .create_task(&mut machine, params(next_index, priority))
+                        .expect("create succeeds");
+                    created.push(handle);
+                    next_index += 1;
                 }
                 Op::SuspendIdx(i) if !created.is_empty() => {
                     let handle = created[i % created.len()];
@@ -106,10 +104,8 @@ proptest! {
                     let _ = kernel.delete_task(handle, machine.cycles());
                 }
                 Op::Tick => kernel.on_tick(machine.cycles()),
-                Op::Dispatch => {
-                    if kernel.current().is_none() {
-                        kernel.dispatch(&mut machine).expect("dispatch succeeds");
-                    }
+                Op::Dispatch if kernel.current().is_none() => {
+                    kernel.dispatch(&mut machine).expect("dispatch succeeds");
                 }
                 Op::SaveCurrent => kernel.save_current(&machine),
                 Op::YieldCurrent => {

@@ -83,7 +83,10 @@ impl fmt::Display for AssembleError {
 impl std::error::Error for AssembleError {}
 
 fn err(line: usize, message: impl Into<String>) -> AssembleError {
-    AssembleError { line, message: message.into() }
+    AssembleError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// One source statement after lexing.
@@ -91,12 +94,18 @@ fn err(line: usize, message: impl Into<String>) -> AssembleError {
 enum Stmt {
     Label(String),
     Equ(String, String),
-    Instr { mnemonic: String, operands: Vec<String> },
+    Instr {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
     Byte(Vec<String>),
     Word(Vec<String>),
     Space(String),
     Align(String),
-    Ascii { bytes: Vec<u8>, nul: bool },
+    Ascii {
+        bytes: Vec<u8>,
+        nul: bool,
+    },
 }
 
 fn split_statements(source: &str) -> Result<Vec<(usize, Stmt)>, AssembleError> {
@@ -167,7 +176,10 @@ fn split_statements(source: &str) -> Result<Vec<(usize, Stmt)>, AssembleError> {
                     };
                     bytes.push(byte);
                 }
-                Stmt::Ascii { bytes, nul: head_lc == ".asciz" }
+                Stmt::Ascii {
+                    bytes,
+                    nul: head_lc == ".asciz",
+                }
             }
             ".byte" => Stmt::Byte(split_operands(tail)),
             ".word" => Stmt::Word(split_operands(tail)),
@@ -176,7 +188,10 @@ fn split_statements(source: &str) -> Result<Vec<(usize, Stmt)>, AssembleError> {
             other if other.starts_with('.') => {
                 return Err(err(line_no, format!("unknown directive `{other}`")));
             }
-            _ => Stmt::Instr { mnemonic: head_lc, operands: split_operands(tail) },
+            _ => Stmt::Instr {
+                mnemonic: head_lc,
+                operands: split_operands(tail),
+            },
         };
         stmts.push((line_no, stmt));
     }
@@ -219,9 +234,15 @@ struct Symbols {
 impl Symbols {
     fn lookup(&self, name: &str) -> Option<Value> {
         if let Some(&val) = self.labels.get(name) {
-            return Some(Value { val, relocatable: true });
+            return Some(Value {
+                val,
+                relocatable: true,
+            });
         }
-        self.equs.get(name).map(|&val| Value { val, relocatable: false })
+        self.equs.get(name).map(|&val| Value {
+            val,
+            relocatable: false,
+        })
     }
 }
 
@@ -237,7 +258,11 @@ fn parse_number(text: &str) -> Option<u32> {
     } else {
         body.replace('_', "").parse::<u32>().ok()?
     };
-    Some(if neg { magnitude.wrapping_neg() } else { magnitude })
+    Some(if neg {
+        magnitude.wrapping_neg()
+    } else {
+        magnitude
+    })
 }
 
 /// Evaluates `term (("+"|"-") term)*` where a term is a number, label, or
@@ -258,7 +283,10 @@ fn eval_expr(text: &str, symbols: &Symbols, line: usize) -> Result<Value, Assemb
             .unwrap_or(rest.len());
         let term = rest[..term_end].trim();
         let value = if let Some(num) = parse_number(term) {
-            Value { val: num, relocatable: false }
+            Value {
+                val: num,
+                relocatable: false,
+            }
         } else if let Some(v) = symbols.lookup(term) {
             v
         } else {
@@ -285,7 +313,10 @@ fn eval_expr(text: &str, symbols: &Symbols, line: usize) -> Result<Value, Assemb
             return Err(err(line, "dangling operator in expression"));
         }
     }
-    Ok(Value { val: total, relocatable })
+    Ok(Value {
+        val: total,
+        relocatable,
+    })
 }
 
 fn parse_reg(text: &str, line: usize) -> Result<Reg, AssembleError> {
@@ -304,15 +335,16 @@ fn parse_reg(text: &str, line: usize) -> Result<Reg, AssembleError> {
 }
 
 /// Parses `[reg]`, `[reg+expr]`, or `[reg-expr]`.
-fn parse_mem(
-    text: &str,
-    symbols: &Symbols,
-    line: usize,
-) -> Result<(Reg, i16), AssembleError> {
+fn parse_mem(text: &str, symbols: &Symbols, line: usize) -> Result<(Reg, i16), AssembleError> {
     let inner = text
         .strip_prefix('[')
         .and_then(|t| t.strip_suffix(']'))
-        .ok_or_else(|| err(line, format!("expected memory operand `[reg+disp]`, found `{text}`")))?
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("expected memory operand `[reg+disp]`, found `{text}`"),
+            )
+        })?
         .trim();
     let (reg_text, disp_text) = match inner.find(['+', '-']) {
         Some(pos) => (&inner[..pos], &inner[pos..]),
@@ -333,7 +365,9 @@ fn parse_mem(
         }
         let magnitude = signed as i16;
         if disp_text.starts_with('-') {
-            magnitude.checked_neg().ok_or_else(|| err(line, "displacement overflow"))?
+            magnitude
+                .checked_neg()
+                .ok_or_else(|| err(line, "displacement overflow"))?
         } else {
             magnitude
         }
@@ -361,7 +395,10 @@ fn expect_operands(
     if operands.len() != n {
         return Err(err(
             line,
-            format!("`{mnemonic}` expects {n} operand(s), found {}", operands.len()),
+            format!(
+                "`{mnemonic}` expects {n} operand(s), found {}",
+                operands.len()
+            ),
         ));
     }
     Ok(())
@@ -393,7 +430,10 @@ impl Emitter<'_> {
     fn imm32(&mut self, text: &str, line: usize) -> Result<(u32, bool), AssembleError> {
         // Register operands are not valid 32-bit immediates; report clearly.
         if parse_reg(text, line).is_ok() {
-            return Err(err(line, format!("expected immediate, found register `{text}`")));
+            return Err(err(
+                line,
+                format!("expected immediate, found register `{text}`"),
+            ));
         }
         let value = eval_expr(text, self.symbols, line)?;
         Ok((value.val, value.relocatable))
@@ -419,7 +459,13 @@ fn assemble_instr(
         }
         "mov" => {
             expect_operands(operands, 2, mnemonic, line)?;
-            emitter.emit_instr(&Instr::MovReg { rd: reg(0)?, rs: reg(1)? }, false);
+            emitter.emit_instr(
+                &Instr::MovReg {
+                    rd: reg(0)?,
+                    rs: reg(1)?,
+                },
+                false,
+            );
         }
         "movi" => {
             expect_operands(operands, 2, mnemonic, line)?;
@@ -526,7 +572,12 @@ fn assemble_instr(
             if value.relocatable || value.val > 0xff {
                 return Err(err(line, "interrupt vector must be a constant in 0..=255"));
             }
-            emitter.emit_instr(&Instr::Int { vector: value.val as u8 }, false);
+            emitter.emit_instr(
+                &Instr::Int {
+                    vector: value.val as u8,
+                },
+                false,
+            );
         }
         "iret" => {
             expect_operands(operands, 0, mnemonic, line)?;
@@ -599,7 +650,10 @@ pub fn assemble(source: &str, origin: u32) -> Result<Program, AssembleError> {
     let stmts = split_statements(source)?;
 
     // Pass 1: collect .equ values and label addresses.
-    let mut symbols = Symbols { labels: BTreeMap::new(), equs: BTreeMap::new() };
+    let mut symbols = Symbols {
+        labels: BTreeMap::new(),
+        equs: BTreeMap::new(),
+    };
     let mut pc = origin;
     for (line, stmt) in &stmts {
         match stmt {
@@ -662,13 +716,22 @@ pub fn assemble(source: &str, origin: u32) -> Result<Program, AssembleError> {
             }
             other => {
                 let size = directive_size(other, emitter.pc(), &symbols, *line)?;
-                emitter.bytes.extend(std::iter::repeat_n(0u8, size as usize));
+                emitter
+                    .bytes
+                    .extend(std::iter::repeat_n(0u8, size as usize));
             }
         }
     }
 
-    let Emitter { bytes, reloc_sites, .. } = emitter;
-    Ok(Program { origin, bytes, symbols: symbols.labels, reloc_sites })
+    let Emitter {
+        bytes, reloc_sites, ..
+    } = emitter;
+    Ok(Program {
+        origin,
+        bytes,
+        symbols: symbols.labels,
+        reloc_sites,
+    })
 }
 
 #[cfg(test)]
@@ -690,7 +753,10 @@ mod tests {
         let words = words_of(&p);
         assert_eq!(
             decode(words[0], Some(words[1])).unwrap(),
-            Instr::MovImm { rd: Reg::R0, imm: 42 }
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 42
+            }
         );
         assert_eq!(decode(words[2], None).unwrap(), Instr::Hlt);
     }
@@ -702,8 +768,14 @@ mod tests {
         assert_eq!(p.symbol("top"), Some(0x100));
         assert_eq!(p.symbol("bottom"), Some(0x10c));
         let words = words_of(&p);
-        assert_eq!(decode(words[0], Some(words[1])).unwrap(), Instr::Jmp { target: 0x10c });
-        assert_eq!(decode(words[3], Some(words[4])).unwrap(), Instr::Jmp { target: 0x100 });
+        assert_eq!(
+            decode(words[0], Some(words[1])).unwrap(),
+            Instr::Jmp { target: 0x10c }
+        );
+        assert_eq!(
+            decode(words[3], Some(words[4])).unwrap(),
+            Instr::Jmp { target: 0x100 }
+        );
     }
 
     #[test]
@@ -740,15 +812,27 @@ mod tests {
         let words = words_of(&p);
         assert_eq!(
             decode(words[0], None).unwrap(),
-            Instr::Ldw { rd: Reg::R0, rs: Reg::R1, disp: 8 }
+            Instr::Ldw {
+                rd: Reg::R0,
+                rs: Reg::R1,
+                disp: 8
+            }
         );
         assert_eq!(
             decode(words[1], None).unwrap(),
-            Instr::Stw { rd: Reg::R7, rs: Reg::R2, disp: -4 }
+            Instr::Stw {
+                rd: Reg::R7,
+                rs: Reg::R2,
+                disp: -4
+            }
         );
         assert_eq!(
             decode(words[2], None).unwrap(),
-            Instr::Ldb { rd: Reg::R3, rs: Reg::R4, disp: 0 }
+            Instr::Ldb {
+                rd: Reg::R3,
+                rs: Reg::R4,
+                disp: 0
+            }
         );
     }
 
@@ -842,7 +926,10 @@ mod tests {
         for (i, cond) in conds.iter().enumerate() {
             assert_eq!(
                 decode(words[2 * i], Some(words[2 * i + 1])).unwrap(),
-                Instr::Jcc { cond: *cond, target: 0 }
+                Instr::Jcc {
+                    cond: *cond,
+                    target: 0
+                }
             );
         }
     }

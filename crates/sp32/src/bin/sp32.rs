@@ -30,7 +30,9 @@ struct Options {
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
-    let command = args.next().ok_or("missing command (asm | disasm | symbols)")?;
+    let command = args
+        .next()
+        .ok_or("missing command (asm | disasm | symbols)")?;
     let mut input = None;
     let mut base = 0u32;
     let mut output = None;
@@ -43,7 +45,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "-o" | "--output" => {
                 output = Some(args.next().ok_or("-o needs a path")?);
             }
-            "-h" | "--help" => return Err("usage: sp32 <asm|disasm|symbols> <file> [--base addr] [-o out]".into()),
+            "-h" | "--help" => {
+                return Err("usage: sp32 <asm|disasm|symbols> <file> [--base addr] [-o out]".into())
+            }
             other if input.is_none() => input = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }

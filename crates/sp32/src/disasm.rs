@@ -49,7 +49,11 @@ pub fn disassemble(bytes: &[u8], base: u32) -> Result<Vec<Line>, (Vec<Line>, Dec
         let addr = base + (i as u32) * 4;
         let first = words[i];
         let len = encoded_len_words(first);
-        let ext = if len == 2 { words.get(i + 1).copied() } else { None };
+        let ext = if len == 2 {
+            words.get(i + 1).copied()
+        } else {
+            None
+        };
         match decode(first, ext) {
             Ok(instr) => {
                 lines.push(Line { addr, instr });

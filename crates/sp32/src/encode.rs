@@ -89,18 +89,30 @@ pub fn encode(instr: &Instr, out: &mut Vec<u32>) {
         Instr::Shr { rd, rs } => out.push(word(SHR, rd.index() as u32, rs.index() as u32, 0)),
         Instr::Cmp { rd, rs } => out.push(word(CMP, rd.index() as u32, rs.index() as u32, 0)),
         Instr::CmpImm { rd, imm } => out.push(word(CMPI, rd.index() as u32, 0, imm as u16 as u32)),
-        Instr::Ldw { rd, rs, disp } => {
-            out.push(word(LDW, rd.index() as u32, rs.index() as u32, disp as u16 as u32))
-        }
-        Instr::Stw { rd, rs, disp } => {
-            out.push(word(STW, rd.index() as u32, rs.index() as u32, disp as u16 as u32))
-        }
-        Instr::Ldb { rd, rs, disp } => {
-            out.push(word(LDB, rd.index() as u32, rs.index() as u32, disp as u16 as u32))
-        }
-        Instr::Stb { rd, rs, disp } => {
-            out.push(word(STB, rd.index() as u32, rs.index() as u32, disp as u16 as u32))
-        }
+        Instr::Ldw { rd, rs, disp } => out.push(word(
+            LDW,
+            rd.index() as u32,
+            rs.index() as u32,
+            disp as u16 as u32,
+        )),
+        Instr::Stw { rd, rs, disp } => out.push(word(
+            STW,
+            rd.index() as u32,
+            rs.index() as u32,
+            disp as u16 as u32,
+        )),
+        Instr::Ldb { rd, rs, disp } => out.push(word(
+            LDB,
+            rd.index() as u32,
+            rs.index() as u32,
+            disp as u16 as u32,
+        )),
+        Instr::Stb { rd, rs, disp } => out.push(word(
+            STB,
+            rd.index() as u32,
+            rs.index() as u32,
+            disp as u16 as u32,
+        )),
         Instr::Jmp { target } => {
             out.push(word(JMP, 0, 0, 0));
             out.push(target);
@@ -199,36 +211,100 @@ pub fn decode(first: u32, ext: Option<u32>) -> Result<Instr, DecodeError> {
     Ok(match opcode {
         NOP => Instr::Nop,
         HLT => Instr::Hlt,
-        MOVR => Instr::MovReg { rd: rd_of(first), rs: rs_of(first) },
-        MOVI => Instr::MovImm { rd: rd_of(first), imm: ext_or(())? },
-        ADD => Instr::Add { rd: rd_of(first), rs: rs_of(first) },
-        ADDI => Instr::AddImm { rd: rd_of(first), imm: imm16_of(first) },
-        SUB => Instr::Sub { rd: rd_of(first), rs: rs_of(first) },
-        MUL => Instr::Mul { rd: rd_of(first), rs: rs_of(first) },
-        AND => Instr::And { rd: rd_of(first), rs: rs_of(first) },
-        OR => Instr::Or { rd: rd_of(first), rs: rs_of(first) },
-        XOR => Instr::Xor { rd: rd_of(first), rs: rs_of(first) },
+        MOVR => Instr::MovReg {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        MOVI => Instr::MovImm {
+            rd: rd_of(first),
+            imm: ext_or(())?,
+        },
+        ADD => Instr::Add {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        ADDI => Instr::AddImm {
+            rd: rd_of(first),
+            imm: imm16_of(first),
+        },
+        SUB => Instr::Sub {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        MUL => Instr::Mul {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        AND => Instr::And {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        OR => Instr::Or {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        XOR => Instr::Xor {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
         NOT => Instr::Not { rd: rd_of(first) },
-        SHL => Instr::Shl { rd: rd_of(first), rs: rs_of(first) },
-        SHR => Instr::Shr { rd: rd_of(first), rs: rs_of(first) },
-        CMP => Instr::Cmp { rd: rd_of(first), rs: rs_of(first) },
-        CMPI => Instr::CmpImm { rd: rd_of(first), imm: imm16_of(first) },
-        LDW => Instr::Ldw { rd: rd_of(first), rs: rs_of(first), disp: imm16_of(first) },
-        STW => Instr::Stw { rd: rd_of(first), rs: rs_of(first), disp: imm16_of(first) },
-        LDB => Instr::Ldb { rd: rd_of(first), rs: rs_of(first), disp: imm16_of(first) },
-        STB => Instr::Stb { rd: rd_of(first), rs: rs_of(first), disp: imm16_of(first) },
-        JMP => Instr::Jmp { target: ext_or(())? },
+        SHL => Instr::Shl {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        SHR => Instr::Shr {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        CMP => Instr::Cmp {
+            rd: rd_of(first),
+            rs: rs_of(first),
+        },
+        CMPI => Instr::CmpImm {
+            rd: rd_of(first),
+            imm: imm16_of(first),
+        },
+        LDW => Instr::Ldw {
+            rd: rd_of(first),
+            rs: rs_of(first),
+            disp: imm16_of(first),
+        },
+        STW => Instr::Stw {
+            rd: rd_of(first),
+            rs: rs_of(first),
+            disp: imm16_of(first),
+        },
+        LDB => Instr::Ldb {
+            rd: rd_of(first),
+            rs: rs_of(first),
+            disp: imm16_of(first),
+        },
+        STB => Instr::Stb {
+            rd: rd_of(first),
+            rs: rs_of(first),
+            disp: imm16_of(first),
+        },
+        JMP => Instr::Jmp {
+            target: ext_or(())?,
+        },
         JCC => {
             let code = (first >> 21) & 0x7;
             let cond = Cond::from_code(code).ok_or(DecodeError::BadCondition(code))?;
-            Instr::Jcc { cond, target: ext_or(())? }
+            Instr::Jcc {
+                cond,
+                target: ext_or(())?,
+            }
         }
         JMPR => Instr::JmpReg { rs: rs_of(first) },
-        CALL => Instr::Call { target: ext_or(())? },
+        CALL => Instr::Call {
+            target: ext_or(())?,
+        },
         RET => Instr::Ret,
         PUSH => Instr::Push { rs: rs_of(first) },
         POP => Instr::Pop { rd: rd_of(first) },
-        INT => Instr::Int { vector: (first & 0xff) as u8 },
+        INT => Instr::Int {
+            vector: (first & 0xff) as u8,
+        },
         IRET => Instr::Iret,
         STI => Instr::Sti,
         CLI => Instr::Cli,
@@ -256,26 +332,86 @@ mod tests {
         let samples = [
             Instr::Nop,
             Instr::Hlt,
-            Instr::MovReg { rd: Reg::R3, rs: Reg::R5 },
-            Instr::MovImm { rd: Reg::R7, imm: 0xffff_ffff },
-            Instr::Add { rd: Reg::R0, rs: Reg::R1 },
-            Instr::AddImm { rd: Reg::R2, imm: -4 },
-            Instr::Sub { rd: Reg::R4, rs: Reg::R4 },
-            Instr::Mul { rd: Reg::R1, rs: Reg::R6 },
-            Instr::And { rd: Reg::R5, rs: Reg::R2 },
-            Instr::Or { rd: Reg::R5, rs: Reg::R2 },
-            Instr::Xor { rd: Reg::R5, rs: Reg::R2 },
+            Instr::MovReg {
+                rd: Reg::R3,
+                rs: Reg::R5,
+            },
+            Instr::MovImm {
+                rd: Reg::R7,
+                imm: 0xffff_ffff,
+            },
+            Instr::Add {
+                rd: Reg::R0,
+                rs: Reg::R1,
+            },
+            Instr::AddImm {
+                rd: Reg::R2,
+                imm: -4,
+            },
+            Instr::Sub {
+                rd: Reg::R4,
+                rs: Reg::R4,
+            },
+            Instr::Mul {
+                rd: Reg::R1,
+                rs: Reg::R6,
+            },
+            Instr::And {
+                rd: Reg::R5,
+                rs: Reg::R2,
+            },
+            Instr::Or {
+                rd: Reg::R5,
+                rs: Reg::R2,
+            },
+            Instr::Xor {
+                rd: Reg::R5,
+                rs: Reg::R2,
+            },
             Instr::Not { rd: Reg::R6 },
-            Instr::Shl { rd: Reg::R1, rs: Reg::R0 },
-            Instr::Shr { rd: Reg::R1, rs: Reg::R0 },
-            Instr::Cmp { rd: Reg::R3, rs: Reg::R2 },
-            Instr::CmpImm { rd: Reg::R3, imm: 32767 },
-            Instr::Ldw { rd: Reg::R0, rs: Reg::R7, disp: -32768 },
-            Instr::Stw { rd: Reg::R7, rs: Reg::R0, disp: 32767 },
-            Instr::Ldb { rd: Reg::R2, rs: Reg::R3, disp: 1 },
-            Instr::Stb { rd: Reg::R3, rs: Reg::R2, disp: -1 },
-            Instr::Jmp { target: 0xdead_beec },
-            Instr::Jcc { cond: Cond::Nz, target: 0x1000 },
+            Instr::Shl {
+                rd: Reg::R1,
+                rs: Reg::R0,
+            },
+            Instr::Shr {
+                rd: Reg::R1,
+                rs: Reg::R0,
+            },
+            Instr::Cmp {
+                rd: Reg::R3,
+                rs: Reg::R2,
+            },
+            Instr::CmpImm {
+                rd: Reg::R3,
+                imm: 32767,
+            },
+            Instr::Ldw {
+                rd: Reg::R0,
+                rs: Reg::R7,
+                disp: -32768,
+            },
+            Instr::Stw {
+                rd: Reg::R7,
+                rs: Reg::R0,
+                disp: 32767,
+            },
+            Instr::Ldb {
+                rd: Reg::R2,
+                rs: Reg::R3,
+                disp: 1,
+            },
+            Instr::Stb {
+                rd: Reg::R3,
+                rs: Reg::R2,
+                disp: -1,
+            },
+            Instr::Jmp {
+                target: 0xdead_beec,
+            },
+            Instr::Jcc {
+                cond: Cond::Nz,
+                target: 0x1000,
+            },
             Instr::JmpReg { rs: Reg::R4 },
             Instr::Call { target: 0x2000 },
             Instr::Ret,
@@ -293,7 +429,10 @@ mod tests {
 
     #[test]
     fn unknown_opcode_rejected() {
-        assert_eq!(decode(0xff << 24, None), Err(DecodeError::UnknownOpcode(0xff)));
+        assert_eq!(
+            decode(0xff << 24, None),
+            Err(DecodeError::UnknownOpcode(0xff))
+        );
     }
 
     #[test]
@@ -328,10 +467,16 @@ mod tests {
             (arb_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::AddImm { rd, imm }),
             (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Sub { rd, rs }),
             (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Xor { rd, rs }),
-            (arb_reg(), arb_reg(), any::<i16>())
-                .prop_map(|(rd, rs, disp)| Instr::Ldw { rd, rs, disp }),
-            (arb_reg(), arb_reg(), any::<i16>())
-                .prop_map(|(rd, rs, disp)| Instr::Stw { rd, rs, disp }),
+            (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Ldw {
+                rd,
+                rs,
+                disp
+            }),
+            (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Stw {
+                rd,
+                rs,
+                disp
+            }),
             any::<u32>().prop_map(|target| Instr::Jmp { target }),
             (arb_cond(), any::<u32>()).prop_map(|(cond, target)| Instr::Jcc { cond, target }),
             any::<u32>().prop_map(|target| Instr::Call { target }),

@@ -307,9 +307,23 @@ mod tests {
     #[test]
     fn instruction_sizes() {
         assert_eq!(Instr::Nop.size_bytes(), 4);
-        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 0 }.size_bytes(), 8);
+        assert_eq!(
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 0
+            }
+            .size_bytes(),
+            8
+        );
         assert_eq!(Instr::Jmp { target: 0 }.size_bytes(), 8);
-        assert_eq!(Instr::Jcc { cond: Cond::Z, target: 0 }.size_bytes(), 8);
+        assert_eq!(
+            Instr::Jcc {
+                cond: Cond::Z,
+                target: 0
+            }
+            .size_bytes(),
+            8
+        );
         assert_eq!(Instr::Call { target: 0 }.size_bytes(), 8);
         assert_eq!(Instr::Ret.size_bytes(), 4);
     }
@@ -318,9 +332,19 @@ mod tests {
     fn display_is_nonempty() {
         let samples = [
             Instr::Nop,
-            Instr::MovImm { rd: Reg::R3, imm: 0xdead_beef },
-            Instr::Ldw { rd: Reg::R1, rs: Reg::R2, disp: -8 },
-            Instr::Jcc { cond: Cond::Nz, target: 0x100 },
+            Instr::MovImm {
+                rd: Reg::R3,
+                imm: 0xdead_beef,
+            },
+            Instr::Ldw {
+                rd: Reg::R1,
+                rs: Reg::R2,
+                disp: -8,
+            },
+            Instr::Jcc {
+                cond: Cond::Nz,
+                target: 0x100,
+            },
             Instr::Int { vector: 0x30 },
         ];
         for instr in samples {

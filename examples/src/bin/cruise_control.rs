@@ -15,10 +15,17 @@ use tytan::usecase::CruiseControl;
 const WINDOW: u64 = 960_000; // 20 ms at 48 MHz
 
 fn run_scenario(interruptible: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let label = if interruptible { "TyTAN (interruptible load)" } else { "ablation (blocking load)" };
+    let label = if interruptible {
+        "TyTAN (interruptible load)"
+    } else {
+        "ablation (blocking load)"
+    };
     println!("--- {label} ---");
 
-    let config = PlatformConfig { interruptible_load: interruptible, ..Default::default() };
+    let config = PlatformConfig {
+        interruptible_load: interruptible,
+        ..Default::default()
+    };
     let mut platform: Platform = Platform::boot(config)?;
 
     // Script the sensors: the driver presses the pedal, a car appears on

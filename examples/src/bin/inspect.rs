@@ -27,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
-    println!("--- EA-MPU rule table ({} of {} slots used) ---",
+    println!(
+        "--- EA-MPU rule table ({} of {} slots used) ---",
         platform.machine().mpu().used_slots(),
         platform.machine().mpu().slot_count(),
     );
@@ -36,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    println!("--- RTM measurement list ({} tasks) ---", platform.rtm().len());
+    println!(
+        "--- RTM measurement list ({} tasks) ---",
+        platform.rtm().len()
+    );
     for record in platform.rtm().records() {
         println!(
             "  id {} base {:#010x} mailbox {:#010x}  {}",

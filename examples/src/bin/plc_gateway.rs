@@ -77,11 +77,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut platform: Platform = Platform::boot(config)?;
 
     // The pressure trace: nominal, then a spike at ~40 ms, then recovery.
-    platform.device_mut::<Sensor>("pedal").unwrap().set_trace(vec![
-        (0, 60),
-        (1_920_000, 140), // spike
-        (2_400_000, 55),  // operator vents the line
-    ]);
+    platform
+        .device_mut::<Sensor>("pedal")
+        .unwrap()
+        .set_trace(vec![
+            (0, 60),
+            (1_920_000, 140), // spike
+            (2_400_000, 55),  // operator vents the line
+        ]);
     platform
         .device_mut::<Sensor>("pedal")
         .unwrap()
@@ -112,8 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scan_base = platform.task_base(scan_handle).unwrap();
     let scans = platform.debug_read_word(scan_base + scan.symbol_offset("scans").unwrap())?;
     let safety_base = platform.task_base(safety_handle).unwrap();
-    let alarms =
-        platform.debug_read_word(safety_base + safety.symbol_offset("alarms").unwrap())?;
+    let alarms = platform.debug_read_word(safety_base + safety.symbol_offset("alarms").unwrap())?;
     println!("PLC completed {scans} scan cycles (~1.5 kHz)");
     println!("safety supervisor latched {alarms} over-pressure alarm(s)");
 

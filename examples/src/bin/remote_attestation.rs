@@ -95,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Negative case 3: a forged MAC (wrong key) fails outright.
-    let forged = AttestationReport { mac: vec![0u8; 20], ..stale };
+    let forged = AttestationReport {
+        mac: vec![0u8; 20],
+        ..stale
+    };
     match verifier.verify(&forged, b"old-nonce", &supplier_ref) {
         Err(VerifyError::BadMac) => println!("  forged report rejected: bad MAC"),
         other => println!("  unexpected outcome: {other:?}"),

@@ -24,12 +24,9 @@ fn calibration_task() -> tytan::toolchain::TaskSource {
 }
 
 fn snooper_task() -> tytan::toolchain::TaskSource {
-    SecureTaskBuilder::new(
-        "snooper",
-        "main:\nspin:\n jmp spin\n",
-    )
-    .build()
-    .expect("assembles")
+    SecureTaskBuilder::new("snooper", "main:\nspin:\n jmp spin\n")
+        .build()
+        .expect("assembles")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

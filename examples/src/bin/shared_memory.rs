@@ -89,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A third task trying to read the window is killed by the EA-MPU.
     let snooper = SecureTaskBuilder::new(
         "snooper",
-        format!("main:\n movi r1, {:#x}\n ldw r2, [r1]\nspin:\n jmp spin\n", window.start()),
+        format!(
+            "main:\n movi r1, {:#x}\n ldw r2, [r1]\nspin:\n jmp spin\n",
+            window.start()
+        ),
     )
     .build()?;
     let st = platform.begin_load(&snooper, 3);
@@ -98,7 +101,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let killed = platform.kernel().task(sh).is_none();
     println!(
         "snooper task reading the window: {}",
-        if killed { "EA-MPU violation, task killed" } else { "unexpectedly survived!" }
+        if killed {
+            "EA-MPU violation, task killed"
+        } else {
+            "unexpectedly survived!"
+        }
     );
 
     println!("shared-memory demo complete");

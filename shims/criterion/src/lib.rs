@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The registry is unreachable in this build environment, so this shim
+//! provides the subset of criterion's API the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`, `Bencher::iter`, `BenchmarkId`, and
+//! `black_box` — backed by a simple wall-clock timer. It reports
+//! mean ns/iter and, when a throughput is declared, elements/sec.
+//! Statistical rigor is intentionally out of scope; the numbers are for
+//! trend tracking, not publication.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to derive rate figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter, e.g. `decode/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timer handle passed to the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Returns a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_benchmark(id, sample_size, None, f);
+        self
+    }
+
+    /// Runs any pending reports. No-op in this shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up pass, then scale iterations so each sample runs long enough
+    // for the Instant clock to resolve it.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let warm = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(20);
+    let iters = (target.as_nanos() / warm.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let samples = sample_size.max(1);
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed / iters as u32;
+        best = best.min(per_iter);
+        total += per_iter;
+    }
+    let mean = total / samples as u32;
+
+    let rate = throughput.map(|t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let per_sec = count as f64 / mean.as_secs_f64().max(1e-12);
+        format!("  {:>14.0} {}", per_sec, unit)
+    });
+    println!(
+        "bench: {:<40} {:>12} ns/iter (best {} ns){}",
+        id,
+        mean.as_nanos(),
+        best.as_nanos(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2).throughput(Throughput::Elements(8));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+}

@@ -1,0 +1,495 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable in this build environment, so this shim
+//! reimplements the subset of proptest the workspace's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! `any::<T>()` for primitive integers, integer range strategies,
+//! tuple strategies, `Just`, `.prop_map`, `prop_oneof!`,
+//! `proptest::collection::vec`, and the `prop_assert*`/`prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, by design: generation is driven by a
+//! deterministic per-test RNG (seeded from the test name) so failures
+//! always reproduce, and there is no shrinking — a failing case reports
+//! the case number and panics.
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Map, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+pub mod test_runner {
+    /// Controls how many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 48 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+        /// A `prop_assume!` precondition was not met; the case is skipped.
+        Reject(String),
+    }
+
+    /// Deterministic RNG handed to strategies.
+    ///
+    /// Seeded from the test name, so every run of a given test explores the
+    /// same sequence — failures reproduce without a persistence file.
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(_config: &ProptestConfig, test_name: &str) -> Self {
+            // FNV-1a over the name, mixed with a fixed odd constant so the
+            // all-zero state is unreachable.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_name.bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRunner { state: seed | 1 }
+        }
+
+        /// xorshift64* step.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream there is no shrink tree: `generate` returns a plain
+    /// value. `prop_map`/`boxed` require `Sized` so the trait stays
+    /// object-safe for [`Union`].
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, runner: &mut TestRunner) -> V {
+            (**self).generate(runner)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; backs [`prop_oneof!`].
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, runner: &mut TestRunner) -> V {
+            let pick = (runner.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[pick].generate(runner)
+        }
+    }
+
+    /// Strategy for any value of a primitive type; see [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Generates arbitrary values of `T`, biased toward boundary values.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// Types [`any`] can generate.
+    pub trait Arbitrary {
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),+) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(runner: &mut TestRunner) -> $ty {
+                    // One case in eight is a boundary value: integer
+                    // overflow bugs live at the edges, and a uniform draw
+                    // over a wide type almost never lands there.
+                    match runner.next_u64() % 8 {
+                        0 => 0 as $ty,
+                        1 => <$ty>::MAX,
+                        2 => <$ty>::MIN,
+                        3 => (runner.next_u64() % 16) as $ty,
+                        _ => runner.next_u64() as $ty,
+                    }
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive), computed in `i128` so the
+    /// full span of every primitive integer type fits.
+    pub(crate) fn sample_inclusive(runner: &mut TestRunner, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty range used as a proptest strategy");
+        let span = (hi - lo) as u128 + 1;
+        let draw = ((runner.next_u64() as u128) << 64) | runner.next_u64() as u128;
+        lo + (draw % span) as i128
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),+) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    assert!(self.start < self.end, "empty range used as a proptest strategy");
+                    sample_inclusive(runner, self.start as i128, self.end as i128 - 1) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    sample_inclusive(runner, *self.start() as i128, *self.end() as i128) as $ty
+                }
+            }
+        )+};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{sample_inclusive, Strategy};
+    use crate::test_runner::TestRunner;
+
+    /// Length bounds for [`vec`], inclusive of both ends.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range for collection::vec");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len =
+                sample_inclusive(runner, self.size.min as i128, self.size.max as i128) as usize;
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs. The `#[test]` attribute written inside the block is re-emitted
+/// as-is (upstream proptest works the same way).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            // The attempt cap bounds tests whose prop_assume! rejects often.
+            while accepted < config.cases && attempts < config.cases.saturating_mul(8) + 64 {
+                attempts += 1;
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut runner),)+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("{} failed at case #{}: {}", stringify!($name), accepted, msg)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// `assert!` that reports through proptest's error channel.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through proptest's error channel.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i32..=5, len in 0..=6usize) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!(len <= 6);
+        }
+
+        #[test]
+        fn tuples_maps_and_vecs_compose(
+            (a, b) in (0u8..8, any::<u16>()),
+            v in crate::collection::vec(arb_even(), 1..10),
+            pick in prop_oneof![Just(1u32), Just(2u32), 10u32..12],
+        ) {
+            prop_assert!(a < 8);
+            let _ = b;
+            prop_assert!(!v.is_empty() && v.iter().all(|e| e % 2 == 0));
+            prop_assert!(pick == 1 || pick == 2 || pick == 10 || pick == 11, "pick was {}", pick);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in any::<u8>()) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let config = ProptestConfig::default();
+        let mut a = TestRunner::new(&config, "same");
+        let mut b = TestRunner::new(&config, "same");
+        let strat = (0u32..1_000_000, any::<u64>());
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

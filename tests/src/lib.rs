@@ -24,13 +24,11 @@ pub fn counter_task(name: &str) -> TaskSource {
 }
 
 /// Loads a task and waits for completion.
-pub fn load(
-    platform: &mut Platform,
-    source: &TaskSource,
-    priority: u8,
-) -> (TaskHandle, TaskId) {
+pub fn load(platform: &mut Platform, source: &TaskSource, priority: u8) -> (TaskHandle, TaskId) {
     let token = platform.begin_load(source, priority);
-    platform.wait_load(token, 200_000_000).expect("load completes")
+    platform
+        .wait_load(token, 200_000_000)
+        .expect("load completes")
 }
 
 /// Reads the `counter` word of a loaded counter task.

@@ -28,7 +28,10 @@ fn driver_task() -> TaskSource {
 }
 
 fn boot_with_irq() -> Platform {
-    let config = PlatformConfig { device_irq_vectors: vec![VECTOR], ..Default::default() };
+    let config = PlatformConfig {
+        device_irq_vectors: vec![VECTOR],
+        ..Default::default()
+    };
     Platform::boot(config).expect("boots")
 }
 
@@ -39,7 +42,10 @@ fn bound_irq_wakes_the_driver_task() {
         .device_mut::<Sensor>("radar")
         .unwrap()
         .set_trace(vec![(0, 0), (400_000, 90), (800_000, 0), (1_200_000, 95)]);
-    platform.device_mut::<Sensor>("radar").unwrap().set_threshold_irq(50, VECTOR);
+    platform
+        .device_mut::<Sensor>("radar")
+        .unwrap()
+        .set_threshold_irq(50, VECTOR);
 
     let driver = driver_task();
     let token = platform.begin_load(&driver, 5);
@@ -48,8 +54,9 @@ fn bound_irq_wakes_the_driver_task() {
     platform.run_for(2_000_000).unwrap();
 
     let base = platform.task_base(handle).unwrap();
-    let events =
-        platform.debug_read_word(base + driver.symbol_offset("events").unwrap()).unwrap();
+    let events = platform
+        .debug_read_word(base + driver.symbol_offset("events").unwrap())
+        .unwrap();
     assert_eq!(events, 2, "both rising edges delivered");
     // The mailbox sender is the reserved hardware identity.
     let mailbox = platform.rtm().lookup(id).unwrap().mailbox;
@@ -64,8 +71,14 @@ fn bound_irq_wakes_the_driver_task() {
 #[test]
 fn unbound_irq_is_ignored_harmlessly() {
     let mut platform = boot_with_irq();
-    platform.device_mut::<Sensor>("radar").unwrap().set_trace(vec![(0, 99)]);
-    platform.device_mut::<Sensor>("radar").unwrap().set_threshold_irq(50, VECTOR);
+    platform
+        .device_mut::<Sensor>("radar")
+        .unwrap()
+        .set_trace(vec![(0, 99)]);
+    platform
+        .device_mut::<Sensor>("radar")
+        .unwrap()
+        .set_threshold_irq(50, VECTOR);
     // No binding, no tasks: the platform keeps running.
     platform.run_for(1_000_000).unwrap();
     assert!(platform.faults().is_empty());
@@ -74,8 +87,14 @@ fn unbound_irq_is_ignored_harmlessly() {
 #[test]
 fn irq_to_dead_task_is_dropped() {
     let mut platform = boot_with_irq();
-    platform.device_mut::<Sensor>("radar").unwrap().set_trace(vec![(0, 0), (500_000, 99)]);
-    platform.device_mut::<Sensor>("radar").unwrap().set_threshold_irq(50, VECTOR);
+    platform
+        .device_mut::<Sensor>("radar")
+        .unwrap()
+        .set_trace(vec![(0, 0), (500_000, 99)]);
+    platform
+        .device_mut::<Sensor>("radar")
+        .unwrap()
+        .set_threshold_irq(50, VECTOR);
     let driver = driver_task();
     let token = platform.begin_load(&driver, 5);
     let (handle, id) = platform.wait_load(token, 400_000_000).unwrap();

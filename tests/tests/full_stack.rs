@@ -44,9 +44,16 @@ fn many_load_unload_cycles_stay_stable() {
     for round in 0..8 {
         let (handle, _) = load(&mut platform, &source, 2);
         platform.run_for(100_000).unwrap();
-        assert!(read_counter(&mut platform, handle, &source) > 0, "round {round}");
+        assert!(
+            read_counter(&mut platform, handle, &source) > 0,
+            "round {round}"
+        );
         platform.unload_task(handle).unwrap();
-        assert_eq!(platform.machine().mpu().used_slots(), free0, "round {round}");
+        assert_eq!(
+            platform.machine().mpu().used_slots(),
+            free0,
+            "round {round}"
+        );
     }
 }
 
@@ -166,7 +173,10 @@ fn load_reports_match_paper_shape() {
     let secure = counter_task("secure-one");
     let token = platform.begin_load(&secure, 2);
     platform.wait_load(token, 200_000_000).unwrap();
-    let LoadStatus::Done { report: secure_report, .. } = platform.load_status(token).unwrap()
+    let LoadStatus::Done {
+        report: secure_report,
+        ..
+    } = platform.load_status(token).unwrap()
     else {
         panic!("secure load done");
     };
@@ -176,7 +186,10 @@ fn load_reports_match_paper_shape() {
             .unwrap();
     let token = platform.begin_load(&normal, 2);
     platform.wait_load(token, 200_000_000).unwrap();
-    let LoadStatus::Done { report: normal_report, .. } = platform.load_status(token).unwrap()
+    let LoadStatus::Done {
+        report: normal_report,
+        ..
+    } = platform.load_status(token).unwrap()
     else {
         panic!("normal load done");
     };
@@ -206,7 +219,9 @@ fn platform_survives_misbehaving_task_storm() {
     // Load three attackers, each trying a different violation.
     let attacks = [
         format!("main:\n movi r1, {victim_data:#x}\n ldw r2, [r1]\nspin:\n jmp spin\n"),
-        format!("main:\n movi r1, {victim_data:#x}\n movi r2, 7\n stw [r1], r2\nspin:\n jmp spin\n"),
+        format!(
+            "main:\n movi r1, {victim_data:#x}\n movi r2, 7\n stw [r1], r2\nspin:\n jmp spin\n"
+        ),
         format!("main:\n jmp {:#x}\n", victim_data.wrapping_sub(0x100) + 8),
     ];
     for (i, body) in attacks.iter().enumerate() {
@@ -217,7 +232,11 @@ fn platform_survives_misbehaving_task_storm() {
     }
     platform.run_for(2_000_000).unwrap();
 
-    assert!(platform.faults().len() >= 2, "violations recorded: {}", platform.faults().len());
+    assert!(
+        platform.faults().len() >= 2,
+        "violations recorded: {}",
+        platform.faults().len()
+    );
     assert!(platform.kernel().task(vh).is_some(), "victim survived");
     let count = read_counter(&mut platform, vh, &victim);
     assert!(count > 0, "victim kept running");

@@ -25,7 +25,11 @@ fn secure_task_memory_unreadable_by_other_task() {
     let (sh, _) = load(&mut platform, &spy, 3);
     platform.run_for(300_000).unwrap();
 
-    let fault = platform.faults().iter().find(|f| f.task == Some(sh)).expect("spy faulted");
+    let fault = platform
+        .faults()
+        .iter()
+        .find(|f| f.task == Some(sh))
+        .expect("spy faulted");
     assert!(matches!(
         fault.fault,
         Fault::MpuAccess { addr, kind: AccessKind::Read, .. } if addr == secret_addr
@@ -65,12 +69,9 @@ fn jumping_into_secure_task_mid_code_faults() {
     let (vh, _) = load(&mut platform, &victim, 2);
     let mid_code = platform.kernel().task(vh).unwrap().params.code.start() + 8;
 
-    let hijacker = SecureTaskBuilder::new(
-        "hijacker",
-        format!("main:\n jmp {mid_code:#x}\n"),
-    )
-    .build()
-    .unwrap();
+    let hijacker = SecureTaskBuilder::new("hijacker", format!("main:\n jmp {mid_code:#x}\n"))
+        .build()
+        .unwrap();
     let (hh, _) = load(&mut platform, &hijacker, 3);
     platform.run_for(300_000).unwrap();
 
@@ -148,7 +149,13 @@ fn register_wipe_hides_task_state_from_handlers() {
             _ => {}
         }
     }
-    for reg in [sp32::Reg::R1, sp32::Reg::R2, sp32::Reg::R3, sp32::Reg::R4, sp32::Reg::R5] {
+    for reg in [
+        sp32::Reg::R1,
+        sp32::Reg::R2,
+        sp32::Reg::R3,
+        sp32::Reg::R4,
+        sp32::Reg::R5,
+    ] {
         assert_ne!(
             platform.machine().reg(reg),
             0x5ec2e7,
@@ -166,18 +173,28 @@ fn normal_task_accessible_to_os_but_not_to_peers() {
     let data = platform.kernel().task(nh).unwrap().params.data;
     let kernel_actor = platform.kernel().config().kernel_actor;
     let mpu = platform.machine().mpu();
-    assert!(mpu.check_access(kernel_actor, data.start(), AccessKind::Write).is_allowed());
-    assert!(!mpu.check_access(0x9_0000, data.start(), AccessKind::Read).is_allowed());
+    assert!(mpu
+        .check_access(kernel_actor, data.start(), AccessKind::Write)
+        .is_allowed());
+    assert!(!mpu
+        .check_access(0x9_0000, data.start(), AccessKind::Read)
+        .is_allowed());
 }
 
 #[test]
 fn kill_on_fault_disabled_surfaces_the_fault() {
-    let config = PlatformConfig { kill_on_fault: false, ..Default::default() };
+    let config = PlatformConfig {
+        kill_on_fault: false,
+        ..Default::default()
+    };
     let mut platform: Platform = Platform::boot(config).unwrap();
     let victim = counter_task("victim");
-    let source = SecureTaskBuilder::new("crasher", "main:\n movi r1, 0x40\n ldw r2, [r1]\nspin:\n jmp spin\n")
-        .build()
-        .unwrap();
+    let source = SecureTaskBuilder::new(
+        "crasher",
+        "main:\n movi r1, 0x40\n ldw r2, [r1]\nspin:\n jmp spin\n",
+    )
+    .build()
+    .unwrap();
     let vt = platform.begin_load(&victim, 2);
     platform.wait_load(vt, 200_000_000).unwrap();
     let ct = platform.begin_load(&source, 3);
@@ -187,5 +204,8 @@ fn kill_on_fault_disabled_surfaces_the_fault() {
         .wait_load(ct, 200_000_000)
         .err()
         .or_else(|| platform.run_for(500_000).err());
-    assert!(error.is_some(), "fault propagates when kill_on_fault is off");
+    assert!(
+        error.is_some(),
+        "fault propagates when kill_on_fault is off"
+    );
 }

@@ -10,13 +10,11 @@ use tytan_crypto::{Digest, Sha1};
 /// a counter bump in the data section, and a loop — plus a variable
 /// amount of label-referencing padding to vary size and reloc count.
 fn arb_body() -> impl Strategy<Value = (String, String)> {
-    (
-        proptest::collection::vec(0u8..5, 0..12),
-        0u32..6,
-        0u32..512,
-    )
-        .prop_map(|(ops, reloc_words, padding)| {
-            let mut body = String::from("main:\nloop:\n movi r1, counter\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n");
+    (proptest::collection::vec(0u8..5, 0..12), 0u32..6, 0u32..512).prop_map(
+        |(ops, reloc_words, padding)| {
+            let mut body = String::from(
+                "main:\nloop:\n movi r1, counter\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n",
+            );
             for op in &ops {
                 body.push_str(match op {
                     0 => " add r3, r2\n",
@@ -37,7 +35,8 @@ fn arb_body() -> impl Strategy<Value = (String, String)> {
                 body.push_str(&format!("pad:\n .space {padding}\n"));
             }
             (body, "counter:\n .word 0\n".to_string())
-        })
+        },
+    )
 }
 
 proptest! {

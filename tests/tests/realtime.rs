@@ -44,7 +44,10 @@ fn task_progress_unaffected_by_concurrent_load() {
 fn rtm_slice_size_bounds_preemption_latency() {
     // With 1-block RTM slices the loader yields often; scheduling trace
     // gaps for the high-priority task stay bounded near one tick.
-    let config = PlatformConfig { rtm_blocks_per_slice: 1, ..Default::default() };
+    let config = PlatformConfig {
+        rtm_blocks_per_slice: 1,
+        ..Default::default()
+    };
     let mut platform: Platform = Platform::boot(config).unwrap();
     let worker = counter_task("hi-prio");
     let token = platform.begin_load(&worker, 7);
@@ -69,7 +72,11 @@ fn rtm_slice_size_bounds_preemption_latency() {
         })
         .collect();
     assert!(dispatch_cycles.len() > 10, "task dispatched repeatedly");
-    let max_gap = dispatch_cycles.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+    let max_gap = dispatch_cycles
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .max()
+        .unwrap();
     // One tick is 32,000 cycles; allow 2.5 ticks of slack for load slices.
     assert!(max_gap < 80_000, "max dispatch gap {max_gap} bounded");
 }
@@ -143,7 +150,10 @@ fn blocking_load_double_latency_tradeoff() {
     // preemption) but starves tasks; the interruptible loader pays
     // slightly more elapsed time. Both effects should be visible.
     let measure = |interruptible: bool| {
-        let config = PlatformConfig { interruptible_load: interruptible, ..Default::default() };
+        let config = PlatformConfig {
+            interruptible_load: interruptible,
+            ..Default::default()
+        };
         let mut platform: Platform = Platform::boot(config).unwrap();
         let worker = counter_task("w");
         let token = platform.begin_load(&worker, 3);

@@ -44,7 +44,9 @@ fn heap_exhaustion_fails_cleanly_and_recovers() {
     // Unloading one frees enough room for the load to succeed again.
     platform.unload_task(loaded.pop().unwrap()).unwrap();
     let token = platform.begin_load(&big, 2);
-    platform.wait_load(token, 400_000_000).expect("load succeeds after unload");
+    platform
+        .wait_load(token, 400_000_000)
+        .expect("load succeeds after unload");
 }
 
 #[test]

@@ -26,13 +26,14 @@ fn update_keeps_service_available_and_migrates_state() {
     let v1 = counter_task("service");
     let (h1, id1) = load(&mut platform, &v1, 2);
     platform.run_for(200_000).unwrap();
-    platform.storage_store(h1, "service-state", b"generation-1").unwrap();
+    platform
+        .storage_store(h1, "service-state", b"generation-1")
+        .unwrap();
     let progress_before_update = read_counter(&mut platform, h1, &v1);
     assert!(progress_before_update > 0);
     // The old instance's counter address survives its unload (the heap is
     // not scrubbed), letting us observe progress made during the update.
-    let v1_counter_addr =
-        platform.task_base(h1).unwrap() + v1.symbol_offset("counter").unwrap();
+    let v1_counter_addr = platform.task_base(h1).unwrap() + v1.symbol_offset("counter").unwrap();
 
     let v2 = v2_task();
     let (h2, id2) = platform
@@ -83,7 +84,9 @@ fn update_cannot_steal_unrelated_blobs() {
     let mut platform = boot();
     let owner = counter_task("owner");
     let (oh, _) = load(&mut platform, &owner, 2);
-    platform.storage_store(oh, "private", b"owner-data").unwrap();
+    platform
+        .storage_store(oh, "private", b"owner-data")
+        .unwrap();
 
     let victim = counter_task("service");
     // Different binary from `owner`? counter_task produces identical
