@@ -2,28 +2,73 @@
 //!
 //! Run with: `cargo run -p tytan-bench --bin tables --release`
 //!
-//! With `--json`, additionally emits the same data as JSON — paper value,
-//! measured value, and unit per row, plus the host-side simulation rate
-//! (`host_guest_ips`) — and writes it to `BENCH_tables.json` in the
-//! current directory.
+//! Flags (combinable):
+//!
+//! - `--json`: additionally emits the same data as JSON — paper value,
+//!   measured value, and unit per row, the host-side simulation rate
+//!   (`host_guest_ips`), and the fast-path cache counters — and writes it
+//!   to `BENCH_tables.json` in the current directory.
+//! - `--check`: validates the JSON document against the checked-in schema
+//!   (`crates/bench/schema/bench_tables.schema.json`) and exits nonzero on
+//!   any violation. Implies computing the document; combine with `--json`
+//!   to also write it.
+//! - `--trace`: runs the traced paper workload and writes its Chrome
+//!   `trace_event` export to `BENCH_trace.json` (load in `chrome://tracing`
+//!   or Perfetto).
 
-use tytan_bench::{experiments, render, render_json};
+use tytan_bench::{experiments, render, render_json, schema};
 
 fn main() {
-    let json_mode = std::env::args().any(|arg| arg == "--json");
-    let tables = experiments::all();
-    if json_mode {
-        let json = render_json(&tables, experiments::host_guest_ips());
-        if let Err(err) = std::fs::write("BENCH_tables.json", &json) {
-            eprintln!("warning: could not write BENCH_tables.json: {err}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for arg in &args {
+        if !matches!(arg.as_str(), "--json" | "--check" | "--trace") {
+            eprintln!("unknown flag {arg}; known flags: --json --check --trace");
+            std::process::exit(2);
         }
-        print!("{json}");
+    }
+    let json_mode = args.iter().any(|a| a == "--json");
+    let check_mode = args.iter().any(|a| a == "--check");
+    let trace_mode = args.iter().any(|a| a == "--trace");
+
+    if trace_mode {
+        let trace = experiments::chrome_trace_use_case();
+        if let Err(err) = std::fs::write("BENCH_trace.json", &trace) {
+            eprintln!("error: could not write BENCH_trace.json: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote BENCH_trace.json ({} bytes)", trace.len());
+        if !json_mode && !check_mode {
+            return;
+        }
+    }
+
+    if json_mode || check_mode {
+        let tables = experiments::all();
+        let counters = experiments::fast_path_counters();
+        let json = render_json(&tables, experiments::host_guest_ips(), &counters);
+        if check_mode {
+            if let Err(errors) = schema::check_bench_tables(&json) {
+                eprintln!("BENCH_tables.json violates its schema:");
+                for error in errors {
+                    eprintln!("  - {error}");
+                }
+                std::process::exit(1);
+            }
+            eprintln!("schema check passed");
+        }
+        if json_mode {
+            if let Err(err) = std::fs::write("BENCH_tables.json", &json) {
+                eprintln!("warning: could not write BENCH_tables.json: {err}");
+            }
+            print!("{json}");
+        }
         return;
     }
+
     println!("TyTAN (DAC 2015) — reproduced evaluation");
     println!("paper values vs. cycle counts measured on the simulated platform");
     println!();
-    for table in tables {
+    for table in experiments::all() {
         println!("{}", render(&table));
     }
 }

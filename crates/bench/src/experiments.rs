@@ -4,6 +4,7 @@ use crate::{Row, Table};
 use eampu::{EaMpu, Perms, Region, Rule};
 use rtos::{layout, Runner, RunnerConfig, StaticTask};
 use sp_emu::{Event, Machine, MachineConfig};
+use std::sync::Arc;
 use tytan::allocator::Allocator;
 use tytan::footprint;
 use tytan::loader::{LoadJob, LoadProgress, LoadReport};
@@ -13,6 +14,7 @@ use tytan::toolchain::{build_normal_task, SecureTaskBuilder, TaskSource};
 use tytan::usecase::{radar_monitor_source, CruiseControl};
 use tytan_crypto::{Sha1, TaskId};
 use tytan_image::TaskImage;
+use tytan_trace::{chrome, RingRecorder, Tracer};
 
 fn boot() -> Platform {
     boot_with(MachineConfig::default())
@@ -937,6 +939,72 @@ pub fn host_guest_ips() -> f64 {
     (machine.stats().instructions - start_instr) as f64 / elapsed.max(1e-9)
 }
 
+// ------------------------------------------------------- trace + counters
+
+/// Runs a traced paper workload — secure-task load, half a million cycles
+/// of scheduled execution under tick interrupts, and a remote attestation
+/// — and returns the platform to the caller along with its tracer.
+fn traced_workload(tracer: Tracer) -> Platform {
+    let mut platform = boot();
+    platform.attach_tracer(tracer);
+    let source = spin_task("traced");
+    let token = platform.begin_load(&source, 2);
+    let (_, id) = platform.wait_load(token, 400_000_000).expect("loads");
+    platform.run_for(500_000).expect("runs");
+    let _ = platform.remote_attest(id, b"bench-nonce").expect("attests");
+    platform
+}
+
+/// The flat counter snapshot of the traced workload above, plus the
+/// derived cache hit rates (`predecode_hit_rate`, `eampu_cache_hit_rate`)
+/// of the fast-path caches. `tables --json` merges this into
+/// `BENCH_tables.json` as the `counters` object.
+///
+/// Under `TYTAN_FAST_PATH=0` the predecode counters stay zero and the
+/// derived rate reports 0 — the legacy loop has no cache to measure.
+pub fn fast_path_counters() -> Vec<(String, f64)> {
+    let tracer = Tracer::null();
+    let _platform = traced_workload(tracer.clone());
+
+    let mut out: Vec<(String, f64)> = tracer
+        .counters()
+        .snapshot()
+        .into_iter()
+        .map(|(name, value)| (name, value as f64))
+        .collect();
+    let get = |name: &str| tracer.counters().get(name).unwrap_or(0) as f64;
+    let rate = |hit: f64, miss: f64| {
+        if hit + miss > 0.0 {
+            hit / (hit + miss)
+        } else {
+            0.0
+        }
+    };
+    out.push((
+        "predecode_hit_rate".to_string(),
+        rate(get("emu_predecode_hit"), get("emu_predecode_miss")),
+    ));
+    out.push((
+        "eampu_cache_hit_rate".to_string(),
+        rate(
+            get("eampu_access_cache_hit") + get("eampu_transfer_cache_hit"),
+            get("eampu_access_cache_miss") + get("eampu_transfer_cache_miss"),
+        ),
+    ));
+    out
+}
+
+/// Runs the traced workload with a recording sink and exports the event
+/// stream as Chrome `trace_event` JSON (one pid per layer, spans for IRQ
+/// entry/exit, loader, IPC, and attestation phases) — loadable in
+/// `chrome://tracing` or Perfetto. `tables --trace` writes this to
+/// `BENCH_trace.json`.
+pub fn chrome_trace_use_case() -> String {
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let _platform = traced_workload(Tracer::new(ring.clone()));
+    chrome::chrome_trace_json(&ring.events())
+}
+
 /// All experiments in paper order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -1038,5 +1106,61 @@ mod tests {
     fn table8_round_trips() {
         let table = table8_memory();
         assert!(table.rows.iter().any(|r| r.label.contains("overhead")));
+    }
+
+    #[test]
+    fn fast_path_counters_report_hit_rates() {
+        let counters = fast_path_counters();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("counter {name} missing"))
+        };
+        for rate in ["predecode_hit_rate", "eampu_cache_hit_rate"] {
+            let v = get(rate);
+            assert!((0.0..=1.0).contains(&v), "{rate} out of range: {v}");
+        }
+        // The workload runs a spinning task for half a million cycles: at
+        // the default (fast-path) configuration the predecode cache must
+        // be nearly always hot. Under TYTAN_FAST_PATH=0 there is no cache
+        // and the rate legitimately reads 0.
+        if sp_emu::MachineConfig::default().fast_path {
+            assert!(get("predecode_hit_rate") > 0.9);
+            assert!(get("emu_predecode_hit") > 0.0);
+        }
+        assert!(get("emu_instr_alu") > 0.0);
+        assert!(get("emu_irq_entry") > 0.0, "tick interrupts fired");
+    }
+
+    #[test]
+    fn chrome_trace_export_parses_and_covers_the_layers() {
+        use tytan_trace::json::{parse, Value};
+
+        let trace = chrome_trace_use_case();
+        let doc = parse(&trace).expect("export is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let pids: Vec<f64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Value::as_number))
+            .collect();
+        // The EA-MPU layer (pid 2) reports through counters, not events;
+        // emu, rtos, and core all emit spans or marks in this workload.
+        for layer in [tytan_trace::Layer::Emu, tytan_trace::Layer::Rtos] {
+            assert!(
+                pids.contains(&f64::from(layer.pid())),
+                "layer {} missing from export",
+                layer.name()
+            );
+        }
+        assert!(
+            pids.contains(&f64::from(tytan_trace::Layer::Core.pid())),
+            "core loader/attestation markers missing"
+        );
     }
 }

@@ -13,6 +13,7 @@
 //! scales linearly in what, and where real-time behaviour holds.
 
 pub mod experiments;
+pub mod schema;
 
 use std::fmt::Write as _;
 
@@ -119,17 +120,30 @@ pub fn render(table: &Table) -> String {
 }
 
 /// Renders all tables as a JSON document for machine consumption
-/// (`tables --json` writes this to `BENCH_tables.json`).
+/// (`tables --json` writes this to `BENCH_tables.json`; the document
+/// validates against `schema/bench_tables.schema.json`).
 ///
 /// `host_guest_ips` is the host-side simulation rate (guest instructions
 /// per host second) measured on the standard busy loop — the fast-path
-/// health metric tracked alongside the paper numbers.
-pub fn render_json(tables: &[Table], host_guest_ips: f64) -> String {
+/// health metric tracked alongside the paper numbers. `counters` is the
+/// flat instrumentation snapshot (see
+/// [`experiments::fast_path_counters`]): raw per-layer event counts plus
+/// the derived cache hit rates.
+pub fn render_json(tables: &[Table], host_guest_ips: f64, counters: &[(String, f64)]) -> String {
     let mut out = String::from("{\n");
-    let _ = write!(
-        out,
-        "  \"host_guest_ips\": {host_guest_ips:.0},\n  \"tables\": ["
-    );
+    let _ = write!(out, "  \"host_guest_ips\": {host_guest_ips:.0},");
+    out.push_str("\n  \"counters\": {");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: {}", json_string(name), json_number(*value));
+    }
+    if counters.is_empty() {
+        out.push_str("},\n  \"tables\": [");
+    } else {
+        out.push_str("\n  },\n  \"tables\": [");
+    }
     for (t, table) in tables.iter().enumerate() {
         if t > 0 {
             out.push(',');
@@ -255,18 +269,26 @@ mod tests {
                 Row::measured_only("beta", 2.5, "kHz"),
             ],
         };
-        let json = render_json(&[table], 12_345_678.9);
+        let counters = vec![
+            ("predecode_hit_rate".to_string(), 0.97),
+            ("eampu_cache_hit_rate".to_string(), 0.99),
+        ];
+        let json = render_json(&[table], 12_345_678.9, &counters);
         assert!(json.contains("\"host_guest_ips\": 12345679"));
+        assert!(json.contains("\"predecode_hit_rate\": 0.97"));
         assert!(json.contains("\"id\": \"tableX\""));
         assert!(json.contains("\"title\": \"demo \\\"quoted\\\"\""));
         assert!(json.contains("\"paper\": 1000, \"measured\": 1100.5"));
         assert!(json.contains("\"paper\": null, \"measured\": 2.5"));
-        // Balanced braces/brackets — the cheapest well-formedness check
-        // available without a JSON parser in the tree.
-        for (open, close) in [('{', '}'), ('[', ']')] {
-            let opens = json.matches(open).count();
-            let closes = json.matches(close).count();
-            assert_eq!(opens, closes, "unbalanced {open}{close}");
-        }
+        let parsed = tytan_trace::json::parse(&json).expect("render_json emits valid JSON");
+        assert!(parsed.get("counters").is_some());
+        // The rendered document honours the checked-in schema contract.
+        schema::check_bench_tables(&json).expect("schema-valid");
+    }
+
+    #[test]
+    fn json_rendering_with_empty_counters_is_still_valid_json() {
+        let json = render_json(&[], 0.0, &[]);
+        tytan_trace::json::parse(&json).expect("valid JSON");
     }
 }

@@ -9,9 +9,11 @@
 //! optimisation only; if any of these diverge, it changed the model.
 
 use sp_emu::MachineConfig;
+use std::sync::Arc;
 use tytan::platform::{Platform, PlatformConfig};
 use tytan::usecase::CruiseControl;
 use tytan_bench::experiments;
+use tytan_trace::{RingRecorder, Tracer};
 
 fn fast() -> MachineConfig {
     MachineConfig {
@@ -85,6 +87,42 @@ fn ipc_round_trip_is_cycle_identical() {
         phases(legacy()),
         "IPC proxy/entry phases diverged"
     );
+}
+
+#[test]
+fn tracing_is_cycle_neutral_on_cruise_control_slice() {
+    // Same workload as `cruise_control_slice_is_cycle_identical`, but the
+    // axis under test is the instrumentation: a fully-wired recorder
+    // (machine, EA-MPU, kernel trace, core markers) against no tracer at
+    // all, fast path on both sides. If recording an event or bumping a
+    // counter ever ticked the machine or changed a decision, these would
+    // diverge.
+    let run = |traced: bool| {
+        let config = PlatformConfig {
+            machine: fast(),
+            ..Default::default()
+        };
+        let mut platform: Platform = Platform::boot(config).expect("boots");
+        if traced {
+            platform.attach_tracer(Tracer::new(Arc::new(RingRecorder::new(1 << 16))));
+        }
+        let mut scenario = CruiseControl::install(&mut platform).expect("installs");
+        platform.run_for(200_000).expect("warmup");
+        let before = scenario
+            .measure_window(&mut platform, 240_000)
+            .expect("before");
+        let _ = scenario.activate_cruise_control(&mut platform);
+        let during = scenario
+            .measure_window(&mut platform, 240_000)
+            .expect("during");
+        (
+            before,
+            during,
+            platform.machine().cycles(),
+            platform.machine().stats(),
+        )
+    };
+    assert_eq!(run(true), run(false), "tracing changed guest cycles");
 }
 
 #[test]

@@ -56,6 +56,7 @@ use sp_emu::{Event, Fault, Machine, MachineConfig};
 use std::collections::BTreeMap;
 use std::fmt;
 use tytan_crypto::{Digest, PlatformKey, Sha1, SymmetricKey, TaskId};
+use tytan_trace::{EventKind, Layer, Tracer};
 
 /// Where the hardware platform key `K_p` lives (readable by trusted
 /// components only, enforced by a static EA-MPU rule).
@@ -253,6 +254,18 @@ pub struct Platform<D: Digest = Sha1> {
     last_steal_tick: u64,
     started: bool,
     device_handles: BTreeMap<&'static str, usize>,
+    tracer: Option<Tracer>,
+}
+
+/// Chrome-trace thread ids for `core`-layer platform phases. The loader
+/// gets one track per load job (concurrent loads must not nest their
+/// spans into each other), IPC and attestation each get a fixed track.
+const TRACE_TID_IPC: u32 = 1;
+const TRACE_TID_ATTEST: u32 = 2;
+const TRACE_TID_LOADER_BASE: u32 = 16;
+
+fn loader_tid(job_index: usize) -> u32 {
+    TRACE_TID_LOADER_BASE.saturating_add(job_index as u32)
 }
 
 impl<D: Digest> fmt::Debug for Platform<D> {
@@ -465,10 +478,39 @@ impl<D: Digest> Platform<D> {
             last_steal_tick: 0,
             started: false,
             device_handles,
+            tracer: None,
         })
     }
 
     // ----- accessors -----
+
+    /// Attaches the shared cross-layer trace sink to every layer at once:
+    /// the machine (instruction classes, predecode cache, MMIO, IRQ spans)
+    /// and through it the EA-MPU (decision-cache hits, denials), the
+    /// kernel's scheduling trace (forwarded as `rtos`-layer events), and
+    /// the platform itself (`core`-layer loader spans, IPC-proxy spans,
+    /// and attestation phase markers).
+    ///
+    /// All instrumentation is host-side: it never ticks the machine or
+    /// changes a decision, so traced and untraced runs are cycle-identical
+    /// (the differential suites assert this).
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.machine.attach_tracer(tracer.clone());
+        self.kernel.trace_mut().set_sink(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Emits a `core`-layer event at the current cycle (no-op untraced).
+    fn trace_core(&self, tid: u32, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.emit(Layer::Core, tid, self.machine.cycles(), kind);
+        }
+    }
 
     /// The machine.
     pub fn machine(&self) -> &Machine {
@@ -568,7 +610,9 @@ impl<D: Digest> Platform<D> {
     pub fn begin_load(&mut self, source: &TaskSource, priority: u8) -> LoadToken {
         let job = LoadJob::new(source.image.clone(), source.mailbox_offset, priority);
         self.jobs.push(JobSlot::Running(Box::new(job)));
-        LoadToken(self.jobs.len() - 1)
+        let token = LoadToken(self.jobs.len() - 1);
+        self.trace_core(loader_tid(token.0), EventKind::Enter("load"));
+        token
     }
 
     /// The status of a load job.
@@ -721,6 +765,7 @@ impl<D: Digest> Platform<D> {
     /// Local attestation: the task's measurement digest from the RTM list
     /// (trustworthy because only the RTM can write the list, §3).
     pub fn local_attest(&self, id: TaskId) -> Option<Vec<u8>> {
+        self.trace_core(TRACE_TID_ATTEST, EventKind::Mark("local_attest"));
         self.rtm.lookup(id).map(|r| r.digest.clone())
     }
 
@@ -736,20 +781,24 @@ impl<D: Digest> Platform<D> {
         nonce: &[u8],
     ) -> Result<AttestationReport, PlatformError> {
         let record = self.rtm.lookup(id).ok_or(PlatformError::NoSuchTask)?;
+        self.trace_core(TRACE_TID_ATTEST, EventKind::Enter("remote_attest"));
         let report = self.attestor.attest(record, nonce);
         // Two HMAC passes over a short message.
         let per_block = self.machine.firmware_costs().measure_per_block;
         self.machine.tick(4 * per_block);
+        self.trace_core(TRACE_TID_ATTEST, EventKind::Exit("remote_attest"));
         Ok(report)
     }
 
     /// Device-level remote attestation: a MAC-authenticated report over
     /// the *entire* RTM task list for the verifier's `nonce`.
     pub fn remote_attest_device(&mut self, nonce: &[u8]) -> crate::attest::DeviceReport {
+        self.trace_core(TRACE_TID_ATTEST, EventKind::Enter("remote_attest_device"));
         let report = self.attestor.attest_device(self.rtm.records(), nonce);
         let per_block = self.machine.firmware_costs().measure_per_block;
         self.machine
             .tick((2 + 2 * report.tasks.len() as u64) * per_block);
+        self.trace_core(TRACE_TID_ATTEST, EventKind::Exit("remote_attest_device"));
         report
     }
 
@@ -998,6 +1047,13 @@ impl<D: Digest> Platform<D> {
     /// message and sender identity to the receiver's mailbox, and for
     /// synchronous sends branches directly to the receiver.
     fn handle_ipc(&mut self, sender: Option<TaskHandle>) -> Result<(), PlatformError> {
+        self.trace_core(TRACE_TID_IPC, EventKind::Enter("ipc_proxy"));
+        let result = self.ipc_proxy(sender);
+        self.trace_core(TRACE_TID_IPC, EventKind::Exit("ipc_proxy"));
+        result
+    }
+
+    fn ipc_proxy(&mut self, sender: Option<TaskHandle>) -> Result<(), PlatformError> {
         self.machine.tick(self.machine.firmware_costs().ipc_proxy);
         let Some(sender_handle) = sender else {
             return Ok(());
@@ -1087,11 +1143,14 @@ impl<D: Digest> Platform<D> {
             Ok(LoadProgress::Done { handle, id }) => {
                 let report = job.report();
                 self.jobs[index] = JobSlot::Done { handle, id, report };
+                self.trace_core(loader_tid(index), EventKind::Exit("load"));
             }
             Ok(LoadProgress::InProgress(_)) => {}
             Err(e) => {
                 job.abort(&mut self.machine, &mut self.allocator);
                 self.jobs[index] = JobSlot::Failed(e);
+                self.trace_core(loader_tid(index), EventKind::Mark("load_failed"));
+                self.trace_core(loader_tid(index), EventKind::Exit("load"));
             }
         }
         Ok(())
@@ -1178,6 +1237,7 @@ impl<D: Digest> Platform<D> {
             task,
             fault,
         });
+        self.trace_core(0, EventKind::Mark("fault_handled"));
         match task {
             Some(handle) if self.kill_on_fault => {
                 // The EA-MPU caught a violation: terminate the offending
@@ -1292,6 +1352,51 @@ mod tests {
         let count = platform.debug_read_word(counter_addr).unwrap();
         assert!(count > 100, "secure task progressed: {count}");
         assert!(platform.local_attest(id).is_some());
+    }
+
+    #[test]
+    fn tracer_records_every_layer_through_one_sink() {
+        use std::sync::Arc;
+        use tytan_trace::RingRecorder;
+
+        let mut platform = boot();
+        let ring = Arc::new(RingRecorder::new(65_536));
+        platform.attach_tracer(Tracer::new(ring.clone()));
+
+        let (_, id, _) = load_counter(&mut platform, "traced");
+        platform.run_for(500_000).unwrap();
+        let _ = platform.remote_attest(id, b"nonce").unwrap();
+        let _ = platform.remote_attest_device(b"nonce");
+        assert!(platform.local_attest(id).is_some());
+
+        let events = ring.events();
+        let core = |kind: EventKind| {
+            events
+                .iter()
+                .filter(|e| e.layer == Layer::Core && e.kind == kind)
+                .count()
+        };
+        // Loader span: one Enter at begin_load, one Exit at completion.
+        assert_eq!(core(EventKind::Enter("load")), 1);
+        assert_eq!(core(EventKind::Exit("load")), 1);
+        // Attestation markers.
+        assert_eq!(core(EventKind::Enter("remote_attest")), 1);
+        assert_eq!(core(EventKind::Exit("remote_attest")), 1);
+        assert_eq!(core(EventKind::Enter("remote_attest_device")), 1);
+        assert_eq!(core(EventKind::Mark("local_attest")), 1);
+
+        // The kernel's scheduling trace forwards onto the same sink...
+        assert!(events.iter().any(|e| e.layer == Layer::Rtos));
+        // ...and the machine + EA-MPU counters are registered and counting.
+        // (Predecode counters only move on the fast path; under the CI
+        // matrix's TYTAN_FAST_PATH=0 leg the legacy loop has no cache.)
+        let counters = platform.tracer().unwrap().counters();
+        if sp_emu::MachineConfig::default().fast_path {
+            assert!(counters.get("emu_predecode_hit").unwrap() > 0);
+        }
+        assert!(counters.get("emu_instr_alu").unwrap() > 0);
+        assert!(counters.get("emu_irq_entry").unwrap() > 0);
+        assert!(counters.get("eampu_access_cache_hit").is_some());
     }
 
     #[test]

@@ -41,6 +41,8 @@
 
 use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::Arc;
+use tytan_trace::{CounterId, Counters, Tracer};
 
 mod perms;
 mod region;
@@ -215,6 +217,60 @@ pub struct EaMpu {
     /// rectangles as the cache and are cleared with it.
     access_latch: [Cell<AccessCacheEntry>; 2],
     transfer_latch: Cell<TransferCacheEntry>,
+    /// Host-side observability, attached by [`EaMpu::attach_tracer`].
+    /// `None` (the default) keeps every check on its untraced path behind a
+    /// single branch. Tracing never changes a decision and never costs
+    /// guest cycles.
+    trace: Option<MpuTrace>,
+}
+
+/// Per-slot rule usage, collected only while a tracer is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Accesses or transfers a rule in this slot allowed.
+    pub hits: u64,
+    /// Denials attributed to this slot (its region protected the target).
+    pub denials: u64,
+}
+
+/// Counter handles for the EA-MPU layer, resolved once at attach time so
+/// the check paths never do a name lookup.
+#[derive(Debug, Clone)]
+struct MpuTrace {
+    counters: Arc<Counters>,
+    access_hit: CounterId,
+    access_miss: CounterId,
+    transfer_hit: CounterId,
+    transfer_miss: CounterId,
+    flush: CounterId,
+    denied: CounterId,
+    slots: RefCell<Vec<SlotStats>>,
+}
+
+impl MpuTrace {
+    fn new(counters: Arc<Counters>, slot_count: usize) -> Self {
+        MpuTrace {
+            access_hit: counters.register("eampu_access_cache_hit"),
+            access_miss: counters.register("eampu_access_cache_miss"),
+            transfer_hit: counters.register("eampu_transfer_cache_hit"),
+            transfer_miss: counters.register("eampu_transfer_cache_miss"),
+            flush: counters.register("eampu_cache_flush"),
+            denied: counters.register("eampu_denied"),
+            slots: RefCell::new(vec![SlotStats::default(); slot_count]),
+            counters,
+        }
+    }
+
+    fn bump_slot(&self, slot: usize, denial: bool) {
+        let mut slots = self.slots.borrow_mut();
+        if let Some(s) = slots.get_mut(slot) {
+            if denial {
+                s.denials += 1;
+            } else {
+                s.hits += 1;
+            }
+        }
+    }
 }
 
 /// An empty (never-matching) access latch: `lo > hi` ranges match nothing.
@@ -362,6 +418,67 @@ impl EaMpu {
             cache_enabled: true,
             access_latch: [Cell::new(EMPTY_ACCESS_LATCH), Cell::new(EMPTY_ACCESS_LATCH)],
             transfer_latch: Cell::new(EMPTY_TRANSFER_LATCH),
+            trace: None,
+        }
+    }
+
+    /// Attaches host-side observability: decision-cache hit/miss/flush and
+    /// denial counters are registered in `tracer`'s registry, and per-slot
+    /// rule usage starts accumulating (see [`EaMpu::slot_stats`]).
+    ///
+    /// Tracing is an observer only — it never changes a decision and never
+    /// charges guest cycles.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.trace = Some(MpuTrace::new(tracer.counters().clone(), self.slots.len()));
+    }
+
+    /// Per-slot rule usage since the tracer was attached (empty when no
+    /// tracer is attached). Index is the slot number.
+    pub fn slot_stats(&self) -> Vec<SlotStats> {
+        self.trace
+            .as_ref()
+            .map(|t| t.slots.borrow().clone())
+            .unwrap_or_default()
+    }
+
+    fn trace_access(&self, decision: AccessDecision, cached: bool, addr: u32) {
+        let Some(t) = &self.trace else { return };
+        t.counters
+            .incr(if cached { t.access_hit } else { t.access_miss });
+        match decision {
+            AccessDecision::AllowedByRule { slot } => t.bump_slot(slot, false),
+            AccessDecision::Denied => {
+                t.counters.incr(t.denied);
+                // Attribute the denial to the slot whose region protects the
+                // target. Denials are a cold path (they fault the machine),
+                // so the extra scan is acceptable — and traced-only anyway.
+                if let Some((slot, _)) = self
+                    .rules()
+                    .find(|(_, r)| r.data.contains(addr) || r.code.contains(addr))
+                {
+                    t.bump_slot(slot, true);
+                }
+            }
+            AccessDecision::AllowedUnprotected => {}
+        }
+    }
+
+    fn trace_transfer(&self, decision: TransferDecision, cached: bool, to_addr: u32) {
+        let Some(t) = &self.trace else { return };
+        t.counters.incr(if cached {
+            t.transfer_hit
+        } else {
+            t.transfer_miss
+        });
+        match decision {
+            TransferDecision::AllowedAtEntry { slot } => t.bump_slot(slot, false),
+            TransferDecision::DeniedMidRegion { .. } => {
+                t.counters.incr(t.denied);
+                if let Some((slot, _)) = self.rules().find(|(_, r)| r.code.contains(to_addr)) {
+                    t.bump_slot(slot, true);
+                }
+            }
+            TransferDecision::Allowed => {}
         }
     }
 
@@ -381,6 +498,9 @@ impl EaMpu {
         self.access_latch[0].set(EMPTY_ACCESS_LATCH);
         self.access_latch[1].set(EMPTY_ACCESS_LATCH);
         self.transfer_latch.set(EMPTY_TRANSFER_LATCH);
+        if let Some(t) = &self.trace {
+            t.counters.incr(t.flush);
+        }
     }
 
     /// Total number of slots.
@@ -534,6 +654,9 @@ impl EaMpu {
         if self.cache_enabled {
             let l = self.access_latch[latch_index(kind)].get();
             if l.eip_lo <= eip && eip <= l.eip_hi && l.addr_lo <= addr && addr <= l.addr_hi {
+                if self.trace.is_some() {
+                    self.trace_access(l.decision, true, addr);
+                }
                 return l.decision;
             }
         }
@@ -544,6 +667,9 @@ impl EaMpu {
         if self.cache_enabled {
             if let Some(entry) = self.cache.borrow_mut().lookup_access(eip, addr, kind) {
                 self.access_latch[latch_index(kind)].set(entry);
+                if self.trace.is_some() {
+                    self.trace_access(entry.decision, true, addr);
+                }
                 return entry.decision;
             }
         }
@@ -592,6 +718,9 @@ impl EaMpu {
             self.cache.borrow_mut().insert_access(entry);
             self.access_latch[latch_index(kind)].set(entry);
         }
+        if self.trace.is_some() {
+            self.trace_access(decision, false, addr);
+        }
         decision
     }
 
@@ -612,6 +741,9 @@ impl EaMpu {
                 && l.to_lo <= to_addr
                 && to_addr <= l.to_hi
             {
+                if self.trace.is_some() {
+                    self.trace_transfer(l.decision, true, to_addr);
+                }
                 return l.decision;
             }
         }
@@ -622,6 +754,9 @@ impl EaMpu {
         if self.cache_enabled {
             if let Some(entry) = self.cache.borrow_mut().lookup_transfer(from_eip, to_addr) {
                 self.transfer_latch.set(entry);
+                if self.trace.is_some() {
+                    self.trace_transfer(entry.decision, true, to_addr);
+                }
                 return entry.decision;
             }
         }
@@ -663,6 +798,9 @@ impl EaMpu {
             };
             self.cache.borrow_mut().insert_transfer(entry);
             self.transfer_latch.set(entry);
+        }
+        if self.trace.is_some() {
+            self.trace_transfer(decision, false, to_addr);
         }
         decision
     }
@@ -907,6 +1045,58 @@ mod tests {
         // Freed slots are reused first.
         let (slot, _) = mpu.find_free_slot();
         assert_eq!(slot, Some(0));
+    }
+
+    #[test]
+    fn tracer_counts_cache_behaviour_and_slot_usage() {
+        let mut mpu = EaMpu::new(4);
+        mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        let tracer = Tracer::null();
+        mpu.attach_tracer(&tracer);
+        let c = tracer.counters();
+
+        // First check scans (miss), repeats hit the latch.
+        for _ in 0..3 {
+            assert!(mpu
+                .check_access(0x1004, 0x8004, AccessKind::Read)
+                .is_allowed());
+        }
+        assert_eq!(c.get("eampu_access_cache_miss"), Some(1));
+        assert_eq!(c.get("eampu_access_cache_hit"), Some(2));
+
+        // A denial is counted and attributed to the protecting slot.
+        assert!(!mpu
+            .check_access(0x5000, 0x8004, AccessKind::Read)
+            .is_allowed());
+        assert_eq!(c.get("eampu_denied"), Some(1));
+        let slots = mpu.slot_stats();
+        assert_eq!(slots[0].hits, 3);
+        assert_eq!(slots[0].denials, 1);
+
+        // Transfers count on their own pair of counters.
+        mpu.check_transfer(0x5000, 0x6000);
+        mpu.check_transfer(0x5000, 0x6000);
+        assert_eq!(c.get("eampu_transfer_cache_miss"), Some(1));
+        assert_eq!(c.get("eampu_transfer_cache_hit"), Some(1));
+
+        // Rule mutation flushes the decision cache, visibly.
+        let before = c.get("eampu_cache_flush").unwrap();
+        mpu.set_rule(1, rule(0x2000, 0x9000));
+        assert_eq!(c.get("eampu_cache_flush"), Some(before + 1));
+    }
+
+    #[test]
+    fn tracer_counts_pure_scans_as_misses_when_cache_disabled() {
+        let mut mpu = EaMpu::new(4);
+        mpu.set_decision_cache_enabled(false);
+        mpu.configure(rule(0x1000, 0x8000)).unwrap();
+        let tracer = Tracer::null();
+        mpu.attach_tracer(&tracer);
+        for _ in 0..5 {
+            mpu.check_access(0x1004, 0x8004, AccessKind::Read);
+        }
+        assert_eq!(tracer.counters().get("eampu_access_cache_miss"), Some(5));
+        assert_eq!(tracer.counters().get("eampu_access_cache_hit"), Some(0));
     }
 
     #[test]

@@ -6,6 +6,8 @@ use eampu::{AccessKind, EaMpu, TransferDecision};
 use sp32::{decode, Instr, Reg, EFLAGS_CF, EFLAGS_IF, EFLAGS_SF, EFLAGS_ZF};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::OnceLock;
+use tytan_trace::{CounterId, EventKind, Layer, Tracer};
 
 /// Construction parameters for a [`Machine`].
 #[derive(Debug, Clone)]
@@ -41,9 +43,22 @@ impl Default for MachineConfig {
             firmware_costs: FirmwareCosts::default(),
             hw_context_save: false,
             hw_save_cost: 8,
-            fast_path: true,
+            fast_path: fast_path_default(),
         }
     }
+}
+
+/// Default for [`MachineConfig::fast_path`], overridable by the
+/// `TYTAN_FAST_PATH` environment variable (`0`/`false`/`off`/`no` disable
+/// it). CI runs the whole workspace test suite once per value so the legacy
+/// loop stays exercised end-to-end; the result is cached for the process
+/// because a test binary must not see the default flip mid-run.
+fn fast_path_default() -> bool {
+    static FAST_PATH: OnceLock<bool> = OnceLock::new();
+    *FAST_PATH.get_or_init(|| match std::env::var("TYTAN_FAST_PATH") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    })
 }
 
 /// A hardware fault raised during execution.
@@ -185,6 +200,49 @@ pub struct Machine {
     /// never); recomputed when `device_deadline_dirty` is set.
     device_deadline: u64,
     device_deadline_dirty: bool,
+    /// Host-side observability, attached by [`Machine::attach_tracer`].
+    /// `None` keeps the hot paths behind a single branch; attached tracing
+    /// never calls [`Machine::tick`] and never changes an outcome, so guest
+    /// cycles are bit-identical with or without it.
+    trace: Option<EmuTrace>,
+}
+
+/// Counter handles for the emulator layer, resolved once at attach time.
+struct EmuTrace {
+    tracer: Tracer,
+    /// Instruction-class counters, indexed by [`instr_class`]:
+    /// alu / mem / branch / system.
+    class: [CounterId; 4],
+    predecode_hit: CounterId,
+    predecode_miss: CounterId,
+    mmio_read: CounterId,
+    mmio_write: CounterId,
+    faults: CounterId,
+    irq_entry: CounterId,
+    irq_exit: CounterId,
+    /// Vectors of in-flight interrupts, so the `Exit` event of a nested IRQ
+    /// lands on the same Chrome track as its `Enter`.
+    irq_stack: Vec<u8>,
+}
+
+/// Classifies an instruction for the per-class retirement counters.
+fn instr_class(instr: &Instr) -> usize {
+    match instr {
+        Instr::Ldw { .. }
+        | Instr::Ldb { .. }
+        | Instr::Stw { .. }
+        | Instr::Stb { .. }
+        | Instr::Push { .. }
+        | Instr::Pop { .. } => 1,
+        Instr::Jmp { .. }
+        | Instr::Jcc { .. }
+        | Instr::JmpReg { .. }
+        | Instr::Call { .. }
+        | Instr::Ret
+        | Instr::Iret => 2,
+        Instr::Nop | Instr::Hlt | Instr::Int { .. } | Instr::Sti | Instr::Cli => 3,
+        _ => 0,
+    }
 }
 
 /// One predecode-cache entry (see [`Machine::predecode`]).
@@ -265,6 +323,50 @@ impl Machine {
             ],
             device_deadline: 0,
             device_deadline_dirty: true,
+            trace: None,
+        }
+    }
+
+    /// Attaches host-side observability to this machine and its EA-MPU:
+    /// instruction-class, predecode-cache, MMIO, fault and IRQ counters are
+    /// registered in `tracer`'s registry, and IRQ entry/exit plus faults are
+    /// emitted as cycle-stamped events.
+    ///
+    /// Tracing is an observer only — it never advances the clock and never
+    /// changes an execution outcome. The differential identity suites run
+    /// with a recorder attached to prove it.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.mpu.attach_tracer(&tracer);
+        let c = tracer.counters().clone();
+        self.trace = Some(EmuTrace {
+            class: [
+                c.register("emu_instr_alu"),
+                c.register("emu_instr_mem"),
+                c.register("emu_instr_branch"),
+                c.register("emu_instr_system"),
+            ],
+            predecode_hit: c.register("emu_predecode_hit"),
+            predecode_miss: c.register("emu_predecode_miss"),
+            mmio_read: c.register("emu_mmio_read"),
+            mmio_write: c.register("emu_mmio_write"),
+            faults: c.register("emu_fault"),
+            irq_entry: c.register("emu_irq_entry"),
+            irq_exit: c.register("emu_irq_exit"),
+            irq_stack: Vec::new(),
+            tracer,
+        });
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.trace.as_ref().map(|t| &t.tracer)
+    }
+
+    fn note_fault(&self) {
+        if let Some(t) = &self.trace {
+            t.tracer.counters().incr(t.faults);
+            t.tracer
+                .emit(Layer::Emu, 0, self.clock, EventKind::Mark("fault"));
         }
     }
 
@@ -410,6 +512,9 @@ impl Machine {
             let now = self.clock;
             // Any device access may change its poll schedule.
             self.device_deadline_dirty = true;
+            if let Some(t) = &self.trace {
+                t.tracer.counters().incr(t.mmio_read);
+            }
             return Ok(self.devices[dev].read(addr - base, now));
         }
         Err(Fault::Bus { addr })
@@ -431,6 +536,9 @@ impl Machine {
             let base = self.devices[dev].range().start();
             let now = self.clock;
             self.device_deadline_dirty = true;
+            if let Some(t) = &self.trace {
+                t.tracer.counters().incr(t.mmio_write);
+            }
             self.devices[dev].write(addr - base, value, now);
             return Ok(());
         }
@@ -746,6 +854,13 @@ impl Machine {
         self.halted = false;
         self.clock += self.cycle_model.int_dispatch;
         self.stats.interrupts += 1;
+        let clock = self.clock;
+        if let Some(t) = &mut self.trace {
+            t.tracer.counters().incr(t.irq_entry);
+            t.irq_stack.push(vector);
+            t.tracer
+                .emit(Layer::Emu, vector as u32, clock, EventKind::Enter("irq"));
+        }
         Ok(())
     }
 
@@ -866,8 +981,14 @@ impl Machine {
         let instr = if self.fast_path && self.predecode[predecode_idx].tag == eip {
             let entry = self.predecode[predecode_idx];
             precost = Some((entry.cost_not_taken, entry.cost_taken));
+            if let Some(t) = &self.trace {
+                t.tracer.counters().incr(t.predecode_hit);
+            }
             entry.instr
         } else {
+            if let (true, Some(t)) = (self.fast_path, &self.trace) {
+                t.tracer.counters().incr(t.predecode_miss);
+            }
             let first = self.read_word(eip).map_err(|_| Fault::Decode { eip })?;
             let needs_ext = sp32::encoded_len_words(first) == 2;
             let ext = if needs_ext {
@@ -1033,6 +1154,9 @@ impl Machine {
                 // records the INT site for the IPC proxy.
                 self.clock += self.cycle_model.cost(&instr, false);
                 self.stats.instructions += 1;
+                if let Some(t) = &self.trace {
+                    t.tracer.counters().incr(t.class[instr_class(&instr)]);
+                }
                 self.eip = fallthrough;
                 self.dispatch_interrupt(vector, eip)?;
                 return Ok(());
@@ -1055,6 +1179,16 @@ impl Machine {
                 self.eflags = new_eflags;
                 next = new_eip;
                 taken = true;
+                let clock = self.clock;
+                if let Some(t) = &mut self.trace {
+                    t.tracer.counters().incr(t.irq_exit);
+                    // Pop the matching dispatch so the Exit lands on the
+                    // same Chrome track; a bare IRET (kernel-fabricated
+                    // frame) falls back to the layer's main track.
+                    let vector = t.irq_stack.pop().unwrap_or(0);
+                    t.tracer
+                        .emit(Layer::Emu, vector as u32, clock, EventKind::Exit("irq"));
+                }
             }
             Instr::Sti => self.eflags |= EFLAGS_IF,
             Instr::Cli => self.eflags &= !EFLAGS_IF,
@@ -1074,6 +1208,9 @@ impl Machine {
             None => self.cycle_model.cost(&instr, taken),
         };
         self.stats.instructions += 1;
+        if let Some(t) = &self.trace {
+            t.tracer.counters().incr(t.class[instr_class(&instr)]);
+        }
         self.eip = next;
         Ok(())
     }
@@ -1107,6 +1244,7 @@ impl Machine {
                     let origin = self.eip;
                     if let Err(fault) = self.dispatch_interrupt(vector, origin) {
                         self.stats.faults += 1;
+                        self.note_fault();
                         return Event::Fault(fault);
                     }
                 }
@@ -1131,6 +1269,7 @@ impl Machine {
 
             if let Err(fault) = self.step() {
                 self.stats.faults += 1;
+                self.note_fault();
                 return Event::Fault(fault);
             }
         }
@@ -1161,6 +1300,7 @@ impl Machine {
                     let origin = self.eip;
                     if let Err(fault) = self.dispatch_interrupt(vector, origin) {
                         self.stats.faults += 1;
+                        self.note_fault();
                         return Event::Fault(fault);
                     }
                 }
@@ -1194,6 +1334,7 @@ impl Machine {
             loop {
                 if let Err(fault) = self.step() {
                     self.stats.faults += 1;
+                    self.note_fault();
                     return Event::Fault(fault);
                 }
                 if self.halted
@@ -1220,6 +1361,84 @@ mod tests {
         m.load_image(origin, &p.bytes).expect("load");
         m.set_eip(origin);
         m
+    }
+
+    #[test]
+    fn tracer_counts_classes_and_predecode_without_touching_cycles() {
+        use std::sync::Arc;
+        use tytan_trace::RingRecorder;
+
+        // Pin the fast path on: the predecode-coverage assertions below are
+        // about the cache, which the legacy loop (TYTAN_FAST_PATH=0 in the
+        // CI matrix) legitimately never consults.
+        let build = |src: &str| {
+            let mut m = Machine::new(MachineConfig {
+                fast_path: true,
+                ..MachineConfig::default()
+            });
+            let p = assemble(src, 0x100).expect("assemble");
+            m.load_image(0x100, &p.bytes).expect("load");
+            m.set_eip(0x100);
+            m
+        };
+        let src = "main:\n movi r0, 0\nloop:\n addi r0, 1\n cmpi r0, 50\n jnz loop\n hlt\n";
+        let mut traced = build(src);
+        let ring = Arc::new(RingRecorder::new(256));
+        traced.attach_tracer(Tracer::new(ring.clone()));
+        let mut plain = build(src);
+
+        traced.run(10_000);
+        plain.run(10_000);
+        assert_eq!(traced.cycles(), plain.cycles(), "tracing charged cycles");
+        assert_eq!(traced.stats(), plain.stats());
+
+        let c = traced.tracer().unwrap().counters().clone();
+        // 1 movi + 50 * (addi + cmpi) = 101 ALU retirements, 50 jnz + hlt.
+        assert_eq!(c.get("emu_instr_alu"), Some(101));
+        assert_eq!(c.get("emu_instr_branch"), Some(50));
+        assert_eq!(c.get("emu_instr_system"), Some(1));
+        // The loop body re-executes from the predecode cache.
+        let hits = c.get("emu_predecode_hit").unwrap();
+        let misses = c.get("emu_predecode_miss").unwrap();
+        assert_eq!(hits + misses, traced.stats().instructions);
+        assert!(hits > misses, "loop should be predecode-cache resident");
+    }
+
+    #[test]
+    fn tracer_records_irq_spans() {
+        use std::sync::Arc;
+        use tytan_trace::RingRecorder;
+
+        let src = "main:\n sti\n int 5\n addi r2, 1\n hlt\n\
+                   handler:\n addi r3, 1\n iret\n";
+        let mut m = machine_with(src, 0x1000);
+        let p = assemble(src, 0x1000).unwrap();
+        let handler = p.symbol("handler").unwrap();
+        m.set_reg(Reg::R7, 0x8000);
+        m.set_idt_base(0x40);
+        m.set_idt_entry(5, handler).unwrap();
+        let ring = Arc::new(RingRecorder::new(64));
+        m.attach_tracer(Tracer::new(ring.clone()));
+
+        m.run(10_000);
+        assert!(m.is_halted());
+        let events = ring.events();
+        let enters: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Enter("irq"))
+            .collect();
+        let exits: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Exit("irq"))
+            .collect();
+        assert_eq!(enters.len(), 1);
+        assert_eq!(exits.len(), 1);
+        assert_eq!(enters[0].tid, 5, "track is the vector");
+        assert_eq!(exits[0].tid, 5);
+        assert!(enters[0].cycle < exits[0].cycle);
+        let c = m.tracer().unwrap().counters();
+        assert_eq!(c.get("emu_irq_entry"), Some(1));
+        assert_eq!(c.get("emu_irq_exit"), Some(1));
     }
 
     #[test]

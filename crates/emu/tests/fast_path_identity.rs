@@ -17,6 +17,8 @@ use sp32::asm::assemble;
 use sp32::Reg;
 use sp_emu::devices::{Sensor, Timer};
 use sp_emu::{Event, Fault, Machine, MachineConfig, MachineStats};
+use std::sync::Arc;
+use tytan_trace::{RingRecorder, Tracer};
 
 fn config(fast_path: bool) -> MachineConfig {
     MachineConfig {
@@ -41,9 +43,15 @@ fn snapshot(m: &Machine) -> Snapshot {
 /// Runs the same setup on a fast and a legacy machine, then executes
 /// `chunks` budget slices of `budget` cycles each, asserting identical
 /// events and machine state after every slice.
+///
+/// The fast machine additionally runs with an event recorder attached (the
+/// legacy machine stays untraced), so every lockstep test doubles as a
+/// cycle-neutrality proof for the tracing layer: if recording an event or
+/// bumping a counter ever touched the model, these snapshots would diverge.
 fn lockstep(setup: impl Fn(&mut Machine), chunks: usize, budget: u64) {
     let mut fast = Machine::new(config(true));
     let mut legacy = Machine::new(config(false));
+    fast.attach_tracer(Tracer::new(Arc::new(RingRecorder::new(4096))));
     setup(&mut fast);
     setup(&mut legacy);
     for i in 0..chunks {

@@ -1,0 +1,206 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Produces the JSON Array-in-Object format understood by
+//! `chrome://tracing` and Perfetto: one *pid* per [`Layer`], one *tid* per
+//! logical track within the layer, `B`/`E` duration spans from
+//! [`EventKind::Enter`]/[`EventKind::Exit`] pairs, instants for
+//! [`EventKind::Mark`], and counter tracks for [`EventKind::Value`].
+//! Timestamps are guest cycles passed through as the `ts` field (the
+//! viewer's "µs" are our cycles; relative durations are what matter).
+
+use crate::{EventKind, Layer, TraceEvent};
+use std::fmt::Write as _;
+
+/// Escapes `s` as the body of a JSON string (no surrounding quotes).
+///
+/// Handles the two mandatory escapes (`"` and `\`), the common control
+/// shorthands, and the `\u00XX` form for the rest of the C0 range, so any
+/// Rust string round-trips through a strict JSON parser.
+pub fn escape_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, event: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+        escape_json_string(name),
+        ph,
+        event.layer.pid(),
+        event.tid,
+        event.cycle,
+    );
+}
+
+/// Renders `events` as a complete Chrome trace JSON document.
+///
+/// Process-name metadata rows are emitted for every layer that appears, so
+/// the viewer labels the four pids `emu`/`eampu`/`rtos`/`core`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+
+    // One process_name metadata record per layer present in the stream.
+    for layer in [Layer::Emu, Layer::EaMpu, Layer::Rtos, Layer::Core] {
+        if events.iter().any(|e| e.layer == layer) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                layer.pid(),
+                escape_json_string(layer.name()),
+            );
+        }
+    }
+
+    for event in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match event.kind {
+            EventKind::Enter(name) => {
+                push_common(&mut out, name, 'B', event);
+                out.push('}');
+            }
+            EventKind::Exit(name) => {
+                push_common(&mut out, name, 'E', event);
+                out.push('}');
+            }
+            EventKind::Mark(name) => {
+                push_common(&mut out, name, 'i', event);
+                out.push_str(",\"s\":\"t\"}");
+            }
+            EventKind::Value(name, value) => {
+                push_common(&mut out, name, 'C', event);
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"{}\":{}}}}}",
+                    escape_json_string(name),
+                    value
+                );
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(cycle: u64, layer: Layer, tid: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            layer,
+            tid,
+            kind,
+        }
+    }
+
+    #[test]
+    fn escaping_quotes_backslashes_and_controls() {
+        assert_eq!(escape_json_string("plain"), "plain");
+        assert_eq!(escape_json_string("a\"b"), "a\\\"b");
+        assert_eq!(escape_json_string("a\\b"), "a\\\\b");
+        assert_eq!(escape_json_string("line\nbreak"), "line\\nbreak");
+        assert_eq!(escape_json_string("tab\there"), "tab\\there");
+        assert_eq!(escape_json_string("cr\rlf"), "cr\\rlf");
+        assert_eq!(escape_json_string("\u{08}\u{0c}"), "\\b\\f");
+        assert_eq!(escape_json_string("\u{01}\u{1f}"), "\\u0001\\u001f");
+        // Non-ASCII passes through unescaped (JSON strings are UTF-8).
+        assert_eq!(escape_json_string("µs → ok"), "µs → ok");
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_the_parser() {
+        for raw in ["q\"q", "b\\b", "nl\n", "mix\"\\\n\t\r\u{02}"] {
+            let doc = format!("{{\"k\":\"{}\"}}", escape_json_string(raw));
+            let value = json::parse(&doc).expect("escaped string parses");
+            assert_eq!(
+                value.get("k").and_then(json::Value::as_str),
+                Some(raw),
+                "round trip of {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn export_has_spans_instants_counters_and_metadata() {
+        let events = [
+            ev(10, Layer::Core, 1, EventKind::Enter("load")),
+            ev(25, Layer::Emu, 0, EventKind::Mark("fault")),
+            ev(30, Layer::Rtos, 2, EventKind::Value("tick", 3)),
+            ev(90, Layer::Core, 1, EventKind::Exit("load")),
+        ];
+        let doc = chrome_trace_json(&events);
+        let value = json::parse(&doc).expect("chrome export is valid JSON");
+        let rows = value
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .expect("traceEvents array");
+        // 3 metadata rows (emu, rtos, core present) + 4 events.
+        assert_eq!(rows.len(), 7);
+        let phases: Vec<&str> = rows
+            .iter()
+            .filter_map(|r| r.get("ph").and_then(json::Value::as_str))
+            .collect();
+        assert_eq!(phases, vec!["M", "M", "M", "B", "i", "C", "E"]);
+        // The B/E pair shares pid/tid/name.
+        let b = &rows[3];
+        let e = &rows[6];
+        for key in ["name", "pid", "tid"] {
+            assert_eq!(b.get(key), e.get(key), "span field {key}");
+        }
+        assert_eq!(
+            rows[5].get("args").and_then(|a| a.get("tick")),
+            Some(&json::Value::Number(3.0))
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_still_valid_json() {
+        let doc = chrome_trace_json(&[]);
+        let value = json::parse(&doc).expect("parses");
+        assert_eq!(
+            value
+                .get("traceEvents")
+                .and_then(json::Value::as_array)
+                .map(Vec::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn hostile_span_names_stay_valid_json() {
+        let events = [ev(
+            1,
+            Layer::Core,
+            0,
+            EventKind::Enter("we\"ird\\name\nwith\tcontrols\u{01}"),
+        )];
+        let doc = chrome_trace_json(&events);
+        assert!(json::parse(&doc).is_ok(), "escaping kept the doc valid");
+    }
+}

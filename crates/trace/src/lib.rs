@@ -1,0 +1,259 @@
+//! Cross-layer observability for the TyTAN reproduction.
+//!
+//! The paper's evaluation (Tables 1, 4, 7) is an exercise in knowing where
+//! guest cycles go — interrupt entry, EA-MPU checks, IPC traps, attestation
+//! — and the PR 1 fast-path caches added host-side state (predecode cache,
+//! EA-MPU decision cache) whose effectiveness was previously invisible.
+//! This crate is the shared observation plane all layers report into:
+//!
+//! - [`TraceEvent`]: a cycle-stamped event tagged with the [`Layer`] that
+//!   emitted it and a logical track id (task, vector, or concern).
+//! - [`TraceSink`]: where events go. [`NullSink`] ignores everything and is
+//!   the default — an unattached layer pays one `Option` branch, nothing
+//!   more. [`RingRecorder`] keeps the newest events in a bounded
+//!   drop-oldest ring and counts what it sheds.
+//! - [`Counters`]: a monotonic, saturating counter registry shared across
+//!   layers via relaxed atomics (lock-free on the increment path).
+//! - [`chrome`]: Chrome `trace_event` JSON export (one pid per layer, one
+//!   tid per task/track, spans from [`EventKind::Enter`]/[`EventKind::Exit`]
+//!   pairs) loadable in `chrome://tracing` or Perfetto.
+//! - [`json`]: a minimal JSON reader used to verify exports and validate
+//!   `BENCH_tables.json` against its schema without external dependencies.
+//!
+//! # Cycle neutrality
+//!
+//! Instrumentation observes the platform from the host side only: recording
+//! an event or bumping a counter never calls `Machine::tick` and never
+//! changes a decision. The differential identity suites
+//! (`crates/emu/tests/fast_path_identity.rs`,
+//! `crates/bench/tests/cycle_identity.rs`) run with a recorder attached and
+//! assert guest cycle counts stay bit-identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tytan_trace::{EventKind, Layer, RingRecorder, TraceSink, Tracer};
+//!
+//! let ring = Arc::new(RingRecorder::new(1024));
+//! let tracer = Tracer::new(ring.clone());
+//! let requests = tracer.counters().register("requests");
+//!
+//! tracer.emit(Layer::Core, 0, 100, EventKind::Enter("boot"));
+//! tracer.emit(Layer::Core, 0, 250, EventKind::Exit("boot"));
+//! tracer.counters().add(requests, 1);
+//!
+//! assert_eq!(ring.events().len(), 2);
+//! assert_eq!(tracer.counters().get("requests"), Some(1));
+//! let json = tytan_trace::chrome::chrome_trace_json(&ring.events());
+//! assert!(tytan_trace::json::parse(&json).is_ok());
+//! ```
+
+use std::sync::Arc;
+
+pub mod chrome;
+pub mod counters;
+pub mod json;
+pub mod ring;
+
+pub use counters::{CounterId, Counters};
+pub use ring::RingRecorder;
+
+/// The layer of the stack an event originated from. Maps to one Chrome
+/// trace pid per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// The simulated core: instructions, faults, IRQs, MMIO.
+    Emu,
+    /// The execution-aware MPU: rule decisions and cache behaviour.
+    EaMpu,
+    /// The kernel: scheduling, ticks, task lifecycle.
+    Rtos,
+    /// TyTAN trusted components: loader, IPC proxy, attestation.
+    Core,
+}
+
+impl Layer {
+    /// Stable display name (also the Chrome trace process name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Emu => "emu",
+            Layer::EaMpu => "eampu",
+            Layer::Rtos => "rtos",
+            Layer::Core => "core",
+        }
+    }
+
+    /// Chrome trace pid for the layer (1-based, stable).
+    pub fn pid(self) -> u32 {
+        match self {
+            Layer::Emu => 1,
+            Layer::EaMpu => 2,
+            Layer::Rtos => 3,
+            Layer::Core => 4,
+        }
+    }
+}
+
+/// What happened. Names are `&'static str` so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Begin of a named span (Chrome phase `B`). Must be balanced by an
+    /// [`EventKind::Exit`] with the same name on the same `(layer, tid)`.
+    Enter(&'static str),
+    /// End of the matching span (Chrome phase `E`).
+    Exit(&'static str),
+    /// A point event (Chrome instant, phase `i`).
+    Mark(&'static str),
+    /// A point event carrying a value (exported as a Chrome counter, `C`).
+    Value(&'static str, u64),
+}
+
+impl EventKind {
+    /// The event's name irrespective of kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Enter(n) | EventKind::Exit(n) | EventKind::Mark(n) => n,
+            EventKind::Value(n, _) => n,
+        }
+    }
+}
+
+/// A cycle-stamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Guest cycle counter at the event.
+    pub cycle: u64,
+    /// Emitting layer (Chrome pid).
+    pub layer: Layer,
+    /// Logical track within the layer — task index, IRQ vector, or a
+    /// per-concern lane (Chrome tid). `0` is the layer's main track.
+    pub tid: u32,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// Where events go. Implementations must tolerate being called from any
+/// layer at any time; `record` takes `&self` so sinks can be shared.
+pub trait TraceSink: Send + Sync {
+    /// Whether recording is active. Layers may use this to skip building
+    /// events entirely; `false` makes `record` a dead call.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// The no-op sink: disabled, records nothing, compiles to nothing on the
+/// hot path (an `enabled()` check folds to `false`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A cheaply-cloneable handle pairing a shared sink with a shared counter
+/// registry. Layers hold a `Tracer` (or none at all) and report through it.
+#[derive(Clone)]
+pub struct Tracer {
+    sink: Arc<dyn TraceSink>,
+    counters: Arc<Counters>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("counters", &self.counters.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Builds a tracer around `sink` with a fresh counter registry.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer {
+            sink,
+            counters: Arc::new(Counters::new()),
+        }
+    }
+
+    /// Builds a tracer sharing an existing counter registry.
+    pub fn with_counters(sink: Arc<dyn TraceSink>, counters: Arc<Counters>) -> Self {
+        Tracer { sink, counters }
+    }
+
+    /// A disabled tracer ([`NullSink`] + empty registry). Counters still
+    /// count — they are cheap — but no events are recorded.
+    pub fn null() -> Self {
+        Tracer::new(Arc::new(NullSink))
+    }
+
+    /// Whether the sink is recording events.
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// The shared counter registry.
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    /// Records one event if the sink is enabled.
+    #[inline]
+    pub fn emit(&self, layer: Layer, tid: u32, cycle: u64, kind: EventKind) {
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent {
+                cycle,
+                layer,
+                tid,
+                kind,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_records_nothing_but_counts() {
+        let t = Tracer::null();
+        assert!(!t.enabled());
+        let id = t.counters().register("x");
+        t.counters().add(id, 3);
+        t.emit(Layer::Emu, 0, 1, EventKind::Mark("m"));
+        assert_eq!(t.counters().get("x"), Some(3));
+    }
+
+    #[test]
+    fn emit_reaches_ring() {
+        let ring = Arc::new(RingRecorder::new(4));
+        let t = Tracer::new(ring.clone());
+        assert!(t.enabled());
+        t.emit(Layer::Rtos, 7, 42, EventKind::Value("tick", 9));
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cycle, 42);
+        assert_eq!(events[0].tid, 7);
+        assert_eq!(events[0].kind, EventKind::Value("tick", 9));
+    }
+
+    #[test]
+    fn layer_pids_are_distinct() {
+        let pids = [Layer::Emu, Layer::EaMpu, Layer::Rtos, Layer::Core].map(Layer::pid);
+        for (i, a) in pids.iter().enumerate() {
+            for b in &pids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

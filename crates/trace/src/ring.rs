@@ -1,0 +1,183 @@
+//! The bounded drop-oldest event recorder.
+
+use crate::{TraceEvent, TraceSink};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A bounded ring of [`TraceEvent`]s: the newest `capacity` events are
+/// kept, older ones are dropped (and counted). Long-running workloads can
+/// therefore trace forever in constant memory; consumers that care about
+/// loss read [`RingRecorder::dropped`].
+///
+/// The ring itself sits behind a mutex (recording is a few stores under a
+/// lock that is never held across user code); the dropped counter is a
+/// relaxed atomic so it can be read without taking the lock.
+///
+/// # Examples
+///
+/// ```
+/// use tytan_trace::{EventKind, Layer, RingRecorder, TraceEvent, TraceSink};
+///
+/// let ring = RingRecorder::new(2);
+/// for cycle in 0..5 {
+///     ring.record(TraceEvent {
+///         cycle,
+///         layer: Layer::Emu,
+///         tid: 0,
+///         kind: EventKind::Mark("m"),
+///     });
+/// }
+/// let kept: Vec<u64> = ring.events().iter().map(|e| e.cycle).collect();
+/// assert_eq!(kept, vec![3, 4]);
+/// assert_eq!(ring.dropped(), 3);
+/// ```
+#[derive(Debug)]
+pub struct RingRecorder {
+    inner: Mutex<Ring>,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Ring {
+    /// Storage; grows up to `capacity`, then wraps.
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the buffer is full.
+    head: usize,
+}
+
+impl RingRecorder {
+    /// Creates a recorder keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        RingRecorder {
+            inner: Mutex::new(Ring {
+                buf: Vec::new(),
+                head: 0,
+            }),
+            dropped: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring lock").buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events dropped to make room (monotonic, saturating).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.inner.lock().expect("ring lock");
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.head..]);
+        out.extend_from_slice(&ring.buf[..ring.head]);
+        out
+    }
+
+    /// Forgets all retained events and resets the dropped count.
+    pub fn clear(&self) {
+        let mut ring = self.inner.lock().expect("ring lock");
+        ring.buf.clear();
+        ring.head = 0;
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&self, event: TraceEvent) {
+        let mut ring = self.inner.lock().expect("ring lock");
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(event);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = event;
+            ring.head = (head + 1) % self.capacity;
+            // Relaxed: the count is advisory; saturate rather than wrap.
+            let d = self.dropped.load(Ordering::Relaxed);
+            self.dropped.store(d.saturating_add(1), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Layer};
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            layer: Layer::Emu,
+            tid: 0,
+            kind: EventKind::Mark("m"),
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_in_order() {
+        let ring = RingRecorder::new(3);
+        assert!(ring.is_empty());
+        for c in 0..3 {
+            ring.record(ev(c));
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.len(), 3);
+
+        // Two more: 0 and 1 fall off, order stays oldest-first.
+        ring.record(ev(3));
+        ring.record(ev(4));
+        let cycles: Vec<u64> = ring.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn wraps_many_times_with_exact_accounting() {
+        let ring = RingRecorder::new(4);
+        for c in 0..100 {
+            ring.record(ev(c));
+        }
+        let cycles: Vec<u64> = ring.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![96, 97, 98, 99]);
+        assert_eq!(ring.dropped(), 96);
+    }
+
+    #[test]
+    fn clear_resets_events_and_dropped() {
+        let ring = RingRecorder::new(2);
+        for c in 0..5 {
+            ring.record(ev(c));
+        }
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        ring.record(ev(9));
+        assert_eq!(ring.events().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = RingRecorder::new(0);
+    }
+}

@@ -147,7 +147,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives; backs [`prop_oneof!`].
+    /// Uniform choice between boxed alternatives; backs `prop_oneof!`.
     pub struct Union<V> {
         arms: Vec<Box<dyn Strategy<Value = V>>>,
     }
@@ -273,7 +273,7 @@ pub mod collection {
     use crate::strategy::{sample_inclusive, Strategy};
     use crate::test_runner::TestRunner;
 
-    /// Length bounds for [`vec`], inclusive of both ends.
+    /// Length bounds for [`vec()`], inclusive of both ends.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
