@@ -20,6 +20,7 @@ use sp_emu::{Fault, Machine};
 use std::fmt;
 use tytan_crypto::{Digest, TaskId};
 use tytan_image::TaskImage;
+use tytan_lint::{lint_image, LintPolicy, LintReport, Severity};
 
 /// Bytes copied (and header-parsed) per load slice — the loader's bounded
 /// critical section, sized well under one 32,000-cycle tick.
@@ -30,6 +31,8 @@ const RELOC_SLICE_SITES: usize = 4;
 /// The phase a load job is in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadPhase {
+    /// Static verification of the image (optional, host-side).
+    Verify,
     /// Allocating memory and parsing headers.
     Alloc,
     /// Copying the image into memory.
@@ -57,6 +60,8 @@ pub enum LoadError {
     Machine(Fault),
     /// The scheduler rejected the task.
     Kernel(KernelError),
+    /// The static verifier found proven policy violations in the image.
+    LintRejected(Box<LintReport>),
 }
 
 impl fmt::Display for LoadError {
@@ -66,6 +71,12 @@ impl fmt::Display for LoadError {
             LoadError::Mpu(e) => write!(f, "EA-MPU configuration failed: {e}"),
             LoadError::Machine(e) => write!(f, "machine fault during load: {e}"),
             LoadError::Kernel(e) => write!(f, "scheduler registration failed: {e}"),
+            LoadError::LintRejected(report) => write!(
+                f,
+                "task image rejected by static verifier: {} error finding(s) in `{}`",
+                report.count(Severity::Error),
+                report.image_name
+            ),
         }
     }
 }
@@ -163,6 +174,7 @@ pub struct LoadJob<D: Digest> {
     copy_offset: u32,
     reloc_idx: usize,
     measure: Option<MeasureJob<D>>,
+    verify: Option<Box<LintPolicy>>,
     pub(crate) report: LoadReport,
     loadable: Vec<u8>,
 }
@@ -181,9 +193,21 @@ impl<D: Digest> LoadJob<D> {
             copy_offset: 0,
             reloc_idx: 0,
             measure: None,
+            verify: None,
             report: LoadReport::default(),
             loadable,
         }
+    }
+
+    /// Enables the static pre-load verification phase: before any memory
+    /// is allocated, the image is linted against `policy` and the load
+    /// aborts with [`LoadError::LintRejected`] if the verifier proves a
+    /// policy violation. Verification runs host-side and consumes zero
+    /// guest cycles.
+    pub fn with_verification(mut self, policy: LintPolicy) -> Self {
+        self.verify = Some(Box::new(policy));
+        self.phase = LoadPhase::Verify;
+        self
     }
 
     /// The current phase.
@@ -226,6 +250,16 @@ impl<D: Digest> LoadJob<D> {
         self.report.slices += 1;
         let costs = machine.firmware_costs();
         match self.phase {
+            LoadPhase::Verify => {
+                // Host-side static analysis: no machine.tick — the guest
+                // cycle counter must be identical to an unverified load.
+                let policy = self.verify.as_deref().expect("verify policy set");
+                let report = lint_image(&self.image, policy);
+                if report.count(Severity::Error) > 0 {
+                    return Err(LoadError::LintRejected(Box::new(report)));
+                }
+                self.phase = LoadPhase::Alloc;
+            }
             LoadPhase::Alloc => {
                 let before = machine.cycles();
                 let region = allocator.alloc(self.image.total_memory_size())?;
@@ -546,5 +580,66 @@ mod tests {
         let mut job = LoadJob::<Sha1>::new(image, mbox, 2);
         drive(&mut job, &mut m, &mut k, &mut rtm, &mut a, actors);
         assert!(job.report().slices >= 5, "slices: {}", job.report().slices);
+    }
+
+    fn crafted_image(source: &str) -> TaskImage {
+        let program = sp32::asm::assemble(source, 0).unwrap();
+        TaskImage::from_program("crafted", &program, 256, true).unwrap()
+    }
+
+    #[test]
+    fn verified_load_refuses_store_outside_data() {
+        let (mut m, mut k, mut rtm, mut a, actors) = setup();
+        let image = crafted_image("main:\n movi r1, 0xf0000000\n stw [r1], r2\n hlt\n");
+        let mut job = LoadJob::<Sha1>::new(image, 0, 2).with_verification(LintPolicy::default());
+        let err = job
+            .step(&mut m, &mut k, &mut rtm, &mut a, actors, 2)
+            .unwrap_err();
+        match err {
+            LoadError::LintRejected(report) => {
+                assert!(report.count(Severity::Error) > 0);
+            }
+            other => panic!("expected LintRejected, got {other:?}"),
+        }
+        // Rejection happened before allocation: nothing to release.
+        assert_eq!(job.base(), 0);
+    }
+
+    #[test]
+    fn verified_load_refuses_mid_region_call() {
+        let (mut m, mut k, mut rtm, mut a, actors) = setup();
+        let image = crafted_image("main:\n call 0x8010\n hlt\n");
+        let policy = LintPolicy {
+            peers: vec![tytan_lint::Peer {
+                code: Region::new(0x8000, 0x100),
+                entry: 0x8000,
+            }],
+            ..LintPolicy::default()
+        };
+        let mut job = LoadJob::<Sha1>::new(image, 0, 2).with_verification(policy);
+        let err = job
+            .step(&mut m, &mut k, &mut rtm, &mut a, actors, 2)
+            .unwrap_err();
+        assert!(matches!(err, LoadError::LintRejected(_)), "{err:?}");
+    }
+
+    #[test]
+    fn verified_load_of_clean_image_costs_zero_guest_cycles() {
+        // Same image, with and without verification: the verified load
+        // must finish with an identical guest cycle count — the analysis
+        // is host-side only.
+        let (mut m1, mut k1, mut rtm1, mut a1, actors1) = setup();
+        let (image, mbox) = secure_image();
+        let mut plain = LoadJob::<Sha1>::new(image.clone(), mbox, 2);
+        drive(&mut plain, &mut m1, &mut k1, &mut rtm1, &mut a1, actors1);
+        let plain_cycles = m1.cycles();
+
+        let (mut m2, mut k2, mut rtm2, mut a2, actors2) = setup();
+        let mut verified =
+            LoadJob::<Sha1>::new(image, mbox, 2).with_verification(LintPolicy::default());
+        assert_eq!(verified.phase(), LoadPhase::Verify);
+        let (handle, _) = drive(&mut verified, &mut m2, &mut k2, &mut rtm2, &mut a2, actors2);
+        assert_eq!(m2.cycles(), plain_cycles);
+        assert_eq!(k2.task(handle).unwrap().name(), "loadee");
     }
 }

@@ -615,6 +615,25 @@ impl<D: Digest> Platform<D> {
         token
     }
 
+    /// Like [`Platform::begin_load`], but the job first runs the static
+    /// verifier ([`tytan_lint`]) against `policy`; a proven policy
+    /// violation fails the load with [`LoadError::LintRejected`] before
+    /// any memory is touched. Verification is host-side and costs zero
+    /// guest cycles.
+    pub fn begin_load_verified(
+        &mut self,
+        source: &TaskSource,
+        priority: u8,
+        policy: tytan_lint::LintPolicy,
+    ) -> LoadToken {
+        let job = LoadJob::new(source.image.clone(), source.mailbox_offset, priority)
+            .with_verification(policy);
+        self.jobs.push(JobSlot::Running(Box::new(job)));
+        let token = LoadToken(self.jobs.len() - 1);
+        self.trace_core(loader_tid(token.0), EventKind::Enter("load"));
+        token
+    }
+
     /// The status of a load job.
     pub fn load_status(&self, token: LoadToken) -> Result<LoadStatus, PlatformError> {
         match self.jobs.get(token.0) {

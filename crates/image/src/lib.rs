@@ -127,10 +127,13 @@ impl TaskImage {
     ///
     /// # Errors
     ///
-    /// Returns [`ImageError::EntryOutOfRange`], [`ImageError::BadRelocSite`]
-    /// (sites must be 4-byte aligned inside `text`+`data`),
-    /// [`ImageError::BadSectionLen`] (text must be word-aligned), or
-    /// [`ImageError::NameTooLong`].
+    /// Returns [`ImageError::EntryOutOfRange`] (the entry point must be a
+    /// 4-byte-aligned offset strictly inside `text` — the loader installs
+    /// `base + entry_offset` as an EA-MPU entry point without re-checking,
+    /// so the old "entrypoints are static" assumption is enforced here),
+    /// [`ImageError::BadRelocSite`] (sites must be 4-byte aligned inside
+    /// `text`+`data`), [`ImageError::BadSectionLen`] (text must be
+    /// word-aligned), or [`ImageError::NameTooLong`].
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
@@ -149,14 +152,16 @@ impl TaskImage {
         if !text.len().is_multiple_of(4) {
             return Err(ImageError::BadSectionLen);
         }
-        if entry_offset as usize >= text.len().max(4) {
+        if !entry_offset.is_multiple_of(4) || entry_offset as usize >= text.len() {
             return Err(ImageError::EntryOutOfRange {
                 entry: entry_offset,
             });
         }
         let loadable = (text.len() + data.len()) as u32;
         for &site in &relocs {
-            if !site.is_multiple_of(4) || site + 4 > loadable {
+            // `checked_add`: a site in the top 4 bytes of the address
+            // space must not wrap past the bounds check.
+            if !site.is_multiple_of(4) || site.checked_add(4).is_none_or(|end| end > loadable) {
                 return Err(ImageError::BadRelocSite { site });
             }
         }
@@ -495,6 +500,61 @@ mod tests {
     }
 
     #[test]
+    fn new_rejects_misaligned_or_boundary_entry() {
+        // Misaligned entry points can no longer slip through: the loader
+        // installs `base + entry` as an EA-MPU entry point unchecked.
+        let err = TaskImage::new("t", false, 2, vec![0; 8], vec![], 0, 64, vec![]).unwrap_err();
+        assert_eq!(err, ImageError::EntryOutOfRange { entry: 2 });
+        // An entry at text_len (one past the end) is out of range.
+        let err = TaskImage::new("t", false, 8, vec![0; 8], vec![], 0, 64, vec![]).unwrap_err();
+        assert_eq!(err, ImageError::EntryOutOfRange { entry: 8 });
+        // Empty text has no valid entry point at all.
+        let err = TaskImage::new("t", false, 0, vec![], vec![], 0, 64, vec![]).unwrap_err();
+        assert_eq!(err, ImageError::EntryOutOfRange { entry: 0 });
+    }
+
+    #[test]
+    fn new_rejects_wrapping_reloc_site() {
+        // site + 4 used to wrap to 0 and pass the bounds check.
+        let err = TaskImage::new("t", false, 0, vec![0; 8], vec![], 0, 64, vec![0xffff_fffc])
+            .unwrap_err();
+        assert_eq!(err, ImageError::BadRelocSite { site: 0xffff_fffc });
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_headers_without_panicking() {
+        // Fuzz-style table over the 40-byte header: oversized section
+        // lengths and reloc counts, overflowing sums, bad entry points.
+        // The linter feeds parse() untrusted files, so every row must be
+        // a clean error, never a panic or huge allocation.
+        let cases: &[(usize, u32, ImageError)] = &[
+            (12, 2, ImageError::EntryOutOfRange { entry: 2 }), // misaligned entry
+            (
+                12,
+                0xffff_fff0,
+                ImageError::EntryOutOfRange { entry: 0xffff_fff0 },
+            ),
+            (16, 0xffff_ffff, ImageError::Truncated), // text_len huge
+            (16, 0xffff_fffc, ImageError::Truncated), // text_len near u32 wrap
+            (20, 0xffff_ffff, ImageError::Truncated), // data_len huge
+            (32, 0xffff_ffff, ImageError::Truncated), // oversized reloc_count
+            (32, 0x4000_0000, ImageError::Truncated), // reloc_count * 4 > u32
+            (32, 1_000_000, ImageError::Truncated),   // more relocs than bytes
+            (36, 0xffff_ffff, ImageError::Truncated), // name_len huge
+        ];
+        let valid = sample_image().to_bytes();
+        for (offset, value, expected) in cases {
+            let mut bytes = valid.clone();
+            bytes[*offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+            assert_eq!(
+                TaskImage::parse(&bytes),
+                Err(expected.clone()),
+                "header field at byte {offset} set to {value:#x}"
+            );
+        }
+    }
+
+    #[test]
     fn new_rejects_unaligned_reloc() {
         let err = TaskImage::new("t", false, 0, vec![0; 8], vec![], 0, 64, vec![2]).unwrap_err();
         assert_eq!(err, ImageError::BadRelocSite { site: 2 });
@@ -631,6 +691,15 @@ mod tests {
 
         #[test]
         fn prop_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = TaskImage::parse(&bytes);
+        }
+
+        #[test]
+        fn prop_mutated_header_never_panics(offset in 0usize..40, value in any::<u32>()) {
+            // Random 32-bit stomps over any header field of an otherwise
+            // valid image parse to Ok or a clean error, never a panic.
+            let mut bytes = sample_image().to_bytes();
+            bytes[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
             let _ = TaskImage::parse(&bytes);
         }
     }

@@ -1,0 +1,183 @@
+//! `sp32-lint` — lint TTIF task images standalone, for CI and local use.
+//!
+//! ```text
+//! sp32-lint [--json] [--deny warnings|errors] [--budget CYCLES]
+//!           [--allow START:LEN[:r|w|rw]] [--peer START:LEN:ENTRY]
+//!           IMAGE.ttif...
+//! ```
+//!
+//! Exit status: 0 when every image is acceptable, 1 when any image has a
+//! finding at or above the deny level (or fails to parse), 2 on usage or
+//! I/O errors. Malformed image files are reported as findings, never a
+//! panic — the input is untrusted by design.
+
+use std::process::ExitCode;
+
+use eampu::{Perms, Region};
+use tytan_image::TaskImage;
+use tytan_lint::{LintPolicy, Linter, Peer, Severity};
+
+struct Options {
+    json: bool,
+    deny: Severity,
+    policy: LintPolicy,
+    files: Vec<String>,
+}
+
+fn usage() -> String {
+    "usage: sp32-lint [--json] [--deny warnings|errors] [--budget CYCLES]\n\
+     \x20                [--allow START:LEN[:r|w|rw]] [--peer START:LEN:ENTRY] IMAGE.ttif..."
+        .to_string()
+}
+
+fn parse_u32(text: &str) -> Result<u32, String> {
+    let t = text.trim();
+    let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u32::from_str_radix(hex, 16),
+        None => t.parse(),
+    };
+    parsed.map_err(|_| format!("bad number `{text}`"))
+}
+
+/// Parses `START:LEN[:r|w|rw]` into an access window.
+fn parse_window(spec: &str) -> Result<(Region, Perms), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (start, len, perms) = match parts.as_slice() {
+        [start, len] => (start, len, Perms::RW),
+        [start, len, perms] => {
+            let perms = match *perms {
+                "r" => Perms::R,
+                "w" => Perms::W,
+                "rw" => Perms::RW,
+                other => return Err(format!("bad permissions `{other}` (want r, w, or rw)")),
+            };
+            (start, len, perms)
+        }
+        _ => return Err(format!("bad window `{spec}` (want START:LEN[:perms])")),
+    };
+    let start = parse_u32(start)?;
+    let len = parse_u32(len)?;
+    if len == 0 || start.checked_add(len - 1).is_none() {
+        return Err(format!(
+            "window `{spec}` is empty or wraps the address space"
+        ));
+    }
+    Ok((Region::new(start, len), perms))
+}
+
+/// Parses `START:LEN:ENTRY` into a peer declaration.
+fn parse_peer(spec: &str) -> Result<Peer, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [start, len, entry] = parts.as_slice() else {
+        return Err(format!("bad peer `{spec}` (want START:LEN:ENTRY)"));
+    };
+    let start = parse_u32(start)?;
+    let len = parse_u32(len)?;
+    let entry = parse_u32(entry)?;
+    if len == 0 || start.checked_add(len - 1).is_none() {
+        return Err(format!("peer `{spec}` is empty or wraps the address space"));
+    }
+    let code = Region::new(start, len);
+    if !code.contains(entry) {
+        return Err(format!(
+            "peer entry {entry:#x} is outside {start:#x}:{len:#x}"
+        ));
+    }
+    Ok(Peer { code, entry })
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        json: false,
+        deny: Severity::Error,
+        policy: LintPolicy::default(),
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--json" => options.json = true,
+            "--deny" => {
+                options.deny = match value_of("--deny")?.as_str() {
+                    "warnings" => Severity::Warning,
+                    "errors" => Severity::Error,
+                    other => return Err(format!("bad deny level `{other}`")),
+                };
+            }
+            "--budget" => {
+                let v = value_of("--budget")?;
+                options.policy.block_cycle_budget =
+                    Some(parse_u32(&v).map(u64::from).map_err(|e| e.to_string())?);
+            }
+            "--allow" => options
+                .policy
+                .windows
+                .push(parse_window(&value_of("--allow")?)?),
+            "--peer" => options.policy.peers.push(parse_peer(&value_of("--peer")?)?),
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()));
+            }
+            file => options.files.push(file.to_string()),
+        }
+    }
+    if options.files.is_empty() {
+        return Err(format!("no image files given\n{}", usage()));
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("sp32-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let linter = Linter::new(options.policy.clone());
+    let mut rejected = false;
+    let mut json_reports = Vec::new();
+    for file in &options.files {
+        let bytes = match std::fs::read(file) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("sp32-lint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // Untrusted input: a malformed file is a rejection, not a crash.
+        let image = match TaskImage::parse(&bytes) {
+            Ok(image) => image,
+            Err(e) => {
+                eprintln!("{file}: error: not a valid task image: {e}");
+                rejected = true;
+                continue;
+            }
+        };
+        let report = linter.lint(&image);
+        if report.rejects_at(options.deny) {
+            rejected = true;
+        }
+        if options.json {
+            json_reports.push(report.to_json());
+        } else {
+            println!("{file}: {report}");
+        }
+    }
+    if options.json {
+        println!("[{}]", json_reports.join(","));
+    }
+    if rejected {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,328 @@
+//! Control-flow graph recovery over a task image's text section.
+//!
+//! Recovery is reachability-based (a worklist from the entry point), not
+//! a linear sweep: task text sections legitimately embed data — the radar
+//! monitor ships a pointer table and a scratch buffer inside text — and a
+//! linear sweep would flag every such byte run as malformed. Only bytes
+//! an execution can actually reach are decoded.
+//!
+//! Branch targets resolve through the image's relocation table: an
+//! extension word that is a reloc site holds a *task-relative* pointer
+//! (the loader rebases it), so an in-range, aligned value is an
+//! intra-task edge. A non-relocated extension word is an *absolute*
+//! address — it cannot point into this task, so it is recorded for the
+//! policy pass (peer entry-point conformance) instead of becoming an
+//! edge.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sp32::{decode, encoded_len_words, DecodeError, Instr};
+
+/// One decoded, reachable instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedInstr {
+    /// Task-relative address of the first word.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Encoded size in bytes (4 or 8).
+    pub size: u32,
+    /// Whether the extension word (if any) is a relocation site, i.e.
+    /// holds a task-relative pointer.
+    pub ext_relocated: bool,
+    /// For `Jmp`/`Jcc`/`Call` with a relocated, in-range, aligned
+    /// target: the resolved intra-task target.
+    pub target: Option<u32>,
+}
+
+/// How control reaches a successor block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Taken branch (`jmp`/`jcc` target).
+    Branch,
+    /// Fall-through to the next instruction.
+    Fall,
+    /// `call` target; the return address is on the stack on entry.
+    Call,
+}
+
+/// A CFG edge, by successor block start address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Start pc of the successor block.
+    pub to: u32,
+    /// How control gets there.
+    pub kind: EdgeKind,
+}
+
+/// A basic block: a maximal straight-line run of reachable
+/// instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Start pc (a leader).
+    pub start: u32,
+    /// The block's instructions, in address order.
+    pub instrs: Vec<DecodedInstr>,
+    /// Successor edges.
+    pub edges: Vec<Edge>,
+}
+
+/// The recovered control-flow graph plus every site the policy pass
+/// needs to judge.
+#[derive(Debug, Default)]
+pub struct Cfg {
+    /// Basic blocks, ordered by start address.
+    pub blocks: Vec<Block>,
+    /// Block start pc → index into `blocks`.
+    pub index: BTreeMap<u32, usize>,
+    /// Distinct reachable instructions decoded.
+    pub instr_count: usize,
+    /// Reachable pcs whose word failed to decode.
+    pub decode_errors: Vec<(u32, DecodeError)>,
+    /// Reachable pcs that are misaligned or extend past text.
+    pub truncated: Vec<u32>,
+    /// Pcs of instructions whose fall-through leaves the text section.
+    pub fall_off: Vec<u32>,
+    /// Relocated branch targets that are misaligned or outside text:
+    /// `(pc, instr, target)`.
+    pub bad_branch_targets: Vec<(u32, Instr, u32)>,
+    /// Non-relocated (absolute) transfer targets: `(pc, instr, target)`.
+    pub absolute_transfers: Vec<(u32, Instr, u32)>,
+    /// Register-indirect jumps: `(pc, instr)`.
+    pub indirect_jumps: Vec<(u32, Instr)>,
+}
+
+fn word_at(text: &[u8], pc: u32) -> u32 {
+    let i = pc as usize;
+    u32::from_le_bytes([text[i], text[i + 1], text[i + 2], text[i + 3]])
+}
+
+fn is_terminator(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Jmp { .. } | Instr::JmpReg { .. } | Instr::Ret | Instr::Iret | Instr::Hlt
+    )
+}
+
+/// Recovers the CFG of `text` starting from `entry`.
+///
+/// `reloc_sites` is the image's relocation table (byte offsets of
+/// 32-bit words holding task-relative pointers).
+pub fn recover(text: &[u8], entry: u32, reloc_sites: &BTreeSet<u32>) -> Cfg {
+    let text_len = text.len() as u32;
+    let mut cfg = Cfg::default();
+    let mut instrs: BTreeMap<u32, DecodedInstr> = BTreeMap::new();
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    let mut visited: BTreeSet<u32> = BTreeSet::new();
+    let mut pending: VecDeque<u32> = VecDeque::new();
+
+    leaders.insert(entry);
+    pending.push_back(entry);
+
+    while let Some(pc) = pending.pop_front() {
+        if !visited.insert(pc) {
+            continue;
+        }
+        if !pc.is_multiple_of(4) || pc.checked_add(4).is_none_or(|end| end > text_len) {
+            cfg.truncated.push(pc);
+            continue;
+        }
+        let first = word_at(text, pc);
+        let size = (encoded_len_words(first) * 4) as u32;
+        if pc + size > text_len {
+            cfg.truncated.push(pc);
+            continue;
+        }
+        let ext = if size == 8 {
+            Some(word_at(text, pc + 4))
+        } else {
+            None
+        };
+        let instr = match decode(first, ext) {
+            Ok(instr) => instr,
+            Err(error) => {
+                cfg.decode_errors.push((pc, error));
+                continue;
+            }
+        };
+        let ext_relocated = size == 8 && reloc_sites.contains(&(pc + 4));
+
+        let mut resolved = None;
+        match instr {
+            Instr::Jmp { target } | Instr::Jcc { target, .. } | Instr::Call { target } => {
+                if ext_relocated {
+                    if target.is_multiple_of(4) && target < text_len {
+                        resolved = Some(target);
+                        leaders.insert(target);
+                        pending.push_back(target);
+                    } else {
+                        cfg.bad_branch_targets.push((pc, instr, target));
+                    }
+                } else {
+                    cfg.absolute_transfers.push((pc, instr, target));
+                }
+            }
+            Instr::JmpReg { .. } => cfg.indirect_jumps.push((pc, instr)),
+            _ => {}
+        }
+
+        if !is_terminator(&instr) {
+            let next = pc + size;
+            if next >= text_len {
+                cfg.fall_off.push(pc);
+            } else {
+                pending.push_back(next);
+                if matches!(instr, Instr::Jcc { .. } | Instr::Call { .. }) {
+                    leaders.insert(next);
+                }
+            }
+        }
+
+        instrs.insert(
+            pc,
+            DecodedInstr {
+                pc,
+                instr,
+                size,
+                ext_relocated,
+                target: resolved,
+            },
+        );
+    }
+
+    cfg.instr_count = instrs.len();
+
+    // Split the decoded instruction stream at the leaders. A chain ends
+    // at a control transfer, at the next leader, or where decoding
+    // stopped (truncation / decode error already reported above).
+    for &leader in &leaders {
+        if !instrs.contains_key(&leader) {
+            continue;
+        }
+        let mut block = Block {
+            start: leader,
+            instrs: Vec::new(),
+            edges: Vec::new(),
+        };
+        let mut pc = leader;
+        loop {
+            let di = instrs[&pc];
+            block.instrs.push(di);
+            let next = pc + di.size;
+            if is_terminator(&di.instr)
+                || matches!(di.instr, Instr::Jcc { .. } | Instr::Call { .. })
+            {
+                if let Some(target) = di.target {
+                    let kind = if matches!(di.instr, Instr::Call { .. }) {
+                        EdgeKind::Call
+                    } else {
+                        EdgeKind::Branch
+                    };
+                    block.edges.push(Edge { to: target, kind });
+                }
+                if !is_terminator(&di.instr) && instrs.contains_key(&next) {
+                    block.edges.push(Edge {
+                        to: next,
+                        kind: EdgeKind::Fall,
+                    });
+                }
+                break;
+            }
+            if !instrs.contains_key(&next) {
+                break;
+            }
+            if leaders.contains(&next) {
+                block.edges.push(Edge {
+                    to: next,
+                    kind: EdgeKind::Fall,
+                });
+                break;
+            }
+            pc = next;
+        }
+        cfg.index.insert(leader, cfg.blocks.len());
+        cfg.blocks.push(block);
+    }
+
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp32::asm::assemble;
+
+    fn recover_source(source: &str) -> (Cfg, sp32::asm::Program) {
+        let program = assemble(source, 0).expect("assembles");
+        let relocs: BTreeSet<u32> = program.reloc_sites.iter().copied().collect();
+        let cfg = recover(&program.bytes, program.symbol("main").unwrap(), &relocs);
+        (cfg, program)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (cfg, _) = recover_source("main:\n nop\n nop\n hlt\n");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].instrs.len(), 3);
+        assert!(cfg.blocks[0].edges.is_empty());
+        assert_eq!(cfg.instr_count, 3);
+    }
+
+    #[test]
+    fn conditional_branch_splits_blocks() {
+        let (cfg, program) =
+            recover_source("main:\n cmpi r0, 0\n jz done\n addi r0, -1\ndone:\n hlt\n");
+        assert_eq!(cfg.blocks.len(), 3);
+        let done = program.symbol("done").unwrap();
+        let entry = &cfg.blocks[0];
+        assert_eq!(entry.edges.len(), 2);
+        assert!(entry
+            .edges
+            .iter()
+            .any(|e| e.to == done && e.kind == EdgeKind::Branch));
+        assert!(entry.edges.iter().any(|e| e.kind == EdgeKind::Fall));
+    }
+
+    #[test]
+    fn embedded_data_is_not_decoded() {
+        // A pointer table and padding inside text, never reached.
+        let (cfg, _) =
+            recover_source("main:\n jmp end\ntable:\n .word main, end\n .space 64\nend:\n hlt\n");
+        assert_eq!(cfg.blocks.len(), 2);
+        assert!(cfg.decode_errors.is_empty());
+        assert_eq!(cfg.instr_count, 2);
+    }
+
+    #[test]
+    fn loops_terminate_recovery() {
+        let (cfg, _) = recover_source("main:\nspin:\n jmp spin\n");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].edges.len(), 1);
+        assert_eq!(cfg.blocks[0].edges[0].to, cfg.blocks[0].start);
+    }
+
+    #[test]
+    fn call_edge_and_fallthrough() {
+        let (cfg, program) = recover_source("main:\n call helper\n hlt\nhelper:\n ret\n");
+        let helper = program.symbol("helper").unwrap();
+        let entry = &cfg.blocks[cfg.index[&0]];
+        assert!(entry
+            .edges
+            .iter()
+            .any(|e| e.to == helper && e.kind == EdgeKind::Call));
+        assert!(entry.edges.iter().any(|e| e.kind == EdgeKind::Fall));
+    }
+
+    #[test]
+    fn fall_off_end_is_recorded() {
+        let (cfg, _) = recover_source("main:\n nop\n nop\n");
+        assert_eq!(cfg.fall_off.len(), 1);
+    }
+
+    #[test]
+    fn indirect_jump_is_recorded_not_followed() {
+        let (cfg, _) = recover_source("main:\n movi r1, main\n jmpr r1\n");
+        assert_eq!(cfg.indirect_jumps.len(), 1);
+        assert_eq!(cfg.blocks.len(), 1);
+    }
+}

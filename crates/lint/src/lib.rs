@@ -1,0 +1,970 @@
+//! `tytan-lint` — static sp32 task-image verifier.
+//!
+//! TyTAN's secure loader admits tasks at runtime and relies on the EA-MPU
+//! to catch illegal accesses dynamically. This crate front-loads that
+//! judgement: it decodes a [`TaskImage`]'s text section into a
+//! control-flow graph **without executing it** and checks, before the
+//! loader commits any resources, that
+//!
+//! 1. every reachable instruction decodes, and straight-line execution
+//!    never runs off the end of the text section;
+//! 2. every *statically-resolvable* load, store, and transfer target
+//!    conforms to the EA-MPU policy the task will run under: data
+//!    accesses stay inside the task's own memory or a declared window,
+//!    and cross-region transfers land on a declared peer entry point —
+//!    the entry-point-enforcement property the hardware checks
+//!    dynamically;
+//! 3. the worst-case stack depth over the CFG (plus an interrupt-frame
+//!    reserve) fits the image's declared stack, and no basic block's
+//!    straight-line cycle cost exceeds a configurable real-time budget.
+//!
+//! # Address model
+//!
+//! Task images are linked at base 0 and rebased by the loader, so at
+//! lint time the task's text section is `[0, text_len)` and its
+//! data/bss/stack follow at `[text_len, total_memory_size)`. A value
+//! whose origin is a relocation site is a *task-relative pointer*; a
+//! non-relocated constant is an *absolute* address (an MMIO register, a
+//! peer task, …) and is judged against the policy's windows and peers.
+//!
+//! # Soundness boundary
+//!
+//! The analysis is deliberately simple: it propagates constants within a
+//! basic block (`movi`/`mov`/`addi`/`add`) and resolves what it can.
+//! Anything it cannot resolve — register-indirect jumps, accesses
+//! through a register of unknown value — is reported as an explicit
+//! `Unproven` finding ([`Severity::Info`]) rather than silently passed.
+//! A clean report therefore means "no *provable* violation", with every
+//! un-analyzed site enumerated; it is not a proof of safety. Proven
+//! violations are [`Severity::Error`] and make the image unloadable when
+//! verification is enabled in the loader.
+
+use std::collections::BTreeSet;
+
+use eampu::{AccessKind, Perms, Region};
+use sp32::{Instr, Reg};
+use sp_emu::CycleModel;
+use tytan_image::TaskImage;
+use tytan_trace::{CounterId, Tracer};
+
+pub mod cfg;
+mod report;
+
+pub use report::{Finding, FindingKind, LintReport, LintStats, Severity};
+
+use cfg::{Cfg, EdgeKind};
+
+/// Bytes the analysis reserves on top of the worst-case stack depth for
+/// one asynchronous interrupt frame (the hardware's 9-word save area).
+pub const DEFAULT_IRQ_RESERVE: u32 = 36;
+
+/// Safety margin, in bytes above the declared stack, past which the
+/// stack fixed point is declared divergent (unbounded recursion).
+const STACK_DIVERGENCE_MARGIN: i64 = 64 * 1024;
+
+/// A peer task the linted image may legitimately transfer to: its code
+/// region and its sole declared entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Peer {
+    /// The peer's code region, in absolute addresses.
+    pub code: Region,
+    /// The only address inside `code` that transfers may target.
+    pub entry: u32,
+}
+
+/// The rule table an image is verified against.
+///
+/// Rule slots referenced by [`Finding::rule_slot`] number the windows
+/// first (`0..windows.len()`), then the peers.
+#[derive(Debug, Clone)]
+pub struct LintPolicy {
+    /// Absolute address windows the task may access directly (MMIO
+    /// ranges, shared-memory or IPC mailbox windows), with permissions.
+    pub windows: Vec<(Region, Perms)>,
+    /// Peer tasks reachable by cross-region transfer.
+    pub peers: Vec<Peer>,
+    /// Cost model for the per-block cycle bound — the same model the
+    /// emulator charges, so the bound matches execution.
+    pub cycle_model: CycleModel,
+    /// Per-basic-block straight-line cycle budget; `None` disables the
+    /// real-time check.
+    pub block_cycle_budget: Option<u64>,
+    /// Interrupt-frame reserve added to the worst-case stack depth.
+    pub irq_stack_reserve: u32,
+}
+
+impl Default for LintPolicy {
+    fn default() -> Self {
+        LintPolicy {
+            windows: Vec::new(),
+            peers: Vec::new(),
+            cycle_model: CycleModel::default(),
+            block_cycle_budget: None,
+            irq_stack_reserve: DEFAULT_IRQ_RESERVE,
+        }
+    }
+}
+
+/// A constant tracked through a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Known {
+    value: u32,
+    /// Whether the value originated at a relocation site, i.e. is a
+    /// task-relative pointer rather than an absolute address.
+    relocated: bool,
+}
+
+/// What is known about each register at a program point.
+type RegState = [Option<Known>; 8];
+
+/// Pointwise intersection: a register survives the join only if every
+/// incoming path agrees on its value.
+fn meet(a: &RegState, b: &RegState) -> RegState {
+    std::array::from_fn(|i| match (a[i], b[i]) {
+        (Some(x), Some(y)) if x == y => Some(x),
+        _ => None,
+    })
+}
+
+/// Applies one instruction's effect on the tracked register state.
+/// Mirrors the emulator's register writes, degraded to "unknown" for
+/// anything beyond pointer arithmetic.
+fn transfer(regs: &mut RegState, di: &cfg::DecodedInstr) {
+    match di.instr {
+        Instr::MovImm { rd, imm } => {
+            regs[rd.index()] = Some(Known {
+                value: imm,
+                relocated: di.ext_relocated,
+            });
+        }
+        Instr::MovReg { rd, rs } => regs[rd.index()] = regs[rs.index()],
+        Instr::AddImm { rd, imm } => {
+            regs[rd.index()] = regs[rd.index()].map(|k| Known {
+                value: k.value.wrapping_add(imm as i32 as u32),
+                relocated: k.relocated,
+            });
+        }
+        Instr::Add { rd, rs } => {
+            regs[rd.index()] = match (regs[rd.index()], regs[rs.index()]) {
+                // Pointer + offset (either order) stays a pointer;
+                // pointer + pointer is meaningless — drop it.
+                (Some(a), Some(b)) if !(a.relocated && b.relocated) => Some(Known {
+                    value: a.value.wrapping_add(b.value),
+                    relocated: a.relocated || b.relocated,
+                }),
+                _ => None,
+            };
+        }
+        Instr::Ldw { rd, .. }
+        | Instr::Ldb { rd, .. }
+        | Instr::Sub { rd, .. }
+        | Instr::Mul { rd, .. }
+        | Instr::And { rd, .. }
+        | Instr::Or { rd, .. }
+        | Instr::Xor { rd, .. }
+        | Instr::Not { rd }
+        | Instr::Shl { rd, .. }
+        | Instr::Shr { rd, .. }
+        | Instr::Pop { rd } => regs[rd.index()] = None,
+        Instr::Int { .. } => {
+            // Syscalls return values in r0/r1; everything else is
+            // callee-saved by the kernel dispatch path.
+            regs[Reg::R0.index()] = None;
+            regs[Reg::R1.index()] = None;
+        }
+        _ => {}
+    }
+}
+
+/// Computes the register state at entry to every block: a forward
+/// dataflow fixed point from the task entry, meeting over predecessors.
+/// State flows through branch, fall-through, and call edges (the callee
+/// sees the caller's registers); the fall-through *after* a call starts
+/// from nothing, since the callee may clobber anything.
+fn block_entry_states(graph: &Cfg, entry: u32) -> Vec<RegState> {
+    let unknown: RegState = [None; 8];
+    let mut states: Vec<Option<RegState>> = vec![None; graph.blocks.len()];
+    let Some(&entry_idx) = graph.index.get(&entry) else {
+        return vec![unknown; graph.blocks.len()];
+    };
+    states[entry_idx] = Some(unknown);
+    let mut worklist = vec![entry_idx];
+    while let Some(i) = worklist.pop() {
+        let mut st = states[i].expect("worklist blocks have a state");
+        for di in &graph.blocks[i].instrs {
+            transfer(&mut st, di);
+        }
+        let ends_in_call = graph.blocks[i]
+            .instrs
+            .last()
+            .is_some_and(|di| matches!(di.instr, Instr::Call { .. }));
+        for edge in &graph.blocks[i].edges {
+            let Some(&j) = graph.index.get(&edge.to) else {
+                continue;
+            };
+            let out = if ends_in_call && edge.kind == EdgeKind::Fall {
+                unknown
+            } else {
+                st
+            };
+            let new = match states[j] {
+                None => out,
+                Some(prev) => meet(&prev, &out),
+            };
+            if states[j] != Some(new) {
+                states[j] = Some(new);
+                worklist.push(j);
+            }
+        }
+    }
+    states.into_iter().map(|s| s.unwrap_or(unknown)).collect()
+}
+
+/// Statically verifies `image` against `policy`.
+///
+/// Runs entirely on the host: no emulator is constructed and no guest
+/// cycle is charged. See the crate docs for what a clean report does
+/// and does not prove.
+pub fn lint_image(image: &TaskImage, policy: &LintPolicy) -> LintReport {
+    let text = image.text();
+    let text_len = text.len() as u32;
+    let total = image.total_memory_size();
+    let reloc_sites: BTreeSet<u32> = image.relocs().iter().copied().collect();
+    let graph = cfg::recover(text, image.entry_offset(), &reloc_sites);
+
+    let mut findings = Vec::new();
+    structural_findings(&graph, &mut findings);
+    transfer_findings(&graph, policy, &mut findings);
+    memory_findings(
+        &graph,
+        policy,
+        image.entry_offset(),
+        text_len,
+        total,
+        &mut findings,
+    );
+    let worst_stack_depth = stack_findings(
+        &graph,
+        policy,
+        image.entry_offset(),
+        image.stack_len(),
+        &mut findings,
+    );
+    let worst_block_cycles = cycle_findings(&graph, policy, &mut findings);
+
+    findings.sort_by(|a, b| {
+        (a.pc, std::cmp::Reverse(a.severity)).cmp(&(b.pc, std::cmp::Reverse(b.severity)))
+    });
+    let unproven = findings.iter().filter(|f| f.kind.is_unproven()).count();
+
+    LintReport {
+        image_name: image.name().to_string(),
+        stats: LintStats {
+            instructions: graph.instr_count,
+            blocks: graph.blocks.len(),
+            worst_stack_depth,
+            worst_block_cycles,
+            unproven,
+        },
+        findings,
+    }
+}
+
+fn structural_findings(graph: &Cfg, findings: &mut Vec<Finding>) {
+    for &(pc, error) in &graph.decode_errors {
+        findings.push(Finding::new(
+            FindingKind::Malformed { error },
+            pc,
+            None,
+            format!("reachable word fails to decode: {error}"),
+        ));
+    }
+    for &pc in &graph.truncated {
+        findings.push(Finding::new(
+            FindingKind::TruncatedInstruction,
+            pc,
+            None,
+            "reachable instruction is misaligned or extends past the text section".to_string(),
+        ));
+    }
+    for &pc in &graph.fall_off {
+        findings.push(Finding::new(
+            FindingKind::FallsOffText,
+            pc,
+            None,
+            "straight-line execution runs off the end of the text section".to_string(),
+        ));
+    }
+    for &(pc, instr, target) in &graph.bad_branch_targets {
+        findings.push(Finding::new(
+            FindingKind::IllegalTransfer { target },
+            pc,
+            Some(instr),
+            format!("relocated branch target {target:#x} is not a valid text address"),
+        ));
+    }
+}
+
+fn transfer_findings(graph: &Cfg, policy: &LintPolicy, findings: &mut Vec<Finding>) {
+    for &(pc, instr, target) in &graph.absolute_transfers {
+        match policy.peers.iter().position(|p| p.code.contains(target)) {
+            Some(slot) if policy.peers[slot].entry == target => {
+                // Conforms: lands exactly on the declared entry point.
+            }
+            Some(slot) => {
+                let expected = policy.peers[slot].entry;
+                findings.push(
+                    Finding::new(
+                        FindingKind::MidRegionCall {
+                            target,
+                            expected_entry: expected,
+                        },
+                        pc,
+                        Some(instr),
+                        format!(
+                            "transfer to {target:#x} lands inside a peer's code region \
+                             but not on its entry point {expected:#x}"
+                        ),
+                    )
+                    .with_rule_slot(policy.windows.len() + slot),
+                );
+            }
+            None => {
+                findings.push(Finding::new(
+                    FindingKind::UnknownTransfer { target },
+                    pc,
+                    Some(instr),
+                    format!("absolute transfer target {target:#x} matches no declared peer"),
+                ));
+            }
+        }
+    }
+    for &(pc, instr) in &graph.indirect_jumps {
+        findings.push(Finding::new(
+            FindingKind::UnprovenIndirectJump,
+            pc,
+            Some(instr),
+            "register-indirect jump target cannot be resolved statically".to_string(),
+        ));
+    }
+}
+
+fn memory_findings(
+    graph: &Cfg,
+    policy: &LintPolicy,
+    entry: u32,
+    text_len: u32,
+    total: u32,
+    findings: &mut Vec<Finding>,
+) {
+    let entry_states = block_entry_states(graph, entry);
+    for (block, entry_state) in graph.blocks.iter().zip(entry_states) {
+        let mut regs = entry_state;
+        for di in &block.instrs {
+            match di.instr {
+                Instr::Ldw { rs, disp, .. } => check_access(
+                    policy,
+                    text_len,
+                    total,
+                    di.pc,
+                    di.instr,
+                    regs[rs.index()],
+                    disp,
+                    4,
+                    AccessKind::Read,
+                    findings,
+                ),
+                Instr::Ldb { rs, disp, .. } => check_access(
+                    policy,
+                    text_len,
+                    total,
+                    di.pc,
+                    di.instr,
+                    regs[rs.index()],
+                    disp,
+                    1,
+                    AccessKind::Read,
+                    findings,
+                ),
+                Instr::Stw { rd, disp, .. } => check_access(
+                    policy,
+                    text_len,
+                    total,
+                    di.pc,
+                    di.instr,
+                    regs[rd.index()],
+                    disp,
+                    4,
+                    AccessKind::Write,
+                    findings,
+                ),
+                Instr::Stb { rd, disp, .. } => check_access(
+                    policy,
+                    text_len,
+                    total,
+                    di.pc,
+                    di.instr,
+                    regs[rd.index()],
+                    disp,
+                    1,
+                    AccessKind::Write,
+                    findings,
+                ),
+                _ => {}
+            }
+            transfer(&mut regs, di);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_access(
+    policy: &LintPolicy,
+    text_len: u32,
+    total: u32,
+    pc: u32,
+    instr: Instr,
+    base: Option<Known>,
+    disp: i16,
+    size: u32,
+    kind: AccessKind,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(base) = base else {
+        findings.push(Finding::new(
+            FindingKind::UnprovenAccess { kind },
+            pc,
+            Some(instr),
+            "base register value cannot be resolved statically".to_string(),
+        ));
+        return;
+    };
+    let eff = base.value as i64 + disp as i64;
+    if base.relocated {
+        // A task-relative pointer: judge against the task's own layout.
+        if eff < 0 || eff + size as i64 > total as i64 {
+            let addr = eff as u32;
+            let kind = match kind {
+                AccessKind::Read => FindingKind::IllegalLoad { addr, size },
+                AccessKind::Write => FindingKind::IllegalStore { addr, size },
+            };
+            findings.push(Finding::new(
+                kind,
+                pc,
+                Some(instr),
+                format!(
+                    "task-relative access at {eff:#x} falls outside the task's \
+                     {total:#x}-byte memory"
+                ),
+            ));
+        } else if kind == AccessKind::Write && (eff as u32) < text_len {
+            findings.push(Finding::new(
+                FindingKind::StoreToText { addr: eff as u32 },
+                pc,
+                Some(instr),
+                format!("store at {eff:#x} targets the task's own text section"),
+            ));
+        }
+        return;
+    }
+    // An absolute address: must be covered by a declared window.
+    if !(0..=u32::MAX as i64 - size as i64 + 1).contains(&eff) {
+        report_illegal_absolute(pc, instr, eff as u32, size, kind, None, findings);
+        return;
+    }
+    let addr = eff as u32;
+    match policy
+        .windows
+        .iter()
+        .position(|(region, _)| region.contains_range(addr, size))
+    {
+        Some(slot) if policy.windows[slot].1.allows(kind) => {}
+        Some(slot) => report_illegal_absolute(pc, instr, addr, size, kind, Some(slot), findings),
+        None => report_illegal_absolute(pc, instr, addr, size, kind, None, findings),
+    }
+}
+
+fn report_illegal_absolute(
+    pc: u32,
+    instr: Instr,
+    addr: u32,
+    size: u32,
+    kind: AccessKind,
+    slot: Option<usize>,
+    findings: &mut Vec<Finding>,
+) {
+    let finding_kind = match kind {
+        AccessKind::Read => FindingKind::IllegalLoad { addr, size },
+        AccessKind::Write => FindingKind::IllegalStore { addr, size },
+    };
+    let message = match slot {
+        Some(_) => format!("declared window forbids this access at {addr:#x}"),
+        None => format!("absolute access at {addr:#x} is covered by no declared window"),
+    };
+    let mut finding = Finding::new(finding_kind, pc, Some(instr), message);
+    if let Some(slot) = slot {
+        finding = finding.with_rule_slot(slot);
+    }
+    findings.push(finding);
+}
+
+/// Per-block stack summary: net depth change, the worst rise above the
+/// block's entry depth (including transient pushes), and edge deltas.
+struct BlockStack {
+    net: i64,
+    max_rise: i64,
+}
+
+fn stack_findings(
+    graph: &Cfg,
+    policy: &LintPolicy,
+    entry: u32,
+    stack_len: u32,
+    findings: &mut Vec<Finding>,
+) -> Option<u32> {
+    let reserve = policy.irq_stack_reserve as i64;
+    let summaries: Vec<BlockStack> = graph
+        .blocks
+        .iter()
+        .map(|block| {
+            let mut cur = 0i64;
+            let mut max_rise = 0i64;
+            for di in &block.instrs {
+                let (delta, transient) = match di.instr {
+                    Instr::Push { .. } => (4, 0),
+                    Instr::Pop { .. } => (-4, 0),
+                    // The call pushes a return address the callee's `ret`
+                    // pops; the callee path is modeled by the call edge.
+                    Instr::Call { .. } => (0, 4),
+                    Instr::Ret => (-4, 0),
+                    // `int` borrows an interrupt frame that `iret` in the
+                    // handler returns; a task-level `iret` (the restore
+                    // path) gives the frame back for good.
+                    Instr::Int { .. } => (0, reserve),
+                    Instr::Iret => (-reserve, 0),
+                    _ => (0, 0),
+                };
+                max_rise = max_rise.max(cur + delta.max(transient));
+                cur += delta;
+            }
+            BlockStack { net: cur, max_rise }
+        })
+        .collect();
+
+    let Some(&entry_idx) = graph.index.get(&entry) else {
+        return Some(0);
+    };
+    let mut depth: Vec<Option<i64>> = vec![None; graph.blocks.len()];
+    depth[entry_idx] = Some(0);
+    let mut worklist = vec![entry_idx];
+    let cap = stack_len as i64 + STACK_DIVERGENCE_MARGIN;
+    while let Some(i) = worklist.pop() {
+        let d = depth[i].expect("worklist blocks have a depth");
+        for edge in &graph.blocks[i].edges {
+            let Some(&j) = graph.index.get(&edge.to) else {
+                continue;
+            };
+            let extra = if edge.kind == EdgeKind::Call { 4 } else { 0 };
+            let nd = d + summaries[i].net + extra;
+            if nd > cap {
+                findings.push(Finding::new(
+                    FindingKind::StackUnbounded,
+                    graph.blocks[j].start,
+                    None,
+                    "stack depth grows without bound along a cycle through this block".to_string(),
+                ));
+                return None;
+            }
+            if depth[j].is_none_or(|old| nd > old) {
+                depth[j] = Some(nd);
+                worklist.push(j);
+            }
+        }
+    }
+
+    let worst = graph
+        .blocks
+        .iter()
+        .enumerate()
+        .filter_map(|(i, _)| depth[i].map(|d| (d + summaries[i].max_rise).max(0)))
+        .max()
+        .unwrap_or(0);
+    let required = worst + reserve;
+    if required > stack_len as i64 {
+        findings.push(Finding::new(
+            FindingKind::StackOverflow {
+                worst_depth: worst as u32,
+                reserve: reserve as u32,
+                stack_len,
+            },
+            entry,
+            None,
+            format!(
+                "worst-case stack depth {worst} + {reserve}-byte interrupt reserve \
+                 exceeds the declared stack of {stack_len} bytes"
+            ),
+        ));
+    }
+    Some(worst as u32)
+}
+
+fn cycle_findings(graph: &Cfg, policy: &LintPolicy, findings: &mut Vec<Finding>) -> u64 {
+    let mut worst = 0u64;
+    for block in &graph.blocks {
+        let cycles: u64 = block
+            .instrs
+            .iter()
+            .map(|di| policy.cycle_model.cost(&di.instr, true))
+            .sum();
+        worst = worst.max(cycles);
+        if let Some(budget) = policy.block_cycle_budget {
+            if cycles > budget {
+                findings.push(Finding::new(
+                    FindingKind::CycleBudgetExceeded { cycles, budget },
+                    block.start,
+                    None,
+                    format!(
+                        "basic block runs {cycles} straight-line cycles, over the \
+                         {budget}-cycle real-time budget"
+                    ),
+                ));
+            }
+        }
+    }
+    worst
+}
+
+/// A reusable linter that reports through the `tytan-trace` counter
+/// registry: images checked, findings by severity, unproven sites.
+pub struct Linter {
+    policy: LintPolicy,
+    tracer: Tracer,
+    images_checked: CounterId,
+    findings_error: CounterId,
+    findings_warning: CounterId,
+    findings_info: CounterId,
+    unproven_sites: CounterId,
+}
+
+impl Linter {
+    /// Builds a linter with a detached (null) tracer.
+    pub fn new(policy: LintPolicy) -> Linter {
+        Linter::with_tracer(policy, Tracer::null())
+    }
+
+    /// Builds a linter that registers its `lint_*` counter group on
+    /// `tracer`'s counter registry.
+    pub fn with_tracer(policy: LintPolicy, tracer: Tracer) -> Linter {
+        let counters = tracer.counters().clone();
+        Linter {
+            policy,
+            images_checked: counters.register("lint_images_checked"),
+            findings_error: counters.register("lint_findings_error"),
+            findings_warning: counters.register("lint_findings_warning"),
+            findings_info: counters.register("lint_findings_info"),
+            unproven_sites: counters.register("lint_unproven_sites"),
+            tracer,
+        }
+    }
+
+    /// The policy images are verified against.
+    pub fn policy(&self) -> &LintPolicy {
+        &self.policy
+    }
+
+    /// Lints one image, updating the counter group.
+    pub fn lint(&self, image: &TaskImage) -> LintReport {
+        let report = lint_image(image, &self.policy);
+        let counters = self.tracer.counters();
+        counters.incr(self.images_checked);
+        counters.add(self.findings_error, report.count(Severity::Error) as u64);
+        counters.add(
+            self.findings_warning,
+            report.count(Severity::Warning) as u64,
+        );
+        counters.add(self.findings_info, report.count(Severity::Info) as u64);
+        counters.add(self.unproven_sites, report.stats.unproven as u64);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp32::asm::assemble;
+
+    fn image_from(source: &str, stack_len: u32) -> TaskImage {
+        let program = assemble(source, 0).expect("assembles");
+        TaskImage::from_program("lintee", &program, stack_len, true).expect("valid image")
+    }
+
+    fn lint_source(source: &str, policy: &LintPolicy) -> LintReport {
+        lint_image(&image_from(source, 256), policy)
+    }
+
+    /// Splits an assembled program at `split_label` into text and data,
+    /// the way the toolchain lays real tasks out.
+    fn image_with_data(source: &str, split_label: &str, stack_len: u32) -> TaskImage {
+        let program = assemble(source, 0).expect("assembles");
+        let split = program.symbol(split_label).expect("split label") as usize;
+        let text = program.bytes[..split].to_vec();
+        let data = program.bytes[split..].to_vec();
+        TaskImage::new(
+            "lintee",
+            true,
+            program.symbol("main").expect("main"),
+            text,
+            data,
+            0,
+            stack_len,
+            program.reloc_sites.clone(),
+        )
+        .expect("valid image")
+    }
+
+    #[test]
+    fn clean_spin_task_passes() {
+        // The repo's spin-task idiom: a pointer materialized before the
+        // loop, dereferenced inside it. Needs cross-block constant flow.
+        let image = image_with_data(
+            "main:\n movi r1, counter\nloop:\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n \
+             jmp loop\ncounter:\n .word 0\n",
+            "counter",
+            256,
+        );
+        let report = lint_image(&image, &LintPolicy::default());
+        assert_eq!(report.worst(), None, "{report}");
+        assert!(report.stats.instructions >= 5);
+    }
+
+    #[test]
+    fn store_outside_task_is_an_error() {
+        let report = lint_source(
+            "main:\n movi r1, 0xf0000000\n stw [r1], r2\n hlt\n",
+            &LintPolicy::default(),
+        );
+        assert_eq!(report.count(Severity::Error), 1, "{report}");
+        assert!(matches!(
+            report.findings[0].kind,
+            FindingKind::IllegalStore {
+                addr: 0xf000_0000,
+                size: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn declared_window_makes_mmio_access_clean() {
+        let mut policy = LintPolicy::default();
+        policy
+            .windows
+            .push((Region::new(0xf000_0000, 0x400), Perms::RW));
+        let report = lint_source(
+            "main:\n movi r1, 0xf0000100\n ldw r2, [r1]\n hlt\n",
+            &policy,
+        );
+        assert_eq!(report.worst(), None, "{report}");
+    }
+
+    #[test]
+    fn read_only_window_rejects_store_with_rule_slot() {
+        let mut policy = LintPolicy::default();
+        policy
+            .windows
+            .push((Region::new(0xf000_0000, 0x400), Perms::R));
+        let report = lint_source(
+            "main:\n movi r1, 0xf0000000\n stw [r1], r2\n hlt\n",
+            &policy,
+        );
+        assert_eq!(report.count(Severity::Error), 1, "{report}");
+        assert_eq!(report.findings[0].rule_slot, Some(0));
+    }
+
+    #[test]
+    fn store_to_own_text_is_an_error() {
+        let report = lint_source(
+            "main:\n movi r1, main\n stw [r1], r2\n hlt\n",
+            &LintPolicy::default(),
+        );
+        assert_eq!(report.count(Severity::Error), 1, "{report}");
+        assert!(matches!(
+            report.findings[0].kind,
+            FindingKind::StoreToText { addr: 0 }
+        ));
+    }
+
+    #[test]
+    fn mid_region_call_is_an_error_and_entry_call_is_clean() {
+        let mut policy = LintPolicy::default();
+        policy.peers.push(Peer {
+            code: Region::new(0x8000, 0x100),
+            entry: 0x8000,
+        });
+        let clean = lint_source("main:\n call 0x8000\n hlt\n", &policy);
+        assert_eq!(clean.worst(), None, "{clean}");
+
+        let dirty = lint_source("main:\n call 0x8010\n hlt\n", &policy);
+        assert_eq!(dirty.count(Severity::Error), 1, "{dirty}");
+        assert!(matches!(
+            dirty.findings[0].kind,
+            FindingKind::MidRegionCall {
+                target: 0x8010,
+                expected_entry: 0x8000
+            }
+        ));
+        // Peers are numbered after the (empty) window table.
+        assert_eq!(dirty.findings[0].rule_slot, Some(0));
+    }
+
+    #[test]
+    fn absolute_transfer_without_peer_is_an_error() {
+        let report = lint_source("main:\n jmp 0x9000\n", &LintPolicy::default());
+        assert_eq!(report.count(Severity::Error), 1, "{report}");
+        assert!(matches!(
+            report.findings[0].kind,
+            FindingKind::UnknownTransfer { target: 0x9000 }
+        ));
+    }
+
+    #[test]
+    fn indirect_jump_is_unproven_not_error() {
+        let report = lint_source("main:\n movi r1, main\n jmpr r1\n", &LintPolicy::default());
+        assert_eq!(report.count(Severity::Error), 0, "{report}");
+        assert_eq!(report.stats.unproven, 1);
+        assert_eq!(report.worst(), Some(Severity::Info));
+    }
+
+    #[test]
+    fn unresolved_base_register_is_unproven() {
+        let report = lint_source("main:\n ldw r2, [r3]\n hlt\n", &LintPolicy::default());
+        assert_eq!(report.count(Severity::Error), 0, "{report}");
+        assert!(matches!(
+            report.findings[0].kind,
+            FindingKind::UnprovenAccess {
+                kind: AccessKind::Read
+            }
+        ));
+    }
+
+    #[test]
+    fn push_loop_is_stack_unbounded() {
+        let report = lint_source(
+            "main:\nloop:\n push r1\n jmp loop\n",
+            &LintPolicy::default(),
+        );
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.kind == FindingKind::StackUnbounded),
+            "{report}"
+        );
+        assert_eq!(report.stats.worst_stack_depth, None);
+    }
+
+    #[test]
+    fn deep_pushes_overflow_declared_stack() {
+        // 8 pushes x 4 bytes + 36-byte reserve = 68 > 64.
+        let mut body = String::from("main:\n");
+        for _ in 0..8 {
+            body.push_str(" push r1\n");
+        }
+        body.push_str(" hlt\n");
+        let report = lint_image(&image_from(&body, 64), &LintPolicy::default());
+        assert!(
+            report.findings.iter().any(|f| matches!(
+                f.kind,
+                FindingKind::StackOverflow {
+                    worst_depth: 32,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn call_chain_depth_is_counted() {
+        // main -> a -> b, each one call deep: worst depth 8 bytes.
+        let report = lint_source(
+            "main:\n call a\n hlt\na:\n call b\n ret\nb:\n ret\n",
+            &LintPolicy::default(),
+        );
+        assert_eq!(report.stats.worst_stack_depth, Some(8), "{report}");
+        assert_eq!(report.worst(), None);
+    }
+
+    #[test]
+    fn recursion_is_unbounded() {
+        let report = lint_source("main:\n call main\n hlt\n", &LintPolicy::default());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.kind == FindingKind::StackUnbounded),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn cycle_budget_flags_long_blocks() {
+        let policy = LintPolicy {
+            block_cycle_budget: Some(10),
+            ..LintPolicy::default()
+        };
+        let report = lint_source(
+            "main:\n add r1, r2\n add r1, r2\n add r1, r2\n add r1, r2\n add r1, r2\n \
+             add r1, r2\n hlt\n",
+            &policy,
+        );
+        assert_eq!(report.count(Severity::Warning), 1, "{report}");
+        assert!(report.stats.worst_block_cycles > 10);
+    }
+
+    #[test]
+    fn embedded_text_data_does_not_trip_the_decoder() {
+        // Mirrors the radar monitor: a pointer table and scratch space
+        // inside text, never executed.
+        let report = lint_source(
+            "main:\n jmp end\ntable:\n .word main, end\n .space 128\nend:\nspin:\n jmp spin\n",
+            &LintPolicy::default(),
+        );
+        assert_eq!(report.worst(), None, "{report}");
+    }
+
+    #[test]
+    fn json_report_round_trips_through_the_trace_parser() {
+        let report = lint_source(
+            "main:\n movi r1, 0xf0000000\n stw [r1], r2\n jmpr r1\n",
+            &LintPolicy::default(),
+        );
+        let doc = tytan_trace::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("image").and_then(|v| v.as_str()), Some("lintee"));
+        let findings = doc
+            .get("findings")
+            .and_then(|v| v.as_array())
+            .expect("findings array");
+        assert_eq!(findings.len(), report.findings.len());
+        assert_eq!(
+            findings[0].get("severity").and_then(|v| v.as_str()),
+            Some("error")
+        );
+        assert!(findings[0].get("pc").and_then(|v| v.as_number()).is_some());
+    }
+
+    #[test]
+    fn linter_counters_track_severities() {
+        let tracer = Tracer::null();
+        let linter = Linter::with_tracer(LintPolicy::default(), tracer.clone());
+        linter.lint(&image_from(
+            "main:\n movi r1, 0xf0000000\n stw [r1], r2\n jmpr r1\n",
+            256,
+        ));
+        linter.lint(&image_from("main:\nspin:\n jmp spin\n", 256));
+        let counters = tracer.counters();
+        assert_eq!(counters.get("lint_images_checked"), Some(2));
+        assert_eq!(counters.get("lint_findings_error"), Some(1));
+        assert_eq!(counters.get("lint_findings_info"), Some(1));
+        assert_eq!(counters.get("lint_unproven_sites"), Some(1));
+    }
+}

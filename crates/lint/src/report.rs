@@ -1,0 +1,358 @@
+//! The diagnostic report model: findings, severities, per-image stats,
+//! and the human / JSON emitters.
+//!
+//! The JSON emitter reuses [`tytan_trace::chrome::escape_json_string`] so
+//! the crate stays dependency-free, and its output round-trips through
+//! [`tytan_trace::json::parse`] (covered by tests).
+
+use std::fmt;
+
+use eampu::AccessKind;
+use sp32::{DecodeError, Instr};
+use tytan_trace::chrome::escape_json_string;
+
+/// How serious a finding is.
+///
+/// `Error` findings make an image unloadable under
+/// [`LoadJob::with_verification`](../tytan/loader/struct.LoadJob.html);
+/// `Warning` findings fail CI under `sp32-lint --deny warnings`; `Info`
+/// findings (the `Unproven` class) never fail anything by default — they
+/// mark the soundness boundary of the static analysis, not a defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory; includes every `Unproven` site.
+    Info,
+    /// Suspicious but not provably wrong (e.g. a cycle-budget overrun).
+    Warning,
+    /// Provably violates the image format or the EA-MPU policy.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as used in JSON output and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a finding is about. Each kind carries the statically-derived
+/// facts that justify it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A reachable instruction word failed to decode.
+    Malformed {
+        /// The decoder's complaint.
+        error: DecodeError,
+    },
+    /// A reachable instruction extends past the end of the text section
+    /// (or sits at a misaligned pc).
+    TruncatedInstruction,
+    /// Straight-line execution runs off the end of the text section.
+    FallsOffText,
+    /// A statically-resolved load reads outside the task and every
+    /// declared window.
+    IllegalLoad {
+        /// Resolved effective address (task-relative or absolute).
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A statically-resolved store writes outside the task's writable
+    /// range and every declared window.
+    IllegalStore {
+        /// Resolved effective address (task-relative or absolute).
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A statically-resolved store targets the task's own text section.
+    StoreToText {
+        /// Resolved task-relative address.
+        addr: u32,
+    },
+    /// A relocated branch target does not name a valid instruction
+    /// address inside the task's text section.
+    IllegalTransfer {
+        /// The task-relative target.
+        target: u32,
+    },
+    /// An absolute transfer lands inside a declared peer's code region
+    /// but not on its declared entry point — exactly the property the
+    /// EA-MPU enforces dynamically.
+    MidRegionCall {
+        /// Where the transfer lands.
+        target: u32,
+        /// The peer's declared entry point.
+        expected_entry: u32,
+    },
+    /// An absolute transfer target matches no declared peer.
+    UnknownTransfer {
+        /// The absolute target address.
+        target: u32,
+    },
+    /// A register-indirect jump; the target cannot be resolved
+    /// statically.
+    UnprovenIndirectJump,
+    /// A load/store through a register whose value could not be
+    /// resolved statically.
+    UnprovenAccess {
+        /// Whether the unresolved access reads or writes.
+        kind: AccessKind,
+    },
+    /// Worst-case stack depth (plus the interrupt-frame reserve)
+    /// exceeds the image's declared stack length.
+    StackOverflow {
+        /// Worst-case depth over the CFG, in bytes.
+        worst_depth: u32,
+        /// Interrupt-frame reserve added on top.
+        reserve: u32,
+        /// The image's declared stack length.
+        stack_len: u32,
+    },
+    /// Stack depth grows without bound (e.g. a push or call loop with
+    /// no balancing pop).
+    StackUnbounded,
+    /// A basic block's straight-line cycle cost exceeds the configured
+    /// real-time budget.
+    CycleBudgetExceeded {
+        /// The block's worst-case cycle cost.
+        cycles: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl FindingKind {
+    /// Stable kebab-case identifier, used as the JSON `kind` field.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FindingKind::Malformed { .. } => "malformed",
+            FindingKind::TruncatedInstruction => "truncated-instruction",
+            FindingKind::FallsOffText => "falls-off-text",
+            FindingKind::IllegalLoad { .. } => "illegal-load",
+            FindingKind::IllegalStore { .. } => "illegal-store",
+            FindingKind::StoreToText { .. } => "store-to-text",
+            FindingKind::IllegalTransfer { .. } => "illegal-transfer",
+            FindingKind::MidRegionCall { .. } => "mid-region-call",
+            FindingKind::UnknownTransfer { .. } => "unknown-transfer",
+            FindingKind::UnprovenIndirectJump => "unproven-indirect-jump",
+            FindingKind::UnprovenAccess { .. } => "unproven-access",
+            FindingKind::StackOverflow { .. } => "stack-overflow",
+            FindingKind::StackUnbounded => "stack-unbounded",
+            FindingKind::CycleBudgetExceeded { .. } => "cycle-budget-exceeded",
+        }
+    }
+
+    /// The severity this kind of finding carries.
+    pub fn severity(&self) -> Severity {
+        match self {
+            FindingKind::Malformed { .. }
+            | FindingKind::TruncatedInstruction
+            | FindingKind::FallsOffText
+            | FindingKind::IllegalLoad { .. }
+            | FindingKind::IllegalStore { .. }
+            | FindingKind::StoreToText { .. }
+            | FindingKind::IllegalTransfer { .. }
+            | FindingKind::MidRegionCall { .. }
+            | FindingKind::UnknownTransfer { .. }
+            | FindingKind::StackOverflow { .. }
+            | FindingKind::StackUnbounded => Severity::Error,
+            FindingKind::CycleBudgetExceeded { .. } => Severity::Warning,
+            FindingKind::UnprovenIndirectJump | FindingKind::UnprovenAccess { .. } => {
+                Severity::Info
+            }
+        }
+    }
+
+    /// Whether this finding marks a site the analysis could not decide
+    /// (as opposed to a proven violation).
+    pub fn is_unproven(&self) -> bool {
+        matches!(
+            self,
+            FindingKind::UnprovenIndirectJump | FindingKind::UnprovenAccess { .. }
+        )
+    }
+}
+
+/// One diagnostic: a severity, the kind with its facts, the pc it
+/// anchors to, the decoded instruction (when there is one), and the
+/// policy rule slot it was checked against (when one applied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// What the finding is about.
+    pub kind: FindingKind,
+    /// Task-relative pc of the offending site (block start for
+    /// whole-block findings such as cycle-budget overruns).
+    pub pc: u32,
+    /// The decoded instruction at `pc`, when decoding succeeded.
+    pub instr: Option<Instr>,
+    /// Index into the policy's rule table (windows first, then peers),
+    /// when the finding was judged against a specific rule.
+    pub rule_slot: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding with the kind's default severity.
+    pub fn new(kind: FindingKind, pc: u32, instr: Option<Instr>, message: String) -> Finding {
+        Finding {
+            severity: kind.severity(),
+            kind,
+            pc,
+            instr,
+            rule_slot: None,
+            message,
+        }
+    }
+
+    /// Attaches the policy rule slot the finding was judged against.
+    pub fn with_rule_slot(mut self, slot: usize) -> Finding {
+        self.rule_slot = Some(slot);
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:#06x}: ", self.severity, self.pc)?;
+        if let Some(instr) = &self.instr {
+            write!(f, "`{instr}`: ")?;
+        }
+        write!(f, "{} [{}", self.message, self.kind.slug())?;
+        if let Some(slot) = self.rule_slot {
+            write!(f, ", rule slot {slot}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// Aggregate facts about the analyzed image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LintStats {
+    /// Distinct reachable instructions decoded.
+    pub instructions: usize,
+    /// Basic blocks recovered.
+    pub blocks: usize,
+    /// Worst-case stack depth over the CFG, in bytes (excluding the
+    /// interrupt-frame reserve); `None` if the depth is unbounded.
+    pub worst_stack_depth: Option<u32>,
+    /// Largest straight-line cycle cost of any basic block.
+    pub worst_block_cycles: u64,
+    /// Number of `Unproven` findings (sites the analysis gave up on).
+    pub unproven: usize,
+}
+
+/// The result of linting one task image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// The image's name, from its TTIF header.
+    pub image_name: String,
+    /// Every finding, ordered by pc then severity.
+    pub findings: Vec<Finding>,
+    /// Aggregate facts about the image.
+    pub stats: LintStats,
+}
+
+impl LintReport {
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// The most severe finding level present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Whether the report contains a finding at or above `deny`.
+    pub fn rejects_at(&self, deny: Severity) -> bool {
+        self.worst().is_some_and(|w| w >= deny)
+    }
+
+    /// Renders the report as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.findings.len() * 128);
+        out.push_str("{\"image\":\"");
+        out.push_str(&escape_json_string(&self.image_name));
+        out.push_str("\",\"stats\":{");
+        out.push_str(&format!(
+            "\"instructions\":{},\"blocks\":{},\"worst_stack_depth\":{},\
+             \"worst_block_cycles\":{},\"unproven\":{}",
+            self.stats.instructions,
+            self.stats.blocks,
+            match self.stats.worst_stack_depth {
+                Some(d) => d.to_string(),
+                None => "null".to_string(),
+            },
+            self.stats.worst_block_cycles,
+            self.stats.unproven,
+        ));
+        out.push_str("},\"findings\":[");
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"kind\":\"{}\",\"pc\":{},\"instr\":{},\
+                 \"rule_slot\":{},\"message\":\"{}\"}}",
+                finding.severity,
+                finding.kind.slug(),
+                finding.pc,
+                match &finding.instr {
+                    Some(instr) => format!("\"{}\"", escape_json_string(&instr.to_string())),
+                    None => "null".to_string(),
+                },
+                match finding.rule_slot {
+                    Some(slot) => slot.to_string(),
+                    None => "null".to_string(),
+                },
+                escape_json_string(&finding.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} instruction(s), {} block(s), worst stack {}, worst block {} cycle(s)",
+            self.image_name,
+            self.stats.instructions,
+            self.stats.blocks,
+            match self.stats.worst_stack_depth {
+                Some(d) => format!("{d} byte(s)"),
+                None => "unbounded".to_string(),
+            },
+            self.stats.worst_block_cycles,
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        write!(
+            f,
+            "  {} error(s), {} warning(s), {} unproven site(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.stats.unproven,
+        )
+    }
+}

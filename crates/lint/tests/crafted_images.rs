@@ -1,0 +1,152 @@
+//! End-to-end tests for the `sp32-lint` binary on crafted TTIF files:
+//! the acceptance images (a store outside the task's data region, a
+//! call into a secure peer at a non-entry offset), a clean control, and
+//! corrupt files that must be rejected gracefully.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use sp32::asm::assemble;
+use tytan_image::TaskImage;
+
+fn write_image(name: &str, image: &TaskImage) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("sp32-lint-test-{}-{name}.ttif", std::process::id()));
+    std::fs::write(&path, image.to_bytes()).expect("write image");
+    path
+}
+
+fn lint(args: &[&str]) -> (i32, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_sp32-lint"))
+        .args(args)
+        .output()
+        .expect("run sp32-lint");
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn image_from(source: &str, stack_len: u32) -> TaskImage {
+    let program = assemble(source, 0).expect("assembles");
+    TaskImage::from_program("crafted", &program, stack_len, true).expect("valid image")
+}
+
+#[test]
+fn rejects_store_outside_data_region() {
+    let image = image_from("main:\n movi r1, 0xf0000000\n stw [r1], r2\n hlt\n", 256);
+    let path = write_image("oob-store", &image);
+    let (code, stdout, _) = lint(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("illegal-store"), "{stdout}");
+}
+
+#[test]
+fn allow_window_makes_mmio_store_clean() {
+    let image = image_from("main:\n movi r1, 0xf0000000\n stw [r1], r2\n hlt\n", 256);
+    let path = write_image("mmio-store", &image);
+    let (code, stdout, _) = lint(&[
+        "--deny",
+        "warnings",
+        "--allow",
+        "0xf0000000:0x400",
+        path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn rejects_call_to_peer_non_entry_offset() {
+    let image = image_from("main:\n call 0x8010\n hlt\n", 256);
+    let path = write_image("mid-call", &image);
+    let (code, stdout, _) = lint(&["--peer", "0x8000:0x100:0x8000", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("mid-region-call"), "{stdout}");
+}
+
+#[test]
+fn accepts_call_to_declared_peer_entry() {
+    let image = image_from("main:\n call 0x8000\n hlt\n", 256);
+    let path = write_image("entry-call", &image);
+    let (code, stdout, _) = lint(&[
+        "--deny",
+        "warnings",
+        "--peer",
+        "0x8000:0x100:0x8000",
+        path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn clean_image_passes_deny_warnings_with_json() {
+    let image = image_from("main:\nspin:\n jmp spin\n", 256);
+    let path = write_image("clean", &image);
+    let (code, stdout, _) = lint(&["--deny", "warnings", "--json", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0, "{stdout}");
+    let doc = tytan_trace::json::parse(stdout.trim()).expect("valid JSON");
+    let reports = doc.as_array().expect("array of reports");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(
+        reports[0]
+            .get("findings")
+            .and_then(|f| f.as_array())
+            .map(Vec::len),
+        Some(0)
+    );
+}
+
+#[test]
+fn corrupt_file_is_rejected_without_panicking() {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "sp32-lint-test-{}-garbage.ttif",
+        std::process::id()
+    ));
+    std::fs::write(&path, b"TTIF but not really").expect("write garbage");
+    let (code, _, stderr) = lint(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("not a valid task image"), "{stderr}");
+}
+
+#[test]
+fn truncated_real_image_is_rejected_without_panicking() {
+    let image = image_from("main:\n movi r1, main\n jmp main\n", 256);
+    let bytes = image.to_bytes();
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "sp32-lint-test-{}-truncated.ttif",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write truncated");
+    let (code, _, stderr) = lint(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 1, "{stderr}");
+}
+
+#[test]
+fn missing_file_is_a_usage_error() {
+    let (code, _, stderr) = lint(&["/nonexistent/no-such-image.ttif"]);
+    assert_eq!(code, 2, "{stderr}");
+}
+
+#[test]
+fn bad_flags_are_usage_errors() {
+    for args in [
+        &["--deny", "everything", "x.ttif"][..],
+        &["--allow", "nonsense", "x.ttif"][..],
+        &["--peer", "1:2", "x.ttif"][..],
+        &["--wat", "x.ttif"][..],
+        &[][..],
+    ] {
+        let (code, _, _) = lint(args);
+        assert_eq!(code, 2, "args {args:?}");
+    }
+}

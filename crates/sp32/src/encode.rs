@@ -457,31 +457,48 @@ mod tests {
         (0u32..6).prop_map(|i| crate::Cond::from_code(i).unwrap())
     }
 
+    /// Every one of the ISA's 31 instruction forms, with arbitrary
+    /// operands — keep this exhaustive so the round-trip property covers
+    /// any variant added later.
     fn arb_instr() -> impl Strategy<Value = Instr> {
+        let rr = |make: fn(crate::Reg, crate::Reg) -> Instr| {
+            (arb_reg(), arb_reg()).prop_map(move |(rd, rs)| make(rd, rs))
+        };
+        let mem = |make: fn(crate::Reg, crate::Reg, i16) -> Instr| {
+            (arb_reg(), arb_reg(), any::<i16>()).prop_map(move |(rd, rs, disp)| make(rd, rs, disp))
+        };
         prop_oneof![
             Just(Instr::Nop),
             Just(Instr::Hlt),
-            (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::MovReg { rd, rs }),
+            rr(|rd, rs| Instr::MovReg { rd, rs }),
             (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
-            (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Add { rd, rs }),
+            rr(|rd, rs| Instr::Add { rd, rs }),
             (arb_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::AddImm { rd, imm }),
-            (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Sub { rd, rs }),
-            (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Xor { rd, rs }),
-            (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Ldw {
-                rd,
-                rs,
-                disp
-            }),
-            (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs, disp)| Instr::Stw {
-                rd,
-                rs,
-                disp
-            }),
+            rr(|rd, rs| Instr::Sub { rd, rs }),
+            rr(|rd, rs| Instr::Mul { rd, rs }),
+            rr(|rd, rs| Instr::And { rd, rs }),
+            rr(|rd, rs| Instr::Or { rd, rs }),
+            rr(|rd, rs| Instr::Xor { rd, rs }),
+            arb_reg().prop_map(|rd| Instr::Not { rd }),
+            rr(|rd, rs| Instr::Shl { rd, rs }),
+            rr(|rd, rs| Instr::Shr { rd, rs }),
+            rr(|rd, rs| Instr::Cmp { rd, rs }),
+            (arb_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::CmpImm { rd, imm }),
+            mem(|rd, rs, disp| Instr::Ldw { rd, rs, disp }),
+            mem(|rd, rs, disp| Instr::Stw { rd, rs, disp }),
+            mem(|rd, rs, disp| Instr::Ldb { rd, rs, disp }),
+            mem(|rd, rs, disp| Instr::Stb { rd, rs, disp }),
             any::<u32>().prop_map(|target| Instr::Jmp { target }),
             (arb_cond(), any::<u32>()).prop_map(|(cond, target)| Instr::Jcc { cond, target }),
+            arb_reg().prop_map(|rs| Instr::JmpReg { rs }),
             any::<u32>().prop_map(|target| Instr::Call { target }),
+            Just(Instr::Ret),
+            arb_reg().prop_map(|rs| Instr::Push { rs }),
+            arb_reg().prop_map(|rd| Instr::Pop { rd }),
             any::<u8>().prop_map(|vector| Instr::Int { vector }),
             Just(Instr::Iret),
+            Just(Instr::Sti),
+            Just(Instr::Cli),
         ]
     }
 

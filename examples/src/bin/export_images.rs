@@ -1,0 +1,49 @@
+//! Exports the shipped use-case task images as TTIF files, for the
+//! `sp32-lint` CI job (and for poking at images with external tools).
+//!
+//! ```text
+//! cargo run -p tytan-examples --bin export_images -- OUT_DIR
+//! ```
+//!
+//! Writes one `<task-name>.ttif` per image into `OUT_DIR` and prints the
+//! paths. These are the images `sp32-lint --deny warnings` must accept
+//! (with the platform MMIO window allowed); see `.github/workflows`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use tytan::toolchain::TaskSource;
+use tytan::usecase::{engine_control_source, pedal_monitor_source, radar_monitor_source};
+use tytan_crypto::TaskId;
+
+fn sources() -> Vec<TaskSource> {
+    // The controller identity only influences the provisioned constants,
+    // not the shape of the image; a fixed id keeps the export stable.
+    let controller = TaskId::from_u64(1);
+    vec![
+        engine_control_source(),
+        pedal_monitor_source(controller),
+        radar_monitor_source(controller),
+    ]
+}
+
+fn main() -> ExitCode {
+    let Some(out_dir) = std::env::args().nth(1) else {
+        eprintln!("usage: export_images OUT_DIR");
+        return ExitCode::from(2);
+    };
+    let out_dir = Path::new(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("export_images: cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+    for source in sources() {
+        let path = out_dir.join(format!("{}.ttif", source.image.name()));
+        if let Err(e) = std::fs::write(&path, source.image.to_bytes()) {
+            eprintln!("export_images: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("{}", path.display());
+    }
+    ExitCode::SUCCESS
+}
