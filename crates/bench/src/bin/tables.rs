@@ -6,29 +6,56 @@
 //!
 //! - `--json`: additionally emits the same data as JSON — paper value,
 //!   measured value, and unit per row, the host-side simulation rate
-//!   (`host_guest_ips`), and the fast-path cache counters — and writes it
-//!   to `BENCH_tables.json` in the current directory.
+//!   (`host_guest_ips`), the fast-path cache counters, and the latency
+//!   histogram summaries of the observed workload — and writes it to
+//!   `BENCH_tables.json` in the current directory.
 //! - `--check`: validates the JSON document against the checked-in schema
 //!   (`crates/bench/schema/bench_tables.schema.json`) and exits nonzero on
 //!   any violation. Implies computing the document; combine with `--json`
 //!   to also write it.
+//! - `--baseline <path>`: compares the freshly computed document against a
+//!   previously written `BENCH_tables.json` at `<path>` (the regression
+//!   gate — see `tytan_bench::baseline`) and exits nonzero on any
+//!   tolerance violation. Implies computing the document.
 //! - `--trace`: runs the traced paper workload and writes its Chrome
 //!   `trace_event` export to `BENCH_trace.json` (load in `chrome://tracing`
 //!   or Perfetto).
+//! - `--profile`: runs the profiled use-case workload and writes the
+//!   folded-stack flamegraph text to `BENCH_profile.folded` (feed to
+//!   `flamegraph.pl` or speedscope); prints the top cycle consumers and
+//!   symbolization coverage to stderr.
 
-use tytan_bench::{experiments, render, render_json, schema};
+use tytan_bench::{baseline, experiments, render, render_json, schema};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    for arg in &args {
-        if !matches!(arg.as_str(), "--json" | "--check" | "--trace") {
-            eprintln!("unknown flag {arg}; known flags: --json --check --trace");
-            std::process::exit(2);
+    let mut json_mode = false;
+    let mut check_mode = false;
+    let mut trace_mode = false;
+    let mut profile_mode = false;
+    let mut baseline_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_mode = true,
+            "--check" => check_mode = true,
+            "--trace" => trace_mode = true,
+            "--profile" => profile_mode = true,
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = Some(path),
+                None => {
+                    eprintln!("--baseline requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!(
+                    "unknown flag {arg}; known flags: --json --check --trace --profile --baseline <path>"
+                );
+                std::process::exit(2);
+            }
         }
     }
-    let json_mode = args.iter().any(|a| a == "--json");
-    let check_mode = args.iter().any(|a| a == "--check");
-    let trace_mode = args.iter().any(|a| a == "--trace");
 
     if trace_mode {
         let trace = experiments::chrome_trace_use_case();
@@ -37,15 +64,29 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote BENCH_trace.json ({} bytes)", trace.len());
-        if !json_mode && !check_mode {
-            return;
-        }
     }
 
-    if json_mode || check_mode {
+    if profile_mode {
+        let report = experiments::profile_use_case();
+        let folded = report.folded();
+        if let Err(err) = std::fs::write("BENCH_profile.folded", &folded) {
+            eprintln!("error: could not write BENCH_profile.folded: {err}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote BENCH_profile.folded ({} stacks, {:.1}% of {} cycles symbolized)",
+            folded.lines().count(),
+            report.coverage() * 100.0,
+            report.total,
+        );
+        eprint!("{}", report.top(15));
+    }
+
+    if json_mode || check_mode || baseline_path.is_some() {
         let tables = experiments::all();
         let counters = experiments::fast_path_counters();
-        let json = render_json(&tables, experiments::host_guest_ips(), &counters);
+        let latency = experiments::latency_snapshot();
+        let json = render_json(&tables, experiments::host_guest_ips(), &counters, &latency);
         if check_mode {
             if let Err(errors) = schema::check_bench_tables(&json) {
                 eprintln!("BENCH_tables.json violates its schema:");
@@ -62,6 +103,42 @@ fn main() {
             }
             print!("{json}");
         }
+        if let Some(path) = baseline_path {
+            let old = match std::fs::read_to_string(&path) {
+                Ok(contents) => contents,
+                Err(err) => {
+                    eprintln!("error: could not read baseline {path}: {err}");
+                    std::process::exit(1);
+                }
+            };
+            match baseline::compare_documents(&old, &json) {
+                Ok(cmp) => {
+                    for note in &cmp.skipped {
+                        eprintln!("skipped: {note}");
+                    }
+                    if cmp.passed() {
+                        eprintln!(
+                            "baseline check passed: {} metric(s) within tolerance of {path}",
+                            cmp.checked
+                        );
+                    } else {
+                        eprintln!("baseline check FAILED against {path}:");
+                        for violation in &cmp.violations {
+                            eprintln!("  - {violation}");
+                        }
+                        std::process::exit(1);
+                    }
+                }
+                Err(err) => {
+                    eprintln!("error: baseline comparison failed: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    if trace_mode || profile_mode {
         return;
     }
 

@@ -15,6 +15,8 @@ use tytan::usecase::{engine_control_source, radar_monitor_source, CruiseControl}
 use tytan_crypto::{Sha1, TaskId};
 use tytan_image::TaskImage;
 use tytan_lint::{LintPolicy, Linter, Severity};
+use tytan_profile::{CycleProfiler, Report};
+use tytan_trace::hist::Summary;
 use tytan_trace::{chrome, RingRecorder, Tracer};
 
 fn boot() -> Platform {
@@ -800,6 +802,45 @@ pub struct IpcPhases {
     pub entry: u64,
 }
 
+/// The secure IPC receiver of the bench workloads: waits, consumes the
+/// payload in its message entry routine.
+fn ipc_receiver_source() -> TaskSource {
+    SecureTaskBuilder::new(
+        "receiver",
+        "main:\nwait:\n jmp wait\n\
+         on_message:\n movi r1, __mailbox\n ldw r2, [r1+16]\n\
+         handled:\n jmp wait\n",
+    )
+    .handles_messages(true)
+    .build()
+    .expect("assembles")
+}
+
+/// The matching sender: sleeps three ticks (so measurement loops are
+/// armed before the send), fires one synchronous `INT 0x30`, then parks
+/// in a long delay loop so it never starves lower-priority tasks.
+fn ipc_sender_source(receiver_id: TaskId) -> TaskSource {
+    let (hi, lo) = receiver_id.to_register_words();
+    SecureTaskBuilder::new(
+        "sender",
+        format!(
+            "main:\n movi r1, SYS_DELAY\n movi r2, 3\n int SYS_VECTOR\n\
+             movi r1, {hi:#010x}\n movi r2, {lo:#010x}\n\
+             movi r3, 77\n movi r4, 0\n movi r5, 0\n movi r6, 1\n\
+             int IPC_VECTOR\n\
+             park:\n movi r1, SYS_DELAY\n movi r2, 100000\n int SYS_VECTOR\n jmp park\n"
+        ),
+    )
+    .build()
+    .expect("assembles")
+}
+
+fn task_identity(source: &TaskSource) -> TaskId {
+    TaskId::from_digest(&<Sha1 as tytan_crypto::Digest>::digest(
+        &source.image.measurement_bytes(),
+    ))
+}
+
 /// Measures one synchronous guest-to-guest IPC send.
 pub fn measure_ipc() -> IpcPhases {
     measure_ipc_with(MachineConfig::default())
@@ -808,35 +849,10 @@ pub fn measure_ipc() -> IpcPhases {
 /// Like [`measure_ipc`], on a machine built from `machine`.
 pub fn measure_ipc_with(machine: MachineConfig) -> IpcPhases {
     let mut platform = boot_with(machine);
-    let receiver = SecureTaskBuilder::new(
-        "receiver",
-        "main:\nwait:\n jmp wait\n\
-         on_message:\n movi r1, __mailbox\n ldw r2, [r1+16]\n\
-         handled:\n jmp wait\n",
-    )
-    .handles_messages(true)
-    .build()
-    .expect("assembles");
-    let receiver_id = TaskId::from_digest(&<Sha1 as tytan_crypto::Digest>::digest(
-        &receiver.image.measurement_bytes(),
-    ));
+    let receiver = ipc_receiver_source();
+    let receiver_id = task_identity(&receiver);
     let handled_off = receiver.symbol_offset("handled").expect("label");
-
-    let (hi, lo) = receiver_id.to_register_words();
-    // The sender sleeps three ticks first so the measurement loop is
-    // armed before the send happens.
-    let sender = SecureTaskBuilder::new(
-        "sender",
-        format!(
-            "main:\n movi r1, SYS_DELAY\n movi r2, 3\n int SYS_VECTOR\n\
-             movi r1, {hi:#010x}\n movi r2, {lo:#010x}\n\
-             movi r3, 77\n movi r4, 0\n movi r5, 0\n movi r6, 1\n\
-             int IPC_VECTOR\n\
-             spin:\n jmp spin\n"
-        ),
-    )
-    .build()
-    .expect("assembles");
+    let sender = ipc_sender_source(receiver_id);
 
     let token = platform.begin_load(&receiver, 2);
     let (rh, _) = platform
@@ -1017,18 +1033,61 @@ pub fn lint_throughput() -> Table {
 
 // ------------------------------------------------------- trace + counters
 
-/// Runs a traced paper workload — secure-task load, half a million cycles
-/// of scheduled execution under tick interrupts, and a remote attestation
-/// — and returns the platform to the caller along with its tracer.
-fn traced_workload(tracer: Tracer) -> Platform {
-    let mut platform = boot();
-    platform.attach_tracer(tracer);
+/// The observed paper workload, shared by the trace export, the counter
+/// snapshot, the latency tables, and the profiler: a spinning secure
+/// worker, a secure IPC pair (one synchronous send through the proxy),
+/// half a million cycles of scheduled execution under tick interrupts,
+/// and a remote attestation. Runs the same guest sequence whether or not
+/// a tracer/profiler is attached — the cycle-identity suite relies on it.
+pub fn observed_workload_body(platform: &mut Platform) {
     let source = spin_task("traced");
     let token = platform.begin_load(&source, 2);
     let (_, id) = platform.wait_load(token, 400_000_000).expect("loads");
+    let receiver = ipc_receiver_source();
+    let receiver_id = task_identity(&receiver);
+    let token = platform.begin_load(&receiver, 2);
+    platform
+        .wait_load(token, 400_000_000)
+        .expect("receiver loads");
+    let token = platform.begin_load(&ipc_sender_source(receiver_id), 3);
+    platform
+        .wait_load(token, 400_000_000)
+        .expect("sender loads");
     platform.run_for(500_000).expect("runs");
     let _ = platform.remote_attest(id, b"bench-nonce").expect("attests");
+    platform.flush_trace();
+}
+
+/// Runs the observed workload with `tracer` attached and returns the
+/// platform.
+fn traced_workload(tracer: Tracer) -> Platform {
+    let mut platform = boot();
+    platform.attach_tracer(tracer);
+    observed_workload_body(&mut platform);
     platform
+}
+
+/// Latency distributions of the observed workload: interrupt-entry path,
+/// context save/restore, IPC round-trip, attestation, and secure-load
+/// phases, each as a log-linear histogram summary. `tables --json`
+/// exports this as the `latency` object; the baseline gate diffs it.
+pub fn latency_snapshot() -> Vec<(String, Summary)> {
+    let tracer = Tracer::null();
+    let _platform = traced_workload(tracer.clone());
+    tracer.histograms().snapshot()
+}
+
+/// Runs the observed workload with the exact guest-cycle profiler
+/// attached and returns the symbolized report: folded stacks for
+/// flamegraph tooling (`tables --profile` writes `BENCH_profile.folded`),
+/// hot-spot table, and named-coverage fraction.
+pub fn profile_use_case() -> Report {
+    let mut platform = boot();
+    platform.attach_tracer(Tracer::null());
+    let profiler = CycleProfiler::new(platform.machine().ram_size());
+    platform.attach_profiler(profiler);
+    observed_workload_body(&mut platform);
+    platform.profile_report().expect("profiler attached")
 }
 
 /// The flat counter snapshot of the traced workload above, plus the
@@ -1221,6 +1280,63 @@ mod tests {
         // images were all checked and none produced an error finding.
         assert_eq!(get("lint_images_checked"), 3.0);
         assert_eq!(get("lint_findings_error"), 0.0);
+    }
+
+    #[test]
+    fn latency_snapshot_covers_the_required_distributions() {
+        let snapshot = latency_snapshot();
+        let get = |name: &str| {
+            snapshot
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| *s)
+                .unwrap_or_else(|| panic!("distribution {name} missing"))
+        };
+        // The acceptance floor: interrupt entry, context save/restore,
+        // IPC round-trip, and load phases all measured on the workload.
+        for name in [
+            "lat_irq_entry",
+            "lat_ctx_save",
+            "lat_ctx_restore",
+            "lat_ipc_rtt",
+            "lat_attest",
+            "lat_load_total",
+        ] {
+            let s = get(name);
+            assert!(s.count > 0, "{name} recorded nothing");
+            assert!(s.max >= s.p99 && s.p99 >= s.p50, "{name} quantiles ordered");
+        }
+        // Three loads → three samples per load-phase distribution.
+        assert_eq!(get("lat_load_total").count, 3);
+        // One synchronous send in the workload.
+        assert_eq!(get("lat_ipc_rtt").count, 1);
+        assert!(
+            get("lat_ipc_rtt").max >= 1_208,
+            "proxy body cycles included"
+        );
+    }
+
+    #[test]
+    fn use_case_profile_symbolizes_at_least_95_percent() {
+        let report = profile_use_case();
+        assert!(report.total > 500_000, "workload attributed its cycles");
+        assert!(
+            report.coverage() >= 0.95,
+            "coverage {:.3} below the acceptance floor\n{}",
+            report.coverage(),
+            report.top(15)
+        );
+        let folded = report.folded();
+        // Folded-stack lines parse as `stack cycles`.
+        for line in folded.lines() {
+            let (stack, cycles) = line.rsplit_once(' ').expect("two fields");
+            assert!(!stack.is_empty());
+            cycles.parse::<u64>().expect("cycle count");
+        }
+        // The workload's own frames are present and named.
+        assert!(folded.contains("traced;"), "worker frames:\n{folded}");
+        assert!(folded.contains("[trusted];"), "stub frames");
+        assert!(folded.contains("[irq];"), "dispatch frames");
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //! — the reproduced claims are the *shapes*: which phases dominate, what
 //! scales linearly in what, and where real-time behaviour holds.
 
+pub mod baseline;
 pub mod experiments;
 pub mod schema;
 
 use std::fmt::Write as _;
+use tytan_trace::hist::Summary;
 
 /// One measured row of an experiment.
 #[derive(Debug, Clone)]
@@ -128,8 +130,15 @@ pub fn render(table: &Table) -> String {
 /// health metric tracked alongside the paper numbers. `counters` is the
 /// flat instrumentation snapshot (see
 /// [`experiments::fast_path_counters`]): raw per-layer event counts plus
-/// the derived cache hit rates.
-pub fn render_json(tables: &[Table], host_guest_ips: f64, counters: &[(String, f64)]) -> String {
+/// the derived cache hit rates. `latency` is the histogram snapshot of
+/// the observed workload (see [`experiments::latency_snapshot`]): one
+/// count/p50/p90/p99/max record per measured distribution.
+pub fn render_json(
+    tables: &[Table],
+    host_guest_ips: f64,
+    counters: &[(String, f64)],
+    latency: &[(String, Summary)],
+) -> String {
     let mut out = String::from("{\n");
     let _ = write!(out, "  \"host_guest_ips\": {host_guest_ips:.0},");
     out.push_str("\n  \"counters\": {");
@@ -139,11 +148,29 @@ pub fn render_json(tables: &[Table], host_guest_ips: f64, counters: &[(String, f
         }
         let _ = write!(out, "\n    {}: {}", json_string(name), json_number(*value));
     }
-    if counters.is_empty() {
-        out.push_str("},\n  \"tables\": [");
-    } else {
-        out.push_str("\n  },\n  \"tables\": [");
+    if !counters.is_empty() {
+        out.push_str("\n  ");
     }
+    out.push_str("},\n  \"latency\": {");
+    for (i, (name, s)) in latency.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {}: {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+            json_string(name),
+            s.count,
+            s.p50,
+            s.p90,
+            s.p99,
+            s.max,
+        );
+    }
+    if !latency.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"tables\": [");
     for (t, table) in tables.iter().enumerate() {
         if t > 0 {
             out.push(',');
@@ -273,9 +300,58 @@ mod tests {
             ("predecode_hit_rate".to_string(), 0.97),
             ("eampu_cache_hit_rate".to_string(), 0.99),
         ];
-        let json = render_json(&[table], 12_345_678.9, &counters);
+        let latency = vec![
+            (
+                "lat_irq_entry".to_string(),
+                Summary {
+                    count: 15,
+                    sum: 3_000,
+                    p50: 180,
+                    p90: 220,
+                    p99: 260,
+                    max: 291,
+                },
+            ),
+            (
+                "lat_ctx_save".to_string(),
+                Summary {
+                    count: 15,
+                    sum: 1_500,
+                    p50: 96,
+                    p90: 100,
+                    p99: 104,
+                    max: 104,
+                },
+            ),
+            (
+                "lat_ctx_restore".to_string(),
+                Summary {
+                    count: 14,
+                    sum: 1_400,
+                    p50: 96,
+                    p90: 100,
+                    p99: 104,
+                    max: 104,
+                },
+            ),
+            (
+                "lat_ipc_rtt".to_string(),
+                Summary {
+                    count: 1,
+                    sum: 1_300,
+                    p50: 1_280,
+                    p90: 1_280,
+                    p99: 1_280,
+                    max: 1_300,
+                },
+            ),
+        ];
+        let json = render_json(&[table], 12_345_678.9, &counters, &latency);
         assert!(json.contains("\"host_guest_ips\": 12345679"));
         assert!(json.contains("\"predecode_hit_rate\": 0.97"));
+        assert!(json.contains(
+            "\"lat_irq_entry\": {\"count\": 15, \"p50\": 180, \"p90\": 220, \"p99\": 260, \"max\": 291}"
+        ));
         assert!(json.contains("\"id\": \"tableX\""));
         assert!(json.contains("\"title\": \"demo \\\"quoted\\\"\""));
         assert!(json.contains("\"paper\": 1000, \"measured\": 1100.5"));
@@ -288,7 +364,7 @@ mod tests {
 
     #[test]
     fn json_rendering_with_empty_counters_is_still_valid_json() {
-        let json = render_json(&[], 0.0, &[]);
+        let json = render_json(&[], 0.0, &[], &[]);
         tytan_trace::json::parse(&json).expect("valid JSON");
     }
 }

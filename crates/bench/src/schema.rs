@@ -144,6 +144,12 @@ mod tests {
                 "eampu_cache_hit_rate": 0.99,
                 "emu_instr_alu": 12345
               },
+              "latency": {
+                "lat_irq_entry": {"count": 15, "p50": 180, "p90": 220, "p99": 260, "max": 291},
+                "lat_ctx_save": {"count": 15, "p50": 96, "p90": 100, "p99": 104, "max": 104},
+                "lat_ctx_restore": {"count": 14, "p50": 96, "p90": 100, "p99": 104, "max": 104},
+                "lat_ipc_rtt": {"count": 1, "p50": 1280, "p90": 1280, "p99": 1280, "max": 1300}
+              },
               "tables": [
                 {
                   "id": "table2",
@@ -220,6 +226,34 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("$.counters.emu_instr_alu")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_latency_distribution_is_reported() {
+        let errors = check_bench_tables(&doc(|s| {
+            *s = s.replace("lat_irq_entry", "lat_irq_entrance");
+        }))
+        .unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("lat_irq_entry") && e.contains("missing")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_latency_summary_is_rejected() {
+        let errors = check_bench_tables(&doc(|s| {
+            *s = s.replace("\"p50\": 180", "\"p50\": \"fast\"");
+        }))
+        .unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("$.latency.lat_irq_entry.p50")),
             "{errors:?}"
         );
     }

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use tytan::platform::{Platform, PlatformConfig};
 use tytan::usecase::CruiseControl;
 use tytan_bench::experiments;
+use tytan_profile::CycleProfiler;
 use tytan_trace::{RingRecorder, Tracer};
 
 fn fast() -> MachineConfig {
@@ -123,6 +124,54 @@ fn tracing_is_cycle_neutral_on_cruise_control_slice() {
         )
     };
     assert_eq!(run(true), run(false), "tracing changed guest cycles");
+}
+
+#[test]
+fn profiling_is_cycle_neutral_on_cruise_control_slice() {
+    // Same workload again, but the axis under test is the *profiling*
+    // plane: a per-EIP cycle profiler attached as a CycleObserver plus the
+    // latency histograms (registered by attach_tracer, fed by the kernel
+    // trap path) against a completely bare platform. Both the observer
+    // callbacks and every histogram record are host-side only; any
+    // divergence here means attribution ticked the guest clock.
+    let run = |profiled: bool| {
+        let config = PlatformConfig {
+            machine: fast(),
+            ..Default::default()
+        };
+        let mut platform: Platform = Platform::boot(config).expect("boots");
+        let attached_at = platform.machine().cycles();
+        if profiled {
+            platform.attach_tracer(Tracer::null());
+            platform.attach_profiler(CycleProfiler::new(platform.machine().ram_size()));
+        }
+        let mut scenario = CruiseControl::install(&mut platform).expect("installs");
+        platform.run_for(200_000).expect("warmup");
+        let before = scenario
+            .measure_window(&mut platform, 240_000)
+            .expect("before");
+        let _ = scenario.activate_cruise_control(&mut platform);
+        let during = scenario
+            .measure_window(&mut platform, 240_000)
+            .expect("during");
+        if profiled {
+            // Exactness, not just neutrality: every cycle since attach is
+            // attributed to exactly one bucket.
+            let report = platform.profile_report().expect("profiler attached");
+            assert_eq!(
+                report.total + attached_at,
+                platform.machine().cycles(),
+                "profiler lost or double-counted cycles"
+            );
+        }
+        (
+            before,
+            during,
+            platform.machine().cycles(),
+            platform.machine().stats(),
+        )
+    };
+    assert_eq!(run(true), run(false), "profiling changed guest cycles");
 }
 
 #[test]

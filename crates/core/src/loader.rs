@@ -225,6 +225,11 @@ impl<D: Digest> LoadJob<D> {
         self.base
     }
 
+    /// The image being loaded (the profiler symbolizes it at completion).
+    pub fn image(&self) -> &TaskImage {
+        &self.image
+    }
+
     /// Performs one bounded slice of load work.
     ///
     /// `rtm_blocks_per_slice` bounds the measurement slice (the RTM "must

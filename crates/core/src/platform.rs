@@ -55,7 +55,10 @@ use sp_emu::devices::{Actuator, Sensor, Timer, Uart};
 use sp_emu::{Event, Fault, Machine, MachineConfig};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use tytan_crypto::{Digest, PlatformKey, Sha1, SymmetricKey, TaskId};
+use tytan_profile::{CycleProfiler, Report, SymbolMap};
+use tytan_trace::hist::HistId;
 use tytan_trace::{EventKind, Layer, Tracer};
 
 /// Where the hardware platform key `K_p` lives (readable by trusted
@@ -255,6 +258,28 @@ pub struct Platform<D: Digest = Sha1> {
     started: bool,
     device_handles: BTreeMap<&'static str, usize>,
     tracer: Option<Tracer>,
+    lat: Option<LatencyIds>,
+    profiler: Option<CycleProfiler>,
+    symbols: SymbolMap,
+    restore_stamp: Option<u64>,
+}
+
+/// Histogram ids for the platform's latency distributions, registered
+/// once in [`Platform::attach_tracer`]. Names are the `lat_` family the
+/// bench baseline gate keys on.
+struct LatencyIds {
+    irq_entry: HistId,
+    ctx_save: HistId,
+    ctx_restore: HistId,
+    ipc_rtt: HistId,
+    attest: HistId,
+    load_total: HistId,
+    load_alloc: HistId,
+    load_copy: HistId,
+    load_reloc: HistId,
+    load_mpu: HistId,
+    load_rtm: HistId,
+    load_register: HistId,
 }
 
 /// Chrome-trace thread ids for `core`-layer platform phases. The loader
@@ -479,6 +504,10 @@ impl<D: Digest> Platform<D> {
             started: false,
             device_handles,
             tracer: None,
+            lat: None,
+            profiler: None,
+            symbols: SymbolMap::new(),
+            restore_stamp: None,
         })
     }
 
@@ -494,7 +523,27 @@ impl<D: Digest> Platform<D> {
     /// All instrumentation is host-side: it never ticks the machine or
     /// changes a decision, so traced and untraced runs are cycle-identical
     /// (the differential suites assert this).
+    /// Attaching also registers the platform's latency histograms
+    /// (`lat_irq_entry`, `lat_ctx_save`, `lat_ctx_restore`, `lat_ipc_rtt`,
+    /// `lat_attest`, and the `lat_load_*` phase family) in the tracer's
+    /// shared registry; they record even when the sink is a
+    /// [`tytan_trace::NullSink`].
     pub fn attach_tracer(&mut self, tracer: Tracer) {
+        let h = tracer.histograms();
+        self.lat = Some(LatencyIds {
+            irq_entry: h.register("lat_irq_entry"),
+            ctx_save: h.register("lat_ctx_save"),
+            ctx_restore: h.register("lat_ctx_restore"),
+            ipc_rtt: h.register("lat_ipc_rtt"),
+            attest: h.register("lat_attest"),
+            load_total: h.register("lat_load_total"),
+            load_alloc: h.register("lat_load_alloc"),
+            load_copy: h.register("lat_load_copy"),
+            load_reloc: h.register("lat_load_reloc"),
+            load_mpu: h.register("lat_load_mpu"),
+            load_rtm: h.register("lat_load_rtm"),
+            load_register: h.register("lat_load_register"),
+        });
         self.machine.attach_tracer(tracer.clone());
         self.kernel.trace_mut().set_sink(tracer.clone());
         self.tracer = Some(tracer);
@@ -503,6 +552,91 @@ impl<D: Digest> Platform<D> {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Records one latency sample (no-op until a tracer is attached).
+    fn record_lat(&self, pick: impl Fn(&LatencyIds) -> HistId, value: u64) {
+        if let (Some(tracer), Some(lat)) = (&self.tracer, &self.lat) {
+            tracer.histograms().record(pick(lat), value);
+        }
+    }
+
+    /// Attaches the exact guest-cycle profiler to the machine's step path
+    /// and seeds the platform's [`SymbolMap`] with the trusted-component
+    /// layout: one symbol per Int Mux stub phase (`v{N}_save`,
+    /// `v{N}_wipe`, `v{N}_branch`), the shared `restore` and `idle`
+    /// routines, a whole-region `[trusted]` fallback, and the kernel
+    /// firmware-trap address (all host-modelled kernel service time is
+    /// charged there). Tasks loaded *after* this call are symbolized
+    /// automatically through their image's recovered function table —
+    /// attach before loading anything you want named in the flamegraph.
+    ///
+    /// Like the tracer, the profiler is host-side only: attached and
+    /// detached runs are cycle-identical.
+    pub fn attach_profiler(&mut self, profiler: CycleProfiler) {
+        self.machine
+            .attach_cycle_observer(Arc::new(profiler.clone()));
+        self.register_trusted_symbols();
+        self.profiler = Some(profiler);
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&CycleProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// The platform-maintained symbol map (trusted stubs, kernel trap,
+    /// and every task loaded while the profiler was attached).
+    pub fn symbols(&self) -> &SymbolMap {
+        &self.symbols
+    }
+
+    /// Folds the attached profiler's buckets through the platform symbol
+    /// map into a flamegraph-ready [`Report`].
+    pub fn profile_report(&self) -> Option<Report> {
+        self.profiler.as_ref().map(|p| p.report(&self.symbols))
+    }
+
+    /// Closes any still-open IRQ trace spans (see
+    /// [`Machine::flush_trace`]); call once after the last `run_for` when
+    /// exporting a trace.
+    pub fn flush_trace(&mut self) {
+        self.machine.flush_trace();
+    }
+
+    fn register_trusted_symbols(&mut self) {
+        const TRUSTED: &str = "[trusted]";
+        let mut starts: Vec<(u32, String)> = Vec::new();
+        for (&vector, &addr) in &self.stubs.save_stubs {
+            starts.push((addr, format!("v{vector}_save")));
+        }
+        for (&vector, &addr) in &self.stubs.wipe_starts {
+            starts.push((addr, format!("v{vector}_wipe")));
+        }
+        for (&vector, &addr) in &self.stubs.branch_starts {
+            starts.push((addr, format!("v{vector}_branch")));
+        }
+        starts.push((self.stubs.restore_stub, "restore".to_string()));
+        starts.push((self.stubs.idle, "idle".to_string()));
+        starts.sort();
+        let region_end = layout::TRUSTED_BASE + self.stubs.program.bytes.len() as u32;
+        self.symbols
+            .add_function(layout::TRUSTED_BASE, region_end, TRUSTED, "[text]");
+        for (i, (start, name)) in starts.iter().enumerate() {
+            let end = starts
+                .get(i + 1)
+                .map(|(next, _)| *next)
+                .unwrap_or(region_end);
+            self.symbols.add_function(*start, end, TRUSTED, name);
+        }
+        // Host-modelled kernel/firmware service time is charged at the
+        // trap address the machine stopped on.
+        self.symbols.add_function(
+            layout::KERNEL_TRAP,
+            layout::KERNEL_TRAP + 4,
+            "[kernel]",
+            "trap",
+        );
     }
 
     /// Emits a `core`-layer event at the current cycle (no-op untraced).
@@ -801,10 +935,12 @@ impl<D: Digest> Platform<D> {
     ) -> Result<AttestationReport, PlatformError> {
         let record = self.rtm.lookup(id).ok_or(PlatformError::NoSuchTask)?;
         self.trace_core(TRACE_TID_ATTEST, EventKind::Enter("remote_attest"));
+        let begin = self.machine.cycles();
         let report = self.attestor.attest(record, nonce);
         // Two HMAC passes over a short message.
         let per_block = self.machine.firmware_costs().measure_per_block;
         self.machine.tick(4 * per_block);
+        self.record_lat(|l| l.attest, self.machine.cycles().saturating_sub(begin));
         self.trace_core(TRACE_TID_ATTEST, EventKind::Exit("remote_attest"));
         Ok(report)
     }
@@ -1067,7 +1203,9 @@ impl<D: Digest> Platform<D> {
     /// synchronous sends branches directly to the receiver.
     fn handle_ipc(&mut self, sender: Option<TaskHandle>) -> Result<(), PlatformError> {
         self.trace_core(TRACE_TID_IPC, EventKind::Enter("ipc_proxy"));
+        let begin = self.machine.cycles();
         let result = self.ipc_proxy(sender);
+        self.record_lat(|l| l.ipc_rtt, self.machine.cycles().saturating_sub(begin));
         self.trace_core(TRACE_TID_IPC, EventKind::Exit("ipc_proxy"));
         result
     }
@@ -1161,8 +1299,20 @@ impl<D: Digest> Platform<D> {
         ) {
             Ok(LoadProgress::Done { handle, id }) => {
                 let report = job.report();
+                if self.profiler.is_some() {
+                    let name = job.image().name().to_string();
+                    let base = job.base();
+                    self.symbols.add_task_image(&name, base, job.image());
+                }
                 self.jobs[index] = JobSlot::Done { handle, id, report };
                 self.trace_core(loader_tid(index), EventKind::Exit("load"));
+                self.record_lat(|l| l.load_total, report.total_cycles());
+                self.record_lat(|l| l.load_alloc, report.alloc_cycles);
+                self.record_lat(|l| l.load_copy, report.copy_cycles);
+                self.record_lat(|l| l.load_reloc, report.reloc_cycles);
+                self.record_lat(|l| l.load_mpu, report.mpu_cycles);
+                self.record_lat(|l| l.load_rtm, report.rtm_cycles);
+                self.record_lat(|l| l.load_register, report.register_cycles);
             }
             Ok(LoadProgress::InProgress(_)) => {}
             Err(e) => {
@@ -1270,6 +1420,25 @@ impl<D: Digest> Platform<D> {
     }
 
     fn handle_kernel_trap(&mut self) -> Result<(), PlatformError> {
+        // Latency bookkeeping (host-side, cycle-neutral): the machine
+        // stamped the exception-engine dispatch that led here, so the
+        // window [dispatch begin, now] is the full interrupt-entry path
+        // and [dispatch end, now] is the Int Mux save stub alone. A
+        // completed restore (previous trap's dispatch target up to its
+        // `IRET` retirement) is measured against the stamp set on the way
+        // out of the previous trap.
+        let now = self.machine.cycles();
+        if let Some(stamp) = self.machine.take_last_dispatch() {
+            self.record_lat(|l| l.irq_entry, now.saturating_sub(stamp.begin));
+            self.record_lat(|l| l.ctx_save, now.saturating_sub(stamp.end));
+        }
+        if let (Some(begin), Some(iret)) =
+            (self.restore_stamp.take(), self.machine.take_last_iret())
+        {
+            if iret >= begin {
+                self.record_lat(|l| l.ctx_restore, iret - begin);
+            }
+        }
         let vector = self.machine.reg(Reg::R0) as u8;
         // The Int Mux marked itself busy on the way in; the handler hand-off
         // clears it.
@@ -1315,6 +1484,9 @@ impl<D: Digest> Platform<D> {
         if self.kernel.current().is_none() {
             self.kernel.dispatch(&mut self.machine)?;
         }
+        // The context restore (stub or hardware) runs from here until its
+        // `IRET` retires; the next trap closes the measurement.
+        self.restore_stamp = Some(self.machine.cycles());
         Ok(())
     }
 }
@@ -1416,6 +1588,51 @@ mod tests {
         assert!(counters.get("emu_instr_alu").unwrap() > 0);
         assert!(counters.get("emu_irq_entry").unwrap() > 0);
         assert!(counters.get("eampu_access_cache_hit").is_some());
+    }
+
+    #[test]
+    fn profiler_and_latency_plane_cover_the_workload() {
+        let mut platform = boot();
+        platform.attach_tracer(Tracer::null());
+        let before = platform.machine().cycles();
+        let profiler = CycleProfiler::new(platform.machine().ram_size());
+        platform.attach_profiler(profiler);
+
+        let (_, id, _) = load_counter(&mut platform, "hot");
+        platform.run_for(500_000).unwrap();
+        let _ = platform.remote_attest(id, b"nonce").unwrap();
+
+        // Exact attribution: every cycle since attach landed in a bucket.
+        let report = platform.profile_report().unwrap();
+        assert_eq!(report.total + before, platform.machine().cycles());
+        // The workload symbolizes almost entirely: the task via its
+        // recovered function table, stubs and idle via the trusted map,
+        // kernel service via the trap symbol, dispatch via `[irq]`.
+        assert!(
+            report.coverage() >= 0.95,
+            "coverage {:.3}\n{}",
+            report.coverage(),
+            report.top(10)
+        );
+        let folded = report.folded();
+        assert!(folded.contains("hot;"), "task frames present:\n{folded}");
+        assert!(folded.contains("[trusted];"), "stub frames present");
+
+        // The latency histograms fill through the same attach call.
+        let hists = platform.tracer().unwrap().histograms().clone();
+        for name in [
+            "lat_irq_entry",
+            "lat_ctx_save",
+            "lat_ctx_restore",
+            "lat_attest",
+            "lat_load_total",
+            "lat_load_rtm",
+        ] {
+            let recorded = hists.get(name).is_some_and(|h| !h.is_empty());
+            assert!(recorded, "{name} recorded nothing");
+        }
+        let entry = hists.get("lat_irq_entry").unwrap().summary();
+        assert!(entry.p50 > 0 && entry.max >= entry.p99);
     }
 
     #[test]

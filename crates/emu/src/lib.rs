@@ -50,4 +50,6 @@ mod machine;
 
 pub use cycles::{CycleModel, FirmwareCosts};
 pub use device::Device;
-pub use machine::{Event, Fault, Machine, MachineConfig, MachineStats};
+pub use machine::{
+    CycleObserver, DispatchStamp, Event, Fault, Machine, MachineConfig, MachineStats,
+};

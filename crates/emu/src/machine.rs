@@ -6,8 +6,52 @@ use eampu::{AccessKind, EaMpu, TransferDecision};
 use sp32::{decode, Instr, Reg, EFLAGS_CF, EFLAGS_IF, EFLAGS_SF, EFLAGS_ZF};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use tytan_trace::{CounterId, EventKind, Layer, Tracer};
+
+/// Host-side observer of exact guest-cycle attribution.
+///
+/// The machine reports every clock advance to the attached observer,
+/// partitioned by what consumed the cycles: a retired guest instruction,
+/// the exception engine dispatching an interrupt, functionally-modelled
+/// firmware charging its cost through [`Machine::tick`], or the idle
+/// loop of a halted core. The contract is *exactness*: between any two
+/// reads of [`Machine::cycles`], the sum of cycles reported through
+/// these callbacks equals the clock delta (faults charge nothing, so
+/// nothing is reported for them).
+///
+/// Observers are observation only — implementations must not (and
+/// cannot, through this API) advance the clock or change an execution
+/// outcome. The cycle-identity differential tests run with an observer
+/// attached and assert guest state stays bit-identical.
+pub trait CycleObserver: Send + Sync {
+    /// `cycles` were charged retiring the guest instruction at `eip`.
+    fn instruction(&self, eip: u32, cycles: u64);
+    /// `cycles` were charged by the exception engine dispatching
+    /// `vector` (hardware context save, if enabled, plus the dispatch
+    /// cost).
+    fn dispatch(&self, vector: u8, cycles: u64);
+    /// `cycles` were charged by host-modelled firmware via
+    /// [`Machine::tick`] while `EIP` sat at `eip` (a trap address or
+    /// trusted-region entry point).
+    fn firmware(&self, eip: u32, cycles: u64);
+    /// `cycles` elapsed with the core halted, waiting for an interrupt.
+    fn idle(&self, cycles: u64);
+}
+
+/// Host-side stamp of one interrupt dispatch, kept for latency
+/// measurement (see [`Machine::take_last_dispatch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchStamp {
+    /// Clock when the exception engine started the dispatch (before its
+    /// cost was charged) — i.e. when the interrupt left the pending set.
+    pub begin: u64,
+    /// Clock when the handler received control (after the dispatch and
+    /// any hardware context-save cost).
+    pub end: u64,
+    /// The dispatched vector.
+    pub vector: u8,
+}
 
 /// Construction parameters for a [`Machine`].
 #[derive(Debug, Clone)]
@@ -205,6 +249,15 @@ pub struct Machine {
     /// never calls [`Machine::tick`] and never changes an outcome, so guest
     /// cycles are bit-identical with or without it.
     trace: Option<EmuTrace>,
+    /// Exact cycle-attribution observer, attached by
+    /// [`Machine::attach_cycle_observer`]. Same neutrality contract as
+    /// `trace`: observation only, never a cycle or a decision.
+    observer: Option<Arc<dyn CycleObserver>>,
+    /// Host-only latency bookkeeping: the last interrupt dispatch and
+    /// the clock at the last retired `IRET`. Maintained unconditionally
+    /// (it is a handful of host stores) and never read by execution.
+    last_dispatch: Option<DispatchStamp>,
+    last_iret: Option<u64>,
 }
 
 /// Counter handles for the emulator layer, resolved once at attach time.
@@ -220,6 +273,7 @@ struct EmuTrace {
     faults: CounterId,
     irq_entry: CounterId,
     irq_exit: CounterId,
+    irq_truncated: CounterId,
     /// Vectors of in-flight interrupts, so the `Exit` event of a nested IRQ
     /// lands on the same Chrome track as its `Enter`.
     irq_stack: Vec<u8>,
@@ -324,6 +378,9 @@ impl Machine {
             device_deadline: 0,
             device_deadline_dirty: true,
             trace: None,
+            observer: None,
+            last_dispatch: None,
+            last_iret: None,
         }
     }
 
@@ -352,6 +409,7 @@ impl Machine {
             faults: c.register("emu_fault"),
             irq_entry: c.register("emu_irq_entry"),
             irq_exit: c.register("emu_irq_exit"),
+            irq_truncated: c.register("emu_irq_truncated"),
             irq_stack: Vec::new(),
             tracer,
         });
@@ -360,6 +418,55 @@ impl Machine {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.trace.as_ref().map(|t| &t.tracer)
+    }
+
+    /// Attaches an exact cycle-attribution observer (see
+    /// [`CycleObserver`]). Like the tracer, the observer is host-side
+    /// only: it never advances the clock and never changes an outcome.
+    pub fn attach_cycle_observer(&mut self, observer: Arc<dyn CycleObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Closes IRQ spans still open at shutdown. A machine that halts
+    /// mid-handler has emitted `Enter("irq")` events with no matching
+    /// exits, which both unbalances the `emu_irq_entry`/`emu_irq_exit`
+    /// counters and leaves unbounded spans in the Chrome export. Flushing
+    /// emits, per open vector (innermost first), a `Mark("irq_truncated")`
+    /// plus the matching `Exit("irq")` at the current cycle, and counts
+    /// each into `emu_irq_truncated` — so at shutdown
+    /// `emu_irq_entry == emu_irq_exit + emu_irq_truncated` always holds.
+    /// Host-side only: no clock or machine-state change. Idempotent.
+    pub fn flush_trace(&mut self) {
+        let clock = self.clock;
+        if let Some(t) = &mut self.trace {
+            while let Some(vector) = t.irq_stack.pop() {
+                t.tracer.counters().incr(t.irq_truncated);
+                t.tracer.emit(
+                    Layer::Emu,
+                    vector as u32,
+                    clock,
+                    EventKind::Mark("irq_truncated"),
+                );
+                t.tracer
+                    .emit(Layer::Emu, vector as u32, clock, EventKind::Exit("irq"));
+            }
+        }
+    }
+
+    /// Takes the stamp of the most recent interrupt dispatch (clock
+    /// before and after the exception engine's charge, plus the vector).
+    /// Latency measurement uses this to anchor IRQ-entry and
+    /// context-save durations; taking it clears it, so each dispatch is
+    /// measured at most once.
+    pub fn take_last_dispatch(&mut self) -> Option<DispatchStamp> {
+        self.last_dispatch.take()
+    }
+
+    /// Takes the clock at the most recent retired `IRET` (after its
+    /// cost); the context-restore anchor, cleared on read like
+    /// [`Machine::take_last_dispatch`].
+    pub fn take_last_iret(&mut self) -> Option<u64> {
+        self.last_iret.take()
     }
 
     fn note_fault(&self) {
@@ -378,9 +485,13 @@ impl Machine {
     }
 
     /// Advances the clock by `cycles`; used by firmware services to charge
-    /// their modelled cost.
+    /// their modelled cost. Attribution: the cycles belong to the firmware
+    /// servicing the trap `EIP` currently points at.
     pub fn tick(&mut self, cycles: u64) {
         self.clock += cycles;
+        if let Some(o) = &self.observer {
+            o.firmware(self.eip, cycles);
+        }
     }
 
     /// The firmware cost model configured for this machine.
@@ -831,6 +942,7 @@ impl Machine {
     ///
     /// Returns [`Fault::Bus`] if the stack or IDT access fails.
     pub fn dispatch_interrupt(&mut self, vector: u8, origin: u32) -> Result<(), Fault> {
+        let begin = self.clock;
         let handler = self.idt_entry(vector)?;
         self.push_word(self.eflags)?;
         self.push_word(self.eip)?;
@@ -855,6 +967,14 @@ impl Machine {
         self.clock += self.cycle_model.int_dispatch;
         self.stats.interrupts += 1;
         let clock = self.clock;
+        self.last_dispatch = Some(DispatchStamp {
+            begin,
+            end: clock,
+            vector,
+        });
+        if let Some(o) = &self.observer {
+            o.dispatch(vector, clock - begin);
+        }
         if let Some(t) = &mut self.trace {
             t.tracer.counters().incr(t.irq_entry);
             t.irq_stack.push(vector);
@@ -1152,10 +1272,16 @@ impl Machine {
             Instr::Int { vector } => {
                 // The exception engine pushes the *return* address; origin
                 // records the INT site for the IPC proxy.
-                self.clock += self.cycle_model.cost(&instr, false);
+                let cost = self.cycle_model.cost(&instr, false);
+                self.clock += cost;
                 self.stats.instructions += 1;
                 if let Some(t) = &self.trace {
                     t.tracer.counters().incr(t.class[instr_class(&instr)]);
+                }
+                if let Some(o) = &self.observer {
+                    // The INT instruction's own cost belongs to the guest
+                    // code at `eip`; the dispatch reports its cost itself.
+                    o.instruction(eip, cost);
                 }
                 self.eip = fallthrough;
                 self.dispatch_interrupt(vector, eip)?;
@@ -1197,7 +1323,7 @@ impl Machine {
         if !transfer_checked {
             self.check_transfer(eip, next)?;
         }
-        self.clock += match precost {
+        let cost = match precost {
             Some((not_taken, taken_cost)) => {
                 if taken {
                     taken_cost
@@ -1207,9 +1333,18 @@ impl Machine {
             }
             None => self.cycle_model.cost(&instr, taken),
         };
+        self.clock += cost;
         self.stats.instructions += 1;
         if let Some(t) = &self.trace {
             t.tracer.counters().incr(t.class[instr_class(&instr)]);
+        }
+        if let Some(o) = &self.observer {
+            o.instruction(eip, cost);
+        }
+        if matches!(instr, Instr::Iret) {
+            // Post-cost clock of the retired IRET: the anchor the
+            // context-restore latency measurement resumes from.
+            self.last_iret = Some(self.clock);
         }
         self.eip = next;
         Ok(())
@@ -1257,6 +1392,9 @@ impl Machine {
             if self.halted {
                 // Idle: advance time so timer devices keep firing.
                 self.clock += 8;
+                if let Some(o) = &self.observer {
+                    o.idle(8);
+                }
                 if self.clock >= deadline {
                     return Event::IdleBudgetExhausted;
                 }
@@ -1312,6 +1450,9 @@ impl Machine {
 
             if self.halted {
                 self.clock += 8;
+                if let Some(o) = &self.observer {
+                    o.idle(8);
+                }
                 if self.clock >= deadline {
                     return Event::IdleBudgetExhausted;
                 }
@@ -1439,6 +1580,157 @@ mod tests {
         let c = m.tracer().unwrap().counters();
         assert_eq!(c.get("emu_irq_entry"), Some(1));
         assert_eq!(c.get("emu_irq_exit"), Some(1));
+        assert_eq!(c.get("emu_irq_truncated"), Some(0));
+    }
+
+    #[test]
+    fn flush_closes_open_irq_spans_with_truncation_marker() {
+        use std::sync::Arc;
+        use tytan_trace::RingRecorder;
+
+        // The handler halts without IRET, so the machine stops mid-handler
+        // with the IRQ span open.
+        let src = "main:\n sti\n int 5\n hlt\nhandler:\n hlt\n";
+        let mut m = machine_with(src, 0x1000);
+        let p = assemble(src, 0x1000).unwrap();
+        m.set_reg(Reg::R7, 0x8000);
+        m.set_idt_base(0x40);
+        m.set_idt_entry(5, p.symbol("handler").unwrap()).unwrap();
+        let ring = Arc::new(RingRecorder::new(64));
+        m.attach_tracer(Tracer::new(ring.clone()));
+
+        m.run(2_000);
+        assert!(m.is_halted());
+        let c = m.tracer().unwrap().counters().clone();
+        assert_eq!(c.get("emu_irq_entry"), Some(1));
+        assert_eq!(c.get("emu_irq_exit"), Some(0), "halted mid-handler");
+
+        let cycles_before = m.cycles();
+        m.flush_trace();
+        assert_eq!(m.cycles(), cycles_before, "flush is host-side only");
+        // The shutdown invariant: entry == exit + truncated.
+        assert_eq!(
+            c.get("emu_irq_entry"),
+            Some(c.get("emu_irq_exit").unwrap() + c.get("emu_irq_truncated").unwrap())
+        );
+        assert_eq!(c.get("emu_irq_truncated"), Some(1));
+        let events = ring.events();
+        let enters = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Enter("irq"))
+            .count();
+        let exits = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Exit("irq"))
+            .count();
+        assert_eq!(enters, exits, "flush balanced the Chrome spans");
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Mark("irq_truncated") && e.tid == 5));
+        // Idempotent: a second flush does nothing.
+        m.flush_trace();
+        assert_eq!(c.get("emu_irq_truncated"), Some(1));
+    }
+
+    /// Records every attribution callback into atomic tallies.
+    #[derive(Default)]
+    struct TallyObserver {
+        instr: std::sync::atomic::AtomicU64,
+        dispatch: std::sync::atomic::AtomicU64,
+        firmware: std::sync::atomic::AtomicU64,
+        idle: std::sync::atomic::AtomicU64,
+    }
+
+    impl TallyObserver {
+        fn total(&self) -> u64 {
+            use std::sync::atomic::Ordering::Relaxed;
+            self.instr.load(Relaxed)
+                + self.dispatch.load(Relaxed)
+                + self.firmware.load(Relaxed)
+                + self.idle.load(Relaxed)
+        }
+    }
+
+    impl CycleObserver for TallyObserver {
+        fn instruction(&self, _eip: u32, cycles: u64) {
+            self.instr
+                .fetch_add(cycles, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn dispatch(&self, _vector: u8, cycles: u64) {
+            self.dispatch
+                .fetch_add(cycles, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn firmware(&self, _eip: u32, cycles: u64) {
+            self.firmware
+                .fetch_add(cycles, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn idle(&self, cycles: u64) {
+            self.idle
+                .fetch_add(cycles, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn cycle_observer_attribution_is_exact_and_neutral() {
+        use std::sync::atomic::Ordering::Relaxed;
+        use std::sync::Arc;
+
+        // Exercise every attribution class: instructions, a software
+        // interrupt (INT cost + dispatch cost), IRET, idle after HLT, and
+        // a firmware tick charged mid-run.
+        let src = "main:\n sti\n movi r0, 3\nloop:\n addi r0, -1\n cmpi r0, 0\n jnz loop\n \
+                   int 5\n hlt\nhandler:\n addi r3, 1\n iret\n";
+        let build = |src: &str| {
+            let mut m = machine_with(src, 0x1000);
+            let p = assemble(src, 0x1000).unwrap();
+            m.set_reg(Reg::R7, 0x8000);
+            m.set_idt_base(0x40);
+            m.set_idt_entry(5, p.symbol("handler").unwrap()).unwrap();
+            m
+        };
+        let mut observed = build(src);
+        let tally = Arc::new(TallyObserver::default());
+        observed.attach_cycle_observer(tally.clone());
+        let mut bare = build(src);
+
+        observed.run(5_000);
+        bare.run(5_000);
+        // Neutrality: attaching the observer changed nothing guest-visible.
+        assert_eq!(observed.cycles(), bare.cycles());
+        assert_eq!(observed.stats(), bare.stats());
+        assert_eq!(observed.regs(), bare.regs());
+        assert_eq!(observed.eip(), bare.eip());
+        // Exactness: every charged cycle was attributed exactly once.
+        assert_eq!(tally.total(), observed.cycles());
+        assert!(tally.instr.load(Relaxed) > 0);
+        assert!(tally.dispatch.load(Relaxed) > 0);
+        assert!(tally.idle.load(Relaxed) > 0);
+        assert_eq!(tally.firmware.load(Relaxed), 0);
+
+        // Firmware charges report through the firmware callback.
+        observed.tick(37);
+        assert_eq!(tally.firmware.load(Relaxed), 37);
+        assert_eq!(tally.total(), observed.cycles());
+    }
+
+    #[test]
+    fn dispatch_and_iret_stamps_bracket_the_handler() {
+        let src = "main:\n sti\n int 5\n hlt\nhandler:\n addi r3, 1\n iret\n";
+        let mut m = machine_with(src, 0x1000);
+        let p = assemble(src, 0x1000).unwrap();
+        m.set_reg(Reg::R7, 0x8000);
+        m.set_idt_base(0x40);
+        m.set_idt_entry(5, p.symbol("handler").unwrap()).unwrap();
+
+        m.run(2_000);
+        let stamp = m.take_last_dispatch().expect("one dispatch happened");
+        assert_eq!(stamp.vector, 5);
+        assert!(stamp.begin < stamp.end, "dispatch charged cycles");
+        let iret_at = m.take_last_iret().expect("handler returned");
+        assert!(iret_at > stamp.end, "IRET retired after the dispatch");
+        // Take-semantics: each stamp is consumed exactly once.
+        assert_eq!(m.take_last_dispatch(), None);
+        assert_eq!(m.take_last_iret(), None);
     }
 
     #[test]

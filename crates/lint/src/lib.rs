@@ -49,8 +49,10 @@ use tytan_trace::{CounterId, Tracer};
 
 pub mod cfg;
 mod report;
+pub mod symbolize;
 
 pub use report::{Finding, FindingKind, LintReport, LintStats, Severity};
+pub use symbolize::FuncSym;
 
 use cfg::{Cfg, EdgeKind};
 

@@ -1,0 +1,146 @@
+//! Function-level symbolization of a task image's text section.
+//!
+//! TTIF images carry no symbol table — the only names available at
+//! runtime are the image name and its entry point. The profiler needs
+//! more: flamegraphs by task alone would collapse every hot loop into
+//! one bucket. This module reuses the verifier's CFG recovery
+//! ([`crate::cfg::recover`]) to derive a *function table*: the entry
+//! point plus every `call` target is a function start, and a function
+//! extends to the next start (or end of text). Names are synthesized —
+//! `entry` for the image entry, `fn_0x{offset:x}` elsewhere — which is
+//! stable across runs (addresses are task-relative) and unambiguous
+//! within a task.
+//!
+//! Unreached text (data tables, padding, dead code) stays unclaimed by
+//! design: the table covers addresses between function starts, so an EIP
+//! inside embedded data still maps to the function whose address range
+//! contains it — which is exactly how a sampling symbolizer would see it.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{self, EdgeKind};
+use tytan_image::TaskImage;
+
+/// One synthesized function symbol, in task-relative byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSym {
+    /// First byte of the function (a CFG-recovered function start).
+    pub start: u32,
+    /// One past the last byte covered by this symbol (the next function
+    /// start, or the end of text for the last function).
+    pub end: u32,
+    /// Synthesized name: `entry` or `fn_0x{start:x}`.
+    pub name: String,
+}
+
+impl FuncSym {
+    /// Whether `offset` (task-relative) falls inside this symbol.
+    pub fn contains(&self, offset: u32) -> bool {
+        self.start <= offset && offset < self.end
+    }
+}
+
+/// Recovers the function table of `text`: `entry` plus every
+/// CFG-recovered `call` target, each spanning to the next function
+/// start. Offsets before the first function start (possible when `entry`
+/// is not at offset 0) are not covered by any symbol.
+pub fn function_table(text: &[u8], entry: u32, reloc_sites: &BTreeSet<u32>) -> Vec<FuncSym> {
+    let recovered = cfg::recover(text, entry, reloc_sites);
+    let mut starts: BTreeSet<u32> = BTreeSet::new();
+    starts.insert(entry);
+    for block in &recovered.blocks {
+        for edge in &block.edges {
+            if edge.kind == EdgeKind::Call {
+                starts.insert(edge.to);
+            }
+        }
+    }
+    let text_len = text.len() as u32;
+    let starts: Vec<u32> = starts.into_iter().collect();
+    starts
+        .iter()
+        .enumerate()
+        .map(|(i, &start)| {
+            let end = starts.get(i + 1).copied().unwrap_or(text_len).max(start);
+            FuncSym {
+                start,
+                end,
+                name: if start == entry {
+                    "entry".to_string()
+                } else {
+                    format!("fn_0x{start:x}")
+                },
+            }
+        })
+        .collect()
+}
+
+/// [`function_table`] over a loaded image's text, entry, and relocation
+/// table — the symbolization input the platform hands the profiler at
+/// secure-load time.
+pub fn image_functions(image: &TaskImage) -> Vec<FuncSym> {
+    let relocs: BTreeSet<u32> = image.relocs().iter().copied().collect();
+    function_table(image.text(), image.entry_offset(), &relocs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp32::asm::assemble;
+
+    fn table(source: &str) -> (Vec<FuncSym>, sp32::asm::Program) {
+        let program = assemble(source, 0).expect("assembles");
+        let relocs: BTreeSet<u32> = program.reloc_sites.iter().copied().collect();
+        let table = function_table(&program.bytes, program.symbol("main").unwrap(), &relocs);
+        (table, program)
+    }
+
+    #[test]
+    fn entry_only_covers_whole_text() {
+        let (t, _) = table("main:\n nop\n nop\n hlt\n");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].name, "entry");
+        assert_eq!((t[0].start, t[0].end), (0, 12));
+    }
+
+    #[test]
+    fn call_targets_become_functions_with_tight_extents() {
+        let src = "main:\n call helper\n call second\n hlt\n\
+                   helper:\n nop\n ret\n\
+                   second:\n ret\n";
+        let (t, p) = table(src);
+        assert_eq!(t.len(), 3);
+        let helper = p.symbol("helper").unwrap();
+        let second = p.symbol("second").unwrap();
+        assert_eq!(t[0].name, "entry");
+        assert_eq!(t[0].end, helper, "entry ends where helper starts");
+        assert_eq!(
+            t[1],
+            FuncSym {
+                start: helper,
+                end: second,
+                name: format!("fn_0x{helper:x}"),
+            }
+        );
+        assert_eq!(t[2].start, second);
+        assert_eq!(t[2].end, p.bytes.len() as u32);
+        // Every text offset at or past entry resolves to exactly one symbol.
+        for off in (0..p.bytes.len() as u32).step_by(4) {
+            assert_eq!(
+                t.iter().filter(|f| f.contains(off)).count(),
+                1,
+                "offset {off}"
+            );
+        }
+    }
+
+    #[test]
+    fn embedded_data_is_claimed_by_the_surrounding_function() {
+        // The pointer table inside text belongs to `entry`'s address range.
+        let src = "main:\n jmp end\ntable:\n .word main, end\nend:\n hlt\n";
+        let (t, p) = table(src);
+        assert_eq!(t.len(), 1);
+        let data_off = p.symbol("table").unwrap();
+        assert!(t[0].contains(data_off));
+    }
+}

@@ -1,0 +1,452 @@
+//! Exact guest-cycle profiler for the TyTAN reproduction.
+//!
+//! The paper's evaluation is entirely about *where guest cycles go* —
+//! context save/restore, IPC round-trips, interrupt latency under secure
+//! loading. This crate turns the emulator's exact attribution hook
+//! ([`sp_emu::CycleObserver`]) into evidence:
+//!
+//! - [`CycleProfiler`] — a lock-free per-EIP cycle accumulator. Unlike a
+//!   sampling profiler there is no statistical error: every charged
+//!   cycle lands in exactly one bucket (instruction address, interrupt
+//!   dispatch vector, firmware trap, or idle), and the bucket totals sum
+//!   to the machine's clock delta.
+//! - [`SymbolMap`] — resolves absolute addresses to `(task, function)`
+//!   names. Task images symbolize through `tytan-lint`'s CFG recovery
+//!   ([`tytan_lint::symbolize`]): the entry point plus every `call`
+//!   target becomes a named function. Trusted-region stubs and firmware
+//!   trap addresses are registered by the platform with explicit names.
+//! - [`Report`] — folded-stack text (`task;function cycles` per line,
+//!   the input format of standard flamegraph tooling), a top-N hot-spot
+//!   table, and a named-coverage fraction. Unresolvable cycles are
+//!   explicitly `[unknown]`, never silently dropped.
+//!
+//! Like the tracer, profiling is host-side only and guest-cycle-neutral:
+//! the differential identity suite runs the full use case with and
+//! without the profiler attached and asserts bit-identical machine
+//! state.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sp_emu::{Machine, MachineConfig};
+//! use sp32::asm::assemble;
+//! use tytan_profile::{CycleProfiler, SymbolMap};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let program = assemble("main:\n movi r0, 9\nspin:\n addi r0, -1\n cmpi r0, 0\n jnz spin\n hlt\n", 0x1000)?;
+//! machine.load_image(0x1000, &program.bytes)?;
+//! machine.set_eip(0x1000);
+//!
+//! let profiler = CycleProfiler::new(machine.ram_size());
+//! machine.attach_cycle_observer(Arc::new(profiler.clone()));
+//! machine.run(500);
+//!
+//! let mut symbols = SymbolMap::new();
+//! symbols.add_function(0x1000, 0x1000 + program.bytes.len() as u32, "demo", "entry");
+//! let report = profiler.report(&symbols);
+//! assert_eq!(report.total, machine.cycles());
+//! assert!(report.folded().contains("demo;entry"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sp_emu::CycleObserver;
+use tytan_image::TaskImage;
+use tytan_lint::symbolize::image_functions;
+
+/// Stack-frame name for cycles at addresses no symbol covers.
+pub const UNKNOWN: &str = "[unknown]";
+/// Stack-frame name for halted-core idle cycles.
+pub const IDLE: &str = "[idle]";
+/// Task-frame name for exception-engine dispatch cycles.
+pub const IRQ: &str = "[irq]";
+
+struct Buckets {
+    /// Cycles charged by guest instructions, indexed by `eip >> 2`.
+    instr: Vec<AtomicU64>,
+    /// Cycles charged by host-modelled firmware, indexed by trap
+    /// `eip >> 2`. Kept apart from `instr` so firmware service time can
+    /// never masquerade as guest execution at the same address.
+    firmware: Vec<AtomicU64>,
+    /// Exception-engine dispatch cycles, per vector.
+    dispatch: Vec<AtomicU64>,
+    /// Halted-core idle cycles.
+    idle: AtomicU64,
+    /// Cycles attributed to addresses outside RAM (off-bucket spill —
+    /// kept so exactness survives a wild EIP).
+    instr_spill: AtomicU64,
+    firmware_spill: AtomicU64,
+}
+
+/// The exact per-EIP cycle profiler. Cheaply cloneable; clones share the
+/// same buckets, so one handle attaches to the machine while another
+/// produces reports.
+#[derive(Clone)]
+pub struct CycleProfiler {
+    buckets: Arc<Buckets>,
+}
+
+impl std::fmt::Debug for CycleProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleProfiler")
+            .field("total_attributed", &self.total_attributed())
+            .finish()
+    }
+}
+
+impl CycleProfiler {
+    /// Builds a profiler covering `ram_size` bytes of address space (one
+    /// cell per instruction word).
+    pub fn new(ram_size: u32) -> Self {
+        let cells = (ram_size as usize).div_ceil(4);
+        CycleProfiler {
+            buckets: Arc::new(Buckets {
+                instr: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+                firmware: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+                dispatch: (0..256).map(|_| AtomicU64::new(0)).collect(),
+                idle: AtomicU64::new(0),
+                instr_spill: AtomicU64::new(0),
+                firmware_spill: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Total cycles attributed so far, across every bucket. Equals the
+    /// machine's clock delta since attach (the exactness contract of
+    /// [`sp_emu::CycleObserver`]).
+    pub fn total_attributed(&self) -> u64 {
+        let b = &self.buckets;
+        b.instr
+            .iter()
+            .chain(b.firmware.iter())
+            .chain(b.dispatch.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + b.idle.load(Ordering::Relaxed)
+            + b.instr_spill.load(Ordering::Relaxed)
+            + b.firmware_spill.load(Ordering::Relaxed)
+    }
+
+    /// Folds the buckets into a symbolized [`Report`].
+    pub fn report(&self, symbols: &SymbolMap) -> Report {
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        let mut add = |stack: String, cycles: u64| {
+            if cycles > 0 {
+                *folded.entry(stack).or_insert(0) += cycles;
+            }
+        };
+
+        let b = &self.buckets;
+        for (cells, spill) in [
+            (&b.instr, b.instr_spill.load(Ordering::Relaxed)),
+            (&b.firmware, b.firmware_spill.load(Ordering::Relaxed)),
+        ] {
+            for (i, cell) in cells.iter().enumerate() {
+                let cycles = cell.load(Ordering::Relaxed);
+                if cycles == 0 {
+                    continue;
+                }
+                let addr = (i as u32) * 4;
+                match symbols.resolve(addr) {
+                    Some((task, func)) => add(format!("{task};{func}"), cycles),
+                    None => add(UNKNOWN.to_string(), cycles),
+                }
+            }
+            add(UNKNOWN.to_string(), spill);
+        }
+        for (vector, cell) in b.dispatch.iter().enumerate() {
+            add(
+                format!("{IRQ};vector_{vector}"),
+                cell.load(Ordering::Relaxed),
+            );
+        }
+        add(IDLE.to_string(), b.idle.load(Ordering::Relaxed));
+
+        let total: u64 = folded.values().sum();
+        let unknown = folded.get(UNKNOWN).copied().unwrap_or(0);
+        let mut entries: Vec<FoldedEntry> = folded
+            .into_iter()
+            .map(|(stack, cycles)| FoldedEntry { stack, cycles })
+            .collect();
+        // Hot-first, name as tie-break so reports are deterministic.
+        entries.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.stack.cmp(&b.stack)));
+        Report {
+            entries,
+            total,
+            unknown,
+        }
+    }
+}
+
+impl CycleObserver for CycleProfiler {
+    fn instruction(&self, eip: u32, cycles: u64) {
+        match self.buckets.instr.get((eip >> 2) as usize) {
+            Some(cell) => cell.fetch_add(cycles, Ordering::Relaxed),
+            None => self
+                .buckets
+                .instr_spill
+                .fetch_add(cycles, Ordering::Relaxed),
+        };
+    }
+
+    fn dispatch(&self, vector: u8, cycles: u64) {
+        self.buckets.dispatch[vector as usize].fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    fn firmware(&self, eip: u32, cycles: u64) {
+        match self.buckets.firmware.get((eip >> 2) as usize) {
+            Some(cell) => cell.fetch_add(cycles, Ordering::Relaxed),
+            None => self
+                .buckets
+                .firmware_spill
+                .fetch_add(cycles, Ordering::Relaxed),
+        };
+    }
+
+    fn idle(&self, cycles: u64) {
+        self.buckets.idle.fetch_add(cycles, Ordering::Relaxed);
+    }
+}
+
+/// One named address range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Symbol {
+    start: u32,
+    end: u32,
+    task: String,
+    func: String,
+}
+
+/// Resolves absolute addresses to `(task, function)` names.
+///
+/// Registration order does not matter; resolution picks the *narrowest*
+/// containing range, so a whole-region fallback (e.g. a task's full
+/// memory span) coexists with the per-function symbols inside it.
+#[derive(Debug, Default)]
+pub struct SymbolMap {
+    symbols: Vec<Symbol>,
+}
+
+impl SymbolMap {
+    /// An empty map (everything resolves to `None` ⇒ `[unknown]`).
+    pub fn new() -> Self {
+        SymbolMap::default()
+    }
+
+    /// Registers `[start, end)` as `task;func`. Empty ranges are ignored.
+    pub fn add_function(&mut self, start: u32, end: u32, task: &str, func: &str) {
+        if start >= end {
+            return;
+        }
+        self.symbols.push(Symbol {
+            start,
+            end,
+            task: task.to_string(),
+            func: func.to_string(),
+        });
+    }
+
+    /// Registers a loaded task image at `base`: one symbol per
+    /// CFG-recovered function (see [`tytan_lint::symbolize`]), plus a
+    /// whole-text fallback named `[text]` for offsets no function claims
+    /// (e.g. code before the entry point).
+    pub fn add_task_image(&mut self, name: &str, base: u32, image: &TaskImage) {
+        let text_len = image.text().len() as u32;
+        self.add_function(base, base + text_len, name, "[text]");
+        for func in image_functions(image) {
+            self.add_function(base + func.start, base + func.end, name, &func.name);
+        }
+    }
+
+    /// Number of registered symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Resolves `addr` to the narrowest registered `(task, func)`. When a
+    /// function spans the task's entire text (so its range ties with the
+    /// whole-task `[text]` fallback), the named function wins.
+    pub fn resolve(&self, addr: u32) -> Option<(&str, &str)> {
+        self.symbols
+            .iter()
+            .filter(|s| s.start <= addr && addr < s.end)
+            .min_by_key(|s| (s.end - s.start, s.func == "[text]"))
+            .map(|s| (s.task.as_str(), s.func.as_str()))
+    }
+}
+
+/// One folded-stack line: a `;`-joined frame stack and its cycle total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedEntry {
+    /// `task;function`, or one of the explicit buckets ([`UNKNOWN`],
+    /// [`IDLE`], `[irq];vector_N`).
+    pub stack: String,
+    /// Exact cycles attributed to this stack.
+    pub cycles: u64,
+}
+
+/// A symbolized profile: folded stacks (hot first), the attributed
+/// total, and the explicitly-unknown share.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Folded stacks, sorted by descending cycles.
+    pub entries: Vec<FoldedEntry>,
+    /// Sum over all entries (== cycles attributed by the profiler).
+    pub total: u64,
+    /// Cycles folded into [`UNKNOWN`].
+    pub unknown: u64,
+}
+
+impl Report {
+    /// Folded-stack text: one `stack cycles` line per entry, directly
+    /// consumable by standard flamegraph tooling
+    /// (`flamegraph.pl folded.txt > profile.svg`).
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "{} {}", e.stack, e.cycles);
+        }
+        out
+    }
+
+    /// Fraction of attributed cycles resolved to a named bucket (1.0
+    /// when nothing folded into [`UNKNOWN`]).
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        1.0 - self.unknown as f64 / self.total as f64
+    }
+
+    /// Human-readable top-`n` hot-spot table with cycle shares.
+    pub fn top(&self, n: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "top {} of {} stacks — {} cycles attributed, {:.1}% symbolized",
+            n.min(self.entries.len()),
+            self.entries.len(),
+            self.total,
+            self.coverage() * 100.0,
+        );
+        for (rank, e) in self.entries.iter().take(n).enumerate() {
+            let share = if self.total == 0 {
+                0.0
+            } else {
+                e.cycles as f64 / self.total as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "{:>3}. {:>12}  {share:>5.1}%  {}",
+                rank + 1,
+                e.cycles,
+                e.stack
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp32::asm::assemble;
+    use sp_emu::{Machine, MachineConfig};
+
+    #[test]
+    fn attribution_is_exact_against_the_machine_clock() {
+        let src = "main:\n sti\n movi r0, 20\nspin:\n addi r0, -1\n cmpi r0, 0\n jnz spin\n \
+                   int 9\n hlt\nhandler:\n addi r3, 1\n iret\n";
+        let mut m = Machine::new(MachineConfig::default());
+        let p = assemble(src, 0x1000).unwrap();
+        m.load_image(0x1000, &p.bytes).unwrap();
+        m.set_eip(0x1000);
+        m.set_reg(sp32::Reg::R7, 0x8000);
+        m.set_idt_base(0x40);
+        m.set_idt_entry(9, p.symbol("handler").unwrap()).unwrap();
+
+        let profiler = CycleProfiler::new(m.ram_size());
+        m.attach_cycle_observer(Arc::new(profiler.clone()));
+        m.run(3_000);
+        m.tick(55); // firmware charge at the current EIP
+
+        assert_eq!(profiler.total_attributed(), m.cycles());
+
+        let mut symbols = SymbolMap::new();
+        symbols.add_function(0x1000, 0x1000 + p.bytes.len() as u32, "demo", "entry");
+        let report = profiler.report(&symbols);
+        assert_eq!(report.total, m.cycles());
+        // The dispatch and idle buckets are explicit stacks.
+        assert!(report.entries.iter().any(|e| e.stack == "[irq];vector_9"));
+        assert!(report.entries.iter().any(|e| e.stack == IDLE));
+    }
+
+    #[test]
+    fn wild_eip_cycles_spill_to_unknown_not_lost() {
+        let profiler = CycleProfiler::new(0x1000);
+        profiler.instruction(0xffff_0000, 12); // beyond the cell array
+        profiler.firmware(0xffff_0000, 5);
+        profiler.instruction(0x10, 3); // in range, but unsymbolized
+        assert_eq!(profiler.total_attributed(), 20);
+        let report = profiler.report(&SymbolMap::new());
+        assert_eq!(report.total, 20);
+        assert_eq!(report.unknown, 20);
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn narrowest_symbol_wins_and_folding_aggregates() {
+        let mut symbols = SymbolMap::new();
+        symbols.add_function(0x100, 0x200, "task", "[text]");
+        symbols.add_function(0x120, 0x140, "task", "hot_loop");
+        assert_eq!(symbols.resolve(0x130), Some(("task", "hot_loop")));
+        assert_eq!(symbols.resolve(0x104), Some(("task", "[text]")));
+        assert_eq!(symbols.resolve(0x200), None);
+
+        let profiler = CycleProfiler::new(0x1000);
+        profiler.instruction(0x124, 70);
+        profiler.instruction(0x128, 20);
+        profiler.instruction(0x104, 10);
+        let report = profiler.report(&symbols);
+        assert_eq!(
+            report.entries[0],
+            FoldedEntry {
+                stack: "task;hot_loop".into(),
+                cycles: 90
+            }
+        );
+        assert_eq!(report.coverage(), 1.0);
+        let folded = report.folded();
+        assert!(folded.contains("task;hot_loop 90\n"));
+        assert!(folded.contains("task;[text] 10\n"));
+        let top = report.top(10);
+        assert!(top.contains("task;hot_loop"));
+        assert!(top.contains("100.0% symbolized"));
+    }
+
+    #[test]
+    fn image_symbolization_names_call_targets() {
+        let src = "main:\n call helper\n hlt\nhelper:\n nop\n ret\n";
+        let p = assemble(src, 0).unwrap();
+        let image = tytan_image::TaskImage::from_program("symtask", &p, 256, false).unwrap();
+        let mut symbols = SymbolMap::new();
+        symbols.add_task_image("symtask", 0x4000, &image);
+        let helper = p.symbol("helper").unwrap();
+        let (task, func) = symbols.resolve(0x4000 + helper).expect("helper resolves");
+        assert_eq!(task, "symtask");
+        assert_eq!(func, format!("fn_0x{helper:x}"));
+        assert_eq!(symbols.resolve(0x4000), Some(("symtask", "entry")));
+    }
+}

@@ -60,9 +60,11 @@ impl Counters {
         }
     }
 
-    /// Registers (or finds) the counter named `name`. Registering the same
-    /// name twice returns the same id, so layers can share counters by
-    /// name without coordination.
+    /// Registers (or finds) the counter named `name`. Registering a
+    /// duplicate name returns the *existing* id — never a second slot —
+    /// so layers can share counters by name without coordination, and a
+    /// re-attach cannot split one metric across two cells. The duplicate
+    /// lookup succeeds even when the registry is full.
     pub fn register(&self, name: &str) -> CounterId {
         let mut names = self.names.lock().expect("counter registry lock");
         if let Some(i) = names.iter().position(|n| n == name) {
@@ -149,6 +151,36 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(c.register("a"), a);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_register_shares_one_cell_and_get_unknown_is_none() {
+        let c = Counters::new();
+        // `get` on a name nobody registered is None, not zero — callers
+        // can distinguish "never existed" from "never incremented".
+        assert_eq!(c.get("ghost"), None);
+        let first = c.register("shared");
+        let second = c.register("shared");
+        assert_eq!(first, second);
+        c.add(first, 2);
+        c.add(second, 3);
+        assert_eq!(c.get("shared"), Some(5), "one cell, not two");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("ghost"), None);
+    }
+
+    #[test]
+    fn duplicate_register_resolves_even_when_full() {
+        let c = Counters::new();
+        let early = c.register("early");
+        for i in 0..MAX_COUNTERS - 1 {
+            c.register(&format!("c{i}"));
+        }
+        assert_eq!(c.len(), MAX_COUNTERS);
+        // A full registry still finds existing names by lookup...
+        assert_eq!(c.register("early"), early);
+        // ...and only truly new names degrade to the discard slot.
+        assert_eq!(c.register("late"), CounterId::DISCARD);
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! Log-linear (HDR-style) fixed-bin latency histograms.
+//!
+//! The bench trajectory needs *distributions*, not just totals: the paper's
+//! real-time claims (§6, Tables 4–6) are about worst-case interrupt latency
+//! and context-switch jitter, which a mean hides. A [`Histogram`] records
+//! `u64` cycle durations into a fixed set of bins — exact below 16, then 16
+//! sub-buckets per power of two — so the relative quantile error is bounded
+//! by 1/16 (6.25%) at any magnitude while the whole structure stays a flat
+//! array of relaxed atomics: recording is lock-free, allocation-free, and
+//! guest-cycle-neutral like the rest of the observation plane.
+//!
+//! [`Histograms`] is the shared registry mirroring [`crate::Counters`]:
+//! register a name once, copy the [`HistId`] into the recording path, and
+//! degrade to a discard slot past capacity instead of aborting.
+//!
+//! # Examples
+//!
+//! ```
+//! use tytan_trace::hist::Histograms;
+//!
+//! let hists = Histograms::new();
+//! let irq = hists.register("irq_entry");
+//! for v in [10, 12, 300, 40_000] {
+//!     hists.record(irq, v);
+//! }
+//! let s = hists.get("irq_entry").unwrap().summary();
+//! assert_eq!(s.count, 4);
+//! assert_eq!(s.max, 40_000);
+//! assert!(s.p50 >= 10 && s.p50 <= 12);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Values below this record exactly (one bin per value).
+const LINEAR_LIMIT: u64 = 16;
+/// Sub-buckets per power of two above the linear range.
+const SUB_BUCKETS: usize = 16;
+/// Total bins: 16 exact + 16 per power of two for exponents 4..=63.
+pub const NUM_BUCKETS: usize = LINEAR_LIMIT as usize + (64 - 4) * SUB_BUCKETS;
+
+/// Maximum number of registered histograms. Registration past this point
+/// returns [`HistId::DISCARD`]; recordings land in a sink slot that is
+/// never reported — observability degrades, it never aborts the platform.
+pub const MAX_HISTOGRAMS: usize = 64;
+
+/// Bin index for a value: identity below 16, then log-linear.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        v as usize
+    } else {
+        // msb >= 4; the top 5 significant bits select the bin, so every
+        // bin spans at most 1/16 of its value range.
+        let msb = 63 - v.leading_zeros() as usize;
+        LINEAR_LIMIT as usize + (msb - 4) * SUB_BUCKETS + (((v >> (msb - 4)) as usize) & 15)
+    }
+}
+
+/// Smallest value mapping to bin `i` (the reported quantile value).
+fn bucket_low(i: usize) -> u64 {
+    if i < LINEAR_LIMIT as usize {
+        i as u64
+    } else {
+        let rel = i - LINEAR_LIMIT as usize;
+        let msb = 4 + rel / SUB_BUCKETS;
+        let sub = (rel % SUB_BUCKETS) as u64;
+        (16 + sub) << (msb - 4)
+    }
+}
+
+/// Point-in-time summary of one distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// 50th percentile (bin lower bound; exact below 16).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest recorded value (exact, not binned).
+    pub max: u64,
+}
+
+/// One log-linear histogram of `u64` durations.
+///
+/// All operations are relaxed atomics; `record` is safe to call from any
+/// layer at any time and never blocks or allocates.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating sum: a wrapped total would corrupt every derived mean.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the first bin
+    /// whose cumulative count reaches `ceil(q * count)`. Exact below 16,
+    /// within 1/16 relative error above. Returns 0 for an empty histogram;
+    /// `q >= 1` reports the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max();
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_low(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Count/sum/p50/p90/p99/max in one pass-friendly struct.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Clears all bins and stats (for registry reuse across runs).
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Handle to one registered histogram. Copy it into recording paths so
+/// each `record` is an index plus three relaxed atomic ops, no lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+impl HistId {
+    /// The overflow slot: recordings land in a histogram that is never
+    /// snapshotted by name.
+    pub const DISCARD: HistId = HistId(MAX_HISTOGRAMS);
+}
+
+/// A registry of named histograms, mirroring [`crate::Counters`]:
+/// registration is idempotent by name, capacity overflow degrades to
+/// [`HistId::DISCARD`], recording is lock-free.
+#[derive(Debug)]
+pub struct Histograms {
+    names: Mutex<Vec<String>>,
+    // One extra slot receives recordings through `HistId::DISCARD`.
+    hists: Vec<Histogram>,
+}
+
+impl Default for Histograms {
+    fn default() -> Self {
+        Histograms::new()
+    }
+}
+
+impl Histograms {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Histograms {
+            names: Mutex::new(Vec::new()),
+            hists: (0..=MAX_HISTOGRAMS).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// Registers (or finds) the histogram named `name`. Registering the
+    /// same name twice returns the same id.
+    pub fn register(&self, name: &str) -> HistId {
+        let mut names = self.names.lock().expect("histogram registry lock");
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return HistId(i);
+        }
+        if names.len() >= MAX_HISTOGRAMS {
+            return HistId::DISCARD;
+        }
+        names.push(name.to_string());
+        HistId(names.len() - 1)
+    }
+
+    /// Number of registered histograms.
+    pub fn len(&self) -> usize {
+        self.names.lock().expect("histogram registry lock").len()
+    }
+
+    /// Whether no histograms are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records one value into the histogram behind `id`.
+    #[inline]
+    pub fn record(&self, id: HistId, v: u64) {
+        self.hists[id.0].record(v);
+    }
+
+    /// The histogram behind `id` (the discard slot for `DISCARD`).
+    pub fn hist(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0]
+    }
+
+    /// Looks a histogram up by name, if registered.
+    pub fn get(&self, name: &str) -> Option<&Histogram> {
+        let names = self.names.lock().expect("histogram registry lock");
+        let i = names.iter().position(|n| n == name)?;
+        Some(&self.hists[i])
+    }
+
+    /// Summaries of every *non-empty* registered histogram, in
+    /// registration order. Empty distributions are skipped: a latency
+    /// table full of zero rows only hides the ones that measured.
+    pub fn snapshot(&self) -> Vec<(String, Summary)> {
+        let names = self.names.lock().expect("histogram registry lock");
+        names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.hists[*i].is_empty())
+            .map(|(i, n)| (n.clone(), self.hists[i].summary()))
+            .collect()
+    }
+
+    /// Resets every histogram (names stay registered).
+    pub fn reset(&self) {
+        for h in &self.hists {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        assert_eq!(h.quantile(0.0), 0);
+        // rank ceil(0.5*16)=8 → 8th smallest (1-based) is value 7.
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_tight() {
+        // Every bin's lower bound maps back into that bin, bounds strictly
+        // increase, and the relative width never exceeds 1/16.
+        let mut prev = None;
+        for i in 0..NUM_BUCKETS {
+            let low = bucket_low(i);
+            assert_eq!(bucket_index(low), i, "bin {i} low {low}");
+            if let Some(p) = prev {
+                assert!(low > p, "bin {i} not monotone");
+            }
+            prev = Some(low);
+        }
+        for v in [16u64, 17, 255, 256, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            let low = bucket_low(i);
+            assert!(low <= v);
+            // Width of the bin is low/16 for log-linear bins.
+            if v >= 16 {
+                assert!(
+                    (v - low) as f64 <= low as f64 / 16.0 + 1.0,
+                    "v={v} low={low}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_within_one_sixteenth() {
+        let h = Histogram::new();
+        // A spread of magnitudes: 1000 values from 100 to 100_000.
+        for i in 0..1000u64 {
+            h.record(100 + i * 100);
+        }
+        let p50 = h.quantile(0.5);
+        let exact = 100 + 499 * 100; // 500th smallest
+        assert!(
+            (p50 as f64 - exact as f64).abs() / exact as f64 <= 1.0 / 16.0,
+            "p50={p50} exact={exact}"
+        );
+        assert_eq!(h.quantile(1.0), 100 + 999 * 100);
+        assert_eq!(h.max(), 100 + 999 * 100);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(
+            s,
+            Summary {
+                count: 0,
+                sum: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                max: 0
+            }
+        );
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let h = Histogram::new();
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_degrades() {
+        let r = Histograms::new();
+        let a = r.register("a");
+        assert_eq!(r.register("a"), a);
+        for i in 0..MAX_HISTOGRAMS - 1 {
+            r.register(&format!("h{i}"));
+        }
+        assert_eq!(r.len(), MAX_HISTOGRAMS);
+        let spill = r.register("one_too_many");
+        assert_eq!(spill, HistId::DISCARD);
+        r.record(spill, 42);
+        assert!(r.get("one_too_many").is_none());
+        assert!(
+            r.get("a").unwrap().is_empty(),
+            "discard must not alias slot 0"
+        );
+    }
+
+    #[test]
+    fn snapshot_skips_empty_distributions() {
+        let r = Histograms::new();
+        let a = r.register("recorded");
+        r.register("silent");
+        r.record(a, 5);
+        r.record(a, 500);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, "recorded");
+        assert_eq!(snap[0].1.count, 2);
+        assert_eq!(snap[0].1.max, 500);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+        assert_eq!(r.len(), 2, "names survive a reset");
+    }
+}

@@ -53,10 +53,12 @@ use std::sync::Arc;
 
 pub mod chrome;
 pub mod counters;
+pub mod hist;
 pub mod json;
 pub mod ring;
 
 pub use counters::{CounterId, Counters};
+pub use hist::{HistId, Histograms};
 pub use ring::RingRecorder;
 
 /// The layer of the stack an event originated from. Maps to one Chrome
@@ -165,6 +167,7 @@ impl TraceSink for NullSink {
 pub struct Tracer {
     sink: Arc<dyn TraceSink>,
     counters: Arc<Counters>,
+    hists: Arc<Histograms>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -172,22 +175,30 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field("enabled", &self.enabled())
             .field("counters", &self.counters.len())
+            .field("histograms", &self.hists.len())
             .finish()
     }
 }
 
 impl Tracer {
-    /// Builds a tracer around `sink` with a fresh counter registry.
+    /// Builds a tracer around `sink` with fresh counter and histogram
+    /// registries.
     pub fn new(sink: Arc<dyn TraceSink>) -> Self {
         Tracer {
             sink,
             counters: Arc::new(Counters::new()),
+            hists: Arc::new(Histograms::new()),
         }
     }
 
-    /// Builds a tracer sharing an existing counter registry.
+    /// Builds a tracer sharing an existing counter registry (histograms
+    /// stay fresh).
     pub fn with_counters(sink: Arc<dyn TraceSink>, counters: Arc<Counters>) -> Self {
-        Tracer { sink, counters }
+        Tracer {
+            sink,
+            counters,
+            hists: Arc::new(Histograms::new()),
+        }
     }
 
     /// A disabled tracer ([`NullSink`] + empty registry). Counters still
@@ -204,6 +215,13 @@ impl Tracer {
     /// The shared counter registry.
     pub fn counters(&self) -> &Arc<Counters> {
         &self.counters
+    }
+
+    /// The shared latency histogram registry. Like counters, histograms
+    /// record even when the sink is disabled — they are cheap, and the
+    /// latency tables should not depend on event recording being on.
+    pub fn histograms(&self) -> &Arc<Histograms> {
+        &self.hists
     }
 
     /// Records one event if the sink is enabled.
@@ -232,6 +250,17 @@ mod tests {
         t.counters().add(id, 3);
         t.emit(Layer::Emu, 0, 1, EventKind::Mark("m"));
         assert_eq!(t.counters().get("x"), Some(3));
+    }
+
+    #[test]
+    fn null_tracer_still_records_histograms() {
+        let t = Tracer::null();
+        let id = t.histograms().register("lat");
+        t.histograms().record(id, 12);
+        t.histograms().record(id, 48);
+        let s = t.histograms().get("lat").unwrap().summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 48);
     }
 
     #[test]

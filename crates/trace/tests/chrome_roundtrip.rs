@@ -1,0 +1,138 @@
+//! Property tests: every Chrome trace export must survive a round trip
+//! through the strict in-tree JSON parser, whatever the event stream —
+//! the CI artifact is only useful if Perfetto can always load it.
+
+use proptest::collection;
+use proptest::prelude::*;
+use tytan_trace::chrome::{chrome_trace_json, escape_json_string};
+use tytan_trace::{json, EventKind, Layer, TraceEvent};
+
+/// Span names are `&'static str`, so the generator draws from a fixed
+/// pool chosen to cover every escaping hazard: quotes, backslashes, the
+/// C0 shorthand and `\u00XX` ranges, non-ASCII BMP, and non-BMP scalars
+/// (which the parser must reassemble from surrogate pairs if escaped,
+/// or pass through as raw UTF-8).
+const NAME_POOL: [&str; 9] = [
+    "load",
+    "irq",
+    "we\"ird",
+    "back\\slash",
+    "line\nbreak\ttab\rcr",
+    "\u{08}\u{0c}bell\u{07}unit\u{1f}",
+    "emoji\u{1F600}\u{1F680}",
+    "µs → done",
+    "",
+];
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    (0u8..4, 0usize..NAME_POOL.len(), any::<u64>()).prop_map(|(kind, name, value)| {
+        let name = NAME_POOL[name];
+        match kind {
+            0 => EventKind::Enter(name),
+            1 => EventKind::Exit(name),
+            2 => EventKind::Mark(name),
+            _ => EventKind::Value(name, value),
+        }
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (any::<u64>(), 0u8..4, any::<u32>(), arb_kind()).prop_map(|(cycle, layer, tid, kind)| {
+        TraceEvent {
+            cycle,
+            layer: match layer {
+                0 => Layer::Emu,
+                1 => Layer::EaMpu,
+                2 => Layer::Rtos,
+                _ => Layer::Core,
+            },
+            tid,
+            kind,
+        }
+    })
+}
+
+/// An arbitrary `char`, biased toward the escaping edge cases: C0
+/// controls, the mandatory escapes, and non-BMP scalars.
+fn arb_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        0u32..0x20,
+        Just('"' as u32),
+        Just('\\' as u32),
+        Just('/' as u32),
+        0x20u32..0x7f,
+        0xa0u32..0xd800,
+        0xe000u32..0x1_0000,
+        0x1_0000u32..0x11_0000,
+    ]
+    .prop_map(|c| char::from_u32(c).expect("generator avoids the surrogate gap"))
+}
+
+proptest! {
+    #[test]
+    fn escaped_strings_round_trip(chars in collection::vec(arb_char(), 0..64)) {
+        let raw: String = chars.into_iter().collect();
+        let doc = format!("{{\"k\":\"{}\"}}", escape_json_string(&raw));
+        let value = json::parse(&doc).expect("escaped string must parse");
+        prop_assert_eq!(value.get("k").and_then(json::Value::as_str), Some(raw.as_str()));
+    }
+
+    #[test]
+    fn chrome_export_round_trips(events in collection::vec(arb_event(), 0..48)) {
+        let doc = chrome_trace_json(&events);
+        let value = json::parse(&doc).expect("chrome export must be valid JSON");
+        let rows = value
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .expect("traceEvents array");
+
+        let layers_present = [Layer::Emu, Layer::EaMpu, Layer::Rtos, Layer::Core]
+            .into_iter()
+            .filter(|l| events.iter().any(|e| e.layer == *l))
+            .count();
+        prop_assert_eq!(rows.len(), layers_present + events.len());
+
+        // Every event row (after the metadata prefix) carries the source
+        // event's name, phase, pid, and timestamp, bit-exact.
+        for (event, row) in events.iter().zip(&rows[layers_present..]) {
+            prop_assert_eq!(
+                row.get("name").and_then(json::Value::as_str),
+                Some(event.kind.name())
+            );
+            let phase = match event.kind {
+                EventKind::Enter(_) => "B",
+                EventKind::Exit(_) => "E",
+                EventKind::Mark(_) => "i",
+                EventKind::Value(..) => "C",
+            };
+            prop_assert_eq!(row.get("ph").and_then(json::Value::as_str), Some(phase));
+            prop_assert_eq!(
+                row.get("pid").and_then(json::Value::as_number),
+                Some(f64::from(event.layer.pid()))
+            );
+            prop_assert_eq!(
+                row.get("ts").and_then(json::Value::as_number),
+                Some(event.cycle as f64)
+            );
+        }
+    }
+}
+
+#[test]
+fn parser_rejects_lone_surrogates_escaper_never_emits_them() {
+    // The parser is strict about surrogate escapes...
+    assert!(json::parse("\"\\ud800\"").is_err(), "lone high surrogate");
+    assert!(json::parse("\"\\udc00\"").is_err(), "lone low surrogate");
+    assert!(
+        json::parse("\"\\ud800\\ud800\"").is_err(),
+        "high surrogate followed by another high"
+    );
+    // ...and a paired escape decodes to the non-BMP scalar.
+    let v = json::parse("\"\\ud83d\\ude00\"").expect("valid pair");
+    assert_eq!(v.as_str(), Some("\u{1F600}"));
+    // The escaper cannot emit surrogates at all: Rust chars are scalar
+    // values, and non-BMP scalars pass through as raw UTF-8.
+    let escaped = escape_json_string("\u{1F600}");
+    assert_eq!(escaped, "\u{1F600}");
+    assert!(!escaped.contains("\\ud"));
+}
