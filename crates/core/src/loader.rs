@@ -62,6 +62,16 @@ pub enum LoadError {
     Kernel(KernelError),
     /// The static verifier found proven policy violations in the image.
     LintRejected(Box<LintReport>),
+    /// The job was driven out of sequence: stepped again after
+    /// completion, or a phase ran without the state that phase requires
+    /// (a corrupted or replayed load sequence). Untrusted callers can
+    /// provoke this, so it is a typed error, not a host panic.
+    Sequence {
+        /// The phase the job was in when the corruption was detected.
+        phase: LoadPhase,
+        /// What was missing or wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -77,6 +87,12 @@ impl fmt::Display for LoadError {
                 report.count(Severity::Error),
                 report.image_name
             ),
+            LoadError::Sequence { phase, what } => {
+                write!(
+                    f,
+                    "load job driven out of sequence in {phase:?} phase: {what}"
+                )
+            }
         }
     }
 }
@@ -258,7 +274,12 @@ impl<D: Digest> LoadJob<D> {
             LoadPhase::Verify => {
                 // Host-side static analysis: no machine.tick — the guest
                 // cycle counter must be identical to an unverified load.
-                let policy = self.verify.as_deref().expect("verify policy set");
+                let Some(policy) = self.verify.as_deref() else {
+                    return Err(LoadError::Sequence {
+                        phase: LoadPhase::Verify,
+                        what: "verification phase entered without a policy",
+                    });
+                };
                 let report = lint_image(&self.image, policy);
                 if report.count(Severity::Error) > 0 {
                     return Err(LoadError::LintRejected(Box::new(report)));
@@ -332,7 +353,12 @@ impl<D: Digest> LoadJob<D> {
             }
             LoadPhase::Measure => {
                 let before = machine.cycles();
-                let job = self.measure.as_mut().expect("measure job set");
+                let Some(job) = self.measure.as_mut() else {
+                    return Err(LoadError::Sequence {
+                        phase: LoadPhase::Measure,
+                        what: "measurement phase entered without a measure job",
+                    });
+                };
                 let progress =
                     job.step(machine, actors.trusted_actor(), rtm_blocks_per_slice.max(1))?;
                 self.report.rtm_cycles += machine.cycles() - before;
@@ -380,7 +406,10 @@ impl<D: Digest> LoadJob<D> {
                 return Ok(LoadProgress::Done { handle, id });
             }
             LoadPhase::Done => {
-                return Err(LoadError::Kernel(KernelError::NoSuchTask));
+                return Err(LoadError::Sequence {
+                    phase: LoadPhase::Done,
+                    what: "stepped again after completion",
+                });
             }
         }
         Ok(LoadProgress::InProgress(self.phase))
@@ -646,5 +675,61 @@ mod tests {
         let (handle, _) = drive(&mut verified, &mut m2, &mut k2, &mut rtm2, &mut a2, actors2);
         assert_eq!(m2.cycles(), plain_cycles);
         assert_eq!(k2.task(handle).unwrap().name(), "loadee");
+    }
+
+    #[test]
+    fn out_of_sequence_jobs_fail_typed_instead_of_panicking() {
+        let (mut m, mut k, mut rtm, mut a, actors) = setup();
+        let (image, mbox) = secure_image();
+
+        // Stepping a finished job again is a driver bug or a replayed
+        // request — either way a typed error, never a host panic.
+        let mut job = LoadJob::<Sha1>::new(image.clone(), mbox, 2);
+        drive(&mut job, &mut m, &mut k, &mut rtm, &mut a, actors);
+        let err = job
+            .step(&mut m, &mut k, &mut rtm, &mut a, actors, 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LoadError::Sequence {
+                phase: LoadPhase::Done,
+                what: "stepped again after completion",
+            }
+        );
+
+        // A Verify phase forged without its policy (corrupted sequence;
+        // used to hit an `expect`).
+        let mut forged = LoadJob::<Sha1>::new(image.clone(), mbox, 2);
+        forged.phase = LoadPhase::Verify;
+        let err = forged
+            .step(&mut m, &mut k, &mut rtm, &mut a, actors, 2)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LoadError::Sequence {
+                    phase: LoadPhase::Verify,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        // A Measure phase forged without its measure job (likewise).
+        let mut forged = LoadJob::<Sha1>::new(image, mbox, 2);
+        forged.phase = LoadPhase::Measure;
+        let err = forged
+            .step(&mut m, &mut k, &mut rtm, &mut a, actors, 2)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LoadError::Sequence {
+                    phase: LoadPhase::Measure,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 }

@@ -127,6 +127,39 @@ impl TransferDecision {
     }
 }
 
+/// One recorded check, captured while decision logging is enabled (see
+/// [`EaMpu::set_decision_log_enabled`]).
+///
+/// Records carry the full query *and* the full decision (including rule
+/// slots), so two rule-identical MPUs driven through the same guest
+/// execution must produce byte-identical logs — regardless of whether
+/// the decision cache answered or a fresh scan did. Differential
+/// harnesses compare logs across the fast-path and legacy interpreters
+/// to prove the cache layers never change an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionRecord {
+    /// A data-access check ([`EaMpu::check_access`]).
+    Access {
+        /// The executing instruction pointer.
+        eip: u32,
+        /// The accessed address.
+        addr: u32,
+        /// Whether it was a read or a write.
+        kind: AccessKind,
+        /// What the MPU decided.
+        decision: AccessDecision,
+    },
+    /// A control-transfer check ([`EaMpu::check_transfer`]).
+    Transfer {
+        /// Where control came from.
+        from: u32,
+        /// Where control goes.
+        to: u32,
+        /// What the MPU decided.
+        decision: TransferDecision,
+    },
+}
+
 /// Why [`EaMpu::configure`] rejected a rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConfigureError {
@@ -222,6 +255,10 @@ pub struct EaMpu {
     /// single branch. Tracing never changes a decision and never costs
     /// guest cycles.
     trace: Option<MpuTrace>,
+    /// Decision recording for differential harnesses. Off by default:
+    /// the check paths pay one predictable branch when disabled.
+    log_enabled: bool,
+    decision_log: RefCell<Vec<DecisionRecord>>,
 }
 
 /// Per-slot rule usage, collected only while a tracer is attached.
@@ -419,7 +456,23 @@ impl EaMpu {
             access_latch: [Cell::new(EMPTY_ACCESS_LATCH), Cell::new(EMPTY_ACCESS_LATCH)],
             transfer_latch: Cell::new(EMPTY_TRANSFER_LATCH),
             trace: None,
+            log_enabled: false,
+            decision_log: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Starts (or stops) recording every check into the decision log.
+    ///
+    /// Recording is observation only: it never changes a decision and
+    /// never charges guest cycles. Enabling it clears any previous log.
+    pub fn set_decision_log_enabled(&mut self, enabled: bool) {
+        self.log_enabled = enabled;
+        self.decision_log.borrow_mut().clear();
+    }
+
+    /// Takes (and clears) the recorded decisions since the last take.
+    pub fn take_decision_log(&self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.decision_log.borrow_mut())
     }
 
     /// Attaches host-side observability: decision-cache hit/miss/flush and
@@ -640,6 +693,27 @@ impl EaMpu {
         removed
     }
 
+    #[inline]
+    fn log_access_record(&self, eip: u32, addr: u32, kind: AccessKind, decision: AccessDecision) {
+        if self.log_enabled {
+            self.decision_log.borrow_mut().push(DecisionRecord::Access {
+                eip,
+                addr,
+                kind,
+                decision,
+            });
+        }
+    }
+
+    #[inline]
+    fn log_transfer_record(&self, from: u32, to: u32, decision: TransferDecision) {
+        if self.log_enabled {
+            self.decision_log
+                .borrow_mut()
+                .push(DecisionRecord::Transfer { from, to, decision });
+        }
+    }
+
     /// Checks a data access: may the instruction at `eip` access `addr`?
     ///
     /// An address inside any configured rule's data region is *protected*
@@ -657,6 +731,7 @@ impl EaMpu {
                 if self.trace.is_some() {
                     self.trace_access(l.decision, true, addr);
                 }
+                self.log_access_record(eip, addr, kind, l.decision);
                 return l.decision;
             }
         }
@@ -670,6 +745,7 @@ impl EaMpu {
                 if self.trace.is_some() {
                     self.trace_access(entry.decision, true, addr);
                 }
+                self.log_access_record(eip, addr, kind, entry.decision);
                 return entry.decision;
             }
         }
@@ -721,6 +797,7 @@ impl EaMpu {
         if self.trace.is_some() {
             self.trace_access(decision, false, addr);
         }
+        self.log_access_record(eip, addr, kind, decision);
         decision
     }
 
@@ -744,6 +821,7 @@ impl EaMpu {
                 if self.trace.is_some() {
                     self.trace_transfer(l.decision, true, to_addr);
                 }
+                self.log_transfer_record(from_eip, to_addr, l.decision);
                 return l.decision;
             }
         }
@@ -757,6 +835,7 @@ impl EaMpu {
                 if self.trace.is_some() {
                     self.trace_transfer(entry.decision, true, to_addr);
                 }
+                self.log_transfer_record(from_eip, to_addr, entry.decision);
                 return entry.decision;
             }
         }
@@ -802,6 +881,7 @@ impl EaMpu {
         if self.trace.is_some() {
             self.trace_transfer(decision, false, to_addr);
         }
+        self.log_transfer_record(from_eip, to_addr, decision);
         decision
     }
 
@@ -1107,5 +1187,66 @@ mod tests {
         assert!(mpu.is_protected(0x80ff));
         assert!(!mpu.is_protected(0x8100));
         assert!(!mpu.is_protected(0x0));
+    }
+
+    #[test]
+    fn decision_log_is_identical_with_and_without_the_cache() {
+        let mut cached = EaMpu::new(4);
+        cached.configure(rule(0x1000, 0x8000)).unwrap();
+        cached.configure(rule(0x2000, 0x9000)).unwrap();
+        let mut scans = cached.clone();
+        scans.set_decision_cache_enabled(false);
+        cached.set_decision_log_enabled(true);
+        scans.set_decision_log_enabled(true);
+
+        // A query mix that exercises the scan, MRU-cache, and latch paths
+        // on the cached side (repeats hit the latch, alternations the MRU
+        // cache) while the uncached side scans every time.
+        let accesses = [
+            (0x1004u32, 0x8004u32, AccessKind::Read),
+            (0x1004, 0x8004, AccessKind::Read), // latch hit
+            (0x1004, 0x8004, AccessKind::Write),
+            (0x2004, 0x9004, AccessKind::Write), // protected by other rule
+            (0x1004, 0x8004, AccessKind::Read),  // MRU-cache hit
+            (0x0400, 0x8004, AccessKind::Write), // denied
+            (0x0400, 0x0500, AccessKind::Read),  // unprotected
+        ];
+        for &(eip, addr, kind) in &accesses {
+            assert_eq!(
+                cached.check_access(eip, addr, kind),
+                scans.check_access(eip, addr, kind)
+            );
+        }
+        let transfers = [
+            (0x0400u32, 0x1000u32), // entry
+            (0x0400, 0x1000),       // latch hit
+            (0x0400, 0x1004),       // mid-region
+            (0x1004, 0x1008),       // internal
+            (0x0400, 0x0500),       // unprotected
+        ];
+        for &(from, to) in &transfers {
+            assert_eq!(
+                cached.check_transfer(from, to),
+                scans.check_transfer(from, to)
+            );
+        }
+
+        let log = cached.take_decision_log();
+        assert_eq!(log, scans.take_decision_log());
+        assert_eq!(log.len(), accesses.len() + transfers.len());
+        assert_eq!(
+            log[0],
+            DecisionRecord::Access {
+                eip: 0x1004,
+                addr: 0x8004,
+                kind: AccessKind::Read,
+                decision: AccessDecision::AllowedByRule { slot: 0 },
+            }
+        );
+        // Taking drains; with logging off nothing accumulates.
+        assert!(cached.take_decision_log().is_empty());
+        cached.set_decision_log_enabled(false);
+        cached.check_access(0x1004, 0x8004, AccessKind::Read);
+        assert!(cached.take_decision_log().is_empty());
     }
 }

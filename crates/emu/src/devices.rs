@@ -102,7 +102,10 @@ impl Device for Timer {
             timer_reg::CTRL => {
                 self.enabled = value & 1 != 0;
                 if self.enabled && self.interval > 0 {
-                    self.next_fire = now + self.interval;
+                    // Saturate: an absurd interval means "never fires"
+                    // (u64::MAX doubles as the unarmed sentinel), not an
+                    // arithmetic overflow.
+                    self.next_fire = now.saturating_add(self.interval);
                 }
             }
             timer_reg::INTERVAL => {
@@ -117,13 +120,17 @@ impl Device for Timer {
             return None;
         }
         if self.next_fire == u64::MAX {
-            self.next_fire = now + self.interval;
+            // Saturating: a near-MAX interval arms to the sentinel and
+            // simply never fires, instead of overflowing here.
+            self.next_fire = now.saturating_add(self.interval);
             return None;
         }
         if now >= self.next_fire {
-            // Catch up without queueing a burst of stale ticks.
+            // Catch up without queueing a burst of stale ticks. The
+            // saturating add terminates the loop even for intervals
+            // that would wrap past `u64::MAX`.
             while self.next_fire <= now {
-                self.next_fire += self.interval;
+                self.next_fire = self.next_fire.saturating_add(self.interval);
             }
             return Some(self.vector);
         }
@@ -409,6 +416,31 @@ mod tests {
         assert_eq!(t.poll_irq(1_000), Some(32));
         assert_eq!(t.poll_irq(1_001), None);
         assert_eq!(t.poll_irq(1_100), Some(32));
+    }
+
+    #[test]
+    fn timer_survives_near_max_intervals_without_overflow() {
+        // Found by the tytan-fuzz timer-chaos scenario: arming with an
+        // interval near u64::MAX overflowed `now + interval` in the
+        // arming poll. The deadline must saturate ("never fires"), not
+        // wrap or panic.
+        let mut t = Timer::new(0xf000_0000, 32);
+        t.configure(u64::MAX - 2, true);
+        assert_eq!(t.poll_irq(1_000), None); // arming poll: saturates
+        assert_eq!(t.poll_irq(2_000), None);
+        assert_eq!(t.next_event(2_000), Some(2_000), "sentinel re-arms");
+        // Same hazard through the MMIO path: enable via CTRL at a large
+        // `now` with a huge programmed interval.
+        let mut t = Timer::new(0xf000_0000, 32);
+        t.configure(u64::MAX / 2, false);
+        t.write(timer_reg::CTRL, 1, u64::MAX / 2 + 10);
+        assert_eq!(t.poll_irq(u64::MAX / 2 + 11), None);
+        // And the catch-up loop: a fire deadline far in the past with a
+        // huge interval must terminate (saturating) with one IRQ.
+        let mut t = Timer::new(0xf000_0000, 32);
+        t.configure(u64::MAX - 5, true);
+        t.poll_irq(0); // arms at u64::MAX - 5
+        assert_eq!(t.poll_irq(u64::MAX - 1), Some(32));
     }
 
     #[test]

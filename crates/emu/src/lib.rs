@@ -51,5 +51,6 @@ mod machine;
 pub use cycles::{CycleModel, FirmwareCosts};
 pub use device::Device;
 pub use machine::{
-    CycleObserver, DispatchStamp, Event, Fault, Machine, MachineConfig, MachineStats,
+    CycleObserver, DispatchStamp, Event, Fault, Machine, MachineConfig, MachineSnapshot,
+    MachineStats,
 };

@@ -186,6 +186,37 @@ pub struct MachineStats {
     pub faults: u64,
 }
 
+/// Everything architecturally observable about a machine at an
+/// instruction boundary, captured by [`Machine::snapshot`].
+///
+/// Two machines configured identically and driven through the same
+/// inputs must produce equal snapshots at every boundary regardless of
+/// which run loop (fast path or legacy) drives them — this is the state
+/// half of the differential-testing oracle (RAM is compared separately
+/// via [`Machine::ram_digest`], which is too expensive to hash per
+/// step).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    /// General-purpose registers `R0..R7`.
+    pub regs: [u32; 8],
+    /// The instruction pointer.
+    pub eip: u32,
+    /// The flags register.
+    pub eflags: u32,
+    /// Whether the core is halted waiting for an interrupt.
+    pub halted: bool,
+    /// The cycle counter.
+    pub cycles: u64,
+    /// Cumulative execution statistics.
+    pub stats: MachineStats,
+    /// Pending (raised, undelivered) IRQ vectors, ascending.
+    pub pending_irqs: Vec<u8>,
+    /// Whether the EA-MPU is enforcing.
+    pub mpu_enabled: bool,
+    /// The IDT base register.
+    pub idt_base: u32,
+}
+
 /// The simulated Siskiyou-Peak-like core.
 ///
 /// A `Machine` owns flat RAM, the MMIO device list, the EA-MPU, the IDT
@@ -509,6 +540,40 @@ impl Machine {
         self.stats
     }
 
+    /// Captures every architecturally observable register and counter at
+    /// the current instruction boundary (see [`MachineSnapshot`]).
+    ///
+    /// Used by differential harnesses to compare two machines in
+    /// lockstep; deliberately excludes host-side caches (predecode,
+    /// EA-MPU decision cache) because those must never be observable.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            regs: self.regs,
+            eip: self.eip,
+            eflags: self.eflags,
+            halted: self.halted,
+            cycles: self.clock,
+            stats: self.stats,
+            pending_irqs: self.pending_irqs.iter().copied().collect(),
+            mpu_enabled: self.mpu_enabled,
+            idt_base: self.idt_base,
+        }
+    }
+
+    /// FNV-1a digest of all of RAM.
+    ///
+    /// The cheap whole-memory oracle for differential runs: equal RAM
+    /// contents produce equal digests, and a single flipped bit changes
+    /// the digest with overwhelming probability. Not cryptographic.
+    pub fn ram_digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &byte in &self.ram {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     // ----- registers -----
 
     /// Reads a general-purpose register.
@@ -580,9 +645,16 @@ impl Machine {
     /// word-aligned `W` spans `[W, W + 8)` at most, so candidate start
     /// words run from one word below the range to its last contained word.
     fn invalidate_predecode(&mut self, addr: u32, len: usize) {
-        if !self.fast_path || len == 0 {
+        if !self.fast_path {
             return;
         }
+        // A zero-length write touches no bytes, so there is nothing to
+        // invalidate — and the `len - 1` last-byte computation below would
+        // underflow (wrapping to a full-address-space sweep in release
+        // builds). Guard it explicitly rather than relying on callers.
+        let Some(last_offset) = (len as u32).checked_sub(1) else {
+            return;
+        };
         if len >= PREDECODE_ENTRIES * 4 {
             // The write blankets the whole cache's index space.
             for entry in &mut self.predecode {
@@ -591,7 +663,7 @@ impl Machine {
             return;
         }
         let first = (addr & !3).saturating_sub(4);
-        let last = addr.saturating_add(len as u32 - 1) & !3;
+        let last = addr.saturating_add(last_offset) & !3;
         let mut word = first;
         loop {
             let idx = (word >> 2) as usize & (PREDECODE_ENTRIES - 1);
@@ -1098,7 +1170,11 @@ impl Machine {
         let predecode_idx = (eip >> 2) as usize & (PREDECODE_ENTRIES - 1);
         // Memoised (not-taken, taken) cycle costs when decode was skipped.
         let mut precost = None;
-        let instr = if self.fast_path && self.predecode[predecode_idx].tag == eip {
+        // The alignment test keeps a guest EIP of `0xFFFF_FFFF` (equal to
+        // the PREDECODE_EMPTY sentinel, and matching every empty slot)
+        // from false-hitting: real tags are always word-aligned, the
+        // sentinel never is. Found by the tytan-fuzz differential plane.
+        let instr = if self.fast_path && eip & 3 == 0 && self.predecode[predecode_idx].tag == eip {
             let entry = self.predecode[predecode_idx];
             precost = Some((entry.cost_not_taken, entry.cost_taken));
             if let Some(t) = &self.trace {
@@ -1111,6 +1187,15 @@ impl Machine {
             }
             let first = self.read_word(eip).map_err(|_| Fault::Decode { eip })?;
             let needs_ext = sp32::encoded_len_words(first) == 2;
+            // An instruction must fit strictly below the top of the address
+            // space: both its own words and the fall-through EIP after it.
+            // Code fetched from a device mapped at the very edge (e.g. a
+            // boot ROM at 0xFFFF_FFFC) would otherwise wrap the `eip + 4`
+            // ext-word fetch and the fall-through computation below.
+            let size = if needs_ext { 8u32 } else { 4u32 };
+            if eip.checked_add(size).is_none() {
+                return Err(Fault::Decode { eip });
+            }
             let ext = if needs_ext {
                 Some(self.read_word(eip + 4).map_err(|_| Fault::Decode { eip })?)
             } else {
@@ -2048,5 +2133,215 @@ mod tests {
         m.run(5_000);
         assert_eq!(m.reg(Reg::R1), 1, "handler ran");
         assert_eq!(m.reg(Reg::R3), 9, "execution resumed after hlt");
+    }
+
+    // ----- adversarial-plane regressions: address-space-edge and
+    // zero-length span arithmetic (found/pinned by the fuzz plane) -----
+
+    /// A device serving one constant instruction word at every offset,
+    /// mappable where RAM can never reach — lets tests execute code at
+    /// EIPs like `0xFFFF_FFFC`, right at the top of the address space.
+    struct CodeRom {
+        base: u32,
+        word: u32,
+    }
+
+    impl Device for CodeRom {
+        fn range(&self) -> eampu::Region {
+            eampu::Region::new(self.base, 0x100)
+        }
+
+        fn read(&mut self, _offset: u32, _now: u64) -> u32 {
+            self.word
+        }
+
+        fn write(&mut self, _offset: u32, _value: u32, _now: u64) {}
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn edge_machine(fast: bool, word: u32) -> Machine {
+        let mut m = Machine::new(MachineConfig {
+            fast_path: fast,
+            ..MachineConfig::default()
+        });
+        m.add_device(Box::new(CodeRom {
+            base: 0xFFFF_FF00,
+            word,
+        }));
+        m
+    }
+
+    #[test]
+    fn ext_word_fetch_at_address_space_edge_faults_instead_of_wrapping() {
+        // The first word of a two-word instruction at 0xFFFF_FFFC puts its
+        // ext word at eip + 4 == 0x1_0000_0000, which does not exist; the
+        // fetch used to wrap (a debug-build panic) instead of faulting.
+        let mut words = Vec::new();
+        sp32::encode(
+            &Instr::MovImm {
+                rd: Reg::R0,
+                imm: 7,
+            },
+            &mut words,
+        );
+        for fast in [true, false] {
+            let mut m = edge_machine(fast, words[0]);
+            m.set_eip(0xFFFF_FFFC);
+            assert_eq!(m.step(), Err(Fault::Decode { eip: 0xFFFF_FFFC }));
+        }
+    }
+
+    #[test]
+    fn single_word_instruction_at_edge_faults_on_fallthrough() {
+        let mut words = Vec::new();
+        sp32::encode(&Instr::Nop, &mut words);
+        for fast in [true, false] {
+            let mut m = edge_machine(fast, words[0]);
+            // One word below the edge both the instruction and its
+            // fall-through EIP exist, so execution proceeds...
+            m.set_eip(0xFFFF_FFF8);
+            assert_eq!(m.step(), Ok(()));
+            assert_eq!(m.eip(), 0xFFFF_FFFC);
+            // ...but at the edge itself the fall-through EIP would be
+            // 0x1_0000_0000, so the instruction cannot complete.
+            assert_eq!(m.step(), Err(Fault::Decode { eip: 0xFFFF_FFFC }));
+        }
+    }
+
+    #[test]
+    fn jump_to_the_predecode_sentinel_address_faults_on_both_paths() {
+        // Found by tytan-fuzz: `jmp 0xFFFF_FFFF` lands the EIP exactly on
+        // the PREDECODE_EMPTY sentinel, which used to false-hit every
+        // never-filled cache slot on the fast path and execute a
+        // zero-cost Nop forever while the legacy path faulted.
+        let mut words = Vec::new();
+        sp32::encode(
+            &Instr::Jmp {
+                target: 0xFFFF_FFFF,
+            },
+            &mut words,
+        );
+        for fast in [true, false] {
+            let mut m = Machine::new(MachineConfig {
+                fast_path: fast,
+                ..MachineConfig::default()
+            });
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            m.load_image(0x100, &bytes).expect("load");
+            m.set_eip(0x100);
+            assert_eq!(m.step(), Ok(()), "the jump itself executes");
+            assert_eq!(m.eip(), 0xFFFF_FFFF);
+            assert_eq!(
+                m.step(),
+                Err(Fault::Decode { eip: 0xFFFF_FFFF }),
+                "fast={fast}: fetch at the sentinel address must fault"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_length_writes_do_not_sweep_the_predecode_cache() {
+        let mut m = Machine::new(MachineConfig {
+            fast_path: true,
+            ..MachineConfig::default()
+        });
+        let p = assemble("movi r0, 1\nmovi r1, 2\nhlt\n", 0x100).expect("assemble");
+        m.load_image(0x100, &p.bytes).expect("load");
+        m.set_eip(0x100);
+        m.run(1_000);
+        let populated = |m: &Machine| {
+            m.predecode
+                .iter()
+                .filter(|e| e.tag != PREDECODE_EMPTY)
+                .count()
+        };
+        let before = populated(&m);
+        assert!(before > 0, "run populated the predecode cache");
+        // Zero-length invalidations must be no-ops: the last-byte
+        // computation `len - 1` used to underflow and (in release builds)
+        // sweep the entire aligned address space.
+        m.invalidate_predecode(0, 0);
+        m.invalidate_predecode(u32::MAX, 0);
+        m.write_bytes(0x100, &[]).expect("empty write");
+        assert_eq!(populated(&m), before, "cache swept by zero-length write");
+    }
+
+    #[test]
+    fn stack_wrap_at_address_space_edge_is_a_typed_bus_fault() {
+        let mut m = Machine::new(MachineConfig::default());
+        // Push with SP == 0 decrements to 0xFFFF_FFFC, which is off-bus.
+        m.set_reg(Reg::SP, 0);
+        assert_eq!(m.push_word(0x1234), Err(Fault::Bus { addr: 0xFFFF_FFFC }));
+        assert_eq!(m.reg(Reg::SP), 0, "failed push must not move SP");
+        m.set_reg(Reg::SP, 0xFFFF_FFFC);
+        assert_eq!(m.pop_word(), Err(Fault::Bus { addr: 0xFFFF_FFFC }));
+        assert_eq!(m.reg(Reg::SP), 0xFFFF_FFFC, "failed pop must not move SP");
+        // The guest-visible path agrees, on both run loops.
+        for fast in [true, false] {
+            let mut m = Machine::new(MachineConfig {
+                fast_path: fast,
+                ..MachineConfig::default()
+            });
+            let p = assemble("movi sp, 0\npush r0\nhlt\n", 0x100).expect("assemble");
+            m.load_image(0x100, &p.bytes).expect("load");
+            m.set_eip(0x100);
+            assert_eq!(m.run(1_000), Event::Fault(Fault::Bus { addr: 0xFFFF_FFFC }));
+        }
+    }
+
+    #[test]
+    fn idt_slot_arithmetic_at_the_edge_is_a_typed_bus_fault() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_idt_base(0xFFFF_FFF0);
+        // Vector 3's slot sits exactly at 0xFFFF_FFFC: representable but
+        // off-bus (no RAM or device up there).
+        assert_eq!(
+            m.set_idt_entry(3, 0x500),
+            Err(Fault::Bus { addr: 0xFFFF_FFFC })
+        );
+        // Vector 4's slot address overflows u32 entirely.
+        assert_eq!(
+            m.set_idt_entry(4, 0x500),
+            Err(Fault::Bus { addr: 0xFFFF_FFF0 })
+        );
+        assert!(matches!(m.idt_entry(200), Err(Fault::Bus { .. })));
+        // A software INT dispatched through the same IDT degrades to the
+        // same typed fault on both run loops.
+        for fast in [true, false] {
+            let mut m = Machine::new(MachineConfig {
+                fast_path: fast,
+                ..MachineConfig::default()
+            });
+            let p = assemble("movi sp, 0x8000\nint 100\nhlt\n", 0x100).expect("assemble");
+            m.load_image(0x100, &p.bytes).expect("load");
+            m.set_idt_base(0xFFFF_FFF0);
+            m.set_eip(0x100);
+            assert!(matches!(m.run(1_000), Event::Fault(Fault::Bus { .. })));
+        }
+    }
+
+    #[test]
+    fn snapshot_and_ram_digest_capture_observable_state() {
+        let src = "movi r0, 5\nmovi sp, 0x8000\npush r0\nhlt\n";
+        let mut a = machine_with(src, 0x100);
+        let mut b = machine_with(src, 0x100);
+        a.run(1_000);
+        b.run(1_000);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.ram_digest(), b.ram_digest());
+        // A single flipped byte shows up in the digest but not the
+        // register snapshot; a raised IRQ shows up in the snapshot.
+        b.write_byte(0x9000, 1).expect("write");
+        assert_ne!(a.ram_digest(), b.ram_digest());
+        a.raise_irq(9);
+        assert_eq!(a.snapshot().pending_irqs, vec![9]);
+        assert_ne!(a.snapshot(), b.snapshot());
     }
 }

@@ -1,0 +1,168 @@
+//! Campaign driver CLI.
+//!
+//! ```text
+//! tytan-fuzz [--seed N] [--cases N] [--scenario NAME]
+//!            [--corpus DIR] [--minimize]
+//! ```
+//!
+//! Replays the corpus (if given), then runs `--cases` cases of every
+//! scenario (or just `--scenario`) from `--seed`. Any failure prints a
+//! reproducible `(scenario, seed, index)` triple; with `--minimize`,
+//! pure-differential failures are shrunk and emitted as ready-to-pin
+//! `.case` text. Exit status 1 on any failure — this is the CI
+//! `fuzz-smoke` entry point.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tytan_fuzz::campaign::{
+    check_for_scenario, minimize_setup, run_campaign, setup_for_case, CampaignConfig, SCENARIOS,
+};
+use tytan_fuzz::corpus::{replay_dir, CorpusCase, DiffMode};
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    scenario: Option<String>,
+    corpus: Option<PathBuf>,
+    minimize: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tytan-fuzz [--seed N] [--cases N] [--scenario NAME] [--corpus DIR] [--minimize]\n\
+         scenarios: {}",
+        SCENARIOS
+            .iter()
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0,
+        cases: 100,
+        scenario: None,
+        corpus: None,
+        minimize: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                args.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --seed {v:?}");
+                    usage()
+                });
+            }
+            "--cases" => {
+                let v = value("--cases");
+                args.cases = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --cases {v:?}");
+                    usage()
+                });
+            }
+            "--scenario" => {
+                let v = value("--scenario");
+                if !SCENARIOS.iter().any(|s| s.name == v) {
+                    eprintln!("unknown scenario {v:?}");
+                    usage();
+                }
+                args.scenario = Some(v);
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus"))),
+            "--minimize" => args.minimize = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failed = false;
+
+    if let Some(dir) = &args.corpus {
+        match replay_dir(dir) {
+            Ok(failures) if failures.is_empty() => {
+                println!("corpus {}: clean", dir.display());
+            }
+            Ok(failures) => {
+                failed = true;
+                println!("corpus {}: {} regression(s)", dir.display(), failures.len());
+                for (name, message) in failures {
+                    println!("  {name}: {message}");
+                }
+            }
+            Err(e) => {
+                eprintln!("corpus replay failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if args.cases > 0 {
+        let config = CampaignConfig {
+            seed: args.seed,
+            cases: args.cases,
+            only: args.scenario.clone(),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&config);
+        for (name, ran) in &report.ran {
+            println!("{name}: {ran} case(s)");
+        }
+        println!(
+            "campaign seed {} total {} case(s), {} failure(s)",
+            args.seed,
+            report.total_cases(),
+            report.failures.len()
+        );
+        for failure in &report.failures {
+            failed = true;
+            println!("FAIL {failure}");
+            if args.minimize {
+                if let (Some(setup), Some(check)) = (
+                    setup_for_case(failure.scenario, failure.seed, failure.index),
+                    check_for_scenario(failure.scenario),
+                ) {
+                    let minimized = minimize_setup(setup, check);
+                    let mode = if failure.scenario == "run-diff" {
+                        DiffMode::Run
+                    } else {
+                        DiffMode::Step
+                    };
+                    println!("--- minimized .case (pin under tests/corpus/) ---");
+                    print!(
+                        "{}",
+                        CorpusCase::Setup {
+                            mode,
+                            setup: minimized
+                        }
+                        .to_text()
+                    );
+                    println!("--- end ---");
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,371 @@
+//! The campaign engine: scenarios × seed-derived cases, panic-safe.
+//!
+//! A campaign is `(seed, case count)`; each case of each scenario gets
+//! its own decorrelated RNG stream via [`FuzzRng::for_case`], so any
+//! failure is reproducible from the triple `(scenario, seed, index)`
+//! printed with it. Every case runs under `catch_unwind`: a panic
+//! anywhere in the stack under test is converted into a reported
+//! failure rather than tearing the campaign down — panics are exactly
+//! the bug class this plane exists to flush out.
+
+use crate::diff::{run_diff, step_diff};
+use crate::faults;
+use crate::gen::{gen_setup, CaseSetup};
+use crate::lintcheck;
+use crate::rng::FuzzRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Steps cap for step-lockstep scenarios.
+pub const STEP_CAP: u64 = 2_000;
+
+/// One scenario: a named oracle fed by a case RNG.
+pub struct Scenario {
+    /// Stable name (used in corpus files and failure reports).
+    pub name: &'static str,
+    /// The oracle; `Err` is a finding.
+    pub run: fn(&mut FuzzRng) -> Result<(), String>,
+}
+
+/// Every scenario in the plane, in campaign order.
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "run-diff",
+        run: |rng| run_diff(&gen_setup(rng)),
+    },
+    Scenario {
+        name: "step-diff",
+        run: |rng| step_diff(&gen_setup(rng), STEP_CAP),
+    },
+    Scenario {
+        name: "bitflip",
+        run: faults::bitflip_diff,
+    },
+    Scenario {
+        name: "irq-storm",
+        run: faults::irq_storm_diff,
+    },
+    Scenario {
+        name: "timer-chaos",
+        run: faults::timer_chaos_diff,
+    },
+    Scenario {
+        name: "image-mutation",
+        run: faults::image_mutation,
+    },
+    Scenario {
+        name: "attest-parse",
+        run: faults::attest_parse,
+    },
+    Scenario {
+        name: "lint-exec",
+        run: lintcheck::lint_cross_check,
+    },
+];
+
+/// Looks a scenario up by its stable name.
+pub fn scenario(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// A reproducible failing case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseFailure {
+    /// Which oracle failed.
+    pub scenario: &'static str,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Case index within the campaign.
+    pub index: u64,
+    /// The oracle's message, or `panic: …` if the stack panicked.
+    pub message: String,
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} seed={} index={}] {}",
+            self.scenario, self.seed, self.index, self.message
+        )
+    }
+}
+
+/// FNV-1a over the scenario name: decorrelates scenario streams that
+/// share a campaign seed.
+fn scenario_salt(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one `(scenario, seed, index)` case, converting panics into
+/// `Err` so the campaign survives them.
+pub fn run_case(s: &Scenario, seed: u64, index: u64) -> Result<(), String> {
+    let mut rng = FuzzRng::for_case(seed ^ scenario_salt(s.name), index);
+    match catch_unwind(AssertUnwindSafe(|| (s.run)(&mut rng))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Root seed; every case derives from it.
+    pub seed: u64,
+    /// Cases per scenario.
+    pub cases: u64,
+    /// Restrict to one scenario by name (`None` runs all).
+    pub only: Option<String>,
+    /// Stop a scenario after this many failures (keeps a broken oracle
+    /// from flooding the report).
+    pub max_failures_per_scenario: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0,
+            cases: 100,
+            only: None,
+            max_failures_per_scenario: 5,
+        }
+    }
+}
+
+/// Campaign outcome: per-scenario case counts and every failure.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// `(scenario, cases run)` in execution order.
+    pub ran: Vec<(&'static str, u64)>,
+    /// All failures, in discovery order.
+    pub failures: Vec<CaseFailure>,
+}
+
+impl CampaignReport {
+    /// Total cases executed.
+    pub fn total_cases(&self) -> u64 {
+        self.ran.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// True when every case passed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the campaign described by `config`.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for s in SCENARIOS {
+        if let Some(only) = &config.only {
+            if s.name != only.as_str() {
+                continue;
+            }
+        }
+        let mut failures_here = 0usize;
+        let mut ran = 0u64;
+        for index in 0..config.cases {
+            if failures_here >= config.max_failures_per_scenario {
+                break;
+            }
+            ran += 1;
+            if let Err(message) = run_case(s, config.seed, index) {
+                failures_here += 1;
+                report.failures.push(CaseFailure {
+                    scenario: s.name,
+                    seed: config.seed,
+                    index,
+                    message,
+                });
+            }
+        }
+        report.ran.push((s.name, ran));
+    }
+    report
+}
+
+/// Reconstructs the exact [`CaseSetup`] a pure-differential scenario
+/// case was generated from, for minimization. Only `run-diff` and
+/// `step-diff` cases are plain data; fault-injection schedules live in
+/// the RNG stream and cannot be captured this way.
+pub fn setup_for_case(scenario_name: &str, seed: u64, index: u64) -> Option<CaseSetup> {
+    if scenario_name != "run-diff" && scenario_name != "step-diff" {
+        return None;
+    }
+    let mut rng = FuzzRng::for_case(seed ^ scenario_salt(scenario_name), index);
+    Some(gen_setup(&mut rng))
+}
+
+/// A differential oracle over an explicit setup (the minimizer's
+/// failure predicate).
+pub type DiffCheck = fn(&CaseSetup) -> Result<(), String>;
+
+/// The differential check a scenario's minimized setup must keep
+/// failing.
+pub fn check_for_scenario(scenario_name: &str) -> Option<DiffCheck> {
+    match scenario_name {
+        "run-diff" => Some(run_diff as DiffCheck),
+        "step-diff" => Some(|s: &CaseSetup| step_diff(s, STEP_CAP)),
+        _ => None,
+    }
+}
+
+/// Whether `setup` still fails `check` (panics count as failing).
+fn still_fails(setup: &CaseSetup, check: DiffCheck) -> bool {
+    catch_unwind(AssertUnwindSafe(|| check(setup).is_err())).unwrap_or(true)
+}
+
+/// Shrinks a failing differential [`CaseSetup`] while it keeps failing
+/// `check`: strips platform state field by field, NOPs out
+/// instructions (layout-preserving), truncates the tail, and halves the
+/// budget — to a fixpoint. The result is what gets pinned in the
+/// corpus.
+pub fn minimize_setup(mut setup: CaseSetup, check: DiffCheck) -> CaseSetup {
+    debug_assert!(still_fails(&setup, check), "minimizing a passing case");
+    let nop_word = {
+        let mut w = Vec::new();
+        sp32::encode(&sp32::Instr::Nop, &mut w);
+        w[0]
+    };
+    loop {
+        let mut progressed = false;
+
+        // Field-level strips, cheapest first.
+        let mut try_field = |mutate: &dyn Fn(&mut CaseSetup)| {
+            let mut candidate = setup.clone();
+            mutate(&mut candidate);
+            if candidate != setup && still_fails(&candidate, check) {
+                setup = candidate;
+                true
+            } else {
+                false
+            }
+        };
+        progressed |= try_field(&|s| s.idt_entries.clear());
+        progressed |= try_field(&|s| s.mpu_rules.clear());
+        progressed |= try_field(&|s| s.prior_irqs.clear());
+        progressed |= try_field(&|s| s.timer = None);
+        progressed |= try_field(&|s| s.mpu_enabled = false);
+        progressed |= try_field(&|s| s.hw_context_save = false);
+        progressed |= try_field(&|s| s.eflags = 0);
+        progressed |= try_field(&|s| {
+            let sp = s.regs[7];
+            s.regs = [0; 8];
+            s.regs[7] = sp;
+        });
+        progressed |= try_field(&|s| s.budget /= 2);
+        progressed |= try_field(&|s| s.chunk = 64);
+
+        // Truncate trailing words.
+        while setup.words.len() > 1 {
+            let mut candidate = setup.clone();
+            candidate.words.pop();
+            if still_fails(&candidate, check) {
+                setup = candidate;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+
+        // NOP out individual words (layout-preserving, so branch
+        // targets and the fault site stay put).
+        for i in 0..setup.words.len() {
+            if setup.words[i] == nop_word {
+                continue;
+            }
+            let mut candidate = setup.clone();
+            candidate.words[i] = nop_word;
+            if still_fails(&candidate, check) {
+                setup = candidate;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            return setup;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_mini_campaign_is_clean_and_deterministic() {
+        let config = CampaignConfig {
+            seed: 0x7717a9,
+            cases: 12,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&config);
+        assert!(
+            a.is_clean(),
+            "mini campaign found failures:\n{}",
+            a.failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(a.ran.len(), SCENARIOS.len());
+        assert_eq!(a.total_cases(), 12 * SCENARIOS.len() as u64);
+        let b = run_campaign(&config);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.ran, b.ran);
+    }
+
+    #[test]
+    fn panicking_oracle_is_reported_not_propagated() {
+        let s = Scenario {
+            name: "boom",
+            run: |_| panic!("synthetic"),
+        };
+        let err = run_case(&s, 1, 2).unwrap_err();
+        assert!(err.contains("panic: synthetic"), "{err}");
+    }
+
+    #[test]
+    fn minimizer_reaches_a_tiny_failing_core() {
+        // A synthetic check that "fails" whenever the program still
+        // contains its HLT word — minimization must strip everything
+        // else and keep failing.
+        fn check(setup: &CaseSetup) -> Result<(), String> {
+            let hlt = {
+                let mut w = Vec::new();
+                sp32::encode(&sp32::Instr::Hlt, &mut w);
+                w[0]
+            };
+            if setup.words.contains(&hlt) {
+                Err("still has the hlt".to_string())
+            } else {
+                Ok(())
+            }
+        }
+        let mut rng = FuzzRng::new(9);
+        let mut setup = gen_setup(&mut rng);
+        let hlt = {
+            let mut w = Vec::new();
+            sp32::encode(&sp32::Instr::Hlt, &mut w);
+            w[0]
+        };
+        setup.words.insert(0, hlt); // guarantee the predicate holds
+        let min = minimize_setup(setup, check);
+        assert!(check(&min).is_err(), "minimized case must still fail");
+        assert!(min.idt_entries.is_empty());
+        assert!(min.mpu_rules.is_empty());
+        assert!(min.timer.is_none());
+        assert_eq!(min.words, vec![hlt], "everything else stripped");
+    }
+}

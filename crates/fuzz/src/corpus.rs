@@ -1,0 +1,382 @@
+//! The minimized-regression corpus: a human-auditable text format.
+//!
+//! Every bug the campaign finds is pinned under `tests/corpus/` so it
+//! reruns forever in plain `cargo test` and the CI `fuzz-smoke` job.
+//! Two case kinds:
+//!
+//! - `kind = seeded` — replays scenario case `(seed, index)` through
+//!   the exact generator that found it. Survives generator changes
+//!   *poorly* (the stream shifts), so it is used for scenarios whose
+//!   inputs cannot be captured as plain data (fault-injection
+//!   schedules).
+//! - `kind = setup` — a fully explicit, minimized [`CaseSetup`]
+//!   replayed through [`run_diff`]/[`step_diff`]. Immune to generator
+//!   drift; this is the preferred pin for differential findings.
+//!
+//! The format is `key = value` lines, `#` comments, one case per file.
+//! All numbers are lowercase hex without a `0x` prefix.
+
+use crate::campaign::{run_case, scenario, STEP_CAP};
+use crate::diff::{run_diff, step_diff};
+use crate::gen::CaseSetup;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Which differential driver replays an explicit setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffMode {
+    /// Chunked run-loop lockstep.
+    Run,
+    /// Per-instruction lockstep.
+    Step,
+}
+
+/// One pinned corpus case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusCase {
+    /// Replay scenario case `(seed, index)`.
+    Seeded {
+        /// Scenario name from [`crate::campaign::SCENARIOS`].
+        scenario: String,
+        /// Campaign seed.
+        seed: u64,
+        /// Case index.
+        index: u64,
+    },
+    /// Replay an explicit machine setup differentially.
+    Setup {
+        /// Run-loop or step lockstep.
+        mode: DiffMode,
+        /// The full case.
+        setup: CaseSetup,
+    },
+}
+
+fn push_list<T, F: Fn(&T) -> String>(out: &mut String, key: &str, items: &[T], f: F) {
+    if items.is_empty() {
+        return;
+    }
+    let joined: Vec<String> = items.iter().map(f).collect();
+    let _ = writeln!(out, "{key} = {}", joined.join(","));
+}
+
+impl CorpusCase {
+    /// Serializes the case to corpus text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        match self {
+            CorpusCase::Seeded {
+                scenario,
+                seed,
+                index,
+            } => {
+                out.push_str("kind = seeded\n");
+                let _ = writeln!(out, "scenario = {scenario}");
+                let _ = writeln!(out, "seed = {seed:x}");
+                let _ = writeln!(out, "index = {index:x}");
+            }
+            CorpusCase::Setup { mode, setup } => {
+                out.push_str("kind = setup\n");
+                let _ = writeln!(
+                    out,
+                    "mode = {}",
+                    match mode {
+                        DiffMode::Run => "run",
+                        DiffMode::Step => "step",
+                    }
+                );
+                let _ = writeln!(out, "origin = {:x}", setup.origin);
+                push_list(&mut out, "words", &setup.words, |w| format!("{w:08x}"));
+                push_list(&mut out, "regs", &setup.regs, |r| format!("{r:x}"));
+                let _ = writeln!(out, "eflags = {:x}", setup.eflags);
+                let _ = writeln!(out, "idt_base = {:x}", setup.idt_base);
+                push_list(&mut out, "idt_entries", &setup.idt_entries, |(v, h)| {
+                    format!("{v:x}:{h:x}")
+                });
+                push_list(
+                    &mut out,
+                    "mpu_rules",
+                    &setup.mpu_rules,
+                    |(cs, cl, e, ds, dl, ro)| {
+                        format!("{cs:x}:{cl:x}:{e:x}:{ds:x}:{dl:x}:{}", u8::from(*ro))
+                    },
+                );
+                let _ = writeln!(out, "mpu_enabled = {}", u8::from(setup.mpu_enabled));
+                if let Some((interval, vector)) = setup.timer {
+                    let _ = writeln!(out, "timer = {interval:x}:{vector:x}");
+                }
+                push_list(&mut out, "prior_irqs", &setup.prior_irqs, |v| {
+                    format!("{v:x}")
+                });
+                let _ = writeln!(out, "hw_context_save = {}", u8::from(setup.hw_context_save));
+                let _ = writeln!(out, "budget = {:x}", setup.budget);
+                let _ = writeln!(out, "chunk = {:x}", setup.chunk);
+            }
+        }
+        out
+    }
+
+    /// Parses corpus text written by [`CorpusCase::to_text`] (or by
+    /// hand).
+    pub fn parse(text: &str) -> Result<CorpusCase, String> {
+        fn hex_u64(s: &str) -> Result<u64, String> {
+            u64::from_str_radix(s.trim(), 16).map_err(|e| format!("bad hex {s:?}: {e}"))
+        }
+        fn hex_u32(s: &str) -> Result<u32, String> {
+            let v = hex_u64(s)?;
+            u32::try_from(v).map_err(|_| format!("{s:?} exceeds u32"))
+        }
+        fn hex_u8(s: &str) -> Result<u8, String> {
+            let v = hex_u64(s)?;
+            u8::try_from(v).map_err(|_| format!("{s:?} exceeds u8"))
+        }
+        fn split_list(s: &str) -> Vec<&str> {
+            s.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .collect()
+        }
+        fn bool_flag(s: &str) -> Result<bool, String> {
+            match s.trim() {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(format!("bad flag {other:?} (want 0 or 1)")),
+            }
+        }
+
+        let mut fields = std::collections::BTreeMap::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key = value", n + 1))?;
+            fields.insert(key.trim().to_string(), value.trim().to_string());
+        }
+        let get = |key: &str| -> Result<&String, String> {
+            fields
+                .get(key)
+                .ok_or_else(|| format!("missing key {key:?}"))
+        };
+
+        match get("kind")?.as_str() {
+            "seeded" => {
+                let name = get("scenario")?.clone();
+                if scenario(&name).is_none() {
+                    return Err(format!("unknown scenario {name:?}"));
+                }
+                Ok(CorpusCase::Seeded {
+                    scenario: name,
+                    seed: hex_u64(get("seed")?)?,
+                    index: hex_u64(get("index")?)?,
+                })
+            }
+            "setup" => {
+                let mode = match get("mode")?.as_str() {
+                    "run" => DiffMode::Run,
+                    "step" => DiffMode::Step,
+                    other => return Err(format!("bad mode {other:?}")),
+                };
+                let words = split_list(get("words")?)
+                    .into_iter()
+                    .map(hex_u32)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if words.is_empty() {
+                    return Err("empty words list".to_string());
+                }
+                let regs_vec = split_list(get("regs")?)
+                    .into_iter()
+                    .map(hex_u32)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let regs: [u32; 8] = regs_vec
+                    .try_into()
+                    .map_err(|v: Vec<u32>| format!("regs needs 8 entries, got {}", v.len()))?;
+                let idt_entries = match fields.get("idt_entries") {
+                    None => Vec::new(),
+                    Some(s) => split_list(s)
+                        .into_iter()
+                        .map(|pair| {
+                            let (v, h) = pair
+                                .split_once(':')
+                                .ok_or_else(|| format!("bad idt entry {pair:?}"))?;
+                            Ok::<_, String>((hex_u8(v)?, hex_u32(h)?))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                let mpu_rules = match fields.get("mpu_rules") {
+                    None => Vec::new(),
+                    Some(s) => split_list(s)
+                        .into_iter()
+                        .map(|rule| {
+                            let parts: Vec<&str> = rule.split(':').collect();
+                            if parts.len() != 6 {
+                                return Err(format!("bad mpu rule {rule:?}"));
+                            }
+                            Ok((
+                                hex_u32(parts[0])?,
+                                hex_u32(parts[1])?,
+                                hex_u32(parts[2])?,
+                                hex_u32(parts[3])?,
+                                hex_u32(parts[4])?,
+                                bool_flag(parts[5])?,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                let timer = match fields.get("timer") {
+                    None => None,
+                    Some(s) => {
+                        let (i, v) = s
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad timer {s:?}"))?;
+                        Some((hex_u64(i)?, hex_u8(v)?))
+                    }
+                };
+                let prior_irqs = match fields.get("prior_irqs") {
+                    None => Vec::new(),
+                    Some(s) => split_list(s)
+                        .into_iter()
+                        .map(hex_u8)
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                Ok(CorpusCase::Setup {
+                    mode,
+                    setup: CaseSetup {
+                        origin: hex_u32(get("origin")?)?,
+                        words,
+                        regs,
+                        eflags: hex_u32(get("eflags")?)?,
+                        idt_base: hex_u32(get("idt_base")?)?,
+                        idt_entries,
+                        mpu_rules,
+                        mpu_enabled: bool_flag(get("mpu_enabled")?)?,
+                        timer,
+                        prior_irqs,
+                        hw_context_save: bool_flag(get("hw_context_save")?)?,
+                        budget: hex_u64(get("budget")?)?,
+                        chunk: hex_u64(get("chunk")?)?.max(1),
+                    },
+                })
+            }
+            other => Err(format!("bad kind {other:?}")),
+        }
+    }
+
+    /// Replays the case; `Err` means the pinned bug has resurfaced (or
+    /// the replay itself panicked).
+    pub fn replay(&self) -> Result<(), String> {
+        match self {
+            CorpusCase::Seeded {
+                scenario: name,
+                seed,
+                index,
+            } => {
+                let s = scenario(name).ok_or_else(|| format!("unknown scenario {name:?}"))?;
+                run_case(s, *seed, *index)
+            }
+            CorpusCase::Setup { mode, setup } => {
+                let result = catch_unwind(AssertUnwindSafe(|| match mode {
+                    DiffMode::Run => run_diff(setup),
+                    DiffMode::Step => step_diff(setup, STEP_CAP),
+                }));
+                match result {
+                    Ok(r) => r,
+                    Err(_) => Err("replay panicked".to_string()),
+                }
+            }
+        }
+    }
+}
+
+/// Loads every `*.case` file under `dir`, sorted by file name for a
+/// stable replay order.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusCase)>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let case =
+            CorpusCase::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        cases.push((path, case));
+    }
+    Ok(cases)
+}
+
+/// Replays every case in `dir`; returns the failures as
+/// `(file name, message)` pairs.
+pub fn replay_dir(dir: &Path) -> Result<Vec<(String, String)>, String> {
+    let cases = load_dir(dir)?;
+    let mut failures = Vec::new();
+    for (path, case) in cases {
+        if let Err(message) = case.replay() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            failures.push((name, message));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_setup;
+    use crate::rng::FuzzRng;
+
+    #[test]
+    fn setup_cases_round_trip_through_text() {
+        for seed in 0..20 {
+            let setup = gen_setup(&mut FuzzRng::new(seed));
+            let case = CorpusCase::Setup {
+                mode: if seed % 2 == 0 {
+                    DiffMode::Run
+                } else {
+                    DiffMode::Step
+                },
+                setup,
+            };
+            let parsed = CorpusCase::parse(&case.to_text()).expect("round trip parses");
+            assert_eq!(parsed, case);
+        }
+    }
+
+    #[test]
+    fn seeded_cases_round_trip_and_replay() {
+        let case = CorpusCase::Seeded {
+            scenario: "run-diff".to_string(),
+            seed: 0xabc,
+            index: 3,
+        };
+        let parsed = CorpusCase::parse(&case.to_text()).expect("parses");
+        assert_eq!(parsed, case);
+        parsed.replay().expect("healthy tree replays clean");
+    }
+
+    #[test]
+    fn malformed_corpus_text_is_rejected_with_context() {
+        for (text, needle) in [
+            ("", "missing key \"kind\""),
+            ("kind = nonsense\n", "bad kind"),
+            (
+                "kind = seeded\nscenario = no-such\nseed = 0\nindex = 0\n",
+                "unknown scenario",
+            ),
+            ("kind = setup\nmode = sideways\n", "bad mode"),
+            ("garbage line\n", "expected key = value"),
+        ] {
+            let err = CorpusCase::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+}

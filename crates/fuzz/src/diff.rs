@@ -1,0 +1,248 @@
+//! The differential oracle: fast path vs legacy interpreter in
+//! lockstep.
+//!
+//! Both machines are built bit-identically from a [`CaseSetup`] —
+//! same program, registers, IDT, EA-MPU rules, devices, pending IRQs —
+//! and differ in exactly one bit: [`MachineConfig::fast_path`]. The
+//! fast path's contract is total invisibility (predecode cache, EA-MPU
+//! decision cache, event-driven run loop — all guest-transparent), so
+//! *any* observable difference is a bug:
+//!
+//! - run-loop events ([`Event`]) must match at every chunk boundary,
+//! - [`Machine::snapshot`] (registers, EIP, flags, clock, stats,
+//!   pending IRQs) must match at every boundary,
+//! - the EA-MPU decision logs (query + decision, including rule slots)
+//!   must be byte-identical,
+//! - the final RAM digests must match.
+//!
+//! Two drive modes: [`run_diff`] exercises the real run loops
+//! (IRQ delivery, device polling, batching — where loop-boundary bugs
+//! live) in odd-sized chunks; [`step_diff`] single-steps both machines
+//! and compares after every instruction, which localises a divergence
+//! to the exact instruction that caused it.
+
+use crate::gen::{setup_rules, words_to_bytes, CaseSetup};
+use sp_emu::devices::Timer;
+use sp_emu::{Event, Machine, MachineConfig};
+
+/// RAM size for fuzz machines: big enough for any generated address
+/// drawn from `[0, 2^17)`, small enough that per-case construction and
+/// RAM digests stay cheap across a 10,000-case campaign.
+pub const FUZZ_RAM: u32 = 1 << 17;
+
+/// MMIO base the optional case timer is mapped at.
+pub const TIMER_BASE: u32 = 0xf000_0000;
+
+/// Builds one of the two machines of a differential pair.
+pub fn build_machine(setup: &CaseSetup, fast: bool) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        ram_size: FUZZ_RAM,
+        fast_path: fast,
+        hw_context_save: setup.hw_context_save,
+        ..MachineConfig::default()
+    });
+    let bytes = words_to_bytes(&setup.words);
+    m.load_image(setup.origin, &bytes)
+        .expect("generated program fits in fuzz RAM");
+    m.set_regs(setup.regs);
+    m.set_eflags(setup.eflags);
+    if setup.idt_base != 0 {
+        m.set_idt_base(setup.idt_base);
+    }
+    for &(vector, handler) in &setup.idt_entries {
+        // A hostile IDT (off-bus slots) is part of the input space.
+        let _ = m.set_idt_entry(vector, handler);
+    }
+    for rule in setup_rules(setup) {
+        // Conflicting rules are rejected identically on both machines.
+        let _ = m.mpu_mut().configure(rule);
+    }
+    m.set_mpu_enabled(setup.mpu_enabled);
+    if let Some((interval, vector)) = setup.timer {
+        let h = m.add_device(Box::new(Timer::new(TIMER_BASE, vector)));
+        m.device_mut::<Timer>(h)
+            .expect("timer just added")
+            .configure(interval, true);
+    }
+    for &v in &setup.prior_irqs {
+        m.raise_irq(v);
+    }
+    m.set_eip(setup.origin);
+    m.mpu_mut().set_decision_log_enabled(true);
+    m
+}
+
+/// Compares the observable state of the pair; `at` names the boundary
+/// for the failure message.
+pub fn compare_state(at: &str, fast: &Machine, legacy: &Machine) -> Result<(), String> {
+    let sf = fast.snapshot();
+    let sl = legacy.snapshot();
+    if sf != sl {
+        return Err(format!(
+            "state divergence at {at}:\n  fast:   {sf:?}\n  legacy: {sl:?}"
+        ));
+    }
+    let df = fast.mpu().take_decision_log();
+    let dl = legacy.mpu().take_decision_log();
+    if df != dl {
+        let i = df.iter().zip(&dl).take_while(|(a, b)| a == b).count();
+        return Err(format!(
+            "EA-MPU decision divergence at {at}: {} vs {} records, first mismatch at {i}: \
+             fast {:?} vs legacy {:?}",
+            df.len(),
+            dl.len(),
+            df.get(i),
+            dl.get(i),
+        ));
+    }
+    Ok(())
+}
+
+fn compare_ram(fast: &Machine, legacy: &Machine) -> Result<(), String> {
+    if fast.ram_digest() != legacy.ram_digest() {
+        return Err("RAM digest divergence at end of case".to_string());
+    }
+    Ok(())
+}
+
+/// Drives the pair through their *run loops* in identical chunks,
+/// comparing events, state, and EA-MPU decisions at every boundary and
+/// RAM at the end.
+pub fn run_diff(setup: &CaseSetup) -> Result<(), String> {
+    let mut fast = build_machine(setup, true);
+    let mut legacy = build_machine(setup, false);
+    let start = fast.cycles();
+    let mut boundary = 0u64;
+    loop {
+        let spent = fast.cycles() - start;
+        if spent >= setup.budget {
+            break;
+        }
+        let chunk = setup.chunk.min(setup.budget - spent);
+        let ef = fast.run(chunk);
+        let el = legacy.run(chunk);
+        if ef != el {
+            return Err(format!(
+                "event divergence at chunk {boundary}: fast {ef:?} vs legacy {el:?}"
+            ));
+        }
+        compare_state(&format!("chunk {boundary}"), &fast, &legacy)?;
+        boundary += 1;
+        if let Event::Fault(_) | Event::FirmwareTrap { .. } = ef {
+            // Faults charge nothing (the clock cannot advance past them)
+            // and no firmware is registered to service traps.
+            break;
+        }
+    }
+    compare_ram(&fast, &legacy)
+}
+
+/// Single-steps the pair, comparing after every instruction. Stops at
+/// the first fault or halt (no run loop means no IRQ delivery to wake
+/// a halted core).
+pub fn step_diff(setup: &CaseSetup, max_steps: u64) -> Result<(), String> {
+    let mut fast = build_machine(setup, true);
+    let mut legacy = build_machine(setup, false);
+    for step in 0..max_steps {
+        let rf = fast.step();
+        let rl = legacy.step();
+        if rf != rl {
+            return Err(format!(
+                "step result divergence at instruction {step}: fast {rf:?} vs legacy {rl:?}"
+            ));
+        }
+        compare_state(&format!("instruction {step}"), &fast, &legacy)?;
+        if rf.is_err() || fast.is_halted() {
+            break;
+        }
+    }
+    compare_ram(&fast, &legacy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_setup;
+    use crate::rng::FuzzRng;
+
+    #[test]
+    fn random_setups_run_identically_on_both_loops() {
+        for seed in 0..200 {
+            let setup = gen_setup(&mut FuzzRng::new(seed));
+            run_diff(&setup).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_setups_step_identically_on_both_loops() {
+        for seed in 1_000..1_200 {
+            let setup = gen_setup(&mut FuzzRng::new(seed));
+            step_diff(&setup, 2_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn self_modifying_code_stays_coherent_across_the_pair() {
+        // A program that overwrites its own next instruction: the
+        // predecode cache on the fast side must see the write. `movi r0,
+        // <addr of target>; movi r1, <hlt word>; stw [r0], r1; target:
+        // jmp target` becomes `... hlt`.
+        let origin = 0x1000u32;
+        let mut words = Vec::new();
+        sp32::encode(
+            &sp32::Instr::MovImm {
+                rd: sp32::Reg::R0,
+                imm: origin + 6 * 4,
+            },
+            &mut words,
+        );
+        sp32::encode(
+            &sp32::Instr::MovImm {
+                rd: sp32::Reg::R1,
+                imm: {
+                    let mut w = Vec::new();
+                    sp32::encode(&sp32::Instr::Hlt, &mut w);
+                    w[0]
+                },
+            },
+            &mut words,
+        );
+        sp32::encode(
+            &sp32::Instr::Stw {
+                rd: sp32::Reg::R0,
+                rs: sp32::Reg::R1,
+                disp: 0,
+            },
+            &mut words,
+        );
+        sp32::encode(&sp32::Instr::Nop, &mut words);
+        sp32::encode(
+            &sp32::Instr::Jmp {
+                target: origin + 6 * 4,
+            },
+            &mut words,
+        );
+        assert_eq!(words.len(), 8, "layout: the jmp sits at word 6");
+        let setup = CaseSetup {
+            origin,
+            words,
+            regs: [0; 8],
+            eflags: 0,
+            idt_base: 0,
+            idt_entries: vec![],
+            mpu_rules: vec![],
+            mpu_enabled: false,
+            timer: None,
+            prior_irqs: vec![],
+            hw_context_save: false,
+            budget: 1_000,
+            chunk: 97,
+        };
+        run_diff(&setup).expect("self-modifying case");
+        step_diff(&setup, 100).expect("self-modifying case, stepped");
+        // And the rewritten instruction must actually have executed.
+        let mut m = build_machine(&setup, true);
+        m.run(1_000);
+        assert!(m.is_halted(), "stored HLT executed");
+    }
+}

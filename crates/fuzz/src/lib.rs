@@ -1,0 +1,42 @@
+//! Deterministic differential fuzzing and fault-injection plane.
+//!
+//! TyTAN's trust argument leans on components agreeing with each other:
+//! the fast-path interpreter must be cycle- and state-identical to the
+//! legacy one, the static linter's verdict must match what execution
+//! actually does, and the loader/attestation paths must degrade to
+//! typed errors — never panics — under arbitrary corruption. Each of
+//! those cross-component contracts is an *oracle* this crate drives
+//! with seed-derived random inputs:
+//!
+//! - [`diff`] — the differential oracle: every generated program +
+//!   platform state runs on a fast-path and a legacy machine in
+//!   lockstep; any divergence in events, registers, cycles, EA-MPU
+//!   decisions, or RAM is a failure.
+//! - [`faults`] — platform fault injection: RAM bit flips between
+//!   chunks, IRQ storms, timer reprogramming chaos, mutated/truncated
+//!   task images through the loader, garbage attestation reports.
+//! - [`lintcheck`] — lint-vs-execution cross-check: a `Reject` verdict
+//!   must stop a verified load at zero guest cycles; a `CleanProven`
+//!   verdict means sandboxed execution never raises an EA-MPU fault.
+//! - [`campaign`] — the engine: runs `(seed, index)`-keyed cases
+//!   through every scenario under `catch_unwind`, so a panic anywhere
+//!   in the stack is itself a reportable finding, and minimizes
+//!   failures for the corpus.
+//! - [`corpus`] — a text format for pinned regression cases, replayed
+//!   by `cargo test` and the CI `fuzz-smoke` job.
+//!
+//! Everything is a pure function of a `u64` seed ([`rng`]): a failure
+//! report is reproducible from the scenario name and `(seed, index)`
+//! alone, on any machine, with no corpus file required.
+
+pub mod campaign;
+pub mod corpus;
+pub mod diff;
+pub mod faults;
+pub mod gen;
+pub mod lintcheck;
+pub mod rng;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CaseFailure};
+pub use corpus::CorpusCase;
+pub use rng::FuzzRng;

@@ -1,0 +1,247 @@
+//! Lint-vs-execution cross-check.
+//!
+//! `tytan-lint`'s verdict is a promise about execution, and this module
+//! holds it to that promise with generated programs:
+//!
+//! - [`Verdict::Reject`] — a verified load must stop with
+//!   [`LoadError::LintRejected`] *before* the Alloc phase: zero guest
+//!   cycles charged, no base address assigned.
+//! - [`Verdict::CleanProven`] — every access site was proven in
+//!   bounds, so sandboxed execution under an enforcing EA-MPU must
+//!   never raise an access or transfer fault, on either interpreter.
+//! - [`Verdict::CleanUnproven`] — no promise; denials may happen.
+//!
+//! The generator emits multi-block programs from a *lint-legible*
+//! subset (register arithmetic, direct jumps between labels, `hlt`) and
+//! sometimes splices in a known-dirty idiom: a proven out-of-bounds
+//! store (must reject) or a register-indirect jump (must demote the
+//! verdict to unproven).
+
+use crate::rng::FuzzRng;
+use eampu::{Perms, Region, Rule};
+use sp32::asm::assemble;
+use sp_emu::{Event, Fault, Machine, MachineConfig};
+use tytan::loader::LoadJob;
+use tytan::LoadError;
+use tytan_crypto::Sha1;
+use tytan_image::{apply_relocations, TaskImage};
+use tytan_lint::{lint_image, LintPolicy, Verdict};
+
+/// What the generator deliberately spliced into a source, so the
+/// cross-check can also assert the lint verdict is not *too lax*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Taint {
+    /// Only lint-legible instructions: verdict must not be `Reject`.
+    Clean,
+    /// Contains a proven out-of-bounds store: verdict must be `Reject`.
+    ProvenViolation,
+    /// Contains a register-indirect jump: verdict must not be
+    /// `CleanProven`.
+    Unprovable,
+}
+
+const SAFE_OPS: [&str; 8] = [
+    "mov r{a}, r{b}",
+    "add r{a}, r{b}",
+    "sub r{a}, r{b}",
+    "xor r{a}, r{b}",
+    "and r{a}, r{b}",
+    "not r{a}",
+    "cmp r{a}, r{b}",
+    "nop",
+];
+
+fn safe_op(rng: &mut FuzzRng) -> String {
+    let template = *rng.choose(&SAFE_OPS);
+    // r6 stays out of the draw: the dirty idioms clobber it, and keeping
+    // it disjoint keeps the clean subset provably clean.
+    let a = rng.below(6).to_string();
+    let b = rng.below(6).to_string();
+    template.replace("{a}", &a).replace("{b}", &b)
+}
+
+/// A random multi-block program in the lint-legible subset, with an
+/// optional spliced-in taint.
+fn gen_source(rng: &mut FuzzRng) -> (String, Taint) {
+    let taint = match rng.below(4) {
+        0 => Taint::ProvenViolation,
+        1 => Taint::Unprovable,
+        _ => Taint::Clean,
+    };
+    let blocks = rng.range(1, 5);
+    let taint_block = rng.below(blocks);
+    let mut source = String::new();
+    for block in 0..blocks {
+        source.push_str(&format!("b{block}:\n"));
+        for _ in 0..rng.range(1, 6) {
+            source.push_str(&format!(" {}\n", safe_op(rng)));
+        }
+        if block == taint_block {
+            match taint {
+                Taint::Clean => {}
+                Taint::ProvenViolation => {
+                    // A store whose address is a known constant far
+                    // outside the task: lint must prove the violation.
+                    source.push_str(" movi r6, 0xf0000000\n stw [r6], r0\n");
+                }
+                Taint::Unprovable => {
+                    // An indirect jump to a materialized label: safe at
+                    // run time, but beyond the prover.
+                    source.push_str(&format!(" movi r6, b{block}\n jmpr r6\n"));
+                }
+            }
+        }
+        // Terminator: the last block always halts so clean execution
+        // terminates inside the text. Earlier blocks end in fallthrough
+        // or a *conditional* jump — never an unconditional one, which
+        // would make the next block (and a taint spliced into it)
+        // unreachable and thus invisible to the prover.
+        if block + 1 == blocks {
+            source.push_str(" hlt\n");
+        } else {
+            match rng.below(3) {
+                0 => source.push_str(&format!(" jz b{}\n", rng.range(0, blocks - 1))),
+                1 => source.push_str(&format!(" jnz b{}\n", rng.range(0, blocks - 1))),
+                _ => {} // fall through to the next block
+            }
+        }
+    }
+    (source, taint)
+}
+
+/// Executes a `CleanProven` image in an EA-MPU sandbox shaped exactly
+/// like the loader would shape it, and reports any access/transfer
+/// fault — which the verdict promised cannot happen.
+fn run_sandboxed(image: &TaskImage, fast: bool) -> Result<(), String> {
+    let base = 0x4000u32;
+    let mut m = Machine::new(MachineConfig {
+        fast_path: fast,
+        ..MachineConfig::default()
+    });
+    let mut loadable = image.loadable_bytes();
+    apply_relocations(&mut loadable, image.relocs(), base);
+    m.load_image(base, &loadable).expect("image fits");
+    let text_len = image.text().len() as u32;
+    let total = image.total_memory_size();
+    m.mpu_mut()
+        .configure(Rule::new(
+            Region::new(base, text_len),
+            base + image.entry_offset(),
+            Region::new(base + text_len, total - text_len),
+            Perms::RW,
+        ))
+        .expect("sandbox rule");
+    m.set_mpu_enabled(true);
+    let mut regs = [0u32; 8];
+    regs[7] = base + total; // top of the task's own stack
+    m.set_regs(regs);
+    m.set_eip(base + image.entry_offset());
+    for _ in 0..16 {
+        match m.run(1_024) {
+            Event::Fault(f @ (Fault::MpuAccess { .. } | Fault::MpuTransfer { .. })) => {
+                return Err(format!(
+                    "CleanProven image raised an EA-MPU fault under {} path: {f:?}",
+                    if fast { "fast" } else { "legacy" }
+                ));
+            }
+            Event::Fault(f) => {
+                return Err(format!(
+                    "CleanProven image faulted ({f:?}) under {} path",
+                    if fast { "fast" } else { "legacy" }
+                ));
+            }
+            _ if m.is_halted() => return Ok(()),
+            _ => {}
+        }
+    }
+    Ok(()) // spinning forever inside its own text is lint-legal
+}
+
+/// One lint-vs-execution cross-check case.
+pub fn lint_cross_check(rng: &mut FuzzRng) -> Result<(), String> {
+    let (source, taint) = gen_source(rng);
+    let program =
+        assemble(&source, 0).map_err(|e| format!("generator made bad asm: {e:?}\n{source}"))?;
+    let image = TaskImage::from_program("fuzzee", &program, 256, true)
+        .map_err(|e| format!("generator made bad image: {e:?}"))?;
+    let policy = LintPolicy::default();
+    let report = lint_image(&image, &policy);
+    let verdict = report.verdict();
+
+    // Direction 1: the verdict must be at least as harsh as the taint.
+    match taint {
+        Taint::ProvenViolation if verdict != Verdict::Reject => {
+            return Err(format!(
+                "proven out-of-bounds store escaped the linter (verdict {verdict}):\n{source}"
+            ));
+        }
+        Taint::Unprovable if verdict == Verdict::CleanProven => {
+            return Err(format!("indirect jump was marked proven:\n{source}"));
+        }
+        Taint::Clean if verdict == Verdict::Reject => {
+            return Err(format!(
+                "lint-legible program was rejected:\n{report}\n{source}"
+            ));
+        }
+        _ => {}
+    }
+
+    // Direction 2: the verdict's execution promise must hold.
+    match verdict {
+        Verdict::Reject => {
+            let (mut m, mut k, mut rtm, mut a, actors) = crate::faults::loader_platform();
+            let mut job = LoadJob::<Sha1>::new(image, 0, 1).with_verification(policy);
+            let cycles_before = m.cycles();
+            match job.step(&mut m, &mut k, &mut rtm, &mut a, actors, 2) {
+                Err(LoadError::LintRejected(_)) => {}
+                other => {
+                    return Err(format!(
+                        "rejected image was not stopped by verification: {other:?}"
+                    ));
+                }
+            }
+            if m.cycles() != cycles_before {
+                return Err(format!(
+                    "lint rejection charged {} guest cycles",
+                    m.cycles() - cycles_before
+                ));
+            }
+            if job.base() != 0 {
+                return Err("lint rejection left a base address assigned".to_string());
+            }
+        }
+        Verdict::CleanProven => {
+            run_sandboxed(&image, true)?;
+            run_sandboxed(&image, false)?;
+        }
+        Verdict::CleanUnproven => {} // no promise to check
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_verdicts_match_execution_across_seeds() {
+        for seed in 0..150 {
+            lint_cross_check(&mut FuzzRng::new(seed))
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generator_produces_all_three_taints() {
+        let mut saw = [false; 3];
+        for seed in 0..64 {
+            let (_, taint) = gen_source(&mut FuzzRng::new(seed));
+            saw[match taint {
+                Taint::Clean => 0,
+                Taint::ProvenViolation => 1,
+                Taint::Unprovable => 2,
+            }] = true;
+        }
+        assert_eq!(saw, [true; 3], "all taint modes reachable");
+    }
+}

@@ -39,6 +39,8 @@
 use bytes::{Buf, BufMut, BytesMut};
 use std::fmt;
 
+pub mod mutate;
+
 /// Magic bytes identifying a TTIF image.
 pub const MAGIC: [u8; 4] = *b"TTIF";
 /// Current format version.

@@ -1,0 +1,121 @@
+//! Deterministic byte-level mutators for serialized TTIF images.
+//!
+//! These are the corruption primitives the fuzz plane applies to
+//! [`TaskImage::to_bytes`](crate::TaskImage::to_bytes) output before
+//! handing it back to [`TaskImage::parse`](crate::TaskImage::parse):
+//! bit flips (storage rot, transmission errors), word stomps (hostile
+//! header edits), and truncation (interrupted transfers). Every mutator
+//! is a pure function of its arguments — the randomness lives in the
+//! caller's seeded RNG, so a mutated case replays byte-identically from
+//! its parameters.
+//!
+//! The contract under test is stated by
+//! [`TaskImage::parse`](crate::TaskImage::parse): any byte
+//! stream either parses into a valid image or returns a typed
+//! [`ImageError`](crate::ImageError) — never a panic, never an image
+//! violating the format invariants.
+
+/// Flips one bit. `bit` is taken modulo the total bit length, so any
+/// `u64` from a fuzzer RNG addresses a valid bit; returns the absolute
+/// byte offset touched. Zero-length input is a no-op returning 0.
+pub fn flip_bit(bytes: &mut [u8], bit: u64) -> usize {
+    if bytes.is_empty() {
+        return 0;
+    }
+    let bit = bit % (bytes.len() as u64 * 8);
+    let byte = (bit / 8) as usize;
+    bytes[byte] ^= 1 << (bit % 8);
+    byte
+}
+
+/// Overwrites the 32-bit little-endian word containing `offset` with
+/// `value` — the "hostile header edit" primitive. The offset is taken
+/// modulo the length and clamped so the word fits; inputs shorter than
+/// four bytes are left untouched.
+pub fn stomp_word(bytes: &mut [u8], offset: u64, value: u32) {
+    if bytes.len() < 4 {
+        return;
+    }
+    let at = (offset as usize % bytes.len()).min(bytes.len() - 4);
+    bytes[at..at + 4].copy_from_slice(&value.to_le_bytes());
+}
+
+/// A copy cut off after `len` bytes (modulo `len + 1` of the input
+/// length, so any `u64` yields a valid cut, including zero and
+/// full-length) — the "transfer died mid-image" primitive.
+pub fn truncated(bytes: &[u8], len: u64) -> Vec<u8> {
+    let keep = (len % (bytes.len() as u64 + 1)) as usize;
+    bytes[..keep].to_vec()
+}
+
+/// Swaps two equal-length, non-overlapping ranges chosen from the
+/// parameters — the "sectors written out of order" primitive. Range
+/// geometry is derived modulo the input length; degenerate geometries
+/// (overlap, zero length, inputs under two bytes) leave the input
+/// untouched.
+pub fn swap_ranges(bytes: &mut [u8], a: u64, b: u64, len: u64) {
+    if bytes.len() < 2 {
+        return;
+    }
+    let half = bytes.len() / 2;
+    let len = (len as usize % half).max(1);
+    let a = a as usize % (bytes.len() - len + 1);
+    let b = b as usize % (bytes.len() - len + 1);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if lo + len > hi {
+        return; // overlapping: leave untouched
+    }
+    let (first, second) = bytes.split_at_mut(hi);
+    first[lo..lo + len].swap_with_slice(&mut second[..len]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_bit_is_an_involution_and_wraps() {
+        let mut buf = vec![0u8; 8];
+        let at = flip_bit(&mut buf, 13);
+        assert_eq!(at, 1);
+        assert_eq!(buf[1], 1 << 5);
+        flip_bit(&mut buf, 13);
+        assert!(buf.iter().all(|&b| b == 0));
+        // Bit index far past the end wraps instead of panicking.
+        flip_bit(&mut buf, u64::MAX);
+        assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1);
+        // Zero-length input is a no-op.
+        assert_eq!(flip_bit(&mut [], 7), 0);
+    }
+
+    #[test]
+    fn stomp_word_clamps_to_the_buffer() {
+        let mut buf = vec![0u8; 6];
+        stomp_word(&mut buf, 5, 0xdead_beef);
+        // Offset 5 clamps to 2 so the word fits.
+        assert_eq!(&buf[2..6], &0xdead_beef_u32.to_le_bytes());
+        let mut tiny = vec![0u8; 3];
+        stomp_word(&mut tiny, 0, 0xffff_ffff);
+        assert!(tiny.iter().all(|&b| b == 0), "short input untouched");
+    }
+
+    #[test]
+    fn truncated_covers_every_cut_including_degenerate() {
+        let buf: Vec<u8> = (0..10).collect();
+        assert_eq!(truncated(&buf, 4), vec![0, 1, 2, 3]);
+        assert_eq!(truncated(&buf, 10), buf);
+        assert_eq!(truncated(&buf, 11), Vec::<u8>::new());
+        assert!(truncated(&[], u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn swap_ranges_swaps_disjoint_and_skips_overlap() {
+        let mut buf: Vec<u8> = (0..8).collect();
+        swap_ranges(&mut buf, 0, 6, 2);
+        assert_eq!(buf, vec![6, 7, 2, 3, 4, 5, 0, 1]);
+        let mut same: Vec<u8> = (0..8).collect();
+        swap_ranges(&mut same, 2, 3, 3); // overlapping geometry
+        assert_eq!(same, (0..8).collect::<Vec<u8>>());
+        swap_ranges(&mut [0u8], 0, 0, 1); // too short: no panic
+    }
+}

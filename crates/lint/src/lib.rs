@@ -51,7 +51,7 @@ pub mod cfg;
 mod report;
 pub mod symbolize;
 
-pub use report::{Finding, FindingKind, LintReport, LintStats, Severity};
+pub use report::{Finding, FindingKind, LintReport, LintStats, Severity, Verdict};
 pub use symbolize::FuncSym;
 
 use cfg::{Cfg, EdgeKind};
@@ -722,6 +722,31 @@ mod tests {
             program.reloc_sites.clone(),
         )
         .expect("valid image")
+    }
+
+    #[test]
+    fn verdict_collapses_reports_three_ways() {
+        // No findings at all: every site proven.
+        let clean = lint_source("main:\n movi r0, 1\n hlt\n", &LintPolicy::default());
+        assert!(clean.is_fully_clean());
+        assert_eq!(clean.verdict(), Verdict::CleanProven);
+
+        // A register-indirect jump is unproven (Info): clean but not proven.
+        let unproven = lint_source(
+            "main:\n movi r1, main\n jmpr r1\n hlt\n",
+            &LintPolicy::default(),
+        );
+        assert_eq!(unproven.count(Severity::Error), 0, "{unproven}");
+        assert!(!unproven.is_fully_clean());
+        assert_eq!(unproven.verdict(), Verdict::CleanUnproven);
+
+        // A proven violation rejects.
+        let reject = lint_source(
+            "main:\n movi r1, 0xf0000000\n stw [r1], r2\n hlt\n",
+            &LintPolicy::default(),
+        );
+        assert_eq!(reject.verdict(), Verdict::Reject);
+        assert_eq!(reject.verdict().name(), "reject");
     }
 
     #[test]

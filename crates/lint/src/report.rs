@@ -255,6 +255,49 @@ pub struct LintStats {
     pub unproven: usize,
 }
 
+/// The three-way outcome of a lint run, collapsed for consumers that
+/// cross-check static verdicts against dynamic behaviour (the fuzz
+/// plane's lint-vs-execution oracle).
+///
+/// The contract each variant carries:
+///
+/// - [`Verdict::Reject`]: a loader configured with
+///   [`LoadJob::with_verification`](../tytan/loader/struct.LoadJob.html)
+///   must refuse the image before allocating anything, at zero guest
+///   cycles.
+/// - [`Verdict::CleanProven`]: the analysis decided *every* site, so a
+///   sandboxed execution under the same policy must never raise an
+///   EA-MPU fault.
+/// - [`Verdict::CleanUnproven`]: no proven violation, but undecided
+///   sites (or warnings) remain — runtime denials are possible and
+///   declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// At least one proven `Error` finding: the image must not load.
+    Reject,
+    /// No findings at all: every reachable site was proven safe.
+    CleanProven,
+    /// No errors, but warnings or unproven sites remain.
+    CleanUnproven,
+}
+
+impl Verdict {
+    /// Lower-case name, as used in JSON output and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Reject => "reject",
+            Verdict::CleanProven => "clean-proven",
+            Verdict::CleanUnproven => "clean-unproven",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The result of linting one task image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintReport {
@@ -283,6 +326,25 @@ impl LintReport {
     /// Whether the report contains a finding at or above `deny`.
     pub fn rejects_at(&self, deny: Severity) -> bool {
         self.worst().is_some_and(|w| w >= deny)
+    }
+
+    /// Whether the analysis decided every site and found nothing — no
+    /// errors, no warnings, and no unproven sites. Only such reports
+    /// license the "never faults at runtime" claim (see [`Verdict`]).
+    pub fn is_fully_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Collapses the report into the three-way [`Verdict`] the
+    /// lint-vs-execution cross-check keys on.
+    pub fn verdict(&self) -> Verdict {
+        if self.rejects_at(Severity::Error) {
+            Verdict::Reject
+        } else if self.is_fully_clean() {
+            Verdict::CleanProven
+        } else {
+            Verdict::CleanUnproven
+        }
     }
 
     /// Renders the report as one JSON object (no trailing newline).

@@ -1,0 +1,59 @@
+//! Replays the minimized fuzz corpus in the normal test tier.
+//!
+//! Every case under `tests/corpus/` is a bug the differential
+//! fault-injection plane once found (or a hand-pinned hazard), shrunk
+//! to its essence. Replaying them here means a regression fails plain
+//! `cargo test` — no fuzz campaign required — and the commit that pins
+//! a new case documents the bug it fixed.
+
+use std::path::PathBuf;
+use tytan_fuzz::corpus::{load_dir, replay_dir};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn corpus_exists_and_parses() {
+    let cases = load_dir(&corpus_dir()).expect("corpus dir loads");
+    assert!(
+        !cases.is_empty(),
+        "tests/corpus/ must hold at least the seed corpus"
+    );
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let failures = replay_dir(&corpus_dir()).expect("corpus dir loads");
+    assert!(
+        failures.is_empty(),
+        "pinned fuzz regressions resurfaced:\n{}",
+        failures
+            .iter()
+            .map(|(name, msg)| format!("  {name}: {msg}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixed_seed_smoke_campaign_is_clean() {
+    // A small cross-scenario sweep in the test tier; CI's fuzz-smoke
+    // job runs the full 12,000-case campaign via the CLI.
+    let report = tytan_fuzz::run_campaign(&tytan_fuzz::CampaignConfig {
+        seed: 0x1350c27,
+        cases: 25,
+        ..tytan_fuzz::CampaignConfig::default()
+    });
+    assert!(
+        report.is_clean(),
+        "smoke campaign failures:\n{}",
+        report
+            .failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.total_cases(), 25 * 8);
+}
