@@ -1,28 +1,32 @@
 //! Host-side throughput of the simulator itself: how many guest
-//! instructions per second the interpreter retires. Not a paper table —
-//! a health metric for the reproduction substrate, and the before/after
-//! yardstick for the fast path (predecode cache, EA-MPU decision cache,
-//! event-driven run loop).
+//! instructions per second each execution engine retires. Not a paper
+//! table — a health metric for the reproduction substrate, and the
+//! before/after yardstick for the engines (fast interpreter, block
+//! translator) against the legacy reference loop.
 //!
 //! Workloads:
 //! - `mpu_on` / `mpu_off` — the plain compute loop, with and without
-//!   EA-MPU checking (fast path on, the default).
+//!   EA-MPU checking (fast interpreter, the default).
+//! - `mpu_on_translated` / `mpu_off_translated` — the same loops on the
+//!   block translation engine; `mpu_on` vs. `mpu_on_translated` is the
+//!   translator speedup over the interpreter.
 //! - `mpu_on_fast_off` — the same loop on the legacy per-instruction
 //!   reference loop; `mpu_on` vs. this is the fast-path speedup.
 //! - `mmio_heavy` — every iteration reads a sensor register and writes a
 //!   UART register, so device routing dominates.
 //! - `irq_heavy` — a ~200-cycle timer interrupt storm through the IDT.
 //! - `smc_thrash` — self-modifying code: every iteration stores into its
-//!   own code line, invalidating the predecode cache (worst case).
+//!   own code line, invalidating the predecode and translation caches
+//!   (worst case).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sp32::asm::assemble;
 use sp_emu::devices::{Sensor, Timer, Uart};
-use sp_emu::{Machine, MachineConfig};
+use sp_emu::{EngineKind, Machine, MachineConfig};
 
-fn machine_with(fast_path: bool, mpu_enabled: bool) -> Machine {
+fn machine_with(engine: EngineKind, mpu_enabled: bool) -> Machine {
     let mut machine = Machine::new(MachineConfig {
-        fast_path,
+        engine,
         ..MachineConfig::default()
     });
     machine.set_mpu_enabled(mpu_enabled);
@@ -35,8 +39,8 @@ fn load(machine: &mut Machine, source: &str) {
     machine.set_eip(0x1000);
 }
 
-fn busy_machine(fast_path: bool, mpu_enabled: bool) -> Machine {
-    let mut machine = machine_with(fast_path, mpu_enabled);
+fn busy_machine(engine: EngineKind, mpu_enabled: bool) -> Machine {
+    let mut machine = machine_with(engine, mpu_enabled);
     load(
         &mut machine,
         "main:\n movi r1, 0x9000\n movi r2, 0\n\
@@ -46,7 +50,7 @@ fn busy_machine(fast_path: bool, mpu_enabled: bool) -> Machine {
 }
 
 fn mmio_machine() -> Machine {
-    let mut machine = machine_with(true, true);
+    let mut machine = machine_with(EngineKind::Fast, true);
     machine.add_device(Box::new(Sensor::new(0xf000_0110, 7)));
     machine.add_device(Box::new(Uart::new(0xf000_0200)));
     load(
@@ -58,7 +62,7 @@ fn mmio_machine() -> Machine {
 }
 
 fn irq_machine() -> Machine {
-    let mut machine = machine_with(true, true);
+    let mut machine = machine_with(EngineKind::Fast, true);
     let program = assemble(
         "main:\n sti\nloop:\n addi r2, 1\n jmp loop\n\
          handler:\n addi r3, 1\n iret\n",
@@ -80,7 +84,7 @@ fn irq_machine() -> Machine {
 }
 
 fn smc_machine() -> Machine {
-    let mut machine = machine_with(true, true);
+    let mut machine = machine_with(EngineKind::Fast, true);
     // The store rewrites `target` with its own current encoding: semantics
     // never change, but the predecode line is invalidated every iteration.
     load(
@@ -97,9 +101,15 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(INSTRUCTIONS));
     type Case = (&'static str, fn() -> Machine);
     let cases: Vec<Case> = vec![
-        ("mpu_on", || busy_machine(true, true)),
-        ("mpu_off", || busy_machine(true, false)),
-        ("mpu_on_fast_off", || busy_machine(false, true)),
+        ("mpu_on", || busy_machine(EngineKind::Fast, true)),
+        ("mpu_off", || busy_machine(EngineKind::Fast, false)),
+        ("mpu_on_translated", || {
+            busy_machine(EngineKind::Translated, true)
+        }),
+        ("mpu_off_translated", || {
+            busy_machine(EngineKind::Translated, false)
+        }),
+        ("mpu_on_fast_off", || busy_machine(EngineKind::Legacy, true)),
         ("mmio_heavy", mmio_machine),
         ("irq_heavy", irq_machine),
         ("smc_thrash", smc_machine),

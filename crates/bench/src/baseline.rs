@@ -71,7 +71,7 @@ const LATENCY_MAX_TOLERANCE: Tolerance = Tolerance {
 
 /// Row units whose values depend on host wall-clock speed, not simulated
 /// cycles — excluded from the gate.
-const WALL_CLOCK_UNITS: &[&str] = &["images/s", "instr/s"];
+const WALL_CLOCK_UNITS: &[&str] = &["images/s", "instr/s", "speedup"];
 
 /// Outcome of a baseline comparison.
 #[derive(Debug, Default)]

@@ -24,6 +24,10 @@
 //!   folded-stack flamegraph text to `BENCH_profile.folded` (feed to
 //!   `flamegraph.pl` or speedscope); prints the top cycle consumers and
 //!   symbolization coverage to stderr.
+//! - `--engine-floor <x>`: asserts the block translator's speedup over the
+//!   fast interpreter (the `translator speedup` row of the
+//!   `engine_throughput` table) is at least `<x>`, exiting nonzero
+//!   otherwise. Implies computing the document.
 
 use tytan_bench::{baseline, experiments, render, render_json, schema};
 
@@ -33,6 +37,7 @@ fn main() {
     let mut trace_mode = false;
     let mut profile_mode = false;
     let mut baseline_path: Option<String> = None;
+    let mut engine_floor: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,9 +53,17 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--engine-floor" => match args.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(floor)) => engine_floor = Some(floor),
+                _ => {
+                    eprintln!("--engine-floor requires a numeric argument");
+                    std::process::exit(2);
+                }
+            },
             _ => {
                 eprintln!(
-                    "unknown flag {arg}; known flags: --json --check --trace --profile --baseline <path>"
+                    "unknown flag {arg}; known flags: --json --check --trace --profile \
+                     --baseline <path> --engine-floor <x>"
                 );
                 std::process::exit(2);
             }
@@ -82,7 +95,7 @@ fn main() {
         eprint!("{}", report.top(15));
     }
 
-    if json_mode || check_mode || baseline_path.is_some() {
+    if json_mode || check_mode || baseline_path.is_some() || engine_floor.is_some() {
         let tables = experiments::all();
         let counters = experiments::fast_path_counters();
         let latency = experiments::latency_snapshot();
@@ -102,6 +115,28 @@ fn main() {
                 eprintln!("warning: could not write BENCH_tables.json: {err}");
             }
             print!("{json}");
+        }
+        if let Some(floor) = engine_floor {
+            let speedup = tables
+                .iter()
+                .find(|t| t.id == "engine_throughput")
+                .and_then(|t| t.rows.iter().find(|r| r.label == "translator speedup"))
+                .map(|r| r.measured);
+            match speedup {
+                Some(speedup) if speedup >= floor => {
+                    eprintln!("engine floor passed: translator speedup {speedup:.2}x >= {floor}x");
+                }
+                Some(speedup) => {
+                    eprintln!(
+                        "engine floor FAILED: translator speedup {speedup:.2}x < required {floor}x"
+                    );
+                    std::process::exit(1);
+                }
+                None => {
+                    eprintln!("engine floor FAILED: no engine_throughput speedup row computed");
+                    std::process::exit(1);
+                }
+            }
         }
         if let Some(path) = baseline_path {
             let old = match std::fs::read_to_string(&path) {

@@ -3,7 +3,7 @@
 use crate::{Row, Table};
 use eampu::{EaMpu, Perms, Region, Rule};
 use rtos::{layout, Runner, RunnerConfig, StaticTask};
-use sp_emu::{Event, Machine, MachineConfig};
+use sp_emu::{EngineKind, Event, Machine, MachineConfig};
 use std::sync::Arc;
 use tytan::allocator::Allocator;
 use tytan::footprint;
@@ -457,7 +457,7 @@ pub fn measure_task_create(secure: bool) -> LoadReport {
 }
 
 /// Like [`measure_task_create`], on a machine built from `machine` (the
-/// cycle-identity tests thread `fast_path: false` through here).
+/// cycle-identity tests thread each `EngineKind` through here).
 pub fn measure_task_create_with(secure: bool, machine: MachineConfig) -> LoadReport {
     let mut platform = boot_with(machine);
     let source = if secure {
@@ -926,10 +926,18 @@ pub fn ipc_latency() -> Table {
 
 /// Measures the host-side simulation rate: guest instructions retired per
 /// host wall-clock second on the standard busy loop (MPU enforcement on,
-/// fast path at its default). This is the substrate health metric the
+/// engine at its default). This is the substrate health metric the
 /// `sim_throughput` bench tracks, exported into `BENCH_tables.json`.
 pub fn host_guest_ips() -> f64 {
-    let mut machine = Machine::new(MachineConfig::default());
+    host_guest_ips_with(MachineConfig::default().engine)
+}
+
+/// Like [`host_guest_ips`], pinned to one execution engine.
+pub fn host_guest_ips_with(engine: EngineKind) -> f64 {
+    let mut machine = Machine::new(MachineConfig {
+        engine,
+        ..MachineConfig::default()
+    });
     machine.set_mpu_enabled(true);
     let program = sp32::asm::assemble(
         "main:\n movi r1, 0x9000\n movi r2, 0\n\
@@ -954,6 +962,38 @@ pub fn host_guest_ips() -> f64 {
     }
     let elapsed = start.elapsed().as_secs_f64();
     (machine.stats().instructions - start_instr) as f64 / elapsed.max(1e-9)
+}
+
+/// Compares execution-engine throughput on the mpu_on busy loop: the
+/// legacy reference loop, the fast interpreter, and the block
+/// translator, plus the derived speedup ratios. The `translator speedup`
+/// row (translator over fast interpreter) is the PR's headline metric —
+/// the `--engine-floor` gate in `tables` asserts it stays above a floor.
+pub fn engine_throughput() -> Table {
+    let legacy = host_guest_ips_with(EngineKind::Legacy);
+    let interpreter = host_guest_ips_with(EngineKind::Fast);
+    let translated = host_guest_ips_with(EngineKind::Translated);
+    Table {
+        id: "engine_throughput",
+        title: "execution-engine throughput (mpu_on busy loop)",
+        note: "host-side wall-clock metric; speedups = block translator over \
+               the fast interpreter / the legacy reference on the same workload",
+        rows: vec![
+            Row::measured_only("legacy reference", legacy, "instr/s"),
+            Row::measured_only("fast interpreter", interpreter, "instr/s"),
+            Row::measured_only("block translator", translated, "instr/s"),
+            Row::measured_only(
+                "translator speedup",
+                translated / interpreter.max(1e-9),
+                "speedup",
+            ),
+            Row::measured_only(
+                "translator speedup vs legacy",
+                translated / legacy.max(1e-9),
+                "speedup",
+            ),
+        ],
+    }
 }
 
 // --------------------------------------------------------- lint throughput
@@ -1095,8 +1135,10 @@ pub fn profile_use_case() -> Report {
 /// of the fast-path caches. `tables --json` merges this into
 /// `BENCH_tables.json` as the `counters` object.
 ///
-/// Under `TYTAN_FAST_PATH=0` the predecode counters stay zero and the
-/// derived rate reports 0 — the legacy loop has no cache to measure.
+/// Under `TYTAN_EXEC_ENGINE=legacy` the predecode counters stay zero and
+/// the derived rate reports 0 — the legacy loop has no cache to measure.
+/// Under `TYTAN_EXEC_ENGINE=translated` the block-translation counters
+/// (`emu_block_compile`, `emu_block_hit`, …) are live instead.
 pub fn fast_path_counters() -> Vec<(String, f64)> {
     let tracer = Tracer::null();
     let _platform = traced_workload(tracer.clone());
@@ -1162,6 +1204,7 @@ pub fn all() -> Vec<Table> {
         ipc_latency(),
         ablation_hw_save(),
         lint_throughput(),
+        engine_throughput(),
     ]
 }
 
@@ -1266,13 +1309,22 @@ mod tests {
             let v = get(rate);
             assert!((0.0..=1.0).contains(&v), "{rate} out of range: {v}");
         }
-        // The workload runs a spinning task for half a million cycles: at
-        // the default (fast-path) configuration the predecode cache must
-        // be nearly always hot. Under TYTAN_FAST_PATH=0 there is no cache
-        // and the rate legitimately reads 0.
-        if sp_emu::MachineConfig::default().fast_path {
-            assert!(get("predecode_hit_rate") > 0.9);
-            assert!(get("emu_predecode_hit") > 0.0);
+        // The workload runs a spinning task for half a million cycles:
+        // each engine must show its own cache hot. Under the fast
+        // interpreter the predecode cache is nearly always hit; under
+        // the block translator, compiled blocks are. With the legacy
+        // loop (TYTAN_EXEC_ENGINE=legacy) there is no cache and the
+        // rates legitimately read 0.
+        match sp_emu::MachineConfig::default().engine {
+            sp_emu::EngineKind::Legacy => {}
+            sp_emu::EngineKind::Fast => {
+                assert!(get("predecode_hit_rate") > 0.9);
+                assert!(get("emu_predecode_hit") > 0.0);
+            }
+            sp_emu::EngineKind::Translated => {
+                assert!(get("emu_block_compile") > 0.0);
+                assert!(get("emu_block_hit") > 0.0);
+            }
         }
         assert!(get("emu_instr_alu") > 0.0);
         assert!(get("emu_irq_entry") > 0.0, "tick interrupts fired");

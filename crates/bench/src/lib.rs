@@ -299,6 +299,10 @@ mod tests {
         let counters = vec![
             ("predecode_hit_rate".to_string(), 0.97),
             ("eampu_cache_hit_rate".to_string(), 0.99),
+            ("emu_block_compile".to_string(), 12.0),
+            ("emu_block_hit".to_string(), 480.0),
+            ("emu_block_invalidate_smc".to_string(), 1.0),
+            ("emu_block_invalidate_mpu".to_string(), 2.0),
         ];
         let latency = vec![
             (

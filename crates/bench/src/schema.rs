@@ -142,6 +142,10 @@ mod tests {
               "counters": {
                 "predecode_hit_rate": 0.97,
                 "eampu_cache_hit_rate": 0.99,
+                "emu_block_compile": 12,
+                "emu_block_hit": 480,
+                "emu_block_invalidate_smc": 1,
+                "emu_block_invalidate_mpu": 2,
                 "emu_instr_alu": 12345
               },
               "latency": {

@@ -1,14 +1,15 @@
-//! Cycle-identity: the acceptance harness for the host fast path.
+//! Cycle-identity: the acceptance harness for the host execution
+//! engines.
 //!
-//! Each test runs a representative paper workload twice — once with
-//! `MachineConfig::fast_path` on (predecode cache, EA-MPU decision cache,
-//! event-driven run loop) and once with the legacy per-instruction
-//! reference loop — and asserts the *modelled* results are bit-identical:
-//! final clock values, instruction/interrupt counts, and every measured
-//! value that feeds a paper-table row. The fast path is a host-side
-//! optimisation only; if any of these diverge, it changed the model.
+//! Each test runs a representative paper workload once per
+//! [`EngineKind`] — the event-driven fast interpreter, the block
+//! translation engine, and the legacy per-instruction reference loop —
+//! and asserts the *modelled* results are bit-identical: final clock
+//! values, instruction/interrupt counts, and every measured value that
+//! feeds a paper-table row. The engines are host-side optimisations
+//! only; if any of these diverge, one of them changed the model.
 
-use sp_emu::MachineConfig;
+use sp_emu::{EngineKind, MachineConfig};
 use std::sync::Arc;
 use tytan::platform::{Platform, PlatformConfig};
 use tytan::usecase::CruiseControl;
@@ -16,18 +17,23 @@ use tytan_bench::experiments;
 use tytan_profile::CycleProfiler;
 use tytan_trace::{RingRecorder, Tracer};
 
-fn fast() -> MachineConfig {
+fn with_engine(engine: EngineKind) -> MachineConfig {
     MachineConfig {
-        fast_path: true,
+        engine,
         ..MachineConfig::default()
     }
 }
 
+fn fast() -> MachineConfig {
+    with_engine(EngineKind::Fast)
+}
+
 fn legacy() -> MachineConfig {
-    MachineConfig {
-        fast_path: false,
-        ..MachineConfig::default()
-    }
+    with_engine(EngineKind::Legacy)
+}
+
+fn translated() -> MachineConfig {
+    with_engine(EngineKind::Translated)
 }
 
 #[test]
@@ -48,20 +54,28 @@ fn table4_secure_load_is_cycle_identical() {
             r.total_cycles(),
         )
     };
+    let reference = report(legacy());
+    assert_eq!(report(fast()), reference, "table 4 diverged (fast)");
     assert_eq!(
-        report(fast()),
-        report(legacy()),
-        "table 4 secure-load rows diverged"
+        report(translated()),
+        reference,
+        "table 4 diverged (translated)"
     );
 }
 
 #[test]
 fn table5_relocation_is_cycle_identical() {
     for n in [0u32, 1, 2, 4] {
+        let reference = experiments::measure_relocation_with(n, legacy());
         assert_eq!(
             experiments::measure_relocation_with(n, fast()),
-            experiments::measure_relocation_with(n, legacy()),
-            "table 5 row ({n} addresses) diverged"
+            reference,
+            "table 5 row ({n} addresses) diverged (fast)"
+        );
+        assert_eq!(
+            experiments::measure_relocation_with(n, translated()),
+            reference,
+            "table 5 row ({n} addresses) diverged (translated)"
         );
     }
 }
@@ -69,10 +83,16 @@ fn table5_relocation_is_cycle_identical() {
 #[test]
 fn table7_measurement_is_cycle_identical() {
     for (blocks, sites) in [(1u32, 0u32), (4, 0), (4, 2), (8, 0)] {
+        let reference = experiments::measure_measurement_with(blocks, sites, legacy());
         assert_eq!(
             experiments::measure_measurement_with(blocks, sites, fast()),
-            experiments::measure_measurement_with(blocks, sites, legacy()),
-            "table 7 row ({blocks} blocks, {sites} sites) diverged"
+            reference,
+            "table 7 row ({blocks} blocks, {sites} sites) diverged (fast)"
+        );
+        assert_eq!(
+            experiments::measure_measurement_with(blocks, sites, translated()),
+            reference,
+            "table 7 row ({blocks} blocks, {sites} sites) diverged (translated)"
         );
     }
 }
@@ -83,10 +103,12 @@ fn ipc_round_trip_is_cycle_identical() {
         let p = experiments::measure_ipc_with(config);
         (p.proxy, p.entry)
     };
+    let reference = phases(legacy());
+    assert_eq!(phases(fast()), reference, "IPC phases diverged (fast)");
     assert_eq!(
-        phases(fast()),
-        phases(legacy()),
-        "IPC proxy/entry phases diverged"
+        phases(translated()),
+        reference,
+        "IPC phases diverged (translated)"
     );
 }
 
@@ -201,5 +223,15 @@ fn cruise_control_slice_is_cycle_identical() {
             platform.machine().stats(),
         )
     };
-    assert_eq!(run(fast()), run(legacy()), "cruise-control slice diverged");
+    let reference = run(legacy());
+    assert_eq!(
+        run(fast()),
+        reference,
+        "cruise-control slice diverged (fast)"
+    );
+    assert_eq!(
+        run(translated()),
+        reference,
+        "cruise-control slice diverged (translated)"
+    );
 }

@@ -1579,11 +1579,18 @@ mod tests {
         // The kernel's scheduling trace forwards onto the same sink...
         assert!(events.iter().any(|e| e.layer == Layer::Rtos));
         // ...and the machine + EA-MPU counters are registered and counting.
-        // (Predecode counters only move on the fast path; under the CI
-        // matrix's TYTAN_FAST_PATH=0 leg the legacy loop has no cache.)
+        // (Which cache counters move depends on the engine the CI matrix
+        // leg selected via TYTAN_EXEC_ENGINE; legacy has no cache at all.)
         let counters = platform.tracer().unwrap().counters();
-        if sp_emu::MachineConfig::default().fast_path {
-            assert!(counters.get("emu_predecode_hit").unwrap() > 0);
+        match sp_emu::MachineConfig::default().engine {
+            sp_emu::EngineKind::Legacy => {}
+            sp_emu::EngineKind::Fast => {
+                assert!(counters.get("emu_predecode_hit").unwrap() > 0);
+            }
+            sp_emu::EngineKind::Translated => {
+                assert!(counters.get("emu_block_compile").unwrap() > 0);
+                assert!(counters.get("emu_block_hit").unwrap() > 0);
+            }
         }
         assert!(counters.get("emu_instr_alu").unwrap() > 0);
         assert!(counters.get("emu_irq_entry").unwrap() > 0);

@@ -242,6 +242,12 @@ pub struct EaMpu {
     costs: MpuCosts,
     cache: RefCell<DecisionCache>,
     cache_enabled: bool,
+    /// Monotonic configuration epoch: bumped whenever anything that could
+    /// change a decision (or its observability) changes — rule-table
+    /// mutations, cache-mode switches, decision-log toggles. Consumers
+    /// that pre-resolve decisions (the block translation engine) snapshot
+    /// this and revalidate with a single compare.
+    generation: Cell<u64>,
     /// L0 in front of the MRU cache: the most recent access entry per
     /// [`AccessKind`] (indexed `Read = 0`, `Write = 1`) and the most recent
     /// transfer entry, checked without touching the `RefCell`. The run loop
@@ -453,6 +459,7 @@ impl EaMpu {
             costs,
             cache: RefCell::new(DecisionCache::default()),
             cache_enabled: true,
+            generation: Cell::new(0),
             access_latch: [Cell::new(EMPTY_ACCESS_LATCH), Cell::new(EMPTY_ACCESS_LATCH)],
             transfer_latch: Cell::new(EMPTY_TRANSFER_LATCH),
             trace: None,
@@ -468,6 +475,16 @@ impl EaMpu {
     pub fn set_decision_log_enabled(&mut self, enabled: bool) {
         self.log_enabled = enabled;
         self.decision_log.borrow_mut().clear();
+        // Pre-resolved decisions bake in whether a check is logged, so a
+        // log toggle is a configuration change for them. Bump directly
+        // (rather than via invalidate_decision_cache) so the toggle stays
+        // invisible to the flush counter.
+        self.generation.set(self.generation.get() + 1);
+    }
+
+    /// Whether decision recording is currently enabled.
+    pub fn log_enabled(&self) -> bool {
+        self.log_enabled
     }
 
     /// Takes (and clears) the recorded decisions since the last take.
@@ -483,6 +500,14 @@ impl EaMpu {
     /// charges guest cycles.
     pub fn attach_tracer(&mut self, tracer: &Tracer) {
         self.trace = Some(MpuTrace::new(tracer.counters().clone(), self.slots.len()));
+        // Pre-resolved decisions bake in whether a check is traced, so
+        // attaching observability is a configuration change for them.
+        self.generation.set(self.generation.get() + 1);
+    }
+
+    /// Whether host-side observability is attached.
+    pub fn traced(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Per-slot rule usage since the tracer was attached (empty when no
@@ -547,6 +572,7 @@ impl EaMpu {
     /// mutation; exposed so owners can also invalidate on external state
     /// changes (the machine does this when MPU enforcement is toggled).
     pub fn invalidate_decision_cache(&self) {
+        self.generation.set(self.generation.get() + 1);
         self.cache.borrow_mut().clear();
         self.access_latch[0].set(EMPTY_ACCESS_LATCH);
         self.access_latch[1].set(EMPTY_ACCESS_LATCH);
@@ -889,6 +915,86 @@ impl EaMpu {
     pub fn is_protected(&self, addr: u32) -> bool {
         self.rules()
             .any(|(_, r)| r.data.contains(addr) || r.code.contains(addr))
+    }
+
+    /// The current configuration epoch (see the `generation` field).
+    pub fn generation(&self) -> u64 {
+        self.generation.get()
+    }
+
+    /// Whether any rule slot is occupied.
+    pub fn has_rules(&self) -> bool {
+        self.slots.iter().any(|s| s.is_some())
+    }
+
+    /// Resolves a transfer decision *without* observable side effects: no
+    /// cache or latch update, no trace counters, no decision-log record.
+    ///
+    /// The scan mirrors [`EaMpu::check_transfer`] exactly (first matching
+    /// slot wins), so for a fixed rule table the preview equals what a
+    /// live check would decide. The block translation engine uses this at
+    /// compile time and [`EaMpu::replay_transfer`] at run time.
+    pub fn preview_transfer(&self, from_eip: u32, to_addr: u32) -> TransferDecision {
+        for (slot, rule) in self.rules() {
+            if rule.code.contains(to_addr) && !rule.code.contains(from_eip) {
+                return if to_addr == rule.entry {
+                    TransferDecision::AllowedAtEntry { slot }
+                } else {
+                    TransferDecision::DeniedMidRegion {
+                        expected_entry: rule.entry,
+                    }
+                };
+            }
+        }
+        TransferDecision::Allowed
+    }
+
+    /// Resolves an access decision *without* observable side effects; the
+    /// preview counterpart of [`EaMpu::check_access`], mirroring its scan
+    /// exactly.
+    pub fn preview_access(&self, eip: u32, addr: u32, kind: AccessKind) -> AccessDecision {
+        let mut protected = false;
+        for (slot, rule) in self.rules() {
+            if rule.data.contains(addr) {
+                protected = true;
+                if rule.code.contains(eip) && rule.perms.allows(kind) {
+                    return AccessDecision::AllowedByRule { slot };
+                }
+            }
+            if rule.code.contains(addr) {
+                protected = true;
+                if rule.code.contains(eip) && kind == AccessKind::Read {
+                    return AccessDecision::AllowedByRule { slot };
+                }
+            }
+        }
+        if protected {
+            AccessDecision::Denied
+        } else {
+            AccessDecision::AllowedUnprotected
+        }
+    }
+
+    /// Replays a pre-resolved transfer decision's observable effects —
+    /// trace counters and the decision-log record — as if a (latched)
+    /// [`EaMpu::check_transfer`] had just returned `decision`.
+    ///
+    /// The caller promises `decision == self.preview_transfer(from, to)`
+    /// under the configuration epoch it was resolved in.
+    pub fn replay_transfer(&self, from_eip: u32, to_addr: u32, decision: TransferDecision) {
+        if self.trace.is_some() {
+            self.trace_transfer(decision, true, to_addr);
+        }
+        self.log_transfer_record(from_eip, to_addr, decision);
+    }
+
+    /// Replays a pre-resolved access decision's observable effects; the
+    /// access counterpart of [`EaMpu::replay_transfer`].
+    pub fn replay_access(&self, eip: u32, addr: u32, kind: AccessKind, decision: AccessDecision) {
+        if self.trace.is_some() {
+            self.trace_access(decision, true, addr);
+        }
+        self.log_access_record(eip, addr, kind, decision);
     }
 }
 

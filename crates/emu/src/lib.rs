@@ -46,11 +46,13 @@ mod cycles;
 pub mod debug;
 mod device;
 pub mod devices;
+mod engine;
 mod machine;
 
 pub use cycles::{CycleModel, FirmwareCosts};
 pub use device::Device;
+pub use engine::{core_for, CpuCore, FastCore, LegacyCore, TranslatedCore};
 pub use machine::{
-    CycleObserver, DispatchStamp, Event, Fault, Machine, MachineConfig, MachineSnapshot,
-    MachineStats,
+    engine_from_env, CycleObserver, DispatchStamp, EngineKind, Event, Fault, Machine,
+    MachineConfig, MachineSnapshot, MachineStats,
 };

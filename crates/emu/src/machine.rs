@@ -9,6 +9,12 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 use tytan_trace::{CounterId, EventKind, Layer, Tracer};
 
+// The block translation engine. A child of this module (not a sibling)
+// because it is the machine's third run loop and needs the same private
+// state the other two use.
+#[path = "translate.rs"]
+pub(crate) mod translate;
+
 /// Host-side observer of exact guest-cycle attribution.
 ///
 /// The machine reports every clock advance to the attached observer,
@@ -70,12 +76,12 @@ pub struct MachineConfig {
     pub hw_context_save: bool,
     /// Cycles the hardware context save costs when enabled.
     pub hw_save_cost: u64,
-    /// Host-side fast path: predecode cache, EA-MPU decision cache, and the
-    /// event-driven run loop. Model-invariant — every charged cycle and
-    /// every observable machine state is bit-identical with it on or off
-    /// (the cycle-identity differential tests assert this); disabling it
-    /// exists for those tests and for debugging.
-    pub fast_path: bool,
+    /// Which execution engine drives [`Machine::run`]. Engine choice is
+    /// model-invariant — every charged cycle and every observable machine
+    /// state is bit-identical across engines (the cycle-identity and
+    /// three-way lockstep differential tests assert this); the non-default
+    /// engines exist for those tests, for debugging, and for throughput.
+    pub engine: EngineKind,
 }
 
 impl Default for MachineConfig {
@@ -87,21 +93,61 @@ impl Default for MachineConfig {
             firmware_costs: FirmwareCosts::default(),
             hw_context_save: false,
             hw_save_cost: 8,
-            fast_path: fast_path_default(),
+            engine: engine_default(),
         }
     }
 }
 
-/// Default for [`MachineConfig::fast_path`], overridable by the
-/// `TYTAN_FAST_PATH` environment variable (`0`/`false`/`off`/`no` disable
-/// it). CI runs the whole workspace test suite once per value so the legacy
-/// loop stays exercised end-to-end; the result is cached for the process
+/// Which run loop [`Machine::run`] uses. All three are cycle- and
+/// state-identical; see [`MachineConfig::engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The original per-instruction reference loop: poll every device and
+    /// re-check every boundary condition between each instruction, with
+    /// all host-side caches (predecode, EA-MPU decision cache) off.
+    Legacy,
+    /// The event-driven interpreter fast path: predecode cache, EA-MPU
+    /// decision cache, batched stepping between boundaries. The default.
+    Fast,
+    /// The block translation engine: basic blocks discovered at execution
+    /// time are compiled to threaded code with pre-decoded operands,
+    /// pre-summed cycle costs and pre-resolved EA-MPU decisions, cached
+    /// by entry address, invalidated on self-modifying writes and any
+    /// MPU/platform reconfiguration. Falls back to [`Machine::step`]
+    /// wherever a block cannot be (or is not worth) compiling.
+    Translated,
+}
+
+/// Resolves the engine choice from environment-variable values: the
+/// `TYTAN_EXEC_ENGINE` setting (`legacy`/`fast`/`translated`) wins, with
+/// the older boolean `TYTAN_FAST_PATH` (`0`/`false`/`off`/`no` meaning
+/// legacy) kept as a deprecated alias. Unset (or unrecognised) values
+/// fall through to the default, [`EngineKind::Fast`].
+pub fn engine_from_env(exec_engine: Option<&str>, fast_path: Option<&str>) -> EngineKind {
+    if let Some(v) = exec_engine {
+        return match v.trim() {
+            "legacy" => EngineKind::Legacy,
+            "translated" => EngineKind::Translated,
+            _ => EngineKind::Fast,
+        };
+    }
+    match fast_path {
+        Some(v) if matches!(v.trim(), "0" | "false" | "off" | "no") => EngineKind::Legacy,
+        _ => EngineKind::Fast,
+    }
+}
+
+/// Default for [`MachineConfig::engine`], resolved once per process from
+/// `TYTAN_EXEC_ENGINE` / `TYTAN_FAST_PATH` (see [`engine_from_env`]). CI
+/// runs the whole workspace test suite once per engine so every loop
+/// stays exercised end-to-end; the result is cached for the process
 /// because a test binary must not see the default flip mid-run.
-fn fast_path_default() -> bool {
-    static FAST_PATH: OnceLock<bool> = OnceLock::new();
-    *FAST_PATH.get_or_init(|| match std::env::var("TYTAN_FAST_PATH") {
-        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
-        Err(_) => true,
+fn engine_default() -> EngineKind {
+    static ENGINE: OnceLock<EngineKind> = OnceLock::new();
+    *ENGINE.get_or_init(|| {
+        let exec = std::env::var("TYTAN_EXEC_ENGINE").ok();
+        let fast = std::env::var("TYTAN_FAST_PATH").ok();
+        engine_from_env(exec.as_deref(), fast.as_deref())
     })
 }
 
@@ -266,7 +312,25 @@ pub struct Machine {
     cycle_model: CycleModel,
     firmware_costs: FirmwareCosts,
     stats: MachineStats,
-    fast_path: bool,
+    engine: EngineKind,
+    /// Whether the host-side caches (predecode, EA-MPU decision cache)
+    /// are active: true for every engine except [`EngineKind::Legacy`],
+    /// which must exercise the pure uncached pipeline.
+    fast_caches: bool,
+    /// Whether the predecode cache specifically is maintained: only the
+    /// fast interpreter, whose hot loop decodes through it. The block
+    /// translator pre-decodes into its own cache and reaches `step` only
+    /// on cold fallback paths, so maintaining predecode tags there would
+    /// tax every RAM write for nothing.
+    predecode_on: bool,
+    /// Monotonic epoch of the firmware-trap set; part of the translation
+    /// engine's revalidation snapshot (compiled blocks stop before trap
+    /// addresses, so the set's shape is baked into them).
+    trap_gen: u64,
+    /// Translation-engine state: the block cache, the code-page bitmap
+    /// and the dirty-range queue (see `translate`). Empty unless the
+    /// engine is [`EngineKind::Translated`].
+    tcache: translate::TransState,
     /// Direct-mapped predecode cache indexed by `(eip >> 2) % size`; an
     /// entry is valid when its `tag` equals the word-aligned EIP it was
     /// filled for. RAM writes invalidate overlapping entries.
@@ -299,6 +363,10 @@ struct EmuTrace {
     class: [CounterId; 4],
     predecode_hit: CounterId,
     predecode_miss: CounterId,
+    block_compile: CounterId,
+    block_hit: CounterId,
+    block_invalidate_smc: CounterId,
+    block_invalidate_mpu: CounterId,
     mmio_read: CounterId,
     mmio_write: CounterId,
     faults: CounterId,
@@ -367,10 +435,12 @@ impl fmt::Debug for Machine {
 impl Machine {
     /// Builds a machine from `config` with zeroed RAM and registers.
     pub fn new(config: MachineConfig) -> Self {
+        let fast_caches = config.engine != EngineKind::Legacy;
+        let predecode_on = config.engine == EngineKind::Fast;
         let mut mpu = EaMpu::new(config.mpu_slots);
-        // With the fast path off the MPU must take its pure scan path too,
+        // On the legacy engine the MPU must take its pure scan path too,
         // so differential tests compare against the fully-legacy pipeline.
-        mpu.set_decision_cache_enabled(config.fast_path);
+        mpu.set_decision_cache_enabled(fast_caches);
         Machine {
             regs: [0; 8],
             eip: 0,
@@ -392,7 +462,11 @@ impl Machine {
             cycle_model: config.cycle_model,
             firmware_costs: config.firmware_costs,
             stats: MachineStats::default(),
-            fast_path: config.fast_path,
+            engine: config.engine,
+            fast_caches,
+            predecode_on,
+            trap_gen: 0,
+            tcache: translate::TransState::new(config.ram_size),
             predecode: vec![
                 Predecoded {
                     tag: PREDECODE_EMPTY,
@@ -400,11 +474,7 @@ impl Machine {
                     cost_not_taken: 0,
                     cost_taken: 0,
                 };
-                if config.fast_path {
-                    PREDECODE_ENTRIES
-                } else {
-                    0
-                }
+                if predecode_on { PREDECODE_ENTRIES } else { 0 }
             ],
             device_deadline: 0,
             device_deadline_dirty: true,
@@ -425,6 +495,10 @@ impl Machine {
     /// with a recorder attached to prove it.
     pub fn attach_tracer(&mut self, tracer: Tracer) {
         self.mpu.attach_tracer(&tracer);
+        // Compiled blocks specialise on whether checks are observed
+        // (tracer attached / decision log on); a tracer attach is a
+        // host-side reconfiguration, so drop them.
+        self.tcache.flush();
         let c = tracer.counters().clone();
         self.trace = Some(EmuTrace {
             class: [
@@ -435,6 +509,10 @@ impl Machine {
             ],
             predecode_hit: c.register("emu_predecode_hit"),
             predecode_miss: c.register("emu_predecode_miss"),
+            block_compile: c.register("emu_block_compile"),
+            block_hit: c.register("emu_block_hit"),
+            block_invalidate_smc: c.register("emu_block_invalidate_smc"),
+            block_invalidate_mpu: c.register("emu_block_invalidate_mpu"),
             mmio_read: c.register("emu_mmio_read"),
             mmio_write: c.register("emu_mmio_write"),
             faults: c.register("emu_fault"),
@@ -645,7 +723,7 @@ impl Machine {
     /// word-aligned `W` spans `[W, W + 8)` at most, so candidate start
     /// words run from one word below the range to its last contained word.
     fn invalidate_predecode(&mut self, addr: u32, len: usize) {
-        if !self.fast_path {
+        if !self.fast_caches {
             return;
         }
         // A zero-length write touches no bytes, so there is nothing to
@@ -655,6 +733,14 @@ impl Machine {
         let Some(last_offset) = (len as u32).checked_sub(1) else {
             return;
         };
+        // Self-modifying-code tracking for the translation engine: a write
+        // into a page spanned by a compiled block queues an invalidation
+        // range, drained at the next batch boundary. No-op (an all-zero
+        // page-bitmap probe) unless translated blocks exist.
+        self.tcache.note_code_write(addr, last_offset);
+        if !self.predecode_on {
+            return;
+        }
         if len >= PREDECODE_ENTRIES * 4 {
             // The write blankets the whole cache's index space.
             for entry in &mut self.predecode {
@@ -955,10 +1041,14 @@ impl Machine {
             self.firmware_traps.insert(pos, addr);
         }
         self.trap_filter |= Self::trap_filter_bit(addr);
+        // Compiled blocks stop before trap addresses, so the trap set's
+        // shape is compile-time state for the translation engine.
+        self.trap_gen += 1;
     }
 
     /// Unregisters a firmware trap address.
     pub fn remove_firmware_trap(&mut self, addr: u32) {
+        self.trap_gen += 1;
         if let Ok(pos) = self.firmware_traps.binary_search(&addr) {
             self.firmware_traps.remove(pos);
             // Rebuild the filter; removals are rare (debugger, unload).
@@ -1174,7 +1264,8 @@ impl Machine {
         // the PREDECODE_EMPTY sentinel, and matching every empty slot)
         // from false-hitting: real tags are always word-aligned, the
         // sentinel never is. Found by the tytan-fuzz differential plane.
-        let instr = if self.fast_path && eip & 3 == 0 && self.predecode[predecode_idx].tag == eip {
+        let instr = if self.predecode_on && eip & 3 == 0 && self.predecode[predecode_idx].tag == eip
+        {
             let entry = self.predecode[predecode_idx];
             precost = Some((entry.cost_not_taken, entry.cost_taken));
             if let Some(t) = &self.trace {
@@ -1182,7 +1273,7 @@ impl Machine {
             }
             entry.instr
         } else {
-            if let (true, Some(t)) = (self.fast_path, &self.trace) {
+            if let (true, Some(t)) = (self.predecode_on, &self.trace) {
                 t.tracer.counters().incr(t.predecode_miss);
             }
             let first = self.read_word(eip).map_err(|_| Fault::Decode { eip })?;
@@ -1207,7 +1298,7 @@ impl Machine {
             // which must keep re-executing), RAM writes invalidate the
             // entry, and a RAM-resident tag can never equal the empty
             // sentinel.
-            if self.fast_path
+            if self.predecode_on
                 && eip & 3 == 0
                 && eip as usize + instr.size_bytes() as usize <= self.ram.len()
             {
@@ -1441,18 +1532,23 @@ impl Machine {
     /// set. A registered firmware trap address takes priority: reaching one
     /// pauses execution *before* the (virtual) instruction there runs.
     pub fn run(&mut self, max_cycles: u64) -> Event {
-        if self.fast_path {
-            self.run_fast(max_cycles)
-        } else {
-            self.run_legacy(max_cycles)
+        match self.engine {
+            EngineKind::Legacy => self.run_legacy(max_cycles),
+            EngineKind::Fast => self.run_fast(max_cycles),
+            EngineKind::Translated => self.run_translated(max_cycles),
         }
+    }
+
+    /// The engine driving [`Machine::run`].
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// The original per-instruction loop: poll every device and re-check
     /// every boundary condition between each instruction. Kept verbatim as
     /// the reference the cycle-identity tests compare [`Machine::run_fast`]
     /// against.
-    fn run_legacy(&mut self, max_cycles: u64) -> Event {
+    pub(crate) fn run_legacy(&mut self, max_cycles: u64) -> Event {
         let deadline = self.clock.saturating_add(max_cycles);
         loop {
             self.poll_devices();
@@ -1506,7 +1602,7 @@ impl Machine {
     /// `device_deadline`, which [`Device::next_event`] guarantees is the
     /// first boundary where a poll could matter, so devices observe the
     /// exact same poll timeline the legacy loop gives them.
-    fn run_fast(&mut self, max_cycles: u64) -> Event {
+    pub(crate) fn run_fast(&mut self, max_cycles: u64) -> Event {
         let deadline = self.clock.saturating_add(max_cycles);
         loop {
             if self.device_deadline_dirty {
@@ -1599,7 +1695,7 @@ mod tests {
         // CI matrix) legitimately never consults.
         let build = |src: &str| {
             let mut m = Machine::new(MachineConfig {
-                fast_path: true,
+                engine: EngineKind::Fast,
                 ..MachineConfig::default()
             });
             let p = assemble(src, 0x100).expect("assemble");
@@ -2166,9 +2262,12 @@ mod tests {
         }
     }
 
-    fn edge_machine(fast: bool, word: u32) -> Machine {
+    const ALL_ENGINES: [EngineKind; 3] =
+        [EngineKind::Legacy, EngineKind::Fast, EngineKind::Translated];
+
+    fn edge_machine(engine: EngineKind, word: u32) -> Machine {
         let mut m = Machine::new(MachineConfig {
-            fast_path: fast,
+            engine,
             ..MachineConfig::default()
         });
         m.add_device(Box::new(CodeRom {
@@ -2191,8 +2290,8 @@ mod tests {
             },
             &mut words,
         );
-        for fast in [true, false] {
-            let mut m = edge_machine(fast, words[0]);
+        for engine in ALL_ENGINES {
+            let mut m = edge_machine(engine, words[0]);
             m.set_eip(0xFFFF_FFFC);
             assert_eq!(m.step(), Err(Fault::Decode { eip: 0xFFFF_FFFC }));
         }
@@ -2202,8 +2301,8 @@ mod tests {
     fn single_word_instruction_at_edge_faults_on_fallthrough() {
         let mut words = Vec::new();
         sp32::encode(&Instr::Nop, &mut words);
-        for fast in [true, false] {
-            let mut m = edge_machine(fast, words[0]);
+        for engine in ALL_ENGINES {
+            let mut m = edge_machine(engine, words[0]);
             // One word below the edge both the instruction and its
             // fall-through EIP exist, so execution proceeds...
             m.set_eip(0xFFFF_FFF8);
@@ -2228,9 +2327,9 @@ mod tests {
             },
             &mut words,
         );
-        for fast in [true, false] {
+        for engine in ALL_ENGINES {
             let mut m = Machine::new(MachineConfig {
-                fast_path: fast,
+                engine,
                 ..MachineConfig::default()
             });
             let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
@@ -2241,7 +2340,7 @@ mod tests {
             assert_eq!(
                 m.step(),
                 Err(Fault::Decode { eip: 0xFFFF_FFFF }),
-                "fast={fast}: fetch at the sentinel address must fault"
+                "{engine:?}: fetch at the sentinel address must fault"
             );
         }
     }
@@ -2249,7 +2348,7 @@ mod tests {
     #[test]
     fn zero_length_writes_do_not_sweep_the_predecode_cache() {
         let mut m = Machine::new(MachineConfig {
-            fast_path: true,
+            engine: EngineKind::Fast,
             ..MachineConfig::default()
         });
         let p = assemble("movi r0, 1\nmovi r1, 2\nhlt\n", 0x100).expect("assemble");
@@ -2283,10 +2382,10 @@ mod tests {
         m.set_reg(Reg::SP, 0xFFFF_FFFC);
         assert_eq!(m.pop_word(), Err(Fault::Bus { addr: 0xFFFF_FFFC }));
         assert_eq!(m.reg(Reg::SP), 0xFFFF_FFFC, "failed pop must not move SP");
-        // The guest-visible path agrees, on both run loops.
-        for fast in [true, false] {
+        // The guest-visible path agrees, on every run loop.
+        for engine in ALL_ENGINES {
             let mut m = Machine::new(MachineConfig {
-                fast_path: fast,
+                engine,
                 ..MachineConfig::default()
             });
             let p = assemble("movi sp, 0\npush r0\nhlt\n", 0x100).expect("assemble");
@@ -2313,10 +2412,10 @@ mod tests {
         );
         assert!(matches!(m.idt_entry(200), Err(Fault::Bus { .. })));
         // A software INT dispatched through the same IDT degrades to the
-        // same typed fault on both run loops.
-        for fast in [true, false] {
+        // same typed fault on every run loop.
+        for engine in ALL_ENGINES {
             let mut m = Machine::new(MachineConfig {
-                fast_path: fast,
+                engine,
                 ..MachineConfig::default()
             });
             let p = assemble("movi sp, 0x8000\nint 100\nhlt\n", 0x100).expect("assemble");

@@ -1,12 +1,13 @@
-//! The differential oracle: fast path vs legacy interpreter in
-//! lockstep.
+//! The differential oracle: every execution engine vs the legacy
+//! interpreter in lockstep.
 //!
-//! Both machines are built bit-identically from a [`CaseSetup`] —
-//! same program, registers, IDT, EA-MPU rules, devices, pending IRQs —
-//! and differ in exactly one bit: [`MachineConfig::fast_path`]. The
-//! fast path's contract is total invisibility (predecode cache, EA-MPU
-//! decision cache, event-driven run loop — all guest-transparent), so
-//! *any* observable difference is a bug:
+//! One machine per [`EngineKind`] is built bit-identically from a
+//! [`CaseSetup`] — same program, registers, IDT, EA-MPU rules, devices,
+//! pending IRQs — differing in exactly one bit: the engine. Each
+//! engine's contract is total invisibility (predecode cache, EA-MPU
+//! decision cache, event-driven run loop, block translation cache — all
+//! guest-transparent), so *any* observable difference from the legacy
+//! reference is a bug:
 //!
 //! - run-loop events ([`Event`]) must match at every chunk boundary,
 //! - [`Machine::snapshot`] (registers, EIP, flags, clock, stats,
@@ -16,14 +17,15 @@
 //! - the final RAM digests must match.
 //!
 //! Two drive modes: [`run_diff`] exercises the real run loops
-//! (IRQ delivery, device polling, batching — where loop-boundary bugs
-//! live) in odd-sized chunks; [`step_diff`] single-steps both machines
-//! and compares after every instruction, which localises a divergence
-//! to the exact instruction that caused it.
+//! (IRQ delivery, device polling, batching, block compilation and
+//! invalidation — where loop-boundary bugs live) in odd-sized chunks;
+//! [`step_diff`] single-steps all machines and compares after every
+//! instruction, which localises a divergence to the exact instruction
+//! that caused it.
 
 use crate::gen::{setup_rules, words_to_bytes, CaseSetup};
 use sp_emu::devices::Timer;
-use sp_emu::{Event, Machine, MachineConfig};
+use sp_emu::{EngineKind, Event, Machine, MachineConfig};
 
 /// RAM size for fuzz machines: big enough for any generated address
 /// drawn from `[0, 2^17)`, small enough that per-case construction and
@@ -33,11 +35,15 @@ pub const FUZZ_RAM: u32 = 1 << 17;
 /// MMIO base the optional case timer is mapped at.
 pub const TIMER_BASE: u32 = 0xf000_0000;
 
-/// Builds one of the two machines of a differential pair.
-pub fn build_machine(setup: &CaseSetup, fast: bool) -> Machine {
+/// The lockstep participants, reference first: every comparison is
+/// against `ENGINES[0]` (legacy).
+pub const ENGINES: [EngineKind; 3] = [EngineKind::Legacy, EngineKind::Fast, EngineKind::Translated];
+
+/// Builds one machine of a differential set.
+pub fn build_machine(setup: &CaseSetup, engine: EngineKind) -> Machine {
     let mut m = Machine::new(MachineConfig {
         ram_size: FUZZ_RAM,
-        fast_path: fast,
+        engine,
         hw_context_save: setup.hw_context_save,
         ..MachineConfig::default()
     });
@@ -54,7 +60,7 @@ pub fn build_machine(setup: &CaseSetup, fast: bool) -> Machine {
         let _ = m.set_idt_entry(vector, handler);
     }
     for rule in setup_rules(setup) {
-        // Conflicting rules are rejected identically on both machines.
+        // Conflicting rules are rejected identically on all machines.
         let _ = m.mpu_mut().configure(rule);
     }
     m.set_mpu_enabled(setup.mpu_enabled);
@@ -72,91 +78,140 @@ pub fn build_machine(setup: &CaseSetup, fast: bool) -> Machine {
     m
 }
 
-/// Compares the observable state of the pair; `at` names the boundary
-/// for the failure message.
-pub fn compare_state(at: &str, fast: &Machine, legacy: &Machine) -> Result<(), String> {
-    let sf = fast.snapshot();
+/// Builds the full lockstep set, one machine per engine in [`ENGINES`]
+/// order (legacy reference first).
+pub fn build_machines(setup: &CaseSetup) -> Vec<Machine> {
+    ENGINES.map(|engine| build_machine(setup, engine)).into()
+}
+
+/// Compares the observable state of one machine against the legacy
+/// reference; `at` names the boundary for the failure message.
+pub fn compare_state(at: &str, m: &Machine, legacy: &Machine) -> Result<(), String> {
+    let engine = m.engine();
+    let sm = m.snapshot();
     let sl = legacy.snapshot();
-    if sf != sl {
+    if sm != sl {
         return Err(format!(
-            "state divergence at {at}:\n  fast:   {sf:?}\n  legacy: {sl:?}"
+            "state divergence at {at}:\n  {engine:?}: {sm:?}\n  legacy: {sl:?}"
         ));
     }
-    let df = fast.mpu().take_decision_log();
+    let dm = m.mpu().take_decision_log();
     let dl = legacy.mpu().take_decision_log();
-    if df != dl {
-        let i = df.iter().zip(&dl).take_while(|(a, b)| a == b).count();
+    if dm != dl {
+        let i = dm.iter().zip(&dl).take_while(|(a, b)| a == b).count();
         return Err(format!(
             "EA-MPU decision divergence at {at}: {} vs {} records, first mismatch at {i}: \
-             fast {:?} vs legacy {:?}",
-            df.len(),
+             {engine:?} {:?} vs legacy {:?}",
+            dm.len(),
             dl.len(),
-            df.get(i),
+            dm.get(i),
             dl.get(i),
         ));
     }
     Ok(())
 }
 
-fn compare_ram(fast: &Machine, legacy: &Machine) -> Result<(), String> {
-    if fast.ram_digest() != legacy.ram_digest() {
-        return Err("RAM digest divergence at end of case".to_string());
+/// Compares every non-reference machine's state against the reference
+/// (`machines[0]`), consuming all decision logs. The reference log is
+/// taken once up front (taking drains), so every participant is held
+/// against the same record sequence.
+pub fn compare_all(at: &str, machines: &[Machine]) -> Result<(), String> {
+    let (legacy, rest) = machines.split_first().expect("at least the reference");
+    let sl = legacy.snapshot();
+    let dl = legacy.mpu().take_decision_log();
+    for m in rest {
+        let engine = m.engine();
+        let sm = m.snapshot();
+        if sm != sl {
+            return Err(format!(
+                "state divergence at {at}:\n  {engine:?}: {sm:?}\n  legacy: {sl:?}"
+            ));
+        }
+        let dm = m.mpu().take_decision_log();
+        if dm != dl {
+            let i = dm.iter().zip(&dl).take_while(|(a, b)| a == b).count();
+            return Err(format!(
+                "EA-MPU decision divergence at {at}: {} vs {} records, first mismatch at {i}: \
+                 {engine:?} {:?} vs legacy {:?}",
+                dm.len(),
+                dl.len(),
+                dm.get(i),
+                dl.get(i),
+            ));
+        }
     }
     Ok(())
 }
 
-/// Drives the pair through their *run loops* in identical chunks,
+fn compare_ram(machines: &[Machine]) -> Result<(), String> {
+    let digest = machines[0].ram_digest();
+    for m in &machines[1..] {
+        if m.ram_digest() != digest {
+            return Err(format!(
+                "RAM digest divergence at end of case ({:?} vs legacy)",
+                m.engine()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Drives the set through their *run loops* in identical chunks,
 /// comparing events, state, and EA-MPU decisions at every boundary and
 /// RAM at the end.
 pub fn run_diff(setup: &CaseSetup) -> Result<(), String> {
-    let mut fast = build_machine(setup, true);
-    let mut legacy = build_machine(setup, false);
-    let start = fast.cycles();
+    let mut machines = build_machines(setup);
+    let start = machines[0].cycles();
     let mut boundary = 0u64;
     loop {
-        let spent = fast.cycles() - start;
+        let spent = machines[0].cycles() - start;
         if spent >= setup.budget {
             break;
         }
         let chunk = setup.chunk.min(setup.budget - spent);
-        let ef = fast.run(chunk);
-        let el = legacy.run(chunk);
-        if ef != el {
-            return Err(format!(
-                "event divergence at chunk {boundary}: fast {ef:?} vs legacy {el:?}"
-            ));
+        let el = machines[0].run(chunk);
+        for m in machines.iter_mut().skip(1) {
+            let e = m.run(chunk);
+            if e != el {
+                return Err(format!(
+                    "event divergence at chunk {boundary}: {:?} {e:?} vs legacy {el:?}",
+                    m.engine()
+                ));
+            }
         }
-        compare_state(&format!("chunk {boundary}"), &fast, &legacy)?;
+        compare_all(&format!("chunk {boundary}"), &machines)?;
         boundary += 1;
-        if let Event::Fault(_) | Event::FirmwareTrap { .. } = ef {
+        if let Event::Fault(_) | Event::FirmwareTrap { .. } = el {
             // Faults charge nothing (the clock cannot advance past them)
             // and no firmware is registered to service traps.
             break;
         }
     }
-    compare_ram(&fast, &legacy)
+    compare_ram(&machines)
 }
 
-/// Single-steps the pair, comparing after every instruction. Stops at
+/// Single-steps the set, comparing after every instruction. Stops at
 /// the first fault or halt (no run loop means no IRQ delivery to wake
 /// a halted core).
 pub fn step_diff(setup: &CaseSetup, max_steps: u64) -> Result<(), String> {
-    let mut fast = build_machine(setup, true);
-    let mut legacy = build_machine(setup, false);
+    let mut machines = build_machines(setup);
     for step in 0..max_steps {
-        let rf = fast.step();
-        let rl = legacy.step();
-        if rf != rl {
-            return Err(format!(
-                "step result divergence at instruction {step}: fast {rf:?} vs legacy {rl:?}"
-            ));
+        let rl = machines[0].step();
+        for m in machines.iter_mut().skip(1) {
+            let r = m.step();
+            if r != rl {
+                return Err(format!(
+                    "step result divergence at instruction {step}: {:?} {r:?} vs legacy {rl:?}",
+                    m.engine()
+                ));
+            }
         }
-        compare_state(&format!("instruction {step}"), &fast, &legacy)?;
-        if rf.is_err() || fast.is_halted() {
+        compare_all(&format!("instruction {step}"), &machines)?;
+        if rl.is_err() || machines[0].is_halted() {
             break;
         }
     }
-    compare_ram(&fast, &legacy)
+    compare_ram(&machines)
 }
 
 #[cfg(test)]
@@ -166,7 +221,7 @@ mod tests {
     use crate::rng::FuzzRng;
 
     #[test]
-    fn random_setups_run_identically_on_both_loops() {
+    fn random_setups_run_identically_on_all_engines() {
         for seed in 0..200 {
             let setup = gen_setup(&mut FuzzRng::new(seed));
             run_diff(&setup).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -174,7 +229,7 @@ mod tests {
     }
 
     #[test]
-    fn random_setups_step_identically_on_both_loops() {
+    fn random_setups_step_identically_on_all_engines() {
         for seed in 1_000..1_200 {
             let setup = gen_setup(&mut FuzzRng::new(seed));
             step_diff(&setup, 2_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -182,11 +237,11 @@ mod tests {
     }
 
     #[test]
-    fn self_modifying_code_stays_coherent_across_the_pair() {
+    fn self_modifying_code_stays_coherent_across_the_set() {
         // A program that overwrites its own next instruction: the
-        // predecode cache on the fast side must see the write. `movi r0,
-        // <addr of target>; movi r1, <hlt word>; stw [r0], r1; target:
-        // jmp target` becomes `... hlt`.
+        // predecode cache and the translation cache must see the write.
+        // `movi r0, <addr of target>; movi r1, <hlt word>; stw [r0], r1;
+        // target: jmp target` becomes `... hlt`.
         let origin = 0x1000u32;
         let mut words = Vec::new();
         sp32::encode(
@@ -240,9 +295,12 @@ mod tests {
         };
         run_diff(&setup).expect("self-modifying case");
         step_diff(&setup, 100).expect("self-modifying case, stepped");
-        // And the rewritten instruction must actually have executed.
-        let mut m = build_machine(&setup, true);
-        m.run(1_000);
-        assert!(m.is_halted(), "stored HLT executed");
+        // And the rewritten instruction must actually have executed, on
+        // every engine.
+        for engine in ENGINES {
+            let mut m = build_machine(&setup, engine);
+            m.run(1_000);
+            assert!(m.is_halted(), "{engine:?}: stored HLT not executed");
+        }
     }
 }

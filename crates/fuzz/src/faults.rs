@@ -16,7 +16,7 @@
 //!    must never panic, livelock, or leak resources (an aborted load
 //!    job must release its allocation).
 
-use crate::diff::{build_machine, compare_state, FUZZ_RAM, TIMER_BASE};
+use crate::diff::{build_machines, compare_all, FUZZ_RAM, TIMER_BASE};
 use crate::gen::{encode_stream, gen_setup, gen_stream, CaseSetup, StreamCtx};
 use crate::rng::FuzzRng;
 use eampu::Region;
@@ -33,67 +33,75 @@ use tytan_crypto::{Sha1, TaskId};
 use tytan_image::{mutate, TaskImage};
 use tytan_lint::LintPolicy;
 
-/// Drives a differential pair while injecting per-boundary faults via
-/// `inject`, which must apply the *same* mutation to both machines.
+/// Drives a differential set (one machine per engine, legacy reference
+/// first) while injecting per-boundary faults via `inject`, which must
+/// apply the *same* mutation to every machine.
 fn run_diff_with_injection(
     setup: &CaseSetup,
-    mut inject: impl FnMut(&mut Machine, &mut Machine, u64),
+    mut inject: impl FnMut(&mut [Machine], u64),
 ) -> Result<(), String> {
-    let mut fast = build_machine(setup, true);
-    let mut legacy = build_machine(setup, false);
-    let start = fast.cycles();
+    let mut machines = build_machines(setup);
+    let start = machines[0].cycles();
     let mut boundary = 0u64;
     loop {
-        let spent = fast.cycles() - start;
+        let spent = machines[0].cycles() - start;
         if spent >= setup.budget {
             break;
         }
         let chunk = setup.chunk.min(setup.budget - spent);
-        let ef = fast.run(chunk);
-        let el = legacy.run(chunk);
-        if ef != el {
-            return Err(format!(
-                "event divergence at chunk {boundary} under injection: fast {ef:?} vs legacy {el:?}"
-            ));
+        let el = machines[0].run(chunk);
+        for m in machines.iter_mut().skip(1) {
+            let e = m.run(chunk);
+            if e != el {
+                return Err(format!(
+                    "event divergence at chunk {boundary} under injection: {:?} {e:?} vs legacy {el:?}",
+                    m.engine()
+                ));
+            }
         }
-        compare_state(&format!("chunk {boundary} (injected)"), &fast, &legacy)?;
-        if let Event::Fault(_) | Event::FirmwareTrap { .. } = ef {
+        compare_all(&format!("chunk {boundary} (injected)"), &machines)?;
+        if let Event::Fault(_) | Event::FirmwareTrap { .. } = el {
             break;
         }
-        inject(&mut fast, &mut legacy, boundary);
+        inject(&mut machines, boundary);
         boundary += 1;
     }
-    if fast.ram_digest() != legacy.ram_digest() {
-        return Err("RAM digest divergence after fault injection".to_string());
+    let digest = machines[0].ram_digest();
+    for m in &machines[1..] {
+        if m.ram_digest() != digest {
+            return Err(format!(
+                "RAM digest divergence after fault injection ({:?} vs legacy)",
+                m.engine()
+            ));
+        }
     }
     Ok(())
 }
 
-/// RAM bit flips between run chunks: the fast path's predecode cache
-/// must observe every host-side write, including flips landing in the
-/// program's own text.
+/// RAM bit flips between run chunks: the predecode and translation
+/// caches must observe every host-side write, including flips landing
+/// in the program's own text.
 pub fn bitflip_diff(rng: &mut FuzzRng) -> Result<(), String> {
     let setup = gen_setup(rng);
     let mut flips = rng.fork();
     let origin = setup.origin;
     let text_len = (setup.words.len() * 4) as u32;
-    run_diff_with_injection(&setup, move |fast, legacy, _| {
+    run_diff_with_injection(&setup, move |machines, _| {
         for _ in 0..flips.range(1, 4) {
             // Half the flips target the program text itself — that is
-            // where a stale predecode line would show up.
+            // where a stale cached instruction would show up.
             let addr = if flips.chance(1, 2) && text_len > 0 {
                 origin + flips.next_u32() % text_len
             } else {
                 flips.next_u32() % FUZZ_RAM
             };
             let mask = 1u8 << flips.below(8);
-            // Both machines see the identical mutation; a read/write
+            // Every machine sees the identical mutation; a read/write
             // fault (none expected inside RAM) would also be identical.
-            if let Ok(b) = fast.read_byte(addr) {
-                let _ = fast.write_byte(addr, b ^ mask);
-            }
-            if let Ok(b) = legacy.read_byte(addr) {
-                let _ = legacy.write_byte(addr, b ^ mask);
+            for m in machines.iter_mut() {
+                if let Ok(b) = m.read_byte(addr) {
+                    let _ = m.write_byte(addr, b ^ mask);
+                }
             }
         }
     })
@@ -105,44 +113,49 @@ pub fn bitflip_diff(rng: &mut FuzzRng) -> Result<(), String> {
 pub fn irq_storm_diff(rng: &mut FuzzRng) -> Result<(), String> {
     let setup = gen_setup(rng);
     let mut storm = rng.fork();
-    run_diff_with_injection(&setup, move |fast, legacy, _| {
+    run_diff_with_injection(&setup, move |machines, _| {
         for _ in 0..storm.range(1, 12) {
             let vector = (storm.next_u32() % 64) as u8;
-            fast.raise_irq(vector);
-            legacy.raise_irq(vector);
+            for m in machines.iter_mut() {
+                m.raise_irq(vector);
+            }
         }
     })
 }
 
 /// Timer reprogramming chaos: the device is rearmed mid-flight with
 /// adversarial intervals (including 0, which the device must clamp or
-/// disable, and near-`u64::MAX`), again identically on both machines.
+/// disable, and near-`u64::MAX`), again identically on every machine.
 pub fn timer_chaos_diff(rng: &mut FuzzRng) -> Result<(), String> {
     let mut setup = gen_setup(rng);
     setup.timer = None; // added manually below so we keep the handles
-    let mut fast = build_machine(&setup, true);
-    let mut legacy = build_machine(&setup, false);
+    let mut machines = build_machines(&setup);
     let vector = (32 + rng.next_u32() % 16) as u8;
-    let hf = fast.add_device(Box::new(Timer::new(TIMER_BASE, vector)));
-    let hl = legacy.add_device(Box::new(Timer::new(TIMER_BASE, vector)));
+    let handles: Vec<_> = machines
+        .iter_mut()
+        .map(|m| m.add_device(Box::new(Timer::new(TIMER_BASE, vector))))
+        .collect();
     let mut chaos = rng.fork();
-    let start = fast.cycles();
+    let start = machines[0].cycles();
     let mut boundary = 0u64;
     loop {
-        let spent = fast.cycles() - start;
+        let spent = machines[0].cycles() - start;
         if spent >= setup.budget {
             break;
         }
         let chunk = setup.chunk.min(setup.budget - spent);
-        let ef = fast.run(chunk);
-        let el = legacy.run(chunk);
-        if ef != el {
-            return Err(format!(
-                "event divergence at chunk {boundary} under timer chaos: fast {ef:?} vs legacy {el:?}"
-            ));
+        let el = machines[0].run(chunk);
+        for m in machines.iter_mut().skip(1) {
+            let e = m.run(chunk);
+            if e != el {
+                return Err(format!(
+                    "event divergence at chunk {boundary} under timer chaos: {:?} {e:?} vs legacy {el:?}",
+                    m.engine()
+                ));
+            }
         }
-        compare_state(&format!("chunk {boundary} (timer chaos)"), &fast, &legacy)?;
-        if let Event::Fault(_) | Event::FirmwareTrap { .. } = ef {
+        compare_all(&format!("chunk {boundary} (timer chaos)"), &machines)?;
+        if let Event::Fault(_) | Event::FirmwareTrap { .. } = el {
             break;
         }
         let interval = match chaos.below(5) {
@@ -152,17 +165,21 @@ pub fn timer_chaos_diff(rng: &mut FuzzRng) -> Result<(), String> {
             _ => chaos.range(1, 2_048),
         };
         let enabled = chaos.chance(3, 4);
-        fast.device_mut::<Timer>(hf)
-            .expect("timer handle")
-            .configure(interval, enabled);
-        legacy
-            .device_mut::<Timer>(hl)
-            .expect("timer handle")
-            .configure(interval, enabled);
+        for (m, &h) in machines.iter_mut().zip(&handles) {
+            m.device_mut::<Timer>(h)
+                .expect("timer handle")
+                .configure(interval, enabled);
+        }
         boundary += 1;
     }
-    if fast.ram_digest() != legacy.ram_digest() {
-        return Err("RAM digest divergence after timer chaos".to_string());
+    let digest = machines[0].ram_digest();
+    for m in &machines[1..] {
+        if m.ram_digest() != digest {
+            return Err(format!(
+                "RAM digest divergence after timer chaos ({:?} vs legacy)",
+                m.engine()
+            ));
+        }
     }
     Ok(())
 }

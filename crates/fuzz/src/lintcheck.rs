@@ -20,7 +20,7 @@
 use crate::rng::FuzzRng;
 use eampu::{Perms, Region, Rule};
 use sp32::asm::assemble;
-use sp_emu::{Event, Fault, Machine, MachineConfig};
+use sp_emu::{EngineKind, Event, Fault, Machine, MachineConfig};
 use tytan::loader::LoadJob;
 use tytan::LoadError;
 use tytan_crypto::Sha1;
@@ -112,10 +112,10 @@ fn gen_source(rng: &mut FuzzRng) -> (String, Taint) {
 /// Executes a `CleanProven` image in an EA-MPU sandbox shaped exactly
 /// like the loader would shape it, and reports any access/transfer
 /// fault — which the verdict promised cannot happen.
-fn run_sandboxed(image: &TaskImage, fast: bool) -> Result<(), String> {
+fn run_sandboxed(image: &TaskImage, engine: EngineKind) -> Result<(), String> {
     let base = 0x4000u32;
     let mut m = Machine::new(MachineConfig {
-        fast_path: fast,
+        engine,
         ..MachineConfig::default()
     });
     let mut loadable = image.loadable_bytes();
@@ -140,14 +140,12 @@ fn run_sandboxed(image: &TaskImage, fast: bool) -> Result<(), String> {
         match m.run(1_024) {
             Event::Fault(f @ (Fault::MpuAccess { .. } | Fault::MpuTransfer { .. })) => {
                 return Err(format!(
-                    "CleanProven image raised an EA-MPU fault under {} path: {f:?}",
-                    if fast { "fast" } else { "legacy" }
+                    "CleanProven image raised an EA-MPU fault under {engine:?} engine: {f:?}"
                 ));
             }
             Event::Fault(f) => {
                 return Err(format!(
-                    "CleanProven image faulted ({f:?}) under {} path",
-                    if fast { "fast" } else { "legacy" }
+                    "CleanProven image faulted ({f:?}) under {engine:?} engine"
                 ));
             }
             _ if m.is_halted() => return Ok(()),
@@ -211,8 +209,9 @@ pub fn lint_cross_check(rng: &mut FuzzRng) -> Result<(), String> {
             }
         }
         Verdict::CleanProven => {
-            run_sandboxed(&image, true)?;
-            run_sandboxed(&image, false)?;
+            for engine in crate::diff::ENGINES {
+                run_sandboxed(&image, engine)?;
+            }
         }
         Verdict::CleanUnproven => {} // no promise to check
     }

@@ -8,13 +8,13 @@
 
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
-use tytan_fuzz::diff::{build_machine, run_diff, step_diff};
+use tytan_fuzz::diff::{build_machines, run_diff, step_diff};
 use tytan_fuzz::gen::{gen_instr, gen_setup, CaseSetup, StreamCtx};
 use tytan_fuzz::rng::FuzzRng;
 
 proptest! {
-    /// Any single generated instruction, stepped cold on both
-    /// interpreters, returns `Ok` or a typed fault — identically.
+    /// Any single generated instruction, stepped cold on every engine,
+    /// returns `Ok` or a typed fault — identically.
     #[test]
     fn any_single_instruction_steps_without_panicking(seed in any::<u64>()) {
         let mut rng = FuzzRng::new(seed);
@@ -44,11 +44,12 @@ proptest! {
             budget: 64,
             chunk: 64,
         };
-        let mut fast = build_machine(&setup, true);
-        let mut legacy = build_machine(&setup, false);
-        let rf = fast.step(); // a panic here fails the property
-        let rl = legacy.step();
-        prop_assert_eq!(rf, rl, "single-instruction step diverged for {:?}", instr);
+        let mut machines = build_machines(&setup);
+        let rl = machines[0].step(); // a panic here fails the property
+        for m in &mut machines[1..] {
+            let r = m.step();
+            prop_assert_eq!(r, rl, "single-instruction step diverged for {:?}", instr);
+        }
     }
 
     /// Any whole generated case survives both differential drivers:

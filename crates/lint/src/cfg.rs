@@ -16,7 +16,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use sp32::{decode, encoded_len_words, DecodeError, Instr};
+use sp32::cfg::{ends_block, fetch, is_terminator, FetchError};
+use sp32::{DecodeError, Instr};
 
 /// One decoded, reachable instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,18 +93,6 @@ pub struct Cfg {
     pub indirect_jumps: Vec<(u32, Instr)>,
 }
 
-fn word_at(text: &[u8], pc: u32) -> u32 {
-    let i = pc as usize;
-    u32::from_le_bytes([text[i], text[i + 1], text[i + 2], text[i + 3]])
-}
-
-fn is_terminator(instr: &Instr) -> bool {
-    matches!(
-        instr,
-        Instr::Jmp { .. } | Instr::JmpReg { .. } | Instr::Ret | Instr::Iret | Instr::Hlt
-    )
-}
-
 /// Recovers the CFG of `text` starting from `entry`.
 ///
 /// `reloc_sites` is the image's relocation table (byte offsets of
@@ -123,24 +112,13 @@ pub fn recover(text: &[u8], entry: u32, reloc_sites: &BTreeSet<u32>) -> Cfg {
         if !visited.insert(pc) {
             continue;
         }
-        if !pc.is_multiple_of(4) || pc.checked_add(4).is_none_or(|end| end > text_len) {
-            cfg.truncated.push(pc);
-            continue;
-        }
-        let first = word_at(text, pc);
-        let size = (encoded_len_words(first) * 4) as u32;
-        if pc + size > text_len {
-            cfg.truncated.push(pc);
-            continue;
-        }
-        let ext = if size == 8 {
-            Some(word_at(text, pc + 4))
-        } else {
-            None
-        };
-        let instr = match decode(first, ext) {
-            Ok(instr) => instr,
-            Err(error) => {
+        let (instr, size) = match fetch(text, pc) {
+            Ok(fetched) => (fetched.instr, fetched.size),
+            Err(FetchError::Unfetchable) => {
+                cfg.truncated.push(pc);
+                continue;
+            }
+            Err(FetchError::Decode(error)) => {
                 cfg.decode_errors.push((pc, error));
                 continue;
             }
@@ -209,9 +187,7 @@ pub fn recover(text: &[u8], entry: u32, reloc_sites: &BTreeSet<u32>) -> Cfg {
             let di = instrs[&pc];
             block.instrs.push(di);
             let next = pc + di.size;
-            if is_terminator(&di.instr)
-                || matches!(di.instr, Instr::Jcc { .. } | Instr::Call { .. })
-            {
+            if ends_block(&di.instr) {
                 if let Some(target) = di.target {
                     let kind = if matches!(di.instr, Instr::Call { .. }) {
                         EdgeKind::Call

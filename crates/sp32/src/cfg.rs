@@ -1,0 +1,139 @@
+//! Shared basic-block boundary rules for SP32 code.
+//!
+//! Two independent consumers walk SP32 text looking for block
+//! boundaries: `tytan-lint`'s static CFG recovery and `tytan-emu`'s
+//! block translation engine. If their notions of "what ends a block"
+//! or "what can be fetched here" drift apart, the static and dynamic
+//! views of the same program silently diverge — so both are defined
+//! once, here, next to the ISA they describe.
+
+use crate::{decode, encoded_len_words, DecodeError, Instr};
+
+/// True for instructions with no fall-through successor: control never
+/// reaches the next sequential instruction.
+pub fn is_terminator(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Jmp { .. } | Instr::JmpReg { .. } | Instr::Ret | Instr::Iret | Instr::Hlt
+    )
+}
+
+/// True for instructions that end a basic block: terminators plus the
+/// two-successor instructions (`Jcc`, `Call`) whose fall-through starts
+/// a new block.
+pub fn ends_block(instr: &Instr) -> bool {
+    is_terminator(instr) || matches!(instr, Instr::Jcc { .. } | Instr::Call { .. })
+}
+
+/// Why a fetch at a pc could not produce an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchError {
+    /// The pc is misaligned, or the instruction (first word or
+    /// extension word) extends past the end of `text`.
+    Unfetchable,
+    /// The word(s) at the pc do not decode.
+    Decode(DecodeError),
+}
+
+/// One instruction fetched from a text byte slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchedInstr {
+    /// Address of the first word, relative to the start of `text`.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Encoded size in bytes (4 or 8).
+    pub size: u32,
+}
+
+fn word_at(text: &[u8], pc: u32) -> u32 {
+    let i = pc as usize;
+    u32::from_le_bytes([text[i], text[i + 1], text[i + 2], text[i + 3]])
+}
+
+/// Fetches and decodes the instruction at `pc` within `text`.
+///
+/// `pc` is a byte offset into `text`. The alignment and bounds rules
+/// are exactly the ones the emulator's fetch path enforces: a
+/// misaligned pc or a word that runs off the end of `text` is
+/// [`FetchError::Unfetchable`].
+pub fn fetch(text: &[u8], pc: u32) -> Result<FetchedInstr, FetchError> {
+    let text_len = text.len() as u32;
+    if !pc.is_multiple_of(4) || pc.checked_add(4).is_none_or(|end| end > text_len) {
+        return Err(FetchError::Unfetchable);
+    }
+    let first = word_at(text, pc);
+    let size = (encoded_len_words(first) * 4) as u32;
+    if pc.checked_add(size).is_none_or(|end| end > text_len) {
+        return Err(FetchError::Unfetchable);
+    }
+    let ext = if size == 8 {
+        Some(word_at(text, pc + 4))
+    } else {
+        None
+    };
+    let instr = decode(first, ext).map_err(FetchError::Decode)?;
+    Ok(FetchedInstr { pc, instr, size })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::{Cond, Reg};
+
+    #[test]
+    fn terminators_and_block_enders() {
+        let jmp = Instr::Jmp { target: 0 };
+        let jcc = Instr::Jcc {
+            cond: Cond::Z,
+            target: 0,
+        };
+        let call = Instr::Call { target: 0 };
+        let nop = Instr::Nop;
+        assert!(is_terminator(&jmp));
+        assert!(!is_terminator(&jcc));
+        assert!(!is_terminator(&call));
+        assert!(!is_terminator(&nop));
+        assert!(ends_block(&jmp));
+        assert!(ends_block(&jcc));
+        assert!(ends_block(&call));
+        assert!(!ends_block(&nop));
+        assert!(is_terminator(&Instr::JmpReg { rs: Reg::R1 }));
+        assert!(is_terminator(&Instr::Ret));
+        assert!(is_terminator(&Instr::Iret));
+        assert!(is_terminator(&Instr::Hlt));
+    }
+
+    #[test]
+    fn fetch_walks_a_program() {
+        let program = assemble("main:\n movi r1, 0x12345678\n nop\n hlt\n", 0).unwrap();
+        let first = fetch(&program.bytes, 0).unwrap();
+        assert_eq!(first.size, 8); // movi with 32-bit immediate
+        let second = fetch(&program.bytes, first.size).unwrap();
+        assert_eq!(second.instr, Instr::Nop);
+        assert_eq!(second.size, 4);
+    }
+
+    #[test]
+    fn fetch_rejects_misaligned_and_out_of_bounds() {
+        let program = assemble("main:\n nop\n", 0).unwrap();
+        assert_eq!(fetch(&program.bytes, 1), Err(FetchError::Unfetchable));
+        assert_eq!(fetch(&program.bytes, 4), Err(FetchError::Unfetchable));
+        assert_eq!(fetch(&program.bytes, !3u32), Err(FetchError::Unfetchable));
+    }
+
+    #[test]
+    fn fetch_rejects_truncated_extension_word() {
+        // A two-word instruction whose extension word is cut off.
+        let program = assemble("main:\n movi r1, 0x12345678\n", 0).unwrap();
+        assert_eq!(program.bytes.len(), 8);
+        assert_eq!(fetch(&program.bytes[..4], 0), Err(FetchError::Unfetchable));
+    }
+
+    #[test]
+    fn fetch_surfaces_decode_errors() {
+        let bytes = [0xff, 0xff, 0xff, 0xff];
+        assert!(matches!(fetch(&bytes, 0), Err(FetchError::Decode(_))));
+    }
+}

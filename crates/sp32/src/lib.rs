@@ -31,6 +31,7 @@
 //! ```
 
 pub mod asm;
+pub mod cfg;
 pub mod disasm;
 mod encode;
 mod isa;
