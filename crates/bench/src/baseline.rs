@@ -10,8 +10,8 @@
 //! fix is to regenerate the baseline deliberately, with review.
 //!
 //! Wall-clock-dependent metrics (`host_guest_ips`, rows measured in
-//! `images/s` or `instr/s`) are excluded: they vary with the CI host and
-//! would make the gate flaky. Everything else in the document is
+//! `images/s`, `instr/s`, `atts/s`, or host-nanosecond `ns`) are
+//! excluded: they vary with the CI host and would make the gate flaky. Everything else in the document is
 //! simulated-cycle-derived and deterministic, so tolerances exist only to
 //! absorb deliberate small cost-model adjustments and histogram bin
 //! granularity (log-linear bins are exact below 16 and within 1/16
@@ -71,7 +71,7 @@ const LATENCY_MAX_TOLERANCE: Tolerance = Tolerance {
 
 /// Row units whose values depend on host wall-clock speed, not simulated
 /// cycles — excluded from the gate.
-const WALL_CLOCK_UNITS: &[&str] = &["images/s", "instr/s", "speedup"];
+const WALL_CLOCK_UNITS: &[&str] = &["images/s", "instr/s", "speedup", "atts/s", "ns"];
 
 /// Outcome of a baseline comparison.
 #[derive(Debug, Default)]

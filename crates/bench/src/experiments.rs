@@ -13,6 +13,7 @@ use tytan::rtm::{MeasureJob, MeasureProgress, Rtm};
 use tytan::toolchain::{build_normal_task, SecureTaskBuilder, TaskSource};
 use tytan::usecase::{engine_control_source, radar_monitor_source, CruiseControl};
 use tytan_crypto::{Sha1, TaskId};
+use tytan_fleet::{run_fleet, FleetConfig};
 use tytan_image::TaskImage;
 use tytan_lint::{LintPolicy, Linter, Severity};
 use tytan_profile::{CycleProfiler, Report};
@@ -1190,6 +1191,77 @@ pub fn chrome_trace_use_case() -> String {
     chrome::chrome_trace_json(&ring.events())
 }
 
+// -------------------------------------------------------- fleet throughput
+
+/// Seed for the fleet benchmark runs: fixed so the count rows (accepted /
+/// rejected classes) are bit-for-bit reproducible and baseline-gated.
+const FLEET_SEED: u64 = 20260809;
+
+/// Fleet-scale attestation service: boots fleets of fully simulated
+/// devices on the work-stealing farm, streams their framed attestation
+/// reports into the batched verifier, and reports verified attestations
+/// per host second plus per-report verify-latency quantiles at 1k and 10k
+/// devices. The 1k run injects replays (every 10th device) and MAC
+/// forgeries (every 25th) to prove the rejection books balance under
+/// load; the 10k run is clean and sizes throughput.
+pub fn fleet_throughput() -> Table {
+    let small = run_fleet(&FleetConfig {
+        devices: 1_000,
+        rounds: 1,
+        seed: FLEET_SEED,
+        replay_every: Some(10),
+        corrupt_every: Some(25),
+        ..FleetConfig::default()
+    })
+    .expect("1k fleet runs");
+    assert!(small.clean(), "1k fleet run must be clean: {small:?}");
+
+    let large = run_fleet(&FleetConfig {
+        devices: 10_000,
+        rounds: 1,
+        seed: FLEET_SEED,
+        ..FleetConfig::default()
+    })
+    .expect("10k fleet runs");
+    assert!(large.clean(), "10k fleet run must be clean: {large:?}");
+
+    Table {
+        id: "fleet_throughput",
+        title: "fleet attestation service: throughput and verify latency",
+        note: "every device is a full simulated platform (secure boot, RTM measurement, \
+               attestation task); count rows are deterministic for the fixed seed and \
+               baseline-gated; atts/s and ns rows are host wall-clock and not gated. \
+               verify latency is the amortized per-report share of batched HMAC \
+               verification",
+        rows: vec![
+            Row::measured_only(
+                "reports accepted @1k devices",
+                small.accepted as f64,
+                "count",
+            ),
+            Row::measured_only(
+                "replays rejected @1k devices",
+                small.rejected_replay as f64,
+                "count",
+            ),
+            Row::measured_only(
+                "forgeries rejected @1k devices",
+                small.rejected_bad_mac as f64,
+                "count",
+            ),
+            Row::measured_only(
+                "decode errors @1k devices",
+                small.decode_errors as f64,
+                "count",
+            ),
+            Row::measured_only("throughput @1k devices", small.throughput, "atts/s"),
+            Row::measured_only("throughput @10k devices", large.throughput, "atts/s"),
+            Row::measured_only("verify p50 @10k devices", large.verify_p50_ns as f64, "ns"),
+            Row::measured_only("verify p99 @10k devices", large.verify_p99_ns as f64, "ns"),
+        ],
+    }
+}
+
 /// All experiments in paper order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -1205,6 +1277,7 @@ pub fn all() -> Vec<Table> {
         ablation_hw_save(),
         lint_throughput(),
         engine_throughput(),
+        fleet_throughput(),
     ]
 }
 

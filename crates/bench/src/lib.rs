@@ -350,7 +350,20 @@ mod tests {
                 },
             ),
         ];
-        let json = render_json(&[table], 12_345_678.9, &counters, &latency);
+        // The schema contract demands a fleet_throughput table with the
+        // scaling rows; render one alongside the demo table.
+        let fleet = Table {
+            id: "fleet_throughput",
+            title: "fleet attestation service",
+            note: "n",
+            rows: vec![
+                Row::measured_only("throughput @1k devices", 4500.0, "atts/s"),
+                Row::measured_only("throughput @10k devices", 5190.0, "atts/s"),
+                Row::measured_only("verify p50 @10k devices", 1856.0, "ns"),
+                Row::measured_only("verify p99 @10k devices", 4608.0, "ns"),
+            ],
+        };
+        let json = render_json(&[table, fleet], 12_345_678.9, &counters, &latency);
         assert!(json.contains("\"host_guest_ips\": 12345679"));
         assert!(json.contains("\"predecode_hit_rate\": 0.97"));
         assert!(json.contains(

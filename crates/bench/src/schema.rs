@@ -7,10 +7,10 @@
 //!
 //! The validator implements the subset of JSON Schema the contract uses —
 //! `type` (single name or alternatives), `properties`, `required`,
-//! `additionalProperties` (boolean or schema), `items`, `minItems`, and
-//! `minimum` — on top of the dependency-free reader in
-//! [`tytan_trace::json`]. Unknown keywords are ignored, as JSON Schema
-//! specifies.
+//! `additionalProperties` (boolean or schema), `items`, `minItems`,
+//! `minimum`, `const`, `contains`, and `allOf` — on top of the
+//! dependency-free reader in [`tytan_trace::json`]. Unknown keywords are
+//! ignored, as JSON Schema specifies.
 
 use tytan_trace::json::{self, Value};
 
@@ -69,6 +69,21 @@ fn validate_at(schema: &Value, doc: &Value, path: &str, errors: &mut Vec<String>
         }
     }
 
+    if let Some(expected) = schema.get("const") {
+        if doc != expected {
+            errors.push(format!(
+                "{path}: value does not equal the schema const {}",
+                brief(expected)
+            ));
+        }
+    }
+
+    if let Some(Value::Array(subschemas)) = schema.get("allOf") {
+        for subschema in subschemas {
+            validate_at(subschema, doc, path, errors);
+        }
+    }
+
     if let (Some(min), Value::Number(n)) = (schema.get("minimum").and_then(Value::as_number), doc) {
         if *n < min {
             errors.push(format!("{path}: {n} is below minimum {min}"));
@@ -115,6 +130,56 @@ fn validate_at(schema: &Value, doc: &Value, path: &str, errors: &mut Vec<String>
                 validate_at(item_schema, item, &format!("{path}[{i}]"), errors);
             }
         }
+        if let Some(contains_schema) = schema.get("contains") {
+            let matched = items.iter().any(|item| {
+                let mut scratch = Vec::new();
+                validate_at(contains_schema, item, path, &mut scratch);
+                scratch.is_empty()
+            });
+            if !matched {
+                // A failing CI run needs "which required item is wrong",
+                // not just "something is missing". When the subschema pins
+                // a discriminator (`id`/`label` const) and some item
+                // carries it, that item is present but malformed — report
+                // its actual violations. Otherwise name the missing const.
+                let discriminant = ["id", "label"].iter().find_map(|key| {
+                    let pinned = contains_schema.get("properties")?.get(key)?.get("const")?;
+                    Some((*key, pinned))
+                });
+                let candidate = discriminant.and_then(|(key, pinned)| {
+                    items
+                        .iter()
+                        .enumerate()
+                        .find(|(_, item)| item.get(key) == Some(pinned))
+                });
+                match candidate {
+                    Some((i, item)) => {
+                        validate_at(contains_schema, item, &format!("{path}[{i}]"), errors);
+                    }
+                    None => {
+                        let hint = discriminant
+                            .and_then(|(_, pinned)| pinned.as_str())
+                            .map(|name| format!(" (no item with {name:?})"))
+                            .unwrap_or_default();
+                        errors.push(format!(
+                            "{path}: no array item matches the `contains` schema{hint}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One-line rendering of a schema value for error messages.
+fn brief(value: &Value) -> String {
+    match value {
+        Value::String(s) => format!("{s:?}"),
+        Value::Number(n) => format!("{n}"),
+        Value::Bool(b) => format!("{b}"),
+        Value::Null => "null".to_string(),
+        Value::Array(_) => "array".to_string(),
+        Value::Object(_) => "object".to_string(),
     }
 }
 
@@ -161,6 +226,16 @@ mod tests {
                   "rows": [
                     {"label": "overall", "paper": 95, "measured": 95, "unit": "cycles"},
                     {"label": "extra", "paper": null, "measured": 1.5, "unit": "kHz"}
+                  ]
+                },
+                {
+                  "id": "fleet_throughput",
+                  "title": "fleet attestation service",
+                  "rows": [
+                    {"label": "throughput @1k devices", "paper": null, "measured": 4500.0, "unit": "atts/s"},
+                    {"label": "throughput @10k devices", "paper": null, "measured": 5190.0, "unit": "atts/s"},
+                    {"label": "verify p50 @10k devices", "paper": null, "measured": 1856, "unit": "ns"},
+                    {"label": "verify p99 @10k devices", "paper": null, "measured": 4608, "unit": "ns"}
                   ]
                 }
               ]
@@ -276,5 +351,77 @@ mod tests {
         let errors = check_bench_tables("not json").unwrap_err();
         assert_eq!(errors.len(), 1);
         assert!(errors[0].contains("parse error"));
+    }
+
+    #[test]
+    fn missing_fleet_table_is_reported() {
+        let errors = check_bench_tables(&doc(|s| {
+            *s = s.replace("\"id\": \"fleet_throughput\"", "\"id\": \"fleet_renamed\"");
+        }))
+        .unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("contains") && e.contains("fleet_throughput")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_table_missing_a_required_row_is_reported() {
+        let errors = check_bench_tables(&doc(|s| {
+            *s = s.replace("throughput @10k devices", "throughput at ten thousand");
+        }))
+        .unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("contains") && e.contains("throughput @10k devices")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_row_with_wrong_unit_is_reported() {
+        // The p99 row must be in host nanoseconds; retagging it breaks the
+        // `const` inside the row-level `contains`.
+        let errors = check_bench_tables(&doc(|s| {
+            *s = s.replace(
+                "{\"label\": \"verify p99 @10k devices\", \"paper\": null, \"measured\": 4608, \"unit\": \"ns\"}",
+                "{\"label\": \"verify p99 @10k devices\", \"paper\": null, \"measured\": 4608, \"unit\": \"cycles\"}",
+            );
+        }))
+        .unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains(".unit") && e.contains("\"ns\"")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn const_keyword_pins_exact_values() {
+        let schema = json::parse(r#"{"properties": {"v": {"const": 7}}}"#).unwrap();
+        assert!(validate(&schema, &json::parse(r#"{"v": 7}"#).unwrap()).is_ok());
+        let errors = validate(&schema, &json::parse(r#"{"v": 8}"#).unwrap()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("$.v")), "{errors:?}");
+    }
+
+    #[test]
+    fn all_of_reports_every_failing_branch() {
+        let schema =
+            json::parse(r#"{"allOf": [{"required": ["a"]}, {"required": ["b"]}]}"#).unwrap();
+        assert!(validate(&schema, &json::parse(r#"{"a": 1, "b": 2}"#).unwrap()).is_ok());
+        let errors = validate(&schema, &json::parse("{}").unwrap()).unwrap_err();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn contains_needs_only_one_matching_item() {
+        let schema = json::parse(r#"{"contains": {"const": 3}}"#).unwrap();
+        assert!(validate(&schema, &json::parse("[1, 2, 3]").unwrap()).is_ok());
+        let errors = validate(&schema, &json::parse("[1, 2]").unwrap()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("contains")), "{errors:?}");
     }
 }

@@ -8,7 +8,7 @@
 //! platform key and accessible only to the Remote Attest task (§3).
 
 use crate::rtm::MeasurementRecord;
-use tytan_crypto::{HmacKey, SymmetricKey, TaskId};
+use tytan_crypto::{HmacKey, HmacSchedule, Sha1, SymmetricKey, TaskId};
 
 /// The key-derivation purpose label for `K_a`.
 pub const ATTEST_PURPOSE: &[u8] = b"tytan-remote-attestation-v1";
@@ -71,6 +71,18 @@ impl AttestationReport {
             nonce,
             mac,
         })
+    }
+
+    /// The exact byte string the report's MAC covers
+    /// (`id ‖ digest ‖ nonce` with length framing).
+    ///
+    /// Exposed so bulk verifiers — the fleet service batches MAC checks
+    /// across many devices via [`tytan_crypto::batch_verify`] — can
+    /// compute inputs up front and feed precomputed key schedules,
+    /// instead of going through [`RemoteVerifier::verify`] one report at
+    /// a time.
+    pub fn mac_input(&self) -> Vec<u8> {
+        mac_input(self.id, &self.digest, &self.nonce)
     }
 }
 
@@ -196,6 +208,10 @@ pub enum VerifyError {
     BadMac,
     /// The nonce does not match the verifier's challenge (replay).
     NonceMismatch,
+    /// The nonce was already consumed by an accepted report: a verbatim
+    /// replay of an earlier, genuine attestation (session-tracked;
+    /// distinguishes "old answer re-sent" from a plain stale nonce).
+    ReplayedNonce,
     /// The digest differs from the verifier's reference value for this
     /// software: the device runs unexpected code.
     DigestMismatch {
@@ -211,6 +227,9 @@ impl std::fmt::Display for VerifyError {
         match self {
             VerifyError::BadMac => write!(f, "report MAC verification failed"),
             VerifyError::NonceMismatch => write!(f, "nonce mismatch (possible replay)"),
+            VerifyError::ReplayedNonce => {
+                write!(f, "nonce already consumed (verbatim report replay)")
+            }
             VerifyError::DigestMismatch { .. } => {
                 write!(f, "measurement digest differs from reference")
             }
@@ -262,6 +281,213 @@ impl RemoteVerifier {
                 reported: report.digest.clone(),
             });
         }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- fleet
+
+/// Identity of one device in an attested fleet.
+///
+/// Devices are provisioned with per-device platform keys derived from a
+/// fleet master secret keyed by this id (see `tytan-fleet`), so the id is
+/// both the wire address and the key-derivation input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(u64);
+
+impl DeviceId {
+    /// Wraps a raw 64-bit device identity.
+    pub const fn from_u64(v: u64) -> Self {
+        DeviceId(v)
+    }
+
+    /// The raw 64-bit identity.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Big-endian wire encoding.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes the big-endian wire encoding.
+    pub fn from_bytes(bytes: [u8; 8]) -> Self {
+        DeviceId(u64::from_be_bytes(bytes))
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev-{:016x}", self.0)
+    }
+}
+
+/// How many consumed nonces a [`VerifierSession`] remembers for typed
+/// replay classification. Older replays still fail (the nonce no longer
+/// matches the outstanding challenge) — they just report
+/// [`VerifyError::NonceMismatch`] instead of the more specific
+/// [`VerifyError::ReplayedNonce`].
+pub const REPLAY_WINDOW: usize = 64;
+
+/// Per-device verifier state for fleet attestation: the device's key
+/// schedule, its reference digest, the outstanding challenge nonce, and
+/// a bounded window of consumed nonces for replay rejection.
+///
+/// The session enforces nonce freshness *statefully*, which the
+/// stateless [`RemoteVerifier`] cannot: every challenge it issues is
+/// unique (a session-salted counter), a report only verifies against the
+/// one outstanding challenge, and an accepted report **consumes** its
+/// nonce — submitting the same genuine report twice yields
+/// [`VerifyError::ReplayedNonce`] on the second copy.
+///
+/// # Examples
+///
+/// ```
+/// use tytan::attest::{DeviceId, VerifierSession, VerifyError, ATTEST_PURPOSE};
+/// use tytan_crypto::PlatformKey;
+///
+/// let ka = PlatformKey::from_bytes([7u8; 20]).derive(ATTEST_PURPOSE);
+/// let mut session =
+///     VerifierSession::new(DeviceId::from_u64(1), ka, vec![0xAA; 20], 99);
+/// let nonce = session.challenge();
+/// assert_ne!(nonce, session.challenge()); // every challenge is fresh
+/// ```
+#[derive(Debug)]
+pub struct VerifierSession {
+    device: DeviceId,
+    schedule: HmacSchedule<Sha1>,
+    expected_digest: Vec<u8>,
+    salt: u64,
+    counter: u64,
+    outstanding: Option<Vec<u8>>,
+    consumed: std::collections::VecDeque<Vec<u8>>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl VerifierSession {
+    /// Creates a session for `device` holding its shared attestation key
+    /// `K_a` and the reference digest of the software it must run.
+    /// `salt` decorrelates nonce streams across sessions and service
+    /// restarts.
+    pub fn new(device: DeviceId, ka: SymmetricKey, expected_digest: Vec<u8>, salt: u64) -> Self {
+        VerifierSession {
+            device,
+            schedule: ka.to_hmac_key().schedule(),
+            expected_digest,
+            salt,
+            counter: 0,
+            outstanding: None,
+            consumed: std::collections::VecDeque::with_capacity(REPLAY_WINDOW),
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The device this session verifies.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The precomputed HMAC key schedule (for batched MAC verification
+    /// via [`tytan_crypto::batch_verify`]).
+    pub fn schedule(&self) -> &HmacSchedule<Sha1> {
+        &self.schedule
+    }
+
+    /// Reports accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Reports rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Issues a fresh challenge nonce, replacing any outstanding one (a
+    /// device that never answered simply gets a new challenge; the old
+    /// nonce can no longer be answered).
+    pub fn challenge(&mut self) -> Vec<u8> {
+        // SplitMix64-style mix of (salt, device, counter): unique per
+        // (session, round) and not guessable from prior nonces without
+        // the salt. 16 bytes on the wire.
+        let mut z = self
+            .salt
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.device.0.rotate_left(17))
+            .wrapping_add(self.counter.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let mut nonce = Vec::with_capacity(16);
+        nonce.extend_from_slice(&z.to_be_bytes());
+        nonce.extend_from_slice(&self.counter.to_be_bytes());
+        self.counter += 1;
+        self.outstanding = Some(nonce.clone());
+        nonce
+    }
+
+    /// Verifies `report` against the outstanding challenge, consuming the
+    /// nonce on success.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadMac`] (checked first, so forged reports learn
+    /// nothing about session state), [`VerifyError::ReplayedNonce`] for a
+    /// verbatim replay of an accepted report,
+    /// [`VerifyError::NonceMismatch`] for any other stale or unknown
+    /// nonce, [`VerifyError::DigestMismatch`] for wrong software.
+    pub fn submit(&mut self, report: &AttestationReport) -> Result<(), VerifyError> {
+        let mac_ok = self.schedule.verify(&report.mac_input(), &report.mac);
+        self.submit_with_mac_verdict(report, mac_ok)
+    }
+
+    /// Like [`VerifierSession::submit`], with the MAC verdict computed
+    /// externally — the fleet service batches MAC checks across many
+    /// sessions with [`tytan_crypto::batch_verify`] and completes each
+    /// report here.
+    ///
+    /// # Errors
+    ///
+    /// As [`VerifierSession::submit`].
+    pub fn submit_with_mac_verdict(
+        &mut self,
+        report: &AttestationReport,
+        mac_ok: bool,
+    ) -> Result<(), VerifyError> {
+        let result = self.check(report, mac_ok);
+        match result {
+            Ok(()) => self.accepted += 1,
+            Err(_) => self.rejected += 1,
+        }
+        result
+    }
+
+    fn check(&mut self, report: &AttestationReport, mac_ok: bool) -> Result<(), VerifyError> {
+        if !mac_ok {
+            return Err(VerifyError::BadMac);
+        }
+        if self.consumed.iter().any(|n| n == &report.nonce) {
+            return Err(VerifyError::ReplayedNonce);
+        }
+        match &self.outstanding {
+            Some(nonce) if *nonce == report.nonce => {}
+            _ => return Err(VerifyError::NonceMismatch),
+        }
+        if report.digest != self.expected_digest {
+            return Err(VerifyError::DigestMismatch {
+                expected: self.expected_digest.clone(),
+                reported: report.digest.clone(),
+            });
+        }
+        // Consume the nonce: the same report can never verify again.
+        let nonce = self.outstanding.take().expect("matched above");
+        if self.consumed.len() == REPLAY_WINDOW {
+            self.consumed.pop_front();
+        }
+        self.consumed.push_back(nonce);
         Ok(())
     }
 }
@@ -428,6 +654,171 @@ mod tests {
                 AttestationReport::from_bytes(&bytes[..len]).is_none(),
                 "len {len}"
             );
+        }
+    }
+
+    fn fleet_session() -> (RemoteAttestor, VerifierSession, MeasurementRecord) {
+        let kp = PlatformKey::from_bytes([9u8; 20]);
+        let ka = kp.derive(ATTEST_PURPOSE);
+        let digest = vec![5u8; 20];
+        let session = VerifierSession::new(
+            DeviceId::from_u64(0xD0D0),
+            ka.clone(),
+            digest.clone(),
+            0x5EED,
+        );
+        (RemoteAttestor::new(ka), session, record(digest))
+    }
+
+    #[test]
+    fn session_accepts_fresh_report_and_rejects_its_replay() {
+        let (attestor, mut session, rec) = fleet_session();
+        let nonce = session.challenge();
+        let report = attestor.attest(&rec, &nonce);
+        assert_eq!(session.submit(&report), Ok(()));
+        // The verbatim replay of the *accepted* report is typed as such.
+        assert_eq!(session.submit(&report), Err(VerifyError::ReplayedNonce));
+        assert_eq!(session.accepted(), 1);
+        assert_eq!(session.rejected(), 1);
+    }
+
+    #[test]
+    fn session_rejects_answer_to_a_superseded_challenge() {
+        let (attestor, mut session, rec) = fleet_session();
+        let old = session.challenge();
+        let fresh = session.challenge(); // supersedes `old`
+        let stale = attestor.attest(&rec, &old);
+        assert_eq!(session.submit(&stale), Err(VerifyError::NonceMismatch));
+        let good = attestor.attest(&rec, &fresh);
+        assert_eq!(session.submit(&good), Ok(()));
+    }
+
+    #[test]
+    fn session_challenges_never_repeat() {
+        let (_, mut session, _) = fleet_session();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(session.challenge()), "duplicate nonce");
+        }
+    }
+
+    #[test]
+    fn session_rejects_forged_mac_and_wrong_software() {
+        let (attestor, mut session, rec) = fleet_session();
+        let nonce = session.challenge();
+        let mut forged = attestor.attest(&rec, &nonce);
+        forged.mac[7] ^= 1;
+        assert_eq!(session.submit(&forged), Err(VerifyError::BadMac));
+        // Honest MAC over the wrong binary: the attestor (who holds the
+        // key) reports a different measurement than the reference.
+        let wrong = attestor.attest(&record(vec![6u8; 20]), &nonce);
+        assert!(matches!(
+            session.submit(&wrong),
+            Err(VerifyError::DigestMismatch { .. })
+        ));
+        // The challenge was not consumed by the failures.
+        let good = attestor.attest(&rec, &nonce);
+        assert_eq!(session.submit(&good), Ok(()));
+    }
+
+    #[test]
+    fn session_replay_window_is_bounded() {
+        let (attestor, mut session, rec) = fleet_session();
+        let first_nonce = session.challenge();
+        let first = attestor.attest(&rec, &first_nonce);
+        assert_eq!(session.submit(&first), Ok(()));
+        // Push the first nonce out of the bounded window.
+        for _ in 0..REPLAY_WINDOW {
+            let nonce = session.challenge();
+            let report = attestor.attest(&rec, &nonce);
+            assert_eq!(session.submit(&report), Ok(()));
+        }
+        // Still rejected — just as a generic stale nonce now.
+        assert_eq!(session.submit(&first), Err(VerifyError::NonceMismatch));
+    }
+
+    #[test]
+    fn session_batched_mac_verdict_path_matches_inline() {
+        let (attestor, mut session, rec) = fleet_session();
+        let nonce = session.challenge();
+        let report = attestor.attest(&rec, &nonce);
+        let mac_ok = tytan_crypto::batch_verify(std::iter::once((
+            session.schedule(),
+            report.mac_input().as_slice(),
+            report.mac.as_slice(),
+        )))
+        .all_ok();
+        assert!(mac_ok);
+        assert_eq!(session.submit_with_mac_verdict(&report, mac_ok), Ok(()));
+        assert_eq!(
+            session.submit_with_mac_verdict(&report, false),
+            Err(VerifyError::BadMac)
+        );
+    }
+
+    mod from_bytes_corrupt_inputs {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn sample_report(seed: u64) -> AttestationReport {
+            AttestationReport {
+                id: TaskId::from_u64(seed),
+                digest: (0..20).map(|i| (seed as u8).wrapping_add(i)).collect(),
+                nonce: (0..(seed % 32) as u8).collect(),
+                mac: (0..20).map(|i| (seed as u8) ^ i).collect(),
+            }
+        }
+
+        proptest! {
+            // Arbitrary garbage never panics, and anything that parses
+            // must survive a serialization round trip.
+            #[test]
+            fn garbage_parses_to_none_or_roundtrips(
+                bytes in proptest::collection::vec(any::<u8>(), 0..256)
+            ) {
+                if let Some(report) = AttestationReport::from_bytes(&bytes) {
+                    prop_assert_eq!(
+                        AttestationReport::from_bytes(&report.to_bytes()),
+                        Some(report)
+                    );
+                }
+            }
+
+            // A single flipped bit in a valid encoding either still
+            // parses (payload bytes) or is rejected — never a panic, and
+            // never a report that re-encodes to the *original* bytes.
+            #[test]
+            fn bit_flipped_reports_never_panic(seed in any::<u64>(), bit in 0usize..2048) {
+                let original = sample_report(seed).to_bytes();
+                let mut flipped = original.clone();
+                let bit = bit % (flipped.len() * 8);
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                if let Some(report) = AttestationReport::from_bytes(&flipped) {
+                    prop_assert!(report.to_bytes() != original);
+                }
+            }
+
+            // Every strict prefix of a valid encoding is rejected.
+            #[test]
+            fn truncations_rejected(seed in any::<u64>(), cut in 0usize..1024) {
+                let bytes = sample_report(seed).to_bytes();
+                let cut = cut % bytes.len();
+                prop_assert_eq!(AttestationReport::from_bytes(&bytes[..cut]), None);
+            }
+
+            // Oversized length prefixes (> 64 KiB fields) are rejected
+            // rather than allocating unboundedly.
+            #[test]
+            fn oversized_length_prefix_rejected(
+                len in ((1u32 << 16) + 1)..u32::MAX,
+                seed in any::<u64>(),
+            ) {
+                let mut bytes = Vec::new();
+                bytes.extend_from_slice(&seed.to_be_bytes());
+                bytes.extend_from_slice(&len.to_le_bytes());
+                bytes.extend_from_slice(&[0u8; 64]);
+                prop_assert_eq!(AttestationReport::from_bytes(&bytes), None);
+            }
         }
     }
 }

@@ -1,11 +1,17 @@
 //! Constant-time comparison.
 
-/// Compares two byte slices in constant time (for equal lengths).
+/// Compares two byte slices in constant time: a byte-wise accumulate
+/// with **no early exit**.
 ///
-/// Returns `false` immediately for mismatched lengths — the length of a MAC
-/// tag is public. For equal lengths the running time is independent of the
-/// position of the first differing byte, which prevents the byte-by-byte
-/// MAC-forgery oracle.
+/// The length difference is folded into the same accumulator as the byte
+/// differences, and the shared prefix is always walked to its end — there
+/// is no data-dependent branch anywhere in the loop, so for equal-length
+/// inputs the running time is independent of the position of the first
+/// differing byte. That closes the byte-by-byte MAC-forgery oracle: a
+/// verifier cannot be timed to reveal how many leading tag bytes an
+/// attacker has already guessed right. (The *lengths* of MAC tags are
+/// public, so the min-length prefix walk leaks nothing new on mismatched
+/// lengths.)
 ///
 /// # Examples
 ///
@@ -17,12 +23,11 @@
 /// assert!(!ct_eq(b"tag", b"tagg"));
 /// ```
 pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut diff = 0u8;
+    // Fold the length difference into the accumulator instead of
+    // branching on it.
+    let mut diff = (a.len() ^ b.len()) as u64;
     for (x, y) in a.iter().zip(b.iter()) {
-        diff |= x ^ y;
+        diff |= u64::from(x ^ y);
     }
     // Collapse without branching on the value.
     diff == 0
@@ -44,6 +49,33 @@ mod tests {
         assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
         assert!(!ct_eq(&[0, 2, 3], &[1, 2, 3]));
         assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn equal_length_mismatch_rejected_at_every_position() {
+        // Pins the no-early-exit contract's observable half: an
+        // equal-length mismatch is rejected wherever the differing byte
+        // sits — first, last, or anywhere between — including when every
+        // *other* byte matches (the accumulate must not be overwritten by
+        // later equal bytes).
+        let reference = [0xABu8; 20];
+        for position in 0..reference.len() {
+            let mut forged = reference;
+            forged[position] ^= 0x01;
+            assert!(!ct_eq(&reference, &forged), "position {position}");
+            assert!(!ct_eq(&forged, &reference), "position {position} (swapped)");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_with_equal_prefix_rejected() {
+        // The length difference is folded into the accumulator: a tag
+        // that is a strict prefix of the expected one must not verify.
+        let tag = [7u8; 20];
+        assert!(!ct_eq(&tag, &tag[..19]));
+        assert!(!ct_eq(&tag[..19], &tag));
+        assert!(!ct_eq(&tag, &[]));
+        assert!(!ct_eq(&[], &tag));
     }
 
     proptest! {

@@ -17,25 +17,117 @@ use crate::{ct_eq, Digest, Sha1};
 /// assert_eq!(tag[..4], [0xde, 0x7c, 0x9b, 0x85]);
 /// ```
 pub fn hmac<D: Digest>(key: &[u8], message: &[u8]) -> Vec<u8> {
-    let mut key_block = vec![0u8; D::BLOCK_LEN];
-    if key.len() > D::BLOCK_LEN {
-        let hashed = D::digest(key);
-        key_block[..hashed.len()].copy_from_slice(&hashed);
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
+    HmacSchedule::<D>::new(key).sign(message)
+}
+
+/// A precomputed HMAC key schedule: the hash states after absorbing the
+/// ipad/opad key blocks.
+///
+/// Computing `HMAC(key, m)` from scratch costs four compression-function
+/// calls for a short `m` (ipad block, message block, opad block, inner
+/// digest block). The two key-block compressions depend only on the key,
+/// so a verifier that checks many tags under the same key — the fleet
+/// attestation service verifies thousands of device reports per batch —
+/// precomputes them once and halves the per-message hashing work.
+/// [`batch_verify`] is the corresponding bulk entry point.
+///
+/// # Examples
+///
+/// ```
+/// use tytan_crypto::{hmac_sha1, HmacSchedule, Sha1};
+///
+/// let schedule: HmacSchedule<Sha1> = HmacSchedule::new(b"key");
+/// assert_eq!(schedule.sign(b"msg"), hmac_sha1(b"key", b"msg"));
+/// assert!(schedule.verify(b"msg", &schedule.sign(b"msg")));
+/// ```
+#[derive(Clone)]
+pub struct HmacSchedule<D: Digest> {
+    inner: D,
+    outer: D,
+}
+
+impl<D: Digest> HmacSchedule<D> {
+    /// Precomputes the schedule for `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let hashed = D::digest(key);
+            key_block[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner = D::new();
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        inner.update(&ipad);
+        let mut outer = D::new();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        outer.update(&opad);
+        HmacSchedule { inner, outer }
     }
 
-    let mut inner = D::new();
-    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
+    /// Signs `message`, reusing the precomputed key states.
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let mut inner = self.inner.clone();
+        inner.update(message);
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
 
-    let mut outer = D::new();
-    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    /// Verifies `tag` over `message` in constant time (see
+    /// [`crate::ct_eq`] for the comparison contract).
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        ct_eq(&self.sign(message), tag)
+    }
+}
+
+impl<D: Digest> std::fmt::Debug for HmacSchedule<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The pad states are key-equivalent material: never print them.
+        write!(f, "HmacSchedule(redacted)")
+    }
+}
+
+/// Outcome of a [`batch_verify`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Per-item verdicts, in input order.
+    pub ok: Vec<bool>,
+}
+
+impl BatchOutcome {
+    /// Number of items that verified.
+    pub fn accepted(&self) -> usize {
+        self.ok.iter().filter(|&&b| b).count()
+    }
+
+    /// True when every item verified.
+    pub fn all_ok(&self) -> bool {
+        self.ok.iter().all(|&b| b)
+    }
+}
+
+/// Verifies a batch of `(schedule, message, tag)` items, returning one
+/// verdict per item in input order.
+///
+/// Each item's comparison is constant-time and independent — a bad tag
+/// never short-circuits the rest of the batch, so the total running time
+/// leaks only the batch size. The schedules may all share one key (one
+/// device re-verified across rounds) or differ per item (a fleet drain
+/// cycle covering many devices); either way the two key-block
+/// compressions per HMAC are already paid.
+pub fn batch_verify<'a, D, I>(items: I) -> BatchOutcome
+where
+    D: Digest + 'a,
+    I: IntoIterator<Item = (&'a HmacSchedule<D>, &'a [u8], &'a [u8])>,
+{
+    BatchOutcome {
+        ok: items
+            .into_iter()
+            .map(|(schedule, message, tag)| schedule.verify(message, tag))
+            .collect(),
+    }
 }
 
 /// Computes `HMAC-SHA1(key, message)` — the paper's MAC.
@@ -73,8 +165,19 @@ impl HmacKey {
     }
 
     /// Verifies `tag` over `message` in constant time.
+    ///
+    /// The comparison is a byte-wise accumulate with no early exit (see
+    /// [`crate::ct_eq`]): an equal-length tag differing in any position —
+    /// first byte or last — takes the same code path, so timing reveals
+    /// nothing about *where* a forgery diverges.
     pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
         ct_eq(&self.sign(message), tag)
+    }
+
+    /// Precomputes the HMAC-SHA1 key schedule for bulk signing or
+    /// verification under this key (see [`HmacSchedule`]).
+    pub fn schedule(&self) -> HmacSchedule<Sha1> {
+        HmacSchedule::new(&self.0)
     }
 
     /// Exposes the raw key bytes (for key-derivation input).
@@ -167,5 +270,66 @@ mod tests {
         let debug = format!("{key:?}");
         assert!(debug.contains("redacted"));
         assert!(!debug.contains("42"));
+        let schedule = key.schedule();
+        assert!(format!("{schedule:?}").contains("redacted"));
+    }
+
+    #[test]
+    fn schedule_matches_from_scratch_hmac() {
+        // Every key-size regime: shorter than, equal to, and longer than
+        // the block length (the long-key path hashes the key first).
+        for key_len in [0usize, 5, 20, 64, 80, 200] {
+            let key: Vec<u8> = (0..key_len).map(|i| i as u8).collect();
+            let schedule: HmacSchedule<Sha1> = HmacSchedule::new(&key);
+            for msg_len in [0usize, 1, 55, 64, 300] {
+                let msg: Vec<u8> = (0..msg_len).map(|i| (i * 7) as u8).collect();
+                assert_eq!(
+                    schedule.sign(&msg),
+                    hmac_sha1(&key, &msg),
+                    "key_len {key_len} msg_len {msg_len}"
+                );
+            }
+        }
+        let schedule: HmacSchedule<Sha256> = HmacSchedule::new(b"k");
+        assert_eq!(schedule.sign(b"m"), hmac::<Sha256>(b"k", b"m"));
+    }
+
+    #[test]
+    fn schedule_verify_equal_length_mismatch_rejected() {
+        // The fleet verifier's tag comparison: equal-length forgeries are
+        // rejected wherever the flipped byte sits (no-early-exit compare).
+        let schedule: HmacSchedule<Sha1> = HmacSchedule::new(b"fleet key");
+        let tag = schedule.sign(b"report");
+        for position in 0..tag.len() {
+            let mut forged = tag.clone();
+            forged[position] ^= 0x80;
+            assert!(
+                !schedule.verify(b"report", &forged),
+                "flipped byte {position} accepted"
+            );
+        }
+        assert!(schedule.verify(b"report", &tag));
+        assert!(!schedule.verify(b"report", &tag[..tag.len() - 1]));
+    }
+
+    #[test]
+    fn batch_verify_reports_per_item_verdicts_in_order() {
+        let a: HmacSchedule<Sha1> = HmacSchedule::new(b"device-a");
+        let b: HmacSchedule<Sha1> = HmacSchedule::new(b"device-b");
+        let tag_a = a.sign(b"report-a");
+        let tag_b = b.sign(b"report-b");
+        let mut forged = tag_b.clone();
+        forged[0] ^= 1;
+        let items: Vec<(&HmacSchedule<Sha1>, &[u8], &[u8])> = vec![
+            (&a, b"report-a", &tag_a),
+            (&b, b"report-b", &forged), // forged tag
+            (&b, b"report-b", &tag_b),
+            (&a, b"report-b", &tag_b), // wrong key for that tag
+        ];
+        let outcome = batch_verify(items);
+        assert_eq!(outcome.ok, vec![true, false, true, false]);
+        assert_eq!(outcome.accepted(), 2);
+        assert!(!outcome.all_ok());
+        assert!(batch_verify::<Sha1, _>(Vec::new()).all_ok());
     }
 }

@@ -1,0 +1,135 @@
+//! Fleet attestation driver CLI.
+//!
+//! Boots a fleet of simulated TyTAN devices, streams their attestation
+//! reports through the framed wire protocol into the batched verifier
+//! service, and prints the outcome. Exits non-zero unless the run was
+//! *clean*: every genuine report accepted, every injected replay and
+//! forgery rejected as its own class, zero decode errors — which is
+//! exactly what the `fleet-smoke` CI job asserts.
+//!
+//! ```text
+//! fleet [--devices N] [--rounds N] [--seed N] [--workers N]
+//!       [--chunk N] [--replay-every N] [--corrupt-every N] [--json]
+//! ```
+
+use std::process::ExitCode;
+
+use tytan_fleet::{run_fleet, FleetConfig, FleetOutcome};
+
+fn parse_args() -> Result<(FleetConfig, bool), String> {
+    let mut config = FleetConfig {
+        devices: 1000,
+        ..FleetConfig::default()
+    };
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--devices" => config.devices = value("--devices")?,
+            "--rounds" => config.rounds = value("--rounds")?,
+            "--seed" => config.seed = value("--seed")?,
+            "--workers" => config.workers = value("--workers")? as usize,
+            "--chunk" => config.chunk = value("--chunk")? as usize,
+            "--replay-every" => config.replay_every = Some(value("--replay-every")?),
+            "--corrupt-every" => config.corrupt_every = Some(value("--corrupt-every")?),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fleet [--devices N] [--rounds N] [--seed N] [--workers N] \
+                     [--chunk N] [--replay-every N] [--corrupt-every N] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok((config, json))
+}
+
+fn print_json(outcome: &FleetOutcome) {
+    println!("{{");
+    println!("  \"devices\": {},", outcome.devices);
+    println!("  \"rounds\": {},", outcome.rounds);
+    println!("  \"reports\": {},", outcome.reports);
+    println!("  \"accepted\": {},", outcome.accepted);
+    println!("  \"rejected_replay\": {},", outcome.rejected_replay);
+    println!("  \"rejected_bad_mac\": {},", outcome.rejected_bad_mac);
+    println!("  \"rejected_nonce\": {},", outcome.rejected_nonce);
+    println!("  \"rejected_digest\": {},", outcome.rejected_digest);
+    println!("  \"unknown_device\": {},", outcome.unknown_device);
+    println!("  \"decode_errors\": {},", outcome.decode_errors);
+    println!("  \"injected_replays\": {},", outcome.injected_replays);
+    println!("  \"injected_corrupt\": {},", outcome.injected_corrupt);
+    println!("  \"device_errors\": {},", outcome.device_errors);
+    println!("  \"elapsed_ms\": {},", outcome.elapsed.as_millis());
+    println!("  \"throughput_atts_per_s\": {:.1},", outcome.throughput);
+    println!("  \"verify_p50_ns\": {},", outcome.verify_p50_ns);
+    println!("  \"verify_p99_ns\": {},", outcome.verify_p99_ns);
+    println!("  \"batch_p50_ns\": {},", outcome.batch_p50_ns);
+    println!("  \"batch_p99_ns\": {},", outcome.batch_p99_ns);
+    println!("  \"batches\": {},", outcome.batches);
+    println!("  \"clean\": {}", outcome.clean());
+    println!("}}");
+}
+
+fn print_human(outcome: &FleetOutcome) {
+    println!(
+        "fleet: {} devices x {} rounds -> {} reports in {:.2?}",
+        outcome.devices, outcome.rounds, outcome.reports, outcome.elapsed
+    );
+    println!(
+        "  accepted {}  ({:.0} atts/s)",
+        outcome.accepted, outcome.throughput
+    );
+    println!(
+        "  rejected: replay {} (injected {}), bad-mac {} (injected {}), nonce {}, digest {}",
+        outcome.rejected_replay,
+        outcome.injected_replays,
+        outcome.rejected_bad_mac,
+        outcome.injected_corrupt,
+        outcome.rejected_nonce,
+        outcome.rejected_digest,
+    );
+    println!(
+        "  verify latency p50 {} ns, p99 {} ns  ({} batches, batch p99 {} ns)",
+        outcome.verify_p50_ns, outcome.verify_p99_ns, outcome.batches, outcome.batch_p99_ns
+    );
+    println!(
+        "  decode errors {}, unknown devices {}, device errors {}",
+        outcome.decode_errors, outcome.unknown_device, outcome.device_errors
+    );
+}
+
+fn main() -> ExitCode {
+    let (config, json) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match run_fleet(&config) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("fleet: reference boot failed: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print_json(&outcome);
+    } else {
+        print_human(&outcome);
+    }
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fleet: NOT CLEAN — unexplained acceptances or rejections (see counts above)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,180 @@
+//! The device farm: simulated TyTAN devices for fleet-scale runs.
+//!
+//! Every device is a full [`Platform`] — real secure boot, real RTM
+//! measurement, real attestation key derivation — not a mock that signs
+//! whatever it is handed. Devices are provisioned with per-device
+//! platform keys derived from a fleet master secret keyed by
+//! [`DeviceId`] ([`device_platform_key`]), mirroring how a manufacturer
+//! diversifies one injection secret across a production run; the
+//! verifier derives the same keys from the same master and never stores
+//! per-device state beyond its [`tytan::attest::VerifierSession`].
+//!
+//! All devices run the same task image, so one [`reference_digest`] boot
+//! provisions the expected measurement for the whole fleet.
+
+use tytan::attest::{AttestationReport, DeviceId, ATTEST_PURPOSE};
+use tytan::platform::{Platform, PlatformConfig, PlatformError};
+use tytan::toolchain::{SecureTaskBuilder, TaskSource};
+use tytan_crypto::{Digest, PlatformKey, Sha1, SymmetricKey, TaskId};
+
+/// Load budget (guest cycles) for the fleet task.
+const LOAD_BUDGET: u64 = 400_000_000;
+
+/// Derives the per-device platform key `K_p(d)` from the fleet master
+/// secret: `SHA-1(master ‖ id)`, the standard key-diversification shape.
+/// Both the factory (device side) and the verifier compute this; neither
+/// ships the master to the field.
+pub fn device_platform_key(master: &[u8; 20], device: DeviceId) -> [u8; 20] {
+    let mut h = Sha1::new();
+    h.update(master);
+    h.update(&device.to_bytes());
+    h.finalize().try_into().expect("SHA-1 is 20 bytes")
+}
+
+/// Derives the per-device attestation key `K_a(d)` the verifier shares
+/// with device `d` (symmetric setting, as in the paper).
+pub fn device_attestation_key(master: &[u8; 20], device: DeviceId) -> SymmetricKey {
+    PlatformKey::from_bytes(device_platform_key(master, device)).derive(ATTEST_PURPOSE)
+}
+
+/// The task image every fleet device runs: a counter loop, the same
+/// shape the paper's use case keeps resident.
+pub fn fleet_task_source() -> TaskSource {
+    SecureTaskBuilder::new(
+        "fleet-task",
+        "main:\n movi r1, counter\n\
+         loop:\n ldw r2, [r1]\n addi r2, 1\n stw [r1], r2\n jmp loop\n",
+    )
+    .data("counter:\n .word 0\n")
+    .build()
+    .expect("fleet task assembles")
+}
+
+/// Boots one reference platform and returns the fleet task's measured
+/// identity and digest. Every honest device reports exactly this digest
+/// (measurement depends on the binary, not the platform key), so the
+/// verifier provisions it fleet-wide.
+///
+/// # Errors
+///
+/// Any [`PlatformError`] from the reference boot or load.
+pub fn reference_digest() -> Result<(TaskId, Vec<u8>), PlatformError> {
+    let sim = DeviceSim::provision(DeviceId::from_u64(0), &[0u8; 20])?;
+    let digest = sim
+        .platform
+        .local_attest(sim.task)
+        .expect("loaded task is measured");
+    Ok((sim.task, digest))
+}
+
+/// One simulated device: a booted platform with the fleet task loaded
+/// and measured, ready to answer challenges.
+pub struct DeviceSim {
+    device: DeviceId,
+    platform: Platform,
+    task: TaskId,
+}
+
+impl std::fmt::Debug for DeviceSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceSim")
+            .field("device", &self.device)
+            .field("task", &self.task)
+            .finish()
+    }
+}
+
+impl DeviceSim {
+    /// Boots a device: secure boot under its diversified platform key,
+    /// then loads and measures the fleet task.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlatformError`] from boot or load.
+    pub fn provision(device: DeviceId, master: &[u8; 20]) -> Result<Self, PlatformError> {
+        let config = PlatformConfig {
+            platform_key: device_platform_key(master, device),
+            ..PlatformConfig::default()
+        };
+        let mut platform = Platform::boot(config)?;
+        let token = platform.begin_load(&fleet_task_source(), 2);
+        let (_, task) = platform.wait_load(token, LOAD_BUDGET)?;
+        Ok(DeviceSim {
+            device,
+            platform,
+            task,
+        })
+    }
+
+    /// This device's identity.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The measured identity of the fleet task on this device.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Answers a challenge: a MAC-authenticated report over the fleet
+    /// task's measurement for `nonce`, produced by the platform's own
+    /// Remote Attest task.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlatformError`] from the attestation call.
+    pub fn respond(&mut self, nonce: &[u8]) -> Result<AttestationReport, PlatformError> {
+        self.platform.remote_attest(self.task, nonce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tytan::attest::VerifierSession;
+
+    #[test]
+    fn key_diversification_is_per_device() {
+        let master = [7u8; 20];
+        let a = device_platform_key(&master, DeviceId::from_u64(1));
+        let b = device_platform_key(&master, DeviceId::from_u64(2));
+        assert_ne!(a, b);
+        assert_eq!(a, device_platform_key(&master, DeviceId::from_u64(1)));
+        let other_master = [8u8; 20];
+        assert_ne!(a, device_platform_key(&other_master, DeviceId::from_u64(1)));
+    }
+
+    #[test]
+    fn provisioned_device_attests_against_derived_key() {
+        let master = [3u8; 20];
+        let device = DeviceId::from_u64(42);
+        let (_, digest) = reference_digest().expect("reference boots");
+        let mut sim = DeviceSim::provision(device, &master).expect("device boots");
+        let mut session =
+            VerifierSession::new(device, device_attestation_key(&master, device), digest, 99);
+        let nonce = session.challenge();
+        let report = sim.respond(&nonce).expect("attests");
+        assert_eq!(session.submit(&report), Ok(()));
+    }
+
+    #[test]
+    fn cross_device_key_confusion_is_caught() {
+        // A report MACed under device 1's key must not verify in device
+        // 2's session even though digest and nonce format agree.
+        let master = [5u8; 20];
+        let (_, digest) = reference_digest().expect("reference boots");
+        let mut sim = DeviceSim::provision(DeviceId::from_u64(1), &master).expect("boots");
+        let mut session = VerifierSession::new(
+            DeviceId::from_u64(2),
+            device_attestation_key(&master, DeviceId::from_u64(2)),
+            digest,
+            99,
+        );
+        let nonce = session.challenge();
+        let report = sim.respond(&nonce).expect("attests");
+        assert_eq!(
+            session.submit(&report),
+            Err(tytan::attest::VerifyError::BadMac)
+        );
+    }
+}

@@ -1,0 +1,547 @@
+//! Fleet-scale remote attestation for the TyTAN reproduction.
+//!
+//! The paper evaluates one device; real deployments attest thousands.
+//! This crate closes that gap host-side: a **device farm** boots
+//! thousands of independent [`tytan::platform::Platform`] instances on a
+//! work-stealing thread pool ([`pool`]), each device streams
+//! MAC-authenticated attestation reports over a framed, versioned wire
+//! protocol ([`proto`]), and one **verifier service** ([`verifier`])
+//! ingests every connection, batches HMAC verification across devices
+//! (precomputed key schedules via [`tytan_crypto::batch_verify`]) and
+//! enforces per-device nonce freshness so replays are rejected *typed*,
+//! not silently.
+//!
+//! [`run_fleet`] wires the three together over in-memory channels that
+//! deliberately fragment frames at odd boundaries (the decoder earns its
+//! keep), drives the whole fleet to completion, and returns a
+//! [`FleetOutcome`] with totals, rejection classes, throughput and
+//! verify-latency quantiles — the numbers behind the
+//! `fleet_throughput` benchmark table.
+//!
+//! # Examples
+//!
+//! ```
+//! use tytan_fleet::{run_fleet, FleetConfig};
+//!
+//! let outcome = run_fleet(&FleetConfig {
+//!     devices: 4,
+//!     ..FleetConfig::default()
+//! })
+//! .expect("fleet runs");
+//! assert_eq!(outcome.accepted, 4);
+//! assert!(outcome.clean());
+//! ```
+
+pub mod farm;
+pub mod pool;
+pub mod proto;
+pub mod verifier;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tytan::attest::DeviceId;
+use tytan::platform::PlatformError;
+use tytan_crypto::{Digest, Sha1};
+use tytan_trace::Tracer;
+
+use farm::DeviceSim;
+use pool::WorkStealingPool;
+use proto::{encode, FrameDecoder, Message, PROTOCOL_VERSION};
+use verifier::FleetVerifier;
+
+/// Parameters for one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of simulated devices.
+    pub devices: u64,
+    /// Attestation rounds per device.
+    pub rounds: u64,
+    /// Seed for the fleet master secret and challenge salts. The same
+    /// seed reproduces the same keys, nonces and injection pattern.
+    pub seed: u64,
+    /// Worker threads for the device farm (`0` = auto).
+    pub workers: usize,
+    /// Wire chunk size: frames are fragmented into chunks of this many
+    /// bytes to exercise stream reassembly (`0` = whole frames).
+    pub chunk: usize,
+    /// Every `n`th device re-sends each accepted report verbatim — a
+    /// replay attack the verifier must reject, typed.
+    pub replay_every: Option<u64>,
+    /// Every `n`th device also sends a MAC-corrupted copy of each
+    /// report — a forgery the verifier must reject as `BadMac`.
+    pub corrupt_every: Option<u64>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            devices: 8,
+            rounds: 1,
+            seed: 7,
+            workers: 0,
+            chunk: 13,
+            replay_every: None,
+            corrupt_every: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The fleet master secret for this seed.
+    pub fn master(&self) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(b"tytan-fleet-master-v1");
+        h.update(&self.seed.to_be_bytes());
+        h.finalize().try_into().expect("SHA-1 is 20 bytes")
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .clamp(2, 8)
+    }
+
+    fn replay_hit(&self, device: u64) -> bool {
+        matches!(self.replay_every, Some(n) if n > 0 && device.is_multiple_of(n))
+    }
+
+    fn corrupt_hit(&self, device: u64) -> bool {
+        matches!(self.corrupt_every, Some(n) if n > 0 && device.is_multiple_of(n))
+    }
+
+    /// Replay copies this configuration injects across the whole run.
+    pub fn injected_replays(&self) -> u64 {
+        (0..self.devices).filter(|&d| self.replay_hit(d)).count() as u64 * self.rounds
+    }
+
+    /// Corrupt copies this configuration injects across the whole run.
+    pub fn injected_corrupt(&self) -> u64 {
+        (0..self.devices).filter(|&d| self.corrupt_hit(d)).count() as u64 * self.rounds
+    }
+}
+
+/// What one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Devices driven.
+    pub devices: u64,
+    /// Rounds per device.
+    pub rounds: u64,
+    /// Reports received by the verifier (genuine + injected copies).
+    pub reports: u64,
+    /// Reports accepted (MAC, freshness and digest all good).
+    pub accepted: u64,
+    /// Verbatim replays rejected with the typed replay error.
+    pub rejected_replay: u64,
+    /// Forged/corrupted MACs rejected.
+    pub rejected_bad_mac: u64,
+    /// Stale-nonce rejections (should be zero for honest fleets).
+    pub rejected_nonce: u64,
+    /// Wrong-software rejections (should be zero here).
+    pub rejected_digest: u64,
+    /// Reports from devices the verifier was never provisioned for.
+    pub unknown_device: u64,
+    /// Connections dropped on malformed frames.
+    pub decode_errors: u64,
+    /// Replay copies the run injected (expected `rejected_replay`).
+    pub injected_replays: u64,
+    /// Corrupt copies the run injected (expected `rejected_bad_mac`).
+    pub injected_corrupt: u64,
+    /// Device jobs that failed to boot, load or converse.
+    pub device_errors: u64,
+    /// Wall-clock time for the whole run (boots included).
+    pub elapsed: Duration,
+    /// Accepted attestations per second of wall-clock.
+    pub throughput: f64,
+    /// Median amortized per-report verify latency (ns).
+    pub verify_p50_ns: u64,
+    /// 99th-percentile amortized per-report verify latency (ns).
+    pub verify_p99_ns: u64,
+    /// Median batch verification latency (ns).
+    pub batch_p50_ns: u64,
+    /// 99th-percentile batch verification latency (ns).
+    pub batch_p99_ns: u64,
+    /// Verification batches flushed.
+    pub batches: u64,
+}
+
+impl FleetOutcome {
+    /// Whether the run did exactly what the configuration demanded: every
+    /// genuine report accepted, every injected replay and forgery
+    /// rejected as its own class, nothing unexplained anywhere.
+    pub fn clean(&self) -> bool {
+        self.accepted == self.devices * self.rounds
+            && self.rejected_replay == self.injected_replays
+            && self.rejected_bad_mac == self.injected_corrupt
+            && self.rejected_nonce == 0
+            && self.rejected_digest == 0
+            && self.unknown_device == 0
+            && self.decode_errors == 0
+            && self.device_errors == 0
+    }
+}
+
+/// Transport events from device jobs to the verifier thread.
+enum Inbound {
+    /// A device connected; `reply` carries verifier → device bytes.
+    Connect {
+        device: DeviceId,
+        reply: Sender<Vec<u8>>,
+    },
+    /// Bytes from a device's connection, fragmented arbitrarily.
+    Data { device: DeviceId, bytes: Vec<u8> },
+}
+
+/// Sends one frame, fragmented into `chunk`-byte pieces (whole if 0).
+fn send_chunked(tx: &Sender<Inbound>, device: DeviceId, frame: &[u8], chunk: usize) {
+    let chunk = if chunk == 0 { frame.len() } else { chunk };
+    for piece in frame.chunks(chunk.max(1)) {
+        // A send failure means the verifier is gone; the job just ends.
+        if tx
+            .send(Inbound::Data {
+                device,
+                bytes: piece.to_vec(),
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// One device's whole conversation: connect, hello, then `rounds` of
+/// challenge → report (plus any injected replay/corrupt copies).
+fn device_conversation(
+    device: DeviceId,
+    config: &FleetConfig,
+    master: &[u8; 20],
+    inbound: Sender<Inbound>,
+) -> Result<(), String> {
+    let mut sim =
+        DeviceSim::provision(device, master).map_err(|e| format!("{device}: boot: {e:?}"))?;
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    inbound
+        .send(Inbound::Connect {
+            device,
+            reply: reply_tx,
+        })
+        .map_err(|_| "verifier gone".to_string())?;
+
+    let hello = encode(
+        &Message::Hello {
+            device,
+            max_version: PROTOCOL_VERSION,
+        },
+        PROTOCOL_VERSION,
+    );
+    send_chunked(&inbound, device, &hello, config.chunk);
+
+    let mut decoder = FrameDecoder::new();
+    let next_message = |decoder: &mut FrameDecoder| -> Result<Message, String> {
+        loop {
+            match decoder.next_message() {
+                Ok(Some(message)) => return Ok(message),
+                Ok(None) => {
+                    let bytes = reply_rx
+                        .recv()
+                        .map_err(|_| format!("{device}: verifier hung up"))?;
+                    decoder.push(&bytes);
+                }
+                Err(e) => return Err(format!("{device}: reply stream: {e}")),
+            }
+        }
+    };
+
+    let version = match next_message(&mut decoder)? {
+        Message::Welcome { version } => version,
+        other => return Err(format!("{device}: expected welcome, got {other:?}")),
+    };
+
+    for round in 0..config.rounds {
+        // Verdict frames for earlier rounds interleave with the next
+        // challenge; skip them (the verifier is the source of truth).
+        let nonce = loop {
+            match next_message(&mut decoder)? {
+                Message::Challenge { nonce, .. } => break nonce,
+                Message::Verdict { .. } => continue,
+                other => {
+                    return Err(format!(
+                        "{device}: round {round}: expected challenge, got {other:?}"
+                    ))
+                }
+            }
+        };
+        let report = sim
+            .respond(&nonce)
+            .map_err(|e| format!("{device}: attest: {e:?}"))?;
+        let frame = encode(
+            &Message::Report {
+                device,
+                report: report.clone(),
+            },
+            version,
+        );
+        send_chunked(&inbound, device, &frame, config.chunk);
+        if config.replay_hit(device.as_u64()) {
+            // The identical bytes again: a verbatim replay.
+            send_chunked(&inbound, device, &frame, config.chunk);
+        }
+        if config.corrupt_hit(device.as_u64()) {
+            let mut forged = report;
+            forged.mac[0] ^= 0x80;
+            let frame = encode(
+                &Message::Report {
+                    device,
+                    report: forged,
+                },
+                version,
+            );
+            send_chunked(&inbound, device, &frame, config.chunk);
+        }
+    }
+    Ok(())
+}
+
+/// Runs a whole fleet round: boots `config.devices` platforms on the
+/// farm pool, streams their reports through the wire protocol into one
+/// [`FleetVerifier`], and returns the aggregate outcome.
+///
+/// The verifier runs on the calling thread; device jobs run on the pool.
+/// Determinism: keys, digests, nonces and injections depend only on
+/// `config` (throughput and latency numbers are wall-clock, of course).
+///
+/// # Errors
+///
+/// Any [`PlatformError`] from the reference boot that provisions the
+/// expected fleet digest. Per-device failures do not abort the run; they
+/// are counted in [`FleetOutcome::device_errors`].
+pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, PlatformError> {
+    run_fleet_with_tracer(config, Tracer::null())
+}
+
+/// [`run_fleet`] reporting into a caller-supplied tracer (counters,
+/// histograms and span events land in its registries).
+pub fn run_fleet_with_tracer(
+    config: &FleetConfig,
+    tracer: Tracer,
+) -> Result<FleetOutcome, PlatformError> {
+    let master = config.master();
+    let (_, expected_digest) = farm::reference_digest()?;
+
+    let mut verifier = FleetVerifier::new(master, expected_digest, config.seed, tracer);
+    for d in 0..config.devices {
+        verifier.provision(DeviceId::from_u64(d));
+    }
+
+    let began = Instant::now();
+    let pool = WorkStealingPool::new(config.worker_count());
+    let device_errors = Arc::new(AtomicU64::new(0));
+    let (inbound_tx, inbound_rx) = std::sync::mpsc::channel::<Inbound>();
+    for d in 0..config.devices {
+        let config = config.clone();
+        let inbound = inbound_tx.clone();
+        let device_errors = device_errors.clone();
+        pool.spawn(move || {
+            if device_conversation(DeviceId::from_u64(d), &config, &master, inbound).is_err() {
+                device_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+    // The verifier's recv loop ends when every job has dropped its clone.
+    drop(inbound_tx);
+
+    serve(&mut verifier, inbound_rx, config);
+    pool.wait_idle();
+    let elapsed = began.elapsed();
+
+    let counters = verifier.tracer().counters();
+    let get = |name: &str| counters.get(name).unwrap_or(0);
+    let hists = verifier.tracer().histograms();
+    let verify = hists.get("lat_fleet_verify").map(|h| h.summary());
+    let batch = hists.get("lat_fleet_batch").map(|h| h.summary());
+    let accepted = get("fleet_accepted");
+    Ok(FleetOutcome {
+        devices: config.devices,
+        rounds: config.rounds,
+        reports: get("fleet_reports"),
+        accepted,
+        rejected_replay: get("fleet_rejected_replay"),
+        rejected_bad_mac: get("fleet_rejected_bad_mac"),
+        rejected_nonce: get("fleet_rejected_nonce"),
+        rejected_digest: get("fleet_rejected_digest"),
+        unknown_device: get("fleet_unknown_device"),
+        decode_errors: get("fleet_decode_errors"),
+        injected_replays: config.injected_replays(),
+        injected_corrupt: config.injected_corrupt(),
+        device_errors: device_errors.load(Ordering::Relaxed),
+        elapsed,
+        throughput: accepted as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        verify_p50_ns: verify.map_or(0, |s| s.p50),
+        verify_p99_ns: verify.map_or(0, |s| s.p99),
+        batch_p50_ns: batch.map_or(0, |s| s.p50),
+        batch_p99_ns: batch.map_or(0, |s| s.p99),
+        batches: get("fleet_batches"),
+    })
+}
+
+/// The verifier event loop: ingest until the inbound channel would
+/// block, then flush the pending batch and dispatch verdicts plus the
+/// next round's challenges. Adaptive batching — the batch is however
+/// many reports arrived while the previous one verified — means the
+/// loop never stalls a device that is waiting for its next challenge.
+fn serve(verifier: &mut FleetVerifier, inbound: Receiver<Inbound>, config: &FleetConfig) {
+    let mut replies: HashMap<DeviceId, Sender<Vec<u8>>> = HashMap::new();
+    let mut rounds_done: HashMap<DeviceId, u64> = HashMap::new();
+
+    let send_to =
+        |replies: &HashMap<DeviceId, Sender<Vec<u8>>>, device: DeviceId, frame: Vec<u8>| {
+            if let Some(tx) = replies.get(&device) {
+                // Chunk replies too: the device-side decoder reassembles.
+                let chunk = if config.chunk == 0 {
+                    frame.len().max(1)
+                } else {
+                    config.chunk
+                };
+                for piece in frame.chunks(chunk) {
+                    if tx.send(piece.to_vec()).is_err() {
+                        break;
+                    }
+                }
+            }
+        };
+
+    let handle = |verifier: &mut FleetVerifier,
+                  replies: &mut HashMap<DeviceId, Sender<Vec<u8>>>,
+                  event: Inbound| match event {
+        Inbound::Connect { device, reply } => {
+            replies.insert(device, reply);
+        }
+        Inbound::Data { device, bytes } => {
+            for frame in verifier.ingest(device, &bytes) {
+                send_to(replies, device, frame);
+            }
+        }
+    };
+
+    loop {
+        match inbound.recv() {
+            Ok(event) => {
+                handle(verifier, &mut replies, event);
+                // Drain the burst without blocking.
+                while let Ok(event) = inbound.try_recv() {
+                    handle(verifier, &mut replies, event);
+                }
+            }
+            Err(_) => {
+                // Every device finished; verify whatever is still queued.
+                for entry in verifier.flush() {
+                    send_to(&replies, entry.device, entry.to_frame(PROTOCOL_VERSION));
+                }
+                return;
+            }
+        }
+        for entry in verifier.flush() {
+            let device = entry.device;
+            let accepted = entry.result.is_ok();
+            send_to(&replies, device, entry.to_frame(PROTOCOL_VERSION));
+            if accepted {
+                let done = rounds_done.entry(device).or_insert(0);
+                *done += 1;
+                if *done < config.rounds {
+                    if let Some(frame) = verifier.challenge_frame(device, PROTOCOL_VERSION) {
+                        send_to(&replies, device, frame);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_fleet_is_clean() {
+        let outcome = run_fleet(&FleetConfig {
+            devices: 12,
+            rounds: 2,
+            workers: 3,
+            ..FleetConfig::default()
+        })
+        .expect("fleet runs");
+        assert_eq!(outcome.accepted, 24);
+        assert_eq!(outcome.reports, 24);
+        assert!(outcome.clean(), "outcome: {outcome:?}");
+        assert!(outcome.batches > 0);
+        assert!(outcome.throughput > 0.0);
+    }
+
+    #[test]
+    fn injected_replays_are_all_rejected_typed() {
+        let outcome = run_fleet(&FleetConfig {
+            devices: 10,
+            rounds: 2,
+            replay_every: Some(2),
+            ..FleetConfig::default()
+        })
+        .expect("fleet runs");
+        assert_eq!(outcome.accepted, 20);
+        assert_eq!(outcome.injected_replays, 10);
+        assert_eq!(outcome.rejected_replay, 10);
+        assert!(outcome.clean(), "outcome: {outcome:?}");
+    }
+
+    #[test]
+    fn injected_forgeries_are_all_rejected_as_bad_mac() {
+        let outcome = run_fleet(&FleetConfig {
+            devices: 9,
+            rounds: 1,
+            corrupt_every: Some(3),
+            ..FleetConfig::default()
+        })
+        .expect("fleet runs");
+        assert_eq!(outcome.accepted, 9);
+        assert_eq!(outcome.injected_corrupt, 3);
+        assert_eq!(outcome.rejected_bad_mac, 3);
+        assert!(outcome.clean(), "outcome: {outcome:?}");
+    }
+
+    #[test]
+    fn whole_frame_transport_works_too() {
+        let outcome = run_fleet(&FleetConfig {
+            devices: 4,
+            chunk: 0,
+            ..FleetConfig::default()
+        })
+        .expect("fleet runs");
+        assert!(outcome.clean(), "outcome: {outcome:?}");
+    }
+
+    #[test]
+    fn same_seed_same_books() {
+        let config = FleetConfig {
+            devices: 6,
+            rounds: 1,
+            replay_every: Some(3),
+            corrupt_every: Some(2),
+            ..FleetConfig::default()
+        };
+        let a = run_fleet(&config).expect("fleet runs");
+        let b = run_fleet(&config).expect("fleet runs");
+        // Wall-clock differs; the deterministic books must not.
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.rejected_replay, b.rejected_replay);
+        assert_eq!(a.rejected_bad_mac, b.rejected_bad_mac);
+        assert!(a.clean() && b.clean());
+    }
+}

@@ -1,0 +1,736 @@
+//! The fleet attestation wire protocol.
+//!
+//! Reports travel from thousands of devices to one verifier over byte
+//! streams that fragment and concatenate arbitrarily, so the protocol is
+//! framed and versioned:
+//!
+//! ```text
+//! [len: u32 LE] [version: u8] [type: u8] [payload: (len - 2) bytes]
+//! ```
+//!
+//! `len` covers everything after itself (version byte, type byte and
+//! payload) and is bounded by [`MAX_FRAME_LEN`], so a corrupted length
+//! prefix cannot make the decoder buffer unboundedly. Every frame carries
+//! the protocol version; the session-level agreement is negotiated once
+//! via [`Message::Hello`] / [`Message::Welcome`] (see [`negotiate`]), and
+//! any frame outside the supported window is a typed
+//! [`CodecError::UnsupportedVersion`] — never a silent misparse.
+//!
+//! Decoding is strict: unknown message types, short payloads, trailing
+//! payload bytes, oversized nonces and non-canonical report encodings are
+//! all distinct [`CodecError`]s. The streaming [`FrameDecoder`] reassembles
+//! frames across arbitrary chunk boundaries and poisons itself on the
+//! first error — a corrupted connection is dropped, not resynchronized.
+//!
+//! # Examples
+//!
+//! ```
+//! use tytan::attest::DeviceId;
+//! use tytan_fleet::proto::{encode, FrameDecoder, Message, PROTOCOL_VERSION};
+//!
+//! let msg = Message::Hello { device: DeviceId::from_u64(7), max_version: PROTOCOL_VERSION };
+//! let bytes = encode(&msg, PROTOCOL_VERSION);
+//!
+//! let mut decoder = FrameDecoder::new();
+//! for chunk in bytes.chunks(3) {
+//!     decoder.push(chunk);
+//! }
+//! assert_eq!(decoder.next_message().unwrap(), Some(msg));
+//! assert_eq!(decoder.next_message().unwrap(), None);
+//! ```
+
+use tytan::attest::{AttestationReport, DeviceId};
+
+/// The newest protocol version this implementation speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// The oldest protocol version this implementation still accepts.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on `len` (version + type + payload). Frames beyond this
+/// are rejected before any payload is buffered.
+pub const MAX_FRAME_LEN: usize = 1 << 16;
+
+/// Upper bound on a challenge nonce carried in a frame.
+pub const MAX_NONCE_LEN: usize = 64;
+
+/// Typed decode failures. Every way a frame can be malformed maps to a
+/// distinct variant; decoding never panics and never guesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended inside a frame header or payload. `need` is the
+    /// total bytes required to finish decoding what `have` started.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is too short to
+    /// hold the version and type bytes).
+    BadLength {
+        /// The declared length.
+        len: usize,
+    },
+    /// The frame's version byte is outside the supported window.
+    UnsupportedVersion {
+        /// The version on the wire.
+        got: u8,
+        /// Oldest accepted version.
+        min: u8,
+        /// Newest accepted version.
+        max: u8,
+    },
+    /// The type byte names no known message.
+    UnknownMessageType(u8),
+    /// The payload does not parse as the message type's body.
+    MalformedPayload(&'static str),
+    /// The payload parsed but left unconsumed bytes — frames are exact.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// The decoder already reported an error for this stream; the
+    /// connection must be dropped, not resumed.
+    Poisoned,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            CodecError::BadLength { len } => write!(f, "bad frame length {len}"),
+            CodecError::UnsupportedVersion { got, min, max } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (supported {min}..={max})"
+                )
+            }
+            CodecError::UnknownMessageType(t) => write!(f, "unknown message type {t:#04x}"),
+            CodecError::MalformedPayload(what) => write!(f, "malformed payload: {what}"),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after payload")
+            }
+            CodecError::Poisoned => write!(f, "stream already failed"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Verdict detail codes carried by [`Message::Verdict`] (the wire form of
+/// `tytan::attest::VerifyError`).
+pub mod verdict_code {
+    /// Report accepted.
+    pub const OK: u8 = 0;
+    /// MAC verification failed.
+    pub const BAD_MAC: u8 = 1;
+    /// Verbatim replay of an already-accepted report.
+    pub const REPLAYED_NONCE: u8 = 2;
+    /// Nonce does not match the outstanding challenge.
+    pub const NONCE_MISMATCH: u8 = 3;
+    /// Measurement digest does not match the reference.
+    pub const DIGEST_MISMATCH: u8 = 4;
+    /// The device has no provisioned session.
+    pub const UNKNOWN_DEVICE: u8 = 5;
+}
+
+/// A protocol message. One frame carries exactly one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Device → verifier: opens a session, advertising the newest
+    /// protocol version the device speaks.
+    Hello {
+        /// The connecting device.
+        device: DeviceId,
+        /// Newest version the device supports.
+        max_version: u8,
+    },
+    /// Verifier → device: accepts the session at the negotiated version.
+    Welcome {
+        /// The agreed protocol version for this session.
+        version: u8,
+    },
+    /// Verifier → device: a fresh challenge nonce.
+    Challenge {
+        /// The challenged device.
+        device: DeviceId,
+        /// The nonce to attest against.
+        nonce: Vec<u8>,
+    },
+    /// Device → verifier: an attestation report answering a challenge.
+    Report {
+        /// The reporting device.
+        device: DeviceId,
+        /// The MAC-authenticated report.
+        report: AttestationReport,
+    },
+    /// Verifier → device: the outcome for one submitted report.
+    Verdict {
+        /// The judged device.
+        device: DeviceId,
+        /// Whether the report was accepted.
+        accepted: bool,
+        /// A [`verdict_code`] detailing the outcome.
+        code: u8,
+    },
+}
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_WELCOME: u8 = 2;
+const TYPE_CHALLENGE: u8 = 3;
+const TYPE_REPORT: u8 = 4;
+const TYPE_VERDICT: u8 = 5;
+
+impl Message {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => TYPE_HELLO,
+            Message::Welcome { .. } => TYPE_WELCOME,
+            Message::Challenge { .. } => TYPE_CHALLENGE,
+            Message::Report { .. } => TYPE_REPORT,
+            Message::Verdict { .. } => TYPE_VERDICT,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello {
+                device,
+                max_version,
+            } => {
+                out.extend_from_slice(&device.to_bytes());
+                out.push(*max_version);
+            }
+            Message::Welcome { version } => out.push(*version),
+            Message::Challenge { device, nonce } => {
+                out.extend_from_slice(&device.to_bytes());
+                out.extend_from_slice(&(nonce.len() as u16).to_le_bytes());
+                out.extend_from_slice(nonce);
+            }
+            Message::Report { device, report } => {
+                out.extend_from_slice(&device.to_bytes());
+                let bytes = report.to_bytes();
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(&bytes);
+            }
+            Message::Verdict {
+                device,
+                accepted,
+                code,
+            } => {
+                out.extend_from_slice(&device.to_bytes());
+                out.push(u8::from(*accepted));
+                out.push(*code);
+            }
+        }
+        out
+    }
+}
+
+/// Negotiates the session protocol version from the device's advertised
+/// maximum: the newest version both sides speak.
+///
+/// # Errors
+///
+/// [`CodecError::UnsupportedVersion`] when the windows do not overlap.
+pub fn negotiate(device_max: u8) -> Result<u8, CodecError> {
+    if device_max < MIN_PROTOCOL_VERSION {
+        return Err(CodecError::UnsupportedVersion {
+            got: device_max,
+            min: MIN_PROTOCOL_VERSION,
+            max: PROTOCOL_VERSION,
+        });
+    }
+    Ok(device_max.min(PROTOCOL_VERSION))
+}
+
+/// Encodes `message` as one complete frame at `version`.
+pub fn encode(message: &Message, version: u8) -> Vec<u8> {
+    let payload = message.payload();
+    let len = 2 + payload.len();
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(version);
+    out.push(message.type_byte());
+    out.extend_from_slice(&payload);
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.bytes.len() < n {
+            return Err(CodecError::MalformedPayload("field extends past payload"));
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16_le(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn device(&mut self) -> Result<DeviceId, CodecError> {
+        Ok(DeviceId::from_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                extra: self.bytes.len(),
+            })
+        }
+    }
+}
+
+fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, CodecError> {
+    let mut r = Reader { bytes: payload };
+    let message = match type_byte {
+        TYPE_HELLO => Message::Hello {
+            device: r.device()?,
+            max_version: r.u8()?,
+        },
+        TYPE_WELCOME => Message::Welcome { version: r.u8()? },
+        TYPE_CHALLENGE => {
+            let device = r.device()?;
+            let len = r.u16_le()? as usize;
+            if len > MAX_NONCE_LEN {
+                return Err(CodecError::MalformedPayload("nonce too long"));
+            }
+            Message::Challenge {
+                device,
+                nonce: r.take(len)?.to_vec(),
+            }
+        }
+        TYPE_REPORT => {
+            let device = r.device()?;
+            let len = r.u32_le()? as usize;
+            let bytes = r.take(len)?;
+            let report = AttestationReport::from_bytes(bytes)
+                .ok_or(CodecError::MalformedPayload("report does not parse"))?;
+            // Canonical-encoding check: `from_bytes` tolerates trailing
+            // bytes inside its slice; the frame does not.
+            if report.to_bytes().len() != len {
+                return Err(CodecError::MalformedPayload("report not canonical"));
+            }
+            Message::Report { device, report }
+        }
+        TYPE_VERDICT => {
+            let device = r.device()?;
+            let accepted = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::MalformedPayload("verdict flag not boolean")),
+            };
+            Message::Verdict {
+                device,
+                accepted,
+                code: r.u8()?,
+            }
+        }
+        other => return Err(CodecError::UnknownMessageType(other)),
+    };
+    r.finish()?;
+    Ok(message)
+}
+
+/// Decodes exactly one frame from the front of `bytes`, returning the
+/// message and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Any [`CodecError`]; [`CodecError::Truncated`] means more bytes may
+/// complete the frame, every other variant is fatal for the stream.
+pub fn decode(bytes: &[u8]) -> Result<(Message, usize), CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated {
+            have: bytes.len(),
+            need: 4,
+        });
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if !(2..=MAX_FRAME_LEN).contains(&len) {
+        return Err(CodecError::BadLength { len });
+    }
+    let total = 4 + len;
+    if bytes.len() < total {
+        return Err(CodecError::Truncated {
+            have: bytes.len(),
+            need: total,
+        });
+    }
+    let version = bytes[4];
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(CodecError::UnsupportedVersion {
+            got: version,
+            min: MIN_PROTOCOL_VERSION,
+            max: PROTOCOL_VERSION,
+        });
+    }
+    let message = decode_payload(bytes[5], &bytes[6..total])?;
+    Ok((message, total))
+}
+
+/// A streaming frame reassembler: push byte chunks in whatever sizes the
+/// transport delivers, pull complete messages out.
+///
+/// The first hard decode error poisons the decoder — every subsequent
+/// call returns [`CodecError::Poisoned`]. A framed stream that has lost
+/// sync cannot be trusted to resynchronize, so the connection owning this
+/// decoder must be dropped.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends received bytes. Accepts any chunking, including empty.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if !self.poisoned {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Whether a hard decode error has been observed.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete message, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// The first hard [`CodecError`] poisons the decoder;
+    /// [`CodecError::Poisoned`] thereafter.
+    pub fn next_message(&mut self) -> Result<Option<Message>, CodecError> {
+        if self.poisoned {
+            return Err(CodecError::Poisoned);
+        }
+        match decode(&self.buf) {
+            Ok((message, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(message))
+            }
+            Err(CodecError::Truncated { .. }) => Ok(None),
+            Err(err) => {
+                self.poisoned = true;
+                self.buf.clear();
+                Err(err)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tytan_crypto::TaskId;
+
+    fn sample_messages() -> Vec<Message> {
+        let report = AttestationReport {
+            id: TaskId::from_u64(0xFEED),
+            digest: vec![7u8; 20],
+            nonce: vec![1, 2, 3, 4],
+            mac: vec![9u8; 20],
+        };
+        vec![
+            Message::Hello {
+                device: DeviceId::from_u64(3),
+                max_version: PROTOCOL_VERSION,
+            },
+            Message::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            Message::Challenge {
+                device: DeviceId::from_u64(u64::MAX),
+                nonce: vec![0xAB; 16],
+            },
+            Message::Challenge {
+                device: DeviceId::from_u64(0),
+                nonce: Vec::new(),
+            },
+            Message::Report {
+                device: DeviceId::from_u64(77),
+                report,
+            },
+            Message::Verdict {
+                device: DeviceId::from_u64(5),
+                accepted: true,
+                code: verdict_code::OK,
+            },
+            Message::Verdict {
+                device: DeviceId::from_u64(5),
+                accepted: false,
+                code: verdict_code::REPLAYED_NONCE,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg, PROTOCOL_VERSION);
+            let (decoded, consumed) = decode(&bytes).expect("decodes");
+            assert_eq!(decoded, msg);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_reassembles_any_chunking() {
+        let mut wire = Vec::new();
+        for msg in sample_messages() {
+            wire.extend_from_slice(&encode(&msg, PROTOCOL_VERSION));
+        }
+        for chunk_size in [1, 2, 3, 5, 7, 64, wire.len()] {
+            let mut decoder = FrameDecoder::new();
+            let mut out = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                decoder.push(chunk);
+                while let Some(msg) = decoder.next_message().expect("clean stream") {
+                    out.push(msg);
+                }
+            }
+            assert_eq!(out, sample_messages(), "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_wait_instead_of_failing() {
+        let bytes = encode(
+            &Message::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            PROTOCOL_VERSION,
+        );
+        for cut in 0..bytes.len() {
+            let mut decoder = FrameDecoder::new();
+            decoder.push(&bytes[..cut]);
+            assert_eq!(
+                decoder.next_message().expect("not an error"),
+                None,
+                "cut {cut}"
+            );
+            decoder.push(&bytes[cut..]);
+            assert!(
+                decoder.next_message().expect("completes").is_some(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_outside_window_is_typed() {
+        let mut bytes = encode(
+            &Message::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            PROTOCOL_VERSION,
+        );
+        bytes[4] = PROTOCOL_VERSION + 1;
+        assert_eq!(
+            decode(&bytes),
+            Err(CodecError::UnsupportedVersion {
+                got: PROTOCOL_VERSION + 1,
+                min: MIN_PROTOCOL_VERSION,
+                max: PROTOCOL_VERSION,
+            })
+        );
+        bytes[4] = 0;
+        assert!(matches!(
+            decode(&bytes),
+            Err(CodecError::UnsupportedVersion { got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn negotiation_picks_newest_common_version() {
+        assert_eq!(negotiate(PROTOCOL_VERSION), Ok(PROTOCOL_VERSION));
+        assert_eq!(negotiate(PROTOCOL_VERSION + 9), Ok(PROTOCOL_VERSION));
+        assert!(matches!(
+            negotiate(MIN_PROTOCOL_VERSION.wrapping_sub(1)),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_buffering() {
+        let mut bytes = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            decode(&bytes),
+            Err(CodecError::BadLength {
+                len: MAX_FRAME_LEN + 1
+            })
+        );
+        // Too-short lengths (cannot hold version + type) are equally bad.
+        assert_eq!(
+            decode(&1u32.to_le_bytes()),
+            Err(CodecError::BadLength { len: 1 })
+        );
+    }
+
+    #[test]
+    fn poisoned_decoder_stays_poisoned() {
+        let mut decoder = FrameDecoder::new();
+        let mut bytes = encode(
+            &Message::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            PROTOCOL_VERSION,
+        );
+        bytes[5] = 0xEE; // unknown type
+        decoder.push(&bytes);
+        assert_eq!(
+            decoder.next_message(),
+            Err(CodecError::UnknownMessageType(0xEE))
+        );
+        assert!(decoder.is_poisoned());
+        decoder.push(&encode(
+            &Message::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            PROTOCOL_VERSION,
+        ));
+        assert_eq!(decoder.next_message(), Err(CodecError::Poisoned));
+    }
+
+    #[test]
+    fn non_canonical_report_encoding_rejected() {
+        let report = AttestationReport {
+            id: TaskId::from_u64(1),
+            digest: vec![2u8; 20],
+            nonce: vec![3u8; 8],
+            mac: vec![4u8; 20],
+        };
+        let device = DeviceId::from_u64(9);
+        let mut frame = encode(&Message::Report { device, report }, PROTOCOL_VERSION);
+        // Grow the inner length prefix and pad: `from_bytes` would accept
+        // the prefix, the canonical check must not.
+        let inner_len_at = 4 + 2 + 8;
+        let inner = u32::from_le_bytes(frame[inner_len_at..inner_len_at + 4].try_into().unwrap());
+        frame[inner_len_at..inner_len_at + 4].copy_from_slice(&(inner + 2).to_le_bytes());
+        frame.extend_from_slice(&[0, 0]);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            decode(&frame),
+            Err(CodecError::MalformedPayload(_))
+        ));
+    }
+
+    proptest! {
+        // Round trip under proptest-chosen fields.
+        #[test]
+        fn prop_challenge_round_trips(
+            device in any::<u64>(),
+            nonce in proptest::collection::vec(any::<u8>(), 0..MAX_NONCE_LEN),
+        ) {
+            let msg = Message::Challenge {
+                device: DeviceId::from_u64(device),
+                nonce,
+            };
+            let bytes = encode(&msg, PROTOCOL_VERSION);
+            prop_assert_eq!(decode(&bytes), Ok((msg, bytes.len())));
+        }
+
+        // Arbitrary bytes never panic the decoder: either a message, a
+        // wait-for-more, or a typed error.
+        #[test]
+        fn prop_garbage_never_panics(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let mut decoder = FrameDecoder::new();
+            decoder.push(&bytes);
+            while let Ok(Some(_)) = decoder.next_message() {}
+        }
+
+        // A single flipped bit in a valid frame is caught or yields a
+        // different (still well-formed) message — never a panic, and any
+        // successfully decoded frame consumes exactly its own bytes.
+        #[test]
+        fn prop_bit_flips_never_panic(
+            msg_index in 0usize..7,
+            bit in 0usize..4096,
+        ) {
+            let msg = sample_messages().remove(msg_index);
+            let mut bytes = encode(&msg, PROTOCOL_VERSION);
+            let bit = bit % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            match decode(&bytes) {
+                Ok((_, consumed)) => prop_assert!(consumed <= bytes.len()),
+                Err(CodecError::Truncated { have, need }) => {
+                    // Only a length-prefix flip can make the frame look
+                    // longer than what was sent.
+                    prop_assert!(bit < 32);
+                    prop_assert!(need > have);
+                }
+                Err(_) => {}
+            }
+        }
+
+        // Chunk boundaries never change what a stream decodes to.
+        #[test]
+        fn prop_chunking_is_transparent(
+            split in 1usize..64,
+            count in 1usize..5,
+        ) {
+            let mut wire = Vec::new();
+            let expected: Vec<Message> = (0..count)
+                .map(|i| Message::Challenge {
+                    device: DeviceId::from_u64(i as u64),
+                    nonce: vec![i as u8; i],
+                })
+                .collect();
+            for msg in &expected {
+                wire.extend_from_slice(&encode(msg, PROTOCOL_VERSION));
+            }
+            let mut decoder = FrameDecoder::new();
+            let mut out = Vec::new();
+            for chunk in wire.chunks(split) {
+                decoder.push(chunk);
+                while let Some(msg) = decoder.next_message().expect("clean stream") {
+                    out.push(msg);
+                }
+            }
+            prop_assert_eq!(out, expected);
+        }
+    }
+}

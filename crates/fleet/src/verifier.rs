@@ -1,0 +1,483 @@
+//! The fleet verifier service: many connections in, batched HMAC
+//! verification, per-device freshness out.
+//!
+//! One [`FleetVerifier`] owns every device's
+//! [`tytan::attest::VerifierSession`] plus a streaming
+//! [`crate::proto::FrameDecoder`] per connection. Bytes arrive in
+//! whatever chunks the transport produced ([`FleetVerifier::ingest`]);
+//! decoded reports accumulate in a pending batch and are verified
+//! together in [`FleetVerifier::flush`]: one
+//! [`tytan_crypto::batch_verify`] pass over precomputed per-device key
+//! schedules (the ipad/opad states are hashed once per *device*, not
+//! once per report), then each verdict completes through the session's
+//! stateful nonce check.
+//!
+//! Everything observable lands in the shared `tytan-trace` registries:
+//! `fleet_*` counters for totals and each rejection class, and the
+//! `lat_fleet_verify` / `lat_fleet_batch` histograms (nanoseconds) for
+//! the latency tables.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use tytan::attest::{AttestationReport, DeviceId, VerifierSession, VerifyError};
+use tytan_crypto::batch_verify;
+use tytan_trace::{EventKind, HistId, Layer, Tracer};
+
+use crate::farm::device_attestation_key;
+use crate::proto::{encode, negotiate, verdict_code, CodecError, FrameDecoder, Message};
+
+/// The verdict for one submitted report, as the orchestrator sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushEntry {
+    /// The device whose report was judged.
+    pub device: DeviceId,
+    /// The session verdict ([`Ok`] means accepted and nonce consumed).
+    pub result: Result<(), VerifyError>,
+}
+
+impl FlushEntry {
+    /// The wire [`verdict_code`] for this entry.
+    pub fn code(&self) -> u8 {
+        match &self.result {
+            Ok(()) => verdict_code::OK,
+            Err(VerifyError::BadMac) => verdict_code::BAD_MAC,
+            Err(VerifyError::ReplayedNonce) => verdict_code::REPLAYED_NONCE,
+            Err(VerifyError::NonceMismatch) => verdict_code::NONCE_MISMATCH,
+            Err(VerifyError::DigestMismatch { .. }) => verdict_code::DIGEST_MISMATCH,
+        }
+    }
+
+    /// Encodes this entry as a `Verdict` frame.
+    pub fn to_frame(&self, version: u8) -> Vec<u8> {
+        encode(
+            &Message::Verdict {
+                device: self.device,
+                accepted: self.result.is_ok(),
+                code: self.code(),
+            },
+            version,
+        )
+    }
+}
+
+struct FleetCounters {
+    hello: tytan_trace::CounterId,
+    reports: tytan_trace::CounterId,
+    accepted: tytan_trace::CounterId,
+    rejected_bad_mac: tytan_trace::CounterId,
+    rejected_replay: tytan_trace::CounterId,
+    rejected_nonce: tytan_trace::CounterId,
+    rejected_digest: tytan_trace::CounterId,
+    unknown_device: tytan_trace::CounterId,
+    decode_errors: tytan_trace::CounterId,
+    batches: tytan_trace::CounterId,
+}
+
+/// The host-side attestation verifier for a whole fleet.
+pub struct FleetVerifier {
+    master: [u8; 20],
+    expected_digest: Vec<u8>,
+    salt: u64,
+    sessions: HashMap<DeviceId, VerifierSession>,
+    decoders: HashMap<DeviceId, FrameDecoder>,
+    pending: Vec<(DeviceId, AttestationReport)>,
+    tracer: Tracer,
+    counters: FleetCounters,
+    h_verify: HistId,
+    h_batch: HistId,
+}
+
+impl std::fmt::Debug for FleetVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetVerifier")
+            .field("sessions", &self.sessions.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl FleetVerifier {
+    /// Creates a verifier that derives per-device keys from `master` and
+    /// expects every device to report `expected_digest`. `salt`
+    /// decorrelates challenge streams across service runs.
+    pub fn new(master: [u8; 20], expected_digest: Vec<u8>, salt: u64, tracer: Tracer) -> Self {
+        let c = tracer.counters();
+        let counters = FleetCounters {
+            hello: c.register("fleet_hello"),
+            reports: c.register("fleet_reports"),
+            accepted: c.register("fleet_accepted"),
+            rejected_bad_mac: c.register("fleet_rejected_bad_mac"),
+            rejected_replay: c.register("fleet_rejected_replay"),
+            rejected_nonce: c.register("fleet_rejected_nonce"),
+            rejected_digest: c.register("fleet_rejected_digest"),
+            unknown_device: c.register("fleet_unknown_device"),
+            decode_errors: c.register("fleet_decode_errors"),
+            batches: c.register("fleet_batches"),
+        };
+        let h_verify = tracer.histograms().register("lat_fleet_verify");
+        let h_batch = tracer.histograms().register("lat_fleet_batch");
+        FleetVerifier {
+            master,
+            expected_digest,
+            salt,
+            sessions: HashMap::new(),
+            decoders: HashMap::new(),
+            pending: Vec::new(),
+            tracer,
+            counters,
+            h_verify,
+            h_batch,
+        }
+    }
+
+    /// Provisions a session for `device` (derives its shared `K_a` from
+    /// the fleet master). Connections from unprovisioned devices are
+    /// counted and ignored — the roster is explicit.
+    pub fn provision(&mut self, device: DeviceId) {
+        let ka = device_attestation_key(&self.master, device);
+        // Per-device salt keeps nonce streams distinct even if two
+        // sessions interleave challenges identically.
+        let salt = self.salt ^ device.as_u64().rotate_left(32);
+        self.sessions.insert(
+            device,
+            VerifierSession::new(device, ka, self.expected_digest.clone(), salt),
+        );
+    }
+
+    /// Number of provisioned sessions.
+    pub fn provisioned(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Reports decoded but not yet verified.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The session for `device`, if provisioned.
+    pub fn session(&self, device: DeviceId) -> Option<&VerifierSession> {
+        self.sessions.get(&device)
+    }
+
+    /// Issues a fresh challenge for `device` and returns it as an
+    /// encoded `Challenge` frame (`None` for unknown devices).
+    pub fn challenge_frame(&mut self, device: DeviceId, version: u8) -> Option<Vec<u8>> {
+        let session = self.sessions.get_mut(&device)?;
+        let nonce = session.challenge();
+        Some(encode(&Message::Challenge { device, nonce }, version))
+    }
+
+    /// Feeds received bytes from `from`'s connection through its frame
+    /// decoder and handles every complete message: `Hello` negotiates
+    /// and returns reply frames, `Report`s join the pending batch.
+    ///
+    /// Returns frames to send back to `from` (negotiation replies).
+    /// Decode failures poison that connection and bump
+    /// `fleet_decode_errors`; they never propagate as panics.
+    pub fn ingest(&mut self, from: DeviceId, bytes: &[u8]) -> Vec<Vec<u8>> {
+        let decoder = self.decoders.entry(from).or_default();
+        decoder.push(bytes);
+        let mut replies = Vec::new();
+        loop {
+            let message = match self
+                .decoders
+                .get_mut(&from)
+                .expect("entry above")
+                .next_message()
+            {
+                Ok(Some(message)) => message,
+                Ok(None) => break,
+                Err(CodecError::Poisoned) => break,
+                Err(_) => {
+                    self.tracer.counters().add(self.counters.decode_errors, 1);
+                    self.tracer
+                        .emit(Layer::Fleet, 0, 0, EventKind::Mark("decode_error"));
+                    break;
+                }
+            };
+            match message {
+                Message::Hello {
+                    device,
+                    max_version,
+                } => {
+                    self.tracer.counters().add(self.counters.hello, 1);
+                    if !self.sessions.contains_key(&device) {
+                        self.tracer.counters().add(self.counters.unknown_device, 1);
+                        continue;
+                    }
+                    match negotiate(max_version) {
+                        Ok(version) => {
+                            replies.push(encode(&Message::Welcome { version }, version));
+                            if let Some(frame) = self.challenge_frame(device, version) {
+                                replies.push(frame);
+                            }
+                        }
+                        Err(_) => {
+                            self.tracer.counters().add(self.counters.decode_errors, 1);
+                        }
+                    }
+                }
+                Message::Report { device, report } => {
+                    self.tracer.counters().add(self.counters.reports, 1);
+                    self.pending.push((device, report));
+                }
+                // Welcome / Challenge / Verdict are verifier → device;
+                // receiving one here is a protocol misuse we just count.
+                Message::Welcome { .. } | Message::Challenge { .. } | Message::Verdict { .. } => {
+                    self.tracer.counters().add(self.counters.decode_errors, 1);
+                }
+            }
+        }
+        replies
+    }
+
+    /// Verifies every pending report: one batched HMAC pass over the
+    /// precomputed per-device key schedules, then the stateful session
+    /// checks (freshness, replay window, digest) per report.
+    pub fn flush(&mut self) -> Vec<FlushEntry> {
+        let pending = std::mem::take(&mut self.pending);
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        self.tracer.counters().add(self.counters.batches, 1);
+        self.tracer
+            .emit(Layer::Fleet, 0, 0, EventKind::Enter("flush"));
+        let begin = Instant::now();
+
+        // Phase 1: batched MAC verification. Unknown devices get no MAC
+        // check at all — there is no key to check against.
+        let inputs: Vec<Option<Vec<u8>>> = pending
+            .iter()
+            .map(|(device, report)| {
+                self.sessions
+                    .contains_key(device)
+                    .then(|| report.mac_input())
+            })
+            .collect();
+        let items = pending
+            .iter()
+            .zip(&inputs)
+            .filter_map(|((device, report), input)| {
+                let schedule = self.sessions.get(device)?.schedule();
+                Some((schedule, input.as_deref()?, report.mac.as_slice()))
+            });
+        let outcome = batch_verify(items);
+
+        // Phase 2: complete each report through its session.
+        let mut verdicts = outcome.ok.into_iter();
+        let mut entries = Vec::with_capacity(pending.len());
+        for ((device, report), input) in pending.iter().zip(&inputs) {
+            let result = match self.sessions.get_mut(device) {
+                Some(session) if input.is_some() => {
+                    let mac_ok = verdicts.next().expect("one verdict per batched item");
+                    session.submit_with_mac_verdict(report, mac_ok)
+                }
+                _ => {
+                    self.tracer.counters().add(self.counters.unknown_device, 1);
+                    Err(VerifyError::BadMac)
+                }
+            };
+            let counter = match &result {
+                Ok(()) => self.counters.accepted,
+                Err(VerifyError::BadMac) => self.counters.rejected_bad_mac,
+                Err(VerifyError::ReplayedNonce) => self.counters.rejected_replay,
+                Err(VerifyError::NonceMismatch) => self.counters.rejected_nonce,
+                Err(VerifyError::DigestMismatch { .. }) => self.counters.rejected_digest,
+            };
+            self.tracer.counters().add(counter, 1);
+            entries.push(FlushEntry {
+                device: *device,
+                result,
+            });
+        }
+
+        let elapsed = begin.elapsed().as_nanos() as u64;
+        self.tracer.histograms().record(self.h_batch, elapsed);
+        // Amortized per-report verify latency: the batch shares one
+        // timestamp pair, so each report is charged its mean share.
+        let per_report = elapsed / entries.len() as u64;
+        for _ in 0..entries.len() {
+            self.tracer.histograms().record(self.h_verify, per_report);
+        }
+        self.tracer
+            .emit(Layer::Fleet, 0, 0, EventKind::Exit("flush"));
+        entries
+    }
+
+    /// Sum of reports accepted across every session.
+    pub fn accepted_total(&self) -> u64 {
+        self.sessions.values().map(VerifierSession::accepted).sum()
+    }
+
+    /// Sum of reports rejected across every session.
+    pub fn rejected_total(&self) -> u64 {
+        self.sessions.values().map(VerifierSession::rejected).sum()
+    }
+
+    /// The tracer whose counters and histograms this verifier reports
+    /// into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::PROTOCOL_VERSION;
+    use tytan_crypto::TaskId;
+
+    const MASTER: [u8; 20] = [0xA5; 20];
+
+    fn digest() -> Vec<u8> {
+        vec![0x11; 20]
+    }
+
+    /// An honest report from `device` (MACed under its derived `K_a`).
+    fn attest(device: DeviceId, nonce: &[u8]) -> AttestationReport {
+        let digest = digest();
+        let mut report = AttestationReport {
+            id: TaskId::from_digest(&digest),
+            digest,
+            nonce: nonce.to_vec(),
+            mac: Vec::new(),
+        };
+        let key = device_attestation_key(&MASTER, device).to_hmac_key();
+        report.mac = key.sign(&report.mac_input());
+        report
+    }
+
+    fn verifier_with(devices: u64) -> FleetVerifier {
+        let mut v = FleetVerifier::new(MASTER, digest(), 7, Tracer::null());
+        for d in 0..devices {
+            v.provision(DeviceId::from_u64(d));
+        }
+        v
+    }
+
+    fn challenge_nonce(frame: &[u8]) -> Vec<u8> {
+        match crate::proto::decode(frame).expect("challenge frame").0 {
+            Message::Challenge { nonce, .. } => nonce,
+            other => panic!("expected challenge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_negotiates_and_challenges() {
+        let mut v = verifier_with(1);
+        let device = DeviceId::from_u64(0);
+        let hello = encode(
+            &Message::Hello {
+                device,
+                max_version: PROTOCOL_VERSION,
+            },
+            PROTOCOL_VERSION,
+        );
+        let replies = v.ingest(device, &hello);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(
+            crate::proto::decode(&replies[0]).unwrap().0,
+            Message::Welcome {
+                version: PROTOCOL_VERSION
+            }
+        );
+        assert!(matches!(
+            crate::proto::decode(&replies[1]).unwrap().0,
+            Message::Challenge { .. }
+        ));
+    }
+
+    #[test]
+    fn batch_of_reports_verifies_and_replays_are_typed() {
+        let mut v = verifier_with(8);
+        let mut frames = Vec::new();
+        for d in 0..8u64 {
+            let device = DeviceId::from_u64(d);
+            let nonce =
+                challenge_nonce(&v.challenge_frame(device, PROTOCOL_VERSION).expect("known"));
+            let report = attest(device, &nonce);
+            frames.push((
+                device,
+                encode(&Message::Report { device, report }, PROTOCOL_VERSION),
+            ));
+        }
+        // Deliver byte-by-byte to exercise stream reassembly.
+        for (device, frame) in &frames {
+            for byte in frame {
+                let replies = v.ingest(*device, std::slice::from_ref(byte));
+                assert!(replies.is_empty());
+            }
+        }
+        assert_eq!(v.pending(), 8);
+        let entries = v.flush();
+        assert!(entries.iter().all(|e| e.result.is_ok()));
+        assert_eq!(v.accepted_total(), 8);
+
+        // Replay the whole batch verbatim: every copy must be rejected
+        // as a replay, none accepted.
+        for (device, frame) in &frames {
+            v.ingest(*device, frame);
+        }
+        let entries = v.flush();
+        assert!(entries
+            .iter()
+            .all(|e| e.result == Err(VerifyError::ReplayedNonce)));
+        assert_eq!(v.accepted_total(), 8);
+        assert_eq!(v.tracer().counters().get("fleet_rejected_replay"), Some(8));
+    }
+
+    #[test]
+    fn unknown_device_reports_never_verify() {
+        let mut v = verifier_with(1);
+        let ghost = DeviceId::from_u64(999);
+        let report = attest(ghost, b"nonce");
+        let frame = encode(
+            &Message::Report {
+                device: ghost,
+                report,
+            },
+            PROTOCOL_VERSION,
+        );
+        v.ingest(ghost, &frame);
+        let entries = v.flush();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].result.is_err());
+        assert_eq!(v.tracer().counters().get("fleet_unknown_device"), Some(1));
+    }
+
+    #[test]
+    fn corrupt_stream_is_counted_and_poisoned() {
+        let mut v = verifier_with(1);
+        let device = DeviceId::from_u64(0);
+        v.ingest(device, &[0xFF, 0xFF, 0xFF, 0xFF, 0x00]);
+        assert_eq!(v.tracer().counters().get("fleet_decode_errors"), Some(1));
+        // Further bytes on the poisoned connection are ignored, and the
+        // error is not double-counted.
+        let hello = encode(
+            &Message::Hello {
+                device,
+                max_version: PROTOCOL_VERSION,
+            },
+            PROTOCOL_VERSION,
+        );
+        assert!(v.ingest(device, &hello).is_empty());
+        assert_eq!(v.tracer().counters().get("fleet_decode_errors"), Some(1));
+    }
+
+    #[test]
+    fn latency_histograms_populate_on_flush() {
+        let mut v = verifier_with(1);
+        let device = DeviceId::from_u64(0);
+        let nonce = challenge_nonce(&v.challenge_frame(device, PROTOCOL_VERSION).expect("known"));
+        let report = attest(device, &nonce);
+        v.ingest(
+            device,
+            &encode(&Message::Report { device, report }, PROTOCOL_VERSION),
+        );
+        v.flush();
+        let hists = v.tracer().histograms();
+        assert_eq!(hists.get("lat_fleet_verify").unwrap().count(), 1);
+        assert_eq!(hists.get("lat_fleet_batch").unwrap().count(), 1);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::diff::{run_diff, step_diff};
 use crate::faults;
+use crate::fleet_frames;
 use crate::gen::{gen_setup, CaseSetup};
 use crate::lintcheck;
 use crate::rng::FuzzRng;
@@ -59,6 +60,10 @@ pub const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "lint-exec",
         run: lintcheck::lint_cross_check,
+    },
+    Scenario {
+        name: "fleet-frame",
+        run: fleet_frames::fleet_frame,
     },
 ];
 

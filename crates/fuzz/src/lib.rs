@@ -18,6 +18,9 @@
 //! - [`lintcheck`] — lint-vs-execution cross-check: a `Reject` verdict
 //!   must stop a verified load at zero guest cycles; a `CleanProven`
 //!   verdict means sandboxed execution never raises an EA-MPU fault.
+//! - [`fleet_frames`] — the fleet verifier's untrusted-input surface:
+//!   replayed and mutated attestation frames through the framed codec
+//!   and batched verifier must never verify and never panic.
 //! - [`campaign`] — the engine: runs `(seed, index)`-keyed cases
 //!   through every scenario under `catch_unwind`, so a panic anywhere
 //!   in the stack is itself a reportable finding, and minimizes
@@ -33,6 +36,7 @@ pub mod campaign;
 pub mod corpus;
 pub mod diff;
 pub mod faults;
+pub mod fleet_frames;
 pub mod gen;
 pub mod lintcheck;
 pub mod rng;

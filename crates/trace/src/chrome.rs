@@ -51,13 +51,19 @@ fn push_common(out: &mut String, name: &str, ph: char, event: &TraceEvent) {
 /// Renders `events` as a complete Chrome trace JSON document.
 ///
 /// Process-name metadata rows are emitted for every layer that appears, so
-/// the viewer labels the four pids `emu`/`eampu`/`rtos`/`core`.
+/// the viewer labels the pids `emu`/`eampu`/`rtos`/`core`/`fleet`.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
 
     // One process_name metadata record per layer present in the stream.
-    for layer in [Layer::Emu, Layer::EaMpu, Layer::Rtos, Layer::Core] {
+    for layer in [
+        Layer::Emu,
+        Layer::EaMpu,
+        Layer::Rtos,
+        Layer::Core,
+        Layer::Fleet,
+    ] {
         if events.iter().any(|e| e.layer == layer) {
             if !first {
                 out.push(',');

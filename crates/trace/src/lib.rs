@@ -73,6 +73,8 @@ pub enum Layer {
     Rtos,
     /// TyTAN trusted components: loader, IPC proxy, attestation.
     Core,
+    /// The host-side fleet verifier service: codec, sessions, batches.
+    Fleet,
 }
 
 impl Layer {
@@ -83,6 +85,7 @@ impl Layer {
             Layer::EaMpu => "eampu",
             Layer::Rtos => "rtos",
             Layer::Core => "core",
+            Layer::Fleet => "fleet",
         }
     }
 
@@ -93,6 +96,7 @@ impl Layer {
             Layer::EaMpu => 2,
             Layer::Rtos => 3,
             Layer::Core => 4,
+            Layer::Fleet => 5,
         }
     }
 }
@@ -278,7 +282,14 @@ mod tests {
 
     #[test]
     fn layer_pids_are_distinct() {
-        let pids = [Layer::Emu, Layer::EaMpu, Layer::Rtos, Layer::Core].map(Layer::pid);
+        let pids = [
+            Layer::Emu,
+            Layer::EaMpu,
+            Layer::Rtos,
+            Layer::Core,
+            Layer::Fleet,
+        ]
+        .map(Layer::pid);
         for (i, a) in pids.iter().enumerate() {
             for b in &pids[i + 1..] {
                 assert_ne!(a, b);

@@ -39,7 +39,7 @@ fn every_corpus_case_replays_clean() {
 #[test]
 fn fixed_seed_smoke_campaign_is_clean() {
     // A small cross-scenario sweep in the test tier; CI's fuzz-smoke
-    // job runs the full 12,000-case campaign via the CLI.
+    // job runs the full 13,500-case campaign via the CLI.
     let report = tytan_fuzz::run_campaign(&tytan_fuzz::CampaignConfig {
         seed: 0x1350c27,
         cases: 25,
@@ -55,5 +55,8 @@ fn fixed_seed_smoke_campaign_is_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    assert_eq!(report.total_cases(), 25 * 8);
+    assert_eq!(
+        report.total_cases(),
+        25 * tytan_fuzz::campaign::SCENARIOS.len() as u64
+    );
 }
