@@ -1262,6 +1262,75 @@ pub fn fleet_throughput() -> Table {
     }
 }
 
+// ------------------------------------------------- control-flow attestation
+
+/// Control-flow attestation at fleet scale: the same farm and wire path
+/// as [`fleet_throughput`], but every device arms the CF monitor, runs
+/// a monitored slice, and answers its challenge with a `CfaReport`
+/// frame whose edge log the verifier replays against the static CFG
+/// `tytan-lint` extracted from the fleet task. Every 10th device first
+/// sends a copy of its report with one edge bent off the CFG — the MAC
+/// still verifies (it covers the chain head, not the raw log), so only
+/// edge replay can reject it — and the run must balance exactly: every
+/// honest report accepted, every detour typed `InadmissibleEdge`, zero
+/// chain-mismatch or unproven-site rejections.
+pub fn cfa_throughput() -> Table {
+    let run = run_fleet(&FleetConfig {
+        devices: 1_000,
+        rounds: 1,
+        seed: FLEET_SEED,
+        cfa: true,
+        detour_every: Some(10),
+        ..FleetConfig::default()
+    })
+    .expect("1k CFA fleet runs");
+    assert!(run.clean(), "1k CFA fleet run must be clean: {run:?}");
+
+    Table {
+        id: "cfa_throughput",
+        title: "control-flow attestation plane: fleet verify throughput",
+        note: "every report carries a Tiny-CFA edge log replayed against the \
+               lint-extracted CFG (shadow-stack returns included) and refolded \
+               into the MAC'd chain head; count rows are deterministic for the \
+               fixed seed and baseline-gated; atts/s and ns rows are host \
+               wall-clock and not gated",
+        rows: vec![
+            Row::measured_only(
+                "cf reports accepted @1k devices",
+                run.accepted as f64,
+                "count",
+            ),
+            Row::measured_only(
+                "detours injected @1k devices",
+                run.injected_detours as f64,
+                "count",
+            ),
+            Row::measured_only(
+                "detours rejected inadmissible @1k devices",
+                run.rejected_inadmissible as f64,
+                "count",
+            ),
+            Row::measured_only(
+                "chain mismatches @1k devices",
+                run.rejected_chain as f64,
+                "count",
+            ),
+            Row::measured_only(
+                "unproven violations @1k devices",
+                run.rejected_unproven as f64,
+                "count",
+            ),
+            Row::measured_only(
+                "cfa verify throughput @1k devices",
+                run.throughput,
+                "atts/s",
+            ),
+            Row::measured_only("cfa verify p50 @1k devices", run.verify_p50_ns as f64, "ns"),
+            Row::measured_only("cfa verify p99 @1k devices", run.verify_p99_ns as f64, "ns"),
+        ],
+    }
+}
+
 /// All experiments in paper order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -1278,6 +1347,7 @@ pub fn all() -> Vec<Table> {
         lint_throughput(),
         engine_throughput(),
         fleet_throughput(),
+        cfa_throughput(),
     ]
 }
 

@@ -350,8 +350,9 @@ mod tests {
                 },
             ),
         ];
-        // The schema contract demands a fleet_throughput table with the
-        // scaling rows; render one alongside the demo table.
+        // The schema contract demands the fleet_throughput and
+        // cfa_throughput tables with their contractual rows; render both
+        // alongside the demo table.
         let fleet = Table {
             id: "fleet_throughput",
             title: "fleet attestation service",
@@ -363,7 +364,18 @@ mod tests {
                 Row::measured_only("verify p99 @10k devices", 4608.0, "ns"),
             ],
         };
-        let json = render_json(&[table, fleet], 12_345_678.9, &counters, &latency);
+        let cfa = Table {
+            id: "cfa_throughput",
+            title: "control-flow attestation plane",
+            note: "n",
+            rows: vec![
+                Row::measured_only("cf reports accepted @1k devices", 1000.0, "count"),
+                Row::measured_only("detours rejected inadmissible @1k devices", 100.0, "count"),
+                Row::measured_only("cfa verify throughput @1k devices", 3800.0, "atts/s"),
+                Row::measured_only("cfa verify p99 @1k devices", 5120.0, "ns"),
+            ],
+        };
+        let json = render_json(&[table, fleet, cfa], 12_345_678.9, &counters, &latency);
         assert!(json.contains("\"host_guest_ips\": 12345679"));
         assert!(json.contains("\"predecode_hit_rate\": 0.97"));
         assert!(json.contains(

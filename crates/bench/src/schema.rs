@@ -237,6 +237,16 @@ mod tests {
                     {"label": "verify p50 @10k devices", "paper": null, "measured": 1856, "unit": "ns"},
                     {"label": "verify p99 @10k devices", "paper": null, "measured": 4608, "unit": "ns"}
                   ]
+                },
+                {
+                  "id": "cfa_throughput",
+                  "title": "control-flow attestation plane",
+                  "rows": [
+                    {"label": "cf reports accepted @1k devices", "paper": null, "measured": 1000, "unit": "count"},
+                    {"label": "detours rejected inadmissible @1k devices", "paper": null, "measured": 100, "unit": "count"},
+                    {"label": "cfa verify throughput @1k devices", "paper": null, "measured": 3800.0, "unit": "atts/s"},
+                    {"label": "cfa verify p99 @1k devices", "paper": null, "measured": 5120, "unit": "ns"}
+                  ]
                 }
               ]
             }"#,
@@ -363,6 +373,39 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("contains") && e.contains("fleet_throughput")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_cfa_table_is_reported() {
+        let errors = check_bench_tables(&doc(|s| {
+            *s = s.replace("\"id\": \"cfa_throughput\"", "\"id\": \"cfa_renamed\"");
+        }))
+        .unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("contains") && e.contains("cfa_throughput")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn cfa_table_missing_its_rejection_row_is_reported() {
+        // The detour-rejection count is the row the CFA gate exists for;
+        // a document without it must fail the contract, with the missing
+        // label named.
+        let errors = check_bench_tables(&doc(|s| {
+            *s = s.replace(
+                "detours rejected inadmissible @1k devices",
+                "detours waved through",
+            );
+        }))
+        .unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("contains")
+                && e.contains("detours rejected inadmissible @1k devices")),
             "{errors:?}"
         );
     }

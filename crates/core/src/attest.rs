@@ -8,7 +8,8 @@
 //! platform key and accessible only to the Remote Attest task (§3).
 
 use crate::rtm::MeasurementRecord;
-use tytan_crypto::{HmacKey, HmacSchedule, Sha1, SymmetricKey, TaskId};
+use tytan_crypto::{CfChain, HmacKey, HmacSchedule, Sha1, SymmetricKey, TaskId};
+use tytan_lint::{AdmissibleEdgeSet, CfaViolation};
 
 /// The key-derivation purpose label for `K_a`.
 pub const ATTEST_PURPOSE: &[u8] = b"tytan-remote-attestation-v1";
@@ -220,6 +221,33 @@ pub enum VerifyError {
         /// The digest the device reported.
         reported: Vec<u8>,
     },
+    /// A control-flow edge in the reported log is not admitted by the
+    /// static CFG of the attested image: a jump/call to a target the
+    /// binary cannot legally reach, or a return that disagrees with the
+    /// shadow stack (ROP).
+    InadmissibleEdge {
+        /// Index of the offending edge in the log.
+        index: usize,
+        /// Task-relative source pc.
+        from: u32,
+        /// Task-relative destination pc.
+        to: u32,
+    },
+    /// An edge from an indirect-branch site the static analysis could
+    /// not bound lands somewhere that is not even a reachable
+    /// instruction start.
+    UnprovenSiteViolation {
+        /// Index of the offending edge in the log.
+        index: usize,
+        /// Task-relative source pc (the unproven site).
+        from: u32,
+        /// Task-relative destination pc.
+        to: u32,
+    },
+    /// Refolding the reported edge log does not reproduce the MAC'd
+    /// chain head: the log was tampered with (edges substituted,
+    /// reordered, dropped or appended) after the device sealed the run.
+    ChainMismatch,
 }
 
 impl std::fmt::Display for VerifyError {
@@ -232,6 +260,35 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::DigestMismatch { .. } => {
                 write!(f, "measurement digest differs from reference")
+            }
+            VerifyError::InadmissibleEdge { index, from, to } => write!(
+                f,
+                "control-flow edge {index}: {from:#x} -> {to:#x} is not admitted by the \
+                 static CFG"
+            ),
+            VerifyError::UnprovenSiteViolation { index, from, to } => write!(
+                f,
+                "control-flow edge {index}: unproven site {from:#x} -> {to:#x} is not a \
+                 reachable instruction start"
+            ),
+            VerifyError::ChainMismatch => {
+                write!(
+                    f,
+                    "refolded edge log does not reproduce the attested chain head"
+                )
+            }
+        }
+    }
+}
+
+impl From<CfaViolation> for VerifyError {
+    fn from(v: CfaViolation) -> VerifyError {
+        match v {
+            CfaViolation::InadmissibleEdge { index, from, to } => {
+                VerifyError::InadmissibleEdge { index, from, to }
+            }
+            CfaViolation::UnprovenSiteViolation { index, from, to } => {
+                VerifyError::UnprovenSiteViolation { index, from, to }
             }
         }
     }
@@ -282,6 +339,222 @@ impl RemoteVerifier {
             });
         }
         Ok(())
+    }
+}
+
+// ------------------------------------------- control-flow attestation
+
+/// A control-flow-attested report: the static measurement of
+/// [`AttestationReport`] extended with the run's control-flow evidence.
+///
+/// The device MACs `(id, digest, nonce, chain_head, edge count)` under
+/// `K_a` — the raw edge log travels in the clear and is *implicitly*
+/// authenticated, because the verifier refolds it through [`CfChain`]
+/// and compares against the MAC'd head ([`VerifyError::ChainMismatch`]
+/// on any discrepancy). The verifier then replays the log against the
+/// [`AdmissibleEdgeSet`] that `tytan-lint` extracted from the same
+/// image, so a run that detours through statically-illegal edges —
+/// even one that leaves every code byte (and therefore the measurement
+/// digest) untouched, as ROP/JOP does — fails with a typed
+/// [`VerifyError::InadmissibleEdge`] or
+/// [`VerifyError::UnprovenSiteViolation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfaReport {
+    /// The attested task identity.
+    pub id: TaskId,
+    /// The full measurement digest of the task (static evidence).
+    pub digest: Vec<u8>,
+    /// The verifier's challenge nonce (freshness).
+    pub nonce: Vec<u8>,
+    /// The task-relative taken-edge log, in execution order.
+    pub log: Vec<(u32, u32)>,
+    /// The [`CfChain`] head over `log` as sealed by the device.
+    pub chain_head: [u8; 20],
+    /// `HMAC(K_a, "CFA1" ‖ id ‖ digest ‖ nonce ‖ chain_head ‖ #edges)`.
+    pub mac: Vec<u8>,
+}
+
+fn cfa_mac_input(
+    id: TaskId,
+    digest: &[u8],
+    nonce: &[u8],
+    chain_head: &[u8; 20],
+    edges: u32,
+) -> Vec<u8> {
+    // Domain-separated from the plain report MAC so a CFA report can
+    // never be replayed as a static report or vice versa.
+    let mut input = Vec::with_capacity(4 + 8 + 8 + digest.len() + nonce.len() + 24);
+    input.extend_from_slice(b"CFA1");
+    input.extend_from_slice(&id.to_bytes());
+    input.extend_from_slice(&(digest.len() as u32).to_le_bytes());
+    input.extend_from_slice(digest);
+    input.extend_from_slice(&(nonce.len() as u32).to_le_bytes());
+    input.extend_from_slice(nonce);
+    input.extend_from_slice(chain_head);
+    input.extend_from_slice(&edges.to_le_bytes());
+    input
+}
+
+impl CfaReport {
+    /// Serializes the report for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.id.to_bytes());
+        out.extend_from_slice(&(self.digest.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.digest);
+        out.extend_from_slice(&(self.nonce.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.chain_head);
+        out.extend_from_slice(&(self.log.len() as u32).to_le_bytes());
+        for (from, to) in &self.log {
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&to.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.mac.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses a report serialized with [`CfaReport::to_bytes`].
+    ///
+    /// Returns `None` on truncation, oversized length prefixes, or an
+    /// edge count above the prover-side cap [`sp_emu::CF_LOG_CAP`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if bytes.len() < n {
+                return None;
+            }
+            let (head, tail) = bytes.split_at(n);
+            *bytes = tail;
+            Some(head)
+        }
+        fn take_vec(bytes: &mut &[u8]) -> Option<Vec<u8>> {
+            let len = u32::from_le_bytes(take(bytes, 4)?.try_into().ok()?) as usize;
+            if len > 1 << 16 {
+                return None;
+            }
+            Some(take(bytes, len)?.to_vec())
+        }
+        let mut rest = bytes;
+        let id = TaskId::from_u64(u64::from_be_bytes(take(&mut rest, 8)?.try_into().ok()?));
+        let digest = take_vec(&mut rest)?;
+        let nonce = take_vec(&mut rest)?;
+        let chain_head: [u8; 20] = take(&mut rest, 20)?.try_into().ok()?;
+        let count = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+        if count > sp_emu::CF_LOG_CAP {
+            return None;
+        }
+        let mut log = Vec::with_capacity(count);
+        for _ in 0..count {
+            let from = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            let to = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            log.push((from, to));
+        }
+        let mac = take_vec(&mut rest)?;
+        Some(CfaReport {
+            id,
+            digest,
+            nonce,
+            log,
+            chain_head,
+            mac,
+        })
+    }
+
+    /// The exact byte string the report's MAC covers (see
+    /// [`AttestationReport::mac_input`] for why this is public).
+    pub fn mac_input(&self) -> Vec<u8> {
+        cfa_mac_input(
+            self.id,
+            &self.digest,
+            &self.nonce,
+            &self.chain_head,
+            self.log.len() as u32,
+        )
+    }
+}
+
+impl RemoteAttestor {
+    /// Produces a control-flow-attested report: the RTM record's static
+    /// measurement plus the monitored run's edge log and sealed chain
+    /// head.
+    pub fn attest_cfa(
+        &self,
+        record: &MeasurementRecord,
+        nonce: &[u8],
+        log: &[(u32, u32)],
+        chain_head: [u8; 20],
+    ) -> CfaReport {
+        let mac = self.key.sign(&cfa_mac_input(
+            record.id,
+            &record.digest,
+            nonce,
+            &chain_head,
+            log.len() as u32,
+        ));
+        CfaReport {
+            id: record.id,
+            digest: record.digest.clone(),
+            nonce: nonce.to_vec(),
+            log: log.to_vec(),
+            chain_head,
+            mac,
+        }
+    }
+}
+
+/// Replays `log` against the static CFG and checks it refolds to the
+/// MAC'd `chain_head`. Shared by the stateless and session verifiers;
+/// assumes MAC/nonce/digest were already checked.
+fn check_cf_evidence(
+    log: &[(u32, u32)],
+    chain_head: &[u8; 20],
+    edges: &AdmissibleEdgeSet,
+) -> Result<(), VerifyError> {
+    // Admissibility first: an injected detour is reported as the typed
+    // CFG violation it is, not as the chain damage it also causes.
+    edges.replay(log)?;
+    if CfChain::fold_all(log.iter().copied()) != *chain_head {
+        return Err(VerifyError::ChainMismatch);
+    }
+    Ok(())
+}
+
+impl RemoteVerifier {
+    /// Verifies a control-flow-attested report against the challenge
+    /// `nonce`, the reference `expected_digest`, and the admissible
+    /// edge set `edges` extracted by `tytan-lint` from the reference
+    /// image.
+    ///
+    /// # Errors
+    ///
+    /// In check order: [`VerifyError::BadMac`],
+    /// [`VerifyError::NonceMismatch`], [`VerifyError::DigestMismatch`],
+    /// then the control-flow evidence —
+    /// [`VerifyError::InadmissibleEdge`] /
+    /// [`VerifyError::UnprovenSiteViolation`] from replaying the log
+    /// against the static CFG, and [`VerifyError::ChainMismatch`] if
+    /// the (admissible) log does not refold to the MAC'd chain head.
+    pub fn verify_cfa(
+        &self,
+        report: &CfaReport,
+        nonce: &[u8],
+        expected_digest: &[u8],
+        edges: &AdmissibleEdgeSet,
+    ) -> Result<(), VerifyError> {
+        if !self.key.verify(&report.mac_input(), &report.mac) {
+            return Err(VerifyError::BadMac);
+        }
+        if report.nonce != nonce {
+            return Err(VerifyError::NonceMismatch);
+        }
+        if report.digest != expected_digest {
+            return Err(VerifyError::DigestMismatch {
+                expected: expected_digest.to_vec(),
+                reported: report.digest.clone(),
+            });
+        }
+        check_cf_evidence(&report.log, &report.chain_head, edges)
     }
 }
 
@@ -469,26 +742,96 @@ impl VerifierSession {
         if !mac_ok {
             return Err(VerifyError::BadMac);
         }
-        if self.consumed.iter().any(|n| n == &report.nonce) {
-            return Err(VerifyError::ReplayedNonce);
-        }
-        match &self.outstanding {
-            Some(nonce) if *nonce == report.nonce => {}
-            _ => return Err(VerifyError::NonceMismatch),
-        }
+        self.freshness(&report.nonce)?;
         if report.digest != self.expected_digest {
             return Err(VerifyError::DigestMismatch {
                 expected: self.expected_digest.clone(),
                 reported: report.digest.clone(),
             });
         }
-        // Consume the nonce: the same report can never verify again.
-        let nonce = self.outstanding.take().expect("matched above");
+        self.consume_outstanding();
+        Ok(())
+    }
+
+    /// Verifies a control-flow-attested report against the outstanding
+    /// challenge and the admissible edge set `edges`, consuming the
+    /// nonce on success.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteVerifier::verify_cfa`], plus
+    /// [`VerifyError::ReplayedNonce`] for a verbatim replay of an
+    /// accepted report.
+    pub fn submit_cfa(
+        &mut self,
+        report: &CfaReport,
+        edges: &AdmissibleEdgeSet,
+    ) -> Result<(), VerifyError> {
+        let mac_ok = self.schedule.verify(&report.mac_input(), &report.mac);
+        self.submit_cfa_with_mac_verdict(report, mac_ok, edges)
+    }
+
+    /// Like [`VerifierSession::submit_cfa`], with the MAC verdict
+    /// computed externally (batched fleet verification).
+    ///
+    /// # Errors
+    ///
+    /// As [`VerifierSession::submit_cfa`].
+    pub fn submit_cfa_with_mac_verdict(
+        &mut self,
+        report: &CfaReport,
+        mac_ok: bool,
+        edges: &AdmissibleEdgeSet,
+    ) -> Result<(), VerifyError> {
+        let result = self.check_cfa(report, mac_ok, edges);
+        match result {
+            Ok(()) => self.accepted += 1,
+            Err(_) => self.rejected += 1,
+        }
+        result
+    }
+
+    fn check_cfa(
+        &mut self,
+        report: &CfaReport,
+        mac_ok: bool,
+        edges: &AdmissibleEdgeSet,
+    ) -> Result<(), VerifyError> {
+        if !mac_ok {
+            return Err(VerifyError::BadMac);
+        }
+        self.freshness(&report.nonce)?;
+        if report.digest != self.expected_digest {
+            return Err(VerifyError::DigestMismatch {
+                expected: self.expected_digest.clone(),
+                reported: report.digest.clone(),
+            });
+        }
+        check_cf_evidence(&report.log, &report.chain_head, edges)?;
+        self.consume_outstanding();
+        Ok(())
+    }
+
+    /// Typed freshness check against the consumed window and the
+    /// outstanding challenge. Does not consume.
+    fn freshness(&self, nonce: &[u8]) -> Result<(), VerifyError> {
+        if self.consumed.iter().any(|n| n.as_slice() == nonce) {
+            return Err(VerifyError::ReplayedNonce);
+        }
+        match &self.outstanding {
+            Some(out) if out.as_slice() == nonce => Ok(()),
+            _ => Err(VerifyError::NonceMismatch),
+        }
+    }
+
+    /// Consumes the outstanding nonce into the bounded replay window:
+    /// the same report can never verify again.
+    fn consume_outstanding(&mut self) {
+        let nonce = self.outstanding.take().expect("freshness matched");
         if self.consumed.len() == REPLAY_WINDOW {
             self.consumed.pop_front();
         }
         self.consumed.push_back(nonce);
-        Ok(())
     }
 }
 
@@ -754,6 +1097,191 @@ mod tests {
             session.submit_with_mac_verdict(&report, false),
             Err(VerifyError::BadMac)
         );
+    }
+
+    mod cfa {
+        use super::*;
+        use tytan_lint::SiteKind;
+
+        /// A hand-built admissible edge set for a tiny synthetic image:
+        ///
+        /// ```text
+        ///  0: jmp  8
+        ///  8: call 16   (ret 12)
+        /// 12: jmp  20
+        /// 16: ret
+        /// 20: <unproven indirect>
+        /// ```
+        fn demo_edges() -> AdmissibleEdgeSet {
+            AdmissibleEdgeSet {
+                image_name: "demo".into(),
+                entry: 0,
+                text_len: 24,
+                instr_pcs: [0u32, 8, 12, 16, 20].into_iter().collect(),
+                sites: [
+                    (0u32, SiteKind::Jump { target: 8 }),
+                    (
+                        8,
+                        SiteKind::Call {
+                            target: 16,
+                            ret: 12,
+                        },
+                    ),
+                    (12, SiteKind::Jump { target: 20 }),
+                    (16, SiteKind::Return),
+                    (20, SiteKind::Unproven),
+                ]
+                .into_iter()
+                .collect(),
+            }
+        }
+
+        fn honest_log() -> Vec<(u32, u32)> {
+            vec![(0, 8), (8, 16), (16, 12), (12, 20), (20, 0)]
+        }
+
+        fn cfa_fixture() -> (RemoteAttestor, RemoteVerifier, MeasurementRecord) {
+            let (attestor, verifier) = keypair();
+            (attestor, verifier, record(vec![7u8; 20]))
+        }
+
+        #[test]
+        fn honest_cfa_report_verifies() {
+            let (attestor, verifier, rec) = cfa_fixture();
+            let log = honest_log();
+            let head = CfChain::fold_all(log.iter().copied());
+            let report = attestor.attest_cfa(&rec, b"n", &log, head);
+            assert_eq!(
+                verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
+                Ok(())
+            );
+        }
+
+        #[test]
+        fn detour_is_typed_inadmissible_edge() {
+            let (attestor, verifier, rec) = cfa_fixture();
+            // The return at 16 detours to 20 instead of the shadow-stack
+            // return address 12 — a ROP-style pivot over real code bytes.
+            let mut log = honest_log();
+            log[2] = (16, 20);
+            let head = CfChain::fold_all(log.iter().copied());
+            let report = attestor.attest_cfa(&rec, b"n", &log, head);
+            assert_eq!(
+                verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
+                Err(VerifyError::InadmissibleEdge {
+                    index: 2,
+                    from: 16,
+                    to: 20
+                })
+            );
+        }
+
+        #[test]
+        fn unproven_site_violation_is_typed() {
+            let (attestor, verifier, rec) = cfa_fixture();
+            // The unbounded indirect at 20 lands mid-instruction.
+            let mut log = honest_log();
+            log[4] = (20, 5);
+            let head = CfChain::fold_all(log.iter().copied());
+            let report = attestor.attest_cfa(&rec, b"n", &log, head);
+            assert_eq!(
+                verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
+                Err(VerifyError::UnprovenSiteViolation {
+                    index: 4,
+                    from: 20,
+                    to: 5
+                })
+            );
+        }
+
+        #[test]
+        fn admissible_substitution_is_chain_mismatch() {
+            let (attestor, verifier, rec) = cfa_fixture();
+            let log = honest_log();
+            let head = CfChain::fold_all(log.iter().copied());
+            let mut report = attestor.attest_cfa(&rec, b"n", &log, head);
+            // Swap in a different but statically-admissible log of the
+            // same length: every edge replays, only the chain disagrees.
+            report.log = vec![(0, 8), (8, 16), (16, 12), (12, 20), (20, 8)];
+            assert_eq!(
+                verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
+                Err(VerifyError::ChainMismatch)
+            );
+        }
+
+        #[test]
+        fn truncated_log_breaks_mac() {
+            let (attestor, verifier, rec) = cfa_fixture();
+            let log = honest_log();
+            let head = CfChain::fold_all(log.iter().copied());
+            let mut report = attestor.attest_cfa(&rec, b"n", &log, head);
+            report.log.pop(); // edge count is MAC'd
+            assert_eq!(
+                verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
+                Err(VerifyError::BadMac)
+            );
+        }
+
+        #[test]
+        fn cfa_and_static_macs_are_domain_separated() {
+            let (attestor, verifier, rec) = cfa_fixture();
+            let report = attestor.attest_cfa(&rec, b"n", &[], CfChain::new().head());
+            // A CFA MAC spliced into a static report never verifies.
+            let spliced = AttestationReport {
+                id: report.id,
+                digest: report.digest.clone(),
+                nonce: report.nonce.clone(),
+                mac: report.mac.clone(),
+            };
+            assert_eq!(
+                verifier.verify(&spliced, b"n", &rec.digest),
+                Err(VerifyError::BadMac)
+            );
+        }
+
+        #[test]
+        fn cfa_report_serialization_roundtrip_and_truncation() {
+            let (attestor, _, rec) = cfa_fixture();
+            let log = honest_log();
+            let head = CfChain::fold_all(log.iter().copied());
+            let report = attestor.attest_cfa(&rec, b"serialize-me", &log, head);
+            let bytes = report.to_bytes();
+            assert_eq!(CfaReport::from_bytes(&bytes), Some(report));
+            for len in 0..bytes.len() {
+                assert!(CfaReport::from_bytes(&bytes[..len]).is_none(), "len {len}");
+            }
+        }
+
+        #[test]
+        fn session_cfa_accepts_fresh_and_rejects_replay_and_detour() {
+            let (attestor, mut session, rec) = fleet_session();
+            let edges = demo_edges();
+            let log = honest_log();
+            let head = CfChain::fold_all(log.iter().copied());
+
+            let nonce = session.challenge();
+            let report = attestor.attest_cfa(&rec, &nonce, &log, head);
+            assert_eq!(session.submit_cfa(&report, &edges), Ok(()));
+            assert_eq!(
+                session.submit_cfa(&report, &edges),
+                Err(VerifyError::ReplayedNonce)
+            );
+
+            // A detour against a fresh challenge does not consume it.
+            let nonce = session.challenge();
+            let mut bad_log = honest_log();
+            bad_log[2] = (16, 20);
+            let bad_head = CfChain::fold_all(bad_log.iter().copied());
+            let bad = attestor.attest_cfa(&rec, &nonce, &bad_log, bad_head);
+            assert!(matches!(
+                session.submit_cfa(&bad, &edges),
+                Err(VerifyError::InadmissibleEdge { .. })
+            ));
+            let good = attestor.attest_cfa(&rec, &nonce, &log, head);
+            assert_eq!(session.submit_cfa(&good, &edges), Ok(()));
+            assert_eq!(session.accepted(), 2);
+            assert_eq!(session.rejected(), 2);
+        }
     }
 
     mod from_bytes_corrupt_inputs {

@@ -40,7 +40,7 @@
 //! ```
 
 use crate::allocator::Allocator;
-use crate::attest::{AttestationReport, RemoteAttestor, ATTEST_PURPOSE};
+use crate::attest::{AttestationReport, CfaReport, RemoteAttestor, ATTEST_PURPOSE};
 use crate::driver::{self, TrustedActors};
 use crate::loader::{LoadError, LoadJob, LoadPhase, LoadProgress, LoadReport};
 use crate::rtm::Rtm;
@@ -144,6 +144,11 @@ pub enum PlatformError {
     UnexpectedTrap(u32),
     /// The load token does not name a load job.
     BadToken,
+    /// Control-flow attestation was requested but no usable evidence
+    /// exists: no monitor armed, the monitor watches a different task,
+    /// or the edge log overflowed and was truncated (an honest device
+    /// refuses to attest a partial run).
+    NoCfEvidence,
 }
 
 impl fmt::Display for PlatformError {
@@ -162,6 +167,9 @@ impl fmt::Display for PlatformError {
                 write!(f, "unexpected firmware trap at {addr:#010x}")
             }
             PlatformError::BadToken => write!(f, "invalid load token"),
+            PlatformError::NoCfEvidence => {
+                write!(f, "no usable control-flow evidence for this task")
+            }
         }
     }
 }
@@ -955,6 +963,79 @@ impl<D: Digest> Platform<D> {
             .tick((2 + 2 * report.tasks.len() as u64) * per_block);
         self.trace_core(TRACE_TID_ATTEST, EventKind::Exit("remote_attest_device"));
         report
+    }
+
+    /// Arms the control-flow monitor over `id`'s code region, starting a
+    /// fresh edge log and chain. Subsequent [`Platform::remote_attest_cfa`]
+    /// calls seal everything recorded since this arm.
+    ///
+    /// The monitor is a host-side observer: it never ticks the machine
+    /// and never changes a guest-visible outcome (the translated engine
+    /// bypasses its block cache while a monitor is attached, which only
+    /// changes host speed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchTask`] if no task has that identity.
+    pub fn arm_cf_monitor(&mut self, id: TaskId) -> Result<(), PlatformError> {
+        let region = self.rtm.lookup(id).ok_or(PlatformError::NoSuchTask)?.code;
+        self.machine.attach_cf_monitor(region);
+        self.trace_core(TRACE_TID_ATTEST, EventKind::Mark("arm_cf_monitor"));
+        Ok(())
+    }
+
+    /// The attached control-flow monitor, if any.
+    pub fn cf_monitor(&self) -> Option<&sp_emu::CfMonitor> {
+        self.machine.cf_monitor()
+    }
+
+    /// Detaches and returns the control-flow monitor, if any.
+    pub fn disarm_cf_monitor(&mut self) -> Option<sp_emu::CfMonitor> {
+        self.machine.take_cf_monitor()
+    }
+
+    /// Control-flow remote attestation: a MAC-authenticated report over
+    /// `id`'s measurement *and* the monitored run's edge log and chain
+    /// head, for the verifier's `nonce`.
+    ///
+    /// The monitor stays armed: the log keeps accumulating and a later
+    /// call seals the longer run (each report binds its own length and
+    /// chain head, so prefixes and extensions are distinguishable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchTask`] if no task has that
+    /// identity, or [`PlatformError::NoCfEvidence`] if no monitor is
+    /// armed, the armed monitor watches a different task's code region,
+    /// or the edge log overflowed ([`sp_emu::CF_LOG_CAP`]) — an honest
+    /// device refuses to attest a truncated run.
+    pub fn remote_attest_cfa(
+        &mut self,
+        id: TaskId,
+        nonce: &[u8],
+    ) -> Result<CfaReport, PlatformError> {
+        let record = self.rtm.lookup(id).ok_or(PlatformError::NoSuchTask)?;
+        let monitor = self
+            .machine
+            .cf_monitor()
+            .ok_or(PlatformError::NoCfEvidence)?;
+        if monitor.truncated() || monitor.region() != record.code {
+            return Err(PlatformError::NoCfEvidence);
+        }
+        self.trace_core(TRACE_TID_ATTEST, EventKind::Enter("remote_attest_cfa"));
+        let begin = self.machine.cycles();
+        let edges = monitor.log().len() as u64;
+        let report = self
+            .attestor
+            .attest_cfa(record, nonce, monitor.log(), monitor.chain_head());
+        // Cost model: the chain fold is one SHA-1 compression per edge
+        // (charged here, where the trusted attest task seals the run),
+        // plus the same two HMAC passes as a plain report.
+        let per_block = self.machine.firmware_costs().measure_per_block;
+        self.machine.tick((4 + edges) * per_block);
+        self.record_lat(|l| l.attest, self.machine.cycles().saturating_sub(begin));
+        self.trace_core(TRACE_TID_ATTEST, EventKind::Exit("remote_attest_cfa"));
+        Ok(report)
     }
 
     /// Stores `data` in secure storage on behalf of `handle` (the request

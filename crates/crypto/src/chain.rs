@@ -1,0 +1,155 @@
+//! Tiny-CFA-style control-flow hash chain.
+//!
+//! The prover folds every taken control-flow edge `(from, to)` of a
+//! monitored task into a running SHA-1 chain:
+//!
+//! ```text
+//! H_0     = 0^20
+//! H_{i+1} = SHA-1(H_i ‖ from_i.to_le_bytes() ‖ to_i.to_le_bytes())
+//! ```
+//!
+//! Only the 20-byte chain head is authenticated (MACed into the CFA
+//! report); the edge log itself travels in the clear. The verifier
+//! refolds the received log and compares heads, so any tampering with
+//! the log — reorder, truncation, substitution — changes the head and
+//! cannot survive. (The verifier consults edge-by-edge admissibility
+//! first, so tampering that also bends an edge off the static CFG is
+//! reported as the more specific violation; the head comparison is the
+//! backstop that catches substitutions which stay on admissible
+//! edges.)
+//!
+//! The chain is deliberately engine-agnostic: it consumes architectural
+//! `(from, to)` pc pairs, never cycle counts or block boundaries, so
+//! all three execution engines produce byte-identical heads for the
+//! same guest run.
+
+use crate::{Digest, Sha1};
+
+/// Length of a chain head in bytes (one SHA-1 digest).
+pub const CHAIN_LEN: usize = 20;
+
+/// The all-zero genesis head `H_0`.
+pub const CHAIN_GENESIS: [u8; CHAIN_LEN] = [0; CHAIN_LEN];
+
+/// An incremental control-flow hash chain.
+///
+/// # Examples
+///
+/// ```
+/// use tytan_crypto::chain::{CfChain, CHAIN_GENESIS};
+///
+/// let mut chain = CfChain::new();
+/// assert_eq!(chain.head(), CHAIN_GENESIS);
+/// chain.fold(0x10, 0x40);
+/// chain.fold(0x44, 0x10);
+/// assert_eq!(chain.head(), CfChain::fold_all([(0x10, 0x40), (0x44, 0x10)]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfChain {
+    head: [u8; CHAIN_LEN],
+    edges: u64,
+}
+
+impl Default for CfChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CfChain {
+    /// A fresh chain at the genesis head.
+    pub fn new() -> Self {
+        CfChain {
+            head: CHAIN_GENESIS,
+            edges: 0,
+        }
+    }
+
+    /// Folds one taken edge `(from, to)` into the chain.
+    pub fn fold(&mut self, from: u32, to: u32) {
+        let mut h = Sha1::new();
+        h.update(&self.head);
+        h.update(&from.to_le_bytes());
+        h.update(&to.to_le_bytes());
+        let digest = h.finalize();
+        self.head.copy_from_slice(&digest);
+        self.edges += 1;
+    }
+
+    /// The current chain head.
+    pub fn head(&self) -> [u8; CHAIN_LEN] {
+        self.head
+    }
+
+    /// Number of edges folded so far.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// Convenience: folds a whole edge log and returns the final head.
+    pub fn fold_all(edges: impl IntoIterator<Item = (u32, u32)>) -> [u8; CHAIN_LEN] {
+        let mut chain = CfChain::new();
+        for (from, to) in edges {
+            chain.fold(from, to);
+        }
+        chain.head()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_is_all_zero() {
+        assert_eq!(CfChain::new().head(), [0u8; CHAIN_LEN]);
+        assert_eq!(CfChain::new().edges(), 0);
+    }
+
+    #[test]
+    fn incremental_matches_fold_all() {
+        let log = [(4u32, 16u32), (20, 4), (8, 32), (36, 4)];
+        let mut chain = CfChain::new();
+        for &(f, t) in &log {
+            chain.fold(f, t);
+        }
+        assert_eq!(chain.head(), CfChain::fold_all(log));
+        assert_eq!(chain.edges(), 4);
+    }
+
+    #[test]
+    fn order_matters() {
+        let ab = CfChain::fold_all([(1, 2), (3, 4)]);
+        let ba = CfChain::fold_all([(3, 4), (1, 2)]);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // (from, to) and (to, from) must chain differently: a reversed
+        // edge is exactly the shape of a return-to-attacker detour.
+        assert_ne!(
+            CfChain::fold_all([(0x10, 0x20)]),
+            CfChain::fold_all([(0x20, 0x10)])
+        );
+    }
+
+    #[test]
+    fn prefix_never_equals_extension() {
+        // Truncating the log must change the head (length extension by
+        // edge append always moves the head off any prefix head).
+        let full = CfChain::fold_all([(1, 2), (3, 4), (5, 6)]);
+        let short = CfChain::fold_all([(1, 2), (3, 4)]);
+        assert_ne!(full, short);
+    }
+
+    #[test]
+    fn edge_is_not_byte_concat_ambiguous() {
+        // Fixed-width little-endian framing: (0x0102, 0x0304) must not
+        // collide with any re-split of the same byte stream.
+        assert_ne!(
+            CfChain::fold_all([(0x0102, 0x0304)]),
+            CfChain::fold_all([(0x01020304, 0)])
+        );
+    }
+}

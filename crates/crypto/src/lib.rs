@@ -18,6 +18,8 @@
 //! - [`SealingCipher`] — an HMAC-CTR stream cipher with an encrypt-then-MAC
 //!   tag, used by the secure-storage task.
 //! - [`ct_eq`] — constant-time comparison for MAC verification.
+//! - [`CfChain`] — the Tiny-CFA-style control-flow hash chain the CFA
+//!   plane folds taken edges into; only its head is MACed.
 //! - [`TaskId`] — the 64-bit truncated measurement digest the paper uses as
 //!   task identity (§6, footnote 9).
 //!
@@ -37,6 +39,7 @@
 //! assert_eq!(id.as_u64(), u64::from_be_bytes(digest[..8].try_into().unwrap()));
 //! ```
 
+pub mod chain;
 mod cipher;
 mod ct;
 mod hmac;
@@ -45,6 +48,7 @@ mod sha1;
 mod sha256;
 mod taskid;
 
+pub use chain::CfChain;
 pub use cipher::{SealedBlob, SealingCipher, UnsealError};
 pub use ct::ct_eq;
 pub use hmac::{batch_verify, hmac, hmac_sha1, BatchOutcome, HmacKey, HmacSchedule};

@@ -1,0 +1,119 @@
+//! The control-flow monitor: the prover half of the CFA plane.
+//!
+//! When attached to a [`Machine`](crate::Machine), the monitor observes
+//! every *taken* intra-task control-flow edge — jumps, taken
+//! conditional branches, register-indirect jumps, calls and returns —
+//! and folds each into a [`CfChain`] while keeping the raw edge log for
+//! the verifier to replay. Interrupt entries and exits are deliberately
+//! invisible: preemption is the kernel's business, not the task's
+//! control flow, so the chain is identical whether or not the task was
+//! interrupted (and therefore identical across execution engines,
+//! whose IRQ delivery boundaries differ only in batching).
+//!
+//! The monitor obeys the same neutrality contract as the tracer and the
+//! cycle observer: it never advances the clock and never changes an
+//! execution outcome. It filters to a single monitored code region and
+//! records addresses *task-relative* (rebased against the region
+//! start), so the log compares directly against the base-0 static CFG
+//! that `tytan-lint` recovers from the image.
+
+use eampu::Region;
+use tytan_crypto::chain::{CfChain, CHAIN_LEN};
+
+/// Hard cap on logged edges, bounding prover memory. A monitor that
+/// hits the cap marks itself truncated and freezes both log and chain;
+/// an honest device refuses to attest a truncated run.
+pub const CF_LOG_CAP: usize = 1 << 16;
+
+/// An attached control-flow monitor (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CfMonitor {
+    region: Region,
+    chain: CfChain,
+    log: Vec<(u32, u32)>,
+    truncated: bool,
+}
+
+impl CfMonitor {
+    /// A fresh monitor over the absolute code region `region`.
+    pub fn new(region: Region) -> CfMonitor {
+        CfMonitor {
+            region,
+            chain: CfChain::new(),
+            log: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// The monitored absolute code region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Records one taken edge if both endpoints lie in the monitored
+    /// region. Called from the interpreter's retire path; must stay
+    /// cycle-free.
+    #[inline]
+    pub(crate) fn record(&mut self, from: u32, to: u32) {
+        if !self.region.contains(from) || !self.region.contains(to) {
+            return;
+        }
+        if self.log.len() >= CF_LOG_CAP {
+            self.truncated = true;
+            return;
+        }
+        let base = self.region.start();
+        let (from, to) = (from - base, to - base);
+        self.chain.fold(from, to);
+        self.log.push((from, to));
+    }
+
+    /// The task-relative edge log recorded so far, in execution order.
+    pub fn log(&self) -> &[(u32, u32)] {
+        &self.log
+    }
+
+    /// The current chain head over the recorded log.
+    pub fn chain_head(&self) -> [u8; CHAIN_LEN] {
+        self.chain.head()
+    }
+
+    /// Whether the log hit [`CF_LOG_CAP`] and edges were dropped.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_rebased_edges_inside_the_region() {
+        let mut m = CfMonitor::new(Region::new(0x1000, 0x100));
+        m.record(0x1000, 0x1040); // in, in
+        m.record(0x1040, 0x2000); // leaves the region
+        m.record(0x2000, 0x1000); // re-enters from outside
+        m.record(0x1044, 0x1000); // in, in
+        assert_eq!(m.log(), &[(0x0, 0x40), (0x44, 0x0)]);
+        assert_eq!(
+            m.chain_head(),
+            CfChain::fold_all([(0x0, 0x40), (0x44, 0x0)])
+        );
+        assert!(!m.truncated());
+    }
+
+    #[test]
+    fn cap_freezes_log_and_chain() {
+        let mut m = CfMonitor::new(Region::new(0, 0x100));
+        for _ in 0..CF_LOG_CAP {
+            m.record(0, 4);
+        }
+        assert!(!m.truncated());
+        let head = m.chain_head();
+        m.record(4, 0);
+        assert!(m.truncated());
+        assert_eq!(m.log().len(), CF_LOG_CAP);
+        assert_eq!(m.chain_head(), head);
+    }
+}

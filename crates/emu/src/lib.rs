@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+pub mod cfa;
 mod cycles;
 pub mod debug;
 mod device;
@@ -49,6 +50,7 @@ pub mod devices;
 mod engine;
 mod machine;
 
+pub use cfa::{CfMonitor, CF_LOG_CAP};
 pub use cycles::{CycleModel, FirmwareCosts};
 pub use device::Device;
 pub use engine::{core_for, CpuCore, FastCore, LegacyCore, TranslatedCore};

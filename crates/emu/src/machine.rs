@@ -353,6 +353,10 @@ pub struct Machine {
     /// (it is a handful of host stores) and never read by execution.
     last_dispatch: Option<DispatchStamp>,
     last_iret: Option<u64>,
+    /// Control-flow monitor for attestation, attached by
+    /// [`Machine::attach_cf_monitor`]. Same neutrality contract as
+    /// `trace` and `observer`: records taken edges, never a cycle.
+    cf_monitor: Option<crate::cfa::CfMonitor>,
 }
 
 /// Counter handles for the emulator layer, resolved once at attach time.
@@ -482,6 +486,7 @@ impl Machine {
             observer: None,
             last_dispatch: None,
             last_iret: None,
+            cf_monitor: None,
         }
     }
 
@@ -534,6 +539,36 @@ impl Machine {
     /// only: it never advances the clock and never changes an outcome.
     pub fn attach_cycle_observer(&mut self, observer: Arc<dyn CycleObserver>) {
         self.observer = Some(observer);
+    }
+
+    /// Attaches a control-flow monitor over the absolute code region
+    /// `region`, replacing any previous monitor. From here on, every
+    /// taken intra-region edge is folded into the monitor's hash chain
+    /// (see [`crate::cfa`]).
+    ///
+    /// Monitoring is an observer only: it never advances the clock and
+    /// never changes an outcome, so the monitored run's cycles and
+    /// architectural state are bit-identical with or without it. On the
+    /// translated engine the block cache is bypassed while a monitor is
+    /// attached — every instruction retires through the interpreter's
+    /// step path, where edges are observed — which changes host speed
+    /// but no guest-visible observable.
+    pub fn attach_cf_monitor(&mut self, region: eampu::Region) {
+        // Compiled blocks retire whole blocks without surfacing their
+        // interior edges; drop them so execution funnels through `step`.
+        self.tcache.flush();
+        self.cf_monitor = Some(crate::cfa::CfMonitor::new(region));
+    }
+
+    /// The attached control-flow monitor, if any.
+    pub fn cf_monitor(&self) -> Option<&crate::cfa::CfMonitor> {
+        self.cf_monitor.as_ref()
+    }
+
+    /// Detaches and returns the control-flow monitor, if any. The
+    /// translated engine resumes block caching on the next run.
+    pub fn take_cf_monitor(&mut self) -> Option<crate::cfa::CfMonitor> {
+        self.cf_monitor.take()
     }
 
     /// Closes IRQ spans still open at shutdown. A machine that halts
@@ -1521,6 +1556,15 @@ impl Machine {
             // Post-cost clock of the retired IRET: the anchor the
             // context-restore latency measurement resumes from.
             self.last_iret = Some(self.clock);
+        }
+        // Taken edges feed the control-flow monitor. `Iret` is excluded:
+        // interrupt exits belong to the kernel, not the task's own
+        // control flow (`Int` returned early above for the same reason),
+        // so the chain is preemption- and engine-independent.
+        if taken && !matches!(instr, Instr::Iret) {
+            if let Some(m) = &mut self.cf_monitor {
+                m.record(eip, next);
+            }
         }
         self.eip = next;
         Ok(())

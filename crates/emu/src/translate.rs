@@ -606,6 +606,14 @@ impl Machine {
     /// Executes at `self.eip`: a cached block, a freshly compiled one,
     /// or a single interpreted step when no block can start here.
     fn exec_at(&mut self, blocks: &mut BlockMap, step_limit: u64) -> Result<(), Fault> {
+        // A control-flow monitor needs to see every taken edge, and
+        // compiled blocks retire interior edges without surfacing them:
+        // bypass the block cache entirely while one is attached (the
+        // attach already flushed compiled blocks). Host speed changes,
+        // guest observables do not.
+        if self.cf_monitor.is_some() {
+            return self.step();
+        }
         let eip = self.eip;
         if let Some(block) = blocks.get(&eip) {
             if let Some(t) = &self.trace {

@@ -493,3 +493,59 @@ fn idt_arithmetic_is_checked_at_address_space_edge() {
     ok.set_idt_entry(4, 0x1234).unwrap();
     assert_eq!(ok.idt_entry(4).unwrap(), 0x1234);
 }
+
+#[test]
+fn cf_monitor_chains_are_engine_invariant() {
+    // The control-flow attestation chain is part of the observable
+    // model: the same guest under every engine must record the same
+    // taken edges in the same order and fold them to a byte-identical
+    // chain head. A calls/returns/branches mix exercises every edge
+    // kind the monitor records.
+    let source = "main:\n movi r2, 0\n\
+                  loop:\n call work\n addi r2, 1\n cmpi r2, 50\n jnz loop\n hlt\n\
+                  work:\n addi r3, 1\n ret\n";
+    let build = |engine: EngineKind| {
+        let mut m = Machine::new(config(engine));
+        let program = assemble(source, 0x1000).unwrap();
+        m.load_image(0x1000, &program.bytes).unwrap();
+        m.set_eip(0x1000);
+        m.set_reg(Reg::R7, 0x8000);
+        m.attach_cf_monitor(Region::new(0x1000, 0x100));
+        m
+    };
+    let mut machines: Vec<Machine> = ALL_ENGINES.into_iter().map(build).collect();
+    for m in &mut machines {
+        // Uneven slices so the translated engine crosses run boundaries
+        // mid-loop: the monitor must not care how the run is sliced.
+        for budget in [37, 211, 100_000] {
+            m.run(budget);
+        }
+        assert!(m.is_halted(), "{:?}: guest never finished", m.engine());
+    }
+    let reference = machines[0].cf_monitor().expect("monitor armed");
+    assert!(
+        !reference.log().is_empty(),
+        "the call/return loop must record edges"
+    );
+    assert!(!reference.truncated());
+    for m in &machines[1..] {
+        let monitor = m.cf_monitor().expect("monitor armed");
+        let engine = m.engine();
+        assert_eq!(
+            monitor.log(),
+            reference.log(),
+            "{engine:?}: edge log diverged"
+        );
+        assert_eq!(
+            monitor.chain_head(),
+            reference.chain_head(),
+            "{engine:?}: chain head diverged"
+        );
+    }
+    // And the machines themselves stayed in lockstep with the monitor
+    // attached — monitoring is not allowed to perturb execution.
+    let s0 = snapshot(&machines[0]);
+    for m in &machines[1..] {
+        assert_eq!(snapshot(m), s0, "{:?}: state diverged", m.engine());
+    }
+}

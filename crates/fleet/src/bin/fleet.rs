@@ -7,9 +7,17 @@
 //! forgery rejected as its own class, zero decode errors — which is
 //! exactly what the `fleet-smoke` CI job asserts.
 //!
+//! In `--cfa` mode every device arms the control-flow monitor, runs a
+//! monitored slice, and answers with `CfaReport` frames; the verifier
+//! replays each edge log against the fleet task's static CFG, and
+//! `--detour-every N` makes every `N`th device first send a copy with
+//! one edge bent off the CFG, which must be rejected as the typed
+//! `InadmissibleEdge` for the run to count as clean.
+//!
 //! ```text
 //! fleet [--devices N] [--rounds N] [--seed N] [--workers N]
-//!       [--chunk N] [--replay-every N] [--corrupt-every N] [--json]
+//!       [--chunk N] [--replay-every N] [--corrupt-every N]
+//!       [--cfa] [--detour-every N] [--monitored-cycles N] [--json]
 //! ```
 
 use std::process::ExitCode;
@@ -38,11 +46,15 @@ fn parse_args() -> Result<(FleetConfig, bool), String> {
             "--chunk" => config.chunk = value("--chunk")? as usize,
             "--replay-every" => config.replay_every = Some(value("--replay-every")?),
             "--corrupt-every" => config.corrupt_every = Some(value("--corrupt-every")?),
+            "--cfa" => config.cfa = true,
+            "--detour-every" => config.detour_every = Some(value("--detour-every")?),
+            "--monitored-cycles" => config.monitored_cycles = value("--monitored-cycles")?,
             "--json" => json = true,
             "--help" | "-h" => {
                 println!(
                     "usage: fleet [--devices N] [--rounds N] [--seed N] [--workers N] \
-                     [--chunk N] [--replay-every N] [--corrupt-every N] [--json]"
+                     [--chunk N] [--replay-every N] [--corrupt-every N] \
+                     [--cfa] [--detour-every N] [--monitored-cycles N] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -64,8 +76,16 @@ fn print_json(outcome: &FleetOutcome) {
     println!("  \"rejected_digest\": {},", outcome.rejected_digest);
     println!("  \"unknown_device\": {},", outcome.unknown_device);
     println!("  \"decode_errors\": {},", outcome.decode_errors);
+    println!("  \"cfa_reports\": {},", outcome.cfa_reports);
+    println!(
+        "  \"rejected_inadmissible\": {},",
+        outcome.rejected_inadmissible
+    );
+    println!("  \"rejected_unproven\": {},", outcome.rejected_unproven);
+    println!("  \"rejected_chain\": {},", outcome.rejected_chain);
     println!("  \"injected_replays\": {},", outcome.injected_replays);
     println!("  \"injected_corrupt\": {},", outcome.injected_corrupt);
+    println!("  \"injected_detours\": {},", outcome.injected_detours);
     println!("  \"device_errors\": {},", outcome.device_errors);
     println!("  \"elapsed_ms\": {},", outcome.elapsed.as_millis());
     println!("  \"throughput_atts_per_s\": {:.1},", outcome.throughput);
@@ -96,6 +116,17 @@ fn print_human(outcome: &FleetOutcome) {
         outcome.rejected_nonce,
         outcome.rejected_digest,
     );
+    if outcome.cfa_reports > 0 {
+        println!(
+            "  cfa: {} cf-attested reports, inadmissible {} (detours injected {}), \
+             chain {}, unproven {}",
+            outcome.cfa_reports,
+            outcome.rejected_inadmissible,
+            outcome.injected_detours,
+            outcome.rejected_chain,
+            outcome.rejected_unproven,
+        );
+    }
     println!(
         "  verify latency p50 {} ns, p99 {} ns  ({} batches, batch p99 {} ns)",
         outcome.verify_p50_ns, outcome.verify_p99_ns, outcome.batches, outcome.batch_p99_ns

@@ -12,10 +12,11 @@
 //! All devices run the same task image, so one [`reference_digest`] boot
 //! provisions the expected measurement for the whole fleet.
 
-use tytan::attest::{AttestationReport, DeviceId, ATTEST_PURPOSE};
+use tytan::attest::{AttestationReport, CfaReport, DeviceId, ATTEST_PURPOSE};
 use tytan::platform::{Platform, PlatformConfig, PlatformError};
 use tytan::toolchain::{SecureTaskBuilder, TaskSource};
 use tytan_crypto::{Digest, PlatformKey, Sha1, SymmetricKey, TaskId};
+use tytan_lint::AdmissibleEdgeSet;
 
 /// Load budget (guest cycles) for the fleet task.
 const LOAD_BUDGET: u64 = 400_000_000;
@@ -48,6 +49,13 @@ pub fn fleet_task_source() -> TaskSource {
     .data("counter:\n .word 0\n")
     .build()
     .expect("fleet task assembles")
+}
+
+/// The admissible edge set `tytan-lint` extracts from the fleet task's
+/// reference image: the static CFG the verifier replays every reported
+/// control-flow log against. Pure static analysis — no platform boots.
+pub fn fleet_admissible_edges() -> AdmissibleEdgeSet {
+    tytan_lint::admissible_edges(&fleet_task_source().image)
 }
 
 /// Boots one reference platform and returns the fleet task's measured
@@ -126,6 +134,44 @@ impl DeviceSim {
     pub fn respond(&mut self, nonce: &[u8]) -> Result<AttestationReport, PlatformError> {
         self.platform.remote_attest(self.task, nonce)
     }
+
+    /// Arms the control-flow monitor over the fleet task's code region,
+    /// starting a fresh edge log.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlatformError`] from the arm.
+    pub fn arm_cfa(&mut self) -> Result<(), PlatformError> {
+        self.platform.arm_cf_monitor(self.task)
+    }
+
+    /// Runs the platform for `cycles` guest cycles (the monitored task
+    /// executes and accumulates control-flow evidence).
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlatformError`] from execution.
+    pub fn run(&mut self, cycles: u64) -> Result<(), PlatformError> {
+        self.platform.run_for(cycles)
+    }
+
+    /// Answers a challenge with a control-flow-attested report sealing
+    /// everything the armed monitor has recorded.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlatformError`]; notably
+    /// [`PlatformError::NoCfEvidence`] if [`DeviceSim::arm_cfa`] was
+    /// never called or the log overflowed.
+    pub fn respond_cfa(&mut self, nonce: &[u8]) -> Result<CfaReport, PlatformError> {
+        self.platform.remote_attest_cfa(self.task, nonce)
+    }
+
+    /// The underlying platform (tests use this to tamper with task RAM
+    /// and demonstrate detour detection).
+    pub fn platform_mut(&mut self) -> &mut Platform {
+        &mut self.platform
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +201,26 @@ mod tests {
         let nonce = session.challenge();
         let report = sim.respond(&nonce).expect("attests");
         assert_eq!(session.submit(&report), Ok(()));
+    }
+
+    #[test]
+    fn provisioned_device_cfa_attests_and_replays_cleanly() {
+        let master = [6u8; 20];
+        let device = DeviceId::from_u64(13);
+        let (_, digest) = reference_digest().expect("reference boots");
+        let edges = fleet_admissible_edges();
+        let mut sim = DeviceSim::provision(device, &master).expect("device boots");
+        sim.arm_cfa().expect("task is measured");
+        sim.run(50_000).expect("monitored run");
+        let mut session =
+            VerifierSession::new(device, device_attestation_key(&master, device), digest, 42);
+        let nonce = session.challenge();
+        let report = sim.respond_cfa(&nonce).expect("attests with evidence");
+        assert!(
+            !report.log.is_empty(),
+            "the looping task must record taken edges"
+        );
+        assert_eq!(session.submit_cfa(&report, &edges), Ok(()));
     }
 
     #[test]

@@ -74,6 +74,18 @@ pub struct FleetConfig {
     /// Every `n`th device also sends a MAC-corrupted copy of each
     /// report — a forgery the verifier must reject as `BadMac`.
     pub corrupt_every: Option<u64>,
+    /// Control-flow attestation mode: devices arm the CF monitor, run a
+    /// monitored slice, and answer challenges with
+    /// [`proto::Message::CfaReport`] frames; the verifier replays every
+    /// edge log against the fleet task's static CFG.
+    pub cfa: bool,
+    /// (CFA mode) every `n`th device first sends a copy of its report
+    /// with one edge detoured off the static CFG — the MAC still
+    /// verifies (it covers the chain head, not the raw log), so only
+    /// edge replay can reject it, typed `InadmissibleEdge`.
+    pub detour_every: Option<u64>,
+    /// (CFA mode) guest cycles of monitored execution before attesting.
+    pub monitored_cycles: u64,
 }
 
 impl Default for FleetConfig {
@@ -86,6 +98,9 @@ impl Default for FleetConfig {
             chunk: 13,
             replay_every: None,
             corrupt_every: None,
+            cfa: false,
+            detour_every: None,
+            monitored_cycles: 50_000,
         }
     }
 }
@@ -117,6 +132,10 @@ impl FleetConfig {
         matches!(self.corrupt_every, Some(n) if n > 0 && device.is_multiple_of(n))
     }
 
+    fn detour_hit(&self, device: u64) -> bool {
+        self.cfa && matches!(self.detour_every, Some(n) if n > 0 && device.is_multiple_of(n))
+    }
+
     /// Replay copies this configuration injects across the whole run.
     pub fn injected_replays(&self) -> u64 {
         (0..self.devices).filter(|&d| self.replay_hit(d)).count() as u64 * self.rounds
@@ -125,6 +144,11 @@ impl FleetConfig {
     /// Corrupt copies this configuration injects across the whole run.
     pub fn injected_corrupt(&self) -> u64 {
         (0..self.devices).filter(|&d| self.corrupt_hit(d)).count() as u64 * self.rounds
+    }
+
+    /// Detoured copies this configuration injects across the whole run.
+    pub fn injected_detours(&self) -> u64 {
+        (0..self.devices).filter(|&d| self.detour_hit(d)).count() as u64 * self.rounds
     }
 }
 
@@ -151,10 +175,20 @@ pub struct FleetOutcome {
     pub unknown_device: u64,
     /// Connections dropped on malformed frames.
     pub decode_errors: u64,
+    /// Control-flow-attested reports received (subset of `reports`).
+    pub cfa_reports: u64,
+    /// Edge logs rejected because an edge left the static CFG.
+    pub rejected_inadmissible: u64,
+    /// Edge logs rejected at an unproven site (conservative mode).
+    pub rejected_unproven: u64,
+    /// Edge logs rejected because they do not refold to the chain head.
+    pub rejected_chain: u64,
     /// Replay copies the run injected (expected `rejected_replay`).
     pub injected_replays: u64,
     /// Corrupt copies the run injected (expected `rejected_bad_mac`).
     pub injected_corrupt: u64,
+    /// Detoured copies the run injected (expected `rejected_inadmissible`).
+    pub injected_detours: u64,
     /// Device jobs that failed to boot, load or converse.
     pub device_errors: u64,
     /// Wall-clock time for the whole run (boots included).
@@ -181,8 +215,11 @@ impl FleetOutcome {
         self.accepted == self.devices * self.rounds
             && self.rejected_replay == self.injected_replays
             && self.rejected_bad_mac == self.injected_corrupt
+            && self.rejected_inadmissible == self.injected_detours
             && self.rejected_nonce == 0
             && self.rejected_digest == 0
+            && self.rejected_unproven == 0
+            && self.rejected_chain == 0
             && self.unknown_device == 0
             && self.decode_errors == 0
             && self.device_errors == 0
@@ -227,6 +264,11 @@ fn device_conversation(
 ) -> Result<(), String> {
     let mut sim =
         DeviceSim::provision(device, master).map_err(|e| format!("{device}: boot: {e:?}"))?;
+    if config.cfa {
+        sim.arm_cfa().map_err(|e| format!("{device}: arm: {e:?}"))?;
+        sim.run(config.monitored_cycles)
+            .map_err(|e| format!("{device}: monitored run: {e:?}"))?;
+    }
     let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Vec<u8>>();
     inbound
         .send(Inbound::Connect {
@@ -279,6 +321,42 @@ fn device_conversation(
                 }
             }
         };
+        if config.cfa {
+            let report = sim
+                .respond_cfa(&nonce)
+                .map_err(|e| format!("{device}: cfa attest: {e:?}"))?;
+            if config.detour_hit(device.as_u64()) {
+                // One edge bent off the static CFG, sent *before* the
+                // honest report so the freshness check cannot mask the
+                // typed `InadmissibleEdge` rejection. The MAC covers
+                // the chain head, not the raw log, so it still passes —
+                // only edge replay catches this.
+                let mut detoured = report.clone();
+                match detoured.log.first_mut() {
+                    // Knocking the destination off 4-byte alignment
+                    // makes it inadmissible at every site kind.
+                    Some(edge) => edge.1 ^= 2,
+                    // An empty log means the monitored run was too
+                    // short to gather evidence — surface it as a
+                    // device error instead of panicking the worker.
+                    None => return Err(format!("{device}: no edges to detour")),
+                }
+                let frame = encode(
+                    &Message::CfaReport {
+                        device,
+                        report: detoured,
+                    },
+                    version,
+                );
+                send_chunked(&inbound, device, &frame, config.chunk);
+            }
+            let frame = encode(&Message::CfaReport { device, report }, version);
+            send_chunked(&inbound, device, &frame, config.chunk);
+            if config.replay_hit(device.as_u64()) {
+                send_chunked(&inbound, device, &frame, config.chunk);
+            }
+            continue;
+        }
         let report = sim
             .respond(&nonce)
             .map_err(|e| format!("{device}: attest: {e:?}"))?;
@@ -337,6 +415,9 @@ pub fn run_fleet_with_tracer(
     let (_, expected_digest) = farm::reference_digest()?;
 
     let mut verifier = FleetVerifier::new(master, expected_digest, config.seed, tracer);
+    if config.cfa {
+        verifier.provision_edge_set(farm::fleet_admissible_edges());
+    }
     for d in 0..config.devices {
         verifier.provision(DeviceId::from_u64(d));
     }
@@ -379,8 +460,13 @@ pub fn run_fleet_with_tracer(
         rejected_digest: get("fleet_rejected_digest"),
         unknown_device: get("fleet_unknown_device"),
         decode_errors: get("fleet_decode_errors"),
+        cfa_reports: get("fleet_cfa_reports"),
+        rejected_inadmissible: get("fleet_rejected_inadmissible"),
+        rejected_unproven: get("fleet_rejected_unproven"),
+        rejected_chain: get("fleet_rejected_chain"),
         injected_replays: config.injected_replays(),
         injected_corrupt: config.injected_corrupt(),
+        injected_detours: config.injected_detours(),
         device_errors: device_errors.load(Ordering::Relaxed),
         elapsed,
         throughput: accepted as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
@@ -523,6 +609,38 @@ mod tests {
             ..FleetConfig::default()
         })
         .expect("fleet runs");
+        assert!(outcome.clean(), "outcome: {outcome:?}");
+    }
+
+    #[test]
+    fn cfa_fleet_is_clean_and_counts_cfa_reports() {
+        let outcome = run_fleet(&FleetConfig {
+            devices: 6,
+            rounds: 2,
+            cfa: true,
+            ..FleetConfig::default()
+        })
+        .expect("fleet runs");
+        assert_eq!(outcome.accepted, 12);
+        assert_eq!(outcome.cfa_reports, 12);
+        assert!(outcome.clean(), "outcome: {outcome:?}");
+    }
+
+    #[test]
+    fn injected_detours_are_rejected_as_inadmissible_edges() {
+        let outcome = run_fleet(&FleetConfig {
+            devices: 6,
+            rounds: 2,
+            cfa: true,
+            detour_every: Some(2),
+            ..FleetConfig::default()
+        })
+        .expect("fleet runs");
+        assert_eq!(outcome.accepted, 12);
+        assert_eq!(outcome.injected_detours, 6);
+        assert_eq!(outcome.rejected_inadmissible, 6);
+        assert_eq!(outcome.rejected_chain, 0);
+        assert_eq!(outcome.rejected_bad_mac, 0, "the detoured MAC verifies");
         assert!(outcome.clean(), "outcome: {outcome:?}");
     }
 

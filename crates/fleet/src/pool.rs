@@ -83,7 +83,10 @@ impl Shared {
 fn worker_loop(shared: Arc<Shared>, who: usize) {
     loop {
         if let Some(job) = shared.find_job(who) {
-            job();
+            // A panicking job must not kill the worker (stranding every
+            // job still queued behind it) or leak its inflight slot
+            // (wedging `wait_idle` forever). Contain it and move on.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
             shared.finish_one();
             continue;
         }
@@ -253,6 +256,22 @@ mod tests {
         }
         pool.wait_idle();
         assert_eq!(count.load(Ordering::Relaxed), 50);
+        assert_eq!(pool.inflight(), 0);
+    }
+
+    #[test]
+    fn panicking_job_neither_kills_its_worker_nor_wedges_wait_idle() {
+        let pool = WorkStealingPool::new(1);
+        pool.spawn(|| panic!("synthetic"));
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let count = count.clone();
+            pool.spawn(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 10);
         assert_eq!(pool.inflight(), 0);
     }
 

@@ -39,17 +39,23 @@
 //! assert_eq!(decoder.next_message().unwrap(), None);
 //! ```
 
-use tytan::attest::{AttestationReport, DeviceId};
+use tytan::attest::{AttestationReport, CfaReport, DeviceId};
 
 /// The newest protocol version this implementation speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version 2 adds control-flow attestation: [`Message::CfaReport`] and
+/// the reserved type-byte range [`FIRST_V2_TYPE`]`..=`[`LAST_RESERVED_TYPE`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// The oldest protocol version this implementation still accepts.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
 
 /// Upper bound on `len` (version + type + payload). Frames beyond this
-/// are rejected before any payload is buffered.
-pub const MAX_FRAME_LEN: usize = 1 << 16;
+/// are rejected before any payload is buffered. Sized for the largest
+/// legal version-2 frame: a [`Message::CfaReport`] whose edge log is at
+/// the prover-side cap (`sp_emu::CF_LOG_CAP` edges × 8 bytes ≈ 512 KiB)
+/// plus headers.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 /// Upper bound on a challenge nonce carried in a frame.
 pub const MAX_NONCE_LEN: usize = 64;
@@ -135,6 +141,12 @@ pub mod verdict_code {
     pub const DIGEST_MISMATCH: u8 = 4;
     /// The device has no provisioned session.
     pub const UNKNOWN_DEVICE: u8 = 5;
+    /// A control-flow edge in the log is not admitted by the static CFG.
+    pub const INADMISSIBLE_EDGE: u8 = 6;
+    /// An unproven-site edge landed outside reachable instruction starts.
+    pub const UNPROVEN_SITE: u8 = 7;
+    /// The edge log does not refold to the MAC'd chain head.
+    pub const CHAIN_MISMATCH: u8 = 8;
 }
 
 /// A protocol message. One frame carries exactly one message.
@@ -176,6 +188,14 @@ pub enum Message {
         /// A [`verdict_code`] detailing the outcome.
         code: u8,
     },
+    /// Device → verifier: a control-flow-attested report answering a
+    /// challenge (protocol version 2+).
+    CfaReport {
+        /// The reporting device.
+        device: DeviceId,
+        /// The MAC-authenticated report with its edge log.
+        report: CfaReport,
+    },
 }
 
 const TYPE_HELLO: u8 = 1;
@@ -183,6 +203,20 @@ const TYPE_WELCOME: u8 = 2;
 const TYPE_CHALLENGE: u8 = 3;
 const TYPE_REPORT: u8 = 4;
 const TYPE_VERDICT: u8 = 5;
+const TYPE_CFA_REPORT: u8 = 6;
+
+/// First message-type byte that requires protocol version 2. A version-1
+/// frame carrying a type in [`FIRST_V2_TYPE`]`..=`[`LAST_RESERVED_TYPE`]
+/// is rejected as [`CodecError::UnsupportedVersion`] — a version-1-only
+/// verifier gives senders of new report types a typed version error, not
+/// a confusing "unknown message".
+pub const FIRST_V2_TYPE: u8 = 6;
+
+/// Last type byte of the reserved versioned range. Types 7–15 are held
+/// back for future versioned report kinds; today they decode as
+/// [`CodecError::UnknownMessageType`] at version 2 and as
+/// [`CodecError::UnsupportedVersion`] at version 1.
+pub const LAST_RESERVED_TYPE: u8 = 15;
 
 impl Message {
     fn type_byte(&self) -> u8 {
@@ -192,6 +226,16 @@ impl Message {
             Message::Challenge { .. } => TYPE_CHALLENGE,
             Message::Report { .. } => TYPE_REPORT,
             Message::Verdict { .. } => TYPE_VERDICT,
+            Message::CfaReport { .. } => TYPE_CFA_REPORT,
+        }
+    }
+
+    /// The minimum protocol version that can carry this message.
+    pub fn min_version(&self) -> u8 {
+        if self.type_byte() >= FIRST_V2_TYPE {
+            2
+        } else {
+            1
         }
     }
 
@@ -225,6 +269,12 @@ impl Message {
                 out.extend_from_slice(&device.to_bytes());
                 out.push(u8::from(*accepted));
                 out.push(*code);
+            }
+            Message::CfaReport { device, report } => {
+                out.extend_from_slice(&device.to_bytes());
+                let bytes = report.to_bytes();
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(&bytes);
             }
         }
         out
@@ -352,6 +402,17 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, CodecError> 
                 code: r.u8()?,
             }
         }
+        TYPE_CFA_REPORT => {
+            let device = r.device()?;
+            let len = r.u32_le()? as usize;
+            let bytes = r.take(len)?;
+            let report = CfaReport::from_bytes(bytes)
+                .ok_or(CodecError::MalformedPayload("cfa report does not parse"))?;
+            if report.to_bytes().len() != len {
+                return Err(CodecError::MalformedPayload("cfa report not canonical"));
+            }
+            Message::CfaReport { device, report }
+        }
         other => return Err(CodecError::UnknownMessageType(other)),
     };
     r.finish()?;
@@ -366,6 +427,22 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, CodecError> 
 /// Any [`CodecError`]; [`CodecError::Truncated`] means more bytes may
 /// complete the frame, every other variant is fatal for the stream.
 pub fn decode(bytes: &[u8]) -> Result<(Message, usize), CodecError> {
+    decode_with_window(bytes, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION)
+}
+
+/// [`decode`] against an explicit accepted-version window `min..=max`.
+///
+/// This is what a deployed verifier built against an *older* protocol
+/// revision effectively runs: compatibility tests call it with
+/// `(1, 1)` to prove that version-2 frames (and any frame carrying a
+/// type byte in the reserved range [`FIRST_V2_TYPE`]`..=`
+/// [`LAST_RESERVED_TYPE`]) are rejected as the typed
+/// [`CodecError::UnsupportedVersion`] rather than misparsed.
+///
+/// # Errors
+///
+/// As [`decode`].
+pub fn decode_with_window(bytes: &[u8], min: u8, max: u8) -> Result<(Message, usize), CodecError> {
     if bytes.len() < 4 {
         return Err(CodecError::Truncated {
             have: bytes.len(),
@@ -384,14 +461,26 @@ pub fn decode(bytes: &[u8]) -> Result<(Message, usize), CodecError> {
         });
     }
     let version = bytes[4];
-    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+    if !(min..=max).contains(&version) {
         return Err(CodecError::UnsupportedVersion {
             got: version,
-            min: MIN_PROTOCOL_VERSION,
-            max: PROTOCOL_VERSION,
+            min,
+            max,
         });
     }
-    let message = decode_payload(bytes[5], &bytes[6..total])?;
+    let type_byte = bytes[5];
+    // Reserved versioned range: a version-1 frame cannot carry a
+    // version-2 message type. Typed as a version problem so old
+    // verifiers (max = 1) and confused senders both get an actionable
+    // error instead of "unknown message".
+    if (FIRST_V2_TYPE..=LAST_RESERVED_TYPE).contains(&type_byte) && version < 2 {
+        return Err(CodecError::UnsupportedVersion {
+            got: version,
+            min: 2,
+            max,
+        });
+    }
+    let message = decode_payload(type_byte, &bytes[6..total])?;
     Ok((message, total))
 }
 
@@ -500,7 +589,22 @@ mod tests {
                 accepted: false,
                 code: verdict_code::REPLAYED_NONCE,
             },
+            Message::CfaReport {
+                device: DeviceId::from_u64(11),
+                report: sample_cfa_report(),
+            },
         ]
+    }
+
+    fn sample_cfa_report() -> CfaReport {
+        CfaReport {
+            id: TaskId::from_u64(0xBEEF),
+            digest: vec![6u8; 20],
+            nonce: vec![5, 6, 7, 8],
+            log: vec![(0, 8), (8, 16), (16, 12)],
+            chain_head: [0xC4; 20],
+            mac: vec![8u8; 20],
+        }
     }
 
     #[test]
@@ -584,10 +688,69 @@ mod tests {
     fn negotiation_picks_newest_common_version() {
         assert_eq!(negotiate(PROTOCOL_VERSION), Ok(PROTOCOL_VERSION));
         assert_eq!(negotiate(PROTOCOL_VERSION + 9), Ok(PROTOCOL_VERSION));
+        // A version-1-only device still negotiates a v1 session.
+        assert_eq!(negotiate(1), Ok(1));
         assert!(matches!(
             negotiate(MIN_PROTOCOL_VERSION.wrapping_sub(1)),
             Err(CodecError::UnsupportedVersion { .. })
         ));
+    }
+
+    #[test]
+    fn v1_frame_with_reserved_type_is_a_typed_version_error() {
+        let msg = Message::CfaReport {
+            device: DeviceId::from_u64(11),
+            report: sample_cfa_report(),
+        };
+        assert_eq!(msg.min_version(), 2);
+        // A confused (or malicious) sender stamps version 1 on a
+        // reserved-range type: typed as a version problem.
+        let frame = encode(&msg, 1);
+        assert_eq!(
+            decode(&frame),
+            Err(CodecError::UnsupportedVersion {
+                got: 1,
+                min: 2,
+                max: PROTOCOL_VERSION,
+            })
+        );
+        // The whole reserved range behaves the same at version 1.
+        for reserved in FIRST_V2_TYPE..=LAST_RESERVED_TYPE {
+            let mut frame = encode(&Message::Welcome { version: 1 }, 1);
+            frame[5] = reserved;
+            assert!(
+                matches!(
+                    decode(&frame),
+                    Err(CodecError::UnsupportedVersion { got: 1, min: 2, .. })
+                ),
+                "type {reserved}"
+            );
+        }
+    }
+
+    #[test]
+    fn old_verifier_window_rejects_new_report_frames_as_unsupported_version() {
+        // A verifier built before version 2 accepts only 1..=1; a
+        // version-2 CFA frame must fail with the typed version error,
+        // not a misparse, so the device can fall back to plain reports.
+        let frame = encode(
+            &Message::CfaReport {
+                device: DeviceId::from_u64(3),
+                report: sample_cfa_report(),
+            },
+            PROTOCOL_VERSION,
+        );
+        assert_eq!(
+            decode_with_window(&frame, 1, 1),
+            Err(CodecError::UnsupportedVersion {
+                got: PROTOCOL_VERSION,
+                min: 1,
+                max: 1,
+            })
+        );
+        // The same old window still decodes v1 traffic unchanged.
+        let v1 = encode(&Message::Welcome { version: 1 }, 1);
+        assert!(decode_with_window(&v1, 1, 1).is_ok());
     }
 
     #[test]
@@ -687,7 +850,7 @@ mod tests {
         // successfully decoded frame consumes exactly its own bytes.
         #[test]
         fn prop_bit_flips_never_panic(
-            msg_index in 0usize..7,
+            msg_index in 0usize..8,
             bit in 0usize..4096,
         ) {
             let msg = sample_messages().remove(msg_index);

@@ -20,8 +20,9 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use tytan::attest::{AttestationReport, DeviceId, VerifierSession, VerifyError};
+use tytan::attest::{AttestationReport, CfaReport, DeviceId, VerifierSession, VerifyError};
 use tytan_crypto::batch_verify;
+use tytan_lint::AdmissibleEdgeSet;
 use tytan_trace::{EventKind, HistId, Layer, Tracer};
 
 use crate::farm::device_attestation_key;
@@ -45,6 +46,9 @@ impl FlushEntry {
             Err(VerifyError::ReplayedNonce) => verdict_code::REPLAYED_NONCE,
             Err(VerifyError::NonceMismatch) => verdict_code::NONCE_MISMATCH,
             Err(VerifyError::DigestMismatch { .. }) => verdict_code::DIGEST_MISMATCH,
+            Err(VerifyError::InadmissibleEdge { .. }) => verdict_code::INADMISSIBLE_EDGE,
+            Err(VerifyError::UnprovenSiteViolation { .. }) => verdict_code::UNPROVEN_SITE,
+            Err(VerifyError::ChainMismatch) => verdict_code::CHAIN_MISMATCH,
         }
     }
 
@@ -64,14 +68,42 @@ impl FlushEntry {
 struct FleetCounters {
     hello: tytan_trace::CounterId,
     reports: tytan_trace::CounterId,
+    cfa_reports: tytan_trace::CounterId,
     accepted: tytan_trace::CounterId,
     rejected_bad_mac: tytan_trace::CounterId,
     rejected_replay: tytan_trace::CounterId,
     rejected_nonce: tytan_trace::CounterId,
     rejected_digest: tytan_trace::CounterId,
+    rejected_inadmissible: tytan_trace::CounterId,
+    rejected_unproven: tytan_trace::CounterId,
+    rejected_chain: tytan_trace::CounterId,
+    cfa_unconfigured: tytan_trace::CounterId,
     unknown_device: tytan_trace::CounterId,
     decode_errors: tytan_trace::CounterId,
     batches: tytan_trace::CounterId,
+}
+
+/// One decoded report awaiting the batched flush — either kind shares
+/// the MAC-then-session pipeline.
+enum PendingReport {
+    Plain(AttestationReport),
+    Cfa(CfaReport),
+}
+
+impl PendingReport {
+    fn mac_input(&self) -> Vec<u8> {
+        match self {
+            PendingReport::Plain(r) => r.mac_input(),
+            PendingReport::Cfa(r) => r.mac_input(),
+        }
+    }
+
+    fn mac(&self) -> &[u8] {
+        match self {
+            PendingReport::Plain(r) => &r.mac,
+            PendingReport::Cfa(r) => &r.mac,
+        }
+    }
 }
 
 /// The host-side attestation verifier for a whole fleet.
@@ -81,7 +113,8 @@ pub struct FleetVerifier {
     salt: u64,
     sessions: HashMap<DeviceId, VerifierSession>,
     decoders: HashMap<DeviceId, FrameDecoder>,
-    pending: Vec<(DeviceId, AttestationReport)>,
+    pending: Vec<(DeviceId, PendingReport)>,
+    edge_set: Option<AdmissibleEdgeSet>,
     tracer: Tracer,
     counters: FleetCounters,
     h_verify: HistId,
@@ -106,11 +139,16 @@ impl FleetVerifier {
         let counters = FleetCounters {
             hello: c.register("fleet_hello"),
             reports: c.register("fleet_reports"),
+            cfa_reports: c.register("fleet_cfa_reports"),
             accepted: c.register("fleet_accepted"),
             rejected_bad_mac: c.register("fleet_rejected_bad_mac"),
             rejected_replay: c.register("fleet_rejected_replay"),
             rejected_nonce: c.register("fleet_rejected_nonce"),
             rejected_digest: c.register("fleet_rejected_digest"),
+            rejected_inadmissible: c.register("fleet_rejected_inadmissible"),
+            rejected_unproven: c.register("fleet_rejected_unproven"),
+            rejected_chain: c.register("fleet_rejected_chain"),
+            cfa_unconfigured: c.register("fleet_cfa_unconfigured"),
             unknown_device: c.register("fleet_unknown_device"),
             decode_errors: c.register("fleet_decode_errors"),
             batches: c.register("fleet_batches"),
@@ -124,6 +162,7 @@ impl FleetVerifier {
             sessions: HashMap::new(),
             decoders: HashMap::new(),
             pending: Vec::new(),
+            edge_set: None,
             tracer,
             counters,
             h_verify,
@@ -143,6 +182,21 @@ impl FleetVerifier {
             device,
             VerifierSession::new(device, ka, self.expected_digest.clone(), salt),
         );
+    }
+
+    /// Registers the admissible edge set `tytan-lint` extracted from
+    /// the fleet's reference task image. Required before any
+    /// [`crate::proto::Message::CfaReport`] can be verified: a CFA
+    /// report arriving while no edge set is registered is counted
+    /// (`fleet_cfa_unconfigured`) and dropped without a verdict — the
+    /// service refuses to judge evidence it has no reference for.
+    pub fn provision_edge_set(&mut self, edges: AdmissibleEdgeSet) {
+        self.edge_set = Some(edges);
+    }
+
+    /// The registered admissible edge set, if any.
+    pub fn edge_set(&self) -> Option<&AdmissibleEdgeSet> {
+        self.edge_set.as_ref()
     }
 
     /// Number of provisioned sessions.
@@ -220,7 +274,18 @@ impl FleetVerifier {
                 }
                 Message::Report { device, report } => {
                     self.tracer.counters().add(self.counters.reports, 1);
-                    self.pending.push((device, report));
+                    self.pending.push((device, PendingReport::Plain(report)));
+                }
+                Message::CfaReport { device, report } => {
+                    self.tracer.counters().add(self.counters.reports, 1);
+                    self.tracer.counters().add(self.counters.cfa_reports, 1);
+                    if self.edge_set.is_none() {
+                        self.tracer
+                            .counters()
+                            .add(self.counters.cfa_unconfigured, 1);
+                        continue;
+                    }
+                    self.pending.push((device, PendingReport::Cfa(report)));
                 }
                 // Welcome / Challenge / Verdict are verifier → device;
                 // receiving one here is a protocol misuse we just count.
@@ -260,7 +325,7 @@ impl FleetVerifier {
             .zip(&inputs)
             .filter_map(|((device, report), input)| {
                 let schedule = self.sessions.get(device)?.schedule();
-                Some((schedule, input.as_deref()?, report.mac.as_slice()))
+                Some((schedule, input.as_deref()?, report.mac()))
             });
         let outcome = batch_verify(items);
 
@@ -271,7 +336,15 @@ impl FleetVerifier {
             let result = match self.sessions.get_mut(device) {
                 Some(session) if input.is_some() => {
                     let mac_ok = verdicts.next().expect("one verdict per batched item");
-                    session.submit_with_mac_verdict(report, mac_ok)
+                    match report {
+                        PendingReport::Plain(report) => {
+                            session.submit_with_mac_verdict(report, mac_ok)
+                        }
+                        PendingReport::Cfa(report) => {
+                            let edges = self.edge_set.as_ref().expect("checked at ingest");
+                            session.submit_cfa_with_mac_verdict(report, mac_ok, edges)
+                        }
+                    }
                 }
                 _ => {
                     self.tracer.counters().add(self.counters.unknown_device, 1);
@@ -284,6 +357,9 @@ impl FleetVerifier {
                 Err(VerifyError::ReplayedNonce) => self.counters.rejected_replay,
                 Err(VerifyError::NonceMismatch) => self.counters.rejected_nonce,
                 Err(VerifyError::DigestMismatch { .. }) => self.counters.rejected_digest,
+                Err(VerifyError::InadmissibleEdge { .. }) => self.counters.rejected_inadmissible,
+                Err(VerifyError::UnprovenSiteViolation { .. }) => self.counters.rejected_unproven,
+                Err(VerifyError::ChainMismatch) => self.counters.rejected_chain,
             };
             self.tracer.counters().add(counter, 1);
             entries.push(FlushEntry {

@@ -65,6 +65,10 @@ pub const SCENARIOS: &[Scenario] = &[
         name: "fleet-frame",
         run: fleet_frames::fleet_frame,
     },
+    Scenario {
+        name: "cfa-log",
+        run: crate::cfa_log::cfa_log,
+    },
 ];
 
 /// Looks a scenario up by its stable name.

@@ -21,6 +21,10 @@
 //! - [`fleet_frames`] — the fleet verifier's untrusted-input surface:
 //!   replayed and mutated attestation frames through the framed codec
 //!   and batched verifier must never verify and never panic.
+//! - [`cfa_log`] — the control-flow-attestation oracle: detoured,
+//!   mutated, reordered, and truncated edge logs must never verify
+//!   against the static admissible-edge set, even when re-sealed under
+//!   the real device key; honest walks always must.
 //! - [`campaign`] — the engine: runs `(seed, index)`-keyed cases
 //!   through every scenario under `catch_unwind`, so a panic anywhere
 //!   in the stack is itself a reportable finding, and minimizes
@@ -33,6 +37,7 @@
 //! alone, on any machine, with no corpus file required.
 
 pub mod campaign;
+pub mod cfa_log;
 pub mod corpus;
 pub mod diff;
 pub mod faults;

@@ -3,8 +3,13 @@
 //! ```text
 //! sp32-lint [--json] [--deny warnings|errors] [--budget CYCLES]
 //!           [--allow START:LEN[:r|w|rw]] [--peer START:LEN:ENTRY]
-//!           IMAGE.ttif...
+//!           [--cfg-export PATH] IMAGE.ttif...
 //! ```
+//!
+//! `--cfg-export PATH` writes the image's admissible-edge set (the
+//! serialized static CFG the control-flow-attestation verifier loads)
+//! as JSON to `PATH`; it requires exactly one image argument, since the
+//! export names one edge set.
 //!
 //! Exit status: 0 when every image is acceptable, 1 when any image has a
 //! finding at or above the deny level (or fails to parse), 2 on usage or
@@ -21,12 +26,14 @@ struct Options {
     json: bool,
     deny: Severity,
     policy: LintPolicy,
+    cfg_export: Option<String>,
     files: Vec<String>,
 }
 
 fn usage() -> String {
     "usage: sp32-lint [--json] [--deny warnings|errors] [--budget CYCLES]\n\
-     \x20                [--allow START:LEN[:r|w|rw]] [--peer START:LEN:ENTRY] IMAGE.ttif..."
+     \x20                [--allow START:LEN[:r|w|rw]] [--peer START:LEN:ENTRY]\n\
+     \x20                [--cfg-export PATH] IMAGE.ttif..."
         .to_string()
 }
 
@@ -91,6 +98,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         deny: Severity::Error,
         policy: LintPolicy::default(),
+        cfg_export: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -119,6 +127,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .windows
                 .push(parse_window(&value_of("--allow")?)?),
             "--peer" => options.policy.peers.push(parse_peer(&value_of("--peer")?)?),
+            "--cfg-export" => options.cfg_export = Some(value_of("--cfg-export")?),
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{}", usage()));
@@ -128,6 +137,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if options.files.is_empty() {
         return Err(format!("no image files given\n{}", usage()));
+    }
+    if options.cfg_export.is_some() && options.files.len() != 1 {
+        return Err("--cfg-export names one edge set; give exactly one image".to_string());
     }
     Ok(options)
 }
@@ -165,6 +177,13 @@ fn main() -> ExitCode {
         let report = linter.lint(&image);
         if report.rejects_at(options.deny) {
             rejected = true;
+        }
+        if let Some(path) = &options.cfg_export {
+            let edges = tytan_lint::admissible_edges(&image);
+            if let Err(e) = std::fs::write(path, edges.to_json() + "\n") {
+                eprintln!("sp32-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
         }
         if options.json {
             json_reports.push(report.to_json());

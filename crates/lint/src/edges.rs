@@ -1,0 +1,689 @@
+//! The admissible-edge set: the static CFG as a runtime-attestation
+//! oracle.
+//!
+//! Control-flow attestation needs a ground truth to judge a reported
+//! execution against. This module distils the recovered CFG
+//! ([`crate::cfg`]) plus the constant-propagation dataflow into an
+//! [`AdmissibleEdgeSet`]: for every reachable control-transfer site,
+//! exactly which destinations a *benign* execution may take from it.
+//!
+//! - Direct `jmp`/`jcc`/`call` sites with a relocated, in-range target
+//!   admit only that target (for `jcc`, only the taken direction is
+//!   ever logged — fall-through emits no edge).
+//! - `call` sites additionally pin the return address the matching
+//!   `ret` must come back to; replay tracks this with a shadow stack,
+//!   which is what catches ROP-style detours that stay entirely on
+//!   statically-valid edges.
+//! - Register-indirect jumps are bounded by the same dataflow the lint
+//!   pass uses for memory accesses: a site whose register provably
+//!   holds one task-relative pointer admits exactly that target.
+//! - Indirect sites the analysis cannot bound are flagged
+//!   [`SiteKind::Unproven`]; replay drops into a conservative mode for
+//!   that site only — the destination must at least be a reachable
+//!   instruction start ([`CfaViolation::UnprovenSiteViolation`]
+//!   otherwise).
+//! - Sites whose transfer provably leaves the task (absolute targets)
+//!   admit *no* intra-task edge: the runtime monitor only logs edges
+//!   with both ends inside the monitored region, so a logged edge from
+//!   such a site is itself evidence of tampering.
+//!
+//! The set has one canonical byte encoding ([`AdmissibleEdgeSet::canonical_bytes`])
+//! whose SHA-1 digest is embedded in the lint report and provisioned to
+//! the fleet verifier, and a JSON form (`sp32-lint --cfg-export`) that
+//! round-trips losslessly through `tytan-trace`'s dependency-free
+//! parser.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use sp32::cfg::{transfer_kind, TransferKind};
+use tytan_crypto::{Digest, Sha1};
+use tytan_trace::chrome::escape_json_string;
+use tytan_trace::json::{self, Value};
+
+use crate::cfg::Cfg;
+use crate::{transfer, RegState};
+
+/// What a benign execution may do at one control-transfer site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteKind {
+    /// Unconditional direct jump: admits exactly `target`.
+    Jump {
+        /// The sole admissible destination.
+        target: u32,
+    },
+    /// Conditional direct jump: the taken edge admits exactly `target`
+    /// (fall-through emits no edge).
+    CondJump {
+        /// The taken-direction destination.
+        target: u32,
+    },
+    /// Direct call: admits exactly `target` and pushes `ret` onto the
+    /// replay shadow stack.
+    Call {
+        /// The callee entry.
+        target: u32,
+        /// The return address the matching `ret` must come back to.
+        ret: u32,
+    },
+    /// Return: admits exactly the top of the replay shadow stack.
+    Return,
+    /// Register-indirect jump bounded by the dataflow: admits any
+    /// member of `targets`.
+    Indirect {
+        /// Admissible destinations, sorted ascending.
+        targets: Vec<u32>,
+    },
+    /// Register-indirect jump the analysis could not bound: replay is
+    /// conservative here — the destination must be a reachable
+    /// instruction start.
+    Unproven,
+}
+
+impl SiteKind {
+    /// Stable name used in the JSON form.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SiteKind::Jump { .. } => "jump",
+            SiteKind::CondJump { .. } => "cond-jump",
+            SiteKind::Call { .. } => "call",
+            SiteKind::Return => "return",
+            SiteKind::Indirect { .. } => "indirect",
+            SiteKind::Unproven => "unproven",
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            SiteKind::Jump { .. } => 1,
+            SiteKind::CondJump { .. } => 2,
+            SiteKind::Call { .. } => 3,
+            SiteKind::Return => 4,
+            SiteKind::Indirect { .. } => 5,
+            SiteKind::Unproven => 6,
+        }
+    }
+}
+
+/// Why a reported control-flow log fails replay against an
+/// [`AdmissibleEdgeSet`]. Carries the first offending edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfaViolation {
+    /// The edge is not admitted by the static CFG: its source is not a
+    /// transfer site, or its destination is outside the site's
+    /// admissible set (including a `ret` that disagrees with the
+    /// shadow stack).
+    InadmissibleEdge {
+        /// Index of the offending edge in the log.
+        index: usize,
+        /// Task-relative source pc.
+        from: u32,
+        /// Task-relative destination pc.
+        to: u32,
+    },
+    /// An edge from a site the static analysis could not bound lands
+    /// somewhere that is not even a reachable instruction start.
+    UnprovenSiteViolation {
+        /// Index of the offending edge in the log.
+        index: usize,
+        /// Task-relative source pc (the unproven site).
+        from: u32,
+        /// Task-relative destination pc.
+        to: u32,
+    },
+}
+
+impl fmt::Display for CfaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfaViolation::InadmissibleEdge { index, from, to } => write!(
+                f,
+                "edge {index}: {from:#x} -> {to:#x} is not admitted by the static CFG"
+            ),
+            CfaViolation::UnprovenSiteViolation { index, from, to } => write!(
+                f,
+                "edge {index}: unproven site {from:#x} -> {to:#x} is not a reachable \
+                 instruction start"
+            ),
+        }
+    }
+}
+
+/// The canonical, serializable admissible-edge set of one task image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissibleEdgeSet {
+    /// The image's name (metadata; not part of the canonical bytes).
+    pub image_name: String,
+    /// Task-relative entry point.
+    pub entry: u32,
+    /// Length of the text section in bytes.
+    pub text_len: u32,
+    /// Every reachable instruction start, the universe conservative
+    /// replay checks unproven-site destinations against.
+    pub instr_pcs: BTreeSet<u32>,
+    /// Control-transfer sites by task-relative pc.
+    pub sites: BTreeMap<u32, SiteKind>,
+}
+
+impl AdmissibleEdgeSet {
+    /// Extracts the edge set from a recovered CFG and its per-block
+    /// dataflow states (as computed by the lint pass).
+    pub(crate) fn extract(
+        image_name: &str,
+        graph: &Cfg,
+        entry: u32,
+        text_len: u32,
+        entry_states: &[RegState],
+    ) -> AdmissibleEdgeSet {
+        let mut instr_pcs = BTreeSet::new();
+        let mut sites = BTreeMap::new();
+        for (block, entry_state) in graph.blocks.iter().zip(entry_states) {
+            let mut regs = *entry_state;
+            for di in &block.instrs {
+                instr_pcs.insert(di.pc);
+                match transfer_kind(&di.instr) {
+                    TransferKind::Jump { .. } => {
+                        // `di.target` is the relocated, validated
+                        // intra-task destination; absolute or invalid
+                        // targets resolve to `None` and admit nothing.
+                        if let Some(target) = di.target {
+                            sites.insert(di.pc, SiteKind::Jump { target });
+                        }
+                    }
+                    TransferKind::CondJump { .. } => {
+                        if let Some(target) = di.target {
+                            sites.insert(di.pc, SiteKind::CondJump { target });
+                        }
+                    }
+                    TransferKind::Call { .. } => {
+                        if let Some(target) = di.target {
+                            sites.insert(
+                                di.pc,
+                                SiteKind::Call {
+                                    target,
+                                    ret: di.pc + di.size,
+                                },
+                            );
+                        }
+                    }
+                    TransferKind::Return => {
+                        sites.insert(di.pc, SiteKind::Return);
+                    }
+                    TransferKind::IndirectJump { rs } => {
+                        let kind = match regs[rs.index()] {
+                            Some(k) if k.relocated => {
+                                if k.value.is_multiple_of(4) && k.value < text_len {
+                                    SiteKind::Indirect {
+                                        targets: vec![k.value],
+                                    }
+                                } else {
+                                    // Provably faults at runtime:
+                                    // admits nothing.
+                                    continue;
+                                }
+                            }
+                            // Provably absolute: leaves the task, so no
+                            // intra-task edge is admissible.
+                            Some(_) => continue,
+                            None => SiteKind::Unproven,
+                        };
+                        sites.insert(di.pc, kind);
+                    }
+                    TransferKind::Interrupt | TransferKind::Halt | TransferKind::None => {}
+                }
+                transfer(&mut regs, di);
+            }
+        }
+        AdmissibleEdgeSet {
+            image_name: image_name.to_string(),
+            entry,
+            text_len,
+            instr_pcs,
+            sites,
+        }
+    }
+
+    /// Number of transfer sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of sites the analysis could not bound (conservative-mode
+    /// sites).
+    pub fn unproven_count(&self) -> usize {
+        self.sites
+            .values()
+            .filter(|k| matches!(k, SiteKind::Unproven))
+            .count()
+    }
+
+    /// The canonical byte encoding the digest is computed over. Fully
+    /// deterministic: maps and sets iterate in address order.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.instr_pcs.len() * 4 + self.sites.len() * 12);
+        out.extend_from_slice(b"AES1");
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&self.text_len.to_le_bytes());
+        out.extend_from_slice(&(self.instr_pcs.len() as u32).to_le_bytes());
+        for &pc in &self.instr_pcs {
+            out.extend_from_slice(&pc.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.sites.len() as u32).to_le_bytes());
+        for (&pc, kind) in &self.sites {
+            out.extend_from_slice(&pc.to_le_bytes());
+            out.push(kind.tag());
+            match kind {
+                SiteKind::Jump { target } | SiteKind::CondJump { target } => {
+                    out.extend_from_slice(&target.to_le_bytes());
+                }
+                SiteKind::Call { target, ret } => {
+                    out.extend_from_slice(&target.to_le_bytes());
+                    out.extend_from_slice(&ret.to_le_bytes());
+                }
+                SiteKind::Return | SiteKind::Unproven => {}
+                SiteKind::Indirect { targets } => {
+                    out.extend_from_slice(&(targets.len() as u32).to_le_bytes());
+                    for t in targets {
+                        out.extend_from_slice(&t.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// SHA-1 digest of the canonical bytes: the identity the lint
+    /// report embeds and the verifier provisions.
+    pub fn digest(&self) -> [u8; 20] {
+        Sha1::digest(&self.canonical_bytes())
+            .try_into()
+            .expect("SHA-1 is 20 bytes")
+    }
+
+    /// The digest as lowercase hex, as embedded in JSON output.
+    pub fn digest_hex(&self) -> String {
+        self.digest().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Replays a control-flow log edge-by-edge against this set.
+    ///
+    /// The log is the monitored run's taken intra-task edges in order,
+    /// task-relative. A shadow stack pairs `call` and `ret` sites, so a
+    /// return to anywhere but the dynamically-matching return address
+    /// is inadmissible even when that address is some *other* call
+    /// site's return — the ROP case a pure edge-set membership check
+    /// would miss.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CfaViolation`], with the offending log index.
+    pub fn replay(&self, log: &[(u32, u32)]) -> Result<(), CfaViolation> {
+        let mut shadow: Vec<u32> = Vec::new();
+        for (index, &(from, to)) in log.iter().enumerate() {
+            let inadmissible = CfaViolation::InadmissibleEdge { index, from, to };
+            match self.sites.get(&from) {
+                None => return Err(inadmissible),
+                Some(SiteKind::Jump { target }) | Some(SiteKind::CondJump { target }) => {
+                    if to != *target {
+                        return Err(inadmissible);
+                    }
+                }
+                Some(SiteKind::Call { target, ret }) => {
+                    if to != *target {
+                        return Err(inadmissible);
+                    }
+                    shadow.push(*ret);
+                }
+                Some(SiteKind::Return) => match shadow.pop() {
+                    Some(expected) if expected == to => {}
+                    // An unmatched or mismatched return: the log claims
+                    // control came back to an address no tracked call
+                    // put on the stack.
+                    _ => return Err(inadmissible),
+                },
+                Some(SiteKind::Indirect { targets }) => {
+                    if !targets.contains(&to) {
+                        return Err(inadmissible);
+                    }
+                }
+                Some(SiteKind::Unproven) => {
+                    if !self.instr_pcs.contains(&to) {
+                        return Err(CfaViolation::UnprovenSiteViolation { index, from, to });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the set as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.instr_pcs.len() * 8 + self.sites.len() * 48);
+        out.push_str("{\"image\":\"");
+        out.push_str(&escape_json_string(&self.image_name));
+        out.push_str(&format!(
+            "\",\"entry\":{},\"text_len\":{},\"digest\":\"{}\",\"instr_pcs\":[",
+            self.entry,
+            self.text_len,
+            self.digest_hex(),
+        ));
+        for (i, pc) in self.instr_pcs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&pc.to_string());
+        }
+        out.push_str("],\"sites\":[");
+        for (i, (pc, kind)) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"pc\":{pc},\"kind\":\"{}\"", kind.name()));
+            match kind {
+                SiteKind::Jump { target } | SiteKind::CondJump { target } => {
+                    out.push_str(&format!(",\"target\":{target}"));
+                }
+                SiteKind::Call { target, ret } => {
+                    out.push_str(&format!(",\"target\":{target},\"ret\":{ret}"));
+                }
+                SiteKind::Return | SiteKind::Unproven => {}
+                SiteKind::Indirect { targets } => {
+                    out.push_str(",\"targets\":[");
+                    for (j, t) in targets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&t.to_string());
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses the JSON form back into an edge set.
+    ///
+    /// The embedded `digest` field, when present, is cross-checked
+    /// against the digest recomputed from the parsed content, so a
+    /// corrupted or hand-edited export cannot silently impersonate the
+    /// original.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem.
+    pub fn from_json(input: &str) -> Result<AdmissibleEdgeSet, String> {
+        let doc = json::parse(input).map_err(|e| format!("invalid JSON: {e}"))?;
+        let image_name = doc
+            .get("image")
+            .and_then(Value::as_str)
+            .ok_or("missing string field `image`")?
+            .to_string();
+        let entry = field_u32(&doc, "entry")?;
+        let text_len = field_u32(&doc, "text_len")?;
+        let instr_pcs: BTreeSet<u32> = doc
+            .get("instr_pcs")
+            .and_then(Value::as_array)
+            .ok_or("missing array field `instr_pcs`")?
+            .iter()
+            .map(value_u32)
+            .collect::<Result<_, _>>()?;
+        let mut sites = BTreeMap::new();
+        for site in doc
+            .get("sites")
+            .and_then(Value::as_array)
+            .ok_or("missing array field `sites`")?
+        {
+            let pc = field_u32(site, "pc")?;
+            let kind = match site.get("kind").and_then(Value::as_str) {
+                Some("jump") => SiteKind::Jump {
+                    target: field_u32(site, "target")?,
+                },
+                Some("cond-jump") => SiteKind::CondJump {
+                    target: field_u32(site, "target")?,
+                },
+                Some("call") => SiteKind::Call {
+                    target: field_u32(site, "target")?,
+                    ret: field_u32(site, "ret")?,
+                },
+                Some("return") => SiteKind::Return,
+                Some("indirect") => SiteKind::Indirect {
+                    targets: site
+                        .get("targets")
+                        .and_then(Value::as_array)
+                        .ok_or("indirect site missing array field `targets`")?
+                        .iter()
+                        .map(value_u32)
+                        .collect::<Result<_, _>>()?,
+                },
+                Some("unproven") => SiteKind::Unproven,
+                Some(other) => return Err(format!("unknown site kind `{other}`")),
+                None => return Err("site missing string field `kind`".to_string()),
+            };
+            sites.insert(pc, kind);
+        }
+        let set = AdmissibleEdgeSet {
+            image_name,
+            entry,
+            text_len,
+            instr_pcs,
+            sites,
+        };
+        if let Some(claimed) = doc.get("digest").and_then(Value::as_str) {
+            let actual = set.digest_hex();
+            if claimed != actual {
+                return Err(format!(
+                    "digest mismatch: file claims {claimed}, content hashes to {actual}"
+                ));
+            }
+        }
+        Ok(set)
+    }
+}
+
+fn field_u32(value: &Value, key: &str) -> Result<u32, String> {
+    value
+        .get(key)
+        .ok_or(format!("missing number field `{key}`"))
+        .and_then(value_u32)
+}
+
+fn value_u32(value: &Value) -> Result<u32, String> {
+    let n = value
+        .as_number()
+        .ok_or_else(|| format!("expected a number, got {}", value.type_name()))?;
+    if n < 0.0 || n > u32::MAX as f64 || n.fract() != 0.0 {
+        return Err(format!("number {n} is not a u32"));
+    }
+    Ok(n as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admissible_edges;
+    use sp32::asm::assemble;
+    use tytan_image::TaskImage;
+
+    fn edge_set(source: &str) -> AdmissibleEdgeSet {
+        let program = assemble(source, 0).expect("assembles");
+        let image = TaskImage::from_program("edgee", &program, 256, true).expect("valid image");
+        admissible_edges(&image)
+    }
+
+    #[test]
+    fn direct_jump_admits_only_its_target() {
+        let set = edge_set("main:\nspin:\n jmp spin\n");
+        assert_eq!(set.site_count(), 1);
+        assert_eq!(set.replay(&[(0, 0), (0, 0)]), Ok(()));
+        assert!(matches!(
+            set.replay(&[(0, 4)]),
+            Err(CfaViolation::InadmissibleEdge {
+                index: 0,
+                from: 0,
+                to: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn cond_jump_taken_edge_only() {
+        // Layout: cmpi at 0 (4B), jz at 4 (8B, extension word), addi at
+        // 12 (4B), done at 16 — the taken edge is 4 -> 16.
+        let set = edge_set("main:\n cmpi r0, 0\n jz done\n addi r0, -1\ndone:\n hlt\n");
+        let jz = 4;
+        assert_eq!(set.replay(&[(jz, 16)]), Ok(()));
+        // Fall-through is never logged, so an explicit fall-through
+        // "edge" in a log is inadmissible.
+        assert!(set.replay(&[(jz, 12)]).is_err());
+    }
+
+    #[test]
+    fn shadow_stack_catches_cross_site_return() {
+        // Two call sites into the same helper: a ret must come back to
+        // the *dynamically matching* return address, not just any
+        // call's return site.
+        let set = edge_set("main:\n call helper\n call helper\n hlt\nhelper:\n ret\n");
+        let (c1, c2, helper) = (0u32, 8u32, 20u32);
+        let ret = helper;
+        // Honest: each return matches its own call.
+        assert_eq!(
+            set.replay(&[(c1, helper), (ret, c1 + 8), (c2, helper), (ret, c2 + 8)]),
+            Ok(())
+        );
+        // ROP shape: the first return detours to the second call's
+        // return address — a statically-valid edge in membership terms,
+        // caught only by the shadow stack.
+        assert!(matches!(
+            set.replay(&[(c1, helper), (ret, c2 + 8)]),
+            Err(CfaViolation::InadmissibleEdge { index: 1, .. })
+        ));
+        // A return with no call on the stack at all.
+        assert!(set.replay(&[(ret, c1 + 8)]).is_err());
+    }
+
+    #[test]
+    fn bounded_indirect_admits_exactly_the_dataflow_targets() {
+        let set = edge_set("main:\n movi r1, main\n jmpr r1\n");
+        let jmpr = 8;
+        assert_eq!(
+            set.sites.get(&jmpr),
+            Some(&SiteKind::Indirect { targets: vec![0] })
+        );
+        assert_eq!(set.replay(&[(jmpr, 0)]), Ok(()));
+        assert!(set.replay(&[(jmpr, 4)]).is_err());
+    }
+
+    #[test]
+    fn unbounded_indirect_is_unproven_and_conservative() {
+        // The jump register comes out of memory: unknown to the
+        // dataflow.
+        let set =
+            edge_set("main:\n movi r1, table\n ldw r2, [r1]\n jmpr r2\ntable:\n .word main\n");
+        let jmpr = 12;
+        assert_eq!(set.sites.get(&jmpr), Some(&SiteKind::Unproven));
+        assert_eq!(set.unproven_count(), 1);
+        // Conservative mode: any reachable instruction start passes...
+        assert_eq!(set.replay(&[(jmpr, 0)]), Ok(()));
+        // ...but a mid-instruction or data destination is a typed
+        // unproven-site violation.
+        assert!(matches!(
+            set.replay(&[(jmpr, 2)]),
+            Err(CfaViolation::UnprovenSiteViolation { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn edge_from_a_non_transfer_site_is_inadmissible() {
+        let set = edge_set("main:\n nop\n hlt\n");
+        assert!(matches!(
+            set.replay(&[(0, 4)]),
+            Err(CfaViolation::InadmissibleEdge { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn digest_is_content_addressed() {
+        let a = edge_set("main:\nspin:\n jmp spin\n");
+        let b = edge_set("main:\nspin:\n jmp spin\n");
+        assert_eq!(a.digest(), b.digest());
+        let c = edge_set("main:\n nop\nspin:\n jmp spin\n");
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(a.digest_hex().len(), 40);
+    }
+
+    #[test]
+    fn json_round_trips_identically() {
+        let set = edge_set(
+            "main:\n call helper\n cmpi r0, 0\n jz out\n movi r1, main\n jmpr r1\nout:\n \
+             hlt\nhelper:\n ret\n",
+        );
+        let parsed = AdmissibleEdgeSet::from_json(&set.to_json()).expect("parses");
+        assert_eq!(parsed, set);
+        assert_eq!(parsed.digest(), set.digest());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_site() -> impl Strategy<Value = (u32, SiteKind)> {
+            (
+                0u32..2048,
+                0u8..6,
+                0u32..2048,
+                0u32..2048,
+                proptest::collection::vec(0u32..2048, 0..4),
+            )
+                .prop_map(|(pc, tag, a, b, mut targets)| {
+                    let kind = match tag {
+                        0 => SiteKind::Jump { target: a },
+                        1 => SiteKind::CondJump { target: a },
+                        2 => SiteKind::Call { target: a, ret: b },
+                        3 => SiteKind::Return,
+                        4 => {
+                            targets.sort_unstable();
+                            targets.dedup();
+                            SiteKind::Indirect { targets }
+                        }
+                        _ => SiteKind::Unproven,
+                    };
+                    (pc, kind)
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_json_export_parses_to_identical_edge_set(
+                entry in 0u32..1024,
+                text_len in 0u32..4096,
+                pcs in proptest::collection::vec(0u32..4096, 0..32),
+                sites in proptest::collection::vec(arb_site(), 0..16),
+            ) {
+                let set = AdmissibleEdgeSet {
+                    image_name: "prop-image \"quoted\"".to_string(),
+                    entry,
+                    text_len,
+                    instr_pcs: pcs.into_iter().collect(),
+                    sites: sites.into_iter().collect(),
+                };
+                let parsed = AdmissibleEdgeSet::from_json(&set.to_json())
+                    .expect("export parses");
+                prop_assert_eq!(&parsed, &set);
+                prop_assert_eq!(parsed.digest(), set.digest());
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_json_digest_is_rejected() {
+        let set = edge_set("main:\nspin:\n jmp spin\n");
+        // Retarget the jump without refreshing the embedded digest.
+        let tampered = set.to_json().replace("\"target\":0", "\"target\":4");
+        assert_ne!(tampered, set.to_json());
+        let err = AdmissibleEdgeSet::from_json(&tampered).expect_err("tamper detected");
+        assert!(err.contains("digest mismatch"), "{err}");
+    }
+}

@@ -48,9 +48,11 @@ use tytan_image::TaskImage;
 use tytan_trace::{CounterId, Tracer};
 
 pub mod cfg;
+pub mod edges;
 mod report;
 pub mod symbolize;
 
+pub use edges::{AdmissibleEdgeSet, CfaViolation, SiteKind};
 pub use report::{Finding, FindingKind, LintReport, LintStats, Severity, Verdict};
 pub use symbolize::FuncSym;
 
@@ -253,6 +255,14 @@ pub fn lint_image(image: &TaskImage, policy: &LintPolicy) -> LintReport {
         &mut findings,
     );
     let worst_block_cycles = cycle_findings(&graph, policy, &mut findings);
+    let edge_states = block_entry_states(&graph, image.entry_offset());
+    let edge_set = edges::AdmissibleEdgeSet::extract(
+        image.name(),
+        &graph,
+        image.entry_offset(),
+        text_len,
+        &edge_states,
+    );
 
     findings.sort_by(|a, b| {
         (a.pc, std::cmp::Reverse(a.severity)).cmp(&(b.pc, std::cmp::Reverse(b.severity)))
@@ -268,8 +278,27 @@ pub fn lint_image(image: &TaskImage, policy: &LintPolicy) -> LintReport {
             worst_block_cycles,
             unproven,
         },
+        edge_digest: edge_set.digest_hex(),
         findings,
     }
+}
+
+/// Extracts the admissible-edge set of `image`: the static CFG distilled
+/// into per-site admissible destinations for control-flow attestation
+/// (see [`edges`]). Runs the same CFG recovery and dataflow as
+/// [`lint_image`], no policy needed.
+pub fn admissible_edges(image: &TaskImage) -> AdmissibleEdgeSet {
+    let text = image.text();
+    let reloc_sites: BTreeSet<u32> = image.relocs().iter().copied().collect();
+    let graph = cfg::recover(text, image.entry_offset(), &reloc_sites);
+    let states = block_entry_states(&graph, image.entry_offset());
+    edges::AdmissibleEdgeSet::extract(
+        image.name(),
+        &graph,
+        image.entry_offset(),
+        text.len() as u32,
+        &states,
+    )
 }
 
 fn structural_findings(graph: &Cfg, findings: &mut Vec<Finding>) {

@@ -307,6 +307,11 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// Aggregate facts about the image.
     pub stats: LintStats,
+    /// Lowercase-hex SHA-1 of the image's canonical
+    /// [`AdmissibleEdgeSet`](crate::AdmissibleEdgeSet): binds this lint
+    /// run to the exact edge set a control-flow-attestation verifier
+    /// must be provisioned with.
+    pub edge_digest: String,
 }
 
 impl LintReport {
@@ -352,6 +357,8 @@ impl LintReport {
         let mut out = String::with_capacity(256 + self.findings.len() * 128);
         out.push_str("{\"image\":\"");
         out.push_str(&escape_json_string(&self.image_name));
+        out.push_str("\",\"edge_digest\":\"");
+        out.push_str(&escape_json_string(&self.edge_digest));
         out.push_str("\",\"stats\":{");
         out.push_str(&format!(
             "\"instructions\":{},\"blocks\":{},\"worst_stack_depth\":{},\

@@ -7,7 +7,52 @@
 //! views of the same program silently diverge — so both are defined
 //! once, here, next to the ISA they describe.
 
-use crate::{decode, encoded_len_words, DecodeError, Instr};
+use crate::{decode, encoded_len_words, DecodeError, Instr, Reg};
+
+/// How an instruction transfers control, viewed architecturally.
+///
+/// This is the third shared boundary definition (after
+/// [`is_terminator`] / [`ends_block`]): the control-flow attestation
+/// plane needs the static side (tytan-lint's admissible-edge
+/// extraction) and the dynamic side (tytan-emu's edge monitor) to agree
+/// exactly on *which* instructions emit a taken edge and where it can
+/// go. Defining the classification here, next to the ISA, keeps the
+/// two views from drifting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// No control transfer: the only successor is fall-through.
+    None,
+    /// Unconditional direct jump to an absolute target.
+    Jump { target: u32 },
+    /// Conditional direct jump: taken edge to `target`, else
+    /// fall-through.
+    CondJump { target: u32 },
+    /// Direct call: pushes the return address, jumps to `target`.
+    Call { target: u32 },
+    /// Indirect jump through `rs`: target known only at runtime.
+    IndirectJump { rs: Reg },
+    /// Return through the stack: target is the pushed return address.
+    Return,
+    /// Software interrupt / interrupt return: control leaves the task
+    /// through the kernel and is not part of the task's own CFG.
+    Interrupt,
+    /// `Hlt`: execution stops; no edge is emitted.
+    Halt,
+}
+
+/// Classifies how `instr` transfers control.
+pub fn transfer_kind(instr: &Instr) -> TransferKind {
+    match instr {
+        Instr::Jmp { target } => TransferKind::Jump { target: *target },
+        Instr::Jcc { target, .. } => TransferKind::CondJump { target: *target },
+        Instr::Call { target } => TransferKind::Call { target: *target },
+        Instr::JmpReg { rs } => TransferKind::IndirectJump { rs: *rs },
+        Instr::Ret => TransferKind::Return,
+        Instr::Int { .. } | Instr::Iret => TransferKind::Interrupt,
+        Instr::Hlt => TransferKind::Halt,
+        _ => TransferKind::None,
+    }
+}
 
 /// True for instructions with no fall-through successor: control never
 /// reaches the next sequential instruction.
@@ -103,6 +148,41 @@ mod tests {
         assert!(is_terminator(&Instr::Ret));
         assert!(is_terminator(&Instr::Iret));
         assert!(is_terminator(&Instr::Hlt));
+    }
+
+    #[test]
+    fn transfer_kinds_cover_the_isa() {
+        assert_eq!(
+            transfer_kind(&Instr::Jmp { target: 8 }),
+            TransferKind::Jump { target: 8 }
+        );
+        assert_eq!(
+            transfer_kind(&Instr::Jcc {
+                cond: Cond::Z,
+                target: 12
+            }),
+            TransferKind::CondJump { target: 12 }
+        );
+        assert_eq!(
+            transfer_kind(&Instr::Call { target: 16 }),
+            TransferKind::Call { target: 16 }
+        );
+        assert_eq!(
+            transfer_kind(&Instr::JmpReg { rs: Reg::R3 }),
+            TransferKind::IndirectJump { rs: Reg::R3 }
+        );
+        assert_eq!(transfer_kind(&Instr::Ret), TransferKind::Return);
+        assert_eq!(
+            transfer_kind(&Instr::Int { vector: 1 }),
+            TransferKind::Interrupt
+        );
+        assert_eq!(transfer_kind(&Instr::Iret), TransferKind::Interrupt);
+        assert_eq!(transfer_kind(&Instr::Hlt), TransferKind::Halt);
+        assert_eq!(transfer_kind(&Instr::Nop), TransferKind::None);
+        assert_eq!(
+            transfer_kind(&Instr::Push { rs: Reg::R1 }),
+            TransferKind::None
+        );
     }
 
     #[test]
