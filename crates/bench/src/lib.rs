@@ -350,9 +350,9 @@ mod tests {
                 },
             ),
         ];
-        // The schema contract demands the fleet_throughput and
-        // cfa_throughput tables with their contractual rows; render both
-        // alongside the demo table.
+        // The schema contract demands the fleet_throughput,
+        // cfa_throughput, and verify_cost_breakdown tables with their
+        // contractual rows; render all three alongside the demo table.
         let fleet = Table {
             id: "fleet_throughput",
             title: "fleet attestation service",
@@ -375,7 +375,23 @@ mod tests {
                 Row::measured_only("cfa verify p99 @1k devices", 5120.0, "ns"),
             ],
         };
-        let json = render_json(&[table, fleet, cfa], 12_345_678.9, &counters, &latency);
+        let cost = Table {
+            id: "verify_cost_breakdown",
+            title: "verify cost attribution",
+            note: "n",
+            rows: vec![
+                Row::measured_only("cf edges replayed @1k devices", 50_000.0, "count"),
+                Row::measured_only("cfa/static verify cost ratio @1k devices", 9.5, "speedup"),
+                Row::measured_only("stage hmac p50 (static)", 900.0, "ns"),
+                Row::measured_only("stage edge replay p50 (cfa)", 8_000.0, "ns"),
+            ],
+        };
+        let json = render_json(
+            &[table, fleet, cfa, cost],
+            12_345_678.9,
+            &counters,
+            &latency,
+        );
         assert!(json.contains("\"host_guest_ips\": 12345679"));
         assert!(json.contains("\"predecode_hit_rate\": 0.97"));
         assert!(json.contains(

@@ -247,6 +247,16 @@ mod tests {
                     {"label": "cfa verify throughput @1k devices", "paper": null, "measured": 3800.0, "unit": "atts/s"},
                     {"label": "cfa verify p99 @1k devices", "paper": null, "measured": 5120, "unit": "ns"}
                   ]
+                },
+                {
+                  "id": "verify_cost_breakdown",
+                  "title": "verify cost attribution",
+                  "rows": [
+                    {"label": "cf edges replayed @1k devices", "paper": null, "measured": 50000, "unit": "count"},
+                    {"label": "cfa/static verify cost ratio @1k devices", "paper": null, "measured": 9.5, "unit": "speedup"},
+                    {"label": "stage hmac p50 (static)", "paper": null, "measured": 900, "unit": "ns"},
+                    {"label": "stage edge replay p50 (cfa)", "paper": null, "measured": 8000, "unit": "ns"}
+                  ]
                 }
               ]
             }"#,
@@ -387,6 +397,23 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("contains") && e.contains("cfa_throughput")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_verify_cost_table_is_reported() {
+        let errors = check_bench_tables(&doc(|s| {
+            *s = s.replace(
+                "\"id\": \"verify_cost_breakdown\"",
+                "\"id\": \"verify_cost_renamed\"",
+            );
+        }))
+        .unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("contains") && e.contains("verify_cost_breakdown")),
             "{errors:?}"
         );
     }

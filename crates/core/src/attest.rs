@@ -503,18 +503,58 @@ impl RemoteAttestor {
     }
 }
 
+/// Nanosecond wall-clock cost of each verifier stage for one report —
+/// the fleet service's verify-cost attribution. Stages the report never
+/// reaches (a plain report has no control-flow evidence; a bad MAC
+/// short-circuits everything) stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStageNanos {
+    /// Freshness (replay window + outstanding nonce) and digest compare.
+    pub freshness: u64,
+    /// Edge-log replay against the static CFG (admissibility and
+    /// shadow-stack return checks).
+    pub edge_replay: u64,
+    /// Refolding the edge log through [`CfChain`] and comparing heads.
+    pub chain_refold: u64,
+}
+
+/// Stamps `stages`' field chosen by `pick` with the wall-clock cost of
+/// `f`, when attribution is requested.
+fn staged<T>(
+    stages: &mut Option<&mut VerifyStageNanos>,
+    pick: fn(&mut VerifyStageNanos) -> &mut u64,
+    f: impl FnOnce() -> T,
+) -> T {
+    match stages {
+        Some(stages) => {
+            let begin = std::time::Instant::now();
+            let out = f();
+            *pick(stages) += begin.elapsed().as_nanos() as u64;
+            out
+        }
+        None => f(),
+    }
+}
+
 /// Replays `log` against the static CFG and checks it refolds to the
 /// MAC'd `chain_head`. Shared by the stateless and session verifiers;
-/// assumes MAC/nonce/digest were already checked.
+/// assumes MAC/nonce/digest were already checked. When `stages` is
+/// supplied, the two phases are attributed separately.
 fn check_cf_evidence(
     log: &[(u32, u32)],
     chain_head: &[u8; 20],
     edges: &AdmissibleEdgeSet,
+    mut stages: Option<&mut VerifyStageNanos>,
 ) -> Result<(), VerifyError> {
     // Admissibility first: an injected detour is reported as the typed
     // CFG violation it is, not as the chain damage it also causes.
-    edges.replay(log)?;
-    if CfChain::fold_all(log.iter().copied()) != *chain_head {
+    staged(&mut stages, |s| &mut s.edge_replay, || edges.replay(log))?;
+    let refolds = staged(
+        &mut stages,
+        |s| &mut s.chain_refold,
+        || CfChain::fold_all(log.iter().copied()) == *chain_head,
+    );
+    if !refolds {
         return Err(VerifyError::ChainMismatch);
     }
     Ok(())
@@ -554,7 +594,7 @@ impl RemoteVerifier {
                 reported: report.digest.clone(),
             });
         }
-        check_cf_evidence(&report.log, &report.chain_head, edges)
+        check_cf_evidence(&report.log, &report.chain_head, edges, None)
     }
 }
 
@@ -730,7 +770,23 @@ impl VerifierSession {
         report: &AttestationReport,
         mac_ok: bool,
     ) -> Result<(), VerifyError> {
-        let result = self.check(report, mac_ok);
+        self.submit_with_mac_verdict_timed(report, mac_ok, None)
+    }
+
+    /// Like [`VerifierSession::submit_with_mac_verdict`], attributing
+    /// per-stage wall-clock cost into `stages` when supplied. The
+    /// untimed paths pass `None` and pay one `Option` branch.
+    ///
+    /// # Errors
+    ///
+    /// As [`VerifierSession::submit`].
+    pub fn submit_with_mac_verdict_timed(
+        &mut self,
+        report: &AttestationReport,
+        mac_ok: bool,
+        stages: Option<&mut VerifyStageNanos>,
+    ) -> Result<(), VerifyError> {
+        let result = self.check(report, mac_ok, stages);
         match result {
             Ok(()) => self.accepted += 1,
             Err(_) => self.rejected += 1,
@@ -738,17 +794,29 @@ impl VerifierSession {
         result
     }
 
-    fn check(&mut self, report: &AttestationReport, mac_ok: bool) -> Result<(), VerifyError> {
+    fn check(
+        &mut self,
+        report: &AttestationReport,
+        mac_ok: bool,
+        mut stages: Option<&mut VerifyStageNanos>,
+    ) -> Result<(), VerifyError> {
         if !mac_ok {
             return Err(VerifyError::BadMac);
         }
-        self.freshness(&report.nonce)?;
-        if report.digest != self.expected_digest {
-            return Err(VerifyError::DigestMismatch {
-                expected: self.expected_digest.clone(),
-                reported: report.digest.clone(),
-            });
-        }
+        staged(
+            &mut stages,
+            |s| &mut s.freshness,
+            || {
+                self.freshness(&report.nonce)?;
+                if report.digest != self.expected_digest {
+                    return Err(VerifyError::DigestMismatch {
+                        expected: self.expected_digest.clone(),
+                        reported: report.digest.clone(),
+                    });
+                }
+                Ok(())
+            },
+        )?;
         self.consume_outstanding();
         Ok(())
     }
@@ -783,7 +851,23 @@ impl VerifierSession {
         mac_ok: bool,
         edges: &AdmissibleEdgeSet,
     ) -> Result<(), VerifyError> {
-        let result = self.check_cfa(report, mac_ok, edges);
+        self.submit_cfa_with_mac_verdict_timed(report, mac_ok, edges, None)
+    }
+
+    /// Like [`VerifierSession::submit_cfa_with_mac_verdict`], attributing
+    /// per-stage wall-clock cost into `stages` when supplied.
+    ///
+    /// # Errors
+    ///
+    /// As [`VerifierSession::submit_cfa`].
+    pub fn submit_cfa_with_mac_verdict_timed(
+        &mut self,
+        report: &CfaReport,
+        mac_ok: bool,
+        edges: &AdmissibleEdgeSet,
+        stages: Option<&mut VerifyStageNanos>,
+    ) -> Result<(), VerifyError> {
+        let result = self.check_cfa(report, mac_ok, edges, stages);
         match result {
             Ok(()) => self.accepted += 1,
             Err(_) => self.rejected += 1,
@@ -796,18 +880,26 @@ impl VerifierSession {
         report: &CfaReport,
         mac_ok: bool,
         edges: &AdmissibleEdgeSet,
+        mut stages: Option<&mut VerifyStageNanos>,
     ) -> Result<(), VerifyError> {
         if !mac_ok {
             return Err(VerifyError::BadMac);
         }
-        self.freshness(&report.nonce)?;
-        if report.digest != self.expected_digest {
-            return Err(VerifyError::DigestMismatch {
-                expected: self.expected_digest.clone(),
-                reported: report.digest.clone(),
-            });
-        }
-        check_cf_evidence(&report.log, &report.chain_head, edges)?;
+        staged(
+            &mut stages,
+            |s| &mut s.freshness,
+            || {
+                self.freshness(&report.nonce)?;
+                if report.digest != self.expected_digest {
+                    return Err(VerifyError::DigestMismatch {
+                        expected: self.expected_digest.clone(),
+                        reported: report.digest.clone(),
+                    });
+                }
+                Ok(())
+            },
+        )?;
+        check_cf_evidence(&report.log, &report.chain_head, edges, stages)?;
         self.consume_outstanding();
         Ok(())
     }
@@ -832,6 +924,29 @@ impl VerifierSession {
             self.consumed.pop_front();
         }
         self.consumed.push_back(nonce);
+    }
+
+    /// Snapshot of the consumed-nonce replay window, oldest first — the
+    /// freshness state a forensic bundle must carry to re-verify a
+    /// rejected report deterministically.
+    pub fn consumed_nonces(&self) -> Vec<Vec<u8>> {
+        self.consumed.iter().cloned().collect()
+    }
+
+    /// The currently outstanding (unanswered) challenge nonce, if any.
+    pub fn outstanding_nonce(&self) -> Option<&[u8]> {
+        self.outstanding.as_deref()
+    }
+
+    /// Restores freshness state captured by [`VerifierSession::consumed_nonces`]
+    /// and [`VerifierSession::outstanding_nonce`] — bundle replay rebuilds a
+    /// session and installs the rejection-time state before resubmitting
+    /// the recorded frame. `consumed` is truncated to the newest
+    /// [`REPLAY_WINDOW`] entries.
+    pub fn restore_freshness(&mut self, consumed: Vec<Vec<u8>>, outstanding: Option<Vec<u8>>) {
+        let skip = consumed.len().saturating_sub(REPLAY_WINDOW);
+        self.consumed = consumed.into_iter().skip(skip).collect();
+        self.outstanding = outstanding;
     }
 }
 
@@ -1099,6 +1214,61 @@ mod tests {
         );
     }
 
+    #[test]
+    fn session_timed_submit_attributes_freshness_only_for_plain_reports() {
+        let (attestor, mut session, rec) = fleet_session();
+        let nonce = session.challenge();
+        let report = attestor.attest(&rec, &nonce);
+        let mut stages = VerifyStageNanos::default();
+        assert_eq!(
+            session.submit_with_mac_verdict_timed(&report, true, Some(&mut stages)),
+            Ok(())
+        );
+        // Plain reports never reach the control-flow stages.
+        assert_eq!(stages.edge_replay, 0);
+        assert_eq!(stages.chain_refold, 0);
+        // A bad MAC short-circuits before any staged work.
+        let mut stages = VerifyStageNanos::default();
+        assert_eq!(
+            session.submit_with_mac_verdict_timed(&report, false, Some(&mut stages)),
+            Err(VerifyError::BadMac)
+        );
+        assert_eq!(stages, VerifyStageNanos::default());
+    }
+
+    #[test]
+    fn session_freshness_state_snapshots_and_restores() {
+        let (attestor, mut session, rec) = fleet_session();
+        let nonce = session.challenge();
+        let report = attestor.attest(&rec, &nonce);
+        assert_eq!(session.submit(&report), Ok(()));
+        let next = session.challenge();
+        let consumed = session.consumed_nonces();
+        let outstanding = session.outstanding_nonce().map(<[u8]>::to_vec);
+        assert_eq!(consumed, vec![nonce]);
+        assert_eq!(outstanding.as_deref(), Some(next.as_slice()));
+
+        // A rebuilt session with the restored state reproduces both the
+        // typed replay rejection and the acceptance of the live answer.
+        let (_, mut rebuilt, _) = fleet_session();
+        rebuilt.restore_freshness(consumed, outstanding);
+        assert_eq!(rebuilt.submit(&report), Err(VerifyError::ReplayedNonce));
+        let live = attestor.attest(&rec, &next);
+        assert_eq!(rebuilt.submit(&live), Ok(()));
+    }
+
+    #[test]
+    fn restore_freshness_truncates_to_the_replay_window() {
+        let (_, mut session, _) = fleet_session();
+        let consumed: Vec<Vec<u8>> = (0..REPLAY_WINDOW as u64 + 10)
+            .map(|i| i.to_be_bytes().to_vec())
+            .collect();
+        session.restore_freshness(consumed.clone(), None);
+        let kept = session.consumed_nonces();
+        assert_eq!(kept.len(), REPLAY_WINDOW);
+        assert_eq!(kept, consumed[10..].to_vec());
+    }
+
     mod cfa {
         use super::*;
         use tytan_lint::SiteKind;
@@ -1281,6 +1451,38 @@ mod tests {
             assert_eq!(session.submit_cfa(&good, &edges), Ok(()));
             assert_eq!(session.accepted(), 2);
             assert_eq!(session.rejected(), 2);
+        }
+
+        #[test]
+        fn session_timed_cfa_submit_attributes_all_three_stages() {
+            let (attestor, mut session, rec) = fleet_session();
+            let edges = demo_edges();
+            let log = honest_log();
+            let head = CfChain::fold_all(log.iter().copied());
+            let nonce = session.challenge();
+            let report = attestor.attest_cfa(&rec, &nonce, &log, head);
+            let mut stages = VerifyStageNanos::default();
+            assert_eq!(
+                session.submit_cfa_with_mac_verdict_timed(&report, true, &edges, Some(&mut stages)),
+                Ok(())
+            );
+            // All three stages ran; Instant is monotonic but can tick 0ns,
+            // so assert structure (the plain path asserts zeros) rather
+            // than strict positivity.
+            let _ = (stages.freshness, stages.edge_replay, stages.chain_refold);
+
+            // A detour stops at edge replay: the refold stage never runs.
+            let nonce = session.challenge();
+            let mut bad_log = honest_log();
+            bad_log[2] = (16, 20);
+            let bad_head = CfChain::fold_all(bad_log.iter().copied());
+            let bad = attestor.attest_cfa(&rec, &nonce, &bad_log, bad_head);
+            let mut stages = VerifyStageNanos::default();
+            assert!(matches!(
+                session.submit_cfa_with_mac_verdict_timed(&bad, true, &edges, Some(&mut stages)),
+                Err(VerifyError::InadmissibleEdge { .. })
+            ));
+            assert_eq!(stages.chain_refold, 0);
         }
     }
 

@@ -14,54 +14,160 @@
 //! one edge bent off the CFG, which must be rejected as the typed
 //! `InadmissibleEdge` for the run to count as clean.
 //!
+//! Observability outputs: `--metrics-out FILE` writes the Prometheus
+//! exposition after the run, `--events-out FILE` the structured JSONL
+//! event stream, and `--bundle-dir DIR` one forensic bundle per typed
+//! rejection. Two subcommands work on those artifacts:
+//!
+//! - `fleet replay-bundle FILE...` re-verifies each bundle offline and
+//!   exits zero only if every one reproduces its recorded verdict;
+//! - `fleet check-metrics FILE --schema SCHEMA` validates a metrics
+//!   exposition against the checked-in required-family schema.
+//!
 //! ```text
 //! fleet [--devices N] [--rounds N] [--seed N] [--workers N]
 //!       [--chunk N] [--replay-every N] [--corrupt-every N]
-//!       [--cfa] [--detour-every N] [--monitored-cycles N] [--json]
+//!       [--cfa] [--detour-every N] [--monitored-cycles N]
+//!       [--metrics-out FILE] [--events-out FILE] [--bundle-dir DIR]
+//!       [--json]
+//! fleet replay-bundle FILE...
+//! fleet check-metrics FILE --schema SCHEMA
 //! ```
 
 use std::process::ExitCode;
 
+use tytan_fleet::recorder::replay_bundle;
 use tytan_fleet::{run_fleet, FleetConfig, FleetOutcome};
+use tytan_trace::json::Value;
+use tytan_trace::metrics::validate_prometheus_text;
 
-fn parse_args() -> Result<(FleetConfig, bool), String> {
-    let mut config = FleetConfig {
-        devices: 1000,
-        ..FleetConfig::default()
-    };
-    let mut json = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| -> Result<u64, String> {
-            args.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse::<u64>()
-                .map_err(|e| format!("{name}: {e}"))
-        };
-        match arg.as_str() {
-            "--devices" => config.devices = value("--devices")?,
-            "--rounds" => config.rounds = value("--rounds")?,
-            "--seed" => config.seed = value("--seed")?,
-            "--workers" => config.workers = value("--workers")? as usize,
-            "--chunk" => config.chunk = value("--chunk")? as usize,
-            "--replay-every" => config.replay_every = Some(value("--replay-every")?),
-            "--corrupt-every" => config.corrupt_every = Some(value("--corrupt-every")?),
-            "--cfa" => config.cfa = true,
-            "--detour-every" => config.detour_every = Some(value("--detour-every")?),
-            "--monitored-cycles" => config.monitored_cycles = value("--monitored-cycles")?,
-            "--json" => json = true,
-            "--help" | "-h" => {
-                println!(
-                    "usage: fleet [--devices N] [--rounds N] [--seed N] [--workers N] \
-                     [--chunk N] [--replay-every N] [--corrupt-every N] \
-                     [--cfa] [--detour-every N] [--monitored-cycles N] [--json]"
-                );
-                std::process::exit(0);
+/// `fleet replay-bundle FILE...`: re-verifies each forensic bundle
+/// offline; success means every bundle reproduces its recorded verdict.
+fn cmd_replay_bundle(paths: Vec<String>) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("fleet replay-bundle: no bundle files given");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0u64;
+    for path in &paths {
+        let input = match std::fs::read_to_string(path) {
+            Ok(input) => input,
+            Err(e) => {
+                eprintln!("fleet replay-bundle: {path}: {e}");
+                failures += 1;
+                continue;
             }
-            other => return Err(format!("unknown argument {other}")),
+        };
+        match replay_bundle(&input) {
+            Ok(outcome) if outcome.matches => {
+                println!(
+                    "{path}: device {} corr {} -> {} (reproduced)",
+                    outcome.device, outcome.corr, outcome.verdict
+                );
+            }
+            Ok(outcome) => {
+                eprintln!(
+                    "{path}: MISMATCH — recorded code {} but replay produced {}",
+                    outcome.recorded_code, outcome.replayed_code
+                );
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("{path}: bundle rejected: {e}");
+                failures += 1;
+            }
         }
     }
-    Ok((config, json))
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fleet replay-bundle: {failures} of {} failed", paths.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// `fleet check-metrics FILE --schema SCHEMA`: validates a Prometheus
+/// exposition file and checks every family the schema requires exists.
+fn cmd_check_metrics(rest: Vec<String>) -> ExitCode {
+    let mut file = None;
+    let mut schema = None;
+    let mut iter = rest.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--schema" => schema = iter.next(),
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    eprintln!("fleet check-metrics: more than one metrics file given");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let (Some(file), Some(schema)) = (file, schema) else {
+        eprintln!("usage: fleet check-metrics FILE --schema SCHEMA");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fleet check-metrics: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let families = match validate_prometheus_text(&text) {
+        Ok(families) => families,
+        Err(e) => {
+            eprintln!("fleet check-metrics: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema_text = match std::fs::read_to_string(&schema) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fleet check-metrics: {schema}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let required = match required_families(&schema_text) {
+        Ok(required) => required,
+        Err(e) => {
+            eprintln!("fleet check-metrics: {schema}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut missing = 0u64;
+    for family in &required {
+        if !families.iter().any(|f| f == family) {
+            eprintln!("fleet check-metrics: required family {family} missing");
+            missing += 1;
+        }
+    }
+    if missing == 0 {
+        println!(
+            "{file}: {} families, all {} required present",
+            families.len(),
+            required.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses the `required_families` list out of the metrics schema file.
+fn required_families(schema: &str) -> Result<Vec<String>, String> {
+    let value = tytan_trace::json::parse(schema).map_err(|e| e.to_string())?;
+    let list = value
+        .get("required_families")
+        .and_then(Value::as_array)
+        .ok_or("schema has no required_families array")?;
+    list.iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "required_families entries must be strings".to_string())
+        })
+        .collect()
 }
 
 fn print_json(outcome: &FleetOutcome) {
@@ -94,6 +200,10 @@ fn print_json(outcome: &FleetOutcome) {
     println!("  \"batch_p50_ns\": {},", outcome.batch_p50_ns);
     println!("  \"batch_p99_ns\": {},", outcome.batch_p99_ns);
     println!("  \"batches\": {},", outcome.batches);
+    println!("  \"bundles\": {},", outcome.bundles);
+    println!("  \"events\": {},", outcome.events);
+    println!("  \"events_dropped\": {},", outcome.events_dropped);
+    println!("  \"trace_dropped\": {},", outcome.trace_dropped);
     println!("  \"clean\": {}", outcome.clean());
     println!("}}");
 }
@@ -132,13 +242,32 @@ fn print_human(outcome: &FleetOutcome) {
         outcome.verify_p50_ns, outcome.verify_p99_ns, outcome.batches, outcome.batch_p99_ns
     );
     println!(
+        "  forensics: {} bundles, {} events ({} shed), trace drops {}",
+        outcome.bundles, outcome.events, outcome.events_dropped, outcome.trace_dropped
+    );
+    println!(
         "  decode errors {}, unknown devices {}, device errors {}",
         outcome.decode_errors, outcome.unknown_device, outcome.device_errors
     );
 }
 
 fn main() -> ExitCode {
-    let (config, json) = match parse_args() {
+    let mut args = std::env::args().skip(1);
+    let run_config = match args.next() {
+        Some(first) if first == "replay-bundle" => {
+            return cmd_replay_bundle(args.collect());
+        }
+        Some(first) if first == "check-metrics" => {
+            return cmd_check_metrics(args.collect());
+        }
+        Some(first) => {
+            // Not a subcommand: re-parse from scratch including `first`.
+            let rebuilt: Vec<String> = std::iter::once(first).chain(args).collect();
+            parse_args_from(rebuilt)
+        }
+        None => parse_args_from(Vec::new()),
+    };
+    let (config, json) = match run_config {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("fleet: {e}");
@@ -163,4 +292,62 @@ fn main() -> ExitCode {
         eprintln!("fleet: NOT CLEAN — unexplained acceptances or rejections (see counts above)");
         ExitCode::FAILURE
     }
+}
+
+/// Parses run flags from an owned argument list (after subcommand
+/// dispatch has consumed the first argument).
+fn parse_args_from(argv: Vec<String>) -> Result<(FleetConfig, bool), String> {
+    let mut config = FleetConfig {
+        devices: 1000,
+        ..FleetConfig::default()
+    };
+    let mut json = false;
+    let mut args = argv.into_iter();
+    fn value(args: &mut impl Iterator<Item = String>, name: &str) -> Result<u64, String> {
+        args.next()
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse::<u64>()
+            .map_err(|e| format!("{name}: {e}"))
+    }
+    fn path(
+        args: &mut impl Iterator<Item = String>,
+        name: &str,
+    ) -> Result<std::path::PathBuf, String> {
+        args.next()
+            .map(std::path::PathBuf::from)
+            .ok_or_else(|| format!("{name} needs a path"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--devices" => config.devices = value(&mut args, "--devices")?,
+            "--rounds" => config.rounds = value(&mut args, "--rounds")?,
+            "--seed" => config.seed = value(&mut args, "--seed")?,
+            "--workers" => config.workers = value(&mut args, "--workers")? as usize,
+            "--chunk" => config.chunk = value(&mut args, "--chunk")? as usize,
+            "--replay-every" => config.replay_every = Some(value(&mut args, "--replay-every")?),
+            "--corrupt-every" => config.corrupt_every = Some(value(&mut args, "--corrupt-every")?),
+            "--cfa" => config.cfa = true,
+            "--detour-every" => config.detour_every = Some(value(&mut args, "--detour-every")?),
+            "--monitored-cycles" => {
+                config.monitored_cycles = value(&mut args, "--monitored-cycles")?
+            }
+            "--metrics-out" => config.metrics_out = Some(path(&mut args, "--metrics-out")?),
+            "--events-out" => config.events_out = Some(path(&mut args, "--events-out")?),
+            "--bundle-dir" => config.bundle_dir = Some(path(&mut args, "--bundle-dir")?),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fleet [--devices N] [--rounds N] [--seed N] [--workers N] \
+                     [--chunk N] [--replay-every N] [--corrupt-every N] \
+                     [--cfa] [--detour-every N] [--monitored-cycles N] \
+                     [--metrics-out FILE] [--events-out FILE] [--bundle-dir DIR] [--json]\n\
+                     \x20      fleet replay-bundle FILE...\n\
+                     \x20      fleet check-metrics FILE --schema SCHEMA"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok((config, json))
 }

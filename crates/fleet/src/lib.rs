@@ -35,9 +35,11 @@
 pub mod farm;
 pub mod pool;
 pub mod proto;
+pub mod recorder;
 pub mod verifier;
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -46,6 +48,8 @@ use std::time::{Duration, Instant};
 use tytan::attest::DeviceId;
 use tytan::platform::PlatformError;
 use tytan_crypto::{Digest, Sha1};
+use tytan_trace::events::{EventLog, LogFields, Severity};
+use tytan_trace::metrics::{self, DeltaWindow};
 use tytan_trace::Tracer;
 
 use farm::DeviceSim;
@@ -86,6 +90,15 @@ pub struct FleetConfig {
     pub detour_every: Option<u64>,
     /// (CFA mode) guest cycles of monitored execution before attesting.
     pub monitored_cycles: u64,
+    /// Where to write the Prometheus metrics exposition after the run
+    /// (`None` = don't write).
+    pub metrics_out: Option<PathBuf>,
+    /// Where to write the structured event stream as JSONL after the
+    /// run (`None` = don't write).
+    pub events_out: Option<PathBuf>,
+    /// Directory receiving one forensic bundle file per typed rejection
+    /// (`None` = bundles stay in memory only). Created if missing.
+    pub bundle_dir: Option<PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -101,6 +114,9 @@ impl Default for FleetConfig {
             cfa: false,
             detour_every: None,
             monitored_cycles: 50_000,
+            metrics_out: None,
+            events_out: None,
+            bundle_dir: None,
         }
     }
 }
@@ -205,6 +221,15 @@ pub struct FleetOutcome {
     pub batch_p99_ns: u64,
     /// Verification batches flushed.
     pub batches: u64,
+    /// Forensic bundles the flight recorder dumped (one per typed
+    /// rejection of a provisioned device).
+    pub bundles: u64,
+    /// Structured events emitted (including any later shed).
+    pub events: u64,
+    /// Structured events shed because the bounded log was full.
+    pub events_dropped: u64,
+    /// Trace events the tracer's sink shed (bounded rings drop-oldest).
+    pub trace_dropped: u64,
 }
 
 impl FleetOutcome {
@@ -310,9 +335,9 @@ fn device_conversation(
     for round in 0..config.rounds {
         // Verdict frames for earlier rounds interleave with the next
         // challenge; skip them (the verifier is the source of truth).
-        let nonce = loop {
+        let (corr, nonce) = loop {
             match next_message(&mut decoder)? {
-                Message::Challenge { nonce, .. } => break nonce,
+                Message::Challenge { corr, nonce, .. } => break (corr, nonce),
                 Message::Verdict { .. } => continue,
                 other => {
                     return Err(format!(
@@ -344,13 +369,21 @@ fn device_conversation(
                 let frame = encode(
                     &Message::CfaReport {
                         device,
+                        corr,
                         report: detoured,
                     },
                     version,
                 );
                 send_chunked(&inbound, device, &frame, config.chunk);
             }
-            let frame = encode(&Message::CfaReport { device, report }, version);
+            let frame = encode(
+                &Message::CfaReport {
+                    device,
+                    corr,
+                    report,
+                },
+                version,
+            );
             send_chunked(&inbound, device, &frame, config.chunk);
             if config.replay_hit(device.as_u64()) {
                 send_chunked(&inbound, device, &frame, config.chunk);
@@ -363,6 +396,7 @@ fn device_conversation(
         let frame = encode(
             &Message::Report {
                 device,
+                corr,
                 report: report.clone(),
             },
             version,
@@ -378,6 +412,7 @@ fn device_conversation(
             let frame = encode(
                 &Message::Report {
                     device,
+                    corr,
                     report: forged,
                 },
                 version,
@@ -415,6 +450,8 @@ pub fn run_fleet_with_tracer(
     let (_, expected_digest) = farm::reference_digest()?;
 
     let mut verifier = FleetVerifier::new(master, expected_digest, config.seed, tracer);
+    let event_log = Arc::new(EventLog::new(1 << 16));
+    verifier.attach_event_log(event_log.clone());
     if config.cfa {
         verifier.provision_edge_set(farm::fleet_admissible_edges());
     }
@@ -439,9 +476,21 @@ pub fn run_fleet_with_tracer(
     // The verifier's recv loop ends when every job has dropped its clone.
     drop(inbound_tx);
 
-    serve(&mut verifier, inbound_rx, config);
+    serve(&mut verifier, inbound_rx, config, &event_log);
     pool.wait_idle();
     let elapsed = began.elapsed();
+
+    if let Some(dir) = &config.bundle_dir {
+        write_bundles(dir, &verifier.take_bundles());
+    }
+    if let Some(path) = &config.metrics_out {
+        let text =
+            metrics::prometheus_text(verifier.tracer().counters(), verifier.tracer().histograms());
+        write_best_effort(path, &text);
+    }
+    if let Some(path) = &config.events_out {
+        write_best_effort(path, &event_log.to_jsonl());
+    }
 
     let counters = verifier.tracer().counters();
     let get = |name: &str| counters.get(name).unwrap_or(0);
@@ -475,7 +524,32 @@ pub fn run_fleet_with_tracer(
         batch_p50_ns: batch.map_or(0, |s| s.p50),
         batch_p99_ns: batch.map_or(0, |s| s.p99),
         batches: get("fleet_batches"),
+        bundles: get("fleet_bundles"),
+        events: event_log.emitted(),
+        events_dropped: event_log.dropped(),
+        trace_dropped: verifier.tracer().sink_dropped(),
     })
+}
+
+/// Writes `content` to `path`, reporting failures to stderr instead of
+/// failing the run — observability outputs must never break the books.
+fn write_best_effort(path: &Path, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("fleet: could not write {}: {e}", path.display());
+    }
+}
+
+/// Writes each bundle as `bundle-<n>-dev<device>-<verdict>.json` under
+/// `dir` (created if missing).
+fn write_bundles(dir: &Path, bundles: &[recorder::ForensicBundle]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("fleet: could not create {}: {e}", dir.display());
+        return;
+    }
+    for (n, bundle) in bundles.iter().enumerate() {
+        let name = format!("bundle-{n}-dev{}-{}.json", bundle.device, bundle.verdict);
+        write_best_effort(&dir.join(name), &bundle.to_json());
+    }
 }
 
 /// The verifier event loop: ingest until the inbound channel would
@@ -483,9 +557,35 @@ pub fn run_fleet_with_tracer(
 /// next round's challenges. Adaptive batching — the batch is however
 /// many reports arrived while the previous one verified — means the
 /// loop never stalls a device that is waiting for its next challenge.
-fn serve(verifier: &mut FleetVerifier, inbound: Receiver<Inbound>, config: &FleetConfig) {
+fn serve(
+    verifier: &mut FleetVerifier,
+    inbound: Receiver<Inbound>,
+    config: &FleetConfig,
+    event_log: &EventLog,
+) {
     let mut replies: HashMap<DeviceId, Sender<Vec<u8>>> = HashMap::new();
     let mut rounds_done: HashMap<DeviceId, u64> = HashMap::new();
+    // Windowed metric deltas: every WINDOW_BATCHES flushes, the movement
+    // since the previous window lands in the event stream as rates.
+    const WINDOW_BATCHES: u64 = 32;
+    let mut window = DeltaWindow::new(verifier.tracer().counters());
+    let mut batches_since_window = 0u64;
+    let mut tick_window = |verifier: &FleetVerifier, batches: &mut u64| {
+        *batches += 1;
+        if *batches >= WINDOW_BATCHES {
+            *batches = 0;
+            let snapshot = window.tick(verifier.tracer().counters());
+            event_log.emit(
+                Severity::Info,
+                "fleet.serve",
+                "metrics.window",
+                LogFields {
+                    detail: snapshot.compact(),
+                    ..LogFields::default()
+                },
+            );
+        }
+    };
 
     let send_to =
         |replies: &HashMap<DeviceId, Sender<Vec<u8>>>, device: DeviceId, frame: Vec<u8>| {
@@ -534,7 +634,11 @@ fn serve(verifier: &mut FleetVerifier, inbound: Receiver<Inbound>, config: &Flee
                 return;
             }
         }
-        for entry in verifier.flush() {
+        let entries = verifier.flush();
+        if !entries.is_empty() {
+            tick_window(verifier, &mut batches_since_window);
+        }
+        for entry in entries {
             let device = entry.device;
             let accepted = entry.result.is_ok();
             send_to(&replies, device, entry.to_frame(PROTOCOL_VERSION));

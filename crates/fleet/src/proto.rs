@@ -45,10 +45,21 @@ use tytan::attest::{AttestationReport, CfaReport, DeviceId};
 ///
 /// Version 2 adds control-flow attestation: [`Message::CfaReport`] and
 /// the reserved type-byte range [`FIRST_V2_TYPE`]`..=`[`LAST_RESERVED_TYPE`].
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Version 3 adds correlation ids (see [`CORR_VERSION`]): challenges,
+/// reports and verdicts carry a verifier-minted `corr` so one id follows
+/// an attestation across the wire, the verifier's logs and any forensic
+/// bundle it produces.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// The oldest protocol version this implementation still accepts.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
+
+/// First protocol version whose [`Message::Challenge`],
+/// [`Message::Report`], [`Message::CfaReport`] and [`Message::Verdict`]
+/// frames carry a correlation id. At older versions the field is omitted
+/// on encode and decodes as `0` — downgraded sessions keep working, they
+/// just lose end-to-end correlation.
+pub const CORR_VERSION: u8 = 3;
 
 /// Upper bound on `len` (version + type + payload). Frames beyond this
 /// are rejected before any payload is buffered. Sized for the largest
@@ -147,6 +158,23 @@ pub mod verdict_code {
     pub const UNPROVEN_SITE: u8 = 7;
     /// The edge log does not refold to the MAC'd chain head.
     pub const CHAIN_MISMATCH: u8 = 8;
+
+    /// Stable lowercase name for a verdict code — the vocabulary the
+    /// structured event log and forensic bundles use.
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            OK => "ok",
+            BAD_MAC => "bad_mac",
+            REPLAYED_NONCE => "replayed_nonce",
+            NONCE_MISMATCH => "nonce_mismatch",
+            DIGEST_MISMATCH => "digest_mismatch",
+            UNKNOWN_DEVICE => "unknown_device",
+            INADMISSIBLE_EDGE => "inadmissible_edge",
+            UNPROVEN_SITE => "unproven_site",
+            CHAIN_MISMATCH => "chain_mismatch",
+            _ => "unknown_code",
+        }
+    }
 }
 
 /// A protocol message. One frame carries exactly one message.
@@ -169,6 +197,9 @@ pub enum Message {
     Challenge {
         /// The challenged device.
         device: DeviceId,
+        /// Verifier-minted correlation id for this attestation round
+        /// (version 3+ on the wire; `0` when the session predates it).
+        corr: u64,
         /// The nonce to attest against.
         nonce: Vec<u8>,
     },
@@ -176,6 +207,8 @@ pub enum Message {
     Report {
         /// The reporting device.
         device: DeviceId,
+        /// The correlation id echoed from the challenge being answered.
+        corr: u64,
         /// The MAC-authenticated report.
         report: AttestationReport,
     },
@@ -183,6 +216,8 @@ pub enum Message {
     Verdict {
         /// The judged device.
         device: DeviceId,
+        /// The correlation id of the judged report.
+        corr: u64,
         /// Whether the report was accepted.
         accepted: bool,
         /// A [`verdict_code`] detailing the outcome.
@@ -193,6 +228,8 @@ pub enum Message {
     CfaReport {
         /// The reporting device.
         device: DeviceId,
+        /// The correlation id echoed from the challenge being answered.
+        corr: u64,
         /// The MAC-authenticated report with its edge log.
         report: CfaReport,
     },
@@ -239,7 +276,25 @@ impl Message {
         }
     }
 
-    fn payload(&self) -> Vec<u8> {
+    /// The message's correlation id, `0` for the kinds that carry none.
+    pub fn corr(&self) -> u64 {
+        match self {
+            Message::Hello { .. } | Message::Welcome { .. } => 0,
+            Message::Challenge { corr, .. }
+            | Message::Report { corr, .. }
+            | Message::Verdict { corr, .. }
+            | Message::CfaReport { corr, .. } => *corr,
+        }
+    }
+
+    fn payload(&self, version: u8) -> Vec<u8> {
+        // Correlation ids ride immediately after the device id from
+        // version 3 on; older versions never see the field.
+        let push_corr = |out: &mut Vec<u8>, corr: &u64| {
+            if version >= CORR_VERSION {
+                out.extend_from_slice(&corr.to_be_bytes());
+            }
+        };
         let mut out = Vec::new();
         match self {
             Message::Hello {
@@ -250,28 +305,45 @@ impl Message {
                 out.push(*max_version);
             }
             Message::Welcome { version } => out.push(*version),
-            Message::Challenge { device, nonce } => {
+            Message::Challenge {
+                device,
+                corr,
+                nonce,
+            } => {
                 out.extend_from_slice(&device.to_bytes());
+                push_corr(&mut out, corr);
                 out.extend_from_slice(&(nonce.len() as u16).to_le_bytes());
                 out.extend_from_slice(nonce);
             }
-            Message::Report { device, report } => {
+            Message::Report {
+                device,
+                corr,
+                report,
+            } => {
                 out.extend_from_slice(&device.to_bytes());
+                push_corr(&mut out, corr);
                 let bytes = report.to_bytes();
                 out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
                 out.extend_from_slice(&bytes);
             }
             Message::Verdict {
                 device,
+                corr,
                 accepted,
                 code,
             } => {
                 out.extend_from_slice(&device.to_bytes());
+                push_corr(&mut out, corr);
                 out.push(u8::from(*accepted));
                 out.push(*code);
             }
-            Message::CfaReport { device, report } => {
+            Message::CfaReport {
+                device,
+                corr,
+                report,
+            } => {
                 out.extend_from_slice(&device.to_bytes());
+                push_corr(&mut out, corr);
                 let bytes = report.to_bytes();
                 out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
                 out.extend_from_slice(&bytes);
@@ -298,9 +370,11 @@ pub fn negotiate(device_max: u8) -> Result<u8, CodecError> {
     Ok(device_max.min(PROTOCOL_VERSION))
 }
 
-/// Encodes `message` as one complete frame at `version`.
+/// Encodes `message` as one complete frame at `version`. At versions
+/// below [`CORR_VERSION`] any correlation id is silently omitted — the
+/// downgrade loses observability, never interoperability.
 pub fn encode(message: &Message, version: u8) -> Vec<u8> {
-    let payload = message.payload();
+    let payload = message.payload(version);
     let len = 2 + payload.len();
     let mut out = Vec::with_capacity(4 + len);
     out.extend_from_slice(&(len as u32).to_le_bytes());
@@ -357,7 +431,17 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, CodecError> {
+/// Reads a correlation id when `version` carries one, `0` otherwise
+/// (pre-[`CORR_VERSION`] frames have no correlation field).
+fn corr_field(r: &mut Reader<'_>, version: u8) -> Result<u64, CodecError> {
+    if version >= CORR_VERSION {
+        Ok(u64::from_be_bytes(r.take(8)?.try_into().expect("8 bytes")))
+    } else {
+        Ok(0)
+    }
+}
+
+fn decode_payload(type_byte: u8, payload: &[u8], version: u8) -> Result<Message, CodecError> {
     let mut r = Reader { bytes: payload };
     let message = match type_byte {
         TYPE_HELLO => Message::Hello {
@@ -367,17 +451,20 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, CodecError> 
         TYPE_WELCOME => Message::Welcome { version: r.u8()? },
         TYPE_CHALLENGE => {
             let device = r.device()?;
+            let corr = corr_field(&mut r, version)?;
             let len = r.u16_le()? as usize;
             if len > MAX_NONCE_LEN {
                 return Err(CodecError::MalformedPayload("nonce too long"));
             }
             Message::Challenge {
                 device,
+                corr,
                 nonce: r.take(len)?.to_vec(),
             }
         }
         TYPE_REPORT => {
             let device = r.device()?;
+            let corr = corr_field(&mut r, version)?;
             let len = r.u32_le()? as usize;
             let bytes = r.take(len)?;
             let report = AttestationReport::from_bytes(bytes)
@@ -387,10 +474,15 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, CodecError> 
             if report.to_bytes().len() != len {
                 return Err(CodecError::MalformedPayload("report not canonical"));
             }
-            Message::Report { device, report }
+            Message::Report {
+                device,
+                corr,
+                report,
+            }
         }
         TYPE_VERDICT => {
             let device = r.device()?;
+            let corr = corr_field(&mut r, version)?;
             let accepted = match r.u8()? {
                 0 => false,
                 1 => true,
@@ -398,12 +490,14 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, CodecError> 
             };
             Message::Verdict {
                 device,
+                corr,
                 accepted,
                 code: r.u8()?,
             }
         }
         TYPE_CFA_REPORT => {
             let device = r.device()?;
+            let corr = corr_field(&mut r, version)?;
             let len = r.u32_le()? as usize;
             let bytes = r.take(len)?;
             let report = CfaReport::from_bytes(bytes)
@@ -411,7 +505,11 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, CodecError> 
             if report.to_bytes().len() != len {
                 return Err(CodecError::MalformedPayload("cfa report not canonical"));
             }
-            Message::CfaReport { device, report }
+            Message::CfaReport {
+                device,
+                corr,
+                report,
+            }
         }
         other => return Err(CodecError::UnknownMessageType(other)),
     };
@@ -480,7 +578,7 @@ pub fn decode_with_window(bytes: &[u8], min: u8, max: u8) -> Result<(Message, us
             max,
         });
     }
-    let message = decode_payload(type_byte, &bytes[6..total])?;
+    let message = decode_payload(type_byte, &bytes[6..total], version)?;
     Ok((message, total))
 }
 
@@ -528,13 +626,24 @@ impl FrameDecoder {
     /// The first hard [`CodecError`] poisons the decoder;
     /// [`CodecError::Poisoned`] thereafter.
     pub fn next_message(&mut self) -> Result<Option<Message>, CodecError> {
+        Ok(self.next_message_with_frame()?.map(|(message, _)| message))
+    }
+
+    /// Like [`FrameDecoder::next_message`], also returning the raw frame
+    /// bytes the message was decoded from — the fleet flight recorder
+    /// tapes exact wire bytes, not re-encodings.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameDecoder::next_message`].
+    pub fn next_message_with_frame(&mut self) -> Result<Option<(Message, Vec<u8>)>, CodecError> {
         if self.poisoned {
             return Err(CodecError::Poisoned);
         }
         match decode(&self.buf) {
             Ok((message, consumed)) => {
-                self.buf.drain(..consumed);
-                Ok(Some(message))
+                let frame = self.buf.drain(..consumed).collect();
+                Ok(Some((message, frame)))
             }
             Err(CodecError::Truncated { .. }) => Ok(None),
             Err(err) => {
@@ -569,28 +678,34 @@ mod tests {
             },
             Message::Challenge {
                 device: DeviceId::from_u64(u64::MAX),
+                corr: u64::MAX,
                 nonce: vec![0xAB; 16],
             },
             Message::Challenge {
                 device: DeviceId::from_u64(0),
+                corr: 0,
                 nonce: Vec::new(),
             },
             Message::Report {
                 device: DeviceId::from_u64(77),
+                corr: 0x1122_3344_5566_7788,
                 report,
             },
             Message::Verdict {
                 device: DeviceId::from_u64(5),
+                corr: 42,
                 accepted: true,
                 code: verdict_code::OK,
             },
             Message::Verdict {
                 device: DeviceId::from_u64(5),
+                corr: 43,
                 accepted: false,
                 code: verdict_code::REPLAYED_NONCE,
             },
             Message::CfaReport {
                 device: DeviceId::from_u64(11),
+                corr: 7,
                 report: sample_cfa_report(),
             },
         ]
@@ -700,6 +815,7 @@ mod tests {
     fn v1_frame_with_reserved_type_is_a_typed_version_error() {
         let msg = Message::CfaReport {
             device: DeviceId::from_u64(11),
+            corr: 0,
             report: sample_cfa_report(),
         };
         assert_eq!(msg.min_version(), 2);
@@ -736,6 +852,7 @@ mod tests {
         let frame = encode(
             &Message::CfaReport {
                 device: DeviceId::from_u64(3),
+                corr: 0,
                 report: sample_cfa_report(),
             },
             PROTOCOL_VERSION,
@@ -751,6 +868,92 @@ mod tests {
         // The same old window still decodes v1 traffic unchanged.
         let v1 = encode(&Message::Welcome { version: 1 }, 1);
         assert!(decode_with_window(&v1, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn pre_corr_versions_drop_the_correlation_id() {
+        // Encoding at version 2 omits the field; decoding yields 0. A
+        // downgraded session loses correlation, nothing else.
+        for version in [1, 2] {
+            let msg = Message::Challenge {
+                device: DeviceId::from_u64(9),
+                corr: 0xDEAD_BEEF,
+                nonce: vec![1, 2, 3],
+            };
+            let bytes = encode(&msg, version);
+            let (decoded, consumed) = decode(&bytes).expect("decodes");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(
+                decoded,
+                Message::Challenge {
+                    device: DeviceId::from_u64(9),
+                    corr: 0,
+                    nonce: vec![1, 2, 3],
+                },
+                "version {version}"
+            );
+        }
+        // A v3 frame is 8 bytes longer than the same message at v2.
+        let msg = Message::Verdict {
+            device: DeviceId::from_u64(1),
+            corr: 5,
+            accepted: true,
+            code: verdict_code::OK,
+        };
+        assert_eq!(encode(&msg, CORR_VERSION).len(), encode(&msg, 2).len() + 8);
+    }
+
+    #[test]
+    fn corr_accessor_reports_the_carried_id() {
+        for msg in sample_messages() {
+            match &msg {
+                Message::Hello { .. } | Message::Welcome { .. } => {
+                    assert_eq!(msg.corr(), 0);
+                }
+                Message::Challenge { corr, .. }
+                | Message::Report { corr, .. }
+                | Message::Verdict { corr, .. }
+                | Message::CfaReport { corr, .. } => assert_eq!(msg.corr(), *corr),
+            }
+        }
+    }
+
+    #[test]
+    fn v2_only_verifier_window_rejects_v3_frames_as_unsupported_version() {
+        // A verifier built before correlation ids accepts 1..=2; a v3
+        // frame fails with the typed version error so the device can
+        // re-negotiate down (and the corr bytes are never misparsed as
+        // nonce length or report length).
+        let frame = encode(
+            &Message::Challenge {
+                device: DeviceId::from_u64(4),
+                corr: 77,
+                nonce: vec![0xAA; 8],
+            },
+            PROTOCOL_VERSION,
+        );
+        assert_eq!(
+            decode_with_window(&frame, 1, 2),
+            Err(CodecError::UnsupportedVersion {
+                got: PROTOCOL_VERSION,
+                min: 1,
+                max: 2,
+            })
+        );
+        // The v2 encoding of the same message still decodes in that
+        // window (corr degrades to 0).
+        let v2 = encode(
+            &Message::Challenge {
+                device: DeviceId::from_u64(4),
+                corr: 77,
+                nonce: vec![0xAA; 8],
+            },
+            2,
+        );
+        assert!(matches!(
+            decode_with_window(&v2, 1, 2),
+            Ok((Message::Challenge { corr: 0, .. }, _))
+        ));
     }
 
     #[test]
@@ -804,10 +1007,18 @@ mod tests {
             mac: vec![4u8; 20],
         };
         let device = DeviceId::from_u64(9);
-        let mut frame = encode(&Message::Report { device, report }, PROTOCOL_VERSION);
+        let mut frame = encode(
+            &Message::Report {
+                device,
+                corr: 0,
+                report,
+            },
+            PROTOCOL_VERSION,
+        );
         // Grow the inner length prefix and pad: `from_bytes` would accept
-        // the prefix, the canonical check must not.
-        let inner_len_at = 4 + 2 + 8;
+        // the prefix, the canonical check must not. Header, device and
+        // (version 3) correlation id precede the inner length.
+        let inner_len_at = 4 + 2 + 8 + 8;
         let inner = u32::from_le_bytes(frame[inner_len_at..inner_len_at + 4].try_into().unwrap());
         frame[inner_len_at..inner_len_at + 4].copy_from_slice(&(inner + 2).to_le_bytes());
         frame.extend_from_slice(&[0, 0]);
@@ -824,10 +1035,12 @@ mod tests {
         #[test]
         fn prop_challenge_round_trips(
             device in any::<u64>(),
+            corr in any::<u64>(),
             nonce in proptest::collection::vec(any::<u8>(), 0..MAX_NONCE_LEN),
         ) {
             let msg = Message::Challenge {
                 device: DeviceId::from_u64(device),
+                corr,
                 nonce,
             };
             let bytes = encode(&msg, PROTOCOL_VERSION);
@@ -879,6 +1092,7 @@ mod tests {
             let expected: Vec<Message> = (0..count)
                 .map(|i| Message::Challenge {
                     device: DeviceId::from_u64(i as u64),
+                    corr: i as u64,
                     nonce: vec![i as u8; i],
                 })
                 .collect();

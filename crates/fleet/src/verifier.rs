@@ -13,26 +13,56 @@
 //! stateful nonce check.
 //!
 //! Everything observable lands in the shared `tytan-trace` registries:
-//! `fleet_*` counters for totals and each rejection class, and the
+//! `fleet_*` counters for totals and each rejection class, the
 //! `lat_fleet_verify` / `lat_fleet_batch` histograms (nanoseconds) for
-//! the latency tables.
+//! the latency tables, and — since the observability plane — per-stage
+//! cost attribution (`lat_fleet_stage_*`: frame decode, batched HMAC,
+//! freshness+digest, control-flow edge replay, chain refold), a
+//! structured [`EventLog`] narrating challenges, reports and verdicts by
+//! correlation id, and a [`FlightRecorder`] that dumps a
+//! [`crate::recorder::ForensicBundle`] for every typed rejection of a
+//! provisioned device.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
-use tytan::attest::{AttestationReport, CfaReport, DeviceId, VerifierSession, VerifyError};
+use tytan::attest::{
+    AttestationReport, CfaReport, DeviceId, VerifierSession, VerifyError, VerifyStageNanos,
+};
 use tytan_crypto::batch_verify;
 use tytan_lint::AdmissibleEdgeSet;
+use tytan_trace::events::{EventLog, LogFields, Severity};
 use tytan_trace::{EventKind, HistId, Layer, Tracer};
 
 use crate::farm::device_attestation_key;
-use crate::proto::{encode, negotiate, verdict_code, CodecError, FrameDecoder, Message};
+use crate::proto::{
+    encode, negotiate, verdict_code, CodecError, FrameDecoder, Message, PROTOCOL_VERSION,
+};
+use crate::recorder::{FlightRecorder, ForensicBundle, EDGE_TAIL_CAP};
+
+/// Maps a session verdict to its wire [`verdict_code`]. Shared by
+/// [`FlushEntry::code`] and bundle replay so the two can never disagree.
+pub fn result_code(result: &Result<(), VerifyError>) -> u8 {
+    match result {
+        Ok(()) => verdict_code::OK,
+        Err(VerifyError::BadMac) => verdict_code::BAD_MAC,
+        Err(VerifyError::ReplayedNonce) => verdict_code::REPLAYED_NONCE,
+        Err(VerifyError::NonceMismatch) => verdict_code::NONCE_MISMATCH,
+        Err(VerifyError::DigestMismatch { .. }) => verdict_code::DIGEST_MISMATCH,
+        Err(VerifyError::InadmissibleEdge { .. }) => verdict_code::INADMISSIBLE_EDGE,
+        Err(VerifyError::UnprovenSiteViolation { .. }) => verdict_code::UNPROVEN_SITE,
+        Err(VerifyError::ChainMismatch) => verdict_code::CHAIN_MISMATCH,
+    }
+}
 
 /// The verdict for one submitted report, as the orchestrator sees it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlushEntry {
     /// The device whose report was judged.
     pub device: DeviceId,
+    /// Correlation id the report carried (`0` for pre-v3 sessions).
+    pub corr: u64,
     /// The session verdict ([`Ok`] means accepted and nonce consumed).
     pub result: Result<(), VerifyError>,
 }
@@ -40,16 +70,7 @@ pub struct FlushEntry {
 impl FlushEntry {
     /// The wire [`verdict_code`] for this entry.
     pub fn code(&self) -> u8 {
-        match &self.result {
-            Ok(()) => verdict_code::OK,
-            Err(VerifyError::BadMac) => verdict_code::BAD_MAC,
-            Err(VerifyError::ReplayedNonce) => verdict_code::REPLAYED_NONCE,
-            Err(VerifyError::NonceMismatch) => verdict_code::NONCE_MISMATCH,
-            Err(VerifyError::DigestMismatch { .. }) => verdict_code::DIGEST_MISMATCH,
-            Err(VerifyError::InadmissibleEdge { .. }) => verdict_code::INADMISSIBLE_EDGE,
-            Err(VerifyError::UnprovenSiteViolation { .. }) => verdict_code::UNPROVEN_SITE,
-            Err(VerifyError::ChainMismatch) => verdict_code::CHAIN_MISMATCH,
-        }
+        result_code(&self.result)
     }
 
     /// Encodes this entry as a `Verdict` frame.
@@ -57,6 +78,7 @@ impl FlushEntry {
         encode(
             &Message::Verdict {
                 device: self.device,
+                corr: self.corr,
                 accepted: self.result.is_ok(),
                 code: self.code(),
             },
@@ -69,6 +91,7 @@ struct FleetCounters {
     hello: tytan_trace::CounterId,
     reports: tytan_trace::CounterId,
     cfa_reports: tytan_trace::CounterId,
+    cfa_edges: tytan_trace::CounterId,
     accepted: tytan_trace::CounterId,
     rejected_bad_mac: tytan_trace::CounterId,
     rejected_replay: tytan_trace::CounterId,
@@ -81,6 +104,7 @@ struct FleetCounters {
     unknown_device: tytan_trace::CounterId,
     decode_errors: tytan_trace::CounterId,
     batches: tytan_trace::CounterId,
+    bundles: tytan_trace::CounterId,
 }
 
 /// One decoded report awaiting the batched flush — either kind shares
@@ -113,12 +137,23 @@ pub struct FleetVerifier {
     salt: u64,
     sessions: HashMap<DeviceId, VerifierSession>,
     decoders: HashMap<DeviceId, FrameDecoder>,
-    pending: Vec<(DeviceId, PendingReport)>,
+    pending: Vec<(DeviceId, u64, PendingReport)>,
     edge_set: Option<AdmissibleEdgeSet>,
     tracer: Tracer,
     counters: FleetCounters,
     h_verify: HistId,
     h_batch: HistId,
+    h_stage_decode: HistId,
+    h_stage_hmac: HistId,
+    h_stage_freshness: HistId,
+    h_stage_edge: HistId,
+    h_stage_refold: HistId,
+    /// Monotonic correlation-id mint; `0` is reserved for "none".
+    next_corr: u64,
+    /// Per-device Hello count — the session number in structured events.
+    hello_counts: HashMap<DeviceId, u64>,
+    recorder: FlightRecorder,
+    event_log: Option<Arc<EventLog>>,
 }
 
 impl std::fmt::Debug for FleetVerifier {
@@ -140,6 +175,7 @@ impl FleetVerifier {
             hello: c.register("fleet_hello"),
             reports: c.register("fleet_reports"),
             cfa_reports: c.register("fleet_cfa_reports"),
+            cfa_edges: c.register("fleet_cfa_edges"),
             accepted: c.register("fleet_accepted"),
             rejected_bad_mac: c.register("fleet_rejected_bad_mac"),
             rejected_replay: c.register("fleet_rejected_replay"),
@@ -152,9 +188,16 @@ impl FleetVerifier {
             unknown_device: c.register("fleet_unknown_device"),
             decode_errors: c.register("fleet_decode_errors"),
             batches: c.register("fleet_batches"),
+            bundles: c.register("fleet_bundles"),
         };
-        let h_verify = tracer.histograms().register("lat_fleet_verify");
-        let h_batch = tracer.histograms().register("lat_fleet_batch");
+        let h = tracer.histograms();
+        let h_verify = h.register("lat_fleet_verify");
+        let h_batch = h.register("lat_fleet_batch");
+        let h_stage_decode = h.register("lat_fleet_stage_decode");
+        let h_stage_hmac = h.register("lat_fleet_stage_hmac");
+        let h_stage_freshness = h.register("lat_fleet_stage_freshness");
+        let h_stage_edge = h.register("lat_fleet_stage_edge_replay");
+        let h_stage_refold = h.register("lat_fleet_stage_refold");
         FleetVerifier {
             master,
             expected_digest,
@@ -167,6 +210,55 @@ impl FleetVerifier {
             counters,
             h_verify,
             h_batch,
+            h_stage_decode,
+            h_stage_hmac,
+            h_stage_freshness,
+            h_stage_edge,
+            h_stage_refold,
+            next_corr: 0,
+            hello_counts: HashMap::new(),
+            recorder: FlightRecorder::new(),
+            event_log: None,
+        }
+    }
+
+    /// Attaches a structured event log; challenges, reports, verdicts
+    /// and bundles are narrated into it with their correlation ids.
+    pub fn attach_event_log(&mut self, log: Arc<EventLog>) {
+        self.event_log = Some(log);
+    }
+
+    /// The flight recorder's forensic tapes.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Takes every forensic bundle produced since the last call.
+    pub fn take_bundles(&mut self) -> Vec<ForensicBundle> {
+        self.recorder.take_bundles()
+    }
+
+    fn log_event(
+        &self,
+        severity: Severity,
+        event: &str,
+        device: Option<DeviceId>,
+        corr: u64,
+        detail: String,
+    ) {
+        if let Some(log) = &self.event_log {
+            let session = device.and_then(|d| self.hello_counts.get(&d).copied());
+            log.emit(
+                severity,
+                "fleet.verifier",
+                event,
+                LogFields {
+                    device: device.map(DeviceId::as_u64),
+                    session,
+                    corr: (corr != 0).then_some(corr),
+                    detail,
+                },
+            );
         }
     }
 
@@ -215,11 +307,29 @@ impl FleetVerifier {
     }
 
     /// Issues a fresh challenge for `device` and returns it as an
-    /// encoded `Challenge` frame (`None` for unknown devices).
+    /// encoded `Challenge` frame (`None` for unknown devices). Mints a
+    /// fresh correlation id the device echoes in its answer, so one id
+    /// follows the whole attestation round.
     pub fn challenge_frame(&mut self, device: DeviceId, version: u8) -> Option<Vec<u8>> {
         let session = self.sessions.get_mut(&device)?;
         let nonce = session.challenge();
-        Some(encode(&Message::Challenge { device, nonce }, version))
+        self.next_corr += 1;
+        let corr = self.next_corr;
+        self.log_event(
+            Severity::Info,
+            "challenge",
+            Some(device),
+            corr,
+            format!("nonce {} bytes", nonce.len()),
+        );
+        Some(encode(
+            &Message::Challenge {
+                device,
+                corr,
+                nonce,
+            },
+            version,
+        ))
     }
 
     /// Feeds received bytes from `from`'s connection through its frame
@@ -234,19 +344,33 @@ impl FleetVerifier {
         decoder.push(bytes);
         let mut replies = Vec::new();
         loop {
-            let message = match self
+            let decode_began = Instant::now();
+            let next = self
                 .decoders
                 .get_mut(&from)
                 .expect("entry above")
-                .next_message()
-            {
-                Ok(Some(message)) => message,
+                .next_message_with_frame();
+            let (message, frame) = match next {
+                Ok(Some(decoded)) => {
+                    self.tracer.histograms().record(
+                        self.h_stage_decode,
+                        decode_began.elapsed().as_nanos() as u64,
+                    );
+                    decoded
+                }
                 Ok(None) => break,
                 Err(CodecError::Poisoned) => break,
-                Err(_) => {
+                Err(err) => {
                     self.tracer.counters().add(self.counters.decode_errors, 1);
                     self.tracer
                         .emit(Layer::Fleet, 0, 0, EventKind::Mark("decode_error"));
+                    self.log_event(
+                        Severity::Warn,
+                        "decode_error",
+                        Some(from),
+                        0,
+                        format!("{err}"),
+                    );
                     break;
                 }
             };
@@ -256,12 +380,27 @@ impl FleetVerifier {
                     max_version,
                 } => {
                     self.tracer.counters().add(self.counters.hello, 1);
+                    *self.hello_counts.entry(device).or_insert(0) += 1;
                     if !self.sessions.contains_key(&device) {
                         self.tracer.counters().add(self.counters.unknown_device, 1);
+                        self.log_event(
+                            Severity::Warn,
+                            "hello_unknown",
+                            Some(device),
+                            0,
+                            "hello from unprovisioned device".to_string(),
+                        );
                         continue;
                     }
                     match negotiate(max_version) {
                         Ok(version) => {
+                            self.log_event(
+                                Severity::Info,
+                                "hello",
+                                Some(device),
+                                0,
+                                format!("negotiated version {version}"),
+                            );
                             replies.push(encode(&Message::Welcome { version }, version));
                             if let Some(frame) = self.challenge_frame(device, version) {
                                 replies.push(frame);
@@ -272,20 +411,56 @@ impl FleetVerifier {
                         }
                     }
                 }
-                Message::Report { device, report } => {
+                Message::Report {
+                    device,
+                    corr,
+                    report,
+                } => {
                     self.tracer.counters().add(self.counters.reports, 1);
-                    self.pending.push((device, PendingReport::Plain(report)));
+                    self.recorder.note_frame(device, corr, &frame);
+                    self.log_event(
+                        Severity::Debug,
+                        "report",
+                        Some(device),
+                        corr,
+                        format!("frame {} bytes", frame.len()),
+                    );
+                    self.pending
+                        .push((device, corr, PendingReport::Plain(report)));
                 }
-                Message::CfaReport { device, report } => {
+                Message::CfaReport {
+                    device,
+                    corr,
+                    report,
+                } => {
                     self.tracer.counters().add(self.counters.reports, 1);
                     self.tracer.counters().add(self.counters.cfa_reports, 1);
+                    self.recorder.note_frame(device, corr, &frame);
                     if self.edge_set.is_none() {
                         self.tracer
                             .counters()
                             .add(self.counters.cfa_unconfigured, 1);
+                        self.log_event(
+                            Severity::Warn,
+                            "cfa_unconfigured",
+                            Some(device),
+                            corr,
+                            "cfa report dropped: no edge set registered".to_string(),
+                        );
                         continue;
                     }
-                    self.pending.push((device, PendingReport::Cfa(report)));
+                    self.tracer
+                        .counters()
+                        .add(self.counters.cfa_edges, report.log.len() as u64);
+                    self.log_event(
+                        Severity::Debug,
+                        "cfa_report",
+                        Some(device),
+                        corr,
+                        format!("frame {} bytes, {} edges", frame.len(), report.log.len()),
+                    );
+                    self.pending
+                        .push((device, corr, PendingReport::Cfa(report)));
                 }
                 // Welcome / Challenge / Verdict are verifier → device;
                 // receiving one here is a protocol misuse we just count.
@@ -297,9 +472,70 @@ impl FleetVerifier {
         replies
     }
 
+    /// Builds the forensic bundle for one rejected report of a
+    /// provisioned session. The freshness snapshot is taken after the
+    /// rejection, which equals the verification-time state: rejections
+    /// never consume nonces.
+    #[allow(clippy::too_many_arguments)]
+    fn build_bundle(
+        session: &VerifierSession,
+        master: [u8; 20],
+        expected_digest: &[u8],
+        edge_set: Option<&AdmissibleEdgeSet>,
+        recorder: &FlightRecorder,
+        device: DeviceId,
+        corr: u64,
+        report: &PendingReport,
+        code: u8,
+    ) -> ForensicBundle {
+        let (frame, edge_tail, edge_set_json) = match report {
+            PendingReport::Plain(r) => (
+                encode(
+                    &Message::Report {
+                        device,
+                        corr,
+                        report: r.clone(),
+                    },
+                    PROTOCOL_VERSION,
+                ),
+                Vec::new(),
+                None,
+            ),
+            PendingReport::Cfa(r) => (
+                encode(
+                    &Message::CfaReport {
+                        device,
+                        corr,
+                        report: r.clone(),
+                    },
+                    PROTOCOL_VERSION,
+                ),
+                r.log[r.log.len().saturating_sub(EDGE_TAIL_CAP)..].to_vec(),
+                edge_set.map(AdmissibleEdgeSet::to_json),
+            ),
+        };
+        ForensicBundle {
+            device: device.as_u64(),
+            corr,
+            verdict: verdict_code::name(code).to_string(),
+            code,
+            master,
+            expected_digest: expected_digest.to_vec(),
+            frame,
+            frame_tail: recorder.frame_tail(device),
+            decisions: recorder.decision_tail(device),
+            consumed: session.consumed_nonces(),
+            outstanding: session.outstanding_nonce().map(<[u8]>::to_vec),
+            edge_tail,
+            edge_set_json,
+        }
+    }
+
     /// Verifies every pending report: one batched HMAC pass over the
     /// precomputed per-device key schedules, then the stateful session
-    /// checks (freshness, replay window, digest) per report.
+    /// checks (freshness, replay window, digest) per report. Every typed
+    /// rejection of a provisioned device also dumps a forensic bundle
+    /// into the flight recorder.
     pub fn flush(&mut self) -> Vec<FlushEntry> {
         let pending = std::mem::take(&mut self.pending);
         if pending.is_empty() {
@@ -314,7 +550,7 @@ impl FleetVerifier {
         // check at all — there is no key to check against.
         let inputs: Vec<Option<Vec<u8>>> = pending
             .iter()
-            .map(|(device, report)| {
+            .map(|(device, _, report)| {
                 self.sessions
                     .contains_key(device)
                     .then(|| report.mac_input())
@@ -323,34 +559,97 @@ impl FleetVerifier {
         let items = pending
             .iter()
             .zip(&inputs)
-            .filter_map(|((device, report), input)| {
+            .filter_map(|((device, _, report), input)| {
                 let schedule = self.sessions.get(device)?.schedule();
                 Some((schedule, input.as_deref()?, report.mac()))
             });
+        let hmac_began = Instant::now();
         let outcome = batch_verify(items);
+        let hmac_elapsed = hmac_began.elapsed().as_nanos() as u64;
+        let batched = inputs.iter().filter(|i| i.is_some()).count() as u64;
+        // The batch shares one timestamp pair; each report is charged
+        // its mean share of the HMAC pass.
+        if let Some(share) = hmac_elapsed.checked_div(batched) {
+            for _ in 0..batched {
+                self.tracer.histograms().record(self.h_stage_hmac, share);
+            }
+        }
 
         // Phase 2: complete each report through its session.
         let mut verdicts = outcome.ok.into_iter();
         let mut entries = Vec::with_capacity(pending.len());
-        for ((device, report), input) in pending.iter().zip(&inputs) {
+        let mut bundles = Vec::new();
+        for ((device, corr, report), input) in pending.iter().zip(&inputs) {
+            let mut stages = VerifyStageNanos::default();
+            let mut mac_ok_known = false;
             let result = match self.sessions.get_mut(device) {
                 Some(session) if input.is_some() => {
                     let mac_ok = verdicts.next().expect("one verdict per batched item");
-                    match report {
+                    mac_ok_known = mac_ok;
+                    let result = match report {
                         PendingReport::Plain(report) => {
-                            session.submit_with_mac_verdict(report, mac_ok)
+                            session.submit_with_mac_verdict_timed(report, mac_ok, Some(&mut stages))
                         }
                         PendingReport::Cfa(report) => {
                             let edges = self.edge_set.as_ref().expect("checked at ingest");
-                            session.submit_cfa_with_mac_verdict(report, mac_ok, edges)
+                            session.submit_cfa_with_mac_verdict_timed(
+                                report,
+                                mac_ok,
+                                edges,
+                                Some(&mut stages),
+                            )
                         }
+                    };
+                    if result.is_err() {
+                        bundles.push(Self::build_bundle(
+                            session,
+                            self.master,
+                            &self.expected_digest,
+                            self.edge_set.as_ref(),
+                            &self.recorder,
+                            *device,
+                            *corr,
+                            report,
+                            result_code(&result),
+                        ));
                     }
+                    result
                 }
                 _ => {
                     self.tracer.counters().add(self.counters.unknown_device, 1);
                     Err(VerifyError::BadMac)
                 }
             };
+            // Per-stage attribution: record a stage only when it ran.
+            // MAC failures short-circuit before freshness; control-flow
+            // stages exist only for CFA reports; an inadmissible edge
+            // stops before the refold.
+            if mac_ok_known {
+                self.tracer
+                    .histograms()
+                    .record(self.h_stage_freshness, stages.freshness);
+                if matches!(report, PendingReport::Cfa(_)) {
+                    let reached_edges = matches!(
+                        &result,
+                        Ok(())
+                            | Err(VerifyError::InadmissibleEdge { .. })
+                            | Err(VerifyError::UnprovenSiteViolation { .. })
+                            | Err(VerifyError::ChainMismatch)
+                    );
+                    if reached_edges {
+                        self.tracer
+                            .histograms()
+                            .record(self.h_stage_edge, stages.edge_replay);
+                        let reached_refold =
+                            matches!(&result, Ok(()) | Err(VerifyError::ChainMismatch));
+                        if reached_refold {
+                            self.tracer
+                                .histograms()
+                                .record(self.h_stage_refold, stages.chain_refold);
+                        }
+                    }
+                }
+            }
             let counter = match &result {
                 Ok(()) => self.counters.accepted,
                 Err(VerifyError::BadMac) => self.counters.rejected_bad_mac,
@@ -362,10 +661,35 @@ impl FleetVerifier {
                 Err(VerifyError::ChainMismatch) => self.counters.rejected_chain,
             };
             self.tracer.counters().add(counter, 1);
+            let code = result_code(&result);
+            self.recorder.note_decision(*device, *corr, code);
+            self.log_event(
+                if result.is_ok() {
+                    Severity::Info
+                } else {
+                    Severity::Warn
+                },
+                "verdict",
+                Some(*device),
+                *corr,
+                verdict_code::name(code).to_string(),
+            );
             entries.push(FlushEntry {
                 device: *device,
+                corr: *corr,
                 result,
             });
+        }
+        for bundle in bundles {
+            self.tracer.counters().add(self.counters.bundles, 1);
+            self.log_event(
+                Severity::Error,
+                "bundle",
+                Some(DeviceId::from_u64(bundle.device)),
+                bundle.corr,
+                format!("forensic bundle: {}", bundle.verdict),
+            );
+            self.recorder.push_bundle(bundle);
         }
 
         let elapsed = begin.elapsed().as_nanos() as u64;
@@ -401,7 +725,7 @@ impl FleetVerifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::PROTOCOL_VERSION;
+    use crate::recorder::replay_bundle;
     use tytan_crypto::TaskId;
 
     const MASTER: [u8; 20] = [0xA5; 20];
@@ -432,9 +756,9 @@ mod tests {
         v
     }
 
-    fn challenge_nonce(frame: &[u8]) -> Vec<u8> {
+    fn challenge_parts(frame: &[u8]) -> (u64, Vec<u8>) {
         match crate::proto::decode(frame).expect("challenge frame").0 {
-            Message::Challenge { nonce, .. } => nonce,
+            Message::Challenge { corr, nonce, .. } => (corr, nonce),
             other => panic!("expected challenge, got {other:?}"),
         }
     }
@@ -470,16 +794,24 @@ mod tests {
         let mut frames = Vec::new();
         for d in 0..8u64 {
             let device = DeviceId::from_u64(d);
-            let nonce =
-                challenge_nonce(&v.challenge_frame(device, PROTOCOL_VERSION).expect("known"));
+            let (corr, nonce) =
+                challenge_parts(&v.challenge_frame(device, PROTOCOL_VERSION).expect("known"));
             let report = attest(device, &nonce);
             frames.push((
                 device,
-                encode(&Message::Report { device, report }, PROTOCOL_VERSION),
+                corr,
+                encode(
+                    &Message::Report {
+                        device,
+                        corr,
+                        report,
+                    },
+                    PROTOCOL_VERSION,
+                ),
             ));
         }
         // Deliver byte-by-byte to exercise stream reassembly.
-        for (device, frame) in &frames {
+        for (device, _, frame) in &frames {
             for byte in frame {
                 let replies = v.ingest(*device, std::slice::from_ref(byte));
                 assert!(replies.is_empty());
@@ -488,11 +820,19 @@ mod tests {
         assert_eq!(v.pending(), 8);
         let entries = v.flush();
         assert!(entries.iter().all(|e| e.result.is_ok()));
+        // The verdict carries back the corr the report carried in.
+        for (entry, (_, corr, _)) in entries.iter().zip(&frames) {
+            assert_eq!(entry.corr, *corr);
+            assert!(matches!(
+                crate::proto::decode(&entry.to_frame(PROTOCOL_VERSION)).unwrap().0,
+                Message::Verdict { corr: c, accepted: true, .. } if c == *corr
+            ));
+        }
         assert_eq!(v.accepted_total(), 8);
 
         // Replay the whole batch verbatim: every copy must be rejected
         // as a replay, none accepted.
-        for (device, frame) in &frames {
+        for (device, _, frame) in &frames {
             v.ingest(*device, frame);
         }
         let entries = v.flush();
@@ -511,6 +851,7 @@ mod tests {
         let frame = encode(
             &Message::Report {
                 device: ghost,
+                corr: 5,
                 report,
             },
             PROTOCOL_VERSION,
@@ -520,6 +861,9 @@ mod tests {
         assert_eq!(entries.len(), 1);
         assert!(entries[0].result.is_err());
         assert_eq!(v.tracer().counters().get("fleet_unknown_device"), Some(1));
+        // No bundle: the verifier has no key material for ghosts, so a
+        // replay could not reproduce the roster decision.
+        assert!(v.recorder().bundles().is_empty());
     }
 
     #[test]
@@ -545,15 +889,127 @@ mod tests {
     fn latency_histograms_populate_on_flush() {
         let mut v = verifier_with(1);
         let device = DeviceId::from_u64(0);
-        let nonce = challenge_nonce(&v.challenge_frame(device, PROTOCOL_VERSION).expect("known"));
+        let (corr, nonce) =
+            challenge_parts(&v.challenge_frame(device, PROTOCOL_VERSION).expect("known"));
         let report = attest(device, &nonce);
         v.ingest(
             device,
-            &encode(&Message::Report { device, report }, PROTOCOL_VERSION),
+            &encode(
+                &Message::Report {
+                    device,
+                    corr,
+                    report,
+                },
+                PROTOCOL_VERSION,
+            ),
         );
         v.flush();
         let hists = v.tracer().histograms();
         assert_eq!(hists.get("lat_fleet_verify").unwrap().count(), 1);
         assert_eq!(hists.get("lat_fleet_batch").unwrap().count(), 1);
+        // Per-stage attribution for an accepted plain report: decode,
+        // HMAC share and freshness ran; no control-flow stages.
+        assert_eq!(hists.get("lat_fleet_stage_decode").unwrap().count(), 1);
+        assert_eq!(hists.get("lat_fleet_stage_hmac").unwrap().count(), 1);
+        assert_eq!(hists.get("lat_fleet_stage_freshness").unwrap().count(), 1);
+        assert_eq!(hists.get("lat_fleet_stage_edge_replay").unwrap().count(), 0);
+        assert_eq!(hists.get("lat_fleet_stage_refold").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn rejections_produce_bundles_that_replay_to_the_same_verdict() {
+        let mut v = verifier_with(2);
+        let device = DeviceId::from_u64(0);
+        let (corr, nonce) =
+            challenge_parts(&v.challenge_frame(device, PROTOCOL_VERSION).expect("known"));
+        let report = attest(device, &nonce);
+        let frame = encode(
+            &Message::Report {
+                device,
+                corr,
+                report: report.clone(),
+            },
+            PROTOCOL_VERSION,
+        );
+        // Honest report accepted, then its verbatim replay rejected.
+        v.ingest(device, &frame);
+        v.ingest(device, &frame);
+        // And a corrupt copy from the second device.
+        let other = DeviceId::from_u64(1);
+        let (corr2, nonce2) =
+            challenge_parts(&v.challenge_frame(other, PROTOCOL_VERSION).expect("known"));
+        let mut forged = attest(other, &nonce2);
+        forged.mac[0] ^= 0x80;
+        v.ingest(
+            other,
+            &encode(
+                &Message::Report {
+                    device: other,
+                    corr: corr2,
+                    report: forged,
+                },
+                PROTOCOL_VERSION,
+            ),
+        );
+        let entries = v.flush();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(v.tracer().counters().get("fleet_bundles"), Some(2));
+        let bundles = v.take_bundles();
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(bundles[0].verdict, "replayed_nonce");
+        assert_eq!(bundles[1].verdict, "bad_mac");
+        for bundle in &bundles {
+            let outcome = replay_bundle(&bundle.to_json()).expect("bundle replays");
+            assert!(
+                outcome.matches,
+                "bundle {} replayed to {} (recorded {})",
+                bundle.verdict, outcome.replayed_code, outcome.recorded_code
+            );
+        }
+        // Taking drains.
+        assert!(v.take_bundles().is_empty());
+    }
+
+    #[test]
+    fn event_log_narrates_the_round_with_one_corr() {
+        let mut v = verifier_with(1);
+        let log = Arc::new(EventLog::new(64));
+        v.attach_event_log(log.clone());
+        let device = DeviceId::from_u64(0);
+        let hello = encode(
+            &Message::Hello {
+                device,
+                max_version: PROTOCOL_VERSION,
+            },
+            PROTOCOL_VERSION,
+        );
+        let replies = v.ingest(device, &hello);
+        let (corr, nonce) = challenge_parts(&replies[1]);
+        let report = attest(device, &nonce);
+        v.ingest(
+            device,
+            &encode(
+                &Message::Report {
+                    device,
+                    corr,
+                    report,
+                },
+                PROTOCOL_VERSION,
+            ),
+        );
+        v.flush();
+        let events = log.events();
+        let with_corr: Vec<_> = events
+            .iter()
+            .filter(|e| e.fields.corr == Some(corr))
+            .collect();
+        // challenge, report, verdict all share the round's corr.
+        let kinds: Vec<&str> = with_corr.iter().map(|e| e.event.as_str()).collect();
+        assert_eq!(kinds, vec!["challenge", "report", "verdict"]);
+        // Every event from this round names the device and session 1.
+        for e in &with_corr {
+            assert_eq!(e.fields.device, Some(0));
+            assert_eq!(e.fields.session, Some(1));
+        }
     }
 }

@@ -69,6 +69,10 @@ pub const SCENARIOS: &[Scenario] = &[
         name: "cfa-log",
         run: crate::cfa_log::cfa_log,
     },
+    Scenario {
+        name: "bundle-replay",
+        run: crate::bundle_replay::bundle_replay,
+    },
 ];
 
 /// Looks a scenario up by its stable name.

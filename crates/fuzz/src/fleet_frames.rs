@@ -61,10 +61,10 @@ pub fn fleet_frame(rng: &mut FuzzRng) -> Result<(), String> {
         PROTOCOL_VERSION,
     );
     let replies = verifier.ingest(device, &hello);
-    let nonce = replies
+    let (corr, nonce) = replies
         .iter()
         .find_map(|frame| match decode(frame) {
-            Ok((Message::Challenge { nonce, .. }, _)) => Some(nonce),
+            Ok((Message::Challenge { corr, nonce, .. }, _)) => Some((corr, nonce)),
             _ => None,
         })
         .ok_or("hello produced no challenge")?;
@@ -80,7 +80,14 @@ pub fn fleet_frame(rng: &mut FuzzRng) -> Result<(), String> {
     report.mac = device_attestation_key(&master, device)
         .to_hmac_key()
         .sign(&report.mac_input());
-    let genuine = encode(&Message::Report { device, report }, PROTOCOL_VERSION);
+    let genuine = encode(
+        &Message::Report {
+            device,
+            corr,
+            report: report.clone(),
+        },
+        PROTOCOL_VERSION,
+    );
 
     if rng.chance(1, 2) {
         // Replay arm: the genuine frame verifies exactly once; every
@@ -121,17 +128,31 @@ pub fn fleet_frame(rng: &mut FuzzRng) -> Result<(), String> {
             1 => bytes = mutate::truncated(&bytes, rng.next_u64()),
             _ => bytes = (0..rng.below(96)).map(|_| rng.next_u32() as u8).collect(),
         }
-        // An even number of flips can cancel on the same bit, leaving
-        // the genuine frame — which then correctly verifies. Only a
-        // frame that actually differs must be rejected.
-        let mutated = bytes != genuine;
+        // The oracle's invariant is about *authenticated* content: an
+        // even number of flips can cancel, and a flip confined to the
+        // correlation id (transport metadata, deliberately outside the
+        // MAC) still carries the genuine report — both correctly
+        // verify. Only a frame whose decoded report differs (or that no
+        // longer decodes to this device's report at all) must never
+        // reach an `Ok` verdict.
+        let benign = match decode(&bytes) {
+            Ok((
+                Message::Report {
+                    device: d,
+                    report: r,
+                    ..
+                },
+                consumed,
+            )) => consumed == bytes.len() && d == device && r == report,
+            _ => false,
+        };
         ingest_chunked(&mut verifier, device, &bytes, rng);
         for entry in verifier.flush() {
-            if entry.result.is_ok() && mutated {
+            if entry.result.is_ok() && !benign {
                 return Err("mutated frame verified".to_string());
             }
         }
-        if mutated && verifier.accepted_total() != 0 {
+        if !benign && verifier.accepted_total() != 0 {
             return Err(format!(
                 "mutated traffic raised the accepted count to {}",
                 verifier.accepted_total()

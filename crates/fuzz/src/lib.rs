@@ -25,6 +25,9 @@
 //!   mutated, reordered, and truncated edge logs must never verify
 //!   against the static admissible-edge set, even when re-sealed under
 //!   the real device key; honest walks always must.
+//! - [`bundle_replay`] — the forensics oracle: every typed rejection's
+//!   bundle must round-trip through JSON byte-identically and replay
+//!   offline to the identical verdict; mutated bundles fail typed.
 //! - [`campaign`] — the engine: runs `(seed, index)`-keyed cases
 //!   through every scenario under `catch_unwind`, so a panic anywhere
 //!   in the stack is itself a reportable finding, and minimizes
@@ -36,6 +39,7 @@
 //! report is reproducible from the scenario name and `(seed, index)`
 //! alone, on any machine, with no corpus file required.
 
+pub mod bundle_replay;
 pub mod campaign;
 pub mod cfa_log;
 pub mod corpus;

@@ -19,6 +19,13 @@
 //!   pairs) loadable in `chrome://tracing` or Perfetto.
 //! - [`json`]: a minimal JSON reader used to verify exports and validate
 //!   `BENCH_tables.json` against its schema without external dependencies.
+//! - [`events`]: a bounded structured event log (severity, device,
+//!   session, correlation id, monotonic sequence) with a canonical,
+//!   byte-round-trippable JSONL encoding — the narrative complement to
+//!   the numeric registries.
+//! - [`metrics`]: Prometheus text-format exposition of the counter and
+//!   histogram registries, plus windowed delta snapshots (rates, not
+//!   totals) for periodic emission.
 //!
 //! # Cycle neutrality
 //!
@@ -53,8 +60,10 @@ use std::sync::Arc;
 
 pub mod chrome;
 pub mod counters;
+pub mod events;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod ring;
 
 pub use counters::{CounterId, Counters};
@@ -148,6 +157,13 @@ pub trait TraceSink: Send + Sync {
         true
     }
 
+    /// Events this sink has shed (bounded sinks drop-oldest under
+    /// pressure). Defaults to zero for sinks that never shed; surfaced
+    /// fleet-wide so silent trace loss is visible in run summaries.
+    fn dropped(&self) -> u64 {
+        0
+    }
+
     /// Accepts one event.
     fn record(&self, event: TraceEvent);
 }
@@ -214,6 +230,11 @@ impl Tracer {
     /// Whether the sink is recording events.
     pub fn enabled(&self) -> bool {
         self.sink.enabled()
+    }
+
+    /// Events the sink has shed (see [`TraceSink::dropped`]).
+    pub fn sink_dropped(&self) -> u64 {
+        self.sink.dropped()
     }
 
     /// The shared counter registry.

@@ -1,0 +1,316 @@
+//! Metrics exposition: Prometheus text format over the shared
+//! registries, plus windowed delta snapshots.
+//!
+//! The [`crate::Counters`] and [`crate::hist::Histograms`] registries
+//! hold monotonic totals — right for end-of-run books, wrong for a
+//! dashboard, which wants *rates*. This module provides both views:
+//!
+//! - [`prometheus_text`] renders one exposition document in the
+//!   Prometheus text format (version 0.0.4): each counter as a
+//!   `counter` family, each histogram as a `summary` family with
+//!   `quantile` labels plus `_sum` / `_count` series. Names are
+//!   prefixed `tytan_` and sanitized to the metric-name alphabet.
+//! - [`DeltaWindow`] remembers the previous counter snapshot and turns
+//!   the next one into per-window deltas and per-second rates —
+//!   `run_fleet` ticks one periodically and logs the snapshot into its
+//!   structured event stream.
+//! - [`validate_prometheus_text`] is a strict line-level checker for
+//!   the subset this module emits; the `fleet check-metrics`
+//!   subcommand uses it (plus a required-family schema) so CI can gate
+//!   the exposition format without external tooling.
+//!
+//! # Examples
+//!
+//! ```
+//! use tytan_trace::{metrics, Tracer};
+//!
+//! let tracer = Tracer::null();
+//! let id = tracer.counters().register("fleet_accepted");
+//! tracer.counters().add(id, 3);
+//! let text = metrics::prometheus_text(tracer.counters(), tracer.histograms());
+//! assert!(text.contains("tytan_fleet_accepted 3"));
+//! metrics::validate_prometheus_text(&text).expect("well-formed");
+//! ```
+
+use std::time::Instant;
+
+use crate::counters::Counters;
+use crate::hist::Histograms;
+
+/// Prefix applied to every exported metric name.
+pub const METRIC_PREFIX: &str = "tytan_";
+
+/// Maps `name` into the Prometheus metric-name alphabet
+/// (`[a-zA-Z0-9_:]`), replacing anything else with `_`, and prepends
+/// [`METRIC_PREFIX`].
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(METRIC_PREFIX.len() + name.len());
+    out.push_str(METRIC_PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the registries as one Prometheus text-format document:
+/// counters first (registration order), then histogram summaries
+/// (empty distributions are skipped, matching
+/// [`Histograms::snapshot`]).
+pub fn prometheus_text(counters: &Counters, hists: &Histograms) -> String {
+    let mut out = String::new();
+    for (name, value) in counters.snapshot() {
+        let name = metric_name(&name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, summary) in hists.snapshot() {
+        let name = metric_name(&name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in [
+            ("0.5", summary.p50),
+            ("0.9", summary.p90),
+            ("0.99", summary.p99),
+        ] {
+            out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{name}_sum {}\n", summary.sum));
+        out.push_str(&format!("{name}_count {}\n", summary.count));
+    }
+    out
+}
+
+/// One counter's movement across a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRate {
+    /// Registry counter name (unprefixed).
+    pub name: String,
+    /// Increase across the window (counters are monotonic, so ≥ 0).
+    pub delta: u64,
+    /// `delta` divided by the window's wall-clock seconds.
+    pub per_sec: f64,
+}
+
+/// One windowed delta snapshot: every counter's movement since the
+/// previous [`DeltaWindow::tick`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Wall-clock length of the window in seconds.
+    pub window_secs: f64,
+    /// Per-counter movement, registration order.
+    pub rates: Vec<WindowRate>,
+}
+
+impl WindowSnapshot {
+    /// Compact single-line rendering of the non-zero rates
+    /// (`name +delta (rate/s)`), for structured-event details.
+    pub fn compact(&self) -> String {
+        let mut parts: Vec<String> = self
+            .rates
+            .iter()
+            .filter(|r| r.delta > 0)
+            .map(|r| format!("{} +{} ({:.0}/s)", r.name, r.delta, r.per_sec))
+            .collect();
+        if parts.is_empty() {
+            parts.push("idle".to_string());
+        }
+        parts.join(", ")
+    }
+}
+
+/// Turns monotonic counter totals into windowed rates by remembering
+/// the previous snapshot.
+#[derive(Debug)]
+pub struct DeltaWindow {
+    prev: Vec<(String, u64)>,
+    last_tick: Instant,
+}
+
+impl DeltaWindow {
+    /// Opens a window anchored at the registry's current totals.
+    pub fn new(counters: &Counters) -> Self {
+        DeltaWindow {
+            prev: counters.snapshot(),
+            last_tick: Instant::now(),
+        }
+    }
+
+    /// Closes the current window and opens the next: returns every
+    /// counter's movement since the previous tick (counters registered
+    /// mid-window are reported against an implicit previous value of
+    /// zero).
+    pub fn tick(&mut self, counters: &Counters) -> WindowSnapshot {
+        let now = Instant::now();
+        let window_secs = now.duration_since(self.last_tick).as_secs_f64();
+        let current = counters.snapshot();
+        let rates = current
+            .iter()
+            .map(|(name, value)| {
+                let prev = self
+                    .prev
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0, |(_, v)| *v);
+                let delta = value.saturating_sub(prev);
+                WindowRate {
+                    name: name.clone(),
+                    delta,
+                    per_sec: delta as f64 / window_secs.max(f64::EPSILON),
+                }
+            })
+            .collect();
+        self.prev = current;
+        self.last_tick = now;
+        WindowSnapshot { window_secs, rates }
+    }
+}
+
+/// Checks that `text` is a well-formed document in the subset of the
+/// Prometheus text format that [`prometheus_text`] emits, and returns
+/// the family names declared by `# TYPE` lines (in order).
+///
+/// # Errors
+///
+/// A description of the first malformed line (1-based line number
+/// included), or of a sample series that precedes any `# TYPE`
+/// declaration.
+pub fn validate_prometheus_text(text: &str) -> Result<Vec<String>, String> {
+    fn is_metric_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    let mut families: Vec<String> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if !is_metric_name(name) {
+                return Err(format!("line {lineno}: bad family name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram") {
+                return Err(format!("line {lineno}: bad family type {kind:?}"));
+            }
+            if parts.next().is_some() {
+                return Err(format!("line {lineno}: trailing tokens in TYPE line"));
+            }
+            families.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal
+        }
+        // A sample: `name[{labels}] value`.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample without a value"))?;
+        let name = series.split('{').next().unwrap_or("");
+        let base = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !is_metric_name(name) {
+            return Err(format!("line {lineno}: bad series name {name:?}"));
+        }
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: non-numeric value {value:?}"));
+        }
+        if !families.iter().any(|f| f == base || f == name) {
+            return Err(format!(
+                "line {lineno}: series {name:?} precedes its TYPE declaration"
+            ));
+        }
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn exposition_covers_counters_and_histograms() {
+        let t = Tracer::null();
+        let c = t.counters().register("fleet_accepted");
+        t.counters().add(c, 41);
+        let h = t.histograms().register("lat_fleet_verify");
+        t.histograms().record(h, 100);
+        t.histograms().record(h, 300);
+        let text = prometheus_text(t.counters(), t.histograms());
+        assert!(text.contains("# TYPE tytan_fleet_accepted counter\n"));
+        assert!(text.contains("tytan_fleet_accepted 41\n"));
+        assert!(text.contains("# TYPE tytan_lat_fleet_verify summary\n"));
+        assert!(text.contains("tytan_lat_fleet_verify{quantile=\"0.99\"}"));
+        assert!(text.contains("tytan_lat_fleet_verify_count 2\n"));
+        let families = validate_prometheus_text(&text).expect("well-formed");
+        assert_eq!(
+            families,
+            vec!["tytan_fleet_accepted", "tytan_lat_fleet_verify"]
+        );
+    }
+
+    #[test]
+    fn empty_histograms_are_skipped() {
+        let t = Tracer::null();
+        t.histograms().register("lat_never_recorded");
+        let text = prometheus_text(t.counters(), t.histograms());
+        assert!(!text.contains("lat_never_recorded"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(metric_name("a.b-c/d"), "tytan_a_b_c_d");
+        assert_eq!(metric_name("ok_name:x9"), "tytan_ok_name:x9");
+    }
+
+    #[test]
+    fn delta_window_reports_movement_not_totals() {
+        let t = Tracer::null();
+        let c = t.counters().register("reqs");
+        t.counters().add(c, 10);
+        let mut window = DeltaWindow::new(t.counters());
+        t.counters().add(c, 5);
+        let snap = window.tick(t.counters());
+        assert_eq!(snap.rates.len(), 1);
+        assert_eq!(snap.rates[0].name, "reqs");
+        assert_eq!(snap.rates[0].delta, 5);
+        assert!(snap.rates[0].per_sec > 0.0);
+        // Next window starts from the new totals.
+        let snap = window.tick(t.counters());
+        assert_eq!(snap.rates[0].delta, 0);
+        assert!(snap.compact().contains("idle"));
+    }
+
+    #[test]
+    fn counters_registered_mid_window_count_from_zero() {
+        let t = Tracer::null();
+        let mut window = DeltaWindow::new(t.counters());
+        let c = t.counters().register("late");
+        t.counters().add(c, 7);
+        let snap = window.tick(t.counters());
+        assert_eq!(snap.rates[0].delta, 7);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_prometheus_text("tytan_x 1\n").is_err()); // no TYPE
+        assert!(validate_prometheus_text("# TYPE tytan_x widget\ntytan_x 1\n").is_err());
+        assert!(validate_prometheus_text("# TYPE tytan_x counter\ntytan_x abc\n").is_err());
+        assert!(validate_prometheus_text("# TYPE 9bad counter\n").is_err());
+        assert!(
+            validate_prometheus_text("# TYPE tytan_x summary\ntytan_x_count 3\n").is_ok(),
+            "suffixed series belong to their base family"
+        );
+    }
+}

@@ -103,6 +103,10 @@ impl RingRecorder {
 }
 
 impl TraceSink for RingRecorder {
+    fn dropped(&self) -> u64 {
+        RingRecorder::dropped(self)
+    }
+
     fn record(&self, event: TraceEvent) {
         let mut ring = self.inner.lock().expect("ring lock");
         if ring.buf.len() < self.capacity {

@@ -1,0 +1,160 @@
+//! Property tests: every line of the structured event JSONL must parse
+//! back and re-encode byte-identically, whatever the emitter wrote —
+//! forensics tooling (`fleet replay-bundle`, log shippers) depends on
+//! the canonical encoding being a fixed point.
+
+use proptest::collection;
+use proptest::prelude::*;
+use tytan_trace::events::{EventLog, LogEvent, LogFields, Severity, MAX_DETAIL_LEN, MAX_NAME_LEN};
+
+/// Scope/event names drawn to cover every escaping hazard the canonical
+/// encoder handles: quotes, backslashes, the C0 shorthand escapes and
+/// `\u00XX` fallbacks, non-ASCII BMP, non-BMP scalars, and the empty
+/// string — plus names past [`MAX_NAME_LEN`] so truncation is exercised,
+/// including a multi-byte run where the byte limit falls mid-character.
+const NAME_POOL: [&str; 9] = [
+    "fleet.verifier",
+    "verdict",
+    "we\"ird\\scope",
+    "line\nbreak\ttab\rcr",
+    "\u{08}\u{0c}bell\u{07}unit\u{1f}",
+    "emoji\u{1F600}\u{1F680}",
+    "µs → done",
+    "",
+    "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxéééééééé",
+];
+
+fn arb_severity() -> impl Strategy<Value = Severity> {
+    (0u8..4).prop_map(|n| match n {
+        0 => Severity::Debug,
+        1 => Severity::Info,
+        2 => Severity::Warn,
+        _ => Severity::Error,
+    })
+}
+
+/// An arbitrary `char`, biased toward the escaping edge cases: C0
+/// controls, the mandatory escapes, and non-BMP scalars.
+fn arb_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        0u32..0x20,
+        Just('"' as u32),
+        Just('\\' as u32),
+        0x20u32..0x7f,
+        0xa0u32..0xd800,
+        0xe000u32..0x1_0000,
+        0x1_0000u32..0x11_0000,
+    ]
+    .prop_map(|c| char::from_u32(c).expect("generator avoids the surrogate gap"))
+}
+
+/// Optional ids with the boundary values over-represented.
+fn arb_opt_id() -> impl Strategy<Value = Option<u64>> {
+    (0u8..4, any::<u64>()).prop_map(|(kind, v)| match kind {
+        0 => None,
+        1 => Some(0),
+        2 => Some(u64::MAX),
+        _ => Some(v),
+    })
+}
+
+/// Detail strings: hazard-pool names, or an arbitrary string up to
+/// 1.5× the detail cap so the truncation path runs on real input.
+fn arb_detail() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0usize..NAME_POOL.len()).prop_map(|i| NAME_POOL[i].to_string()),
+        collection::vec(arb_char(), 0..(MAX_DETAIL_LEN + MAX_DETAIL_LEN / 2))
+            .prop_map(|chars| chars.into_iter().collect()),
+    ]
+}
+
+#[allow(clippy::type_complexity)]
+fn arb_emission() -> impl Strategy<Value = (Severity, usize, usize, LogFields)> {
+    (
+        (
+            arb_severity(),
+            0usize..NAME_POOL.len(),
+            0usize..NAME_POOL.len(),
+        ),
+        (arb_opt_id(), arb_opt_id(), arb_opt_id(), arb_detail()),
+    )
+        .prop_map(|((sev, scope, event), (device, session, corr, detail))| {
+            (
+                sev,
+                scope,
+                event,
+                LogFields {
+                    device,
+                    session,
+                    corr,
+                    detail,
+                },
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn jsonl_round_trips_byte_identically(
+        emissions in collection::vec(arb_emission(), 1..24),
+    ) {
+        let log = EventLog::new(16);
+        for (sev, scope, event, fields) in &emissions {
+            log.emit(*sev, NAME_POOL[*scope], NAME_POOL[*event], fields.clone());
+        }
+        prop_assert_eq!(log.emitted(), emissions.len() as u64);
+        prop_assert_eq!(
+            log.dropped(),
+            (emissions.len() as u64).saturating_sub(16)
+        );
+
+        let jsonl = log.to_jsonl();
+        let retained = log.events();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        prop_assert_eq!(lines.len(), retained.len());
+
+        for (line, original) in lines.iter().zip(&retained) {
+            // The canonical line parses back to the retained event...
+            let parsed = LogEvent::from_json(line)
+                .map_err(|e| TestCaseError::Fail(format!("{e}: {line}")))?;
+            prop_assert_eq!(&parsed, original);
+            // ...and re-encodes to the identical bytes: the encoding is
+            // a fixed point, so logs can be shipped, parsed, and
+            // re-emitted without drift.
+            let reencoded = parsed.to_json();
+            prop_assert_eq!(reencoded.as_str(), *line);
+
+            // Truncation landed on char boundaries within the caps.
+            prop_assert!(original.scope.len() <= MAX_NAME_LEN);
+            prop_assert!(original.event.len() <= MAX_NAME_LEN);
+            prop_assert!(original.fields.detail.len() <= MAX_DETAIL_LEN);
+        }
+    }
+}
+
+#[test]
+fn max_length_fields_survive_verbatim() {
+    // Exactly-at-cap ASCII fields must pass through untruncated and
+    // round-trip byte-identically.
+    let log = EventLog::new(4);
+    let name = "n".repeat(MAX_NAME_LEN);
+    let detail = "d".repeat(MAX_DETAIL_LEN);
+    log.emit(
+        Severity::Error,
+        &name,
+        &name,
+        LogFields {
+            device: Some(u64::MAX),
+            session: Some(0),
+            corr: Some(u64::MAX),
+            detail: detail.clone(),
+        },
+    );
+    let event = &log.events()[0];
+    assert_eq!(event.scope, name);
+    assert_eq!(event.fields.detail, detail);
+    let line = event.to_json();
+    let parsed = LogEvent::from_json(&line).expect("canonical line parses");
+    assert_eq!(&parsed, event);
+    assert_eq!(parsed.to_json(), line);
+}

@@ -50,8 +50,8 @@ fn cf_attested_report_travels_the_wire_and_detours_are_typed() {
     );
     let replies = verifier.ingest(device, &hello);
     assert_eq!(replies.len(), 2);
-    let nonce = match decode(&replies[1]).expect("challenge decodes").0 {
-        Message::Challenge { nonce, .. } => nonce,
+    let (corr, nonce) = match decode(&replies[1]).expect("challenge decodes").0 {
+        Message::Challenge { corr, nonce, .. } => (corr, nonce),
         other => panic!("expected challenge, got {other:?}"),
     };
 
@@ -70,6 +70,7 @@ fn cf_attested_report_travels_the_wire_and_detours_are_typed() {
     let frame = encode(
         &Message::CfaReport {
             device,
+            corr,
             report: detoured,
         },
         PROTOCOL_VERSION,
@@ -85,7 +86,14 @@ fn cf_attested_report_travels_the_wire_and_detours_are_typed() {
 
     // Then the honest frame, delivered byte by byte: reassembly plus
     // replay plus chain refold in one pass.
-    let frame = encode(&Message::CfaReport { device, report }, PROTOCOL_VERSION);
+    let frame = encode(
+        &Message::CfaReport {
+            device,
+            corr,
+            report,
+        },
+        PROTOCOL_VERSION,
+    );
     for byte in &frame {
         verifier.ingest(device, std::slice::from_ref(byte));
     }

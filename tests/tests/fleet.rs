@@ -76,14 +76,21 @@ fn real_device_attests_through_the_wire_and_replay_is_typed() {
     );
     let replies = verifier.ingest(device, &hello);
     assert_eq!(replies.len(), 2);
-    let nonce = match decode(&replies[1]).expect("challenge decodes").0 {
-        Message::Challenge { nonce, .. } => nonce,
+    let (corr, nonce) = match decode(&replies[1]).expect("challenge decodes").0 {
+        Message::Challenge { corr, nonce, .. } => (corr, nonce),
         other => panic!("expected challenge, got {other:?}"),
     };
 
     // The platform's own Remote Attest task answers the challenge.
     let report = sim.respond(&nonce).expect("platform attests");
-    let frame = encode(&Message::Report { device, report }, PROTOCOL_VERSION);
+    let frame = encode(
+        &Message::Report {
+            device,
+            corr,
+            report,
+        },
+        PROTOCOL_VERSION,
+    );
     // Byte-by-byte delivery: reassembly plus verification in one pass.
     for byte in &frame {
         verifier.ingest(device, std::slice::from_ref(byte));
