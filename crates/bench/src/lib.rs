@@ -381,9 +381,11 @@ mod tests {
             note: "n",
             rows: vec![
                 Row::measured_only("cf edges replayed @1k devices", 50_000.0, "count"),
+                Row::measured_only("cf log compression ratio @1k devices", 450.0, "x"),
                 Row::measured_only("cfa/static verify cost ratio @1k devices", 9.5, "speedup"),
                 Row::measured_only("stage hmac p50 (static)", 900.0, "ns"),
                 Row::measured_only("stage edge replay p50 (cfa)", 8_000.0, "ns"),
+                Row::measured_only("stage chain refold p50 (cfa)", 600.0, "ns"),
             ],
         };
         let json = render_json(

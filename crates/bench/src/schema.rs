@@ -253,9 +253,11 @@ mod tests {
                   "title": "verify cost attribution",
                   "rows": [
                     {"label": "cf edges replayed @1k devices", "paper": null, "measured": 50000, "unit": "count"},
+                    {"label": "cf log compression ratio @1k devices", "paper": null, "measured": 450.0, "unit": "x"},
                     {"label": "cfa/static verify cost ratio @1k devices", "paper": null, "measured": 9.5, "unit": "speedup"},
                     {"label": "stage hmac p50 (static)", "paper": null, "measured": 900, "unit": "ns"},
-                    {"label": "stage edge replay p50 (cfa)", "paper": null, "measured": 8000, "unit": "ns"}
+                    {"label": "stage edge replay p50 (cfa)", "paper": null, "measured": 8000, "unit": "ns"},
+                    {"label": "stage chain refold p50 (cfa)", "paper": null, "measured": 600, "unit": "ns"}
                   ]
                 }
               ]

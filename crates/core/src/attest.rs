@@ -8,8 +8,13 @@
 //! platform key and accessible only to the Remote Attest task (§3).
 
 use crate::rtm::MeasurementRecord;
-use tytan_crypto::{CfChain, HmacKey, HmacSchedule, Sha1, SymmetricKey, TaskId};
+use tytan_crypto::{HmacKey, HmacSchedule, RunRefolder, Sha1, SymmetricKey, TaskId};
 use tytan_lint::{AdmissibleEdgeSet, CfaViolation};
+
+/// The prover-side raw edge-log cap, re-exported for layers (the fleet
+/// wire protocol) that size buffers against report extremes but do not
+/// depend on the emulator crate directly.
+pub use sp_emu::CF_LOG_CAP;
 
 /// The key-derivation purpose label for `K_a`.
 pub const ATTEST_PURPOSE: &[u8] = b"tytan-remote-attestation-v1";
@@ -366,11 +371,16 @@ pub struct CfaReport {
     pub digest: Vec<u8>,
     /// The verifier's challenge nonce (freshness).
     pub nonce: Vec<u8>,
-    /// The task-relative taken-edge log, in execution order.
-    pub log: Vec<(u32, u32)>,
+    /// The task-relative taken-edge log in execution order, as its
+    /// canonical maximal-run decomposition `(from, to, count)` — the
+    /// form the monitor records and the chain is defined over.
+    pub log: Vec<(u32, u32, u32)>,
     /// The [`CfChain`] head over `log` as sealed by the device.
     pub chain_head: [u8; 20],
-    /// `HMAC(K_a, "CFA1" ‖ id ‖ digest ‖ nonce ‖ chain_head ‖ #edges)`.
+    /// `HMAC(K_a, "CFA1" ‖ id ‖ digest ‖ nonce ‖ chain_head ‖ #raw edges)`.
+    /// Encoding-independent: the raw edge count, not the run count, so
+    /// the same sealed report can ship raw (protocol v3) or compressed
+    /// (v4).
     pub mac: Vec<u8>,
 }
 
@@ -395,8 +405,37 @@ fn cfa_mac_input(
     input
 }
 
+fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if bytes.len() < n {
+        return None;
+    }
+    let (head, tail) = bytes.split_at(n);
+    *bytes = tail;
+    Some(head)
+}
+
+fn take_vec(bytes: &mut &[u8]) -> Option<Vec<u8>> {
+    let len = u32::from_le_bytes(take(bytes, 4)?.try_into().ok()?) as usize;
+    if len > 1 << 16 {
+        return None;
+    }
+    Some(take(bytes, len)?.to_vec())
+}
+
+fn take_u32(bytes: &mut &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(take(bytes, 4)?.try_into().ok()?))
+}
+
 impl CfaReport {
-    /// Serializes the report for transport.
+    /// Total raw edges the run-encoded log covers (sum of run counts).
+    /// This — not the run count — is what the MAC binds, keeping the
+    /// seal independent of how the log is encoded on the wire.
+    pub fn raw_edges(&self) -> u64 {
+        self.log.iter().map(|&(_, _, n)| u64::from(n)).sum()
+    }
+
+    /// Serializes the report in the compressed (protocol v4) form:
+    /// `(from, to, count)` run triples.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.id.to_bytes());
@@ -406,7 +445,30 @@ impl CfaReport {
         out.extend_from_slice(&self.nonce);
         out.extend_from_slice(&self.chain_head);
         out.extend_from_slice(&(self.log.len() as u32).to_le_bytes());
-        for (from, to) in &self.log {
+        for (from, to, count) in &self.log {
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&to.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.mac.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Serializes the report in the legacy raw (protocol ≤ v3) form:
+    /// the fully expanded `(from, to)` edge stream. Same seal — the MAC
+    /// covers the chain head and the raw edge count, both
+    /// encoding-independent.
+    pub fn to_bytes_v3(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.id.to_bytes());
+        out.extend_from_slice(&(self.digest.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.digest);
+        out.extend_from_slice(&(self.nonce.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.chain_head);
+        out.extend_from_slice(&(self.raw_edges() as u32).to_le_bytes());
+        for (from, to) in tytan_crypto::expand_runs(&self.log) {
             out.extend_from_slice(&from.to_le_bytes());
             out.extend_from_slice(&to.to_le_bytes());
         }
@@ -415,40 +477,44 @@ impl CfaReport {
         out
     }
 
-    /// Parses a report serialized with [`CfaReport::to_bytes`].
+    /// Parses a report serialized with [`CfaReport::to_bytes`]
+    /// (compressed form).
     ///
-    /// Returns `None` on truncation, oversized length prefixes, or an
-    /// edge count above the prover-side cap [`sp_emu::CF_LOG_CAP`].
+    /// Returns `None` on truncation, oversized length prefixes, a raw
+    /// edge total above the prover-side cap [`sp_emu::CF_LOG_CAP`]
+    /// (summed in u64 — hostile counts cannot wrap past the check and
+    /// are never expanded), or a non-canonical run list (a zero count,
+    /// or adjacent runs sharing an edge): the monitor only emits
+    /// maximal runs, so each sealed log has exactly one valid encoding.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
-            if bytes.len() < n {
-                return None;
-            }
-            let (head, tail) = bytes.split_at(n);
-            *bytes = tail;
-            Some(head)
-        }
-        fn take_vec(bytes: &mut &[u8]) -> Option<Vec<u8>> {
-            let len = u32::from_le_bytes(take(bytes, 4)?.try_into().ok()?) as usize;
-            if len > 1 << 16 {
-                return None;
-            }
-            Some(take(bytes, len)?.to_vec())
-        }
         let mut rest = bytes;
         let id = TaskId::from_u64(u64::from_be_bytes(take(&mut rest, 8)?.try_into().ok()?));
         let digest = take_vec(&mut rest)?;
         let nonce = take_vec(&mut rest)?;
         let chain_head: [u8; 20] = take(&mut rest, 20)?.try_into().ok()?;
-        let count = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
-        if count > sp_emu::CF_LOG_CAP {
+        let runs = take_u32(&mut rest)? as usize;
+        if runs > sp_emu::CF_LOG_CAP {
             return None;
         }
-        let mut log = Vec::with_capacity(count);
-        for _ in 0..count {
-            let from = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
-            let to = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
-            log.push((from, to));
+        let mut log = Vec::with_capacity(runs);
+        let mut total: u64 = 0;
+        for _ in 0..runs {
+            let from = take_u32(&mut rest)?;
+            let to = take_u32(&mut rest)?;
+            let count = take_u32(&mut rest)?;
+            if count == 0 {
+                return None;
+            }
+            if let Some(&(pf, pt, _)) = log.last() {
+                if (pf, pt) == (from, to) {
+                    return None;
+                }
+            }
+            total += u64::from(count);
+            if total > sp_emu::CF_LOG_CAP as u64 {
+                return None;
+            }
+            log.push((from, to, count));
         }
         let mac = take_vec(&mut rest)?;
         Some(CfaReport {
@@ -456,6 +522,38 @@ impl CfaReport {
             digest,
             nonce,
             log,
+            chain_head,
+            mac,
+        })
+    }
+
+    /// Parses a report serialized with [`CfaReport::to_bytes_v3`] (raw
+    /// form), canonically run-length-compressing the edge stream.
+    ///
+    /// Returns `None` on truncation, oversized length prefixes, or an
+    /// edge count above the prover-side cap [`sp_emu::CF_LOG_CAP`].
+    pub fn from_bytes_v3(bytes: &[u8]) -> Option<Self> {
+        let mut rest = bytes;
+        let id = TaskId::from_u64(u64::from_be_bytes(take(&mut rest, 8)?.try_into().ok()?));
+        let digest = take_vec(&mut rest)?;
+        let nonce = take_vec(&mut rest)?;
+        let chain_head: [u8; 20] = take(&mut rest, 20)?.try_into().ok()?;
+        let count = take_u32(&mut rest)? as usize;
+        if count > sp_emu::CF_LOG_CAP {
+            return None;
+        }
+        let mut raw = Vec::with_capacity(count);
+        for _ in 0..count {
+            let from = take_u32(&mut rest)?;
+            let to = take_u32(&mut rest)?;
+            raw.push((from, to));
+        }
+        let mac = take_vec(&mut rest)?;
+        Some(CfaReport {
+            id,
+            digest,
+            nonce,
+            log: tytan_crypto::compress_log(raw),
             chain_head,
             mac,
         })
@@ -469,7 +567,7 @@ impl CfaReport {
             &self.digest,
             &self.nonce,
             &self.chain_head,
-            self.log.len() as u32,
+            self.raw_edges() as u32,
         )
     }
 }
@@ -482,15 +580,16 @@ impl RemoteAttestor {
         &self,
         record: &MeasurementRecord,
         nonce: &[u8],
-        log: &[(u32, u32)],
+        log: &[(u32, u32, u32)],
         chain_head: [u8; 20],
     ) -> CfaReport {
+        let raw_edges: u64 = log.iter().map(|&(_, _, n)| u64::from(n)).sum();
         let mac = self.key.sign(&cfa_mac_input(
             record.id,
             &record.digest,
             nonce,
             &chain_head,
-            log.len() as u32,
+            raw_edges as u32,
         ));
         CfaReport {
             id: record.id,
@@ -536,23 +635,34 @@ fn staged<T>(
     }
 }
 
-/// Replays `log` against the static CFG and checks it refolds to the
-/// MAC'd `chain_head`. Shared by the stateless and session verifiers;
-/// assumes MAC/nonce/digest were already checked. When `stages` is
-/// supplied, the two phases are attributed separately.
+/// Replays the run-encoded `log` against the static CFG and checks it
+/// refolds to the MAC'd `chain_head`. Shared by the stateless and
+/// session verifiers; assumes MAC/nonce/digest were already checked.
+/// When `stages` is supplied, the two phases are attributed separately.
+///
+/// Both phases run over runs, never the expanded stream: replay checks
+/// each run's edge once (its admissibility cannot change with
+/// repetition; only the shadow stack sees counts), and the refold uses
+/// the caller's [`RunRefolder`] so the per-run SHA-1 midstate setup is
+/// paid once per verifier, not once per run.
 fn check_cf_evidence(
-    log: &[(u32, u32)],
+    log: &[(u32, u32, u32)],
     chain_head: &[u8; 20],
     edges: &AdmissibleEdgeSet,
+    refolder: &mut RunRefolder,
     mut stages: Option<&mut VerifyStageNanos>,
 ) -> Result<(), VerifyError> {
     // Admissibility first: an injected detour is reported as the typed
     // CFG violation it is, not as the chain damage it also causes.
-    staged(&mut stages, |s| &mut s.edge_replay, || edges.replay(log))?;
+    staged(
+        &mut stages,
+        |s| &mut s.edge_replay,
+        || edges.replay_runs(log),
+    )?;
     let refolds = staged(
         &mut stages,
         |s| &mut s.chain_refold,
-        || CfChain::fold_all(log.iter().copied()) == *chain_head,
+        || refolder.refold(log.iter().copied()) == *chain_head,
     );
     if !refolds {
         return Err(VerifyError::ChainMismatch);
@@ -594,7 +704,13 @@ impl RemoteVerifier {
                 reported: report.digest.clone(),
             });
         }
-        check_cf_evidence(&report.log, &report.chain_head, edges, None)
+        check_cf_evidence(
+            &report.log,
+            &report.chain_head,
+            edges,
+            &mut RunRefolder::new(),
+            None,
+        )
     }
 }
 
@@ -851,11 +967,14 @@ impl VerifierSession {
         mac_ok: bool,
         edges: &AdmissibleEdgeSet,
     ) -> Result<(), VerifyError> {
-        self.submit_cfa_with_mac_verdict_timed(report, mac_ok, edges, None)
+        self.submit_cfa_with_mac_verdict_timed(report, mac_ok, edges, None, None)
     }
 
     /// Like [`VerifierSession::submit_cfa_with_mac_verdict`], attributing
-    /// per-stage wall-clock cost into `stages` when supplied.
+    /// per-stage wall-clock cost into `stages` when supplied, and
+    /// refolding through a caller-held [`RunRefolder`] so a batch
+    /// verifier amortizes the per-run SHA-1 midstate setup across every
+    /// report in a flush. `None` builds a throwaway refolder.
     ///
     /// # Errors
     ///
@@ -865,9 +984,12 @@ impl VerifierSession {
         report: &CfaReport,
         mac_ok: bool,
         edges: &AdmissibleEdgeSet,
+        refolder: Option<&mut RunRefolder>,
         stages: Option<&mut VerifyStageNanos>,
     ) -> Result<(), VerifyError> {
-        let result = self.check_cfa(report, mac_ok, edges, stages);
+        let mut local = RunRefolder::new();
+        let refolder = refolder.unwrap_or(&mut local);
+        let result = self.check_cfa(report, mac_ok, edges, refolder, stages);
         match result {
             Ok(()) => self.accepted += 1,
             Err(_) => self.rejected += 1,
@@ -880,6 +1002,7 @@ impl VerifierSession {
         report: &CfaReport,
         mac_ok: bool,
         edges: &AdmissibleEdgeSet,
+        refolder: &mut RunRefolder,
         mut stages: Option<&mut VerifyStageNanos>,
     ) -> Result<(), VerifyError> {
         if !mac_ok {
@@ -899,7 +1022,7 @@ impl VerifierSession {
                 Ok(())
             },
         )?;
-        check_cf_evidence(&report.log, &report.chain_head, edges, stages)?;
+        check_cf_evidence(&report.log, &report.chain_head, edges, refolder, stages)?;
         self.consume_outstanding();
         Ok(())
     }
@@ -1271,6 +1394,7 @@ mod tests {
 
     mod cfa {
         use super::*;
+        use tytan_crypto::CfChain;
         use tytan_lint::SiteKind;
 
         /// A hand-built admissible edge set for a tiny synthetic image:
@@ -1303,11 +1427,13 @@ mod tests {
                 ]
                 .into_iter()
                 .collect(),
+                external_sites: Default::default(),
             }
         }
 
-        fn honest_log() -> Vec<(u32, u32)> {
-            vec![(0, 8), (8, 16), (16, 12), (12, 20), (20, 0)]
+        /// The honest run as count-1 runs (no edge repeats).
+        fn honest_log() -> Vec<(u32, u32, u32)> {
+            vec![(0, 8, 1), (8, 16, 1), (16, 12, 1), (12, 20, 1), (20, 0, 1)]
         }
 
         fn cfa_fixture() -> (RemoteAttestor, RemoteVerifier, MeasurementRecord) {
@@ -1319,7 +1445,7 @@ mod tests {
         fn honest_cfa_report_verifies() {
             let (attestor, verifier, rec) = cfa_fixture();
             let log = honest_log();
-            let head = CfChain::fold_all(log.iter().copied());
+            let head = CfChain::fold_runs(log.iter().copied());
             let report = attestor.attest_cfa(&rec, b"n", &log, head);
             assert_eq!(
                 verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
@@ -1333,8 +1459,8 @@ mod tests {
             // The return at 16 detours to 20 instead of the shadow-stack
             // return address 12 — a ROP-style pivot over real code bytes.
             let mut log = honest_log();
-            log[2] = (16, 20);
-            let head = CfChain::fold_all(log.iter().copied());
+            log[2] = (16, 20, 1);
+            let head = CfChain::fold_runs(log.iter().copied());
             let report = attestor.attest_cfa(&rec, b"n", &log, head);
             assert_eq!(
                 verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
@@ -1351,8 +1477,8 @@ mod tests {
             let (attestor, verifier, rec) = cfa_fixture();
             // The unbounded indirect at 20 lands mid-instruction.
             let mut log = honest_log();
-            log[4] = (20, 5);
-            let head = CfChain::fold_all(log.iter().copied());
+            log[4] = (20, 5, 1);
+            let head = CfChain::fold_runs(log.iter().copied());
             let report = attestor.attest_cfa(&rec, b"n", &log, head);
             assert_eq!(
                 verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
@@ -1368,11 +1494,11 @@ mod tests {
         fn admissible_substitution_is_chain_mismatch() {
             let (attestor, verifier, rec) = cfa_fixture();
             let log = honest_log();
-            let head = CfChain::fold_all(log.iter().copied());
+            let head = CfChain::fold_runs(log.iter().copied());
             let mut report = attestor.attest_cfa(&rec, b"n", &log, head);
             // Swap in a different but statically-admissible log of the
             // same length: every edge replays, only the chain disagrees.
-            report.log = vec![(0, 8), (8, 16), (16, 12), (12, 20), (20, 8)];
+            report.log = vec![(0, 8, 1), (8, 16, 1), (16, 12, 1), (12, 20, 1), (20, 8, 1)];
             assert_eq!(
                 verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
                 Err(VerifyError::ChainMismatch)
@@ -1383,7 +1509,7 @@ mod tests {
         fn truncated_log_breaks_mac() {
             let (attestor, verifier, rec) = cfa_fixture();
             let log = honest_log();
-            let head = CfChain::fold_all(log.iter().copied());
+            let head = CfChain::fold_runs(log.iter().copied());
             let mut report = attestor.attest_cfa(&rec, b"n", &log, head);
             report.log.pop(); // edge count is MAC'd
             assert_eq!(
@@ -1413,7 +1539,7 @@ mod tests {
         fn cfa_report_serialization_roundtrip_and_truncation() {
             let (attestor, _, rec) = cfa_fixture();
             let log = honest_log();
-            let head = CfChain::fold_all(log.iter().copied());
+            let head = CfChain::fold_runs(log.iter().copied());
             let report = attestor.attest_cfa(&rec, b"serialize-me", &log, head);
             let bytes = report.to_bytes();
             assert_eq!(CfaReport::from_bytes(&bytes), Some(report));
@@ -1427,7 +1553,7 @@ mod tests {
             let (attestor, mut session, rec) = fleet_session();
             let edges = demo_edges();
             let log = honest_log();
-            let head = CfChain::fold_all(log.iter().copied());
+            let head = CfChain::fold_runs(log.iter().copied());
 
             let nonce = session.challenge();
             let report = attestor.attest_cfa(&rec, &nonce, &log, head);
@@ -1440,8 +1566,8 @@ mod tests {
             // A detour against a fresh challenge does not consume it.
             let nonce = session.challenge();
             let mut bad_log = honest_log();
-            bad_log[2] = (16, 20);
-            let bad_head = CfChain::fold_all(bad_log.iter().copied());
+            bad_log[2] = (16, 20, 1);
+            let bad_head = CfChain::fold_runs(bad_log.iter().copied());
             let bad = attestor.attest_cfa(&rec, &nonce, &bad_log, bad_head);
             assert!(matches!(
                 session.submit_cfa(&bad, &edges),
@@ -1458,12 +1584,18 @@ mod tests {
             let (attestor, mut session, rec) = fleet_session();
             let edges = demo_edges();
             let log = honest_log();
-            let head = CfChain::fold_all(log.iter().copied());
+            let head = CfChain::fold_runs(log.iter().copied());
             let nonce = session.challenge();
             let report = attestor.attest_cfa(&rec, &nonce, &log, head);
             let mut stages = VerifyStageNanos::default();
             assert_eq!(
-                session.submit_cfa_with_mac_verdict_timed(&report, true, &edges, Some(&mut stages)),
+                session.submit_cfa_with_mac_verdict_timed(
+                    &report,
+                    true,
+                    &edges,
+                    None,
+                    Some(&mut stages)
+                ),
                 Ok(())
             );
             // All three stages ran; Instant is monotonic but can tick 0ns,
@@ -1474,15 +1606,147 @@ mod tests {
             // A detour stops at edge replay: the refold stage never runs.
             let nonce = session.challenge();
             let mut bad_log = honest_log();
-            bad_log[2] = (16, 20);
-            let bad_head = CfChain::fold_all(bad_log.iter().copied());
+            bad_log[2] = (16, 20, 1);
+            let bad_head = CfChain::fold_runs(bad_log.iter().copied());
             let bad = attestor.attest_cfa(&rec, &nonce, &bad_log, bad_head);
             let mut stages = VerifyStageNanos::default();
             assert!(matches!(
-                session.submit_cfa_with_mac_verdict_timed(&bad, true, &edges, Some(&mut stages)),
+                session.submit_cfa_with_mac_verdict_timed(
+                    &bad,
+                    true,
+                    &edges,
+                    None,
+                    Some(&mut stages)
+                ),
                 Err(VerifyError::InadmissibleEdge { .. })
             ));
             assert_eq!(stages.chain_refold, 0);
+        }
+
+        /// The prover-side and verifier-side sentinel constants are
+        /// defined in separate crates (the emulator cannot depend on
+        /// the lint crate or vice versa); this is the one place both
+        /// are visible, so the equality is pinned here.
+        #[test]
+        fn out_of_region_sentinel_agrees_across_prover_and_verifier() {
+            assert_eq!(sp_emu::OUT_OF_REGION, tytan_lint::OUT_OF_REGION);
+        }
+
+        #[test]
+        fn v3_and_v4_wire_forms_carry_the_same_sealed_report() {
+            let (attestor, verifier, rec) = cfa_fixture();
+            // A loop-heavy log: the jump at 12 re-fires 400 times.
+            let mut log = honest_log();
+            log[3] = (12, 20, 400);
+            let head = CfChain::fold_runs(log.iter().copied());
+            let report = attestor.attest_cfa(&rec, b"n", &log, head);
+
+            let v4 = report.to_bytes();
+            let v3 = report.to_bytes_v3();
+            // Compression is real: 5 runs vs 404 raw edges on the wire.
+            assert!(v4.len() < v3.len() / 10);
+
+            // Both decode back to the identical sealed report — same
+            // MAC, same chain head, same canonical log — and verify.
+            let from_v4 = CfaReport::from_bytes(&v4).unwrap();
+            let from_v3 = CfaReport::from_bytes_v3(&v3).unwrap();
+            assert_eq!(from_v4, report);
+            assert_eq!(from_v3, report);
+            assert_eq!(
+                verifier.verify_cfa(&from_v4, b"n", &rec.digest, &demo_edges()),
+                Ok(())
+            );
+            assert_eq!(
+                verifier.verify_cfa(&from_v3, b"n", &rec.digest, &demo_edges()),
+                Ok(())
+            );
+        }
+
+        #[test]
+        fn v4_decode_rejects_non_canonical_and_oversized_runs() {
+            let (attestor, _, rec) = cfa_fixture();
+            let reencode = |log: Vec<(u32, u32, u32)>| {
+                let head = CfChain::fold_runs(log.iter().copied());
+                let mut report = attestor.attest_cfa(&rec, b"n", &honest_log(), head);
+                report.log = log;
+                CfaReport::from_bytes(&report.to_bytes())
+            };
+            // A zero-count run encodes nothing and is not canonical.
+            assert_eq!(reencode(vec![(0, 8, 0)]), None);
+            // Adjacent runs of the same edge must have been coalesced.
+            assert_eq!(reencode(vec![(0, 8, 1), (0, 8, 1)]), None);
+            // One run over the raw cap.
+            assert_eq!(reencode(vec![(0, 8, sp_emu::CF_LOG_CAP as u32 + 1)]), None);
+            // Two huge counts whose u64 sum exceeds the cap (and would
+            // wrap a u32 summation).
+            assert_eq!(reencode(vec![(0, 8, u32::MAX), (8, 16, u32::MAX)]), None);
+        }
+
+        #[test]
+        fn split_run_forgery_is_caught_by_the_chain() {
+            // Splitting a run preserves the raw edge stream and the raw
+            // edge count, so the MAC still verifies — but the chain is
+            // defined over the *canonical* decomposition, so the heads
+            // disagree. (The wire codec independently rejects the split
+            // encoding as non-canonical; this pins the cryptographic
+            // backstop underneath it.)
+            let (attestor, verifier, rec) = cfa_fixture();
+            let mut log = honest_log();
+            log[3] = (12, 20, 400);
+            let head = CfChain::fold_runs(log.iter().copied());
+            let mut report = attestor.attest_cfa(&rec, b"n", &log, head);
+            report.log[3] = (12, 20, 399);
+            report.log.insert(3, (12, 20, 1));
+            assert_eq!(report.raw_edges(), 404);
+            assert_eq!(
+                verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
+                Err(VerifyError::ChainMismatch)
+            );
+        }
+
+        #[test]
+        fn violation_indices_are_raw_stream_positions() {
+            // A detour *after* a long run is attributed at its raw
+            // expanded index, not its run index, so forensics line up
+            // with what the device actually executed.
+            let (attestor, verifier, rec) = cfa_fixture();
+            let mut log = honest_log();
+            log[3] = (12, 20, 400);
+            log[4] = (20, 5, 1); // unproven indirect lands mid-instruction
+            let head = CfChain::fold_runs(log.iter().copied());
+            let report = attestor.attest_cfa(&rec, b"n", &log, head);
+            assert_eq!(
+                verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
+                Err(VerifyError::UnprovenSiteViolation {
+                    index: 403,
+                    from: 20,
+                    to: 5
+                })
+            );
+        }
+
+        #[test]
+        fn undeclared_region_exit_is_typed_inadmissible() {
+            // The monitor's sentinel edges survive sealing and reach the
+            // verifier: a detour out of the monitored region at a site
+            // with no declared external call is rejected, typed, at the
+            // exit edge.
+            let (attestor, verifier, rec) = cfa_fixture();
+            let out = sp_emu::OUT_OF_REGION;
+            let mut log = honest_log();
+            log.truncate(2);
+            log.push((16, out, 1)); // return detours out of the region
+            log.push((out, 12, 1)); // ...and comes back
+            let head = CfChain::fold_runs(log.iter().copied());
+            let report = attestor.attest_cfa(&rec, b"n", &log, head);
+            assert_eq!(
+                verifier.verify_cfa(&report, b"n", &rec.digest, &demo_edges()),
+                Err(VerifyError::InadmissibleEdge {
+                    index: 2,
+                    from: 16,
+                    to: out
+                })
+            );
         }
     }
 
@@ -1548,6 +1812,61 @@ mod tests {
                 bytes.extend_from_slice(&len.to_le_bytes());
                 bytes.extend_from_slice(&[0u8; 64]);
                 prop_assert_eq!(AttestationReport::from_bytes(&bytes), None);
+            }
+        }
+    }
+
+    mod cfa_codec_properties {
+        use super::*;
+        use proptest::prelude::*;
+        use tytan_crypto::{compress_log, expand_runs, CfChain};
+
+        proptest! {
+            // Arbitrary raw logs: canonical compression round-trips, and
+            // the run-fold equals the raw fold — the equivalence that
+            // lets one sealed report ship at either protocol version.
+            #[test]
+            fn compressed_and_raw_logs_seal_identically(
+                raw in proptest::collection::vec((0u32..64, 0u32..64), 0..200)
+            ) {
+                let runs = compress_log(raw.iter().copied());
+                let expanded: Vec<(u32, u32)> = expand_runs(&runs).collect();
+                prop_assert_eq!(&expanded, &raw);
+                prop_assert_eq!(
+                    CfChain::fold_runs(runs.iter().copied()),
+                    CfChain::fold_all(raw)
+                );
+            }
+
+            // v4 garbage never panics; anything that parses re-encodes
+            // to itself (canonical-form validation makes the decode a
+            // bijection on its image).
+            #[test]
+            fn cfa_garbage_parses_to_none_or_roundtrips(
+                bytes in proptest::collection::vec(any::<u8>(), 0..512)
+            ) {
+                if let Some(report) = CfaReport::from_bytes(&bytes) {
+                    prop_assert_eq!(CfaReport::from_bytes(&report.to_bytes()), Some(report));
+                }
+            }
+
+            // Same for the legacy raw decoder — and whatever it accepts
+            // is canonical after recompression, so it round-trips
+            // through *both* wire forms.
+            #[test]
+            fn cfa_v3_garbage_parses_to_none_or_roundtrips(
+                bytes in proptest::collection::vec(any::<u8>(), 0..512)
+            ) {
+                if let Some(report) = CfaReport::from_bytes_v3(&bytes) {
+                    prop_assert_eq!(
+                        CfaReport::from_bytes(&report.to_bytes()),
+                        Some(report.clone())
+                    );
+                    prop_assert_eq!(
+                        CfaReport::from_bytes_v3(&report.to_bytes_v3()),
+                        Some(report)
+                    );
+                }
             }
         }
     }

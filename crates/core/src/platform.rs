@@ -1024,15 +1024,17 @@ impl<D: Digest> Platform<D> {
         }
         self.trace_core(TRACE_TID_ATTEST, EventKind::Enter("remote_attest_cfa"));
         let begin = self.machine.cycles();
-        let edges = monitor.log().len() as u64;
+        let runs = monitor.runs().len() as u64;
         let report = self
             .attestor
-            .attest_cfa(record, nonce, monitor.log(), monitor.chain_head());
-        // Cost model: the chain fold is one SHA-1 compression per edge
-        // (charged here, where the trusted attest task seals the run),
-        // plus the same two HMAC passes as a plain report.
+            .attest_cfa(record, nonce, monitor.runs(), monitor.chain_head());
+        // Cost model: the chain fold is one SHA-1 compression per
+        // *run* — the log is run-length encoded at record time, so
+        // sealing cost scales with runs, not raw edges — (charged here,
+        // where the trusted attest task seals the run), plus the same
+        // two HMAC passes as a plain report.
         let per_block = self.machine.firmware_costs().measure_per_block;
-        self.machine.tick((4 + edges) * per_block);
+        self.machine.tick((4 + runs) * per_block);
         self.record_lat(|l| l.attest, self.machine.cycles().saturating_sub(begin));
         self.trace_core(TRACE_TID_ATTEST, EventKind::Exit("remote_attest_cfa"));
         Ok(report)

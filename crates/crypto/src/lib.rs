@@ -48,7 +48,7 @@ mod sha1;
 mod sha256;
 mod taskid;
 
-pub use chain::CfChain;
+pub use chain::{compress_log, expand_runs, CfChain, RunRefolder};
 pub use cipher::{SealedBlob, SealingCipher, UnsealError};
 pub use ct::ct_eq;
 pub use hmac::{batch_verify, hmac, hmac_sha1, BatchOutcome, HmacKey, HmacSchedule};

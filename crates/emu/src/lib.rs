@@ -50,7 +50,7 @@ pub mod devices;
 mod engine;
 mod machine;
 
-pub use cfa::{CfMonitor, CF_LOG_CAP};
+pub use cfa::{CfMonitor, CF_LOG_CAP, OUT_OF_REGION};
 pub use cycles::{CycleModel, FirmwareCosts};
 pub use device::Device;
 pub use engine::{core_for, CpuCore, FastCore, LegacyCore, TranslatedCore};

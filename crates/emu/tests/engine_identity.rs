@@ -524,7 +524,7 @@ fn cf_monitor_chains_are_engine_invariant() {
     }
     let reference = machines[0].cf_monitor().expect("monitor armed");
     assert!(
-        !reference.log().is_empty(),
+        !reference.runs().is_empty(),
         "the call/return loop must record edges"
     );
     assert!(!reference.truncated());
@@ -532,9 +532,15 @@ fn cf_monitor_chains_are_engine_invariant() {
         let monitor = m.cf_monitor().expect("monitor armed");
         let engine = m.engine();
         assert_eq!(
-            monitor.log(),
-            reference.log(),
-            "{engine:?}: edge log diverged"
+            monitor.runs(),
+            reference.runs(),
+            "{engine:?}: run-encoded edge log diverged"
+        );
+        // The exact raw edge streams must agree too — the expansion
+        // iterator is the oracle-facing view of the compressed log.
+        assert!(
+            monitor.expanded().eq(reference.expanded()),
+            "{engine:?}: expanded edge stream diverged"
         );
         assert_eq!(
             monitor.chain_head(),

@@ -7,6 +7,18 @@
 //! forgery rejected as its own class, zero decode errors — which is
 //! exactly what the `fleet-smoke` CI job asserts.
 //!
+//! Every failure is typed and carries its own exit code, so CI and
+//! scripts can branch on *why* a run failed without scraping stderr:
+//!
+//! | exit | meaning                                                |
+//! |------|--------------------------------------------------------|
+//! | 0    | success                                                |
+//! | 1    | verification failed (run not clean, bundle mismatch,   |
+//! |      | metrics family missing)                                |
+//! | 2    | usage error (bad flag or missing argument)             |
+//! | 3    | reference platform failed to boot                      |
+//! | 4    | I/O error reading or writing an artifact               |
+//!
 //! In `--cfa` mode every device arms the control-flow monitor, runs a
 //! monitored slice, and answers with `CfaReport` frames; the verifier
 //! replays each edge log against the fleet task's static CFG, and
@@ -28,8 +40,8 @@
 //! fleet [--devices N] [--rounds N] [--seed N] [--workers N]
 //!       [--chunk N] [--replay-every N] [--corrupt-every N]
 //!       [--cfa] [--detour-every N] [--monitored-cycles N]
-//!       [--metrics-out FILE] [--events-out FILE] [--bundle-dir DIR]
-//!       [--json]
+//!       [--max-version N] [--metrics-out FILE] [--events-out FILE]
+//!       [--bundle-dir DIR] [--json]
 //! fleet replay-bundle FILE...
 //! fleet check-metrics FILE --schema SCHEMA
 //! ```
@@ -41,20 +53,61 @@ use tytan_fleet::{run_fleet, FleetConfig, FleetOutcome};
 use tytan_trace::json::Value;
 use tytan_trace::metrics::validate_prometheus_text;
 
+/// Every way a fleet invocation can fail, each with its own exit code
+/// (see the module docs). Replaces the old single catch-all
+/// `ExitCode::FAILURE` so callers never have to parse stderr.
+#[derive(Debug)]
+enum FleetError {
+    /// Verification did not hold: a run booked unexplained rejections,
+    /// a bundle replay mismatched, or a required metrics family was
+    /// missing.
+    NotClean(String),
+    /// The command line was malformed.
+    Usage(String),
+    /// The reference platform boot that provisions the fleet failed.
+    Boot(String),
+    /// An artifact file could not be read.
+    Io(String),
+}
+
+impl FleetError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            FleetError::NotClean(_) => 1,
+            FleetError::Usage(_) => 2,
+            FleetError::Boot(_) => 3,
+            FleetError::Io(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NotClean(what) => write!(f, "{what}"),
+            FleetError::Usage(what) => write!(f, "usage: {what}"),
+            FleetError::Boot(what) => write!(f, "reference boot failed: {what}"),
+            FleetError::Io(what) => write!(f, "{what}"),
+        }
+    }
+}
+
 /// `fleet replay-bundle FILE...`: re-verifies each forensic bundle
 /// offline; success means every bundle reproduces its recorded verdict.
-fn cmd_replay_bundle(paths: Vec<String>) -> ExitCode {
+/// Unreadable files are I/O failures; mismatches and rejected bundles
+/// are verification failures (I/O wins when both occur).
+fn cmd_replay_bundle(paths: Vec<String>) -> Result<(), FleetError> {
     if paths.is_empty() {
-        eprintln!("fleet replay-bundle: no bundle files given");
-        return ExitCode::FAILURE;
+        return Err(FleetError::Usage("fleet replay-bundle FILE...".to_string()));
     }
-    let mut failures = 0u64;
+    let mut io_failures = 0u64;
+    let mut mismatches = 0u64;
     for path in &paths {
         let input = match std::fs::read_to_string(path) {
             Ok(input) => input,
             Err(e) => {
                 eprintln!("fleet replay-bundle: {path}: {e}");
-                failures += 1;
+                io_failures += 1;
                 continue;
             }
         };
@@ -70,25 +123,29 @@ fn cmd_replay_bundle(paths: Vec<String>) -> ExitCode {
                     "{path}: MISMATCH — recorded code {} but replay produced {}",
                     outcome.recorded_code, outcome.replayed_code
                 );
-                failures += 1;
+                mismatches += 1;
             }
             Err(e) => {
                 eprintln!("{path}: bundle rejected: {e}");
-                failures += 1;
+                mismatches += 1;
             }
         }
     }
+    let failures = io_failures + mismatches;
     if failures == 0 {
-        ExitCode::SUCCESS
+        return Ok(());
+    }
+    let what = format!("replay-bundle: {failures} of {} failed", paths.len());
+    if io_failures > 0 {
+        Err(FleetError::Io(what))
     } else {
-        eprintln!("fleet replay-bundle: {failures} of {} failed", paths.len());
-        ExitCode::FAILURE
+        Err(FleetError::NotClean(what))
     }
 }
 
 /// `fleet check-metrics FILE --schema SCHEMA`: validates a Prometheus
 /// exposition file and checks every family the schema requires exists.
-fn cmd_check_metrics(rest: Vec<String>) -> ExitCode {
+fn cmd_check_metrics(rest: Vec<String>) -> Result<(), FleetError> {
     let mut file = None;
     let mut schema = None;
     let mut iter = rest.into_iter();
@@ -97,44 +154,26 @@ fn cmd_check_metrics(rest: Vec<String>) -> ExitCode {
             "--schema" => schema = iter.next(),
             other => {
                 if file.replace(other.to_string()).is_some() {
-                    eprintln!("fleet check-metrics: more than one metrics file given");
-                    return ExitCode::FAILURE;
+                    return Err(FleetError::Usage(
+                        "check-metrics: more than one metrics file given".to_string(),
+                    ));
                 }
             }
         }
     }
     let (Some(file), Some(schema)) = (file, schema) else {
-        eprintln!("usage: fleet check-metrics FILE --schema SCHEMA");
-        return ExitCode::FAILURE;
+        return Err(FleetError::Usage(
+            "fleet check-metrics FILE --schema SCHEMA".to_string(),
+        ));
     };
-    let text = match std::fs::read_to_string(&file) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("fleet check-metrics: {file}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let families = match validate_prometheus_text(&text) {
-        Ok(families) => families,
-        Err(e) => {
-            eprintln!("fleet check-metrics: {file}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let schema_text = match std::fs::read_to_string(&schema) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("fleet check-metrics: {schema}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let required = match required_families(&schema_text) {
-        Ok(required) => required,
-        Err(e) => {
-            eprintln!("fleet check-metrics: {schema}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let text = std::fs::read_to_string(&file)
+        .map_err(|e| FleetError::Io(format!("check-metrics: {file}: {e}")))?;
+    let families = validate_prometheus_text(&text)
+        .map_err(|e| FleetError::NotClean(format!("check-metrics: {file}: {e}")))?;
+    let schema_text = std::fs::read_to_string(&schema)
+        .map_err(|e| FleetError::Io(format!("check-metrics: {schema}: {e}")))?;
+    let required = required_families(&schema_text)
+        .map_err(|e| FleetError::NotClean(format!("check-metrics: {schema}: {e}")))?;
     let mut missing = 0u64;
     for family in &required {
         if !families.iter().any(|f| f == family) {
@@ -148,9 +187,11 @@ fn cmd_check_metrics(rest: Vec<String>) -> ExitCode {
             families.len(),
             required.len()
         );
-        ExitCode::SUCCESS
+        Ok(())
     } else {
-        ExitCode::FAILURE
+        Err(FleetError::NotClean(format!(
+            "check-metrics: {missing} required families missing"
+        )))
     }
 }
 
@@ -183,6 +224,8 @@ fn print_json(outcome: &FleetOutcome) {
     println!("  \"unknown_device\": {},", outcome.unknown_device);
     println!("  \"decode_errors\": {},", outcome.decode_errors);
     println!("  \"cfa_reports\": {},", outcome.cfa_reports);
+    println!("  \"cfa_edges\": {},", outcome.cfa_edges);
+    println!("  \"cfa_runs\": {},", outcome.cfa_runs);
     println!(
         "  \"rejected_inadmissible\": {},",
         outcome.rejected_inadmissible
@@ -236,6 +279,12 @@ fn print_human(outcome: &FleetOutcome) {
             outcome.rejected_chain,
             outcome.rejected_unproven,
         );
+        println!(
+            "  cfa logs: {} raw edges in {} runs ({:.1}x compression)",
+            outcome.cfa_edges,
+            outcome.cfa_runs,
+            outcome.cfa_edges as f64 / (outcome.cfa_runs as f64).max(1.0),
+        );
     }
     println!(
         "  verify latency p50 {} ns, p99 {} ns  ({} batches, batch p99 {} ns)",
@@ -252,45 +301,41 @@ fn print_human(outcome: &FleetOutcome) {
 }
 
 fn main() -> ExitCode {
+    match dispatch() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn dispatch() -> Result<(), FleetError> {
     let mut args = std::env::args().skip(1);
-    let run_config = match args.next() {
+    let argv = match args.next() {
         Some(first) if first == "replay-bundle" => {
             return cmd_replay_bundle(args.collect());
         }
         Some(first) if first == "check-metrics" => {
             return cmd_check_metrics(args.collect());
         }
-        Some(first) => {
-            // Not a subcommand: re-parse from scratch including `first`.
-            let rebuilt: Vec<String> = std::iter::once(first).chain(args).collect();
-            parse_args_from(rebuilt)
-        }
-        None => parse_args_from(Vec::new()),
+        // Not a subcommand: re-parse from scratch including `first`.
+        Some(first) => std::iter::once(first).chain(args).collect(),
+        None => Vec::new(),
     };
-    let (config, json) = match run_config {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            eprintln!("fleet: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let outcome = match run_fleet(&config) {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("fleet: reference boot failed: {e:?}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (config, json) = parse_args_from(argv).map_err(FleetError::Usage)?;
+    let outcome = run_fleet(&config).map_err(|e| FleetError::Boot(format!("{e:?}")))?;
     if json {
         print_json(&outcome);
     } else {
         print_human(&outcome);
     }
     if outcome.clean() {
-        ExitCode::SUCCESS
+        Ok(())
     } else {
-        eprintln!("fleet: NOT CLEAN — unexplained acceptances or rejections (see counts above)");
-        ExitCode::FAILURE
+        Err(FleetError::NotClean(
+            "NOT CLEAN — unexplained acceptances or rejections (see counts above)".to_string(),
+        ))
     }
 }
 
@@ -331,6 +376,11 @@ fn parse_args_from(argv: Vec<String>) -> Result<(FleetConfig, bool), String> {
             "--monitored-cycles" => {
                 config.monitored_cycles = value(&mut args, "--monitored-cycles")?
             }
+            "--max-version" => {
+                let v = value(&mut args, "--max-version")?;
+                config.max_version =
+                    u8::try_from(v).map_err(|_| format!("--max-version: {v} out of range"))?;
+            }
             "--metrics-out" => config.metrics_out = Some(path(&mut args, "--metrics-out")?),
             "--events-out" => config.events_out = Some(path(&mut args, "--events-out")?),
             "--bundle-dir" => config.bundle_dir = Some(path(&mut args, "--bundle-dir")?),
@@ -339,7 +389,7 @@ fn parse_args_from(argv: Vec<String>) -> Result<(FleetConfig, bool), String> {
                 println!(
                     "usage: fleet [--devices N] [--rounds N] [--seed N] [--workers N] \
                      [--chunk N] [--replay-every N] [--corrupt-every N] \
-                     [--cfa] [--detour-every N] [--monitored-cycles N] \
+                     [--cfa] [--detour-every N] [--monitored-cycles N] [--max-version N] \
                      [--metrics-out FILE] [--events-out FILE] [--bundle-dir DIR] [--json]\n\
                      \x20      fleet replay-bundle FILE...\n\
                      \x20      fleet check-metrics FILE --schema SCHEMA"

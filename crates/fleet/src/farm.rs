@@ -71,7 +71,7 @@ pub fn reference_digest() -> Result<(TaskId, Vec<u8>), PlatformError> {
     let digest = sim
         .platform
         .local_attest(sim.task)
-        .expect("loaded task is measured");
+        .ok_or(PlatformError::NoSuchTask)?;
     Ok((sim.task, digest))
 }
 

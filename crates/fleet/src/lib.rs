@@ -90,6 +90,11 @@ pub struct FleetConfig {
     pub detour_every: Option<u64>,
     /// (CFA mode) guest cycles of monitored execution before attesting.
     pub monitored_cycles: u64,
+    /// Highest protocol version devices advertise in their Hello,
+    /// clamped to [`proto::PROTOCOL_VERSION`]. Lowering it to 3 forces
+    /// the raw expanded CFA wire form (protocol v4 ships edge logs
+    /// run-length compressed) — the compatibility leg CI keeps green.
+    pub max_version: u8,
     /// Where to write the Prometheus metrics exposition after the run
     /// (`None` = don't write).
     pub metrics_out: Option<PathBuf>,
@@ -114,6 +119,7 @@ impl Default for FleetConfig {
             cfa: false,
             detour_every: None,
             monitored_cycles: 50_000,
+            max_version: PROTOCOL_VERSION,
             metrics_out: None,
             events_out: None,
             bundle_dir: None,
@@ -128,6 +134,12 @@ impl FleetConfig {
         h.update(b"tytan-fleet-master-v1");
         h.update(&self.seed.to_be_bytes());
         h.finalize().try_into().expect("SHA-1 is 20 bytes")
+    }
+
+    /// The protocol version devices open their sessions at.
+    fn device_version(&self) -> u8 {
+        self.max_version
+            .clamp(proto::MIN_PROTOCOL_VERSION, PROTOCOL_VERSION)
     }
 
     fn worker_count(&self) -> usize {
@@ -193,6 +205,10 @@ pub struct FleetOutcome {
     pub decode_errors: u64,
     /// Control-flow-attested reports received (subset of `reports`).
     pub cfa_reports: u64,
+    /// Raw (expanded) control-flow edges the received logs cover.
+    pub cfa_edges: u64,
+    /// Run-length-encoded runs those logs actually shipped and refolded.
+    pub cfa_runs: u64,
     /// Edge logs rejected because an edge left the static CFG.
     pub rejected_inadmissible: u64,
     /// Edge logs rejected at an unproven site (conservative mode).
@@ -302,12 +318,13 @@ fn device_conversation(
         })
         .map_err(|_| "verifier gone".to_string())?;
 
+    let device_version = config.device_version();
     let hello = encode(
         &Message::Hello {
             device,
-            max_version: PROTOCOL_VERSION,
+            max_version: device_version,
         },
-        PROTOCOL_VERSION,
+        device_version,
     );
     send_chunked(&inbound, device, &hello, config.chunk);
 
@@ -510,6 +527,8 @@ pub fn run_fleet_with_tracer(
         unknown_device: get("fleet_unknown_device"),
         decode_errors: get("fleet_decode_errors"),
         cfa_reports: get("fleet_cfa_reports"),
+        cfa_edges: get("fleet_cfa_edges"),
+        cfa_runs: get("fleet_cfa_runs"),
         rejected_inadmissible: get("fleet_rejected_inadmissible"),
         rejected_unproven: get("fleet_rejected_unproven"),
         rejected_chain: get("fleet_rejected_chain"),
@@ -727,6 +746,46 @@ mod tests {
         .expect("fleet runs");
         assert_eq!(outcome.accepted, 12);
         assert_eq!(outcome.cfa_reports, 12);
+        assert!(outcome.clean(), "outcome: {outcome:?}");
+    }
+
+    #[test]
+    fn cfa_logs_arrive_run_compressed() {
+        let outcome = run_fleet(&FleetConfig {
+            devices: 4,
+            cfa: true,
+            ..FleetConfig::default()
+        })
+        .expect("fleet runs");
+        assert!(outcome.clean(), "outcome: {outcome:?}");
+        // The fleet task is a tight counter loop: its dominant back-edge
+        // collapses into long runs, so runs must be far fewer than raw
+        // edges.
+        assert!(outcome.cfa_edges > 0);
+        assert!(
+            outcome.cfa_runs * 10 <= outcome.cfa_edges,
+            "poor compression: {} runs for {} edges",
+            outcome.cfa_runs,
+            outcome.cfa_edges
+        );
+    }
+
+    #[test]
+    fn raw_v3_sessions_still_verify_with_detours() {
+        // Devices capped at protocol 3 ship expanded logs; the verifier
+        // recompresses on decode and everything still books clean —
+        // including the typed rejection of the injected detours.
+        let outcome = run_fleet(&FleetConfig {
+            devices: 6,
+            cfa: true,
+            detour_every: Some(3),
+            max_version: 3,
+            ..FleetConfig::default()
+        })
+        .expect("fleet runs");
+        assert_eq!(outcome.accepted, 6);
+        assert_eq!(outcome.injected_detours, 2);
+        assert_eq!(outcome.rejected_inadmissible, 2);
         assert!(outcome.clean(), "outcome: {outcome:?}");
     }
 

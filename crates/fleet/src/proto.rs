@@ -39,7 +39,7 @@
 //! assert_eq!(decoder.next_message().unwrap(), None);
 //! ```
 
-use tytan::attest::{AttestationReport, CfaReport, DeviceId};
+use tytan::attest::{AttestationReport, CfaReport, DeviceId, CF_LOG_CAP};
 
 /// The newest protocol version this implementation speaks.
 ///
@@ -49,7 +49,9 @@ use tytan::attest::{AttestationReport, CfaReport, DeviceId};
 /// reports and verdicts carry a verifier-minted `corr` so one id follows
 /// an attestation across the wire, the verifier's logs and any forensic
 /// bundle it produces.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// Version 4 ships [`Message::CfaReport`] edge logs run-length
+/// compressed (see [`CFA_RLE_VERSION`]).
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// The oldest protocol version this implementation still accepts.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
@@ -61,12 +63,39 @@ pub const MIN_PROTOCOL_VERSION: u8 = 1;
 /// just lose end-to-end correlation.
 pub const CORR_VERSION: u8 = 3;
 
+/// First protocol version whose [`Message::CfaReport`] payload carries
+/// the edge log as canonical `(from, to, count)` run triples instead of
+/// the fully expanded `(from, to)` stream. The report's seal (MAC over
+/// chain head + raw edge count) is encoding-independent, so the *same*
+/// sealed report ships at either version; a downgraded session pays
+/// bandwidth, never a re-attestation. Both forms decode to the identical
+/// in-memory report — the raw form is canonically recompressed on
+/// decode.
+pub const CFA_RLE_VERSION: u8 = 4;
+
 /// Upper bound on `len` (version + type + payload). Frames beyond this
 /// are rejected before any payload is buffered. Sized for the largest
-/// legal version-2 frame: a [`Message::CfaReport`] whose edge log is at
-/// the prover-side cap (`sp_emu::CF_LOG_CAP` edges × 8 bytes ≈ 512 KiB)
-/// plus headers.
+/// legal [`Message::CfaReport`] frame, whichever wire form is bigger:
+/// at version 4 an edge log at the prover-side cap
+/// ([`tytan::attest::CF_LOG_CAP`], re-exported from the emulator crate)
+/// degenerates to 65 536 count-1 runs × 12 bytes = 768 KiB of run
+/// table; at versions 2–3 the same log ships expanded as 65 536 edges
+/// × 8 bytes = 512 KiB. Either way, plus three 64 KiB length-framed
+/// fields (digest, nonce, MAC) and headers, the worst case stays under
+/// 1 MiB — checked at compile time below, so a cap change cannot
+/// silently make legal reports unframeable.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+const _: () = {
+    // Worst-case CfaReport payload: id + three length-framed 64 KiB
+    // fields + chain head + run/edge count + the log itself.
+    let fields = 8 + (4 + (1 << 16)) * 3 + 20 + 4;
+    let log_v4 = 12 * CF_LOG_CAP; // count-1 runs, 12 bytes each
+    let log_v3 = 8 * CF_LOG_CAP; // expanded edges, 8 bytes each
+    let log = if log_v4 > log_v3 { log_v4 } else { log_v3 };
+    // Frame: version + type + device + correlation id + inner length.
+    assert!(2 + 8 + 8 + 4 + fields + log <= MAX_FRAME_LEN);
+};
 
 /// Upper bound on a challenge nonce carried in a frame.
 pub const MAX_NONCE_LEN: usize = 64;
@@ -344,7 +373,14 @@ impl Message {
             } => {
                 out.extend_from_slice(&device.to_bytes());
                 push_corr(&mut out, corr);
-                let bytes = report.to_bytes();
+                // The log rides compressed from CFA_RLE_VERSION on;
+                // older sessions get the expanded raw stream. Same
+                // sealed report either way.
+                let bytes = if version >= CFA_RLE_VERSION {
+                    report.to_bytes()
+                } else {
+                    report.to_bytes_v3()
+                };
                 out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
                 out.extend_from_slice(&bytes);
             }
@@ -500,9 +536,21 @@ fn decode_payload(type_byte: u8, payload: &[u8], version: u8) -> Result<Message,
             let corr = corr_field(&mut r, version)?;
             let len = r.u32_le()? as usize;
             let bytes = r.take(len)?;
-            let report = CfaReport::from_bytes(bytes)
-                .ok_or(CodecError::MalformedPayload("cfa report does not parse"))?;
-            if report.to_bytes().len() != len {
+            // Version selects the wire form of the edge log: compressed
+            // run triples from CFA_RLE_VERSION, expanded pairs before.
+            // Both decode to the same canonical in-memory report.
+            let (report, reencoded_len) = if version >= CFA_RLE_VERSION {
+                let report = CfaReport::from_bytes(bytes)
+                    .ok_or(CodecError::MalformedPayload("cfa report does not parse"))?;
+                let len = report.to_bytes().len();
+                (report, len)
+            } else {
+                let report = CfaReport::from_bytes_v3(bytes)
+                    .ok_or(CodecError::MalformedPayload("cfa report does not parse"))?;
+                let len = report.to_bytes_v3().len();
+                (report, len)
+            };
+            if reencoded_len != len {
                 return Err(CodecError::MalformedPayload("cfa report not canonical"));
             }
             Message::CfaReport {
@@ -716,7 +764,7 @@ mod tests {
             id: TaskId::from_u64(0xBEEF),
             digest: vec![6u8; 20],
             nonce: vec![5, 6, 7, 8],
-            log: vec![(0, 8), (8, 16), (16, 12)],
+            log: vec![(0, 8, 1), (8, 16, 300), (16, 12, 1)],
             chain_head: [0xC4; 20],
             mac: vec![8u8; 20],
         }
@@ -868,6 +916,53 @@ mod tests {
         // The same old window still decodes v1 traffic unchanged.
         let v1 = encode(&Message::Welcome { version: 1 }, 1);
         assert!(decode_with_window(&v1, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn cfa_frames_ship_compressed_at_v4_and_raw_at_v3() {
+        let msg = Message::CfaReport {
+            device: DeviceId::from_u64(11),
+            corr: 7,
+            report: sample_cfa_report(),
+        };
+        let v4 = encode(&msg, PROTOCOL_VERSION);
+        let v3 = encode(&msg, 3);
+        // 3 runs × 12 bytes vs 302 raw edges × 8 bytes.
+        assert!(v4.len() < v3.len() / 10, "{} vs {}", v4.len(), v3.len());
+        // Both wire forms decode to the identical in-memory message —
+        // same sealed report, same canonical run log.
+        let (from_v4, _) = decode(&v4).expect("v4 decodes");
+        let (from_v3, _) = decode(&v3).expect("v3 decodes");
+        assert_eq!(from_v4, msg);
+        assert_eq!(from_v3, msg);
+    }
+
+    #[test]
+    fn non_canonical_v4_run_log_is_rejected() {
+        // Hand-build a v4 CFA frame whose inner report splits a run
+        // into two adjacent runs of the same edge: the raw stream and
+        // the MAC'd edge count are unchanged, but the encoding is not
+        // canonical and must not decode.
+        let device = DeviceId::from_u64(11);
+        let report = sample_cfa_report();
+        let mut split = report.clone();
+        split.log = vec![(0, 8, 1), (8, 16, 299), (8, 16, 1), (16, 12, 1)];
+        assert_eq!(split.raw_edges(), report.raw_edges());
+        let mut frame = Vec::new();
+        let inner = split.to_bytes();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&device.to_bytes());
+        payload.extend_from_slice(&7u64.to_be_bytes());
+        payload.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&inner);
+        frame.extend_from_slice(&((2 + payload.len()) as u32).to_le_bytes());
+        frame.push(PROTOCOL_VERSION);
+        frame.push(FIRST_V2_TYPE); // TYPE_CFA_REPORT
+        frame.extend_from_slice(&payload);
+        assert!(matches!(
+            decode(&frame),
+            Err(CodecError::MalformedPayload(_))
+        ));
     }
 
     #[test]

@@ -44,11 +44,15 @@ pub const FRAME_SNIPPET_LEN: usize = 160;
 /// Verdicts retained per device tape.
 pub const DECISION_TAIL_CAP: usize = 16;
 
-/// Control-flow edges of a rejected report's log retained in a bundle.
+/// Control-flow log *runs* of a rejected report retained in a bundle.
+/// A run covers up to `u32::MAX` raw edges, so the tail's raw coverage
+/// is far deeper than the pre-compression 32-edge tail at the same cost.
 pub const EDGE_TAIL_CAP: usize = 32;
 
-/// Bundle format version written into every bundle.
-pub const BUNDLE_FORMAT_VERSION: u64 = 1;
+/// Bundle format version written into every bundle. Version 2 switched
+/// `edge_tail` from expanded `[from, to]` pairs to run-length-encoded
+/// `[from, to, count]` triples, matching the protocol-v4 wire form.
+pub const BUNDLE_FORMAT_VERSION: u64 = 2;
 
 /// One taped frame: its correlation id, full wire length, and the first
 /// [`FRAME_SNIPPET_LEN`] bytes.
@@ -179,8 +183,9 @@ pub struct ForensicBundle {
     pub consumed: Vec<Vec<u8>>,
     /// The session's outstanding challenge nonce at rejection time.
     pub outstanding: Option<Vec<u8>>,
-    /// Tail of the rejected report's control-flow edge log (CFA only).
-    pub edge_tail: Vec<(u32, u32)>,
+    /// Tail of the rejected report's control-flow edge log (CFA only),
+    /// as canonical `(from, to, count)` runs.
+    pub edge_tail: Vec<(u32, u32, u32)>,
     /// The admissible edge set as its canonical JSON (CFA only).
     pub edge_set_json: Option<String>,
 }
@@ -295,11 +300,11 @@ impl ForensicBundle {
             None => out.push_str("null"),
         }
         out.push_str(",\"edge_tail\":[");
-        for (i, (from, to)) in self.edge_tail.iter().enumerate() {
+        for (i, (from, to, count)) in self.edge_tail.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("[{from},{to}]"));
+            out.push_str(&format!("[{from},{to},{count}]"));
         }
         out.push_str("],\"edge_set\":");
         match &self.edge_set_json {
@@ -371,14 +376,15 @@ impl ForensicBundle {
             .as_array()
             .ok_or("edge_tail is not an array")?
             .iter()
-            .map(|pair| {
-                let pair = pair.as_array().ok_or("edge is not a pair")?;
-                if pair.len() != 2 {
-                    return Err("edge is not a pair".to_string());
+            .map(|run| {
+                let run = run.as_array().ok_or("edge run is not a triple")?;
+                if run.len() != 3 {
+                    return Err("edge run is not a triple".to_string());
                 }
-                let from = pair[0].as_number().ok_or("edge from is not a number")?;
-                let to = pair[1].as_number().ok_or("edge to is not a number")?;
-                Ok((from as u32, to as u32))
+                let from = run[0].as_number().ok_or("run from is not a number")?;
+                let to = run[1].as_number().ok_or("run to is not a number")?;
+                let count = run[2].as_number().ok_or("run count is not a number")?;
+                Ok((from as u32, to as u32, count as u32))
             })
             .collect::<Result<Vec<_>, String>>()?;
         let edge_set_json = match field(&doc, "edge_set")? {
@@ -488,7 +494,7 @@ mod tests {
             decisions: vec![DecisionRecord { corr: 7, code: 0 }],
             consumed: vec![vec![0xAA; 16], vec![0xBB; 16]],
             outstanding: Some(vec![0xCC; 16]),
-            edge_tail: vec![(0, 8), (8, 16)],
+            edge_tail: vec![(0, 8, 1), (8, 16, 250)],
             edge_set_json: Some("{\"fake\":true}".into()),
         }
     }

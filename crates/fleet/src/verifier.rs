@@ -30,7 +30,7 @@ use std::time::Instant;
 use tytan::attest::{
     AttestationReport, CfaReport, DeviceId, VerifierSession, VerifyError, VerifyStageNanos,
 };
-use tytan_crypto::batch_verify;
+use tytan_crypto::{batch_verify, RunRefolder};
 use tytan_lint::AdmissibleEdgeSet;
 use tytan_trace::events::{EventLog, LogFields, Severity};
 use tytan_trace::{EventKind, HistId, Layer, Tracer};
@@ -92,6 +92,7 @@ struct FleetCounters {
     reports: tytan_trace::CounterId,
     cfa_reports: tytan_trace::CounterId,
     cfa_edges: tytan_trace::CounterId,
+    cfa_runs: tytan_trace::CounterId,
     accepted: tytan_trace::CounterId,
     rejected_bad_mac: tytan_trace::CounterId,
     rejected_replay: tytan_trace::CounterId,
@@ -176,6 +177,7 @@ impl FleetVerifier {
             reports: c.register("fleet_reports"),
             cfa_reports: c.register("fleet_cfa_reports"),
             cfa_edges: c.register("fleet_cfa_edges"),
+            cfa_runs: c.register("fleet_cfa_runs"),
             accepted: c.register("fleet_accepted"),
             rejected_bad_mac: c.register("fleet_rejected_bad_mac"),
             rejected_replay: c.register("fleet_rejected_replay"),
@@ -449,15 +451,27 @@ impl FleetVerifier {
                         );
                         continue;
                     }
+                    // Two counters, two semantics: `cfa_edges` stays on the
+                    // raw expanded-edge count (replay work admitted, and
+                    // the long-lived bench baseline), `cfa_runs` counts
+                    // what actually crossed the wire and gets refolded.
                     self.tracer
                         .counters()
-                        .add(self.counters.cfa_edges, report.log.len() as u64);
+                        .add(self.counters.cfa_edges, report.raw_edges());
+                    self.tracer
+                        .counters()
+                        .add(self.counters.cfa_runs, report.log.len() as u64);
                     self.log_event(
                         Severity::Debug,
                         "cfa_report",
                         Some(device),
                         corr,
-                        format!("frame {} bytes, {} edges", frame.len(), report.log.len()),
+                        format!(
+                            "frame {} bytes, {} edges in {} runs",
+                            frame.len(),
+                            report.raw_edges(),
+                            report.log.len()
+                        ),
                     );
                     self.pending
                         .push((device, corr, PendingReport::Cfa(report)));
@@ -575,7 +589,10 @@ impl FleetVerifier {
             }
         }
 
-        // Phase 2: complete each report through its session.
+        // Phase 2: complete each report through its session. One
+        // refolder serves the whole flush, so the SHA-1 run-block
+        // template is set up once per batch, not once per report.
+        let mut refolder = RunRefolder::new();
         let mut verdicts = outcome.ok.into_iter();
         let mut entries = Vec::with_capacity(pending.len());
         let mut bundles = Vec::new();
@@ -596,6 +613,7 @@ impl FleetVerifier {
                                 report,
                                 mac_ok,
                                 edges,
+                                Some(&mut refolder),
                                 Some(&mut stages),
                             )
                         }

@@ -14,7 +14,15 @@
 //!   this is the property the whole plane exists for.
 //! - **Mutation / reorder / truncation** — log tampering under the
 //!   original MAC must be rejected (replay, chain, or MAC, in that
-//!   order of detection) and never reach `Ok`.
+//!   order of detection) and never reach `Ok`. Mutation covers run
+//!   counts too: inflating or shrinking a run changes the raw edge
+//!   count inside the MAC.
+//! - **Codec round-trip** — both wire forms (v4 run triples and the
+//!   legacy v3 expanded pairs) must decode back to the same sealed
+//!   report, and that decode must verify.
+//! - **Non-canonical encode** — a v4 byte stream carrying a split run
+//!   (adjacent runs with the same edge) or a zero-count run must be
+//!   rejected by the decoder, never silently re-canonicalised.
 //!
 //! Nothing here boots a platform: the oracle targets the verifier-side
 //! replay/chain/MAC pipeline in isolation, so thousands of cases per
@@ -23,7 +31,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use tytan::attest::{CfaReport, RemoteVerifier, VerifyError};
-use tytan_crypto::{CfChain, PlatformKey, SymmetricKey, TaskId};
+use tytan_crypto::{compress_log, CfChain, PlatformKey, SymmetricKey, TaskId};
 use tytan_lint::{AdmissibleEdgeSet, SiteKind};
 
 use crate::rng::FuzzRng;
@@ -99,16 +107,20 @@ fn gen_walk(rng: &mut FuzzRng) -> WalkCase {
             text_len: n * 4,
             instr_pcs,
             sites,
+            external_sites: BTreeSet::new(),
         },
         log,
     }
 }
 
-/// Rebuilds a report's chain head from its (possibly tampered) log and
-/// re-seals it under `ka` — the compromised-prover attacker who holds
-/// the device key but cannot change what the static CFG admits.
-fn reseal(ka: &SymmetricKey, report: &CfaReport, log: Vec<(u32, u32)>) -> CfaReport {
-    let head = CfChain::fold_all(log.iter().copied());
+/// Rebuilds a report's chain head from a (possibly tampered) *raw* edge
+/// log — compressed to its canonical run decomposition, exactly as a
+/// device monitor would record it — and re-seals it under `ka`: the
+/// compromised-prover attacker who holds the device key but cannot
+/// change what the static CFG admits.
+fn reseal(ka: &SymmetricKey, report: &CfaReport, raw: Vec<(u32, u32)>) -> CfaReport {
+    let log = compress_log(raw.iter().copied());
+    let head = CfChain::fold_runs(log.iter().copied());
     let mut sealed = report.clone();
     sealed.log = log;
     sealed.chain_head = head;
@@ -128,16 +140,15 @@ pub fn cfa_log(rng: &mut FuzzRng) -> Result<(), String> {
     }
     let ka = PlatformKey::from_bytes(kp).derive(tytan::attest::ATTEST_PURPOSE);
     let verifier = RemoteVerifier::new(ka.clone());
-    let head = CfChain::fold_all(case.log.iter().copied());
-    let honest = CfaReport {
+    let template = CfaReport {
         id: TaskId::from_digest(&digest),
         digest: digest.clone(),
         nonce: nonce.clone(),
-        log: case.log.clone(),
-        chain_head: head,
+        log: Vec::new(),
+        chain_head: [0u8; 20],
         mac: Vec::new(),
     };
-    let honest = reseal(&ka, &honest, case.log.clone());
+    let honest = reseal(&ka, &template, case.log.clone());
 
     // The honest walk must verify — the generator and replay disagree
     // about admissibility otherwise, which is itself a finding.
@@ -145,20 +156,23 @@ pub fn cfa_log(rng: &mut FuzzRng) -> Result<(), String> {
         .verify_cfa(&honest, &nonce, &digest, &case.edges)
         .map_err(|e| format!("honest walk rejected: {e:?} log={:?}", case.log))?;
 
-    match rng.below(4) {
+    match rng.below(6) {
         0 => {
-            // Single-edge detour, re-sealed under the real key: the
-            // destination is knocked off 4-byte alignment, so it can
-            // match no site target, no shadow-stack return, and no
-            // instruction start. MAC and digest stay valid — only the
-            // CFG replay can catch this, and it must, typed.
+            // Single-edge detour in the *raw* stream, re-sealed under
+            // the real key: the destination is knocked off 4-byte
+            // alignment, so it can match no site target, no
+            // shadow-stack return, and no instruction start. MAC and
+            // digest stay valid — only the CFG replay can catch this,
+            // and it must, typed, with the violation index reported as
+            // a raw-stream position regardless of how the runs around
+            // it compress.
             if case.log.is_empty() {
                 return Ok(());
             }
             let i = rng.below(case.log.len() as u64) as usize;
-            let mut log = case.log.clone();
-            log[i].1 ^= 2;
-            let detoured = reseal(&ka, &honest, log);
+            let mut raw = case.log.clone();
+            raw[i].1 ^= 2;
+            let detoured = reseal(&ka, &honest, raw);
             match verifier.verify_cfa(&detoured, &nonce, &digest, &case.edges) {
                 Ok(()) => Err("re-sealed detour verified".to_string()),
                 Err(
@@ -171,58 +185,113 @@ pub fn cfa_log(rng: &mut FuzzRng) -> Result<(), String> {
             }
         }
         1 => {
-            // Bit-flipped edge under the original MAC: any change must
-            // be rejected by replay, chain refold, or MAC — never Ok.
-            if case.log.is_empty() {
+            // Bit-flipped run under the original MAC: flipping `from`
+            // or `to` breaks replay or the chain; flipping `count`
+            // changes the raw edge total inside the MAC. Any change
+            // must be rejected — never Ok.
+            if honest.log.is_empty() {
                 return Ok(());
             }
-            let i = rng.below(case.log.len() as u64) as usize;
+            let i = rng.below(honest.log.len() as u64) as usize;
             let mut tampered = honest.clone();
             let bit = 1u32 << rng.below(32);
-            if rng.chance(1, 2) {
-                tampered.log[i].0 ^= bit;
-            } else {
-                tampered.log[i].1 ^= bit;
+            match rng.below(3) {
+                0 => tampered.log[i].0 ^= bit,
+                1 => tampered.log[i].1 ^= bit,
+                _ => tampered.log[i].2 ^= bit,
             }
             match verifier.verify_cfa(&tampered, &nonce, &digest, &case.edges) {
-                Ok(()) => Err(format!("mutated edge {i} verified")),
+                Ok(()) => Err(format!("mutated run {i} verified")),
                 Err(_) => Ok(()),
             }
         }
         2 => {
-            // Reorder under the original MAC: same count, same edges —
-            // the permuted log may even replay cleanly, but the
-            // order-sensitive chain must then expose it.
-            if case.log.len() < 2 {
+            // Reorder under the original MAC: runs swapped whole keep
+            // the raw edge total, so the MAC may hold and the permuted
+            // log may even replay cleanly — the order-sensitive chain
+            // must then expose it.
+            if honest.log.len() < 2 {
                 return Ok(());
             }
-            let i = rng.below(case.log.len() as u64) as usize;
-            let j = rng.below(case.log.len() as u64) as usize;
+            let i = rng.below(honest.log.len() as u64) as usize;
+            let j = rng.below(honest.log.len() as u64) as usize;
             let mut tampered = honest.clone();
             tampered.log.swap(i, j);
             if tampered.log == honest.log {
-                return Ok(()); // swapped identical edges: still honest
+                return Ok(()); // swapped identical runs: still honest
             }
             match verifier.verify_cfa(&tampered, &nonce, &digest, &case.edges) {
                 Ok(()) => Err(format!("reordered log ({i}<->{j}) verified")),
                 Err(_) => Ok(()),
             }
         }
-        _ => {
-            // Truncation under the original MAC: the edge count is in
-            // the MAC input, so this must fail as BadMac specifically —
-            // an attacker cannot silently shorten the evidence.
-            if case.log.is_empty() {
+        3 => {
+            // Truncation under the original MAC: every run carries at
+            // least one edge, so dropping runs shrinks the raw edge
+            // count inside the MAC — this must fail as BadMac
+            // specifically; an attacker cannot silently shorten the
+            // evidence.
+            if honest.log.is_empty() {
                 return Ok(());
             }
-            let drop = rng.range(1, case.log.len() as u64) as usize;
+            let drop = rng.range(1, honest.log.len() as u64) as usize;
             let mut tampered = honest.clone();
-            tampered.log.truncate(case.log.len() - drop);
+            tampered.log.truncate(honest.log.len() - drop);
             match verifier.verify_cfa(&tampered, &nonce, &digest, &case.edges) {
-                Ok(()) => Err(format!("log truncated by {drop} verified")),
+                Ok(()) => Err(format!("log truncated by {drop} runs verified")),
                 Err(VerifyError::BadMac) => Ok(()),
                 Err(other) => Err(format!(
                     "truncation rejected as {other:?}, want BadMac (count is MACed)"
+                )),
+            }
+        }
+        4 => {
+            // Codec round-trip: both wire forms must decode back to
+            // the identical sealed report, and the decode must verify.
+            // The v3 path exercises decoder-side recompression; logs
+            // produced by `compress_log` are canonical, so it must be
+            // lossless.
+            let v4 = honest.to_bytes();
+            let dec = CfaReport::from_bytes(&v4)
+                .ok_or_else(|| "canonical v4 encode failed to decode".to_string())?;
+            if dec != honest {
+                return Err(format!("v4 round-trip changed the report: {dec:?}"));
+            }
+            let v3 = honest.to_bytes_v3();
+            let dec3 = CfaReport::from_bytes_v3(&v3)
+                .ok_or_else(|| "expanded v3 encode failed to decode".to_string())?;
+            if dec3 != honest {
+                return Err(format!("v3 round-trip changed the report: {dec3:?}"));
+            }
+            verifier
+                .verify_cfa(&dec3, &nonce, &digest, &case.edges)
+                .map_err(|e| format!("v3-decoded honest report rejected: {e:?}"))
+        }
+        _ => {
+            // Non-canonical v4 bytes: splitting a run into two adjacent
+            // runs over the same edge (or zeroing a count) preserves or
+            // shrinks the raw stream while changing the run
+            // decomposition the chain folds over. The decoder must
+            // reject such an encoding outright — re-canonicalising it
+            // silently would let a split-run forgery reach the refolder
+            // under a chain head computed over the forged decomposition.
+            if honest.log.is_empty() {
+                return Ok(());
+            }
+            let i = rng.below(honest.log.len() as u64) as usize;
+            let mut forged = honest.clone();
+            let (from, to, count) = forged.log[i];
+            if count >= 2 {
+                let left = 1 + rng.below(u64::from(count) - 1) as u32;
+                forged.log[i] = (from, to, left);
+                forged.log.insert(i + 1, (from, to, count - left));
+            } else {
+                forged.log[i].2 = 0;
+            }
+            match CfaReport::from_bytes(&forged.to_bytes()) {
+                None => Ok(()),
+                Some(_) => Err(format!(
+                    "non-canonical v4 log at run {i} decoded instead of being rejected"
                 )),
             }
         }

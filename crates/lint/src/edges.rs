@@ -23,9 +23,20 @@
 //!   instruction start ([`CfaViolation::UnprovenSiteViolation`]
 //!   otherwise).
 //! - Sites whose transfer provably leaves the task (absolute targets)
-//!   admit *no* intra-task edge: the runtime monitor only logs edges
-//!   with both ends inside the monitored region, so a logged edge from
-//!   such a site is itself evidence of tampering.
+//!   are recorded as *declared external sites*: the runtime monitor
+//!   logs a region exit there as the sentinel edge
+//!   `(site, OUT_OF_REGION)`, which replay admits only from a declared
+//!   site — an exit sentinel anywhere else, or an intra-task edge
+//!   claimed from an external site, is itself evidence of tampering.
+//!
+//! Replay consumes the log in its canonical run-length-encoded form
+//! ([`AdmissibleEdgeSet::replay_runs`]): admissibility of a repeated
+//! edge is decided once per run — repetition of a jump adds no new
+//! state, while call/return runs move the shadow stack in counted
+//! batches — so replay cost is O(#runs), not O(#edges). Raw logs take
+//! the same path through [`AdmissibleEdgeSet::replay`], which
+//! canonically compresses first; violation indices always refer to the
+//! *raw* edge stream either way.
 //!
 //! The set has one canonical byte encoding ([`AdmissibleEdgeSet::canonical_bytes`])
 //! whose SHA-1 digest is embedded in the lint report and provisioned to
@@ -43,6 +54,13 @@ use tytan_trace::json::{self, Value};
 
 use crate::cfg::Cfg;
 use crate::{transfer, RegState};
+
+/// Task-relative sentinel endpoint the monitor records for the
+/// unmonitored outside world: `(from, OUT_OF_REGION)` is a region
+/// exit, `(OUT_OF_REGION, to)` a re-entry. Must match
+/// `sp_emu::OUT_OF_REGION` (the prover-side definition; pinned by test
+/// where both crates are visible).
+pub const OUT_OF_REGION: u32 = u32::MAX;
 
 /// What a benign execution may do at one control-transfer site.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,12 +151,23 @@ pub enum CfaViolation {
     },
 }
 
+/// Renders a task-relative endpoint, naming the out-of-region sentinel.
+fn fmt_pc(pc: u32) -> String {
+    if pc == OUT_OF_REGION {
+        "out-of-region".to_string()
+    } else {
+        format!("{pc:#x}")
+    }
+}
+
 impl fmt::Display for CfaViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CfaViolation::InadmissibleEdge { index, from, to } => write!(
                 f,
-                "edge {index}: {from:#x} -> {to:#x} is not admitted by the static CFG"
+                "edge {index}: {} -> {} is not admitted by the static CFG",
+                fmt_pc(*from),
+                fmt_pc(*to)
             ),
             CfaViolation::UnprovenSiteViolation { index, from, to } => write!(
                 f,
@@ -163,6 +192,10 @@ pub struct AdmissibleEdgeSet {
     pub instr_pcs: BTreeSet<u32>,
     /// Control-transfer sites by task-relative pc.
     pub sites: BTreeMap<u32, SiteKind>,
+    /// Sites whose transfer provably leaves the task (absolute
+    /// targets): the only pcs from which the monitor's region-exit
+    /// sentinel edge `(pc, OUT_OF_REGION)` is admissible.
+    pub external_sites: BTreeSet<u32>,
 }
 
 impl AdmissibleEdgeSet {
@@ -177,6 +210,7 @@ impl AdmissibleEdgeSet {
     ) -> AdmissibleEdgeSet {
         let mut instr_pcs = BTreeSet::new();
         let mut sites = BTreeMap::new();
+        let mut external_sites = BTreeSet::new();
         for (block, entry_state) in graph.blocks.iter().zip(entry_states) {
             let mut regs = *entry_state;
             for di in &block.instrs {
@@ -184,19 +218,29 @@ impl AdmissibleEdgeSet {
                 match transfer_kind(&di.instr) {
                     TransferKind::Jump { .. } => {
                         // `di.target` is the relocated, validated
-                        // intra-task destination; absolute or invalid
-                        // targets resolve to `None` and admit nothing.
-                        if let Some(target) = di.target {
-                            sites.insert(di.pc, SiteKind::Jump { target });
+                        // intra-task destination; absolute targets
+                        // resolve to `None` — the transfer provably
+                        // leaves the task, so the site is declared
+                        // external and admits only the exit sentinel.
+                        match di.target {
+                            Some(target) => {
+                                sites.insert(di.pc, SiteKind::Jump { target });
+                            }
+                            None => {
+                                external_sites.insert(di.pc);
+                            }
                         }
                     }
-                    TransferKind::CondJump { .. } => {
-                        if let Some(target) = di.target {
+                    TransferKind::CondJump { .. } => match di.target {
+                        Some(target) => {
                             sites.insert(di.pc, SiteKind::CondJump { target });
                         }
-                    }
-                    TransferKind::Call { .. } => {
-                        if let Some(target) = di.target {
+                        None => {
+                            external_sites.insert(di.pc);
+                        }
+                    },
+                    TransferKind::Call { .. } => match di.target {
+                        Some(target) => {
                             sites.insert(
                                 di.pc,
                                 SiteKind::Call {
@@ -205,7 +249,10 @@ impl AdmissibleEdgeSet {
                                 },
                             );
                         }
-                    }
+                        None => {
+                            external_sites.insert(di.pc);
+                        }
+                    },
                     TransferKind::Return => {
                         sites.insert(di.pc, SiteKind::Return);
                     }
@@ -222,9 +269,13 @@ impl AdmissibleEdgeSet {
                                     continue;
                                 }
                             }
-                            // Provably absolute: leaves the task, so no
-                            // intra-task edge is admissible.
-                            Some(_) => continue,
+                            // Provably absolute: leaves the task — a
+                            // declared external site, admitting only
+                            // the region-exit sentinel.
+                            Some(_) => {
+                                external_sites.insert(di.pc);
+                                continue;
+                            }
                             None => SiteKind::Unproven,
                         };
                         sites.insert(di.pc, kind);
@@ -240,6 +291,7 @@ impl AdmissibleEdgeSet {
             text_len,
             instr_pcs,
             sites,
+            external_sites,
         }
     }
 
@@ -289,6 +341,19 @@ impl AdmissibleEdgeSet {
                 }
             }
         }
+        // Declared external sites travel in a trailing section that is
+        // appended only when non-empty, so the digest of every edge set
+        // without external transfers is unchanged from the pre-sentinel
+        // encoding (fleet provisioning and checked-in exports keep
+        // their identities). The section cannot be confused with more
+        // site records: the site count above already delimits them.
+        if !self.external_sites.is_empty() {
+            out.extend_from_slice(b"EXT1");
+            out.extend_from_slice(&(self.external_sites.len() as u32).to_le_bytes());
+            for &pc in &self.external_sites {
+                out.extend_from_slice(&pc.to_le_bytes());
+            }
+        }
         out
     }
 
@@ -305,22 +370,68 @@ impl AdmissibleEdgeSet {
         self.digest().iter().map(|b| format!("{b:02x}")).collect()
     }
 
-    /// Replays a control-flow log edge-by-edge against this set.
+    /// Replays a raw control-flow log against this set.
     ///
-    /// The log is the monitored run's taken intra-task edges in order,
-    /// task-relative. A shadow stack pairs `call` and `ret` sites, so a
+    /// The log is the monitored run's taken edges in order,
+    /// task-relative, possibly containing [`OUT_OF_REGION`] sentinel
+    /// endpoints. Replay canonically run-length-compresses the stream
+    /// and takes the run path ([`AdmissibleEdgeSet::replay_runs`]);
+    /// violation indices refer to this raw log.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CfaViolation`], with the offending raw log index.
+    pub fn replay(&self, log: &[(u32, u32)]) -> Result<(), CfaViolation> {
+        self.replay_runs(&tytan_crypto::compress_log(log.iter().copied()))
+    }
+
+    /// Replays a canonically run-length-encoded control-flow log.
+    ///
+    /// Admissibility is decided *per run*, in O(#runs): a repeated
+    /// jump, branch, or indirect edge is checked once (its repetition
+    /// adds no replay state); a repeated call pushes its return address
+    /// as one counted shadow-stack entry; a repeated return pops
+    /// counted entries, each of which must match the run's
+    /// destination. The shadow stack pairs `call` and `ret` sites, so a
     /// return to anywhere but the dynamically-matching return address
     /// is inadmissible even when that address is some *other* call
     /// site's return — the ROP case a pure edge-set membership check
     /// would miss.
     ///
+    /// Sentinel edges are typed here too: a region exit
+    /// `(from, OUT_OF_REGION)` is admissible only from a declared
+    /// external site, and a re-entry `(OUT_OF_REGION, to)` only onto a
+    /// reachable instruction start.
+    ///
     /// # Errors
     ///
-    /// The first [`CfaViolation`], with the offending log index.
-    pub fn replay(&self, log: &[(u32, u32)]) -> Result<(), CfaViolation> {
-        let mut shadow: Vec<u32> = Vec::new();
-        for (index, &(from, to)) in log.iter().enumerate() {
+    /// The first [`CfaViolation`]; `index` is the offending edge's
+    /// position in the *raw* (expanded) edge stream the runs encode.
+    pub fn replay_runs(&self, runs: &[(u32, u32, u32)]) -> Result<(), CfaViolation> {
+        // Compressed shadow stack: (return address, consecutive calls).
+        let mut shadow: Vec<(u32, u32)> = Vec::new();
+        // Raw index of the current run's first edge.
+        let mut base = 0usize;
+        for &(from, to, count) in runs {
+            if count == 0 {
+                continue;
+            }
+            let index = base;
+            base += count as usize;
             let inadmissible = CfaViolation::InadmissibleEdge { index, from, to };
+            // Sentinel edges: no site lookup, no shadow effect.
+            if to == OUT_OF_REGION {
+                if from == OUT_OF_REGION || !self.external_sites.contains(&from) {
+                    return Err(inadmissible);
+                }
+                continue;
+            }
+            if from == OUT_OF_REGION {
+                if !self.instr_pcs.contains(&to) {
+                    return Err(inadmissible);
+                }
+                continue;
+            }
             match self.sites.get(&from) {
                 None => return Err(inadmissible),
                 Some(SiteKind::Jump { target }) | Some(SiteKind::CondJump { target }) => {
@@ -332,15 +443,43 @@ impl AdmissibleEdgeSet {
                     if to != *target {
                         return Err(inadmissible);
                     }
-                    shadow.push(*ret);
+                    shadow.push((*ret, count));
                 }
-                Some(SiteKind::Return) => match shadow.pop() {
-                    Some(expected) if expected == to => {}
-                    // An unmatched or mismatched return: the log claims
-                    // control came back to an address no tracked call
-                    // put on the stack.
-                    _ => return Err(inadmissible),
-                },
+                Some(SiteKind::Return) => {
+                    // Pop `count` return addresses; each must match the
+                    // run's destination. Violations attribute the exact
+                    // raw index of the first mismatching pop.
+                    let mut remaining = count;
+                    while remaining > 0 {
+                        match shadow.last_mut() {
+                            // An unmatched or mismatched return: the log
+                            // claims control came back to an address no
+                            // tracked call put on the stack.
+                            None => {
+                                return Err(CfaViolation::InadmissibleEdge {
+                                    index: index + (count - remaining) as usize,
+                                    from,
+                                    to,
+                                })
+                            }
+                            Some((expected, _)) if *expected != to => {
+                                return Err(CfaViolation::InadmissibleEdge {
+                                    index: index + (count - remaining) as usize,
+                                    from,
+                                    to,
+                                })
+                            }
+                            Some((_, n)) => {
+                                let take = remaining.min(*n);
+                                *n -= take;
+                                remaining -= take;
+                                if *n == 0 {
+                                    shadow.pop();
+                                }
+                            }
+                        }
+                    }
+                }
                 Some(SiteKind::Indirect { targets }) => {
                     if !targets.contains(&to) {
                         return Err(inadmissible);
@@ -399,6 +538,13 @@ impl AdmissibleEdgeSet {
                 }
             }
             out.push('}');
+        }
+        out.push_str("],\"external_sites\":[");
+        for (i, pc) in self.external_sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&pc.to_string());
         }
         out.push_str("]}");
         out
@@ -464,12 +610,24 @@ impl AdmissibleEdgeSet {
             };
             sites.insert(pc, kind);
         }
+        // Optional for compatibility with pre-sentinel exports, which
+        // simply have no declared external sites.
+        let external_sites: BTreeSet<u32> = match doc.get("external_sites") {
+            None => BTreeSet::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or("field `external_sites` is not an array")?
+                .iter()
+                .map(value_u32)
+                .collect::<Result<_, _>>()?,
+        };
         let set = AdmissibleEdgeSet {
             image_name,
             entry,
             text_len,
             instr_pcs,
             sites,
+            external_sites,
         };
         if let Some(claimed) = doc.get("digest").and_then(Value::as_str) {
             let actual = set.digest_hex();
@@ -605,6 +763,91 @@ mod tests {
     }
 
     #[test]
+    fn run_replay_matches_raw_replay_with_raw_indices() {
+        let set = edge_set("main:\n call helper\n call helper\n hlt\nhelper:\n ret\n");
+        let (c1, c2, helper) = (0u32, 8u32, 20u32);
+        // Honest raw log with a repeated call/return pair, replayed
+        // both raw and as canonical runs.
+        let log = [
+            (c1, helper),
+            (helper, c1 + 8),
+            (c2, helper),
+            (helper, c2 + 8),
+        ];
+        assert_eq!(set.replay(&log), Ok(()));
+        assert_eq!(
+            set.replay_runs(&tytan_crypto::compress_log(log.iter().copied())),
+            Ok(())
+        );
+        // A counted call run balances a counted return run of the same
+        // shape (recursion-like): 3 calls from c1, then 3 returns each
+        // to c1's return address... the first return is admissible, the
+        // second pops a matching entry too — all three match.
+        let runs = [(c1, helper, 3), (helper, c1 + 8, 3)];
+        assert_eq!(set.replay_runs(&runs), Ok(()));
+        // A return run whose *second* pop mismatches attributes the
+        // exact raw index inside the run.
+        let runs = [(c1, helper, 1), (c2, helper, 1), (helper, c2 + 8, 2)];
+        assert!(matches!(
+            set.replay_runs(&runs),
+            Err(CfaViolation::InadmissibleEdge { index: 3, .. })
+        ));
+        // Underflow mid-run: 2 calls, a 3-count return run fails on its
+        // third pop (raw index 2 + 2).
+        let runs = [(c1, helper, 2), (helper, c1 + 8, 3)];
+        assert!(matches!(
+            set.replay_runs(&runs),
+            Err(CfaViolation::InadmissibleEdge { index: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn region_exit_sentinels_are_typed_by_declared_external_sites() {
+        let mut set = edge_set("main:\nspin:\n jmp spin\n");
+        // Undeclared exit: inadmissible, attributed to the raw index.
+        assert!(matches!(
+            set.replay(&[(0, 0), (0, OUT_OF_REGION)]),
+            Err(CfaViolation::InadmissibleEdge {
+                index: 1,
+                from: 0,
+                to: OUT_OF_REGION
+            })
+        ));
+        // Declare pc 0 external: the exit sentinel becomes admissible,
+        // and a re-entry onto a reachable instruction start does too.
+        set.external_sites.insert(0);
+        assert_eq!(
+            set.replay(&[(0, OUT_OF_REGION), (OUT_OF_REGION, 0)]),
+            Ok(())
+        );
+        // Re-entry onto a non-instruction is still inadmissible.
+        assert!(matches!(
+            set.replay(&[(0, OUT_OF_REGION), (OUT_OF_REGION, 2)]),
+            Err(CfaViolation::InadmissibleEdge { index: 1, .. })
+        ));
+        // An intra-task edge claimed *from* a declared external site is
+        // not admitted either — external sites admit only the exit.
+        assert!(set.replay(&[(0, 4)]).is_err());
+        // Both endpoints out-of-region can never be recorded honestly.
+        assert!(set.replay(&[(OUT_OF_REGION, OUT_OF_REGION)]).is_err());
+    }
+
+    #[test]
+    fn external_sites_extend_the_digest_only_when_present() {
+        let set = edge_set("main:\nspin:\n jmp spin\n");
+        assert!(set.external_sites.is_empty());
+        let baseline = set.canonical_bytes();
+        assert!(!baseline.windows(4).any(|w| w == b"EXT1"));
+        let mut declared = set.clone();
+        declared.external_sites.insert(0);
+        assert!(declared.canonical_bytes().len() > baseline.len());
+        assert_ne!(declared.digest(), set.digest());
+        // And the JSON form round-trips the declaration.
+        let parsed = AdmissibleEdgeSet::from_json(&declared.to_json()).expect("parses");
+        assert_eq!(parsed, declared);
+    }
+
+    #[test]
     fn digest_is_content_addressed() {
         let a = edge_set("main:\nspin:\n jmp spin\n");
         let b = edge_set("main:\nspin:\n jmp spin\n");
@@ -661,6 +904,7 @@ mod tests {
                 text_len in 0u32..4096,
                 pcs in proptest::collection::vec(0u32..4096, 0..32),
                 sites in proptest::collection::vec(arb_site(), 0..16),
+                externals in proptest::collection::vec(0u32..4096, 0..8),
             ) {
                 let set = AdmissibleEdgeSet {
                     image_name: "prop-image \"quoted\"".to_string(),
@@ -668,6 +912,7 @@ mod tests {
                     text_len,
                     instr_pcs: pcs.into_iter().collect(),
                     sites: sites.into_iter().collect(),
+                    external_sites: externals.into_iter().collect(),
                 };
                 let parsed = AdmissibleEdgeSet::from_json(&set.to_json())
                     .expect("export parses");

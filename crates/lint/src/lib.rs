@@ -52,7 +52,7 @@ pub mod edges;
 mod report;
 pub mod symbolize;
 
-pub use edges::{AdmissibleEdgeSet, CfaViolation, SiteKind};
+pub use edges::{AdmissibleEdgeSet, CfaViolation, SiteKind, OUT_OF_REGION};
 pub use report::{Finding, FindingKind, LintReport, LintStats, Severity, Verdict};
 pub use symbolize::FuncSym;
 

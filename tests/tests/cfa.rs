@@ -103,6 +103,96 @@ fn cf_attested_report_travels_the_wire_and_detours_are_typed() {
     assert_eq!(verifier.accepted_total(), 1);
 }
 
+/// The out-of-region blind spot, closed: a smashed return address that
+/// sends execution *outside* the monitored code region used to vanish
+/// from the evidence entirely — the monitor dropped boundary-crossing
+/// edges, so the sealed log was an admissible prefix and the excursion
+/// was invisible to replay and chain alike. Now the exit records an
+/// `OUT_OF_REGION` sentinel edge, the chain commits to it, and the
+/// verifier — with no external call sites declared for this task —
+/// types the excursion as the `InadmissibleEdge` it is.
+#[test]
+fn out_of_region_detour_is_recorded_and_rejected_typed() {
+    let source = SecureTaskBuilder::new(
+        "escaper",
+        "main:\n movi r1, gate\n call work\n\
+         after:\n jmp after\n\
+         work:\n\
+         wspin:\n ldw r3, [r1]\n cmpi r3, 0\n jz wspin\n ret\n",
+    )
+    .data("gate:\n .word 0\n")
+    .build()
+    .expect("task assembles");
+    let edges = tytan_lint::admissible_edges(&source.image);
+    assert!(
+        edges.external_sites.is_empty(),
+        "no external call sites are declared, so any region exit is hostile"
+    );
+
+    let mut platform: Platform = Platform::boot(PlatformConfig::default()).expect("boots");
+    let token = platform.begin_load(&source, 2);
+    let (_, task) = platform.wait_load(token, 400_000_000).expect("loads");
+    let digest = platform.local_attest(task).expect("measured");
+    platform.arm_cf_monitor(task).expect("monitor arms");
+
+    // Park the task inside `work` with the return address live.
+    platform.run_for(50_000).expect("monitored run");
+    let record = platform.rtm().lookup(task).expect("task is measured");
+    let code = record.code;
+    let data = record.data;
+    let ret_abs = code.start() + source.symbol_offset("after").expect("label");
+
+    // The attacker's write: redirect the saved return address to a pc
+    // *outside* the monitored code region (the task's own data region —
+    // not entry-protected code, so the transfer itself is not blocked).
+    let machine = platform.machine_mut();
+    let mut smashed_at = None;
+    let mut addr = data.start();
+    while addr + 4 <= data.start() + data.len() {
+        if machine.read_word(addr).expect("task RAM reads") == ret_abs {
+            machine
+                .write_word(addr, data.start())
+                .expect("task RAM writes");
+            smashed_at = Some(addr);
+            break;
+        }
+        addr += 4;
+    }
+    smashed_at.expect("saved return address found on the stack");
+
+    // Release the gate and let the poisoned return leave the region.
+    // Whatever the platform then does about executing data (fault,
+    // kill, garbage), the monitor has already recorded the exit edge.
+    let gate_abs = code.start() + source.symbol_offset("gate").expect("label");
+    machine.write_word(gate_abs, 1).expect("gate writes");
+    let _ = platform.run_for(50_000);
+
+    let monitor = platform.cf_monitor().expect("monitor is still armed");
+    assert!(
+        monitor
+            .runs()
+            .iter()
+            .any(|&(_, to, _)| to == tytan_lint::OUT_OF_REGION),
+        "the region exit must appear in the evidence: {:?}",
+        monitor.runs()
+    );
+
+    let verifier = RemoteVerifier::new(platform.attestation_key());
+    let cfa = platform
+        .remote_attest_cfa(task, b"escape-nonce")
+        .expect("attests with evidence");
+    match verifier.verify_cfa(&cfa, b"escape-nonce", &digest, &edges) {
+        Err(VerifyError::InadmissibleEdge { to, .. }) => {
+            assert_eq!(
+                to,
+                tytan_lint::OUT_OF_REGION,
+                "the verdict names the region exit itself"
+            );
+        }
+        other => panic!("CFA verdict: {other:?}, want InadmissibleEdge at the region exit"),
+    }
+}
+
 /// A ROP-style detour that never touches the task's code: the saved
 /// return address on the stack is overwritten between run slices, so
 /// the measured image — and therefore static attestation — is
